@@ -1,0 +1,234 @@
+//! ENCORE-style versioning: History-Bearing Entities plus Version-Sets.
+//!
+//! From §7: "Version control in ENCORE is realized by introducing two
+//! new types: History-Bearing-Entity (HBE) and Version-Set.  To create
+//! a versioned object, its corresponding type must inherit the
+//! properties defined by these two types.  Properties defined by HBE
+//! include next-version and previous-version.  Version-Set is used to
+//! collect all of the versions of an object [and] provides an insert
+//! operation that allows new versions to be added at the end of a
+//! version sequence or as an alternative to an existing version."
+//!
+//! The cost signature this reproduces: every derivation rewrites the
+//! Version-Set record, whose size grows linearly with the number of
+//! versions — contrast with Ode's constant-size `ObjectMeta` update.
+
+use std::path::Path;
+
+use ode_codec::impl_persist_struct;
+use ode_object::{IdAllocator, KvTable, ObjectHeap};
+use ode_storage::heap::RecordId;
+use ode_storage::{PageRead, PageWrite, Store, StoreOptions};
+
+use crate::model::{BranchOutcome, ModelError, ModelResult, VersionModel};
+
+/// The Version-Set record collecting all versions of one object.
+#[derive(Debug, Clone, PartialEq)]
+struct VersionSet {
+    /// All versions in insertion order (the "version sequence").
+    members: Vec<u64>,
+    /// The sequence tip a bare object reference binds to.
+    current: u64,
+}
+impl_persist_struct!(VersionSet { members, current });
+
+/// A History-Bearing Entity: state plus its HBE properties.
+#[derive(Debug, Clone, PartialEq)]
+struct Hbe {
+    previous_version: u64,
+    next_version: u64,
+    body: Vec<u8>,
+}
+impl_persist_struct!(Hbe {
+    previous_version,
+    next_version,
+    body
+});
+
+/// The ENCORE comparator model.
+pub struct HbeModel {
+    store: Store,
+    /// obj → Version-Set record.
+    sets: KvTable,
+    /// ver → HBE record.
+    entities: KvTable,
+    heap: ObjectHeap,
+    oids: IdAllocator,
+    vids: IdAllocator,
+}
+
+impl HbeModel {
+    /// Create a fresh model store (fsync disabled: benchmark preset).
+    pub fn create(path: &Path) -> ModelResult<HbeModel> {
+        let store = Store::create(
+            path,
+            StoreOptions {
+                sync_on_commit: false,
+                ..StoreOptions::default()
+            },
+        )?;
+        Ok(HbeModel {
+            store,
+            sets: KvTable::new(0),
+            entities: KvTable::new(1),
+            heap: ObjectHeap::new(2),
+            oids: IdAllocator::new(3),
+            vids: IdAllocator::new(4),
+        })
+    }
+
+    fn load_set(&self, tx: &mut impl PageRead, obj: u64) -> ModelResult<VersionSet> {
+        let rid = self.sets.get(tx, obj)?.ok_or(ModelError::NotFound)?;
+        Ok(self.heap.load(tx, RecordId::from_u64(rid))?)
+    }
+
+    fn save_set(&self, tx: &mut impl PageWrite, obj: u64, set: &VersionSet) -> ModelResult<()> {
+        match self.sets.get(tx, obj)? {
+            Some(rid) => {
+                let new = self.heap.replace(tx, RecordId::from_u64(rid), set)?;
+                if new.to_u64() != rid {
+                    self.sets.put(tx, obj, new.to_u64())?;
+                }
+            }
+            None => {
+                let rid = self.heap.store(tx, set)?;
+                self.sets.put(tx, obj, rid.to_u64())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn load_hbe(&self, tx: &mut impl PageRead, ver: u64) -> ModelResult<Hbe> {
+        let rid = self.entities.get(tx, ver)?.ok_or(ModelError::NotFound)?;
+        Ok(self.heap.load(tx, RecordId::from_u64(rid))?)
+    }
+
+    fn save_hbe(&self, tx: &mut impl PageWrite, ver: u64, hbe: &Hbe) -> ModelResult<()> {
+        match self.entities.get(tx, ver)? {
+            Some(rid) => {
+                let new = self.heap.replace(tx, RecordId::from_u64(rid), hbe)?;
+                if new.to_u64() != rid {
+                    self.entities.put(tx, ver, new.to_u64())?;
+                }
+            }
+            None => {
+                let rid = self.heap.store(tx, hbe)?;
+                self.entities.put(tx, ver, rid.to_u64())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl VersionModel for HbeModel {
+    fn name(&self) -> &'static str {
+        "hbe"
+    }
+
+    fn create(&mut self, body: &[u8]) -> ModelResult<u64> {
+        let mut tx = self.store.begin();
+        let obj = self.oids.next(&mut tx)?;
+        let ver = self.vids.next(&mut tx)?;
+        self.save_hbe(
+            &mut tx,
+            ver,
+            &Hbe {
+                previous_version: 0,
+                next_version: 0,
+                body: body.to_vec(),
+            },
+        )?;
+        self.save_set(
+            &mut tx,
+            obj,
+            &VersionSet {
+                members: vec![ver],
+                current: ver,
+            },
+        )?;
+        tx.commit()?;
+        Ok(obj)
+    }
+
+    fn read_current(&mut self, obj: u64) -> ModelResult<Vec<u8>> {
+        let mut tx = self.store.read();
+        let set = self.load_set(&mut tx, obj)?;
+        Ok(self.load_hbe(&mut tx, set.current)?.body)
+    }
+
+    fn current_version(&mut self, obj: u64) -> ModelResult<u64> {
+        let mut tx = self.store.read();
+        Ok(self.load_set(&mut tx, obj)?.current)
+    }
+
+    fn read_version(&mut self, _obj: u64, ver: u64) -> ModelResult<Vec<u8>> {
+        let mut tx = self.store.read();
+        Ok(self.load_hbe(&mut tx, ver)?.body)
+    }
+
+    fn update_current(&mut self, obj: u64, body: &[u8]) -> ModelResult<()> {
+        let mut tx = self.store.begin();
+        let set = self.load_set(&mut tx, obj)?;
+        let mut hbe = self.load_hbe(&mut tx, set.current)?;
+        hbe.body = body.to_vec();
+        self.save_hbe(&mut tx, set.current, &hbe)?;
+        tx.commit()?;
+        Ok(())
+    }
+
+    fn new_version(&mut self, obj: u64) -> ModelResult<u64> {
+        let current = self.current_version(obj)?;
+        match self.new_version_from(obj, current)? {
+            BranchOutcome::Version(v) => Ok(v),
+            BranchOutcome::NewObject(_) => unreachable!("hbe branches in place"),
+        }
+    }
+
+    fn new_version_from(&mut self, obj: u64, ver: u64) -> ModelResult<BranchOutcome> {
+        let mut tx = self.store.begin();
+        let mut set = self.load_set(&mut tx, obj)?;
+        if !set.members.contains(&ver) {
+            return Err(ModelError::NotFound);
+        }
+        let mut base = self.load_hbe(&mut tx, ver)?;
+        let new_ver = self.vids.next(&mut tx)?;
+        self.save_hbe(
+            &mut tx,
+            new_ver,
+            &Hbe {
+                previous_version: ver,
+                next_version: 0,
+                body: base.body.clone(),
+            },
+        )?;
+        // HBE property maintenance on the base entity.
+        base.next_version = new_ver;
+        self.save_hbe(&mut tx, ver, &base)?;
+        // The Version-Set insert: the whole member list is rewritten.
+        set.members.push(new_ver);
+        set.current = new_ver;
+        self.save_set(&mut tx, obj, &set)?;
+        tx.commit()?;
+        Ok(BranchOutcome::Version(new_ver))
+    }
+
+    fn delete_object(&mut self, obj: u64) -> ModelResult<()> {
+        let mut tx = self.store.begin();
+        let set = self.load_set(&mut tx, obj)?;
+        for ver in set.members {
+            if let Some(rid) = self.entities.remove(&mut tx, ver)? {
+                self.heap.delete(&mut tx, RecordId::from_u64(rid))?;
+            }
+        }
+        if let Some(rid) = self.sets.remove(&mut tx, obj)? {
+            self.heap.delete(&mut tx, RecordId::from_u64(rid))?;
+        }
+        tx.commit()?;
+        Ok(())
+    }
+
+    fn version_count(&mut self, obj: u64) -> ModelResult<u64> {
+        let mut tx = self.store.read();
+        Ok(self.load_set(&mut tx, obj)?.members.len() as u64)
+    }
+}

@@ -1,0 +1,47 @@
+//! # ode-baselines — comparator version models over the same substrate
+//!
+//! §7 of the paper compares O++'s versioning against ORION, IRIS,
+//! GemStone, POSTGRES, ENCORE and EXODUS.  None of those systems is
+//! runnable today, so this crate implements the *version-model semantics*
+//! each represents, all over the identical `ode-storage` substrate, so
+//! benchmarks isolate the model rather than the storage engine:
+//!
+//! | model | represents | defining property |
+//! |-------|-----------|-------------------|
+//! | [`OdeModel`] | this paper | orthogonal, tree histories, object id → latest |
+//! | [`LinearModel`] | GemStone / POSTGRES | strictly linear history; branching forces a whole-object copy |
+//! | [`OrionModel`] | ORION (+ IRIS transformation) | only declared-versionable objects version; references go through a *generic object header*; unversioned objects need a copy transformation first |
+//! | [`HbeModel`] | ENCORE | History-Bearing Entities + an explicit Version-Set record updated on every derivation |
+//! | [`DeltaModel`] | EXODUS storage manager (record-granularity analog) | versions share storage through reverse deltas; derivations rewrite the chain record |
+//!
+//! All five implement [`VersionModel`], the untyped byte-level interface
+//! the benchmark harness drives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod delta_model;
+mod hbe;
+mod linear;
+mod model;
+mod ode_model;
+mod orion;
+
+pub use delta_model::DeltaModel;
+pub use hbe::HbeModel;
+pub use linear::LinearModel;
+pub use model::{BranchOutcome, ModelError, ModelResult, VersionModel};
+pub use ode_model::OdeModel;
+pub use orion::OrionModel;
+
+/// Construct every model, each on its own store file under `dir` with
+/// fsync disabled (benchmark preset).
+pub fn all_models(dir: &std::path::Path) -> Vec<Box<dyn VersionModel>> {
+    vec![
+        Box::new(OdeModel::create(&dir.join("ode.db")).expect("create ode model")),
+        Box::new(LinearModel::create(&dir.join("linear.db")).expect("create linear model")),
+        Box::new(OrionModel::create(&dir.join("orion.db")).expect("create orion model")),
+        Box::new(HbeModel::create(&dir.join("hbe.db")).expect("create hbe model")),
+        Box::new(DeltaModel::create(&dir.join("delta.db")).expect("create delta model")),
+    ]
+}

@@ -1,0 +1,230 @@
+//! GemStone/POSTGRES-style **linear** versioning.
+//!
+//! "Some current versioning proposals (GemStone and POSTGRES, for
+//! example) constrain the version relationship of an object to be
+//! linear, which is inadequate for design databases." (§2)
+//!
+//! Each object is a singly linked chain of version records (newest
+//! first), so purely linear workloads are as cheap as Ode's.  The
+//! inadequacy shows up on branching: [`LinearModel::new_version_from`]
+//! on a non-tip version cannot extend the chain sideways — following
+//! what users of such systems actually do, it **copies** the requested
+//! state into a brand-new object, losing shared history and paying a
+//! full-object write.
+
+use std::path::Path;
+
+use ode_codec::impl_persist_struct;
+use ode_object::{IdAllocator, KvTable, ObjectHeap};
+use ode_storage::heap::RecordId;
+use ode_storage::{PageRead, PageWrite, Store, StoreOptions};
+
+use crate::model::{BranchOutcome, ModelError, ModelResult, VersionModel};
+
+#[derive(Debug, Clone, PartialEq)]
+struct LinearObject {
+    head: u64,
+    count: u64,
+}
+impl_persist_struct!(LinearObject { head, count });
+
+#[derive(Debug, Clone, PartialEq)]
+struct LinearVersion {
+    prev: u64,
+    body: Vec<u8>,
+}
+impl_persist_struct!(LinearVersion { prev, body });
+
+/// The linear-history comparator model.
+pub struct LinearModel {
+    store: Store,
+    objects: KvTable,
+    versions: KvTable,
+    heap: ObjectHeap,
+    oids: IdAllocator,
+    vids: IdAllocator,
+}
+
+impl LinearModel {
+    /// Create a fresh model store (fsync disabled: benchmark preset).
+    pub fn create(path: &Path) -> ModelResult<LinearModel> {
+        let store = Store::create(
+            path,
+            StoreOptions {
+                sync_on_commit: false,
+                ..StoreOptions::default()
+            },
+        )?;
+        Ok(LinearModel {
+            store,
+            objects: KvTable::new(0),
+            versions: KvTable::new(1),
+            heap: ObjectHeap::new(2),
+            oids: IdAllocator::new(3),
+            vids: IdAllocator::new(4),
+        })
+    }
+
+    fn load_object(&self, tx: &mut impl PageRead, obj: u64) -> ModelResult<LinearObject> {
+        let rid = self.objects.get(tx, obj)?.ok_or(ModelError::NotFound)?;
+        Ok(self.heap.load(tx, RecordId::from_u64(rid))?)
+    }
+
+    fn save_object(
+        &self,
+        tx: &mut impl PageWrite,
+        obj: u64,
+        meta: &LinearObject,
+    ) -> ModelResult<()> {
+        match self.objects.get(tx, obj)? {
+            Some(rid) => {
+                let new = self.heap.replace(tx, RecordId::from_u64(rid), meta)?;
+                if new.to_u64() != rid {
+                    self.objects.put(tx, obj, new.to_u64())?;
+                }
+            }
+            None => {
+                let rid = self.heap.store(tx, meta)?;
+                self.objects.put(tx, obj, rid.to_u64())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn load_version(&self, tx: &mut impl PageRead, ver: u64) -> ModelResult<LinearVersion> {
+        let rid = self.versions.get(tx, ver)?.ok_or(ModelError::NotFound)?;
+        Ok(self.heap.load(tx, RecordId::from_u64(rid))?)
+    }
+
+    fn store_version(
+        &self,
+        tx: &mut impl PageWrite,
+        ver: u64,
+        v: &LinearVersion,
+    ) -> ModelResult<()> {
+        match self.versions.get(tx, ver)? {
+            Some(rid) => {
+                let new = self.heap.replace(tx, RecordId::from_u64(rid), v)?;
+                if new.to_u64() != rid {
+                    self.versions.put(tx, ver, new.to_u64())?;
+                }
+            }
+            None => {
+                let rid = self.heap.store(tx, v)?;
+                self.versions.put(tx, ver, rid.to_u64())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl VersionModel for LinearModel {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn create(&mut self, body: &[u8]) -> ModelResult<u64> {
+        let mut tx = self.store.begin();
+        let obj = self.oids.next(&mut tx)?;
+        let ver = self.vids.next(&mut tx)?;
+        self.store_version(
+            &mut tx,
+            ver,
+            &LinearVersion {
+                prev: 0,
+                body: body.to_vec(),
+            },
+        )?;
+        self.save_object(
+            &mut tx,
+            obj,
+            &LinearObject {
+                head: ver,
+                count: 1,
+            },
+        )?;
+        tx.commit()?;
+        Ok(obj)
+    }
+
+    fn read_current(&mut self, obj: u64) -> ModelResult<Vec<u8>> {
+        let mut tx = self.store.read();
+        let meta = self.load_object(&mut tx, obj)?;
+        Ok(self.load_version(&mut tx, meta.head)?.body)
+    }
+
+    fn current_version(&mut self, obj: u64) -> ModelResult<u64> {
+        let mut tx = self.store.read();
+        Ok(self.load_object(&mut tx, obj)?.head)
+    }
+
+    fn read_version(&mut self, _obj: u64, ver: u64) -> ModelResult<Vec<u8>> {
+        let mut tx = self.store.read();
+        Ok(self.load_version(&mut tx, ver)?.body)
+    }
+
+    fn update_current(&mut self, obj: u64, body: &[u8]) -> ModelResult<()> {
+        let mut tx = self.store.begin();
+        let meta = self.load_object(&mut tx, obj)?;
+        let mut head = self.load_version(&mut tx, meta.head)?;
+        head.body = body.to_vec();
+        self.store_version(&mut tx, meta.head, &head)?;
+        tx.commit()?;
+        Ok(())
+    }
+
+    fn new_version(&mut self, obj: u64) -> ModelResult<u64> {
+        let mut tx = self.store.begin();
+        let mut meta = self.load_object(&mut tx, obj)?;
+        let base = self.load_version(&mut tx, meta.head)?;
+        let ver = self.vids.next(&mut tx)?;
+        self.store_version(
+            &mut tx,
+            ver,
+            &LinearVersion {
+                prev: meta.head,
+                body: base.body,
+            },
+        )?;
+        meta.head = ver;
+        meta.count += 1;
+        self.save_object(&mut tx, obj, &meta)?;
+        tx.commit()?;
+        Ok(ver)
+    }
+
+    fn new_version_from(&mut self, obj: u64, ver: u64) -> ModelResult<BranchOutcome> {
+        // Tip derivation extends the chain; anything else forces the
+        // whole-object copy (linear histories cannot branch).
+        let head = self.current_version(obj)?;
+        if ver == head {
+            return Ok(BranchOutcome::Version(self.new_version(obj)?));
+        }
+        let state = self.read_version(obj, ver)?;
+        let new_obj = self.create(&state)?;
+        Ok(BranchOutcome::NewObject(new_obj))
+    }
+
+    fn delete_object(&mut self, obj: u64) -> ModelResult<()> {
+        let mut tx = self.store.begin();
+        let meta = self.load_object(&mut tx, obj)?;
+        let mut cur = meta.head;
+        while cur != 0 {
+            let v = self.load_version(&mut tx, cur)?;
+            if let Some(rid) = self.versions.remove(&mut tx, cur)? {
+                self.heap.delete(&mut tx, RecordId::from_u64(rid))?;
+            }
+            cur = v.prev;
+        }
+        if let Some(rid) = self.objects.remove(&mut tx, obj)? {
+            self.heap.delete(&mut tx, RecordId::from_u64(rid))?;
+        }
+        tx.commit()?;
+        Ok(())
+    }
+
+    fn version_count(&mut self, obj: u64) -> ModelResult<u64> {
+        let mut tx = self.store.read();
+        Ok(self.load_object(&mut tx, obj)?.count)
+    }
+}

@@ -1,0 +1,99 @@
+//! The paper's model, adapted to the untyped benchmark interface.
+
+use std::path::Path;
+
+use ode_codec::TypeTag;
+use ode_object::{Oid, Vid};
+use ode_storage::{Store, StoreOptions};
+use ode_version::{VersionStore, VersionStoreLayout};
+
+use crate::model::{BranchOutcome, ModelResult, VersionModel};
+
+const TAG: TypeTag = TypeTag::from_name("baseline/Obj");
+
+/// O++ semantics: orthogonal versioning, tree-shaped derived-from
+/// relationship, object handle resolves to the latest version.
+pub struct OdeModel {
+    store: Store,
+    vs: VersionStore,
+}
+
+impl OdeModel {
+    /// Create a fresh model store (fsync disabled: benchmark preset).
+    pub fn create(path: &Path) -> ModelResult<OdeModel> {
+        let store = Store::create(
+            path,
+            StoreOptions {
+                sync_on_commit: false,
+                ..StoreOptions::default()
+            },
+        )?;
+        Ok(OdeModel {
+            store,
+            vs: VersionStore::new(VersionStoreLayout::default()),
+        })
+    }
+}
+
+impl VersionModel for OdeModel {
+    fn name(&self) -> &'static str {
+        "ode"
+    }
+
+    fn create(&mut self, body: &[u8]) -> ModelResult<u64> {
+        let mut tx = self.store.begin();
+        let (oid, _vid) = self.vs.create_object(&mut tx, TAG, body.to_vec())?;
+        tx.commit()?;
+        Ok(oid.0)
+    }
+
+    fn read_current(&mut self, obj: u64) -> ModelResult<Vec<u8>> {
+        let mut tx = self.store.read();
+        let vid = self.vs.latest(&mut tx, Oid(obj))?;
+        Ok(self.vs.read_body(&mut tx, vid, TAG)?)
+    }
+
+    fn current_version(&mut self, obj: u64) -> ModelResult<u64> {
+        let mut tx = self.store.read();
+        Ok(self.vs.latest(&mut tx, Oid(obj))?.0)
+    }
+
+    fn read_version(&mut self, _obj: u64, ver: u64) -> ModelResult<Vec<u8>> {
+        let mut tx = self.store.read();
+        Ok(self.vs.read_body(&mut tx, Vid(ver), TAG)?)
+    }
+
+    fn update_current(&mut self, obj: u64, body: &[u8]) -> ModelResult<()> {
+        let mut tx = self.store.begin();
+        let vid = self.vs.latest(&mut tx, Oid(obj))?;
+        self.vs.write_body(&mut tx, vid, TAG, body.to_vec())?;
+        tx.commit()?;
+        Ok(())
+    }
+
+    fn new_version(&mut self, obj: u64) -> ModelResult<u64> {
+        let mut tx = self.store.begin();
+        let vid = self.vs.new_version_of(&mut tx, Oid(obj))?;
+        tx.commit()?;
+        Ok(vid.0)
+    }
+
+    fn new_version_from(&mut self, _obj: u64, ver: u64) -> ModelResult<BranchOutcome> {
+        let mut tx = self.store.begin();
+        let vid = self.vs.new_version_from(&mut tx, Vid(ver))?;
+        tx.commit()?;
+        Ok(BranchOutcome::Version(vid.0))
+    }
+
+    fn delete_object(&mut self, obj: u64) -> ModelResult<()> {
+        let mut tx = self.store.begin();
+        self.vs.delete_object(&mut tx, Oid(obj))?;
+        tx.commit()?;
+        Ok(())
+    }
+
+    fn version_count(&mut self, obj: u64) -> ModelResult<u64> {
+        let mut tx = self.store.read();
+        Ok(self.vs.version_count(&mut tx, Oid(obj))?)
+    }
+}

@@ -1,0 +1,300 @@
+//! ORION-style versioning (with the IRIS transformation for previously
+//! unversioned objects).
+//!
+//! Two properties from §3/§7 distinguish ORION from Ode:
+//!
+//! 1. **No version orthogonality** — "only objects of types declared to
+//!    be versionable can be versioned."  Here, objects created with
+//!    [`VersionModel::create_unversioned`] are plain records; calling
+//!    [`VersionModel::new_version`] on them fails until the IRIS-style
+//!    [`VersionModel::make_versionable`] *transformation* copies them
+//!    into the versioned representation.
+//! 2. **Generic object headers** — "an object id does not refer to a
+//!    generic object header as in [ORION/IRIS]" (Ode's design note).
+//!    Here every reference to a versionable object resolves through a
+//!    header record listing its version descriptors, i.e. one extra
+//!    record fetch per access and a header rewrite (growing with the
+//!    version count) per derivation.
+
+use std::path::Path;
+
+use ode_codec::impl_persist_struct;
+use ode_object::{IdAllocator, KvTable, ObjectHeap};
+use ode_storage::heap::RecordId;
+use ode_storage::{PageRead, PageWrite, Store, StoreOptions};
+
+use crate::model::{BranchOutcome, ModelError, ModelResult, VersionModel};
+
+/// The generic object header every versionable reference goes through.
+#[derive(Debug, Clone, PartialEq)]
+struct OrionHeader {
+    /// Version descriptors (every version ever derived), newest last.
+    versions: Vec<u64>,
+    /// The default version a generic reference binds to.
+    default: u64,
+}
+impl_persist_struct!(OrionHeader { versions, default });
+
+#[derive(Debug, Clone, PartialEq)]
+struct OrionVersion {
+    parent: u64,
+    body: Vec<u8>,
+}
+impl_persist_struct!(OrionVersion { parent, body });
+
+/// Object-table value tagging: even = unversioned record, odd =
+/// versionable header. Encoded in the low bit of a shifted record id.
+const KIND_PLAIN: u64 = 0;
+const KIND_VERSIONED: u64 = 1;
+
+/// The ORION/IRIS comparator model.
+pub struct OrionModel {
+    store: Store,
+    objects: KvTable,
+    versions: KvTable,
+    heap: ObjectHeap,
+    oids: IdAllocator,
+    vids: IdAllocator,
+}
+
+impl OrionModel {
+    /// Create a fresh model store (fsync disabled: benchmark preset).
+    pub fn create(path: &Path) -> ModelResult<OrionModel> {
+        let store = Store::create(
+            path,
+            StoreOptions {
+                sync_on_commit: false,
+                ..StoreOptions::default()
+            },
+        )?;
+        Ok(OrionModel {
+            store,
+            objects: KvTable::new(0),
+            versions: KvTable::new(1),
+            heap: ObjectHeap::new(2),
+            oids: IdAllocator::new(3),
+            vids: IdAllocator::new(4),
+        })
+    }
+
+    fn entry(&self, tx: &mut impl PageRead, obj: u64) -> ModelResult<(u64, RecordId)> {
+        let raw = self.objects.get(tx, obj)?.ok_or(ModelError::NotFound)?;
+        Ok((raw & 1, RecordId::from_u64(raw >> 1)))
+    }
+
+    fn set_entry(
+        &self,
+        tx: &mut impl PageWrite,
+        obj: u64,
+        kind: u64,
+        rid: RecordId,
+    ) -> ModelResult<()> {
+        self.objects.put(tx, obj, (rid.to_u64() << 1) | kind)?;
+        Ok(())
+    }
+
+    fn load_header(&self, tx: &mut impl PageRead, obj: u64) -> ModelResult<OrionHeader> {
+        let (kind, rid) = self.entry(tx, obj)?;
+        if kind != KIND_VERSIONED {
+            return Err(ModelError::Unsupported(
+                "object was not declared versionable",
+            ));
+        }
+        Ok(self.heap.load(tx, rid)?)
+    }
+
+    fn save_header(
+        &self,
+        tx: &mut impl PageWrite,
+        obj: u64,
+        header: &OrionHeader,
+    ) -> ModelResult<()> {
+        let (kind, rid) = self.entry(tx, obj)?;
+        debug_assert_eq!(kind, KIND_VERSIONED);
+        let new = self.heap.replace(tx, rid, header)?;
+        self.set_entry(tx, obj, KIND_VERSIONED, new)?;
+        Ok(())
+    }
+
+    fn load_version(&self, tx: &mut impl PageRead, ver: u64) -> ModelResult<OrionVersion> {
+        let rid = self.versions.get(tx, ver)?.ok_or(ModelError::NotFound)?;
+        Ok(self.heap.load(tx, RecordId::from_u64(rid))?)
+    }
+
+    fn store_version(
+        &self,
+        tx: &mut impl PageWrite,
+        ver: u64,
+        v: &OrionVersion,
+    ) -> ModelResult<()> {
+        match self.versions.get(tx, ver)? {
+            Some(rid) => {
+                let new = self.heap.replace(tx, RecordId::from_u64(rid), v)?;
+                if new.to_u64() != rid {
+                    self.versions.put(tx, ver, new.to_u64())?;
+                }
+            }
+            None => {
+                let rid = self.heap.store(tx, v)?;
+                self.versions.put(tx, ver, rid.to_u64())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl VersionModel for OrionModel {
+    fn name(&self) -> &'static str {
+        "orion"
+    }
+
+    fn create(&mut self, body: &[u8]) -> ModelResult<u64> {
+        let mut tx = self.store.begin();
+        let obj = self.oids.next(&mut tx)?;
+        let ver = self.vids.next(&mut tx)?;
+        self.store_version(
+            &mut tx,
+            ver,
+            &OrionVersion {
+                parent: 0,
+                body: body.to_vec(),
+            },
+        )?;
+        let header = OrionHeader {
+            versions: vec![ver],
+            default: ver,
+        };
+        let rid = self.heap.store(&mut tx, &header)?;
+        self.set_entry(&mut tx, obj, KIND_VERSIONED, rid)?;
+        tx.commit()?;
+        Ok(obj)
+    }
+
+    fn create_unversioned(&mut self, body: &[u8]) -> ModelResult<u64> {
+        let mut tx = self.store.begin();
+        let obj = self.oids.next(&mut tx)?;
+        let rid = self.heap.insert_raw(&mut tx, body)?;
+        self.set_entry(&mut tx, obj, KIND_PLAIN, rid)?;
+        tx.commit()?;
+        Ok(obj)
+    }
+
+    fn make_versionable(&mut self, obj: u64) -> ModelResult<()> {
+        let mut tx = self.store.begin();
+        let (kind, rid) = self.entry(&mut tx, obj)?;
+        if kind == KIND_VERSIONED {
+            tx.commit()?;
+            return Ok(());
+        }
+        // IRIS transformation: copy the plain record into the versioned
+        // representation.
+        let body = self.heap.load_bytes(&mut tx, rid)?;
+        self.heap.delete(&mut tx, rid)?;
+        let ver = self.vids.next(&mut tx)?;
+        self.store_version(&mut tx, ver, &OrionVersion { parent: 0, body })?;
+        let header = OrionHeader {
+            versions: vec![ver],
+            default: ver,
+        };
+        let hrid = self.heap.store(&mut tx, &header)?;
+        self.set_entry(&mut tx, obj, KIND_VERSIONED, hrid)?;
+        tx.commit()?;
+        Ok(())
+    }
+
+    fn read_current(&mut self, obj: u64) -> ModelResult<Vec<u8>> {
+        let mut tx = self.store.read();
+        let (kind, rid) = self.entry(&mut tx, obj)?;
+        if kind == KIND_PLAIN {
+            return Ok(self.heap.load_bytes(&mut tx, rid)?);
+        }
+        // The extra hop: header record, then version record.
+        let header: OrionHeader = self.heap.load(&mut tx, rid)?;
+        Ok(self.load_version(&mut tx, header.default)?.body)
+    }
+
+    fn current_version(&mut self, obj: u64) -> ModelResult<u64> {
+        let mut tx = self.store.read();
+        Ok(self.load_header(&mut tx, obj)?.default)
+    }
+
+    fn read_version(&mut self, _obj: u64, ver: u64) -> ModelResult<Vec<u8>> {
+        let mut tx = self.store.read();
+        Ok(self.load_version(&mut tx, ver)?.body)
+    }
+
+    fn update_current(&mut self, obj: u64, body: &[u8]) -> ModelResult<()> {
+        let mut tx = self.store.begin();
+        let (kind, rid) = self.entry(&mut tx, obj)?;
+        if kind == KIND_PLAIN {
+            let new = self.heap.replace_raw(&mut tx, rid, body)?;
+            self.set_entry(&mut tx, obj, KIND_PLAIN, new)?;
+            tx.commit()?;
+            return Ok(());
+        }
+        let header: OrionHeader = self.heap.load(&mut tx, rid)?;
+        let mut v = self.load_version(&mut tx, header.default)?;
+        v.body = body.to_vec();
+        self.store_version(&mut tx, header.default, &v)?;
+        tx.commit()?;
+        Ok(())
+    }
+
+    fn new_version(&mut self, obj: u64) -> ModelResult<u64> {
+        let default = self.current_version(obj)?;
+        match self.new_version_from(obj, default)? {
+            BranchOutcome::Version(v) => Ok(v),
+            BranchOutcome::NewObject(_) => unreachable!("orion branches in place"),
+        }
+    }
+
+    fn new_version_from(&mut self, obj: u64, ver: u64) -> ModelResult<BranchOutcome> {
+        let mut tx = self.store.begin();
+        let mut header = self.load_header(&mut tx, obj)?;
+        if !header.versions.contains(&ver) {
+            return Err(ModelError::NotFound);
+        }
+        let base = self.load_version(&mut tx, ver)?;
+        let new_ver = self.vids.next(&mut tx)?;
+        self.store_version(
+            &mut tx,
+            new_ver,
+            &OrionVersion {
+                parent: ver,
+                body: base.body,
+            },
+        )?;
+        // Header rewrite grows with the descriptor list.
+        header.versions.push(new_ver);
+        header.default = new_ver;
+        self.save_header(&mut tx, obj, &header)?;
+        tx.commit()?;
+        Ok(BranchOutcome::Version(new_ver))
+    }
+
+    fn delete_object(&mut self, obj: u64) -> ModelResult<()> {
+        let mut tx = self.store.begin();
+        let (kind, rid) = self.entry(&mut tx, obj)?;
+        if kind == KIND_VERSIONED {
+            let header: OrionHeader = self.heap.load(&mut tx, rid)?;
+            for ver in header.versions {
+                if let Some(vrid) = self.versions.remove(&mut tx, ver)? {
+                    self.heap.delete(&mut tx, RecordId::from_u64(vrid))?;
+                }
+            }
+        }
+        self.heap.delete(&mut tx, rid)?;
+        self.objects.remove(&mut tx, obj)?;
+        tx.commit()?;
+        Ok(())
+    }
+
+    fn version_count(&mut self, obj: u64) -> ModelResult<u64> {
+        let mut tx = self.store.read();
+        let (kind, _) = self.entry(&mut tx, obj)?;
+        if kind == KIND_PLAIN {
+            return Ok(1);
+        }
+        Ok(self.load_header(&mut tx, obj)?.versions.len() as u64)
+    }
+}

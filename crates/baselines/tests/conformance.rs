@@ -1,0 +1,202 @@
+//! Conformance: every model supports the common scenario identically
+//! where semantics overlap, and diverges exactly where the paper says
+//! they diverge (branching, orthogonality).
+
+use ode_baselines::{
+    all_models, BranchOutcome, DeltaModel, HbeModel, LinearModel, ModelError, OdeModel, OrionModel,
+    VersionModel,
+};
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ode-baseline-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The shared linear lifecycle every model must handle identically.
+fn linear_lifecycle(model: &mut dyn VersionModel) {
+    let name = model.name();
+    let obj = model.create(b"v0").unwrap();
+    assert_eq!(model.read_current(obj).unwrap(), b"v0", "{name}");
+    assert_eq!(model.version_count(obj).unwrap(), 1, "{name}");
+
+    let v0 = model.current_version(obj).unwrap();
+    let v1 = model.new_version(obj).unwrap();
+    assert_ne!(v0, v1, "{name}");
+    // New version starts as a copy; updating it leaves v0 intact.
+    model.update_current(obj, b"v1-edited").unwrap();
+    assert_eq!(model.read_current(obj).unwrap(), b"v1-edited", "{name}");
+    assert_eq!(model.read_version(obj, v0).unwrap(), b"v0", "{name}");
+    assert_eq!(model.version_count(obj).unwrap(), 2, "{name}");
+
+    // Tip derivation is always an in-place version.
+    let tip = model.current_version(obj).unwrap();
+    match model.new_version_from(obj, tip).unwrap() {
+        BranchOutcome::Version(v) => assert_ne!(v, tip, "{name}"),
+        BranchOutcome::NewObject(_) => panic!("{name}: tip derivation must not copy"),
+    }
+    assert_eq!(model.version_count(obj).unwrap(), 3, "{name}");
+
+    model.delete_object(obj).unwrap();
+    assert!(model.read_current(obj).is_err(), "{name}");
+}
+
+#[test]
+fn all_models_pass_linear_lifecycle() {
+    let dir = temp_dir("lifecycle");
+    for mut model in all_models(&dir) {
+        linear_lifecycle(model.as_mut());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn branching_diverges_as_documented() {
+    let dir = temp_dir("branching");
+
+    // Tree models branch in place.
+    let mut ode = OdeModel::create(&dir.join("o.db")).unwrap();
+    let obj = ode.create(b"v0").unwrap();
+    let v0 = ode.current_version(obj).unwrap();
+    ode.new_version(obj).unwrap();
+    match ode.new_version_from(obj, v0).unwrap() {
+        BranchOutcome::Version(_) => {}
+        BranchOutcome::NewObject(_) => panic!("ode must branch in place"),
+    }
+    assert_eq!(ode.version_count(obj).unwrap(), 3);
+
+    let mut hbe = HbeModel::create(&dir.join("h.db")).unwrap();
+    let obj = hbe.create(b"v0").unwrap();
+    let v0 = hbe.current_version(obj).unwrap();
+    hbe.new_version(obj).unwrap();
+    assert!(matches!(
+        hbe.new_version_from(obj, v0).unwrap(),
+        BranchOutcome::Version(_)
+    ));
+
+    let mut orion = OrionModel::create(&dir.join("or.db")).unwrap();
+    let obj = orion.create(b"v0").unwrap();
+    let v0 = orion.current_version(obj).unwrap();
+    orion.new_version(obj).unwrap();
+    assert!(matches!(
+        orion.new_version_from(obj, v0).unwrap(),
+        BranchOutcome::Version(_)
+    ));
+
+    // The delta-chain model is linear too: branching copies.
+    let mut delta = DeltaModel::create(&dir.join("d.db")).unwrap();
+    let obj = delta.create(b"v0").unwrap();
+    let v0 = delta.current_version(obj).unwrap();
+    delta.new_version(obj).unwrap();
+    delta.update_current(obj, b"v1").unwrap();
+    match delta.new_version_from(obj, v0).unwrap() {
+        BranchOutcome::NewObject(copy) => {
+            assert_eq!(delta.read_current(copy).unwrap(), b"v0");
+        }
+        BranchOutcome::Version(_) => panic!("delta chains cannot branch in place"),
+    }
+    // Old versions reconstruct through deltas.
+    assert_eq!(delta.read_version(obj, v0).unwrap(), b"v0");
+    assert_eq!(delta.read_current(obj).unwrap(), b"v1");
+
+    // The linear model must copy the object to branch.
+    let mut linear = LinearModel::create(&dir.join("l.db")).unwrap();
+    let obj = linear.create(b"v0").unwrap();
+    let v0 = linear.current_version(obj).unwrap();
+    linear.new_version(obj).unwrap();
+    linear.update_current(obj, b"v1").unwrap();
+    match linear.new_version_from(obj, v0).unwrap() {
+        BranchOutcome::NewObject(copy) => {
+            // The copy carries v0's state but shares no history.
+            assert_eq!(linear.read_current(copy).unwrap(), b"v0");
+            assert_eq!(linear.version_count(copy).unwrap(), 1);
+            assert_eq!(linear.version_count(obj).unwrap(), 2);
+        }
+        BranchOutcome::Version(_) => panic!("linear histories cannot branch in place"),
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn orthogonality_diverges_as_documented() {
+    let dir = temp_dir("orthogonality");
+
+    // Ode: versioning is orthogonal — create_unversioned is create, and
+    // new_version always works.
+    let mut ode = OdeModel::create(&dir.join("o.db")).unwrap();
+    let obj = ode.create_unversioned(b"plain").unwrap();
+    ode.make_versionable(obj).unwrap(); // no-op
+    ode.new_version(obj).unwrap();
+    assert_eq!(ode.version_count(obj).unwrap(), 2);
+
+    // ORION: an undeclared object cannot be versioned ...
+    let mut orion = OrionModel::create(&dir.join("or.db")).unwrap();
+    let obj = orion.create_unversioned(b"plain").unwrap();
+    assert_eq!(orion.read_current(obj).unwrap(), b"plain");
+    assert!(matches!(
+        orion.new_version(obj),
+        Err(ModelError::Unsupported(_))
+    ));
+    // ... until the IRIS transformation copies it.
+    orion.make_versionable(obj).unwrap();
+    assert_eq!(orion.read_current(obj).unwrap(), b"plain");
+    orion.new_version(obj).unwrap();
+    assert_eq!(orion.version_count(obj).unwrap(), 2);
+    // Transformation is idempotent.
+    orion.make_versionable(obj).unwrap();
+    assert_eq!(orion.version_count(obj).unwrap(), 2);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unversioned_orion_updates_in_place() {
+    let dir = temp_dir("plainupdate");
+    let mut orion = OrionModel::create(&dir.join("or.db")).unwrap();
+    let obj = orion.create_unversioned(b"a").unwrap();
+    orion.update_current(obj, b"bb").unwrap();
+    assert_eq!(orion.read_current(obj).unwrap(), b"bb");
+    assert_eq!(orion.version_count(obj).unwrap(), 1);
+    orion.delete_object(obj).unwrap();
+    assert!(orion.read_current(obj).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hbe_maintains_next_previous_chain() {
+    let dir = temp_dir("hbechain");
+    let mut hbe = HbeModel::create(&dir.join("h.db")).unwrap();
+    let obj = hbe.create(b"s0").unwrap();
+    let v0 = hbe.current_version(obj).unwrap();
+    let v1 = hbe.new_version(obj).unwrap();
+    let v2 = hbe.new_version(obj).unwrap();
+    // Version sequence membership and currency.
+    assert_eq!(hbe.version_count(obj).unwrap(), 3);
+    assert_eq!(hbe.current_version(obj).unwrap(), v2);
+    // Reading any member works.
+    for v in [v0, v1, v2] {
+        assert_eq!(hbe.read_version(obj, v).unwrap(), b"s0");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deep_histories_supported_by_all() {
+    let dir = temp_dir("deep");
+    for mut model in all_models(&dir) {
+        let obj = model.create(&vec![7u8; 256]).unwrap();
+        for _ in 0..100 {
+            model.new_version(obj).unwrap();
+        }
+        assert_eq!(model.version_count(obj).unwrap(), 101, "{}", model.name());
+        assert_eq!(
+            model.read_current(obj).unwrap(),
+            vec![7u8; 256],
+            "{}",
+            model.name()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,169 @@
+//! Ablations over the implementation's own design choices (DESIGN.md §8
+//! tail): B+-tree fanout, buffer-pool size, and delta block size.
+
+use bench::{Blob, TempDir};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ode::{Database, DatabaseOptions};
+use ode_delta::{apply, diff_with_block};
+use ode_storage::btree::BTree;
+use ode_storage::{Store, StoreOptions};
+use std::time::Duration;
+
+fn bench_btree_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_btree_fanout");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    for cap in [8usize, 32, 128, 254] {
+        group.bench_function(BenchmarkId::new("insert-10k", cap), |b| {
+            b.iter_with_large_drop(|| {
+                let dir = TempDir::new("ab-bt");
+                let store = Store::create(
+                    dir.file("db"),
+                    StoreOptions {
+                        sync_on_commit: false,
+                        ..StoreOptions::default()
+                    },
+                )
+                .unwrap();
+                {
+                    let mut tx = store.begin();
+                    let mut tree = BTree::create(&mut tx).unwrap().with_caps(cap, cap);
+                    for k in 0..10_000u64 {
+                        tree.insert(&mut tx, k.wrapping_mul(0x9E37_79B9), k)
+                            .unwrap();
+                    }
+                    tx.commit().unwrap();
+                }
+                (store, dir)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_buffer_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_buffer_pool");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    for pool_pages in [16usize, 128, 1024] {
+        let dir = TempDir::new("ab-pool");
+        let options = DatabaseOptions {
+            storage: StoreOptions {
+                sync_on_commit: false,
+                buffer_pages: pool_pages,
+                ..StoreOptions::default()
+            },
+        };
+        let db = Database::create(dir.file("db"), options).unwrap();
+        let ptrs: Vec<_> = {
+            let mut txn = db.begin();
+            let ptrs: Vec<_> = (0..500)
+                .map(|i| txn.pnew(&Blob::of_size(i, 2048)).unwrap())
+                .collect();
+            txn.commit().unwrap();
+            ptrs
+        };
+        db.checkpoint().unwrap();
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::new("scattered-reads", pool_pages), |b| {
+            b.iter(|| {
+                // Stride through the population to defeat small pools.
+                i = (i + 97) % ptrs.len();
+                let mut snap = db.snapshot();
+                snap.deref(&ptrs[i]).unwrap()
+            })
+        });
+        let stats = db.buffer_stats();
+        eprintln!(
+            "ablation_buffer_pool: pages={pool_pages} hits={} misses={} evictions={}",
+            stats.hits, stats.misses, stats.evictions
+        );
+    }
+    group.finish();
+}
+
+fn bench_delta_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_delta_block");
+    group.sample_size(15);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    let size = 16 * 1024;
+    let base: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+    let mut target = base.clone();
+    for k in 0..160 {
+        let idx = (k * 101) % size;
+        target[idx] ^= 0x5A;
+    }
+    eprintln!("\nablation_delta_block: delta size by block size (16 KiB object, 160 edits)");
+    for block in [8usize, 32, 128, 512] {
+        let d = diff_with_block(&base, &target, block);
+        eprintln!(
+            "  block={block:<5} encoded={:<8} literals={}",
+            d.encoded_size(),
+            d.literal_bytes()
+        );
+        group.bench_function(BenchmarkId::new("diff", block), |b| {
+            b.iter(|| diff_with_block(&base, &target, block))
+        });
+        group.bench_function(BenchmarkId::new("apply", block), |b| {
+            b.iter(|| apply(&base, &d).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_wal_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_wal_mode");
+    group.sample_size(15);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+    eprintln!("\nablation_wal_mode: WAL bytes per small-update commit");
+    for (label, deltas) in [("delta-records", true), ("full-images", false)] {
+        let dir = TempDir::new("ab-wal");
+        let options = DatabaseOptions {
+            storage: StoreOptions {
+                sync_on_commit: false,
+                wal_deltas: deltas,
+                ..StoreOptions::default()
+            },
+        };
+        let db = Database::create(dir.file("db"), options).unwrap();
+        let ptr = {
+            let mut txn = db.begin();
+            let p = txn.pnew(&Blob::of_size(1, 1024)).unwrap();
+            txn.commit().unwrap();
+            p
+        };
+        // Measure WAL growth across a burst of small updates.
+        let before = db.wal_len();
+        for _ in 0..32 {
+            let mut txn = db.begin();
+            txn.update(&ptr, |b| b.id = b.id.wrapping_add(1)).unwrap();
+            txn.commit().unwrap();
+        }
+        eprintln!(
+            "  {label:<14} {} bytes / commit",
+            (db.wal_len() - before) / 32
+        );
+        group.bench_function(BenchmarkId::new("small-update-commit", label), |b| {
+            b.iter(|| {
+                let mut txn = db.begin();
+                txn.update(&ptr, |blob| blob.id = blob.id.wrapping_add(1))
+                    .unwrap();
+                txn.commit().unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_btree_fanout,
+    bench_buffer_pool,
+    bench_delta_block,
+    bench_wal_mode
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! E10 — Configurations: static vs. dynamic binding (§5).
+//!
+//! A representation built from dynamic bindings follows component
+//! evolution automatically (one extra latest-lookup per resolve); a
+//! frozen/static one pins versions (direct version fetch).  Series:
+//! resolve cost for both binding kinds as components evolve, and the
+//! freeze cost as a function of component count.
+
+use bench::{bench_db, Blob, TempDir};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ode_policies::config::ConfigHandle;
+use std::time::Duration;
+
+fn bench_configs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_configs");
+    group.sample_size(15);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    // Resolve cost: static vs dynamic, with evolved components.
+    {
+        let dir = TempDir::new("e10-resolve");
+        let db = bench_db(&dir, "db");
+        let mut txn = db.begin();
+        let part = txn.pnew(&Blob::of_size(1, 512)).unwrap();
+        let v0 = txn.current_version(&part).unwrap();
+        for _ in 0..64 {
+            txn.newversion(&part).unwrap();
+        }
+        let cfg = ConfigHandle::create(&mut txn, "rep").unwrap();
+        cfg.bind_static(&mut txn, "pinned", v0).unwrap();
+        cfg.bind_dynamic(&mut txn, "live", part).unwrap();
+        txn.commit().unwrap();
+
+        group.bench_function(BenchmarkId::new("resolve", "static"), |b| {
+            b.iter(|| {
+                let mut snap = db.snapshot();
+                cfg.resolve_in::<Blob>(&mut snap, "pinned").unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("resolve", "dynamic"), |b| {
+            b.iter(|| {
+                let mut snap = db.snapshot();
+                cfg.resolve_in::<Blob>(&mut snap, "live").unwrap()
+            })
+        });
+    }
+
+    // Freeze cost by component count.
+    for components in [4usize, 32, 128] {
+        let dir = TempDir::new("e10-freeze");
+        let db = bench_db(&dir, "db");
+        let cfg = {
+            let mut txn = db.begin();
+            let cfg = ConfigHandle::create(&mut txn, "rep").unwrap();
+            for i in 0..components {
+                let part = txn.pnew(&Blob::of_size(i as u64, 128)).unwrap();
+                cfg.bind_dynamic(&mut txn, &format!("part-{i}"), part)
+                    .unwrap();
+            }
+            txn.commit().unwrap();
+            cfg
+        };
+        group.bench_function(BenchmarkId::new("freeze", components), |b| {
+            b.iter(|| {
+                let mut txn = db.begin();
+                cfg.freeze(&mut txn).unwrap();
+                txn.commit().unwrap();
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_configs);
+criterion_main!(benches);

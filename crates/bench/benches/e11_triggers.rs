@@ -1,0 +1,52 @@
+//! E11 — Trigger (change-notification) overhead is opt-in.
+//!
+//! Claim (§2): Ode ships triggers instead of a built-in notification
+//! facility, so programs that don't use notification pay nothing.
+//! Series: update throughput with 0 / 1 / 16 / 64 registered triggers
+//! on the updated object.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bench::{bench_db, Blob, TempDir};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_triggers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_triggers");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    for triggers in [0usize, 1, 16, 64] {
+        let dir = TempDir::new("e11");
+        let db = bench_db(&dir, "db");
+        let part = {
+            let mut txn = db.begin();
+            let p = txn.pnew(&Blob::of_size(1, 256)).unwrap();
+            txn.commit().unwrap();
+            p
+        };
+        let fired = Arc::new(AtomicU64::new(0));
+        for _ in 0..triggers {
+            let f = Arc::clone(&fired);
+            db.on_object(part, move |_| {
+                f.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(db.trigger_count(part), triggers);
+
+        group.bench_function(BenchmarkId::new("update-commit", triggers), |b| {
+            b.iter(|| {
+                let mut txn = db.begin();
+                txn.update(&part, |blob| blob.id = blob.id.wrapping_add(1))
+                    .unwrap();
+                txn.commit().unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_triggers);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E12 — Version-history queries vs. history length (§4.4/§4.5).
+//!
+//! `version_history` walks the temporal chain (linear in length);
+//! `derivation_leaves` additionally inspects each version's children
+//! list; `version_count` is O(1) (stored on the object record).
+//! Series: histories of 10 – 10 000 versions.
+
+use bench::{bench_db, Blob, TempDir};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_history(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_history");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    for len in [10usize, 100, 1000, 10_000] {
+        let dir = TempDir::new("e12");
+        let db = bench_db(&dir, "db");
+        let ptr = {
+            let mut txn = db.begin();
+            let ptr = txn.pnew(&Blob::of_size(0, 64)).unwrap();
+            for i in 1..len {
+                if i % 5 == 0 {
+                    // Sprinkle alternatives so leaves > 1.
+                    let history = txn.version_history(&ptr).unwrap();
+                    let base = history[history.len() / 2];
+                    txn.newversion_from(&base).unwrap();
+                } else {
+                    txn.newversion(&ptr).unwrap();
+                }
+            }
+            txn.commit().unwrap();
+            ptr
+        };
+
+        group.bench_function(BenchmarkId::new("version-history-scan", len), |b| {
+            b.iter(|| {
+                let mut snap = db.snapshot();
+                let h = snap.version_history(&ptr).unwrap();
+                assert_eq!(h.len(), len);
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("derivation-leaves", len), |b| {
+            b.iter(|| {
+                let mut snap = db.snapshot();
+                snap.derivation_leaves(&ptr).unwrap()
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("version-count-O1", len), |b| {
+            b.iter(|| {
+                let mut snap = db.snapshot();
+                assert_eq!(snap.version_count(&ptr).unwrap(), len as u64);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_history);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! E1 — Version orthogonality is pay-as-you-go.
+//!
+//! Claim (§2/§3): in Ode, an object that never uses versions costs no
+//! more than in a system without versioning, whereas ORION-style
+//! designs route *every* reference through a generic object header
+//! (one extra record fetch), and IRIS additionally charges a copying
+//! transformation the first time an old object is versioned.
+//!
+//! Series: create / read / update of single-version objects under the
+//! Ode model vs. the Orion model (versionable and unversioned
+//! variants), plus the one-off IRIS transformation cost.
+
+use bench::TempDir;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ode_baselines::{OdeModel, OrionModel, VersionModel};
+use std::time::Duration;
+
+const BODY: &[u8] = &[7u8; 256];
+
+fn with_objects(model: &mut dyn VersionModel, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|_| model.create(BODY).expect("create"))
+        .collect()
+}
+
+fn bench_orthogonality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_orthogonality");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    // -- create -------------------------------------------------------------
+    let dir = TempDir::new("e1-create");
+    let mut ode = OdeModel::create(&dir.file("ode.db")).unwrap();
+    let mut orion = OrionModel::create(&dir.file("orion.db")).unwrap();
+    group.bench_function(BenchmarkId::new("create", "ode"), |b| {
+        b.iter(|| ode.create(BODY).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("create", "orion-versionable"), |b| {
+        b.iter(|| orion.create(BODY).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("create", "orion-unversioned"), |b| {
+        b.iter(|| orion.create_unversioned(BODY).unwrap())
+    });
+    drop((ode, orion, dir));
+
+    // -- read (the steady-state cost the claim is about) --------------------
+    let dir = TempDir::new("e1-read");
+    let mut ode = OdeModel::create(&dir.file("ode.db")).unwrap();
+    let mut orion = OrionModel::create(&dir.file("orion.db")).unwrap();
+    let ode_objs = with_objects(&mut ode, 256);
+    let orion_objs = with_objects(&mut orion, 256);
+    let orion_plain: Vec<u64> = (0..256)
+        .map(|_| orion.create_unversioned(BODY).unwrap())
+        .collect();
+    let mut i = 0usize;
+    group.bench_function(BenchmarkId::new("read", "ode"), |b| {
+        b.iter(|| {
+            i = (i + 1) % ode_objs.len();
+            ode.read_current(ode_objs[i]).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("read", "orion-header-indirect"), |b| {
+        b.iter(|| {
+            i = (i + 1) % orion_objs.len();
+            orion.read_current(orion_objs[i]).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("read", "orion-unversioned"), |b| {
+        b.iter(|| {
+            i = (i + 1) % orion_plain.len();
+            orion.read_current(orion_plain[i]).unwrap()
+        })
+    });
+
+    // -- update -------------------------------------------------------------
+    group.bench_function(BenchmarkId::new("update", "ode"), |b| {
+        b.iter(|| {
+            i = (i + 1) % ode_objs.len();
+            ode.update_current(ode_objs[i], BODY).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("update", "orion-header-indirect"), |b| {
+        b.iter(|| {
+            i = (i + 1) % orion_objs.len();
+            orion.update_current(orion_objs[i], BODY).unwrap()
+        })
+    });
+
+    // -- the IRIS transformation (what orthogonality avoids) ----------------
+    group.bench_function(BenchmarkId::new("first-versioning", "ode-free"), |b| {
+        b.iter(|| {
+            // Ode: versioning an old object is just newversion.
+            let obj = ode.create(BODY).unwrap();
+            ode.new_version(obj).unwrap()
+        })
+    });
+    group.bench_function(
+        BenchmarkId::new("first-versioning", "iris-transformation"),
+        |b| {
+            b.iter(|| {
+                let obj = orion.create_unversioned(BODY).unwrap();
+                orion.make_versionable(obj).unwrap();
+                orion.new_version(obj).unwrap()
+            })
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_orthogonality);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E2 — Generic vs. specific reference cost.
+//!
+//! Claim (§3): resolving an object id to the latest version is a single
+//! extra table hop, independent of how many versions the object has —
+//! there is no generic-header chain to walk.  Series: `deref`
+//! (ObjPtr, late binding) vs `deref_v` (VersionPtr, early binding)
+//! across history lengths 1, 16, 256 and 1024.
+
+use bench::{bench_db, Blob, TempDir};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_references(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_references");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    for history in [1usize, 16, 256, 1024] {
+        let dir = TempDir::new("e2");
+        let db = bench_db(&dir, "db");
+        let (ptr, pinned) = {
+            let mut txn = db.begin();
+            let ptr = txn.pnew(&Blob::of_size(1, 256)).unwrap();
+            for _ in 1..history {
+                txn.newversion(&ptr).unwrap();
+            }
+            let pinned = txn.current_version(&ptr).unwrap();
+            txn.commit().unwrap();
+            (ptr, pinned)
+        };
+
+        group.bench_function(BenchmarkId::new("generic-objptr", history), |b| {
+            b.iter(|| {
+                let mut snap = db.snapshot();
+                snap.deref(&ptr).unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("specific-versionptr", history), |b| {
+            b.iter(|| {
+                let mut snap = db.snapshot();
+                snap.deref_v(&pinned).unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("pin-current-version", history), |b| {
+            b.iter(|| {
+                let mut snap = db.snapshot();
+                snap.current_version(&ptr).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_references);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E3 — `newversion` cost scales with object size, not history length.
+//!
+//! Claim (§4.2): deriving a version copies the base state and splices a
+//! constant number of graph links; nothing touches the rest of the
+//! history.  Contrast series: the ENCORE (HBE) model rewrites its
+//! Version-Set record on every derivation, so *its* cost grows with
+//! history length.
+//!
+//! Series: newversion across object sizes 64 B – 64 KiB at fixed
+//! history, and across histories 1 – 1024 at fixed size, for Ode and
+//! HBE.
+
+use bench::TempDir;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ode_baselines::{HbeModel, OdeModel, VersionModel};
+use std::time::Duration;
+
+fn payload(size: usize) -> Vec<u8> {
+    (0..size).map(|i| (i % 251) as u8).collect()
+}
+
+fn bench_newversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_newversion");
+    group.sample_size(15);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    // Sweep object size at history length 1.
+    for size in [64usize, 1024, 16 * 1024, 64 * 1024] {
+        let dir = TempDir::new("e3-size");
+        let mut ode = OdeModel::create(&dir.file("ode.db")).unwrap();
+        let obj = ode.create(&payload(size)).unwrap();
+        group.bench_function(BenchmarkId::new("ode-by-size", size), |b| {
+            b.iter(|| ode.new_version(obj).unwrap())
+        });
+    }
+
+    // Sweep pre-existing history length at fixed 1 KiB size.
+    for history in [1usize, 64, 256, 1024] {
+        let dir = TempDir::new("e3-hist");
+        let mut ode = OdeModel::create(&dir.file("ode.db")).unwrap();
+        let obj = ode.create(&payload(1024)).unwrap();
+        for _ in 1..history {
+            ode.new_version(obj).unwrap();
+        }
+        group.bench_function(BenchmarkId::new("ode-by-history", history), |b| {
+            b.iter(|| ode.new_version(obj).unwrap())
+        });
+
+        let mut hbe = HbeModel::create(&dir.file("hbe.db")).unwrap();
+        let hobj = hbe.create(&payload(1024)).unwrap();
+        for _ in 1..history {
+            hbe.new_version(hobj).unwrap();
+        }
+        group.bench_function(BenchmarkId::new("hbe-by-history", history), |b| {
+            b.iter(|| hbe.new_version(hobj).unwrap())
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_newversion);
+criterion_main!(benches);

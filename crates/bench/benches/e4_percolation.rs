@@ -1,0 +1,67 @@
+//! E4 — "Small changes should have small impact": percolation cost.
+//!
+//! Claim (§2): the paper excludes version percolation from the kernel
+//! because one `newversion` could trigger "the automatic creation of a
+//! large number of versions of other objects".  We measure exactly
+//! that: versioning one leaf of a composite design with percolation OFF
+//! (Ode's default) vs. percolation ON (the policy), across composite
+//! fan-outs.  The OFF series must stay flat; the ON series grows with
+//! the ancestor count.
+
+use bench::{bench_db, Blob, TempDir};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ode::{Database, ObjPtr};
+use ode_policies::percolate::RegistryHandle;
+use std::time::Duration;
+
+/// Build a linear composite chain: leaf ← c1 ← c2 ← … ← c_fanout.
+fn build_composite(db: &Database, fanout: usize) -> (ObjPtr<Blob>, RegistryHandle) {
+    let mut txn = db.begin();
+    let leaf = txn.pnew(&Blob::of_size(0, 128)).unwrap();
+    let reg = RegistryHandle::create(&mut txn).unwrap();
+    let mut child = leaf;
+    for i in 0..fanout {
+        let parent = txn.pnew(&Blob::of_size(i as u64 + 1, 128)).unwrap();
+        reg.add_edge(&mut txn, parent, child).unwrap();
+        child = parent;
+    }
+    txn.commit().unwrap();
+    (leaf, reg)
+}
+
+fn bench_percolation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_percolation");
+    group.sample_size(15);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    for fanout in [1usize, 16, 64, 256] {
+        let dir = TempDir::new("e4");
+        let db = bench_db(&dir, "db");
+        let (leaf, reg) = build_composite(&db, fanout);
+
+        // Ode default: version the leaf only; ancestors untouched.
+        group.bench_function(BenchmarkId::new("off-ode-default", fanout), |b| {
+            b.iter(|| {
+                let mut txn = db.begin();
+                txn.newversion(&leaf).unwrap();
+                txn.commit().unwrap();
+            })
+        });
+
+        // Percolation policy: version the leaf, then every ancestor.
+        group.bench_function(BenchmarkId::new("on-percolate", fanout), |b| {
+            b.iter(|| {
+                let mut txn = db.begin();
+                txn.newversion(&leaf).unwrap();
+                let created = reg.percolate(&mut txn, leaf).unwrap();
+                assert_eq!(created.len(), fanout);
+                txn.commit().unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_percolation);
+criterion_main!(benches);

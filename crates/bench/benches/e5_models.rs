@@ -1,0 +1,118 @@
+//! E5 — Version models under branching design workloads.
+//!
+//! Claim (§2, §7): linear version models (GemStone/POSTGRES) "are
+//! inadequate for design databases" — alternatives force whole-object
+//! copies, whose cost grows with the alternative ratio, while tree
+//! models pay a constant per-derivation price.  We replay identical
+//! design-evolution traces (alternative ratio 0, 0.2, 0.5) through all
+//! four models and report whole-trace time plus the number of extra
+//! objects the linear model had to mint.
+
+use std::collections::HashMap;
+
+use bench::TempDir;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ode_baselines::{all_models, BranchOutcome, VersionModel};
+use ode_workloads::{DesignOp, DesignTrace, DesignTraceConfig};
+use std::time::Duration;
+
+/// Replay a trace; returns the number of extra objects created by
+/// forced copies (tree models: 0).
+fn replay(model: &mut dyn VersionModel, trace: &DesignTrace) -> usize {
+    // Trace-local object index → backend handle; per object, the list
+    // of backend version handles in creation order.
+    let mut objs: Vec<u64> = Vec::new();
+    let mut vers: Vec<Vec<u64>> = Vec::new();
+    let mut copies = 0usize;
+    for op in &trace.ops {
+        match op {
+            DesignOp::Create { payload } => {
+                let obj = model.create(payload).expect("create");
+                objs.push(obj);
+                vers.push(vec![model.current_version(obj).expect("ver")]);
+            }
+            DesignOp::Revise { obj } => {
+                let v = model.new_version(objs[*obj]).expect("revise");
+                vers[*obj].push(v);
+            }
+            DesignOp::Branch { obj, version } => {
+                match model
+                    .new_version_from(objs[*obj], vers[*obj][*version])
+                    .expect("branch")
+                {
+                    BranchOutcome::Version(v) => vers[*obj].push(v),
+                    BranchOutcome::NewObject(new_obj) => {
+                        // The linear model minted a copy; track it so
+                        // later version indices still resolve.
+                        copies += 1;
+                        let v = model.current_version(new_obj).expect("ver");
+                        vers[*obj].push(v);
+                    }
+                }
+            }
+            DesignOp::Edit { obj, payload } => {
+                model.update_current(objs[*obj], payload).expect("edit");
+            }
+            DesignOp::ReadCurrent { obj } => {
+                model.read_current(objs[*obj]).expect("read");
+            }
+            DesignOp::ReadVersion { obj, version } => {
+                // Version handles may live in a copied object for the
+                // linear model; read_version takes the handle directly.
+                model
+                    .read_version(objs[*obj], vers[*obj][*version])
+                    .expect("readv");
+            }
+        }
+    }
+    copies
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_models");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    let mut copy_report: HashMap<(String, String), usize> = HashMap::new();
+
+    for alt_ratio in [0.0f64, 0.2, 0.5] {
+        let trace = DesignTrace::generate(&DesignTraceConfig {
+            objects: 40,
+            operations: 400,
+            alternative_ratio: alt_ratio,
+            derive_ratio: 0.4,
+            read_ratio: 0.4,
+            seed: 7,
+        });
+        let label = format!("alt={alt_ratio}");
+
+        for model_name in ["ode", "linear", "orion", "hbe", "delta"] {
+            group.bench_function(BenchmarkId::new(model_name, &label), |b| {
+                b.iter_with_large_drop(|| {
+                    let dir = TempDir::new("e5");
+                    let mut models = all_models(dir.path());
+                    let model = models
+                        .iter_mut()
+                        .find(|m| m.name() == model_name)
+                        .expect("model exists");
+                    let copies = replay(model.as_mut(), &trace);
+                    copy_report.insert((model_name.to_string(), label.clone()), copies);
+                    (models, dir)
+                })
+            });
+        }
+    }
+    group.finish();
+
+    // The "who had to copy" table (shape evidence for EXPERIMENTS.md).
+    let mut rows: Vec<_> = copy_report.into_iter().collect();
+    rows.sort();
+    eprintln!("\ne5_models: forced whole-object copies per trace");
+    for ((model, label), copies) in rows {
+        eprintln!("  {model:<8} {label:<10} copies={copies}");
+    }
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! E6 — Traversal primitives are cheap pointer chases.
+//!
+//! Claim (§4.5): `Dprevious`/`Tprevious` walk one stored link per step;
+//! whole-chain walks are linear in depth with a small constant.
+//! Series: per-step cost of each operator, plus full-chain walks at
+//! depths 100 / 1 000 / 10 000.
+
+use bench::{bench_db, Blob, TempDir};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_traversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_traversal");
+    group.sample_size(15);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    for depth in [100usize, 1000, 10_000] {
+        let dir = TempDir::new("e6");
+        let db = bench_db(&dir, "db");
+        let (ptr, tip) = {
+            let mut txn = db.begin();
+            let ptr = txn.pnew(&Blob::of_size(0, 64)).unwrap();
+            let mut tip = txn.current_version(&ptr).unwrap();
+            for _ in 1..depth {
+                tip = txn.newversion_from(&tip).unwrap();
+            }
+            txn.commit().unwrap();
+            (ptr, tip)
+        };
+
+        group.bench_function(BenchmarkId::new("dprevious-step", depth), |b| {
+            b.iter(|| {
+                let mut snap = db.snapshot();
+                snap.dprevious(&tip).unwrap()
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("dprevious-full-walk", depth), |b| {
+            b.iter(|| {
+                let mut snap = db.snapshot();
+                let mut cur = tip;
+                let mut steps = 0usize;
+                while let Some(prev) = snap.dprevious(&cur).unwrap() {
+                    cur = prev;
+                    steps += 1;
+                }
+                assert_eq!(steps, depth - 1);
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("tprevious-full-walk", depth), |b| {
+            b.iter(|| {
+                let mut snap = db.snapshot();
+                let mut cur = tip;
+                let mut steps = 0usize;
+                while let Some(prev) = snap.tprevious(&cur).unwrap() {
+                    cur = prev;
+                    steps += 1;
+                }
+                assert_eq!(steps, depth - 1);
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("derivation-path", depth), |b| {
+            b.iter(|| {
+                let mut snap = db.snapshot();
+                let path = snap.derivation_path(&tip).unwrap();
+                assert_eq!(path.len(), depth);
+            })
+        });
+
+        let _ = ptr;
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_traversal);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! E7 — Delta storage of derived-from chains (§2's SCCS/RCS remark).
+//!
+//! Ode stores versions whole; deltas trade materialization time for
+//! space.  Series: (a) append cost per scheme, (b) materializing the
+//! *latest* version (Ode's hot path) and the *oldest* version, at chain
+//! lengths 4–64; space totals are printed as a table.
+
+use bench::TempDir;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ode_delta::{full_copy_size, ForwardChain, ReverseChain};
+use std::time::Duration;
+
+/// A CAD-like evolution: 8 KiB object, each version edits ~1%.
+fn evolution(n: usize) -> Vec<Vec<u8>> {
+    let size = 8 * 1024;
+    let mut state: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+    let mut out = vec![state.clone()];
+    for step in 1..n {
+        for k in 0..80 {
+            let idx = (step * 97 + k * 53) % size;
+            state[idx] = state[idx].wrapping_add(1);
+        }
+        out.push(state.clone());
+    }
+    out
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_delta");
+    group.sample_size(15);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    eprintln!("\ne7_delta: space (bytes) by scheme and chain length");
+    for len in [4usize, 16, 64] {
+        let versions = evolution(len);
+
+        // Space table.
+        let mut fwd = ForwardChain::new(versions[0].clone());
+        let mut rev = ReverseChain::new(versions[0].clone());
+        for v in &versions[1..] {
+            fwd.push(v).unwrap();
+            rev.push(v);
+        }
+        eprintln!(
+            "  len={len:<4} full-copy={:<9} forward-delta={:<9} reverse-delta={:<9}",
+            full_copy_size(&versions),
+            fwd.encoded_size(),
+            rev.encoded_size()
+        );
+
+        // Append cost.
+        group.bench_function(BenchmarkId::new("append-forward", len), |b| {
+            b.iter_with_large_drop(|| {
+                let mut c = ForwardChain::new(versions[0].clone());
+                for v in &versions[1..] {
+                    c.push(v).unwrap();
+                }
+                c
+            })
+        });
+        group.bench_function(BenchmarkId::new("append-reverse", len), |b| {
+            b.iter_with_large_drop(|| {
+                let mut c = ReverseChain::new(versions[0].clone());
+                for v in &versions[1..] {
+                    c.push(v);
+                }
+                c
+            })
+        });
+
+        // Materialization: latest (Ode's common case) and oldest.
+        group.bench_function(BenchmarkId::new("latest-forward", len), |b| {
+            b.iter(|| fwd.latest().unwrap())
+        });
+        group.bench_function(BenchmarkId::new("latest-reverse", len), |b| {
+            b.iter(|| rev.latest().to_vec())
+        });
+        group.bench_function(BenchmarkId::new("oldest-forward", len), |b| {
+            b.iter(|| fwd.materialize(0).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("oldest-reverse", len), |b| {
+            b.iter(|| rev.materialize(0).unwrap())
+        });
+
+        let _dir = TempDir::new("e7"); // keep scratch layout uniform
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delta);
+criterion_main!(benches);

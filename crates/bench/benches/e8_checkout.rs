@@ -1,0 +1,61 @@
+//! E8 — Checkout/checkin as a policy costs only its primitive parts.
+//!
+//! Claim (§7): ORION's public/private architecture needs no kernel
+//! support — a checkout is a read + pnew, a checkin is a newversion +
+//! put.  Series: checkout, edit, checkin, and the full round trip, at
+//! object sizes 256 B and 16 KiB.
+
+use bench::{bench_db, Blob, TempDir};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ode_policies::checkout::Workspace;
+use std::time::Duration;
+
+fn bench_checkout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_checkout");
+    group.sample_size(15);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    for size in [256usize, 16 * 1024] {
+        let dir = TempDir::new("e8");
+        let public = bench_db(&dir, "public.db");
+        let part = {
+            let mut txn = public.begin();
+            let p = txn.pnew(&Blob::of_size(1, size)).unwrap();
+            txn.commit().unwrap();
+            p
+        };
+        let ws = Workspace::create(&public, dir.file("private.db")).unwrap();
+
+        group.bench_function(BenchmarkId::new("checkout", size), |b| {
+            b.iter(|| ws.checkout(part).unwrap())
+        });
+
+        let working = ws.checkout(part).unwrap();
+        group.bench_function(BenchmarkId::new("edit-private", size), |b| {
+            b.iter(|| {
+                ws.edit(working, |blob: &mut Blob| {
+                    blob.data[0] = blob.data[0].wrapping_add(1)
+                })
+                .unwrap()
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("checkin", size), |b| {
+            b.iter(|| ws.checkin(working).unwrap())
+        });
+
+        group.bench_function(BenchmarkId::new("full-round-trip", size), |b| {
+            b.iter(|| {
+                let w = ws.checkout(part).unwrap();
+                ws.edit(w, |blob: &mut Blob| blob.id += 1).unwrap();
+                ws.checkin(w).unwrap();
+                ws.discard(w).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkout);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! E9 — Substrate durability: recovery time is linear in WAL size.
+//!
+//! After a crash (no checkpoint), reopening replays every committed
+//! page image.  Series: `Database::open` after K committed
+//! transactions, K ∈ {10, 100, 500}; WAL sizes are printed alongside.
+
+use bench::{Blob, TempDir};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use ode::{Database, DatabaseOptions};
+use std::time::Duration;
+
+/// Build a database with `txns` committed transactions and "crash" it
+/// (leak the handle so no shutdown checkpoint runs). Returns the db
+/// file path.
+fn crashed_db(dir: &TempDir, txns: usize) -> std::path::PathBuf {
+    let path = dir.file(&format!("crash-{txns}-{}.db", rand_suffix()));
+    let db = Database::create(&path, DatabaseOptions::no_sync()).unwrap();
+    // Raise the auto-checkpoint threshold is unnecessary: default is
+    // 16 MiB, far above what these transactions write.
+    for i in 0..txns {
+        let mut txn = db.begin();
+        txn.pnew(&Blob::of_size(i as u64, 512)).unwrap();
+        txn.commit().unwrap();
+    }
+    std::mem::forget(db);
+    path
+}
+
+fn rand_suffix() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    N.fetch_add(1, Ordering::Relaxed)
+}
+
+fn wal_size(path: &std::path::Path) -> u64 {
+    let mut wal = path.to_path_buf().into_os_string();
+    wal.push(".wal");
+    std::fs::metadata(std::path::PathBuf::from(wal))
+        .map(|m| m.len())
+        .unwrap_or(0)
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_recovery");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1200));
+
+    eprintln!("\ne9_recovery: WAL bytes replayed per configuration");
+    for txns in [10usize, 100, 500] {
+        let dir = TempDir::new("e9");
+        let probe = crashed_db(&dir, txns);
+        eprintln!("  txns={txns:<6} wal_bytes={}", wal_size(&probe));
+
+        group.bench_function(BenchmarkId::new("open-after-crash", txns), |b| {
+            b.iter_batched(
+                || crashed_db(&dir, txns),
+                |path| {
+                    let db = Database::open(&path, DatabaseOptions::no_sync()).unwrap();
+                    // Recovery done; verify one object decodes.
+                    let mut snap = db.snapshot();
+                    assert_eq!(snap.objects::<Blob>().unwrap().len(), txns);
+                    drop(snap);
+                    db
+                },
+                BatchSize::PerIteration,
+            )
+        });
+
+        // Baseline: open after a clean shutdown (checkpointed, no WAL).
+        group.bench_function(BenchmarkId::new("open-clean", txns), |b| {
+            b.iter_batched(
+                || {
+                    let path = crashed_db(&dir, txns);
+                    // Recover + checkpoint once so the WAL is empty.
+                    let db = Database::open(&path, DatabaseOptions::no_sync()).unwrap();
+                    db.checkpoint().unwrap();
+                    drop(db);
+                    path
+                },
+                |path| Database::open(&path, DatabaseOptions::no_sync()).unwrap(),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

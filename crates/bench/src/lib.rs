@@ -1,0 +1,74 @@
+//! Shared helpers for the benchmark harness (one Criterion target per
+//! experiment in DESIGN.md §8) and hosts for the workspace-level
+//! examples and integration tests.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ode::{Database, DatabaseOptions};
+use ode_codec::{impl_persist_struct, impl_type_name};
+
+static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch directory that is wiped on drop.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create a fresh scratch directory.
+    pub fn new(tag: &str) -> TempDir {
+        let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("ode-bench-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A file path inside the directory.
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Open a benchmark database (fsync off) in `dir`.
+pub fn bench_db(dir: &TempDir, name: &str) -> Database {
+    Database::create(dir.file(name), DatabaseOptions::no_sync()).expect("create bench db")
+}
+
+/// The object type the micro-benches store: a named blob whose size the
+/// experiment controls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Blob {
+    /// Identifier.
+    pub id: u64,
+    /// Payload of experiment-controlled size.
+    pub data: Vec<u8>,
+}
+impl_persist_struct!(Blob { id, data });
+impl_type_name!(Blob = "bench/Blob");
+
+impl Blob {
+    /// Deterministic blob of `size` bytes.
+    pub fn of_size(id: u64, size: usize) -> Blob {
+        Blob {
+            id,
+            data: (0..size)
+                .map(|i| (id.wrapping_add(i as u64) % 251) as u8)
+                .collect(),
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Decoding error type.
+
+use std::fmt;
+
+/// An error produced while decoding a [`Persist`](crate::Persist) value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the value was fully decoded.
+    UnexpectedEof {
+        /// Bytes that were needed to make progress.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A varint ran past its maximum encoded width (corrupt input).
+    VarintOverflow,
+    /// A boolean byte was neither 0 nor 1.
+    InvalidBool(u8),
+    /// A `char` scalar value was out of range.
+    InvalidChar(u32),
+    /// A string was not valid UTF-8.
+    InvalidUtf8,
+    /// An enum discriminant did not match any known variant.
+    InvalidDiscriminant {
+        /// Name of the enum being decoded.
+        type_name: &'static str,
+        /// The unrecognized discriminant value.
+        discriminant: u64,
+    },
+    /// A declared length exceeded the bytes available (corruption guard:
+    /// prevents huge bogus allocations from corrupt length prefixes).
+    LengthTooLarge {
+        /// Declared element or byte count.
+        declared: u64,
+        /// Bytes remaining in the input.
+        remaining: usize,
+    },
+    /// The decoded value violated a type-specific invariant.
+    Invalid(&'static str),
+    /// Extra bytes remained after a whole-buffer decode.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of input: needed {needed} bytes, {remaining} remaining"
+            ),
+            DecodeError::VarintOverflow => write!(f, "varint exceeded maximum width"),
+            DecodeError::InvalidBool(b) => write!(f, "invalid boolean byte {b:#04x}"),
+            DecodeError::InvalidChar(c) => write!(f, "invalid char scalar {c:#x}"),
+            DecodeError::InvalidUtf8 => write!(f, "string is not valid UTF-8"),
+            DecodeError::InvalidDiscriminant {
+                type_name,
+                discriminant,
+            } => write!(
+                f,
+                "invalid discriminant {discriminant} for enum {type_name}"
+            ),
+            DecodeError::LengthTooLarge {
+                declared,
+                remaining,
+            } => write!(
+                f,
+                "declared length {declared} exceeds {remaining} remaining bytes"
+            ),
+            DecodeError::Invalid(msg) => write!(f, "invalid value: {msg}"),
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after decode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}

@@ -1,0 +1,268 @@
+//! Declarative-macro "derive" for [`Persist`](crate::Persist).
+//!
+//! O++ got object layout for free from the compiler; plain Rust libraries
+//! normally reach for a proc-macro derive.  To stay dependency-free we
+//! provide `macro_rules!` equivalents that cover structs and enums with
+//! struct/tuple/unit variants.
+
+/// Implement [`Persist`](crate::Persist) for a struct by listing its fields.
+///
+/// ```
+/// use ode_codec::{impl_persist_struct, from_bytes, to_bytes};
+///
+/// #[derive(Debug, PartialEq)]
+/// struct Part {
+///     name: String,
+///     weight: u32,
+/// }
+/// impl_persist_struct!(Part { name, weight });
+///
+/// let p = Part { name: "alu".into(), weight: 7 };
+/// let back: Part = from_bytes(&to_bytes(&p)).unwrap();
+/// assert_eq!(p, back);
+/// ```
+#[macro_export]
+macro_rules! impl_persist_struct {
+    ($ty:ident { $($field:ident),* $(,)? }) => {
+        impl $crate::Persist for $ty {
+            #[allow(unused_variables)]
+            fn encode(&self, w: &mut $crate::Writer) {
+                $( $crate::Persist::encode(&self.$field, w); )*
+            }
+            #[allow(unused_variables)]
+            fn decode(r: &mut $crate::Reader<'_>) -> ::std::result::Result<Self, $crate::DecodeError> {
+                Ok($ty {
+                    $( $field: $crate::Persist::decode(r)?, )*
+                })
+            }
+        }
+    };
+    // Generic structs: impl_persist_struct!(<T> Pair<T> { a, b });
+    (<$($gen:ident),+> $ty:ident<$($use_gen:ident),+> { $($field:ident),* $(,)? }) => {
+        impl<$($gen: $crate::Persist),+> $crate::Persist for $ty<$($use_gen),+> {
+            #[allow(unused_variables)]
+            fn encode(&self, w: &mut $crate::Writer) {
+                $( $crate::Persist::encode(&self.$field, w); )*
+            }
+            #[allow(unused_variables)]
+            fn decode(r: &mut $crate::Reader<'_>) -> ::std::result::Result<Self, $crate::DecodeError> {
+                Ok($ty {
+                    $( $field: $crate::Persist::decode(r)?, )*
+                })
+            }
+        }
+    };
+}
+
+/// Implement [`Persist`](crate::Persist) for an enum.
+///
+/// Variants are encoded as a varint discriminant (their listing order)
+/// followed by their fields.  Struct-like, tuple-like, and unit variants
+/// are supported:
+///
+/// ```
+/// use ode_codec::{impl_persist_enum, from_bytes, to_bytes};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Status {
+///     InProgress,
+///     Valid { by: String },
+///     Frozen(u64),
+/// }
+/// impl_persist_enum!(Status {
+///     InProgress,
+///     Valid { by },
+///     Frozen(f0),
+/// });
+///
+/// let s = Status::Valid { by: "dk".into() };
+/// let back: Status = from_bytes(&to_bytes(&s)).unwrap();
+/// assert_eq!(s, back);
+/// ```
+#[macro_export]
+macro_rules! impl_persist_enum {
+    ($ty:ident { $( $variant:ident $( { $($field:ident),* $(,)? } )? $( ( $($tfield:ident),* $(,)? ) )? ),* $(,)? }) => {
+        impl $crate::Persist for $ty {
+            fn encode(&self, w: &mut $crate::Writer) {
+                $crate::__persist_enum_encode!(self, w, $ty, 0u64; $( $variant $( { $($field),* } )? $( ( $($tfield),* ) )? ),*);
+            }
+            fn decode(r: &mut $crate::Reader<'_>) -> ::std::result::Result<Self, $crate::DecodeError> {
+                let disc = r.get_varint()?;
+                $crate::__persist_enum_decode!(disc, r, $ty, 0u64; $( $variant $( { $($field),* } )? $( ( $($tfield),* ) )? ),*);
+                Err($crate::DecodeError::InvalidDiscriminant {
+                    type_name: stringify!($ty),
+                    discriminant: disc,
+                })
+            }
+        }
+    };
+}
+
+/// Internal helper for [`impl_persist_enum!`]: encode arm expansion.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __persist_enum_encode {
+    ($self:ident, $w:ident, $ty:ident, $idx:expr;) => {};
+    ($self:ident, $w:ident, $ty:ident, $idx:expr; $variant:ident { $($field:ident),* } $(, $($rest:tt)*)?) => {
+        if let $ty::$variant { $($field),* } = $self {
+            $w.put_varint($idx);
+            $( $crate::Persist::encode($field, $w); )*
+            return;
+        }
+        $crate::__persist_enum_encode!($self, $w, $ty, $idx + 1u64; $($($rest)*)?);
+    };
+    ($self:ident, $w:ident, $ty:ident, $idx:expr; $variant:ident ( $($tfield:ident),* ) $(, $($rest:tt)*)?) => {
+        if let $ty::$variant( $($tfield),* ) = $self {
+            $w.put_varint($idx);
+            $( $crate::Persist::encode($tfield, $w); )*
+            return;
+        }
+        $crate::__persist_enum_encode!($self, $w, $ty, $idx + 1u64; $($($rest)*)?);
+    };
+    ($self:ident, $w:ident, $ty:ident, $idx:expr; $variant:ident $(, $($rest:tt)*)?) => {
+        if let $ty::$variant = $self {
+            $w.put_varint($idx);
+            return;
+        }
+        $crate::__persist_enum_encode!($self, $w, $ty, $idx + 1u64; $($($rest)*)?);
+    };
+}
+
+/// Internal helper for [`impl_persist_enum!`]: decode arm expansion.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __persist_enum_decode {
+    ($disc:ident, $r:ident, $ty:ident, $idx:expr;) => {};
+    ($disc:ident, $r:ident, $ty:ident, $idx:expr; $variant:ident { $($field:ident),* } $(, $($rest:tt)*)?) => {
+        if $disc == $idx {
+            return Ok($ty::$variant {
+                $( $field: $crate::Persist::decode($r)?, )*
+            });
+        }
+        $crate::__persist_enum_decode!($disc, $r, $ty, $idx + 1u64; $($($rest)*)?);
+    };
+    ($disc:ident, $r:ident, $ty:ident, $idx:expr; $variant:ident ( $($tfield:ident),* ) $(, $($rest:tt)*)?) => {
+        if $disc == $idx {
+            return Ok($ty::$variant(
+                $( { let $tfield = $crate::Persist::decode($r)?; $tfield }, )*
+            ));
+        }
+        $crate::__persist_enum_decode!($disc, $r, $ty, $idx + 1u64; $($($rest)*)?);
+    };
+    ($disc:ident, $r:ident, $ty:ident, $idx:expr; $variant:ident $(, $($rest:tt)*)?) => {
+        if $disc == $idx {
+            return Ok($ty::$variant);
+        }
+        $crate::__persist_enum_decode!($disc, $r, $ty, $idx + 1u64; $($($rest)*)?);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{from_bytes, to_bytes, DecodeError};
+
+    #[derive(Debug, PartialEq)]
+    struct Inner {
+        a: u32,
+        b: String,
+    }
+    impl_persist_struct!(Inner { a, b });
+
+    #[derive(Debug, PartialEq)]
+    struct Outer {
+        inner: Inner,
+        list: Vec<Inner>,
+        opt: Option<u64>,
+    }
+    impl_persist_struct!(Outer { inner, list, opt });
+
+    #[derive(Debug, PartialEq)]
+    struct Empty {}
+    impl_persist_struct!(Empty {});
+
+    #[derive(Debug, PartialEq)]
+    struct Pair<T> {
+        a: T,
+        b: T,
+    }
+    impl_persist_struct!(<T> Pair<T> { a, b });
+
+    #[derive(Debug, PartialEq)]
+    enum Mixed {
+        Unit,
+        Tuple(u32, String),
+        Struct { x: i64, y: Vec<u8> },
+    }
+    impl_persist_enum!(Mixed {
+        Unit,
+        Tuple(t0, t1),
+        Struct { x, y },
+    });
+
+    #[test]
+    fn struct_round_trip() {
+        let v = Outer {
+            inner: Inner {
+                a: 7,
+                b: "hi".into(),
+            },
+            list: vec![Inner {
+                a: 1,
+                b: "x".into(),
+            }],
+            opt: Some(9),
+        };
+        let back: Outer = from_bytes(&to_bytes(&v)).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn empty_struct_round_trip() {
+        let back: Empty = from_bytes(&to_bytes(&Empty {})).unwrap();
+        assert_eq!(back, Empty {});
+    }
+
+    #[test]
+    fn generic_struct_round_trip() {
+        let v = Pair {
+            a: "l".to_string(),
+            b: "r".to_string(),
+        };
+        let back: Pair<String> = from_bytes(&to_bytes(&v)).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn enum_variants_round_trip() {
+        for v in [
+            Mixed::Unit,
+            Mixed::Tuple(42, "t".into()),
+            Mixed::Struct {
+                x: -5,
+                y: vec![1, 2],
+            },
+        ] {
+            let back: Mixed = from_bytes(&to_bytes(&v)).unwrap();
+            assert_eq!(v, back);
+        }
+    }
+
+    #[test]
+    fn enum_discriminants_are_listing_order() {
+        assert_eq!(to_bytes(&Mixed::Unit)[0], 0);
+        assert_eq!(to_bytes(&Mixed::Tuple(0, String::new()))[0], 1);
+        assert_eq!(to_bytes(&Mixed::Struct { x: 0, y: vec![] })[0], 2);
+    }
+
+    #[test]
+    fn unknown_discriminant_rejected() {
+        let err = from_bytes::<Mixed>(&[9]).unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::InvalidDiscriminant {
+                type_name: "Mixed",
+                discriminant: 9
+            }
+        );
+    }
+}

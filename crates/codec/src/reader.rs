@@ -1,0 +1,152 @@
+//! Decoding source.
+
+use crate::{varint, DecodeError};
+
+/// A cursor over an input byte slice used by
+/// [`Persist::decode`](crate::Persist::decode).
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    input: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a byte slice.
+    pub fn new(input: &'a [u8]) -> Self {
+        Reader { input }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len()
+    }
+
+    /// Whether all input has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.input.is_empty()
+    }
+
+    fn advance(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if n > self.input.len() {
+            return Err(DecodeError::UnexpectedEof {
+                needed: n,
+                remaining: self.input.len(),
+            });
+        }
+        let (head, tail) = self.input.split_at(n);
+        self.input = tail;
+        Ok(head)
+    }
+
+    /// Read one raw byte.
+    pub fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.advance(1)?[0])
+    }
+
+    /// Read `n` raw bytes.
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.advance(n)
+    }
+
+    /// Read an unsigned varint.
+    pub fn get_varint(&mut self) -> Result<u64, DecodeError> {
+        let (value, used) = varint::read_u64(self.input)?;
+        self.input = &self.input[used..];
+        Ok(value)
+    }
+
+    /// Read a signed (zigzag) varint.
+    pub fn get_varint_signed(&mut self) -> Result<i64, DecodeError> {
+        Ok(varint::zigzag_decode(self.get_varint()?))
+    }
+
+    /// Read a varint length prefix, validating it against the remaining
+    /// input so corrupt prefixes cannot trigger huge allocations.
+    pub fn get_len(&mut self) -> Result<usize, DecodeError> {
+        let declared = self.get_varint()?;
+        if declared > self.input.len() as u64 {
+            return Err(DecodeError::LengthTooLarge {
+                declared,
+                remaining: self.input.len(),
+            });
+        }
+        Ok(declared as usize)
+    }
+
+    /// Read a varint *element count*, validating against a minimum of one
+    /// byte per element.
+    pub fn get_count(&mut self) -> Result<usize, DecodeError> {
+        // Every element encodes to at least one byte, so a count larger
+        // than the remaining byte count is necessarily corrupt.
+        self.get_len()
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.get_len()?;
+        self.get_raw(len)
+    }
+
+    /// Read a little-endian fixed-width u32.
+    pub fn get_u32_le(&mut self) -> Result<u32, DecodeError> {
+        let raw = self.advance(4)?;
+        Ok(u32::from_le_bytes(raw.try_into().expect("4-byte slice")))
+    }
+
+    /// Read a little-endian fixed-width u64.
+    pub fn get_u64_le(&mut self) -> Result<u64, DecodeError> {
+        let raw = self.advance(8)?;
+        Ok(u64::from_le_bytes(raw.try_into().expect("8-byte slice")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_consumes_in_order() {
+        let data = [1u8, 2, 3, 4];
+        let mut r = Reader::new(&data);
+        assert_eq!(r.get_u8().unwrap(), 1);
+        assert_eq!(r.get_raw(2).unwrap(), &[2, 3]);
+        assert_eq!(r.remaining(), 1);
+    }
+
+    #[test]
+    fn eof_is_reported_with_counts() {
+        let data = [1u8];
+        let mut r = Reader::new(&data);
+        let err = r.get_raw(3).unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::UnexpectedEof {
+                needed: 3,
+                remaining: 1
+            }
+        );
+    }
+
+    #[test]
+    fn corrupt_length_prefix_rejected() {
+        // Declares a 1000-byte string but provides none.
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, 1000);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            r.get_bytes(),
+            Err(DecodeError::LengthTooLarge { declared: 1000, .. })
+        ));
+    }
+
+    #[test]
+    fn fixed_width_round_trip() {
+        let mut w = crate::Writer::new();
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(0x0123_4567_89AB_CDEF);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u32_le().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert!(r.is_empty());
+    }
+}

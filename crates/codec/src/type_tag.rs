@@ -1,0 +1,102 @@
+//! Stable type identity across program runs.
+//!
+//! Ode clusters persistent objects by type ("one cluster per type") and an
+//! `ObjPtr<T>` is typed.  Rust's `TypeId` is not stable across builds, so
+//! persistent type identity is a 64-bit FNV-1a hash of a user-chosen type
+//! name, declared via the [`TypeName`] trait.
+
+use crate::{DecodeError, Persist, Reader, Writer};
+
+/// A stable 64-bit identifier for a persistent type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TypeTag(pub u64);
+
+impl TypeTag {
+    /// Compute the tag for a type name. FNV-1a, 64-bit.
+    pub const fn from_name(name: &str) -> TypeTag {
+        let bytes = name.as_bytes();
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut i = 0;
+        while i < bytes.len() {
+            hash ^= bytes[i] as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+            i += 1;
+        }
+        TypeTag(hash)
+    }
+
+    /// Tag for a [`TypeName`] implementor.
+    pub fn of<T: TypeName>() -> TypeTag {
+        TypeTag::from_name(T::TYPE_NAME)
+    }
+}
+
+impl Persist for TypeTag {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64_le(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(TypeTag(r.get_u64_le()?))
+    }
+}
+
+/// Declares the stable, persistent name of a type.
+///
+/// The name — not the Rust path — is hashed into the [`TypeTag`] stored on
+/// disk, so renaming the Rust type without changing `TYPE_NAME` keeps old
+/// databases readable.
+pub trait TypeName {
+    /// The stable persistent name. Convention: `"crate/Type"`.
+    const TYPE_NAME: &'static str;
+}
+
+/// Declare [`TypeName`] for a type.
+///
+/// ```
+/// use ode_codec::{impl_type_name, type_tag::{TypeName, TypeTag}};
+/// struct Chip;
+/// impl_type_name!(Chip = "dms/Chip");
+/// assert_eq!(TypeTag::of::<Chip>(), TypeTag::from_name("dms/Chip"));
+/// ```
+#[macro_export]
+macro_rules! impl_type_name {
+    ($ty:ty = $name:expr) => {
+        impl $crate::type_tag::TypeName for $ty {
+            const TYPE_NAME: &'static str = $name;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_reference_vector() {
+        // FNV-1a 64 of empty input is the offset basis.
+        assert_eq!(TypeTag::from_name("").0, 0xcbf2_9ce4_8422_2325);
+        // Known vector: fnv1a_64("a") = 0xaf63dc4c8601ec8c
+        assert_eq!(TypeTag::from_name("a").0, 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn distinct_names_distinct_tags() {
+        assert_ne!(
+            TypeTag::from_name("dms/Chip"),
+            TypeTag::from_name("dms/Net")
+        );
+    }
+
+    #[test]
+    fn tag_round_trips() {
+        let tag = TypeTag::from_name("x/Y");
+        let back: TypeTag = crate::from_bytes(&crate::to_bytes(&tag)).unwrap();
+        assert_eq!(tag, back);
+    }
+
+    #[test]
+    fn const_evaluable() {
+        const TAG: TypeTag = TypeTag::from_name("k");
+        assert_eq!(TAG, TypeTag::from_name("k"));
+    }
+}

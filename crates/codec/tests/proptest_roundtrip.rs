@@ -1,0 +1,117 @@
+//! Property tests: every `Persist` implementation round-trips exactly and
+//! the decoder never panics on arbitrary input.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use ode_codec::{from_bytes, impl_persist_enum, impl_persist_struct, to_bytes, Persist};
+use proptest::prelude::*;
+
+fn check_rt<T: Persist + PartialEq + std::fmt::Debug>(v: &T) {
+    let bytes = to_bytes(v);
+    let back: T = from_bytes(&bytes).expect("round-trip decode");
+    assert_eq!(*v, back);
+}
+
+proptest! {
+    #[test]
+    fn rt_u64(v: u64) { check_rt(&v); }
+
+    #[test]
+    fn rt_i64(v: i64) { check_rt(&v); }
+
+    #[test]
+    fn rt_u128(v: u128) { check_rt(&v); }
+
+    #[test]
+    fn rt_f64_bits(v: u64) {
+        let f = f64::from_bits(v);
+        let back: f64 = from_bytes(&to_bytes(&f)).unwrap();
+        prop_assert_eq!(f.to_bits(), back.to_bits());
+    }
+
+    #[test]
+    fn rt_string(v in ".*") { check_rt(&v.to_string()); }
+
+    #[test]
+    fn rt_vec_u32(v: Vec<u32>) { check_rt(&v); }
+
+    #[test]
+    fn rt_option_string(v: Option<String>) { check_rt(&v); }
+
+    #[test]
+    fn rt_btreemap(v: BTreeMap<u32, String>) { check_rt(&v); }
+
+    #[test]
+    fn rt_btreeset(v: BTreeSet<i32>) { check_rt(&v); }
+
+    #[test]
+    fn rt_hashmap(v: HashMap<u16, u16>) { check_rt(&v); }
+
+    #[test]
+    fn rt_nested(v: Vec<(u8, Option<Vec<String>>)>) { check_rt(&v); }
+
+    /// The decoder must return an error — never panic, never allocate
+    /// unboundedly — on arbitrary garbage input.
+    #[test]
+    fn decoder_never_panics(bytes: Vec<u8>) {
+        let _ = from_bytes::<Vec<String>>(&bytes);
+        let _ = from_bytes::<BTreeMap<u64, Vec<u8>>>(&bytes);
+        let _ = from_bytes::<(u64, String, Option<i32>)>(&bytes);
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Design {
+    name: String,
+    cells: Vec<u32>,
+    meta: BTreeMap<String, String>,
+    state: State,
+}
+impl_persist_struct!(Design {
+    name,
+    cells,
+    meta,
+    state
+});
+
+#[derive(Debug, Clone, PartialEq)]
+enum State {
+    Draft,
+    Review { by: String },
+    Released(u64, bool),
+}
+impl_persist_enum!(State {
+    Draft,
+    Review { by },
+    Released(t0, t1),
+});
+
+fn arb_state() -> impl Strategy<Value = State> {
+    prop_oneof![
+        Just(State::Draft),
+        ".*".prop_map(|by| State::Review { by }),
+        (any::<u64>(), any::<bool>()).prop_map(|(a, b)| State::Released(a, b)),
+    ]
+}
+
+fn arb_design() -> impl Strategy<Value = Design> {
+    (
+        ".*",
+        proptest::collection::vec(any::<u32>(), 0..32),
+        proptest::collection::btree_map(".*", ".*", 0..8),
+        arb_state(),
+    )
+        .prop_map(|(name, cells, meta, state)| Design {
+            name,
+            cells,
+            meta,
+            state,
+        })
+}
+
+proptest! {
+    #[test]
+    fn rt_macro_derived(design in arb_design()) {
+        check_rt(&design);
+    }
+}

@@ -1,0 +1,141 @@
+//! The database handle.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use ode_storage::{Store, StoreOptions};
+use ode_version::{Result, VersionStore, VersionStoreLayout};
+
+use crate::event::{Event, TriggerId, TriggerRegistry};
+use crate::ptr::ObjPtr;
+use crate::txn::{Snapshot, Txn};
+use crate::OdeType;
+
+/// Tuning options for a [`Database`].
+#[derive(Debug, Clone, Default)]
+pub struct DatabaseOptions {
+    /// Storage-engine options (buffer pool size, fsync policy,
+    /// checkpoint threshold).
+    pub storage: StoreOptions,
+}
+
+impl DatabaseOptions {
+    /// Benchmark preset: no fsync on commit (results are still crash
+    /// consistent up to the last synced commit, just not durable to the
+    /// very last transaction).
+    pub fn no_sync() -> DatabaseOptions {
+        DatabaseOptions {
+            storage: StoreOptions {
+                sync_on_commit: false,
+                ..StoreOptions::default()
+            },
+        }
+    }
+}
+
+/// An Ode database: persistent, versioned objects in a single file (plus
+/// its write-ahead log).
+///
+/// Mirrors the paper's persistence model: objects created with
+/// [`Txn::pnew`] "automatically persist across program invocations" —
+/// reopen the same path and every committed object and version is
+/// there.
+pub struct Database {
+    store: Store,
+    versions: VersionStore,
+    triggers: TriggerRegistry,
+}
+
+impl Database {
+    /// Create a new database file at `path`, erasing any existing one.
+    pub fn create(path: impl AsRef<Path>, options: DatabaseOptions) -> Result<Database> {
+        let store = Store::create(path, options.storage)?;
+        Ok(Database {
+            store,
+            versions: VersionStore::new(VersionStoreLayout::default()),
+            triggers: TriggerRegistry::default(),
+        })
+    }
+
+    /// Open an existing database (running crash recovery if needed).
+    pub fn open(path: impl AsRef<Path>, options: DatabaseOptions) -> Result<Database> {
+        let store = Store::open(path, options.storage)?;
+        Ok(Database {
+            store,
+            versions: VersionStore::new(VersionStoreLayout::default()),
+            triggers: TriggerRegistry::default(),
+        })
+    }
+
+    /// Open `path`, creating it when absent.
+    pub fn open_or_create(path: impl AsRef<Path>, options: DatabaseOptions) -> Result<Database> {
+        let store = Store::open_or_create(path, options.storage)?;
+        Ok(Database {
+            store,
+            versions: VersionStore::new(VersionStoreLayout::default()),
+            triggers: TriggerRegistry::default(),
+        })
+    }
+
+    /// Begin a read-write transaction.
+    pub fn begin(&self) -> Txn<'_> {
+        Txn::new(self, self.store.begin())
+    }
+
+    /// Begin a read-only snapshot.
+    pub fn snapshot(&self) -> Snapshot<'_> {
+        Snapshot::new(self, self.store.read())
+    }
+
+    /// Force a checkpoint (dirty pages to the database file, WAL reset).
+    pub fn checkpoint(&self) -> Result<()> {
+        Ok(self.store.checkpoint()?)
+    }
+
+    /// Register a trigger on one object: `handler` runs after every
+    /// committed transaction that changed it.
+    pub fn on_object<T: OdeType>(
+        &self,
+        ptr: ObjPtr<T>,
+        handler: impl Fn(&Event) + Send + Sync + 'static,
+    ) -> TriggerId {
+        self.triggers.on_object(ptr.oid, Arc::new(handler))
+    }
+
+    /// Register a trigger on every object of type `T`.
+    pub fn on_type<T: OdeType>(
+        &self,
+        handler: impl Fn(&Event) + Send + Sync + 'static,
+    ) -> TriggerId {
+        self.triggers.on_type(ObjPtr::<T>::tag(), Arc::new(handler))
+    }
+
+    /// Remove a trigger. Returns whether it was still registered.
+    pub fn remove_trigger(&self, id: TriggerId) -> bool {
+        self.triggers.remove(id)
+    }
+
+    /// Number of triggers that would fire for events on this object
+    /// (object-scoped plus type-scoped handlers).
+    pub fn trigger_count<T: OdeType>(&self, ptr: ObjPtr<T>) -> usize {
+        self.triggers.handler_count(ptr.oid, ObjPtr::<T>::tag())
+    }
+
+    pub(crate) fn versions(&self) -> &VersionStore {
+        &self.versions
+    }
+
+    pub(crate) fn fire(&self, events: &[Event]) {
+        self.triggers.fire(events);
+    }
+
+    /// Buffer pool statistics (bench instrumentation).
+    pub fn buffer_stats(&self) -> ode_storage::buffer::BufferStats {
+        self.store.buffer_stats()
+    }
+
+    /// Current WAL length in bytes (bench instrumentation).
+    pub fn wal_len(&self) -> u64 {
+        self.store.wal_len()
+    }
+}

@@ -1,0 +1,218 @@
+//! Typed persistent pointers: generic (object) and specific (version)
+//! references.
+//!
+//! The paper's key reference-model decision: "an object id does not
+//! refer to a generic object header …; rather, it logically refers to
+//! the latest version of the object."  [`ObjPtr`] is that object id —
+//! dereferencing it *re-resolves the latest version at each use*
+//! (dynamic/late binding), which is what makes the paper's address-book
+//! example work.  [`VersionPtr`] is a version id — early/static binding
+//! to one specific version.
+//!
+//! Both are plain 8-byte ids + a type parameter, are `Copy`, and
+//! implement [`Persist`] so they can be stored **inside** other
+//! persistent objects (inter-object references).
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
+
+use ode_codec::type_tag::TypeName;
+use ode_codec::{DecodeError, Persist, Reader, TypeTag, Writer};
+use ode_object::{Oid, Vid};
+
+/// A generic (dynamically bound) reference to a persistent object of
+/// type `T`: the paper's *object id*.
+pub struct ObjPtr<T> {
+    pub(crate) oid: Oid,
+    _marker: PhantomData<fn() -> T>,
+}
+
+/// A specific (statically bound) reference to one version of a
+/// persistent object of type `T`: the paper's *version id*.
+pub struct VersionPtr<T> {
+    pub(crate) vid: Vid,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> ObjPtr<T> {
+    /// Wrap a raw object id. Exposed for the policies/baselines layers;
+    /// normal code receives pointers from [`Txn::pnew`](crate::Txn::pnew).
+    pub fn from_oid(oid: Oid) -> ObjPtr<T> {
+        ObjPtr {
+            oid,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The raw object id.
+    pub fn oid(self) -> Oid {
+        self.oid
+    }
+}
+
+impl<T: TypeName> ObjPtr<T> {
+    /// The stable type tag of `T`.
+    pub fn tag() -> TypeTag {
+        TypeTag::of::<T>()
+    }
+}
+
+impl<T> VersionPtr<T> {
+    /// Wrap a raw version id (see [`ObjPtr::from_oid`]).
+    pub fn from_vid(vid: Vid) -> VersionPtr<T> {
+        VersionPtr {
+            vid,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The raw version id.
+    pub fn vid(self) -> Vid {
+        self.vid
+    }
+}
+
+impl<T: TypeName> VersionPtr<T> {
+    /// The stable type tag of `T`.
+    pub fn tag() -> TypeTag {
+        TypeTag::of::<T>()
+    }
+}
+
+// Manual impls: derive would wrongly require `T: Clone` etc.
+impl<T> Clone for ObjPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for ObjPtr<T> {}
+impl<T> PartialEq for ObjPtr<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.oid == other.oid
+    }
+}
+impl<T> Eq for ObjPtr<T> {}
+impl<T> Hash for ObjPtr<T> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.oid.hash(state);
+    }
+}
+impl<T> PartialOrd for ObjPtr<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for ObjPtr<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.oid.cmp(&other.oid)
+    }
+}
+impl<T> fmt::Debug for ObjPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ObjPtr({})", self.oid)
+    }
+}
+impl<T> fmt::Display for ObjPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.oid)
+    }
+}
+
+impl<T> Clone for VersionPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for VersionPtr<T> {}
+impl<T> PartialEq for VersionPtr<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.vid == other.vid
+    }
+}
+impl<T> Eq for VersionPtr<T> {}
+impl<T> Hash for VersionPtr<T> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.vid.hash(state);
+    }
+}
+impl<T> PartialOrd for VersionPtr<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for VersionPtr<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.vid.cmp(&other.vid)
+    }
+}
+impl<T> fmt::Debug for VersionPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VersionPtr({})", self.vid)
+    }
+}
+impl<T> fmt::Display for VersionPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.vid)
+    }
+}
+
+impl<T> Persist for ObjPtr<T> {
+    fn encode(&self, w: &mut Writer) {
+        self.oid.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(ObjPtr::from_oid(Oid::decode(r)?))
+    }
+}
+
+impl<T> Persist for VersionPtr<T> {
+    fn encode(&self, w: &mut Writer) {
+        self.vid.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(VersionPtr::from_vid(Vid::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+
+    #[test]
+    fn pointers_are_copy_eq_hash() {
+        let a: ObjPtr<Dummy> = ObjPtr::from_oid(Oid(3));
+        let b = a;
+        assert_eq!(a, b);
+        let mut set = std::collections::HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+
+        let v: VersionPtr<Dummy> = VersionPtr::from_vid(Vid(4));
+        let w = v;
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn pointers_round_trip_codec() {
+        let p: ObjPtr<Dummy> = ObjPtr::from_oid(Oid(77));
+        let bytes = ode_codec::to_bytes(&p);
+        let back: ObjPtr<Dummy> = ode_codec::from_bytes(&bytes).unwrap();
+        assert_eq!(p, back);
+
+        let v: VersionPtr<Dummy> = VersionPtr::from_vid(Vid(88));
+        let bytes = ode_codec::to_bytes(&v);
+        let back: VersionPtr<Dummy> = ode_codec::from_bytes(&bytes).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn display_formats() {
+        let p: ObjPtr<Dummy> = ObjPtr::from_oid(Oid(1));
+        let v: VersionPtr<Dummy> = VersionPtr::from_vid(Vid(2));
+        assert_eq!(p.to_string(), "oid:1");
+        assert_eq!(v.to_string(), "vid:2");
+    }
+}

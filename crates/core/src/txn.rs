@@ -1,0 +1,512 @@
+//! Transactions and snapshots: where the O++ operations live.
+
+use ode_codec::{from_bytes, to_bytes};
+use ode_storage::store::{PageRead, ReadTx, Tx};
+use ode_version::{Result, VersionError, VersionStore};
+
+use crate::db::Database;
+use crate::event::Event;
+use crate::guard::{ORef, VRef};
+use crate::ptr::{ObjPtr, VersionPtr};
+use crate::OdeType;
+
+/// A read-write transaction. RAII: dropping without [`Txn::commit`]
+/// aborts and rolls everything back (including id allocation); commit
+/// makes the work durable and then fires triggers.
+pub struct Txn<'db> {
+    db: &'db Database,
+    tx: Tx<'db>,
+    events: Vec<Event>,
+}
+
+/// A read-only snapshot of the database.
+pub struct Snapshot<'db> {
+    db: &'db Database,
+    tx: ReadTx<'db>,
+}
+
+// ---------------------------------------------------------------------------
+// Shared read-side implementation
+// ---------------------------------------------------------------------------
+
+fn read_deref<T: OdeType>(
+    vs: &VersionStore,
+    tx: &mut impl PageRead,
+    ptr: &ObjPtr<T>,
+) -> Result<ORef<T>> {
+    let vid = vs.latest(tx, ptr.oid)?;
+    let body = vs.read_body(tx, vid, ObjPtr::<T>::tag())?;
+    Ok(ORef {
+        value: from_bytes(&body)?,
+        version: VersionPtr::from_vid(vid),
+    })
+}
+
+fn read_deref_v<T: OdeType>(
+    vs: &VersionStore,
+    tx: &mut impl PageRead,
+    vp: &VersionPtr<T>,
+) -> Result<VRef<T>> {
+    let body = vs.read_body(tx, vp.vid, VersionPtr::<T>::tag())?;
+    Ok(VRef {
+        value: from_bytes(&body)?,
+        version: *vp,
+    })
+}
+
+macro_rules! read_api {
+    () => {
+        /// Dereference a generic reference: decode the **latest** version
+        /// (late binding happens here, at each call).
+        pub fn deref<T: OdeType>(&mut self, ptr: &ObjPtr<T>) -> Result<ORef<T>> {
+            read_deref(self.db.versions(), &mut self.tx, ptr)
+        }
+
+        /// Dereference a specific reference: decode exactly that version.
+        pub fn deref_v<T: OdeType>(&mut self, vp: &VersionPtr<T>) -> Result<VRef<T>> {
+            read_deref_v(self.db.versions(), &mut self.tx, vp)
+        }
+
+        /// Pin the object's current latest version as a specific
+        /// reference (generic → specific conversion).
+        pub fn current_version<T: OdeType>(&mut self, ptr: &ObjPtr<T>) -> Result<VersionPtr<T>> {
+            Ok(VersionPtr::from_vid(
+                self.db.versions().latest(&mut self.tx, ptr.oid)?,
+            ))
+        }
+
+        /// The object a version belongs to (specific → generic).
+        pub fn object_of<T: OdeType>(&mut self, vp: &VersionPtr<T>) -> Result<ObjPtr<T>> {
+            Ok(ObjPtr::from_oid(
+                self.db.versions().object_of(&mut self.tx, vp.vid)?,
+            ))
+        }
+
+        /// `Dprevious`: the version `vp` was derived from.
+        pub fn dprevious<T: OdeType>(
+            &mut self,
+            vp: &VersionPtr<T>,
+        ) -> Result<Option<VersionPtr<T>>> {
+            Ok(self
+                .db
+                .versions()
+                .dprevious(&mut self.tx, vp.vid)?
+                .map(VersionPtr::from_vid))
+        }
+
+        /// `Dnext`: versions derived from `vp`, in creation order.
+        pub fn dnext<T: OdeType>(&mut self, vp: &VersionPtr<T>) -> Result<Vec<VersionPtr<T>>> {
+            Ok(self
+                .db
+                .versions()
+                .dnext(&mut self.tx, vp.vid)?
+                .into_iter()
+                .map(VersionPtr::from_vid)
+                .collect())
+        }
+
+        /// `Tprevious`: the version created immediately before `vp`.
+        pub fn tprevious<T: OdeType>(
+            &mut self,
+            vp: &VersionPtr<T>,
+        ) -> Result<Option<VersionPtr<T>>> {
+            Ok(self
+                .db
+                .versions()
+                .tprevious(&mut self.tx, vp.vid)?
+                .map(VersionPtr::from_vid))
+        }
+
+        /// `Tnext`: the version created immediately after `vp`.
+        pub fn tnext<T: OdeType>(&mut self, vp: &VersionPtr<T>) -> Result<Option<VersionPtr<T>>> {
+            Ok(self
+                .db
+                .versions()
+                .tnext(&mut self.tx, vp.vid)?
+                .map(VersionPtr::from_vid))
+        }
+
+        /// All versions of an object in temporal (creation) order.
+        pub fn version_history<T: OdeType>(
+            &mut self,
+            ptr: &ObjPtr<T>,
+        ) -> Result<Vec<VersionPtr<T>>> {
+            Ok(self
+                .db
+                .versions()
+                .version_history(&mut self.tx, ptr.oid)?
+                .into_iter()
+                .map(VersionPtr::from_vid)
+                .collect())
+        }
+
+        /// The derivation path from `vp` back to a root (`vp` first) —
+        /// the paper's "version history" of an alternative.
+        pub fn derivation_path<T: OdeType>(
+            &mut self,
+            vp: &VersionPtr<T>,
+        ) -> Result<Vec<VersionPtr<T>>> {
+            Ok(self
+                .db
+                .versions()
+                .derivation_path(&mut self.tx, vp.vid)?
+                .into_iter()
+                .map(VersionPtr::from_vid)
+                .collect())
+        }
+
+        /// Leaves of the derived-from tree: the most up-to-date version
+        /// of each alternative.
+        pub fn derivation_leaves<T: OdeType>(
+            &mut self,
+            ptr: &ObjPtr<T>,
+        ) -> Result<Vec<VersionPtr<T>>> {
+            Ok(self
+                .db
+                .versions()
+                .derivation_leaves(&mut self.tx, ptr.oid)?
+                .into_iter()
+                .map(VersionPtr::from_vid)
+                .collect())
+        }
+
+        /// Number of live versions of an object.
+        pub fn version_count<T: OdeType>(&mut self, ptr: &ObjPtr<T>) -> Result<u64> {
+            self.db.versions().version_count(&mut self.tx, ptr.oid)
+        }
+
+        /// Extent query: every live object of type `T`, in id order —
+        /// O++'s `for x in T` loop.
+        pub fn objects<T: OdeType>(&mut self) -> Result<Vec<ObjPtr<T>>> {
+            Ok(self
+                .db
+                .versions()
+                .objects_of_type(&mut self.tx, ObjPtr::<T>::tag())?
+                .into_iter()
+                .map(ObjPtr::from_oid)
+                .collect())
+        }
+
+        /// A page of the type's extent: up to `limit` objects with ids
+        /// `>=` `after` (pass `ObjPtr::from_oid(Oid::NULL)` to start).
+        /// Cursor-style iteration for extents too large to materialize;
+        /// pass the last returned pointer's oid + 1 to continue.
+        pub fn objects_page<T: OdeType>(
+            &mut self,
+            after: ode_object::Oid,
+            limit: usize,
+        ) -> Result<Vec<ObjPtr<T>>> {
+            Ok(self
+                .db
+                .versions()
+                .objects_of_type_from(&mut self.tx, ObjPtr::<T>::tag(), after, limit)?
+                .into_iter()
+                .map(ObjPtr::from_oid)
+                .collect())
+        }
+
+        /// Whether the object still exists.
+        pub fn exists<T: OdeType>(&mut self, ptr: &ObjPtr<T>) -> Result<bool> {
+            self.db.versions().object_exists(&mut self.tx, ptr.oid)
+        }
+
+        /// Whether the version still exists.
+        pub fn version_exists<T: OdeType>(&mut self, vp: &VersionPtr<T>) -> Result<bool> {
+            self.db.versions().version_exists(&mut self.tx, vp.vid)
+        }
+
+        /// Validate the structural invariants of one object's graph.
+        pub fn check_object<T: OdeType>(&mut self, ptr: &ObjPtr<T>) -> Result<()> {
+            self.db.versions().check_object(&mut self.tx, ptr.oid)
+        }
+
+        /// A version's global creation stamp — monotone across the
+        /// whole database, the basis for temporal queries (§2's
+        /// historical-database motivation).
+        pub fn created_stamp<T: OdeType>(&mut self, vp: &VersionPtr<T>) -> Result<u64> {
+            self.db.versions().created_stamp(&mut self.tx, vp.vid)
+        }
+
+        /// The current global stamp; capture it to name a
+        /// database-wide moment for later [`version_as_of`] queries.
+        ///
+        /// [`version_as_of`]: Self::version_as_of
+        pub fn now_stamp(&mut self) -> Result<u64> {
+            self.db.versions().now_stamp(&mut self.tx)
+        }
+
+        /// The newest version of the object created at or before
+        /// `stamp` (`None` if its oldest surviving version is newer) —
+        /// the as-of temporal query of historical databases.
+        pub fn version_as_of<T: OdeType>(
+            &mut self,
+            ptr: &ObjPtr<T>,
+            stamp: u64,
+        ) -> Result<Option<VersionPtr<T>>> {
+            Ok(self
+                .db
+                .versions()
+                .version_as_of(&mut self.tx, ptr.oid, stamp)?
+                .map(VersionPtr::from_vid))
+        }
+
+        /// O++-style selection over a type's extent: decode every live
+        /// object's latest version and keep those matching `pred`.
+        pub fn select<T: OdeType>(
+            &mut self,
+            mut pred: impl FnMut(&T) -> bool,
+        ) -> Result<Vec<(ObjPtr<T>, T)>> {
+            let mut out = Vec::new();
+            for ptr in self.objects::<T>()? {
+                let value = read_deref(self.db.versions(), &mut self.tx, &ptr)?.into_inner();
+                if pred(&value) {
+                    out.push((ptr, value));
+                }
+            }
+            Ok(out)
+        }
+
+        /// Number of live objects of type `T`.
+        pub fn count<T: OdeType>(&mut self) -> Result<usize> {
+            Ok(self.objects::<T>()?.len())
+        }
+
+        /// Render the object's version graph as Graphviz DOT, in the
+        /// visual language of the paper's figures (solid = derived-from,
+        /// dotted = temporal, double circle = latest).
+        pub fn export_dot<T: OdeType>(&mut self, ptr: &ObjPtr<T>) -> Result<String> {
+            ode_version::version_graph_dot(self.db.versions(), &mut self.tx, ptr.oid)
+        }
+    };
+}
+
+impl<'db> Snapshot<'db> {
+    pub(crate) fn new(db: &'db Database, tx: ReadTx<'db>) -> Snapshot<'db> {
+        Snapshot { db, tx }
+    }
+
+    read_api!();
+}
+
+impl<'db> Txn<'db> {
+    pub(crate) fn new(db: &'db Database, tx: Tx<'db>) -> Txn<'db> {
+        Txn {
+            db,
+            tx,
+            events: Vec::new(),
+        }
+    }
+
+    read_api!();
+
+    // -- mutations ----------------------------------------------------------
+
+    /// `pnew`: create a persistent object holding `value` as its first
+    /// version. Returns the generic reference.
+    pub fn pnew<T: OdeType>(&mut self, value: &T) -> Result<ObjPtr<T>> {
+        let tag = ObjPtr::<T>::tag();
+        let (oid, vid) = self
+            .db
+            .versions()
+            .create_object(&mut self.tx, tag, to_bytes(value))?;
+        self.events.push(Event::Created { oid, vid, tag });
+        Ok(ObjPtr::from_oid(oid))
+    }
+
+    /// `newversion(p)`: derive a new version from the object's latest.
+    /// The new version becomes the latest; its state starts as a copy of
+    /// the base's.
+    pub fn newversion<T: OdeType>(&mut self, ptr: &ObjPtr<T>) -> Result<VersionPtr<T>> {
+        let base = self.db.versions().latest(&mut self.tx, ptr.oid)?;
+        let vid = self.db.versions().new_version_from(&mut self.tx, base)?;
+        self.events.push(Event::NewVersion {
+            oid: ptr.oid,
+            vid,
+            base,
+            tag: ObjPtr::<T>::tag(),
+        });
+        Ok(VersionPtr::from_vid(vid))
+    }
+
+    /// `newversion(vp)`: derive from a *specific* version — this is how
+    /// alternatives/variants are created (deriving from a non-tip
+    /// version branches the derived-from tree).
+    pub fn newversion_from<T: OdeType>(&mut self, vp: &VersionPtr<T>) -> Result<VersionPtr<T>> {
+        let oid = self.db.versions().object_of(&mut self.tx, vp.vid)?;
+        let vid = self.db.versions().new_version_from(&mut self.tx, vp.vid)?;
+        self.events.push(Event::NewVersion {
+            oid,
+            vid,
+            base: vp.vid,
+            tag: ObjPtr::<T>::tag(),
+        });
+        Ok(VersionPtr::from_vid(vid))
+    }
+
+    /// The `newversion` + edit idiom in one call: derive a new version
+    /// from the object's latest, apply `f` to it, and return it. The
+    /// base version keeps its prior state untouched.
+    pub fn derive_with<T: OdeType>(
+        &mut self,
+        ptr: &ObjPtr<T>,
+        f: impl FnOnce(&mut T),
+    ) -> Result<VersionPtr<T>> {
+        let vp = self.newversion(ptr)?;
+        self.update_version(&vp, f)?;
+        Ok(vp)
+    }
+
+    /// Derive-and-edit from a *specific* base version (branching an
+    /// alternative and giving it its changed state in one call).
+    pub fn derive_from_with<T: OdeType>(
+        &mut self,
+        base: &VersionPtr<T>,
+        f: impl FnOnce(&mut T),
+    ) -> Result<VersionPtr<T>> {
+        let vp = self.newversion_from(base)?;
+        self.update_version(&vp, f)?;
+        Ok(vp)
+    }
+
+    /// Mutate the latest version in place through a generic reference
+    /// (ordinary `p->field = x` assignment in O++ — no new version).
+    pub fn update<T: OdeType>(
+        &mut self,
+        ptr: &ObjPtr<T>,
+        f: impl FnOnce(&mut T),
+    ) -> Result<VersionPtr<T>> {
+        let tag = ObjPtr::<T>::tag();
+        let vid = self.db.versions().latest(&mut self.tx, ptr.oid)?;
+        let body = self.db.versions().read_body(&mut self.tx, vid, tag)?;
+        let mut value: T = from_bytes(&body)?;
+        f(&mut value);
+        self.db
+            .versions()
+            .write_body(&mut self.tx, vid, tag, to_bytes(&value))?;
+        self.events.push(Event::Updated {
+            oid: ptr.oid,
+            vid,
+            tag,
+        });
+        Ok(VersionPtr::from_vid(vid))
+    }
+
+    /// Replace the latest version's state wholesale.
+    pub fn put<T: OdeType>(&mut self, ptr: &ObjPtr<T>, value: &T) -> Result<VersionPtr<T>> {
+        let tag = ObjPtr::<T>::tag();
+        let vid = self.db.versions().latest(&mut self.tx, ptr.oid)?;
+        self.db
+            .versions()
+            .write_body(&mut self.tx, vid, tag, to_bytes(value))?;
+        self.events.push(Event::Updated {
+            oid: ptr.oid,
+            vid,
+            tag,
+        });
+        Ok(VersionPtr::from_vid(vid))
+    }
+
+    /// Mutate a *specific* version in place.
+    pub fn update_version<T: OdeType>(
+        &mut self,
+        vp: &VersionPtr<T>,
+        f: impl FnOnce(&mut T),
+    ) -> Result<()> {
+        let tag = VersionPtr::<T>::tag();
+        let oid = self.db.versions().object_of(&mut self.tx, vp.vid)?;
+        let body = self.db.versions().read_body(&mut self.tx, vp.vid, tag)?;
+        let mut value: T = from_bytes(&body)?;
+        f(&mut value);
+        self.db
+            .versions()
+            .write_body(&mut self.tx, vp.vid, tag, to_bytes(&value))?;
+        self.events.push(Event::Updated {
+            oid,
+            vid: vp.vid,
+            tag,
+        });
+        Ok(())
+    }
+
+    /// Replace a specific version's state wholesale.
+    pub fn put_version<T: OdeType>(&mut self, vp: &VersionPtr<T>, value: &T) -> Result<()> {
+        let tag = VersionPtr::<T>::tag();
+        let oid = self.db.versions().object_of(&mut self.tx, vp.vid)?;
+        self.db
+            .versions()
+            .write_body(&mut self.tx, vp.vid, tag, to_bytes(value))?;
+        self.events.push(Event::Updated {
+            oid,
+            vid: vp.vid,
+            tag,
+        });
+        Ok(())
+    }
+
+    /// Type-erased `newversion` by raw object id.
+    ///
+    /// Policy layers (e.g. version percolation) walk heterogeneous
+    /// object graphs where the static type is unknown; this derives a
+    /// new version from the object's latest using its *stored* type tag.
+    pub fn newversion_raw(&mut self, oid: ode_object::Oid) -> Result<ode_object::Vid> {
+        let meta = self.db.versions().object_meta(&mut self.tx, oid)?;
+        let vid = self
+            .db
+            .versions()
+            .new_version_from(&mut self.tx, meta.latest)?;
+        self.events.push(Event::NewVersion {
+            oid,
+            vid,
+            base: meta.latest,
+            tag: meta.tag,
+        });
+        Ok(vid)
+    }
+
+    /// Type-erased latest-version lookup by raw object id.
+    pub fn latest_raw(&mut self, oid: ode_object::Oid) -> Result<ode_object::Vid> {
+        self.db.versions().latest(&mut self.tx, oid)
+    }
+
+    /// `pdelete p`: delete the object **and all its versions**.
+    pub fn pdelete<T: OdeType>(&mut self, ptr: ObjPtr<T>) -> Result<()> {
+        self.db.versions().delete_object(&mut self.tx, ptr.oid)?;
+        self.events.push(Event::ObjectDeleted {
+            oid: ptr.oid,
+            tag: ObjPtr::<T>::tag(),
+        });
+        Ok(())
+    }
+
+    /// `pdelete vp`: delete one specific version, splicing the temporal
+    /// and derived-from relationships around it. Deleting the last
+    /// version is refused ([`VersionError::LastVersion`]); use
+    /// [`Txn::pdelete`].
+    pub fn pdelete_version<T: OdeType>(&mut self, vp: VersionPtr<T>) -> Result<()> {
+        let oid = self.db.versions().object_of(&mut self.tx, vp.vid)?;
+        self.db.versions().delete_version(&mut self.tx, vp.vid)?;
+        self.events.push(Event::VersionDeleted {
+            oid,
+            vid: vp.vid,
+            tag: VersionPtr::<T>::tag(),
+        });
+        Ok(())
+    }
+
+    /// Commit the transaction, making every change durable, then fire
+    /// triggers for the committed events.
+    pub fn commit(self) -> Result<()> {
+        self.tx.commit()?;
+        self.db.fire(&self.events);
+        Ok(())
+    }
+
+    /// Events recorded so far (fired on commit; inspection aid).
+    pub fn pending_events(&self) -> &[Event] {
+        &self.events
+    }
+}
+
+// Silence the unused-import lint for VersionError used in doc comments.
+#[allow(unused)]
+fn _doc_refs(e: VersionError) {}

@@ -1,0 +1,192 @@
+//! Property test over the *public* API: arbitrary interleavings of
+//! pnew / newversion / newversion_from / update / pdelete_version /
+//! pdelete / commit / abort must always agree with an in-memory model,
+//! including transaction rollback.
+
+use std::collections::HashMap;
+
+use ode::{Database, DatabaseOptions, ObjPtr, VersionPtr};
+use ode_codec::{impl_persist_struct, impl_type_name};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Item {
+    value: u64,
+}
+impl_persist_struct!(Item { value });
+impl_type_name!(Item = "core-prop/Item");
+
+#[derive(Debug, Clone)]
+enum Op {
+    Pnew(u64),
+    NewVersion(u8),
+    NewVersionFrom(u8, u8),
+    Update(u8, u64),
+    UpdateVersion(u8, u8, u64),
+    PdeleteVersion(u8, u8),
+    Pdelete(u8),
+    /// Commit the running transaction and start a new one.
+    Commit,
+    /// Abort the running transaction and start a new one.
+    Abort,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => any::<u64>().prop_map(Op::Pnew),
+        3 => any::<u8>().prop_map(Op::NewVersion),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(o, v)| Op::NewVersionFrom(o, v)),
+        3 => (any::<u8>(), any::<u64>()).prop_map(|(o, x)| Op::Update(o, x)),
+        2 => (any::<u8>(), any::<u8>(), any::<u64>()).prop_map(|(o, v, x)| Op::UpdateVersion(o, v, x)),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(o, v)| Op::PdeleteVersion(o, v)),
+        1 => any::<u8>().prop_map(Op::Pdelete),
+        2 => Just(Op::Commit),
+        1 => Just(Op::Abort),
+    ]
+}
+
+/// Model of one object: versions in temporal order with their values.
+#[derive(Debug, Clone, Default)]
+struct ModelObject {
+    versions: Vec<(VersionPtr<Item>, u64)>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Model {
+    objects: HashMap<ObjPtr<Item>, ModelObject>,
+    order: Vec<ObjPtr<Item>>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn public_api_matches_model(ops in proptest::collection::vec(arb_op(), 1..80), seed: u64) {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "ode-coreprop-{seed}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut wal = path.clone().into_os_string();
+        wal.push(".wal");
+        let wal = std::path::PathBuf::from(wal);
+        let _ = std::fs::remove_file(&wal);
+
+        let db = Database::create(&path, DatabaseOptions::default()).unwrap();
+        // `committed` is the durable truth; `model` tracks the running txn.
+        let mut committed = Model::default();
+        let mut model = committed.clone();
+        let mut txn = db.begin();
+
+        for op in ops {
+            match op {
+                Op::Pnew(value) => {
+                    let ptr = txn.pnew(&Item { value }).unwrap();
+                    let v0 = txn.current_version(&ptr).unwrap();
+                    model.objects.insert(ptr, ModelObject { versions: vec![(v0, value)] });
+                    model.order.push(ptr);
+                }
+                Op::NewVersion(o) => {
+                    if model.order.is_empty() { continue; }
+                    let ptr = model.order[o as usize % model.order.len()];
+                    let vp = txn.newversion(&ptr).unwrap();
+                    let m = model.objects.get_mut(&ptr).unwrap();
+                    let tip_value = m.versions.last().unwrap().1;
+                    m.versions.push((vp, tip_value));
+                }
+                Op::NewVersionFrom(o, v) => {
+                    if model.order.is_empty() { continue; }
+                    let ptr = model.order[o as usize % model.order.len()];
+                    let m = model.objects.get_mut(&ptr).unwrap();
+                    let (base, base_value) = m.versions[v as usize % m.versions.len()];
+                    let vp = txn.newversion_from(&base).unwrap();
+                    m.versions.push((vp, base_value));
+                }
+                Op::Update(o, value) => {
+                    if model.order.is_empty() { continue; }
+                    let ptr = model.order[o as usize % model.order.len()];
+                    txn.update(&ptr, |item| item.value = value).unwrap();
+                    model.objects.get_mut(&ptr).unwrap().versions.last_mut().unwrap().1 = value;
+                }
+                Op::UpdateVersion(o, v, value) => {
+                    if model.order.is_empty() { continue; }
+                    let ptr = model.order[o as usize % model.order.len()];
+                    let m = model.objects.get_mut(&ptr).unwrap();
+                    let idx = v as usize % m.versions.len();
+                    let vp = m.versions[idx].0;
+                    txn.update_version(&vp, |item| item.value = value).unwrap();
+                    m.versions[idx].1 = value;
+                }
+                Op::PdeleteVersion(o, v) => {
+                    if model.order.is_empty() { continue; }
+                    let ptr = model.order[o as usize % model.order.len()];
+                    let m = model.objects.get_mut(&ptr).unwrap();
+                    if m.versions.len() <= 1 { continue; }
+                    let idx = v as usize % m.versions.len();
+                    let vp = m.versions[idx].0;
+                    txn.pdelete_version(vp).unwrap();
+                    m.versions.remove(idx);
+                }
+                Op::Pdelete(o) => {
+                    if model.order.is_empty() { continue; }
+                    let idx = o as usize % model.order.len();
+                    let ptr = model.order.remove(idx);
+                    txn.pdelete(ptr).unwrap();
+                    model.objects.remove(&ptr);
+                }
+                Op::Commit => {
+                    txn.commit().unwrap();
+                    committed = model.clone();
+                    txn = db.begin();
+                }
+                Op::Abort => {
+                    drop(txn);
+                    model = committed.clone();
+                    txn = db.begin();
+                }
+            }
+
+            // In-transaction agreement.
+            let mut live: Vec<ObjPtr<Item>> = model.order.clone();
+            live.sort();
+            let mut actual = txn.objects::<Item>().unwrap();
+            actual.sort();
+            prop_assert_eq!(actual, live);
+            for (ptr, m) in &model.objects {
+                let history = txn.version_history(ptr).unwrap();
+                let expected: Vec<VersionPtr<Item>> =
+                    m.versions.iter().map(|(vp, _)| *vp).collect();
+                prop_assert_eq!(history, expected);
+                for (vp, value) in &m.versions {
+                    prop_assert_eq!(txn.deref_v(vp).unwrap().value, *value);
+                }
+                prop_assert_eq!(
+                    txn.deref(ptr).unwrap().value,
+                    m.versions.last().unwrap().1
+                );
+                txn.check_object(ptr).unwrap();
+            }
+        }
+
+        // Final durability: drop the open txn, reopen, committed state holds.
+        drop(txn);
+        drop(db);
+        let db = Database::open(&path, DatabaseOptions::default()).unwrap();
+        let mut snap = db.snapshot();
+        for m in committed.objects.values() {
+            for (vp, value) in &m.versions {
+                prop_assert_eq!(snap.deref_v(vp).unwrap().value, *value);
+            }
+        }
+        prop_assert_eq!(
+            snap.objects::<Item>().unwrap().len(),
+            committed.objects.len()
+        );
+        drop(snap);
+        drop(db);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&wal);
+    }
+}

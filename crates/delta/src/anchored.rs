@@ -1,0 +1,189 @@
+//! Anchored delta chains: bounded materialization cost.
+//!
+//! Pure forward/reverse chains make one end of the history expensive
+//! proportionally to its length.  An [`AnchoredChain`] stores a full
+//! snapshot (an *anchor*) every `interval` versions and forward deltas
+//! in between, so materializing **any** version costs at most
+//! `interval - 1` delta applications — the classic RCS-trick
+//! generalized, and the knob the E7/ablation benches sweep.
+
+use ode_codec::impl_persist_struct;
+
+use crate::diff::{apply, diff_with_block, ApplyError, Delta, DEFAULT_BLOCK};
+
+/// One segment: an anchor snapshot plus forward deltas from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Segment {
+    anchor: Vec<u8>,
+    deltas: Vec<Delta>,
+}
+impl_persist_struct!(Segment { anchor, deltas });
+
+/// A delta chain with periodic full snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnchoredChain {
+    segments: Vec<Segment>,
+    /// Versions per segment (anchor + interval-1 deltas).
+    interval: u64,
+    block: u64,
+    /// Cached state of the newest version (not persisted redundantly —
+    /// reconstructed on decode).
+    len: u64,
+}
+impl_persist_struct!(AnchoredChain {
+    segments,
+    interval,
+    block,
+    len
+});
+
+impl AnchoredChain {
+    /// Start a chain at `initial`, re-anchoring every `interval`
+    /// versions (minimum 1 = every version is a snapshot).
+    pub fn new(initial: Vec<u8>, interval: usize) -> AnchoredChain {
+        let interval = interval.max(1);
+        AnchoredChain {
+            segments: vec![Segment {
+                anchor: initial,
+                deltas: Vec::new(),
+            }],
+            interval: interval as u64,
+            block: DEFAULT_BLOCK as u64,
+            len: 1,
+        }
+    }
+
+    /// Number of versions stored.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Always false: a chain holds at least its first anchor.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The re-anchoring interval.
+    pub fn interval(&self) -> usize {
+        self.interval as usize
+    }
+
+    /// Append a new version state.
+    pub fn push(&mut self, state: &[u8]) -> Result<(), ApplyError> {
+        let last = self.segments.last().expect("at least one segment");
+        if last.deltas.len() + 1 >= self.interval as usize {
+            // Start a new segment with a full snapshot.
+            self.segments.push(Segment {
+                anchor: state.to_vec(),
+                deltas: Vec::new(),
+            });
+        } else {
+            let prev = self.materialize(self.len() - 1)?;
+            let delta = diff_with_block(&prev, state, self.block as usize);
+            self.segments
+                .last_mut()
+                .expect("at least one segment")
+                .deltas
+                .push(delta);
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Reconstruct version `index` (0 = oldest). Costs at most
+    /// `interval - 1` delta applications.
+    pub fn materialize(&self, index: usize) -> Result<Vec<u8>, ApplyError> {
+        assert!(index < self.len(), "version index out of range");
+        let seg_idx = index / self.interval as usize;
+        let offset = index % self.interval as usize;
+        let segment = &self.segments[seg_idx];
+        let mut state = segment.anchor.clone();
+        for d in &segment.deltas[..offset] {
+            state = apply(&state, d)?;
+        }
+        Ok(state)
+    }
+
+    /// Reconstruct the newest version.
+    pub fn latest(&self) -> Result<Vec<u8>, ApplyError> {
+        self.materialize(self.len() - 1)
+    }
+
+    /// Total encoded bytes.
+    pub fn encoded_size(&self) -> usize {
+        ode_codec::to_bytes(self).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn evolution(n: usize, size: usize) -> Vec<Vec<u8>> {
+        let mut state: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        let mut out = vec![state.clone()];
+        for step in 1..n {
+            let idx = (step * 131) % size;
+            state[idx] = state[idx].wrapping_add(1);
+            out.push(state.clone());
+        }
+        out
+    }
+
+    #[test]
+    fn materializes_every_version_at_every_interval() {
+        let versions = evolution(23, 1500);
+        for interval in [1usize, 2, 4, 7, 100] {
+            let mut chain = AnchoredChain::new(versions[0].clone(), interval);
+            for v in &versions[1..] {
+                chain.push(v).unwrap();
+            }
+            assert_eq!(chain.len(), versions.len());
+            for (i, v) in versions.iter().enumerate() {
+                assert_eq!(
+                    &chain.materialize(i).unwrap(),
+                    v,
+                    "interval {interval} version {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interval_one_is_all_snapshots() {
+        let versions = evolution(5, 300);
+        let mut chain = AnchoredChain::new(versions[0].clone(), 1);
+        for v in &versions[1..] {
+            chain.push(v).unwrap();
+        }
+        // Five segments, no deltas anywhere.
+        assert_eq!(chain.segments.len(), 5);
+        assert!(chain.segments.iter().all(|s| s.deltas.is_empty()));
+    }
+
+    #[test]
+    fn space_sits_between_full_and_pure_delta() {
+        let versions = evolution(32, 4000);
+        let mut pure = crate::ForwardChain::new(versions[0].clone());
+        let mut anchored = AnchoredChain::new(versions[0].clone(), 8);
+        for v in &versions[1..] {
+            pure.push(v).unwrap();
+            anchored.push(v).unwrap();
+        }
+        let full = crate::full_copy_size(&versions);
+        assert!(anchored.encoded_size() > pure.encoded_size());
+        assert!(anchored.encoded_size() < full);
+    }
+
+    #[test]
+    fn round_trips_codec() {
+        let versions = evolution(10, 400);
+        let mut chain = AnchoredChain::new(versions[0].clone(), 4);
+        for v in &versions[1..] {
+            chain.push(v).unwrap();
+        }
+        let back: AnchoredChain = ode_codec::from_bytes(&ode_codec::to_bytes(&chain)).unwrap();
+        assert_eq!(back, chain);
+        assert_eq!(back.latest().unwrap(), versions[9]);
+    }
+}

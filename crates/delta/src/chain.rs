@@ -1,0 +1,311 @@
+//! Delta chains: SCCS-style forward and RCS-style reverse storage of a
+//! linear version sequence.
+//!
+//! Both store a linear sequence of version states `s₀, s₁, …, sₙ`.  The
+//! difference is which end is whole:
+//!
+//! * [`ForwardChain`] stores `s₀` whole plus deltas `s₀→s₁, s₁→s₂, …`;
+//!   reading `sᵢ` replays `i` deltas — reading the **latest** is the
+//!   most expensive.
+//! * [`ReverseChain`] stores `sₙ` whole plus deltas `sₙ→sₙ₋₁, …`;
+//!   reading the **latest** is free, which matches Ode's object-id
+//!   semantics (generic references resolve to the latest version).
+
+use ode_codec::impl_persist_struct;
+
+use crate::diff::{apply, diff_with_block, ApplyError, Delta, DEFAULT_BLOCK};
+
+/// SCCS-style chain: oldest version whole, deltas run forward.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForwardChain {
+    /// The first version's full state.
+    pub base: Vec<u8>,
+    /// `deltas[i]` transforms version `i` into version `i + 1`.
+    pub deltas: Vec<Delta>,
+    /// Block size used for diffing.
+    pub block: u64,
+}
+
+impl_persist_struct!(ForwardChain {
+    base,
+    deltas,
+    block
+});
+
+impl ForwardChain {
+    /// Start a chain at `initial` state.
+    pub fn new(initial: Vec<u8>) -> ForwardChain {
+        ForwardChain {
+            base: initial,
+            deltas: Vec::new(),
+            block: DEFAULT_BLOCK as u64,
+        }
+    }
+
+    /// Start a chain with a custom diff block size.
+    pub fn with_block(initial: Vec<u8>, block: usize) -> ForwardChain {
+        ForwardChain {
+            base: initial,
+            deltas: Vec::new(),
+            block: block as u64,
+        }
+    }
+
+    /// Number of versions stored.
+    pub fn len(&self) -> usize {
+        self.deltas.len() + 1
+    }
+
+    /// Always false: a chain holds at least its base version.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Append a new version state.
+    pub fn push(&mut self, state: &[u8]) -> Result<(), ApplyError> {
+        let prev = self.materialize(self.len() - 1)?;
+        self.deltas
+            .push(diff_with_block(&prev, state, self.block as usize));
+        Ok(())
+    }
+
+    /// Reconstruct version `index` (0 = oldest). Costs `index` delta
+    /// applications.
+    pub fn materialize(&self, index: usize) -> Result<Vec<u8>, ApplyError> {
+        assert!(index < self.len(), "version index out of range");
+        let mut state = self.base.clone();
+        for d in &self.deltas[..index] {
+            state = apply(&state, d)?;
+        }
+        Ok(state)
+    }
+
+    /// Reconstruct the newest version. Costs a full-chain replay.
+    pub fn latest(&self) -> Result<Vec<u8>, ApplyError> {
+        self.materialize(self.len() - 1)
+    }
+
+    /// Total encoded bytes (space accounting for experiment E7).
+    pub fn encoded_size(&self) -> usize {
+        ode_codec::to_bytes(self).len()
+    }
+}
+
+/// RCS-style chain: newest version whole, deltas run backward.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReverseChain {
+    /// The newest version's full state.
+    pub head: Vec<u8>,
+    /// `deltas[0]` transforms the head into the previous version,
+    /// `deltas[1]` that one into its predecessor, and so on.
+    pub deltas: Vec<Delta>,
+    /// Block size used for diffing.
+    pub block: u64,
+}
+
+impl_persist_struct!(ReverseChain {
+    head,
+    deltas,
+    block
+});
+
+impl ReverseChain {
+    /// Start a chain at `initial` state.
+    pub fn new(initial: Vec<u8>) -> ReverseChain {
+        ReverseChain {
+            head: initial,
+            deltas: Vec::new(),
+            block: DEFAULT_BLOCK as u64,
+        }
+    }
+
+    /// Start a chain with a custom diff block size.
+    pub fn with_block(initial: Vec<u8>, block: usize) -> ReverseChain {
+        ReverseChain {
+            head: initial,
+            deltas: Vec::new(),
+            block: block as u64,
+        }
+    }
+
+    /// Number of versions stored.
+    pub fn len(&self) -> usize {
+        self.deltas.len() + 1
+    }
+
+    /// Always false: a chain holds at least its head version.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Append a new version state: the new state becomes the whole head
+    /// and a *reverse* delta (new → old) is pushed.
+    pub fn push(&mut self, state: &[u8]) {
+        let reverse = diff_with_block(state, &self.head, self.block as usize);
+        self.deltas.insert(0, reverse);
+        self.head = state.to_vec();
+    }
+
+    /// Reconstruct version `index` (0 = oldest, `len() - 1` = newest).
+    /// Costs `len() - 1 - index` delta applications.
+    pub fn materialize(&self, index: usize) -> Result<Vec<u8>, ApplyError> {
+        assert!(index < self.len(), "version index out of range");
+        let steps = self.len() - 1 - index;
+        let mut state = self.head.clone();
+        for d in &self.deltas[..steps] {
+            state = apply(&state, d)?;
+        }
+        Ok(state)
+    }
+
+    /// The newest version — free (it is stored whole).
+    pub fn latest(&self) -> &[u8] {
+        &self.head
+    }
+
+    /// Replace the newest version's state **in place** (no new version).
+    ///
+    /// The first reverse delta reconstructs the previous version *from
+    /// the head*, so it must be recomputed against the new head — a
+    /// subtlety unique to reverse-delta storage (forward chains never
+    /// re-anchor on update).
+    pub fn set_head(&mut self, state: &[u8]) -> Result<(), ApplyError> {
+        if !self.deltas.is_empty() {
+            let prev = self.materialize(self.len() - 2)?;
+            self.deltas[0] = diff_with_block(state, &prev, self.block as usize);
+        }
+        self.head = state.to_vec();
+        Ok(())
+    }
+
+    /// Total encoded bytes.
+    pub fn encoded_size(&self) -> usize {
+        ode_codec::to_bytes(self).len()
+    }
+}
+
+/// Space used by storing every version whole (the full-copy baseline the
+/// chains are compared against).
+pub fn full_copy_size(versions: &[Vec<u8>]) -> usize {
+    versions.iter().map(|v| ode_codec::to_bytes(v).len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic evolution: each version perturbs a few bytes of a
+    /// sizeable object, like successive CAD edits.
+    fn evolution(n: usize, size: usize) -> Vec<Vec<u8>> {
+        let mut versions = Vec::with_capacity(n);
+        let mut state: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        versions.push(state.clone());
+        for step in 1..n {
+            let idx = (step * 97) % size;
+            state[idx] = state[idx].wrapping_add(step as u8);
+            // Occasionally grow.
+            if step % 4 == 0 {
+                state.extend_from_slice(&[step as u8; 16]);
+            }
+            versions.push(state.clone());
+        }
+        versions
+    }
+
+    #[test]
+    fn forward_chain_materializes_every_version() {
+        let versions = evolution(12, 2000);
+        let mut chain = ForwardChain::new(versions[0].clone());
+        for v in &versions[1..] {
+            chain.push(v).unwrap();
+        }
+        assert_eq!(chain.len(), 12);
+        for (i, v) in versions.iter().enumerate() {
+            assert_eq!(&chain.materialize(i).unwrap(), v, "version {i}");
+        }
+        assert_eq!(chain.latest().unwrap(), versions[11]);
+    }
+
+    #[test]
+    fn reverse_chain_materializes_every_version() {
+        let versions = evolution(12, 2000);
+        let mut chain = ReverseChain::new(versions[0].clone());
+        for v in &versions[1..] {
+            chain.push(v);
+        }
+        assert_eq!(chain.len(), 12);
+        for (i, v) in versions.iter().enumerate() {
+            assert_eq!(&chain.materialize(i).unwrap(), v, "version {i}");
+        }
+        assert_eq!(chain.latest(), &versions[11][..]);
+    }
+
+    #[test]
+    fn chains_beat_full_copies_on_space() {
+        let versions = evolution(20, 4000);
+        let mut fwd = ForwardChain::new(versions[0].clone());
+        let mut rev = ReverseChain::new(versions[0].clone());
+        for v in &versions[1..] {
+            fwd.push(v).unwrap();
+            rev.push(v);
+        }
+        let full = full_copy_size(&versions);
+        assert!(
+            fwd.encoded_size() < full / 4,
+            "forward {} vs full {}",
+            fwd.encoded_size(),
+            full
+        );
+        assert!(
+            rev.encoded_size() < full / 4,
+            "reverse {} vs full {}",
+            rev.encoded_size(),
+            full
+        );
+    }
+
+    #[test]
+    fn set_head_preserves_older_versions() {
+        let versions = evolution(6, 1000);
+        let mut chain = ReverseChain::new(versions[0].clone());
+        for v in &versions[1..] {
+            chain.push(v);
+        }
+        // Overwrite the newest state in place.
+        let mut edited = versions[5].clone();
+        edited[10] ^= 0xFF;
+        edited.extend_from_slice(b"suffix");
+        chain.set_head(&edited).unwrap();
+        assert_eq!(chain.latest(), &edited[..]);
+        // Every older version still reconstructs exactly.
+        for (i, v) in versions.iter().enumerate().take(5) {
+            assert_eq!(&chain.materialize(i).unwrap(), v, "version {i}");
+        }
+        // In-place update on a single-version chain works too.
+        let mut solo = ReverseChain::new(b"one".to_vec());
+        solo.set_head(b"two").unwrap();
+        assert_eq!(solo.latest(), b"two");
+    }
+
+    #[test]
+    fn single_version_chains() {
+        let chain = ForwardChain::new(b"solo".to_vec());
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain.latest().unwrap(), b"solo");
+        let chain = ReverseChain::new(b"solo".to_vec());
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain.materialize(0).unwrap(), b"solo");
+    }
+
+    #[test]
+    fn chains_round_trip_codec() {
+        let versions = evolution(5, 500);
+        let mut fwd = ForwardChain::new(versions[0].clone());
+        for v in &versions[1..] {
+            fwd.push(v).unwrap();
+        }
+        let back: ForwardChain = ode_codec::from_bytes(&ode_codec::to_bytes(&fwd)).unwrap();
+        assert_eq!(back, fwd);
+        assert_eq!(back.latest().unwrap(), versions[4]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the delta layer: `apply(base, diff(base, t)) == t`
+//! for arbitrary inputs and block sizes, and chains reconstruct every
+//! version of arbitrary evolutions.
+
+use ode_delta::DeltaOp;
+use ode_delta::{apply, diff, ForwardChain, ReverseChain};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn diff_apply_round_trip(base: Vec<u8>, target: Vec<u8>) {
+        let d = diff(&base, &target);
+        prop_assert_eq!(apply(&base, &d).unwrap(), target);
+    }
+
+    #[test]
+    fn diff_apply_with_any_block(
+        base in proptest::collection::vec(any::<u8>(), 0..2000),
+        target in proptest::collection::vec(any::<u8>(), 0..2000),
+        block in 4usize..512,
+    ) {
+        let d = ode_delta::diff_with_block(&base, &target, block);
+        prop_assert_eq!(apply(&base, &d).unwrap(), target);
+    }
+
+    /// Related inputs (target derived from base by edits) must produce
+    /// deltas whose literal bytes are bounded by the edit size plus
+    /// block-boundary slop.
+    #[test]
+    fn related_inputs_dedupe(
+        base in proptest::collection::vec(any::<u8>(), 500..3000),
+        edits in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8),
+    ) {
+        let mut target = base.clone();
+        for (pos, val) in &edits {
+            let idx = *pos as usize % target.len();
+            target[idx] = *val;
+        }
+        let d = diff(&base, &target);
+        prop_assert_eq!(apply(&base, &d).unwrap(), target);
+        // Each point edit can cost at most ~2 blocks of literals.
+        prop_assert!(d.literal_bytes() <= edits.len() * 2 * ode_delta::DEFAULT_BLOCK + 64);
+    }
+
+    #[test]
+    fn chains_reconstruct_arbitrary_evolutions(
+        states in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..600),
+            1..10,
+        )
+    ) {
+        let mut fwd = ForwardChain::new(states[0].clone());
+        let mut rev = ReverseChain::new(states[0].clone());
+        for s in &states[1..] {
+            fwd.push(s).unwrap();
+            rev.push(s);
+        }
+        for (i, s) in states.iter().enumerate() {
+            prop_assert_eq!(&fwd.materialize(i).unwrap(), s);
+            prop_assert_eq!(&rev.materialize(i).unwrap(), s);
+        }
+    }
+
+    /// The applier must never panic on arbitrary (possibly corrupt)
+    /// delta structures.
+    #[test]
+    fn apply_never_panics(
+        base: Vec<u8>,
+        target_len in 0u64..10_000,
+        raw_ops in proptest::collection::vec(
+            prop_oneof![
+                (any::<u64>(), 0u64..10_000).prop_map(|(o, l)| (0u8, o, l, vec![])),
+                proptest::collection::vec(any::<u8>(), 0..100).prop_map(|b| (1u8, 0, 0, b)),
+            ],
+            0..10,
+        ),
+    ) {
+        let ops: Vec<DeltaOp> = raw_ops
+            .into_iter()
+            .map(|(kind, offset, len, bytes)| if kind == 0 {
+                DeltaOp::Copy { offset, len }
+            } else {
+                DeltaOp::Insert(bytes)
+            })
+            .collect();
+        let delta = ode_delta::Delta { target_len, ops };
+        let _ = apply(&base, &delta); // may error, must not panic
+    }
+}

@@ -1,0 +1,515 @@
+//! # ode-dms — the paper's §5 CAD design-database example
+//!
+//! §5 walks through "an abbreviated version of our simulation of the DMS
+//! design database system being used in our VLSI design laboratory": an
+//! ALU chip with three *representations* — **schematic**, **fault**, and
+//! **timing** — each a *configuration* over shared versioned data
+//! objects:
+//!
+//! * the schematic representation consists of the schematic data;
+//! * the fault representation consists of the schematic data plus test
+//!   vectors;
+//! * the timing representation consists of the schematic data (the same
+//!   object as the schematic representation's), the vectors (the same
+//!   object as the fault representation's), and timing commands.
+//!
+//! This crate models that design state with ordinary Ode objects plus
+//! the configuration policy, and provides the evolution operations the
+//! example narrates: revising data objects, branching alternatives, and
+//! releasing (freezing) representations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sim;
+
+use ode::{Database, ObjPtr, Result, Txn, VersionPtr};
+use ode_codec::{impl_persist_struct, impl_type_name};
+use ode_policies::config::ConfigHandle;
+use ode_policies::Configuration;
+
+/// A cell instance in the schematic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Library cell name (e.g. "NAND2").
+    pub kind: String,
+    /// Instance coordinates.
+    pub x: i32,
+    /// Instance coordinates.
+    pub y: i32,
+}
+impl_persist_struct!(Cell { kind, x, y });
+
+/// A net connecting cell pins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Net name.
+    pub name: String,
+    /// Connected (cell index, pin index) pairs.
+    pub pins: Vec<(u32, u32)>,
+}
+impl_persist_struct!(Net { name, pins });
+
+/// The schematic data object shared by all three representations.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SchematicData {
+    /// Placed cells.
+    pub cells: Vec<Cell>,
+    /// Connectivity.
+    pub nets: Vec<Net>,
+}
+impl_persist_struct!(SchematicData { cells, nets });
+impl_type_name!(SchematicData = "dms/SchematicData");
+
+/// Test vectors shared by the fault and timing representations.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TestVectors {
+    /// One stimulus bit-pattern per vector.
+    pub vectors: Vec<Vec<u8>>,
+}
+impl_persist_struct!(TestVectors { vectors });
+impl_type_name!(TestVectors = "dms/TestVectors");
+
+/// Timing analysis commands (timing representation only).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TimingCommands {
+    /// Analysis script lines.
+    pub commands: Vec<String>,
+}
+impl_persist_struct!(TimingCommands { commands });
+impl_type_name!(TimingCommands = "dms/TimingCommands");
+
+/// The ALU chip complex object: its data objects and the three
+/// representation configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AluChip {
+    /// Chip name.
+    pub name: String,
+    /// The shared schematic data object.
+    pub schematic: ObjPtr<SchematicData>,
+    /// The shared test-vector object.
+    pub vectors: ObjPtr<TestVectors>,
+    /// The timing-command object.
+    pub timing_cmds: ObjPtr<TimingCommands>,
+    /// The "schematic" representation configuration.
+    pub schematic_rep: ObjPtr<Configuration>,
+    /// The "fault" representation configuration.
+    pub fault_rep: ObjPtr<Configuration>,
+    /// The "timing" representation configuration.
+    pub timing_rep: ObjPtr<Configuration>,
+}
+impl_persist_struct!(AluChip {
+    name,
+    schematic,
+    vectors,
+    timing_cmds,
+    schematic_rep,
+    fault_rep,
+    timing_rep
+});
+impl_type_name!(AluChip = "dms/AluChip");
+
+/// Component names used inside the representation configurations.
+pub mod components {
+    /// The schematic data component.
+    pub const SCHEMATIC: &str = "schematic";
+    /// The test-vector component.
+    pub const VECTORS: &str = "vectors";
+    /// The timing-command component.
+    pub const TIMING: &str = "timing-commands";
+}
+
+/// A live handle over an [`AluChip`] design in a database.
+#[derive(Debug, Clone, Copy)]
+pub struct AluDesign {
+    /// The persistent complex object.
+    pub ptr: ObjPtr<AluChip>,
+}
+
+/// A small initial ALU slice netlist: the "initial design state" of §5.
+///
+/// Inputs `a`, `b`, `sel`; output `y` selects between `a XOR b` and
+/// `NAND(b, NAND(a, b))`. Fully wired, so [`sim`] can evaluate it.
+pub fn seed_schematic() -> SchematicData {
+    SchematicData {
+        cells: vec![
+            Cell {
+                kind: "NAND2".into(),
+                x: 0,
+                y: 0,
+            },
+            Cell {
+                kind: "NAND2".into(),
+                x: 10,
+                y: 0,
+            },
+            Cell {
+                kind: "XOR2".into(),
+                x: 5,
+                y: 8,
+            },
+            Cell {
+                kind: "MUX2".into(),
+                x: 5,
+                y: 16,
+            },
+        ],
+        nets: vec![
+            Net {
+                name: "a".into(),
+                pins: vec![(0, 0), (2, 0)],
+            },
+            Net {
+                name: "b".into(),
+                pins: vec![(0, 1), (1, 0), (2, 1)],
+            },
+            Net {
+                name: "n0".into(),
+                pins: vec![(0, 2), (1, 1)],
+            },
+            Net {
+                name: "sum".into(),
+                pins: vec![(2, 2), (3, 0)],
+            },
+            Net {
+                name: "n1".into(),
+                pins: vec![(1, 2), (3, 1)],
+            },
+            Net {
+                name: "sel".into(),
+                pins: vec![(3, 2)],
+            },
+            Net {
+                name: "y".into(),
+                pins: vec![(3, 3)],
+            },
+        ],
+    }
+}
+
+/// Seed test vectors.
+pub fn seed_vectors() -> TestVectors {
+    TestVectors {
+        vectors: vec![vec![0b00, 0b01], vec![0b10, 0b11], vec![0b11, 0b00]],
+    }
+}
+
+/// Seed timing commands.
+pub fn seed_timing() -> TimingCommands {
+    TimingCommands {
+        commands: vec![
+            "set_clock clk 10ns".into(),
+            "report_paths -from a -to sum".into(),
+        ],
+    }
+}
+
+impl AluDesign {
+    /// Create the initial design state: the three data objects plus the
+    /// three representation configurations (all dynamically bound, so a
+    /// representation initially tracks its components' latest versions).
+    pub fn create(txn: &mut Txn<'_>, name: &str) -> Result<AluDesign> {
+        let schematic = txn.pnew(&seed_schematic())?;
+        let vectors = txn.pnew(&seed_vectors())?;
+        let timing_cmds = txn.pnew(&seed_timing())?;
+
+        let schematic_rep = ConfigHandle::create(txn, "schematic")?;
+        schematic_rep.bind_dynamic(txn, components::SCHEMATIC, schematic)?;
+
+        let fault_rep = ConfigHandle::create(txn, "fault")?;
+        fault_rep.bind_dynamic(txn, components::SCHEMATIC, schematic)?;
+        fault_rep.bind_dynamic(txn, components::VECTORS, vectors)?;
+
+        let timing_rep = ConfigHandle::create(txn, "timing")?;
+        timing_rep.bind_dynamic(txn, components::SCHEMATIC, schematic)?;
+        timing_rep.bind_dynamic(txn, components::VECTORS, vectors)?;
+        timing_rep.bind_dynamic(txn, components::TIMING, timing_cmds)?;
+
+        let ptr = txn.pnew(&AluChip {
+            name: name.to_string(),
+            schematic,
+            vectors,
+            timing_cmds,
+            schematic_rep: schematic_rep.ptr(),
+            fault_rep: fault_rep.ptr(),
+            timing_rep: timing_rep.ptr(),
+        })?;
+        Ok(AluDesign { ptr })
+    }
+
+    /// Re-attach to an existing design.
+    pub fn attach(ptr: ObjPtr<AluChip>) -> AluDesign {
+        AluDesign { ptr }
+    }
+
+    /// The chip record.
+    pub fn chip(&self, txn: &mut Txn<'_>) -> Result<AluChip> {
+        Ok(txn.deref(&self.ptr)?.into_inner())
+    }
+
+    /// Revise the schematic: derive a new version and apply an edit to
+    /// it (the old version stays reachable for released representations).
+    pub fn revise_schematic(
+        &self,
+        txn: &mut Txn<'_>,
+        edit: impl FnOnce(&mut SchematicData),
+    ) -> Result<VersionPtr<SchematicData>> {
+        let chip = self.chip(txn)?;
+        let v = txn.newversion(&chip.schematic)?;
+        txn.update(&chip.schematic, edit)?;
+        Ok(v)
+    }
+
+    /// Branch an alternative schematic from a specific earlier version
+    /// (a design variant, §4.2).
+    pub fn branch_schematic(
+        &self,
+        txn: &mut Txn<'_>,
+        base: VersionPtr<SchematicData>,
+        edit: impl FnOnce(&mut SchematicData),
+    ) -> Result<VersionPtr<SchematicData>> {
+        let v = txn.newversion_from(&base)?;
+        txn.update_version(&v, edit)?;
+        Ok(v)
+    }
+
+    /// Add test vectors as a new version of the vector object.
+    pub fn revise_vectors(
+        &self,
+        txn: &mut Txn<'_>,
+        extra: Vec<Vec<u8>>,
+    ) -> Result<VersionPtr<TestVectors>> {
+        let chip = self.chip(txn)?;
+        let v = txn.newversion(&chip.vectors)?;
+        txn.update(&chip.vectors, |tv| tv.vectors.extend(extra))?;
+        Ok(v)
+    }
+
+    /// Release a representation: freeze its configuration so later data
+    /// evolution no longer changes what it resolves to.
+    pub fn release(&self, txn: &mut Txn<'_>, rep: ObjPtr<Configuration>) -> Result<()> {
+        ConfigHandle::attach(rep).freeze(txn)
+    }
+
+    /// Resolve a representation's schematic component.
+    pub fn schematic_of(
+        &self,
+        txn: &mut Txn<'_>,
+        rep: ObjPtr<Configuration>,
+    ) -> Result<SchematicData> {
+        Ok(ConfigHandle::attach(rep)
+            .resolve::<SchematicData>(txn, components::SCHEMATIC)?
+            .into_inner())
+    }
+
+    /// Resolve a representation's vector component.
+    pub fn vectors_of(&self, txn: &mut Txn<'_>, rep: ObjPtr<Configuration>) -> Result<TestVectors> {
+        Ok(ConfigHandle::attach(rep)
+            .resolve::<TestVectors>(txn, components::VECTORS)?
+            .into_inner())
+    }
+
+    /// A fault run: simulate the fault representation's vectors against
+    /// a golden and a candidate schematic *version* and report the
+    /// vector indexes whose responses differ.
+    ///
+    /// This is the §5 pairing in action — the fault representation
+    /// binds the schematic data and the vectors together precisely so
+    /// runs like this can compare design versions.
+    pub fn fault_run(
+        &self,
+        txn: &mut Txn<'_>,
+        golden: VersionPtr<SchematicData>,
+        candidate: VersionPtr<SchematicData>,
+    ) -> Result<std::result::Result<Vec<usize>, sim::SimError>> {
+        let chip = self.chip(txn)?;
+        let vectors = self.vectors_of(txn, chip.fault_rep)?;
+        let golden_state = txn.deref_v(&golden)?.into_inner();
+        let candidate_state = txn.deref_v(&candidate)?.into_inner();
+        Ok(sim::compare_responses(
+            &golden_state,
+            &candidate_state,
+            &vectors.vectors,
+        ))
+    }
+}
+
+/// Convenience: create a design inside its own transaction.
+pub fn bootstrap(db: &Database, name: &str) -> Result<AluDesign> {
+    let mut txn = db.begin();
+    let design = AluDesign::create(&mut txn, name)?;
+    txn.commit()?;
+    Ok(design)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ode::DatabaseOptions;
+
+    struct TempDb {
+        path: std::path::PathBuf,
+    }
+
+    impl TempDb {
+        fn new(name: &str) -> TempDb {
+            let mut path = std::env::temp_dir();
+            path.push(format!("ode-dms-{name}-{}", std::process::id()));
+            let _ = std::fs::remove_file(&path);
+            let mut wal = path.clone().into_os_string();
+            wal.push(".wal");
+            let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+            TempDb { path }
+        }
+        fn create(&self) -> Database {
+            Database::create(&self.path, DatabaseOptions::default()).unwrap()
+        }
+    }
+
+    impl Drop for TempDb {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.path);
+            let mut wal = self.path.clone().into_os_string();
+            wal.push(".wal");
+            let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+        }
+    }
+
+    #[test]
+    fn initial_design_state() {
+        let tmp = TempDb::new("init");
+        let db = tmp.create();
+        let design = bootstrap(&db, "alu-1").unwrap();
+        let mut txn = db.begin();
+        let chip = design.chip(&mut txn).unwrap();
+        assert_eq!(chip.name, "alu-1");
+        // All three representations resolve the same schematic object.
+        let s1 = design.schematic_of(&mut txn, chip.schematic_rep).unwrap();
+        let s2 = design.schematic_of(&mut txn, chip.fault_rep).unwrap();
+        let s3 = design.schematic_of(&mut txn, chip.timing_rep).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(s2, s3);
+        assert_eq!(s1.cells.len(), 4);
+        // Fault and timing share the vector object.
+        let v1 = design.vectors_of(&mut txn, chip.fault_rep).unwrap();
+        let v2 = design.vectors_of(&mut txn, chip.timing_rep).unwrap();
+        assert_eq!(v1, v2);
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn released_representation_survives_evolution() {
+        let tmp = TempDb::new("release");
+        let db = tmp.create();
+        let design = bootstrap(&db, "alu").unwrap();
+        let mut txn = db.begin();
+        let chip = design.chip(&mut txn).unwrap();
+
+        // Release timing at the initial state.
+        design.release(&mut txn, chip.timing_rep).unwrap();
+
+        // Then evolve the schematic.
+        design
+            .revise_schematic(&mut txn, |s| {
+                s.cells.push(Cell {
+                    kind: "INV".into(),
+                    x: 20,
+                    y: 20,
+                });
+            })
+            .unwrap();
+
+        // The released timing representation still sees 4 cells; the
+        // live schematic representation sees 5.
+        let frozen = design.schematic_of(&mut txn, chip.timing_rep).unwrap();
+        let live = design.schematic_of(&mut txn, chip.schematic_rep).unwrap();
+        assert_eq!(frozen.cells.len(), 4);
+        assert_eq!(live.cells.len(), 5);
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn alternatives_branch_the_schematic() {
+        let tmp = TempDb::new("branch");
+        let db = tmp.create();
+        let design = bootstrap(&db, "alu").unwrap();
+        let mut txn = db.begin();
+        let chip = design.chip(&mut txn).unwrap();
+        let v0 = txn.current_version(&chip.schematic).unwrap();
+
+        // Revision on the main line.
+        design
+            .revise_schematic(&mut txn, |s| s.cells[0].x = 99)
+            .unwrap();
+        // An alternative branched from the original.
+        let alt = design
+            .branch_schematic(&mut txn, v0, |s| s.cells[0].kind = "NOR2".into())
+            .unwrap();
+
+        // Derivation tree: v0 has two children.
+        assert_eq!(txn.dnext(&v0).unwrap().len(), 2);
+        // The alternative kept the original coordinates.
+        let alt_state = txn.deref_v(&alt).unwrap();
+        assert_eq!(alt_state.cells[0].x, 0);
+        assert_eq!(alt_state.cells[0].kind, "NOR2");
+        assert_eq!(txn.version_count(&chip.schematic).unwrap(), 3);
+        txn.check_object(&chip.schematic).unwrap();
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn fault_run_compares_design_versions() {
+        let tmp = TempDb::new("faultrun");
+        let db = tmp.create();
+        let design = bootstrap(&db, "alu").unwrap();
+        let mut txn = db.begin();
+        let chip = design.chip(&mut txn).unwrap();
+        let golden = txn.current_version(&chip.schematic).unwrap();
+
+        // A revision that swaps the XOR for an OR changes responses.
+        let candidate = design
+            .revise_schematic(&mut txn, |s| {
+                let xor = s
+                    .cells
+                    .iter_mut()
+                    .find(|c| c.kind == "XOR2")
+                    .expect("seed has an XOR2");
+                xor.kind = "OR2".into();
+            })
+            .unwrap();
+
+        let differing = design
+            .fault_run(&mut txn, golden, candidate)
+            .unwrap()
+            .unwrap();
+        assert!(
+            !differing.is_empty(),
+            "OR vs XOR must differ on some vector"
+        );
+        // Identical versions never differ.
+        let same = design.fault_run(&mut txn, golden, golden).unwrap().unwrap();
+        assert!(same.is_empty());
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn design_persists_across_reopen() {
+        let tmp = TempDb::new("persist");
+        let ptr = {
+            let db = tmp.create();
+            let design = bootstrap(&db, "alu").unwrap();
+            let mut txn = db.begin();
+            design.revise_vectors(&mut txn, vec![vec![0xFF]]).unwrap();
+            txn.commit().unwrap();
+            design.ptr
+        };
+        let db = Database::open(&tmp.path, DatabaseOptions::default()).unwrap();
+        let design = AluDesign::attach(ptr);
+        let mut txn = db.begin();
+        let chip = design.chip(&mut txn).unwrap();
+        let vectors = design.vectors_of(&mut txn, chip.fault_rep).unwrap();
+        assert_eq!(vectors.vectors.len(), 4);
+        assert_eq!(txn.version_count(&chip.vectors).unwrap(), 2);
+        txn.commit().unwrap();
+    }
+}

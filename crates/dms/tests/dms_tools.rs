@@ -1,0 +1,79 @@
+//! Cross-crate scenario: build a §5 design database with `ode-dms`,
+//! then inspect it with `ode-tools` the way an operator would.
+
+use ode::{Database, DatabaseOptions};
+use ode_dms::{bootstrap, Cell};
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ode-dmstools-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    let mut wal = p.clone().into_os_string();
+    wal.push(".wal");
+    let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+    p
+}
+
+fn cleanup(p: &std::path::Path) {
+    let _ = std::fs::remove_file(p);
+    let mut wal = p.to_path_buf().into_os_string();
+    wal.push(".wal");
+    let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+}
+
+#[test]
+fn operator_view_of_a_design_database() {
+    let path = temp_path("operator");
+    let schematic_oid;
+    {
+        let db = Database::create(&path, DatabaseOptions::default()).unwrap();
+        let design = bootstrap(&db, "alu-ops").unwrap();
+        let mut txn = db.begin();
+        let chip = design.chip(&mut txn).unwrap();
+        schematic_oid = chip.schematic.oid().0;
+        design
+            .revise_schematic(&mut txn, |s| {
+                s.cells.push(Cell {
+                    kind: "INV".into(),
+                    x: 9,
+                    y: 9,
+                })
+            })
+            .unwrap();
+        let v0 = txn.version_history(&chip.schematic).unwrap()[0];
+        txn.newversion_from(&v0).unwrap();
+        txn.commit().unwrap();
+        // Clean shutdown (Drop checkpoints).
+    }
+
+    // The operator inspects the file with the tools library.
+    let info = ode_tools::store_info(&path).unwrap();
+    // 3 data objects + 3 configurations + the chip record = 7 objects,
+    // and the schematic carries 3 versions.
+    assert_eq!(info.object_count, 7);
+    assert_eq!(info.version_count, 9);
+    assert!(info.type_count >= 5);
+    assert_eq!(info.wal_bytes, 0, "checkpointed on clean shutdown");
+
+    let objects = ode_tools::list_objects(&path).unwrap();
+    assert_eq!(objects.len(), 7);
+    let schematic = objects
+        .iter()
+        .find(|o| o.oid == schematic_oid)
+        .expect("schematic listed");
+    assert_eq!(schematic.versions, 3);
+
+    let described = ode_tools::describe_object(&path, schematic_oid).unwrap();
+    assert!(described.contains("versions : 3"));
+
+    let dot = ode_tools::export_object_dot(&path, schematic_oid).unwrap();
+    // Two alternatives hang off v0: two solid edges into the same node.
+    assert_eq!(dot.matches("style=solid").count(), 2);
+
+    let report = ode_tools::fsck(&path).unwrap();
+    assert!(report.is_healthy(), "{:?}", report.problems);
+    assert_eq!(report.objects_checked, 7);
+    assert_eq!(report.versions_checked, 9);
+
+    cleanup(&path);
+}

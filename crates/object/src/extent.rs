@@ -1,0 +1,216 @@
+//! Per-type extents.
+//!
+//! Ode clusters persistent objects by type; O++ queries (`for x in Type`)
+//! iterate a type's *extent*.  An [`Extents`] directory maps a stable
+//! [`TypeTag`] to a per-type membership tree (member id → 1), letting the
+//! core layer enumerate all objects of a type in id order.
+
+use ode_codec::TypeTag;
+use ode_storage::btree::BTree;
+use ode_storage::{PageId, PageRead, PageWrite, Result};
+
+use crate::table::KvTable;
+
+/// Directory of per-type extents, rooted in a store root slot.
+#[derive(Debug, Clone, Copy)]
+pub struct Extents {
+    directory: KvTable,
+}
+
+impl Extents {
+    /// Bind the extent directory to root `slot`.
+    pub fn new(slot: usize) -> Extents {
+        Extents {
+            directory: KvTable::new(slot),
+        }
+    }
+
+    fn member_tree(&self, tx: &mut impl PageRead, tag: TypeTag) -> Result<Option<BTree>> {
+        Ok(self
+            .directory
+            .get(tx, tag.0)?
+            .map(|root| BTree::open(PageId(root))))
+    }
+
+    /// Add `id` to the extent of `tag`.
+    pub fn add(&self, tx: &mut impl PageWrite, tag: TypeTag, id: u64) -> Result<()> {
+        let mut tree = match self.member_tree(tx, tag)? {
+            Some(t) => t,
+            None => {
+                let t = BTree::create(tx)?;
+                self.directory.put(tx, tag.0, t.root.0)?;
+                t
+            }
+        };
+        let before = tree.root;
+        tree.insert(tx, id, 1)?;
+        if tree.root != before {
+            self.directory.put(tx, tag.0, tree.root.0)?;
+        }
+        Ok(())
+    }
+
+    /// Remove `id` from the extent of `tag`. Returns whether it was a
+    /// member.
+    pub fn remove(&self, tx: &mut impl PageWrite, tag: TypeTag, id: u64) -> Result<bool> {
+        let mut tree = match self.member_tree(tx, tag)? {
+            Some(t) => t,
+            None => return Ok(false),
+        };
+        let before = tree.root;
+        let removed = tree.remove(tx, id)?.is_some();
+        if tree.root != before {
+            self.directory.put(tx, tag.0, tree.root.0)?;
+        }
+        Ok(removed)
+    }
+
+    /// Whether `id` belongs to the extent of `tag`.
+    pub fn contains(&self, tx: &mut impl PageRead, tag: TypeTag, id: u64) -> Result<bool> {
+        match self.member_tree(tx, tag)? {
+            Some(t) => Ok(t.get(tx, id)?.is_some()),
+            None => Ok(false),
+        }
+    }
+
+    /// All member ids of `tag`, ascending.
+    pub fn members(&self, tx: &mut impl PageRead, tag: TypeTag) -> Result<Vec<u64>> {
+        match self.member_tree(tx, tag)? {
+            Some(t) => Ok(t.scan_all(tx)?.into_iter().map(|(k, _)| k).collect()),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Member ids of `tag` starting at `from`, up to `limit` (paged
+    /// iteration for large extents).
+    pub fn members_from(
+        &self,
+        tx: &mut impl PageRead,
+        tag: TypeTag,
+        from: u64,
+        limit: usize,
+    ) -> Result<Vec<u64>> {
+        match self.member_tree(tx, tag)? {
+            Some(t) => Ok(t
+                .scan_from(tx, from, limit)?
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect()),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Number of members in the extent of `tag`.
+    pub fn count(&self, tx: &mut impl PageRead, tag: TypeTag) -> Result<usize> {
+        Ok(self.members(tx, tag)?.len())
+    }
+
+    /// All type tags that have (or ever had) an extent.
+    pub fn tags(&self, tx: &mut impl PageRead) -> Result<Vec<TypeTag>> {
+        Ok(self
+            .directory
+            .scan_all(tx)?
+            .into_iter()
+            .map(|(k, _)| TypeTag(k))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ode_storage::{Store, StoreOptions};
+
+    fn temp_store(name: &str) -> (std::path::PathBuf, Store) {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ode-extent-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        let mut wal = p.clone().into_os_string();
+        wal.push(".wal");
+        let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+        let store = Store::create(&p, StoreOptions::default()).unwrap();
+        (p, store)
+    }
+
+    fn cleanup(p: &std::path::Path) {
+        let _ = std::fs::remove_file(p);
+        let mut wal = p.to_path_buf().into_os_string();
+        wal.push(".wal");
+        let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+    }
+
+    const CHIP: TypeTag = TypeTag::from_name("test/Chip");
+    const NET: TypeTag = TypeTag::from_name("test/Net");
+
+    #[test]
+    fn membership_basics() {
+        let (path, store) = temp_store("basics");
+        let ext = Extents::new(7);
+        let mut tx = store.begin();
+        ext.add(&mut tx, CHIP, 10).unwrap();
+        ext.add(&mut tx, CHIP, 5).unwrap();
+        ext.add(&mut tx, NET, 10).unwrap();
+        assert!(ext.contains(&mut tx, CHIP, 10).unwrap());
+        assert!(!ext.contains(&mut tx, NET, 5).unwrap());
+        assert_eq!(ext.members(&mut tx, CHIP).unwrap(), vec![5, 10]);
+        assert_eq!(ext.count(&mut tx, NET).unwrap(), 1);
+        assert!(ext.remove(&mut tx, CHIP, 10).unwrap());
+        assert!(!ext.remove(&mut tx, CHIP, 10).unwrap());
+        assert_eq!(ext.members(&mut tx, CHIP).unwrap(), vec![5]);
+        tx.commit().unwrap();
+        drop(store);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn large_extent_with_root_movement() {
+        let (path, store) = temp_store("large");
+        let ext = Extents::new(7);
+        {
+            let mut tx = store.begin();
+            for id in 0..3000u64 {
+                ext.add(&mut tx, CHIP, id).unwrap();
+            }
+            tx.commit().unwrap();
+        }
+        drop(store);
+        let store = Store::open(&path, StoreOptions::default()).unwrap();
+        let mut r = store.read();
+        assert_eq!(ext.count(&mut r, CHIP).unwrap(), 3000);
+        let page = ext.members_from(&mut r, CHIP, 1000, 5).unwrap();
+        assert_eq!(page, vec![1000, 1001, 1002, 1003, 1004]);
+        drop(r);
+        drop(store);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn tags_enumeration() {
+        let (path, store) = temp_store("tags");
+        let ext = Extents::new(7);
+        let mut tx = store.begin();
+        ext.add(&mut tx, CHIP, 1).unwrap();
+        ext.add(&mut tx, NET, 2).unwrap();
+        let mut tags = ext.tags(&mut tx).unwrap();
+        tags.sort();
+        let mut expected = vec![CHIP, NET];
+        expected.sort();
+        assert_eq!(tags, expected);
+        tx.commit().unwrap();
+        drop(store);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn empty_extent_queries() {
+        let (path, store) = temp_store("empty");
+        let ext = Extents::new(7);
+        let mut r = store.read();
+        assert!(ext.members(&mut r, CHIP).unwrap().is_empty());
+        assert_eq!(ext.count(&mut r, CHIP).unwrap(), 0);
+        assert!(!ext.contains(&mut r, CHIP, 1).unwrap());
+        drop(r);
+        drop(store);
+        cleanup(&path);
+    }
+}

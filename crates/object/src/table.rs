@@ -1,0 +1,185 @@
+//! Self-rooting `u64 → u64` tables.
+//!
+//! A [`KvTable`] wraps a storage B+-tree and keeps its root page id in a
+//! store root slot, transparently re-persisting the root when splits (or
+//! root collapses) move it.  The object and version tables of the version
+//! layer are `KvTable`s.
+
+use ode_storage::btree::BTree;
+use ode_storage::{PageId, PageRead, PageWrite, Result};
+
+/// A persistent `u64 → u64` map rooted in a store root slot.
+#[derive(Debug, Clone, Copy)]
+pub struct KvTable {
+    slot: usize,
+}
+
+impl KvTable {
+    /// Bind a table to root `slot`. The underlying tree is created lazily
+    /// on first mutation.
+    pub fn new(slot: usize) -> KvTable {
+        KvTable { slot }
+    }
+
+    fn tree(&self, tx: &mut impl PageRead) -> Result<Option<BTree>> {
+        let root = tx.root(self.slot)?;
+        Ok(if root == 0 {
+            None
+        } else {
+            Some(BTree::open(PageId(root)))
+        })
+    }
+
+    fn tree_mut(&self, tx: &mut impl PageWrite) -> Result<BTree> {
+        match self.tree(tx)? {
+            Some(t) => Ok(t),
+            None => {
+                let t = BTree::create(tx)?;
+                tx.set_root(self.slot, t.root.0)?;
+                Ok(t)
+            }
+        }
+    }
+
+    fn save_root(&self, tx: &mut impl PageWrite, tree: &BTree) -> Result<()> {
+        if tx.root(self.slot)? != tree.root.0 {
+            tx.set_root(self.slot, tree.root.0)?;
+        }
+        Ok(())
+    }
+
+    /// Look up a key.
+    pub fn get(&self, tx: &mut impl PageRead, key: u64) -> Result<Option<u64>> {
+        match self.tree(tx)? {
+            Some(t) => t.get(tx, key),
+            None => Ok(None),
+        }
+    }
+
+    /// Insert or overwrite; returns the previous value.
+    pub fn put(&self, tx: &mut impl PageWrite, key: u64, value: u64) -> Result<Option<u64>> {
+        let mut t = self.tree_mut(tx)?;
+        let old = t.insert(tx, key, value)?;
+        self.save_root(tx, &t)?;
+        Ok(old)
+    }
+
+    /// Remove a key; returns its value.
+    pub fn remove(&self, tx: &mut impl PageWrite, key: u64) -> Result<Option<u64>> {
+        let mut t = match self.tree(tx)? {
+            Some(t) => t,
+            None => return Ok(None),
+        };
+        let old = t.remove(tx, key)?;
+        self.save_root(tx, &t)?;
+        Ok(old)
+    }
+
+    /// Entries with keys `>= start`, up to `limit`.
+    pub fn scan_from(
+        &self,
+        tx: &mut impl PageRead,
+        start: u64,
+        limit: usize,
+    ) -> Result<Vec<(u64, u64)>> {
+        match self.tree(tx)? {
+            Some(t) => t.scan_from(tx, start, limit),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// All entries in key order.
+    pub fn scan_all(&self, tx: &mut impl PageRead) -> Result<Vec<(u64, u64)>> {
+        self.scan_from(tx, 0, usize::MAX)
+    }
+
+    /// Number of entries.
+    pub fn len(&self, tx: &mut impl PageRead) -> Result<usize> {
+        Ok(self.scan_all(tx)?.len())
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self, tx: &mut impl PageRead) -> Result<bool> {
+        Ok(self.len(tx)? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ode_storage::{Store, StoreOptions};
+
+    fn temp_store(name: &str) -> (std::path::PathBuf, Store) {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ode-table-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        let mut wal = p.clone().into_os_string();
+        wal.push(".wal");
+        let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+        let store = Store::create(&p, StoreOptions::default()).unwrap();
+        (p, store)
+    }
+
+    fn cleanup(p: &std::path::Path) {
+        let _ = std::fs::remove_file(p);
+        let mut wal = p.to_path_buf().into_os_string();
+        wal.push(".wal");
+        let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+    }
+
+    #[test]
+    fn lazy_creation_and_basic_ops() {
+        let (path, store) = temp_store("basic");
+        let table = KvTable::new(4);
+        let mut tx = store.begin();
+        assert_eq!(table.get(&mut tx, 1).unwrap(), None);
+        assert!(table.is_empty(&mut tx).unwrap());
+        assert_eq!(table.put(&mut tx, 1, 10).unwrap(), None);
+        assert_eq!(table.put(&mut tx, 1, 11).unwrap(), Some(10));
+        assert_eq!(table.get(&mut tx, 1).unwrap(), Some(11));
+        assert_eq!(table.remove(&mut tx, 1).unwrap(), Some(11));
+        assert_eq!(table.remove(&mut tx, 1).unwrap(), None);
+        tx.commit().unwrap();
+        drop(store);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn root_slot_tracks_splits_across_reopen() {
+        let (path, store) = temp_store("splits");
+        let table = KvTable::new(4);
+        {
+            let mut tx = store.begin();
+            // Enough entries to split the root at full capacity.
+            for k in 0..2000u64 {
+                table.put(&mut tx, k, k * 2).unwrap();
+            }
+            tx.commit().unwrap();
+        }
+        drop(store);
+        let store = Store::open(&path, StoreOptions::default()).unwrap();
+        let mut r = store.read();
+        for k in (0..2000u64).step_by(97) {
+            assert_eq!(table.get(&mut r, k).unwrap(), Some(k * 2));
+        }
+        assert_eq!(table.len(&mut r).unwrap(), 2000);
+        drop(r);
+        drop(store);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn two_tables_in_distinct_slots_are_independent() {
+        let (path, store) = temp_store("two");
+        let a = KvTable::new(4);
+        let b = KvTable::new(5);
+        let mut tx = store.begin();
+        a.put(&mut tx, 1, 100).unwrap();
+        b.put(&mut tx, 1, 200).unwrap();
+        assert_eq!(a.get(&mut tx, 1).unwrap(), Some(100));
+        assert_eq!(b.get(&mut tx, 1).unwrap(), Some(200));
+        tx.commit().unwrap();
+        drop(store);
+        cleanup(&path);
+    }
+}

@@ -1,0 +1,139 @@
+//! Model-based property tests for the object layer: extents against a
+//! `BTreeMap<tag, BTreeSet<id>>` model and `KvTable` against a
+//! `BTreeMap<u64, u64>` model across commit/abort boundaries.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ode_codec::TypeTag;
+use ode_object::{Extents, KvTable};
+use ode_storage::{Store, StoreOptions};
+use proptest::prelude::*;
+
+fn temp_store(tag: u64) -> (std::path::PathBuf, Store) {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "ode-objprop-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    let mut wal = p.clone().into_os_string();
+    wal.push(".wal");
+    let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+    let store = Store::create(&p, StoreOptions::default()).unwrap();
+    (p, store)
+}
+
+fn cleanup(p: &std::path::Path) {
+    let _ = std::fs::remove_file(p);
+    let mut wal = p.to_path_buf().into_os_string();
+    wal.push(".wal");
+    let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+}
+
+const TAGS: [TypeTag; 3] = [
+    TypeTag::from_name("prop/A"),
+    TypeTag::from_name("prop/B"),
+    TypeTag::from_name("prop/C"),
+];
+
+#[derive(Debug, Clone)]
+enum ExtOp {
+    Add(u8, u64),
+    Remove(u8, u64),
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn extents_match_model(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                3 => (0u8..3, 0u64..100).prop_map(|(t, id)| ExtOp::Add(t, id)),
+                1 => (0u8..3, 0u64..100).prop_map(|(t, id)| ExtOp::Remove(t, id)),
+            ],
+            1..150,
+        ),
+        seed: u64,
+    ) {
+        let (path, store) = temp_store(seed);
+        let ext = Extents::new(7);
+        let mut model: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+        let mut tx = store.begin();
+        for op in ops {
+            match op {
+                ExtOp::Add(t, id) => {
+                    let tag = TAGS[t as usize];
+                    ext.add(&mut tx, tag, id).unwrap();
+                    model.entry(tag.0).or_default().insert(id);
+                }
+                ExtOp::Remove(t, id) => {
+                    let tag = TAGS[t as usize];
+                    let removed = ext.remove(&mut tx, tag, id).unwrap();
+                    let expected = model
+                        .get_mut(&tag.0)
+                        .map(|s| s.remove(&id))
+                        .unwrap_or(false);
+                    prop_assert_eq!(removed, expected);
+                }
+            }
+        }
+        for tag in TAGS {
+            let members = ext.members(&mut tx, tag).unwrap();
+            let expected: Vec<u64> = model
+                .get(&tag.0)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            prop_assert_eq!(members, expected);
+        }
+        tx.commit().unwrap();
+        drop(store);
+        cleanup(&path);
+    }
+
+    /// KvTable state equals the model after arbitrary puts/removes with
+    /// interleaved commits and aborts (aborted work must vanish).
+    #[test]
+    fn kvtable_respects_transaction_boundaries(
+        batches in proptest::collection::vec(
+            (
+                proptest::collection::vec((0u64..64, any::<u64>(), any::<bool>()), 1..20),
+                any::<bool>(), // commit?
+            ),
+            1..8,
+        ),
+        seed: u64,
+    ) {
+        let (path, store) = temp_store(seed.wrapping_add(1));
+        let table = KvTable::new(4);
+        let mut committed: BTreeMap<u64, u64> = BTreeMap::new();
+        for (ops, commit) in batches {
+            let mut working = committed.clone();
+            let mut tx = store.begin();
+            for (k, v, is_put) in ops {
+                if is_put {
+                    let old = table.put(&mut tx, k, v).unwrap();
+                    prop_assert_eq!(old, working.insert(k, v));
+                } else {
+                    let old = table.remove(&mut tx, k).unwrap();
+                    prop_assert_eq!(old, working.remove(&k));
+                }
+            }
+            if commit {
+                tx.commit().unwrap();
+                committed = working;
+            } else {
+                drop(tx); // abort
+            }
+            // Durable state must equal the committed model.
+            let mut r = store.read();
+            let actual = table.scan_all(&mut r).unwrap();
+            let expected: Vec<(u64, u64)> =
+                committed.iter().map(|(&k, &v)| (k, v)).collect();
+            prop_assert_eq!(actual, expected);
+        }
+        drop(store);
+        cleanup(&path);
+    }
+}

@@ -1,0 +1,133 @@
+//! Checkout/checkin over a public/private database pair.
+//!
+//! §7 describes ORION's model: "Versions can be transient, working, or
+//! released depending upon their location in public, project, or private
+//! databases.  Versions can be created by checkout and checkin…".  The
+//! paper's position is that this is a *policy*; here it is, composed
+//! from `pnew`, `newversion`, and plain reads:
+//!
+//! * **checkout** copies the public object's latest state into a fresh
+//!   object in the designer's private database and remembers the
+//!   public↔private mapping (itself a persistent object in the private
+//!   database);
+//! * **checkin** derives a `newversion` of the public object and writes
+//!   the private object's latest state into it;
+//! * repeated checkin from the same checkout keeps deriving — the
+//!   public history records each round.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use ode::{Database, DatabaseOptions, ObjPtr, OdeType, Result, Txn, VersionPtr};
+use ode_codec::{impl_persist_struct, impl_type_name};
+
+/// The persistent private→public object mapping.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CheckoutTable {
+    /// private oid → public oid.
+    pub entries: BTreeMap<u64, u64>,
+}
+
+impl_persist_struct!(CheckoutTable { entries });
+impl_type_name!(CheckoutTable = "ode-policies/CheckoutTable");
+
+/// A designer's private workspace over a shared public database.
+pub struct Workspace<'pubdb> {
+    public: &'pubdb Database,
+    private: Database,
+    table: ObjPtr<CheckoutTable>,
+}
+
+impl<'pubdb> Workspace<'pubdb> {
+    /// Create a fresh private workspace database at `private_path`.
+    pub fn create(
+        public: &'pubdb Database,
+        private_path: impl AsRef<Path>,
+    ) -> Result<Workspace<'pubdb>> {
+        let private = Database::create(private_path, DatabaseOptions::default())?;
+        let mut txn = private.begin();
+        let table = txn.pnew(&CheckoutTable::default())?;
+        txn.commit()?;
+        Ok(Workspace {
+            public,
+            private,
+            table,
+        })
+    }
+
+    /// The private database (for direct edits between checkout and
+    /// checkin).
+    pub fn private(&self) -> &Database {
+        &self.private
+    }
+
+    /// Check an object out of the public database: its latest state is
+    /// copied into a fresh private object (a "working version").
+    pub fn checkout<T: OdeType>(&self, public_ptr: ObjPtr<T>) -> Result<ObjPtr<T>> {
+        let state: T = {
+            let mut snap = self.public.snapshot();
+            snap.deref(&public_ptr)?.into_inner()
+        };
+        let mut txn = self.private.begin();
+        let private_ptr = txn.pnew(&state)?;
+        txn.update(&self.table, |t| {
+            t.entries.insert(private_ptr.oid().0, public_ptr.oid().0);
+        })?;
+        txn.commit()?;
+        Ok(private_ptr)
+    }
+
+    /// Check a private object back in: the public object gains a
+    /// `newversion` carrying the private latest state. Returns the new
+    /// public version.
+    pub fn checkin<T: OdeType>(&self, private_ptr: ObjPtr<T>) -> Result<VersionPtr<T>> {
+        let public_ptr = self.public_counterpart(private_ptr)?;
+        let state: T = {
+            let mut snap = self.private.snapshot();
+            snap.deref(&private_ptr)?.into_inner()
+        };
+        let mut txn = self.public.begin();
+        let new_version = txn.newversion(&public_ptr)?;
+        txn.put(&public_ptr, &state)?;
+        txn.commit()?;
+        Ok(new_version)
+    }
+
+    /// Release a checkout without checkin: the private object and its
+    /// mapping entry are dropped.
+    pub fn discard<T: OdeType>(&self, private_ptr: ObjPtr<T>) -> Result<()> {
+        let mut txn = self.private.begin();
+        txn.update(&self.table, |t| {
+            t.entries.remove(&private_ptr.oid().0);
+        })?;
+        txn.pdelete(private_ptr)?;
+        txn.commit()?;
+        Ok(())
+    }
+
+    /// The public object a private checkout came from.
+    pub fn public_counterpart<T: OdeType>(&self, private_ptr: ObjPtr<T>) -> Result<ObjPtr<T>> {
+        let mut snap = self.private.snapshot();
+        let table = snap.deref(&self.table)?;
+        table
+            .entries
+            .get(&private_ptr.oid().0)
+            .map(|&oid| ObjPtr::from_oid(ode::Oid(oid)))
+            .ok_or(ode::Error::UnknownObject(private_ptr.oid()))
+    }
+
+    /// Number of live checkouts.
+    pub fn checkout_count(&self) -> Result<usize> {
+        let mut snap = self.private.snapshot();
+        Ok(snap.deref(&self.table)?.entries.len())
+    }
+
+    /// Edit a checked-out private object in place (a "transient
+    /// version" edit in ORION's terms).
+    pub fn edit<T: OdeType>(&self, private_ptr: ObjPtr<T>, f: impl FnOnce(&mut T)) -> Result<()> {
+        let mut txn: Txn<'_> = self.private.begin();
+        txn.update(&private_ptr, f)?;
+        txn.commit()?;
+        Ok(())
+    }
+}

@@ -1,0 +1,224 @@
+//! Configurations: compositions of specific versions of component
+//! objects (Katz et al., and §5's representation objects).
+//!
+//! "Each representation can be thought of as a configuration."  A
+//! configuration names its components and binds each one either
+//! **statically** — to a pinned version id, early binding — or
+//! **dynamically** — to the object id, so resolution late-binds to the
+//! latest version.  Configurations are themselves persistent Ode
+//! objects, so they version, persist, and trigger like anything else.
+
+use std::collections::BTreeMap;
+
+use ode::{ObjPtr, OdeType, Result, Snapshot, Txn, VRef, VersionPtr};
+use ode::{Oid, Vid};
+use ode_codec::{impl_persist_enum, impl_persist_struct, impl_type_name};
+
+/// How one component of a configuration is bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Binding {
+    /// Early binding: a pinned version.
+    Static {
+        /// The component object.
+        oid: Oid,
+        /// The pinned version.
+        vid: Vid,
+    },
+    /// Late binding: resolves to the object's latest version at each
+    /// access.
+    Dynamic {
+        /// The component object.
+        oid: Oid,
+    },
+}
+
+impl_persist_enum!(Binding {
+    Static { oid, vid },
+    Dynamic { oid },
+});
+
+/// The persistent state of a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Configuration {
+    /// Human-readable configuration name (e.g. "timing").
+    pub name: String,
+    /// Component name → binding.
+    pub bindings: BTreeMap<String, Binding>,
+}
+
+impl_persist_struct!(Configuration { name, bindings });
+impl_type_name!(Configuration = "ode-policies/Configuration");
+
+/// A typed handle over a persistent [`Configuration`] object.
+///
+/// ```
+/// use ode::{Database, DatabaseOptions};
+/// use ode_codec::{impl_persist_struct, impl_type_name};
+/// use ode_policies::config::ConfigHandle;
+///
+/// #[derive(Debug, Clone, PartialEq)]
+/// struct Part { rev: u32 }
+/// impl_persist_struct!(Part { rev });
+/// impl_type_name!(Part = "cfg-doc/Part");
+///
+/// # let path = std::env::temp_dir().join(format!("cfg-doc-{}", std::process::id()));
+/// # let db = Database::create(&path, DatabaseOptions::default()).unwrap();
+/// let mut txn = db.begin();
+/// let part = txn.pnew(&Part { rev: 1 }).unwrap();
+/// let cfg = ConfigHandle::create(&mut txn, "release").unwrap();
+/// cfg.bind_dynamic(&mut txn, "part", part).unwrap();
+/// cfg.freeze(&mut txn).unwrap();            // pin what "release" means
+/// txn.newversion(&part).unwrap();
+/// txn.update(&part, |p| p.rev = 2).unwrap();
+/// // The frozen configuration still resolves the pinned state.
+/// assert_eq!(cfg.resolve::<Part>(&mut txn, "part").unwrap().rev, 1);
+/// txn.commit().unwrap();
+/// # drop(db);
+/// # let _ = std::fs::remove_file(&path);
+/// # let mut w = path.into_os_string(); w.push(".wal");
+/// # let _ = std::fs::remove_file(std::path::PathBuf::from(w));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigHandle {
+    ptr: ObjPtr<Configuration>,
+}
+
+impl ConfigHandle {
+    /// Create a new, empty configuration.
+    pub fn create(txn: &mut Txn<'_>, name: &str) -> Result<ConfigHandle> {
+        let ptr = txn.pnew(&Configuration {
+            name: name.to_string(),
+            bindings: BTreeMap::new(),
+        })?;
+        Ok(ConfigHandle { ptr })
+    }
+
+    /// Re-attach to an existing configuration object.
+    pub fn attach(ptr: ObjPtr<Configuration>) -> ConfigHandle {
+        ConfigHandle { ptr }
+    }
+
+    /// The underlying persistent object.
+    pub fn ptr(&self) -> ObjPtr<Configuration> {
+        self.ptr
+    }
+
+    /// Bind `component` statically to a specific version.
+    pub fn bind_static<T: OdeType>(
+        &self,
+        txn: &mut Txn<'_>,
+        component: &str,
+        version: VersionPtr<T>,
+    ) -> Result<()> {
+        let oid = txn.object_of(&version)?.oid();
+        let component = component.to_string();
+        txn.update(&self.ptr, |cfg| {
+            cfg.bindings.insert(
+                component,
+                Binding::Static {
+                    oid,
+                    vid: version.vid(),
+                },
+            );
+        })?;
+        Ok(())
+    }
+
+    /// Bind `component` dynamically to an object (latest wins at each
+    /// resolve).
+    pub fn bind_dynamic<T: OdeType>(
+        &self,
+        txn: &mut Txn<'_>,
+        component: &str,
+        object: ObjPtr<T>,
+    ) -> Result<()> {
+        let component = component.to_string();
+        txn.update(&self.ptr, |cfg| {
+            cfg.bindings
+                .insert(component, Binding::Dynamic { oid: object.oid() });
+        })?;
+        Ok(())
+    }
+
+    /// Remove a component. Returns whether it was bound.
+    pub fn unbind(&self, txn: &mut Txn<'_>, component: &str) -> Result<bool> {
+        let component = component.to_string();
+        let mut removed = false;
+        txn.update(&self.ptr, |cfg| {
+            removed = cfg.bindings.remove(&component).is_some();
+        })?;
+        Ok(removed)
+    }
+
+    /// Resolve a component to its bound state (type-checked decode).
+    pub fn resolve<T: OdeType>(&self, txn: &mut Txn<'_>, component: &str) -> Result<VRef<T>> {
+        let binding = self.binding(txn, component)?;
+        resolve_binding(txn, binding)
+    }
+
+    /// Resolve against a read-only snapshot.
+    pub fn resolve_in<T: OdeType>(
+        &self,
+        snap: &mut Snapshot<'_>,
+        component: &str,
+    ) -> Result<VRef<T>> {
+        let cfg = snap.deref(&self.ptr)?;
+        let binding = *cfg
+            .bindings
+            .get(component)
+            .ok_or(ode::Error::UnknownObject(Oid::NULL))?;
+        let vp: VersionPtr<T> = match binding {
+            Binding::Static { vid, .. } => VersionPtr::from_vid(vid),
+            Binding::Dynamic { oid } => {
+                let p: ObjPtr<T> = ObjPtr::from_oid(oid);
+                snap.current_version(&p)?
+            }
+        };
+        snap.deref_v(&vp)
+    }
+
+    /// The binding of one component.
+    pub fn binding(&self, txn: &mut Txn<'_>, component: &str) -> Result<Binding> {
+        let cfg = txn.deref(&self.ptr)?;
+        cfg.bindings
+            .get(component)
+            .copied()
+            .ok_or(ode::Error::UnknownObject(Oid::NULL))
+    }
+
+    /// All component names, sorted.
+    pub fn components(&self, txn: &mut Txn<'_>) -> Result<Vec<String>> {
+        Ok(txn.deref(&self.ptr)?.bindings.keys().cloned().collect())
+    }
+
+    /// Snapshot-freeze: every dynamic binding becomes a static binding
+    /// to the component's *current* latest version.  This is how §5's
+    /// released representations pin their parts.
+    pub fn freeze(&self, txn: &mut Txn<'_>) -> Result<()> {
+        let bindings = txn.deref(&self.ptr)?.bindings.clone();
+        let mut frozen = BTreeMap::new();
+        for (name, binding) in bindings {
+            let pinned = match binding {
+                Binding::Static { .. } => binding,
+                Binding::Dynamic { oid } => Binding::Static {
+                    oid,
+                    vid: txn.latest_raw(oid)?,
+                },
+            };
+            frozen.insert(name, pinned);
+        }
+        txn.update(&self.ptr, |cfg| cfg.bindings = frozen)?;
+        Ok(())
+    }
+}
+
+fn resolve_binding<T: OdeType>(txn: &mut Txn<'_>, binding: Binding) -> Result<VRef<T>> {
+    let vp: VersionPtr<T> = match binding {
+        Binding::Static { vid, .. } => VersionPtr::from_vid(vid),
+        Binding::Dynamic { oid } => {
+            let p: ObjPtr<T> = ObjPtr::from_oid(oid);
+            txn.current_version(&p)?
+        }
+    };
+    txn.deref_v(&vp)
+}

@@ -1,0 +1,104 @@
+//! Contexts: default-version maps.
+//!
+//! "In a similar manner, contexts may also be created to specify default
+//! versions." (§5)  A context redirects *generic* references: resolving
+//! an object through a context yields the context's pinned default
+//! version when one is set, and the latest version otherwise.  Like
+//! configurations, a context is an ordinary persistent object.
+
+use std::collections::BTreeMap;
+
+use ode::{ObjPtr, OdeType, Result, Txn, VRef, VersionPtr};
+use ode_codec::{impl_persist_struct, impl_type_name};
+
+/// Persistent state: object id → pinned default version id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Context {
+    /// Context name (e.g. "release-1.0").
+    pub name: String,
+    /// Pinned defaults.
+    pub defaults: BTreeMap<u64, u64>,
+}
+
+impl_persist_struct!(Context { name, defaults });
+impl_type_name!(Context = "ode-policies/Context");
+
+/// A typed handle over a persistent [`Context`] object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContextHandle {
+    ptr: ObjPtr<Context>,
+}
+
+impl ContextHandle {
+    /// Create a new, empty context.
+    pub fn create(txn: &mut Txn<'_>, name: &str) -> Result<ContextHandle> {
+        let ptr = txn.pnew(&Context {
+            name: name.to_string(),
+            defaults: BTreeMap::new(),
+        })?;
+        Ok(ContextHandle { ptr })
+    }
+
+    /// Re-attach to an existing context object.
+    pub fn attach(ptr: ObjPtr<Context>) -> ContextHandle {
+        ContextHandle { ptr }
+    }
+
+    /// The underlying persistent object.
+    pub fn ptr(&self) -> ObjPtr<Context> {
+        self.ptr
+    }
+
+    /// Pin `object`'s default version in this context.
+    pub fn set_default<T: OdeType>(
+        &self,
+        txn: &mut Txn<'_>,
+        object: ObjPtr<T>,
+        version: VersionPtr<T>,
+    ) -> Result<()> {
+        txn.update(&self.ptr, |ctx| {
+            ctx.defaults.insert(object.oid().0, version.vid().0);
+        })?;
+        Ok(())
+    }
+
+    /// Remove the pin for `object`; subsequent resolves see the latest
+    /// version again. Returns whether a pin existed.
+    pub fn clear_default<T: OdeType>(&self, txn: &mut Txn<'_>, object: ObjPtr<T>) -> Result<bool> {
+        let mut removed = false;
+        txn.update(&self.ptr, |ctx| {
+            removed = ctx.defaults.remove(&object.oid().0).is_some();
+        })?;
+        Ok(removed)
+    }
+
+    /// The pinned version for `object`, if any.
+    pub fn default_of<T: OdeType>(
+        &self,
+        txn: &mut Txn<'_>,
+        object: ObjPtr<T>,
+    ) -> Result<Option<VersionPtr<T>>> {
+        let ctx = txn.deref(&self.ptr)?;
+        Ok(ctx
+            .defaults
+            .get(&object.oid().0)
+            .map(|&vid| VersionPtr::from_vid(ode::Vid(vid))))
+    }
+
+    /// Resolve a generic reference *through the context*: the pinned
+    /// default when set, otherwise the latest version.
+    pub fn resolve<T: OdeType>(&self, txn: &mut Txn<'_>, object: ObjPtr<T>) -> Result<VRef<T>> {
+        match self.default_of(txn, object)? {
+            Some(vp) => txn.deref_v(&vp),
+            None => {
+                let latest = txn.current_version(&object)?;
+                txn.deref_v(&latest)
+            }
+        }
+    }
+
+    /// Number of pinned objects.
+    pub fn pinned_count(&self, txn: &mut Txn<'_>) -> Result<usize> {
+        Ok(txn.deref(&self.ptr)?.defaults.len())
+    }
+}

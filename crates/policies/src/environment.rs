@@ -1,0 +1,168 @@
+//! Version environments (Klahold, Schlageter, Wilkes — VLDB '86).
+//!
+//! §7: "A version environment offers mechanisms for ordering versions by
+//! various relationships … and partitioning versions according to
+//! specific properties (valid, invalid, in-progress, alternative,
+//! effective, etc.)."  This module implements the state/partition half
+//! as a policy: each tracked version carries a [`VersionState`], with a
+//! transition relation enforced at the API, and frozen versions refuse
+//! in-place mutation.
+
+use std::collections::BTreeMap;
+
+use ode::{ObjPtr, OdeType, Result, Txn, VersionPtr};
+use ode_codec::{impl_persist_enum, impl_persist_struct, impl_type_name};
+
+/// Lifecycle state of a tracked version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum VersionState {
+    /// Being worked on; freely mutable.
+    InProgress,
+    /// Validated; mutable, promotable to frozen.
+    Valid,
+    /// Failed validation; mutable (to fix), re-validatable.
+    Invalid,
+    /// Released; immutable under [`EnvHandle::update_guarded`].
+    Frozen,
+}
+
+impl_persist_enum!(VersionState {
+    InProgress,
+    Valid,
+    Invalid,
+    Frozen,
+});
+
+impl VersionState {
+    /// Whether `self → next` is a legal transition.
+    ///
+    /// ```text
+    /// InProgress → Valid | Invalid
+    /// Invalid    → InProgress | Valid
+    /// Valid      → Invalid | Frozen
+    /// Frozen     → (terminal)
+    /// ```
+    pub fn can_transition_to(self, next: VersionState) -> bool {
+        use VersionState::*;
+        matches!(
+            (self, next),
+            (InProgress, Valid)
+                | (InProgress, Invalid)
+                | (Invalid, InProgress)
+                | (Invalid, Valid)
+                | (Valid, Invalid)
+                | (Valid, Frozen)
+        )
+    }
+}
+
+/// Persistent environment state: version id → state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Environment {
+    /// Environment name.
+    pub name: String,
+    /// Tracked versions.
+    pub states: BTreeMap<u64, VersionState>,
+}
+
+impl_persist_struct!(Environment { name, states });
+impl_type_name!(Environment = "ode-policies/Environment");
+
+/// A typed handle over a persistent [`Environment`] object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnvHandle {
+    ptr: ObjPtr<Environment>,
+}
+
+/// Error text used when a transition is refused (surfaced through
+/// [`ode::Error::LastVersion`]-style typed errors is overkill here; the
+/// policy reports refusals as `None`/`false` returns instead).
+impl EnvHandle {
+    /// Create a new, empty environment.
+    pub fn create(txn: &mut Txn<'_>, name: &str) -> Result<EnvHandle> {
+        let ptr = txn.pnew(&Environment {
+            name: name.to_string(),
+            states: BTreeMap::new(),
+        })?;
+        Ok(EnvHandle { ptr })
+    }
+
+    /// Re-attach to an existing environment object.
+    pub fn attach(ptr: ObjPtr<Environment>) -> EnvHandle {
+        EnvHandle { ptr }
+    }
+
+    /// The underlying persistent object.
+    pub fn ptr(&self) -> ObjPtr<Environment> {
+        self.ptr
+    }
+
+    /// Start tracking a version (initially
+    /// [`VersionState::InProgress`]). Returns false if already tracked.
+    pub fn track<T: OdeType>(&self, txn: &mut Txn<'_>, vp: VersionPtr<T>) -> Result<bool> {
+        let mut inserted = false;
+        txn.update(&self.ptr, |env| {
+            inserted = env
+                .states
+                .insert(vp.vid().0, VersionState::InProgress)
+                .is_none();
+        })?;
+        Ok(inserted)
+    }
+
+    /// The state of a tracked version.
+    pub fn state_of<T: OdeType>(
+        &self,
+        txn: &mut Txn<'_>,
+        vp: VersionPtr<T>,
+    ) -> Result<Option<VersionState>> {
+        Ok(txn.deref(&self.ptr)?.states.get(&vp.vid().0).copied())
+    }
+
+    /// Attempt a state transition. Returns whether it was legal (and
+    /// applied).
+    pub fn transition<T: OdeType>(
+        &self,
+        txn: &mut Txn<'_>,
+        vp: VersionPtr<T>,
+        next: VersionState,
+    ) -> Result<bool> {
+        let mut ok = false;
+        txn.update(&self.ptr, |env| {
+            if let Some(cur) = env.states.get(&vp.vid().0).copied() {
+                if cur.can_transition_to(next) {
+                    env.states.insert(vp.vid().0, next);
+                    ok = true;
+                }
+            }
+        })?;
+        Ok(ok)
+    }
+
+    /// Versions currently in `state`, ascending by version id — the
+    /// partition query of the version-environment model.
+    pub fn partition(&self, txn: &mut Txn<'_>, state: VersionState) -> Result<Vec<u64>> {
+        Ok(txn
+            .deref(&self.ptr)?
+            .states
+            .iter()
+            .filter(|(_, s)| **s == state)
+            .map(|(vid, _)| *vid)
+            .collect())
+    }
+
+    /// Mutate a version **only if** the environment does not hold it
+    /// frozen. Returns whether the update ran.
+    pub fn update_guarded<T: OdeType>(
+        &self,
+        txn: &mut Txn<'_>,
+        vp: VersionPtr<T>,
+        f: impl FnOnce(&mut T),
+    ) -> Result<bool> {
+        if self.state_of(txn, vp)? == Some(VersionState::Frozen) {
+            return Ok(false);
+        }
+        txn.update_version(&vp, f)?;
+        Ok(true)
+    }
+}

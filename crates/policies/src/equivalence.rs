@@ -1,0 +1,223 @@
+//! Equivalences: different views of one design entity.
+//!
+//! §7 cites Katz et al.'s framework of "version histories (instances
+//! over time), configurations (compositions of specific versions …),
+//! and **equivalences (different views of an object)**" and notes the
+//! framework "can easily be implemented by using the facilities
+//! provided in O++".  Configurations live in [`crate::config`]; this
+//! module is the equivalences leg: a persistent set tying together the
+//! objects that represent the *same* design entity in different views
+//! (schematic vs. layout vs. behavioural model), with optional pinning
+//! of the view to a specific version.
+
+use std::collections::BTreeMap;
+
+use ode::{ObjPtr, OdeType, Oid, Result, Txn, VRef, VersionPtr, Vid};
+use ode_codec::{impl_persist_struct, impl_type_name};
+
+/// Persistent state: view name → (object id, pinned version or 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivalenceSet {
+    /// The design entity's name (e.g. "alu-core").
+    pub entity: String,
+    /// View name → (oid, vid-or-0).
+    pub views: BTreeMap<String, (u64, u64)>,
+}
+
+impl_persist_struct!(EquivalenceSet { entity, views });
+impl_type_name!(EquivalenceSet = "ode-policies/EquivalenceSet");
+
+/// A typed handle over a persistent [`EquivalenceSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EquivalenceHandle {
+    ptr: ObjPtr<EquivalenceSet>,
+}
+
+impl EquivalenceHandle {
+    /// Create an empty equivalence set for `entity`.
+    pub fn create(txn: &mut Txn<'_>, entity: &str) -> Result<EquivalenceHandle> {
+        let ptr = txn.pnew(&EquivalenceSet {
+            entity: entity.to_string(),
+            views: BTreeMap::new(),
+        })?;
+        Ok(EquivalenceHandle { ptr })
+    }
+
+    /// Re-attach to an existing set.
+    pub fn attach(ptr: ObjPtr<EquivalenceSet>) -> EquivalenceHandle {
+        EquivalenceHandle { ptr }
+    }
+
+    /// The underlying persistent object.
+    pub fn ptr(&self) -> ObjPtr<EquivalenceSet> {
+        self.ptr
+    }
+
+    /// Register `object` as the `view` of this entity (latest-tracking).
+    pub fn add_view<T: OdeType>(
+        &self,
+        txn: &mut Txn<'_>,
+        view: &str,
+        object: ObjPtr<T>,
+    ) -> Result<()> {
+        let view = view.to_string();
+        txn.update(&self.ptr, |set| {
+            set.views.insert(view, (object.oid().0, 0));
+        })?;
+        Ok(())
+    }
+
+    /// Pin a view to a specific version (e.g. the layout that was
+    /// actually taped out).
+    pub fn pin_view<T: OdeType>(
+        &self,
+        txn: &mut Txn<'_>,
+        view: &str,
+        version: VersionPtr<T>,
+    ) -> Result<()> {
+        let oid = txn.object_of(&version)?.oid();
+        let view = view.to_string();
+        txn.update(&self.ptr, |set| {
+            set.views.insert(view, (oid.0, version.vid().0));
+        })?;
+        Ok(())
+    }
+
+    /// Resolve a view: pinned version if set, else the object's latest.
+    pub fn view<T: OdeType>(&self, txn: &mut Txn<'_>, view: &str) -> Result<VRef<T>> {
+        let set = txn.deref(&self.ptr)?;
+        let &(oid, vid) = set
+            .views
+            .get(view)
+            .ok_or(ode::Error::UnknownObject(Oid::NULL))?;
+        if vid != 0 {
+            txn.deref_v(&VersionPtr::from_vid(Vid(vid)))
+        } else {
+            let p: ObjPtr<T> = ObjPtr::from_oid(Oid(oid));
+            txn.deref(&p).map(|oref| {
+                let version = oref.version();
+                VRefShim {
+                    value: oref.into_inner(),
+                    version,
+                }
+                .into()
+            })
+        }
+    }
+
+    /// Names of the registered views, sorted.
+    pub fn view_names(&self, txn: &mut Txn<'_>) -> Result<Vec<String>> {
+        Ok(txn.deref(&self.ptr)?.views.keys().cloned().collect())
+    }
+
+    /// Whether two pointers are equivalent views of this entity.
+    pub fn are_equivalent<A: OdeType, B: OdeType>(
+        &self,
+        txn: &mut Txn<'_>,
+        a: ObjPtr<A>,
+        b: ObjPtr<B>,
+    ) -> Result<bool> {
+        let set = txn.deref(&self.ptr)?;
+        let member = |oid: u64| set.views.values().any(|&(o, _)| o == oid);
+        Ok(member(a.oid().0) && member(b.oid().0))
+    }
+}
+
+/// Internal adapter turning an `ORef` into a `VRef` (both pin the
+/// version they decoded; only the nominal pointer flavour differs).
+struct VRefShim<T> {
+    value: T,
+    version: VersionPtr<T>,
+}
+
+impl<T> From<VRefShim<T>> for VRef<T> {
+    fn from(shim: VRefShim<T>) -> VRef<T> {
+        VRef::from_parts(shim.value, shim.version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ode::{Database, DatabaseOptions};
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Schematic {
+        gates: u32,
+    }
+    impl_persist_struct!(Schematic { gates });
+    impl_type_name!(Schematic = "equiv-test/Schematic");
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Layout {
+        polygons: u32,
+    }
+    impl_persist_struct!(Layout { polygons });
+    impl_type_name!(Layout = "equiv-test/Layout");
+
+    fn temp_db(name: &str) -> (std::path::PathBuf, Database) {
+        let mut path = std::env::temp_dir();
+        path.push(format!("ode-equiv-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut wal = path.clone().into_os_string();
+        wal.push(".wal");
+        let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+        let db = Database::create(&path, DatabaseOptions::default()).unwrap();
+        (path, db)
+    }
+
+    fn cleanup(path: &std::path::Path) {
+        let _ = std::fs::remove_file(path);
+        let mut wal = path.to_path_buf().into_os_string();
+        wal.push(".wal");
+        let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+    }
+
+    #[test]
+    fn views_resolve_latest_until_pinned() {
+        let (path, db) = temp_db("views");
+        let mut txn = db.begin();
+        let sch = txn.pnew(&Schematic { gates: 10 }).unwrap();
+        let lay = txn.pnew(&Layout { polygons: 100 }).unwrap();
+        let eq = EquivalenceHandle::create(&mut txn, "alu").unwrap();
+        eq.add_view(&mut txn, "schematic", sch).unwrap();
+        eq.add_view(&mut txn, "layout", lay).unwrap();
+        assert_eq!(
+            eq.view_names(&mut txn).unwrap(),
+            vec!["layout", "schematic"]
+        );
+
+        // Latest-tracking view follows evolution.
+        txn.newversion(&lay).unwrap();
+        txn.update(&lay, |l| l.polygons = 250).unwrap();
+        assert_eq!(eq.view::<Layout>(&mut txn, "layout").unwrap().polygons, 250);
+
+        // Pin the layout view to the taped-out version.
+        let taped_out = txn.version_history(&lay).unwrap()[0];
+        eq.pin_view(&mut txn, "layout", taped_out).unwrap();
+        assert_eq!(eq.view::<Layout>(&mut txn, "layout").unwrap().polygons, 100);
+        // Further evolution is invisible through the pinned view.
+        txn.newversion(&lay).unwrap();
+        txn.update(&lay, |l| l.polygons = 999).unwrap();
+        assert_eq!(eq.view::<Layout>(&mut txn, "layout").unwrap().polygons, 100);
+
+        // Equivalence membership query.
+        assert!(eq.are_equivalent(&mut txn, sch, lay).unwrap());
+        let other = txn.pnew(&Layout { polygons: 1 }).unwrap();
+        assert!(!eq.are_equivalent(&mut txn, sch, other).unwrap());
+        txn.commit().unwrap();
+        drop(db);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn unknown_view_errors() {
+        let (path, db) = temp_db("unknown");
+        let mut txn = db.begin();
+        let eq = EquivalenceHandle::create(&mut txn, "x").unwrap();
+        assert!(eq.view::<Layout>(&mut txn, "nope").is_err());
+        txn.commit().unwrap();
+        drop(db);
+        cleanup(&path);
+    }
+}

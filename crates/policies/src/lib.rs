@@ -1,0 +1,49 @@
+//! # ode-policies — versioning policies built from Ode's primitives
+//!
+//! A central claim of the paper is its separation of *primitives* from
+//! *policies*: "O++ culls out kernel features from these proposals and
+//! provides primitives … for implementing a variety of versioning models
+//! and application-specific systems."  This crate is the demonstration:
+//! every module here is implemented **entirely against the public `ode`
+//! API** — no storage internals — exactly as an O++ user would have
+//! written them:
+//!
+//! * [`config`] — **configurations** (Katz et al.): named compositions
+//!   binding component objects either *statically* (a pinned version) or
+//!   *dynamically* (whatever is latest), with snapshot freezing;
+//! * [`context`] — **contexts** (IRIS/ORION): default-version maps that
+//!   redirect generic references;
+//! * [`checkout`] — **checkout/checkin** (ORION's public/private
+//!   architecture): a private workspace database whose edits return to
+//!   the public database as new versions;
+//! * [`environment`] — **version environments** (Klahold et al.):
+//!   version states (in-progress / valid / invalid / frozen) with
+//!   transition rules and state-based partitions;
+//! * [`percolate`] — **version percolation** (ORION/PIE), the feature
+//!   the paper deliberately *excluded* from the kernel ("creating a new
+//!   version can lead to the automatic creation of a large number of
+//!   versions of other objects") — implemented here as a policy so its
+//!   cost can be measured (experiment E4);
+//! * [`notify`] — **change notification** built on triggers, the
+//!   mechanism the paper points users at instead of a built-in facility.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkout;
+pub mod config;
+pub mod context;
+pub mod environment;
+pub mod equivalence;
+pub mod notify;
+pub mod percolate;
+pub mod retention;
+
+pub use checkout::Workspace;
+pub use config::{Binding, ConfigHandle, Configuration};
+pub use context::{Context, ContextHandle};
+pub use environment::{EnvHandle, Environment, VersionState};
+pub use equivalence::{EquivalenceHandle, EquivalenceSet};
+pub use notify::Notifier;
+pub use percolate::{CompositeRegistry, RegistryHandle};
+pub use retention::RetentionPolicy;

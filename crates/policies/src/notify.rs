@@ -1,0 +1,99 @@
+//! Change notification built on triggers.
+//!
+//! §2: "we decided against a built-in change notification facility
+//! because users can implement such a facility using O++ triggers."
+//! [`Notifier`] is that user implementation: it registers type- or
+//! object-scoped triggers that append committed events to an in-memory
+//! queue, which interested parties drain — and can persist into an
+//! ordinary Ode object if they want a durable notification log.
+
+use std::sync::Arc;
+
+use ode::{Database, Event, ObjPtr, OdeType, Result, TriggerId, Txn};
+use ode_codec::{impl_persist_struct, impl_type_name};
+use parking_lot::Mutex;
+
+/// A durable notification log: one entry per committed change.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChangeLog {
+    /// (oid, vid-or-0, kind) triples; kind encodes the event variant.
+    pub entries: Vec<(u64, u64, u8)>,
+}
+
+impl_persist_struct!(ChangeLog { entries });
+impl_type_name!(ChangeLog = "ode-policies/ChangeLog");
+
+fn encode_kind(ev: &Event) -> (u64, u64, u8) {
+    match *ev {
+        Event::Created { oid, vid, .. } => (oid.0, vid.0, 0),
+        Event::Updated { oid, vid, .. } => (oid.0, vid.0, 1),
+        Event::NewVersion { oid, vid, .. } => (oid.0, vid.0, 2),
+        Event::VersionDeleted { oid, vid, .. } => (oid.0, vid.0, 3),
+        Event::ObjectDeleted { oid, .. } => (oid.0, 0, 4),
+    }
+}
+
+/// Collects committed change events for later inspection or persistence.
+pub struct Notifier {
+    queue: Arc<Mutex<Vec<Event>>>,
+    triggers: Vec<TriggerId>,
+}
+
+impl Notifier {
+    /// Create a notifier with an empty queue and no subscriptions.
+    pub fn new() -> Notifier {
+        Notifier {
+            queue: Arc::new(Mutex::new(Vec::new())),
+            triggers: Vec::new(),
+        }
+    }
+
+    /// Subscribe to every committed change to objects of type `T`.
+    pub fn watch_type<T: OdeType>(&mut self, db: &Database) {
+        let queue = Arc::clone(&self.queue);
+        let id = db.on_type::<T>(move |ev| queue.lock().push(*ev));
+        self.triggers.push(id);
+    }
+
+    /// Subscribe to one object.
+    pub fn watch_object<T: OdeType>(&mut self, db: &Database, ptr: ObjPtr<T>) {
+        let queue = Arc::clone(&self.queue);
+        let id = db.on_object(ptr, move |ev| queue.lock().push(*ev));
+        self.triggers.push(id);
+    }
+
+    /// Unsubscribe everything (queued events remain drainable).
+    pub fn unwatch_all(&mut self, db: &Database) {
+        for id in self.triggers.drain(..) {
+            db.remove_trigger(id);
+        }
+    }
+
+    /// Take all queued events.
+    pub fn drain(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.queue.lock())
+    }
+
+    /// Number of queued events.
+    pub fn pending(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Drain the queue into a durable [`ChangeLog`] object.
+    pub fn persist_into(&self, txn: &mut Txn<'_>, log: ObjPtr<ChangeLog>) -> Result<usize> {
+        let events = self.drain();
+        let count = events.len();
+        if count > 0 {
+            txn.update(&log, |l| {
+                l.entries.extend(events.iter().map(encode_kind));
+            })?;
+        }
+        Ok(count)
+    }
+}
+
+impl Default for Notifier {
+    fn default() -> Self {
+        Notifier::new()
+    }
+}

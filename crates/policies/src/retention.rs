@@ -1,0 +1,187 @@
+//! History retention: pruning old versions as a policy.
+//!
+//! The paper gives `pdelete` on version ids as the primitive; how many
+//! versions to *keep* is an application decision.  A [`RetentionPolicy`]
+//! expresses the common rule — keep the most recent `keep_last`
+//! versions, never prune derivation branch points (their children would
+//! be re-parented and history shape lost), and never prune versions an
+//! [`environment::EnvHandle`](crate::environment::EnvHandle) holds frozen.
+
+use ode::{ObjPtr, OdeType, Result, Txn, Vid};
+
+use crate::environment::{EnvHandle, VersionState};
+
+/// A pruning rule applied to one object's history.
+#[derive(Debug, Clone, Copy)]
+pub struct RetentionPolicy {
+    /// Number of newest versions always kept (minimum 1).
+    pub keep_last: usize,
+    /// Keep versions with derivation children (default true). When
+    /// false, branch points may be pruned and children re-parent.
+    pub keep_branch_points: bool,
+}
+
+impl Default for RetentionPolicy {
+    fn default() -> Self {
+        RetentionPolicy {
+            keep_last: 8,
+            keep_branch_points: true,
+        }
+    }
+}
+
+impl RetentionPolicy {
+    /// Apply the rule to `ptr`'s history, honouring `frozen_in` (frozen
+    /// versions are never pruned). Returns the pruned version ids.
+    pub fn apply<T: OdeType>(
+        &self,
+        txn: &mut Txn<'_>,
+        ptr: &ObjPtr<T>,
+        frozen_in: Option<&EnvHandle>,
+    ) -> Result<Vec<Vid>> {
+        let history = txn.version_history(ptr)?;
+        let keep_last = self.keep_last.max(1);
+        if history.len() <= keep_last {
+            return Ok(Vec::new());
+        }
+        let cutoff = history.len() - keep_last;
+        let mut pruned = Vec::new();
+        for vp in &history[..cutoff] {
+            if self.keep_branch_points && txn.dnext(vp)?.len() > 1 {
+                continue;
+            }
+            if let Some(env) = frozen_in {
+                if env.state_of(txn, *vp)? == Some(VersionState::Frozen) {
+                    continue;
+                }
+            }
+            txn.pdelete_version(*vp)?;
+            pruned.push(vp.vid());
+        }
+        Ok(pruned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ode::{Database, DatabaseOptions};
+    use ode_codec::{impl_persist_struct, impl_type_name};
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Doc {
+        rev: u32,
+    }
+    impl_persist_struct!(Doc { rev });
+    impl_type_name!(Doc = "retention-test/Doc");
+
+    fn temp_db(name: &str) -> (std::path::PathBuf, Database) {
+        let mut path = std::env::temp_dir();
+        path.push(format!("ode-retention-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut wal = path.clone().into_os_string();
+        wal.push(".wal");
+        let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+        let db = Database::create(&path, DatabaseOptions::default()).unwrap();
+        (path, db)
+    }
+
+    fn cleanup(path: &std::path::Path) {
+        let _ = std::fs::remove_file(path);
+        let mut wal = path.to_path_buf().into_os_string();
+        wal.push(".wal");
+        let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+    }
+
+    #[test]
+    fn keeps_last_n_versions() {
+        let (path, db) = temp_db("keepn");
+        let mut txn = db.begin();
+        let p = txn.pnew(&Doc { rev: 0 }).unwrap();
+        for i in 1..10 {
+            txn.newversion(&p).unwrap();
+            txn.update(&p, |d| d.rev = i).unwrap();
+        }
+        let policy = RetentionPolicy {
+            keep_last: 3,
+            keep_branch_points: true,
+        };
+        let pruned = policy.apply(&mut txn, &p, None).unwrap();
+        assert_eq!(pruned.len(), 7);
+        let history = txn.version_history(&p).unwrap();
+        assert_eq!(history.len(), 3);
+        // Newest states survive.
+        assert_eq!(txn.deref(&p).unwrap().rev, 9);
+        assert_eq!(txn.deref_v(&history[0]).unwrap().rev, 7);
+        txn.check_object(&p).unwrap();
+        txn.commit().unwrap();
+        drop(db);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn branch_points_survive() {
+        let (path, db) = temp_db("branch");
+        let mut txn = db.begin();
+        let p = txn.pnew(&Doc { rev: 0 }).unwrap();
+        let v0 = txn.current_version(&p).unwrap();
+        // v0 gets two children: a branch point.
+        txn.newversion_from(&v0).unwrap();
+        txn.newversion_from(&v0).unwrap();
+        for _ in 0..5 {
+            txn.newversion(&p).unwrap();
+        }
+        let policy = RetentionPolicy {
+            keep_last: 2,
+            keep_branch_points: true,
+        };
+        policy.apply(&mut txn, &p, None).unwrap();
+        // v0 (2 children at prune time) survives.
+        assert!(txn.version_exists(&v0).unwrap());
+        txn.check_object(&p).unwrap();
+        txn.commit().unwrap();
+        drop(db);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn frozen_versions_survive() {
+        let (path, db) = temp_db("frozen");
+        let mut txn = db.begin();
+        let p = txn.pnew(&Doc { rev: 0 }).unwrap();
+        let v0 = txn.current_version(&p).unwrap();
+        let env = EnvHandle::create(&mut txn, "rel").unwrap();
+        env.track(&mut txn, v0).unwrap();
+        env.transition(&mut txn, v0, VersionState::Valid).unwrap();
+        env.transition(&mut txn, v0, VersionState::Frozen).unwrap();
+        for _ in 0..6 {
+            txn.newversion(&p).unwrap();
+        }
+        let policy = RetentionPolicy {
+            keep_last: 2,
+            keep_branch_points: false,
+        };
+        let pruned = policy.apply(&mut txn, &p, Some(&env)).unwrap();
+        assert!(txn.version_exists(&v0).unwrap(), "frozen v0 kept");
+        // Everything else old was pruned: 7 total - 2 kept - 1 frozen = 4.
+        assert_eq!(pruned.len(), 4);
+        txn.check_object(&p).unwrap();
+        txn.commit().unwrap();
+        drop(db);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn short_histories_untouched() {
+        let (path, db) = temp_db("short");
+        let mut txn = db.begin();
+        let p = txn.pnew(&Doc { rev: 0 }).unwrap();
+        txn.newversion(&p).unwrap();
+        let policy = RetentionPolicy::default();
+        assert!(policy.apply(&mut txn, &p, None).unwrap().is_empty());
+        assert_eq!(txn.version_count(&p).unwrap(), 2);
+        txn.commit().unwrap();
+        drop(db);
+        cleanup(&path);
+    }
+}

@@ -1,0 +1,496 @@
+//! Behavioural tests for every policy module, each exercising only the
+//! public `ode` API — mirroring how an O++ user would compose them.
+
+use ode::{Database, DatabaseOptions};
+use ode_codec::{impl_persist_struct, impl_type_name};
+use ode_policies::{
+    checkout::Workspace,
+    config::{Binding, ConfigHandle},
+    context::ContextHandle,
+    environment::{EnvHandle, VersionState},
+    notify::{ChangeLog, Notifier},
+    percolate::RegistryHandle,
+};
+
+#[derive(Debug, Clone, PartialEq)]
+struct Cell {
+    name: String,
+    area: u32,
+}
+impl_persist_struct!(Cell { name, area });
+impl_type_name!(Cell = "policy-test/Cell");
+
+#[derive(Debug, Clone, PartialEq)]
+struct Net {
+    wires: Vec<u32>,
+}
+impl_persist_struct!(Net { wires });
+impl_type_name!(Net = "policy-test/Net");
+
+struct TempDb {
+    path: std::path::PathBuf,
+}
+
+impl TempDb {
+    fn new(name: &str) -> TempDb {
+        let mut path = std::env::temp_dir();
+        path.push(format!("ode-policy-{name}-{}", std::process::id()));
+        TempDb::wipe(&path);
+        TempDb { path }
+    }
+
+    fn wipe(path: &std::path::Path) {
+        let _ = std::fs::remove_file(path);
+        let mut wal = path.to_path_buf().into_os_string();
+        wal.push(".wal");
+        let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+    }
+
+    fn create(&self) -> Database {
+        Database::create(&self.path, DatabaseOptions::default()).unwrap()
+    }
+}
+
+impl Drop for TempDb {
+    fn drop(&mut self) {
+        TempDb::wipe(&self.path);
+    }
+}
+
+fn cell(name: &str, area: u32) -> Cell {
+    Cell {
+        name: name.into(),
+        area,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configurations
+// ---------------------------------------------------------------------------
+
+#[test]
+fn configuration_static_vs_dynamic_binding() {
+    let tmp = TempDb::new("config");
+    let db = tmp.create();
+    let mut txn = db.begin();
+    let alu = txn.pnew(&cell("alu", 100)).unwrap();
+    let v0 = txn.current_version(&alu).unwrap();
+
+    let cfg = ConfigHandle::create(&mut txn, "timing").unwrap();
+    cfg.bind_static(&mut txn, "pinned-alu", v0).unwrap();
+    cfg.bind_dynamic(&mut txn, "live-alu", alu).unwrap();
+
+    // Evolve the component.
+    txn.newversion(&alu).unwrap();
+    txn.update(&alu, |c| c.area = 200).unwrap();
+
+    // Static binding still sees v0; dynamic sees the latest.
+    assert_eq!(
+        cfg.resolve::<Cell>(&mut txn, "pinned-alu").unwrap().area,
+        100
+    );
+    assert_eq!(cfg.resolve::<Cell>(&mut txn, "live-alu").unwrap().area, 200);
+    txn.commit().unwrap();
+}
+
+#[test]
+fn configuration_freeze_pins_dynamics() {
+    let tmp = TempDb::new("freeze");
+    let db = tmp.create();
+    let mut txn = db.begin();
+    let alu = txn.pnew(&cell("alu", 1)).unwrap();
+    let cfg = ConfigHandle::create(&mut txn, "release").unwrap();
+    cfg.bind_dynamic(&mut txn, "alu", alu).unwrap();
+
+    cfg.freeze(&mut txn).unwrap();
+    // Post-freeze evolution is invisible through the configuration.
+    txn.newversion(&alu).unwrap();
+    txn.update(&alu, |c| c.area = 99).unwrap();
+    assert_eq!(cfg.resolve::<Cell>(&mut txn, "alu").unwrap().area, 1);
+    assert!(matches!(
+        cfg.binding(&mut txn, "alu").unwrap(),
+        Binding::Static { .. }
+    ));
+    txn.commit().unwrap();
+}
+
+#[test]
+fn configuration_persists_and_unbinds() {
+    let tmp = TempDb::new("cfgpersist");
+    let cfg_ptr;
+    {
+        let db = tmp.create();
+        let mut txn = db.begin();
+        let alu = txn.pnew(&cell("alu", 5)).unwrap();
+        let cfg = ConfigHandle::create(&mut txn, "c").unwrap();
+        cfg.bind_dynamic(&mut txn, "alu", alu).unwrap();
+        cfg_ptr = cfg.ptr();
+        txn.commit().unwrap();
+    }
+    let db = Database::open(&tmp.path, DatabaseOptions::default()).unwrap();
+    let mut txn = db.begin();
+    let cfg = ConfigHandle::attach(cfg_ptr);
+    assert_eq!(cfg.components(&mut txn).unwrap(), vec!["alu"]);
+    assert_eq!(cfg.resolve::<Cell>(&mut txn, "alu").unwrap().area, 5);
+    assert!(cfg.unbind(&mut txn, "alu").unwrap());
+    assert!(!cfg.unbind(&mut txn, "alu").unwrap());
+    assert!(cfg.resolve::<Cell>(&mut txn, "alu").is_err());
+    txn.commit().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Contexts
+// ---------------------------------------------------------------------------
+
+#[test]
+fn context_redirects_generic_references() {
+    let tmp = TempDb::new("context");
+    let db = tmp.create();
+    let mut txn = db.begin();
+    let alu = txn.pnew(&cell("alu", 10)).unwrap();
+    let v0 = txn.current_version(&alu).unwrap();
+    txn.newversion(&alu).unwrap();
+    txn.update(&alu, |c| c.area = 20).unwrap();
+
+    let ctx = ContextHandle::create(&mut txn, "release-1.0").unwrap();
+    // Unpinned: context resolves to latest.
+    assert_eq!(ctx.resolve(&mut txn, alu).unwrap().area, 20);
+    // Pinned: context resolves to the default version.
+    ctx.set_default(&mut txn, alu, v0).unwrap();
+    assert_eq!(ctx.resolve(&mut txn, alu).unwrap().area, 10);
+    assert_eq!(ctx.default_of(&mut txn, alu).unwrap(), Some(v0));
+    assert_eq!(ctx.pinned_count(&mut txn).unwrap(), 1);
+    // Cleared: back to latest.
+    assert!(ctx.clear_default(&mut txn, alu).unwrap());
+    assert_eq!(ctx.resolve(&mut txn, alu).unwrap().area, 20);
+    txn.commit().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Checkout / checkin
+// ---------------------------------------------------------------------------
+
+#[test]
+fn checkout_edit_checkin_round_trip() {
+    let tmp = TempDb::new("public");
+    let public = tmp.create();
+    let alu = {
+        let mut txn = public.begin();
+        let p = txn.pnew(&cell("alu", 100)).unwrap();
+        txn.commit().unwrap();
+        p
+    };
+
+    let mut priv_path = std::env::temp_dir();
+    priv_path.push(format!("ode-policy-private-{}", std::process::id()));
+    TempDb::wipe(&priv_path);
+    let ws = Workspace::create(&public, &priv_path).unwrap();
+
+    // Checkout copies the latest public state.
+    let working = ws.checkout(alu).unwrap();
+    assert_eq!(ws.checkout_count().unwrap(), 1);
+    ws.edit(working, |c: &mut Cell| c.area = 250).unwrap();
+
+    // Public is untouched until checkin.
+    {
+        let mut snap = public.snapshot();
+        assert_eq!(snap.deref(&alu).unwrap().area, 100);
+        assert_eq!(snap.version_count(&alu).unwrap(), 1);
+    }
+
+    // Checkin derives a new public version carrying the edit.
+    let v1 = ws.checkin(working).unwrap();
+    {
+        let mut snap = public.snapshot();
+        assert_eq!(snap.deref(&alu).unwrap().area, 250);
+        assert_eq!(snap.version_count(&alu).unwrap(), 2);
+        // The pre-checkout state survives as the old version.
+        let history = snap.version_history(&alu).unwrap();
+        assert_eq!(snap.deref_v(&history[0]).unwrap().area, 100);
+        assert_eq!(history[1], v1);
+    }
+
+    // A second edit/checkin round extends the public history.
+    ws.edit(working, |c: &mut Cell| c.area = 300).unwrap();
+    ws.checkin(working).unwrap();
+    {
+        let mut snap = public.snapshot();
+        assert_eq!(snap.version_count(&alu).unwrap(), 3);
+        assert_eq!(snap.deref(&alu).unwrap().area, 300);
+    }
+
+    TempDb::wipe(&priv_path);
+}
+
+#[test]
+fn two_designers_interleave_checkins() {
+    let tmp = TempDb::new("twodesigners");
+    let public = tmp.create();
+    let alu = {
+        let mut txn = public.begin();
+        let p = txn.pnew(&cell("alu", 100)).unwrap();
+        txn.commit().unwrap();
+        p
+    };
+    let mut p1 = std::env::temp_dir();
+    p1.push(format!("ode-policy-designer1-{}", std::process::id()));
+    let mut p2 = std::env::temp_dir();
+    p2.push(format!("ode-policy-designer2-{}", std::process::id()));
+    TempDb::wipe(&p1);
+    TempDb::wipe(&p2);
+
+    let ws1 = Workspace::create(&public, &p1).unwrap();
+    let ws2 = Workspace::create(&public, &p2).unwrap();
+
+    // Both check out the same public part concurrently.
+    let w1 = ws1.checkout(alu).unwrap();
+    let w2 = ws2.checkout(alu).unwrap();
+    ws1.edit(w1, |c: &mut Cell| c.area = 111).unwrap();
+    ws2.edit(w2, |c: &mut Cell| c.area = 222).unwrap();
+
+    // Interleaved checkins: each lands as its own public version; the
+    // later one becomes the latest (last-writer-wins on the generic
+    // reference, with both states preserved in the history).
+    let v1 = ws1.checkin(w1).unwrap();
+    let v2 = ws2.checkin(w2).unwrap();
+    let mut snap = public.snapshot();
+    assert_eq!(snap.version_count(&alu).unwrap(), 3);
+    assert_eq!(snap.deref(&alu).unwrap().area, 222);
+    assert_eq!(snap.deref_v(&v1).unwrap().area, 111);
+    assert_eq!(snap.deref_v(&v2).unwrap().area, 222);
+    // Full audit trail: 100 → 111 → 222.
+    let areas: Vec<u32> = snap
+        .version_history(&alu)
+        .unwrap()
+        .iter()
+        .map(|v| snap.deref_v(v).unwrap().area)
+        .collect();
+    assert_eq!(areas, vec![100, 111, 222]);
+    drop(snap);
+
+    TempDb::wipe(&p1);
+    TempDb::wipe(&p2);
+}
+
+#[test]
+fn checkout_discard_leaves_public_untouched() {
+    let tmp = TempDb::new("discardpub");
+    let public = tmp.create();
+    let alu = {
+        let mut txn = public.begin();
+        let p = txn.pnew(&cell("alu", 1)).unwrap();
+        txn.commit().unwrap();
+        p
+    };
+    let mut priv_path = std::env::temp_dir();
+    priv_path.push(format!("ode-policy-private-d-{}", std::process::id()));
+    TempDb::wipe(&priv_path);
+    let ws = Workspace::create(&public, &priv_path).unwrap();
+    let working = ws.checkout(alu).unwrap();
+    ws.edit(working, |c: &mut Cell| c.area = 999).unwrap();
+    ws.discard(working).unwrap();
+    assert_eq!(ws.checkout_count().unwrap(), 0);
+    assert!(ws.checkin(working).is_err(), "mapping gone after discard");
+    let mut snap = public.snapshot();
+    assert_eq!(snap.deref(&alu).unwrap().area, 1);
+    assert_eq!(snap.version_count(&alu).unwrap(), 1);
+    drop(snap);
+    TempDb::wipe(&priv_path);
+}
+
+// ---------------------------------------------------------------------------
+// Version environments
+// ---------------------------------------------------------------------------
+
+#[test]
+fn environment_states_and_partitions() {
+    let tmp = TempDb::new("env");
+    let db = tmp.create();
+    let mut txn = db.begin();
+    let alu = txn.pnew(&cell("alu", 1)).unwrap();
+    let v0 = txn.current_version(&alu).unwrap();
+    let v1 = txn.newversion(&alu).unwrap();
+
+    let env = EnvHandle::create(&mut txn, "project-x").unwrap();
+    assert!(env.track(&mut txn, v0).unwrap());
+    assert!(!env.track(&mut txn, v0).unwrap(), "double track refused");
+    env.track(&mut txn, v1).unwrap();
+
+    // Legal chain: InProgress → Valid → Frozen.
+    assert!(env.transition(&mut txn, v0, VersionState::Valid).unwrap());
+    assert!(env.transition(&mut txn, v0, VersionState::Frozen).unwrap());
+    // Illegal: InProgress → Frozen directly.
+    assert!(!env.transition(&mut txn, v1, VersionState::Frozen).unwrap());
+    // Illegal: leaving Frozen.
+    assert!(!env.transition(&mut txn, v0, VersionState::Valid).unwrap());
+
+    assert_eq!(
+        env.partition(&mut txn, VersionState::Frozen).unwrap(),
+        vec![v0.vid().0]
+    );
+    assert_eq!(
+        env.partition(&mut txn, VersionState::InProgress).unwrap(),
+        vec![v1.vid().0]
+    );
+
+    // Frozen versions refuse guarded mutation; in-progress ones accept.
+    assert!(!env.update_guarded(&mut txn, v0, |c| c.area = 7).unwrap());
+    assert!(env.update_guarded(&mut txn, v1, |c| c.area = 7).unwrap());
+    assert_eq!(txn.deref_v(&v0).unwrap().area, 1);
+    assert_eq!(txn.deref_v(&v1).unwrap().area, 7);
+    txn.commit().unwrap();
+}
+
+#[test]
+fn environment_invalid_rework_cycle() {
+    let tmp = TempDb::new("envcycle");
+    let db = tmp.create();
+    let mut txn = db.begin();
+    let alu = txn.pnew(&cell("alu", 1)).unwrap();
+    let v0 = txn.current_version(&alu).unwrap();
+    let env = EnvHandle::create(&mut txn, "qa").unwrap();
+    env.track(&mut txn, v0).unwrap();
+    assert!(env.transition(&mut txn, v0, VersionState::Invalid).unwrap());
+    assert!(env
+        .transition(&mut txn, v0, VersionState::InProgress)
+        .unwrap());
+    assert!(env.transition(&mut txn, v0, VersionState::Valid).unwrap());
+    assert!(env.transition(&mut txn, v0, VersionState::Invalid).unwrap());
+    assert!(env.transition(&mut txn, v0, VersionState::Valid).unwrap());
+    assert!(env.transition(&mut txn, v0, VersionState::Frozen).unwrap());
+    txn.commit().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Percolation
+// ---------------------------------------------------------------------------
+
+#[test]
+fn percolation_versions_all_ancestors() {
+    let tmp = TempDb::new("percolate");
+    let db = tmp.create();
+    let mut txn = db.begin();
+    // board ← module ← cell (child → parent edges point up).
+    let cellp = txn.pnew(&cell("nand", 1)).unwrap();
+    let module = txn.pnew(&Net { wires: vec![1] }).unwrap();
+    let board = txn.pnew(&Net { wires: vec![2] }).unwrap();
+
+    let reg = RegistryHandle::create(&mut txn).unwrap();
+    reg.add_edge(&mut txn, module, cellp).unwrap();
+    reg.add_edge(&mut txn, board, module).unwrap();
+    assert_eq!(reg.edge_count(&mut txn).unwrap(), 2);
+
+    // The designer versions the cell, then percolates.
+    txn.newversion(&cellp).unwrap();
+    let created = reg.percolate(&mut txn, cellp).unwrap();
+    // Both ancestors got a new version — the fan-out the paper warns of.
+    assert_eq!(created.len(), 2);
+    assert_eq!(txn.version_count(&module).unwrap(), 2);
+    assert_eq!(txn.version_count(&board).unwrap(), 2);
+    assert_eq!(txn.version_count(&cellp).unwrap(), 2);
+    txn.commit().unwrap();
+}
+
+#[test]
+fn percolation_handles_diamonds_once() {
+    let tmp = TempDb::new("diamond");
+    let db = tmp.create();
+    let mut txn = db.begin();
+    let child = txn.pnew(&cell("c", 1)).unwrap();
+    let left = txn.pnew(&Net { wires: vec![] }).unwrap();
+    let right = txn.pnew(&Net { wires: vec![] }).unwrap();
+    let top = txn.pnew(&Net { wires: vec![] }).unwrap();
+    let reg = RegistryHandle::create(&mut txn).unwrap();
+    reg.add_edge(&mut txn, left, child).unwrap();
+    reg.add_edge(&mut txn, right, child).unwrap();
+    reg.add_edge(&mut txn, top, left).unwrap();
+    reg.add_edge(&mut txn, top, right).unwrap();
+    let created = reg.percolate(&mut txn, child).unwrap();
+    // top is reached twice but versioned once.
+    assert_eq!(created.len(), 3);
+    assert_eq!(txn.version_count(&top).unwrap(), 2);
+    txn.commit().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Notification
+// ---------------------------------------------------------------------------
+
+#[test]
+fn notifier_collects_committed_changes_only() {
+    let tmp = TempDb::new("notify");
+    let db = tmp.create();
+    let mut notifier = Notifier::new();
+    notifier.watch_type::<Cell>(&db);
+
+    let alu = {
+        let mut txn = db.begin();
+        let p = txn.pnew(&cell("alu", 1)).unwrap();
+        txn.commit().unwrap();
+        p
+    };
+    assert_eq!(notifier.pending(), 1); // Created
+
+    {
+        // Aborted: no notification.
+        let mut txn = db.begin();
+        txn.update(&alu, |c| c.area = 9).unwrap();
+    }
+    assert_eq!(notifier.pending(), 1);
+
+    {
+        let mut txn = db.begin();
+        txn.newversion(&alu).unwrap();
+        txn.update(&alu, |c| c.area = 9).unwrap();
+        txn.commit().unwrap();
+    }
+    assert_eq!(notifier.pending(), 3); // + NewVersion + Updated
+
+    let events = notifier.drain();
+    assert_eq!(events.len(), 3);
+    assert_eq!(notifier.pending(), 0);
+
+    notifier.unwatch_all(&db);
+    {
+        let mut txn = db.begin();
+        txn.update(&alu, |c| c.area = 10).unwrap();
+        txn.commit().unwrap();
+    }
+    assert_eq!(notifier.pending(), 0);
+}
+
+#[test]
+fn notifier_persists_durable_changelog() {
+    let tmp = TempDb::new("changelog");
+    let db = tmp.create();
+    let log = {
+        let mut txn = db.begin();
+        let log = txn.pnew(&ChangeLog::default()).unwrap();
+        txn.commit().unwrap();
+        log
+    };
+    let mut notifier = Notifier::new();
+    notifier.watch_type::<Cell>(&db);
+    let alu = {
+        let mut txn = db.begin();
+        let p = txn.pnew(&cell("alu", 1)).unwrap();
+        txn.commit().unwrap();
+        p
+    };
+    {
+        let mut txn = db.begin();
+        txn.newversion(&alu).unwrap();
+        txn.commit().unwrap();
+    }
+    {
+        let mut txn = db.begin();
+        let persisted = notifier.persist_into(&mut txn, log).unwrap();
+        assert_eq!(persisted, 2);
+        txn.commit().unwrap();
+    }
+    let mut snap = db.snapshot();
+    let entries = snap.deref(&log).unwrap().entries.clone();
+    assert_eq!(entries.len(), 2);
+    assert_eq!(entries[0].2, 0, "created");
+    assert_eq!(entries[1].2, 2, "newversion");
+}

@@ -1,0 +1,311 @@
+//! Buffer pool: an LRU cache of page images between the transactional
+//! store and the pager.
+//!
+//! The pool is the single source of truth for a page once loaded: reads
+//! and writes go through it, and dirty pages are only written back to the
+//! database file at checkpoint time (the WAL provides durability between
+//! checkpoints).  Dirty pages are therefore **never evicted** — eviction
+//! only reclaims clean frames.  If every frame is dirty the pool grows
+//! past its target capacity until the next checkpoint, which is safe but
+//! flagged by [`BufferPool::over_target`] so callers can checkpoint.
+
+use std::collections::HashMap;
+
+use crate::page::{PageBuf, PageId};
+use crate::pager::Pager;
+use crate::Result;
+
+/// Statistics maintained by the pool (exposed for benches and tests).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Lookups satisfied from the pool.
+    pub hits: u64,
+    /// Lookups that had to read from the file.
+    pub misses: u64,
+    /// Clean frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty pages written back during checkpoints.
+    pub writebacks: u64,
+}
+
+struct Frame {
+    page: PageBuf,
+    dirty: bool,
+    /// LRU clock: larger is more recent.
+    last_used: u64,
+}
+
+/// An LRU page cache over a [`Pager`].
+pub struct BufferPool {
+    frames: HashMap<u64, Frame>,
+    capacity: usize,
+    tick: u64,
+    stats: BufferStats,
+}
+
+impl BufferPool {
+    /// Create a pool holding up to `capacity` pages (minimum 4).
+    pub fn new(capacity: usize) -> BufferPool {
+        BufferPool {
+            frames: HashMap::new(),
+            capacity: capacity.max(4),
+            tick: 0,
+            stats: BufferStats::default(),
+        }
+    }
+
+    fn touch(&mut self, id: PageId) {
+        self.tick += 1;
+        if let Some(f) = self.frames.get_mut(&id.0) {
+            f.last_used = self.tick;
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the pool holds no pages.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Whether the pool has grown beyond its target capacity because all
+    /// frames are dirty (a hint that a checkpoint is due).
+    pub fn over_target(&self) -> bool {
+        self.frames.len() > self.capacity
+    }
+
+    /// Get a read-only view of a page, loading it on miss.
+    pub fn get<'a>(&'a mut self, pager: &mut Pager, id: PageId) -> Result<&'a PageBuf> {
+        self.ensure_resident(pager, id)?;
+        self.touch(id);
+        Ok(&self.frames.get(&id.0).expect("just ensured resident").page)
+    }
+
+    /// Get a mutable view of a page, marking it dirty.
+    pub fn get_mut<'a>(&'a mut self, pager: &mut Pager, id: PageId) -> Result<&'a mut PageBuf> {
+        self.ensure_resident(pager, id)?;
+        self.touch(id);
+        let frame = self.frames.get_mut(&id.0).expect("just ensured resident");
+        frame.dirty = true;
+        Ok(&mut frame.page)
+    }
+
+    /// Insert a freshly allocated page image (already durable in the file
+    /// as zeroes; marked dirty so real contents reach the file later).
+    pub fn install(
+        &mut self,
+        pager: &mut Pager,
+        id: PageId,
+        page: PageBuf,
+        dirty: bool,
+    ) -> Result<()> {
+        self.evict_if_needed(pager)?;
+        self.tick += 1;
+        self.frames.insert(
+            id.0,
+            Frame {
+                page,
+                dirty,
+                last_used: self.tick,
+            },
+        );
+        Ok(())
+    }
+
+    /// Drop a page from the pool without write-back (used when a page is
+    /// freed: its contents are dead).
+    pub fn discard(&mut self, id: PageId) {
+        self.frames.remove(&id.0);
+    }
+
+    /// Mark a resident page clean (after recovery installs a WAL image
+    /// that is already durable in the log).
+    pub fn mark_clean(&mut self, id: PageId) {
+        if let Some(f) = self.frames.get_mut(&id.0) {
+            f.dirty = false;
+        }
+    }
+
+    /// Whether a page is resident and dirty.
+    pub fn is_dirty(&self, id: PageId) -> bool {
+        self.frames.get(&id.0).is_some_and(|f| f.dirty)
+    }
+
+    /// Ids of all dirty resident pages.
+    pub fn dirty_pages(&self) -> Vec<PageId> {
+        let mut v: Vec<PageId> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(&id, _)| PageId(id))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Write all dirty pages back to the file and mark them clean.
+    pub fn flush_all(&mut self, pager: &mut Pager) -> Result<()> {
+        let dirty = self.dirty_pages();
+        for id in dirty {
+            let frame = self.frames.get_mut(&id.0).expect("listed as dirty");
+            pager.write_page(id, &mut frame.page)?;
+            frame.dirty = false;
+            self.stats.writebacks += 1;
+        }
+        Ok(())
+    }
+
+    /// Remove everything from the pool (test aid; dirty pages must have
+    /// been flushed first).
+    pub fn clear(&mut self) {
+        debug_assert!(self.dirty_pages().is_empty(), "clearing dirty pool");
+        self.frames.clear();
+    }
+
+    fn ensure_resident(&mut self, pager: &mut Pager, id: PageId) -> Result<()> {
+        if self.frames.contains_key(&id.0) {
+            self.stats.hits += 1;
+            return Ok(());
+        }
+        self.stats.misses += 1;
+        let page = pager.read_page(id)?;
+        self.evict_if_needed(pager)?;
+        self.tick += 1;
+        self.frames.insert(
+            id.0,
+            Frame {
+                page,
+                dirty: false,
+                last_used: self.tick,
+            },
+        );
+        Ok(())
+    }
+
+    fn evict_if_needed(&mut self, _pager: &mut Pager) -> Result<()> {
+        while self.frames.len() >= self.capacity {
+            // Find the least recently used *clean* frame.
+            let victim = self
+                .frames
+                .iter()
+                .filter(|(_, f)| !f.dirty)
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(&id, _)| id);
+            match victim {
+                Some(id) => {
+                    self.frames.remove(&id);
+                    self.stats.evictions += 1;
+                }
+                // All frames dirty: allow temporary growth (see module doc).
+                None => break,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageKind;
+
+    fn temp_pager(name: &str) -> (std::path::PathBuf, Pager) {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ode-buffer-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        let pager = Pager::create(&p).unwrap();
+        (p, pager)
+    }
+
+    /// Write `n` fresh heap pages to the file, returning their ids.
+    fn seed_pages(pager: &mut Pager, n: u64) -> Vec<PageId> {
+        (0..n)
+            .map(|i| {
+                let id = PageId(i);
+                let mut page = PageBuf::new(PageKind::Heap);
+                pager.write_page(id, &mut page).unwrap();
+                id
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let (path, mut pager) = temp_pager("hitmiss");
+        let id = seed_pages(&mut pager, 1)[0];
+        let page = pager.read_page(id).unwrap();
+        let mut pool = BufferPool::new(8);
+        pool.install(&mut pager, id, page, false).unwrap();
+        pool.get(&mut pager, id).unwrap();
+        pool.get(&mut pager, id).unwrap();
+        assert_eq!(pool.stats().hits, 2);
+        assert_eq!(pool.stats().misses, 0);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_clean() {
+        let (path, mut pager) = temp_pager("lru");
+        let ids = seed_pages(&mut pager, 6);
+        let mut pool = BufferPool::new(4);
+        for &id in &ids[..4] {
+            pool.get(&mut pager, id).unwrap();
+        }
+        // Touch ids[0] so ids[1] becomes the LRU victim.
+        pool.get(&mut pager, ids[0]).unwrap();
+        pool.get(&mut pager, ids[4]).unwrap(); // evicts ids[1]
+        assert_eq!(pool.stats().evictions, 1);
+        // ids[1] is a miss now; ids[0] is still a hit.
+        let before = pool.stats().misses;
+        pool.get(&mut pager, ids[0]).unwrap();
+        assert_eq!(pool.stats().misses, before);
+        pool.get(&mut pager, ids[1]).unwrap();
+        assert_eq!(pool.stats().misses, before + 1);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn dirty_pages_survive_eviction_pressure() {
+        let (path, mut pager) = temp_pager("dirty");
+        let ids = seed_pages(&mut pager, 8);
+        let mut pool = BufferPool::new(4);
+        for &id in &ids[..4] {
+            let p = pool.get_mut(&mut pager, id).unwrap();
+            p.payload_mut()[0] = id.0 as u8;
+        }
+        // All four frames dirty; loading more must not evict them.
+        for &id in &ids[4..] {
+            pool.get(&mut pager, id).unwrap();
+        }
+        assert!(pool.over_target());
+        for &id in &ids[..4] {
+            assert!(pool.is_dirty(id));
+            let p = pool.get(&mut pager, id).unwrap();
+            assert_eq!(p.payload()[0], id.0 as u8);
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn flush_all_writes_back_and_cleans() {
+        let (path, mut pager) = temp_pager("flush");
+        let id = seed_pages(&mut pager, 1)[0];
+        let mut pool = BufferPool::new(4);
+        pool.get_mut(&mut pager, id).unwrap().payload_mut()[0] = 0xAB;
+        pool.flush_all(&mut pager).unwrap();
+        assert!(!pool.is_dirty(id));
+        assert_eq!(pool.stats().writebacks, 1);
+        // Verify via a fresh read from the file.
+        let back = pager.read_page(id).unwrap();
+        assert_eq!(back.payload()[0], 0xAB);
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,487 @@
+//! Heap record storage: variable-length records addressed by stable
+//! [`RecordId`]s, with overflow chains for values larger than a page.
+//!
+//! A heap is identified by its *directory page*, which holds the head of
+//! the data-page chain and an insert hint.  Records are immutable: update
+//! is expressed by the caller as delete + insert (the object layer remaps
+//! its object-table entry to the new record id), which keeps every record
+//! id valid for exactly the lifetime of its record.
+//!
+//! Record cell encoding:
+//!
+//! ```text
+//! [0x00][data...]                       inline record
+//! [0x01][u32 total_len][u64 first_pg]   overflow stub
+//! ```
+//!
+//! Overflow pages use the common header link word for the chain and store
+//! `[u32 chunk_len]` at the start of their payload.
+
+use crate::page::{PageId, PageKind, PAGE_HEADER_LEN, PAGE_SIZE};
+use crate::slotted;
+use crate::store::{PageRead, PageWrite};
+use crate::{Result, StorageError};
+
+/// Directory-page payload offsets.
+mod dir {
+    use crate::page::PAGE_HEADER_LEN;
+    pub const FIRST: usize = PAGE_HEADER_LEN;
+    pub const HINT: usize = PAGE_HEADER_LEN + 8;
+    pub const RECORD_COUNT: usize = PAGE_HEADER_LEN + 16;
+}
+
+const TAG_INLINE: u8 = 0x00;
+const TAG_OVERFLOW: u8 = 0x01;
+const OVERFLOW_STUB_LEN: usize = 1 + 4 + 8;
+/// Payload bytes available per overflow page.
+const OVERFLOW_CHUNK: usize = PAGE_SIZE - PAGE_HEADER_LEN - 4;
+/// Records up to this size are stored inline in a slotted cell.
+pub const INLINE_MAX: usize = slotted::MAX_CELL - 1;
+
+/// Stable identifier of a heap record: page and slot, packed into a u64
+/// (48-bit page, 16-bit slot) for storage in B+-tree values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId {
+    /// Page holding the record's slot.
+    pub page: PageId,
+    /// Slot index within the page.
+    pub slot: u16,
+}
+
+impl RecordId {
+    /// Pack into a u64 (page in the high 48 bits).
+    pub fn to_u64(self) -> u64 {
+        debug_assert!(self.page.0 < (1 << 48), "page id exceeds 48 bits");
+        (self.page.0 << 16) | self.slot as u64
+    }
+
+    /// Unpack from [`RecordId::to_u64`].
+    pub fn from_u64(v: u64) -> RecordId {
+        RecordId {
+            page: PageId(v >> 16),
+            slot: (v & 0xFFFF) as u16,
+        }
+    }
+}
+
+/// A heap handle: the directory page id.
+///
+/// ```
+/// use ode_storage::heap::Heap;
+/// use ode_storage::{Store, StoreOptions};
+///
+/// let path = std::env::temp_dir().join(format!("heap-doc-{}", std::process::id()));
+/// let store = Store::create(&path, StoreOptions::default()).unwrap();
+/// let mut tx = store.begin();
+/// let heap = Heap::create(&mut tx).unwrap();
+/// let rid = heap.insert(&mut tx, b"record bytes").unwrap();
+/// assert_eq!(heap.get(&mut tx, rid).unwrap(), b"record bytes");
+/// // Large records transparently use overflow page chains.
+/// let big = vec![7u8; 20_000];
+/// let rid2 = heap.insert(&mut tx, &big).unwrap();
+/// assert_eq!(heap.get(&mut tx, rid2).unwrap(), big);
+/// tx.commit().unwrap();
+/// # drop(store);
+/// # let _ = std::fs::remove_file(&path);
+/// # let mut w = path.into_os_string(); w.push(".wal");
+/// # let _ = std::fs::remove_file(std::path::PathBuf::from(w));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Heap {
+    /// The heap's directory page.
+    pub dir: PageId,
+}
+
+impl Heap {
+    /// Create a new, empty heap.
+    pub fn create(tx: &mut impl PageWrite) -> Result<Heap> {
+        let dir_id = tx.allocate(PageKind::HeapDir)?;
+        let page = tx.page_mut(dir_id)?;
+        page.write_u64(dir::FIRST, 0);
+        page.write_u64(dir::HINT, 0);
+        page.write_u64(dir::RECORD_COUNT, 0);
+        Ok(Heap { dir: dir_id })
+    }
+
+    /// Open an existing heap by its directory page.
+    pub fn open(dir: PageId) -> Heap {
+        Heap { dir }
+    }
+
+    /// Number of live records.
+    pub fn len(&self, tx: &mut impl PageRead) -> Result<u64> {
+        Ok(tx.page(self.dir)?.read_u64(dir::RECORD_COUNT))
+    }
+
+    /// Whether the heap holds no records.
+    pub fn is_empty(&self, tx: &mut impl PageRead) -> Result<bool> {
+        Ok(self.len(tx)? == 0)
+    }
+
+    /// Insert a record of any size, returning its stable id.
+    pub fn insert(&self, tx: &mut impl PageWrite, data: &[u8]) -> Result<RecordId> {
+        let cell = if data.len() <= INLINE_MAX {
+            let mut cell = Vec::with_capacity(data.len() + 1);
+            cell.push(TAG_INLINE);
+            cell.extend_from_slice(data);
+            cell
+        } else {
+            let first = self.write_overflow_chain(tx, data)?;
+            let mut cell = Vec::with_capacity(OVERFLOW_STUB_LEN);
+            cell.push(TAG_OVERFLOW);
+            cell.extend_from_slice(&(data.len() as u32).to_le_bytes());
+            cell.extend_from_slice(&first.0.to_le_bytes());
+            cell
+        };
+
+        let page_id = self.page_for_insert(tx, cell.len())?;
+        let slot = slotted::insert(tx.page_mut(page_id)?, &cell)?;
+        self.bump_count(tx, 1)?;
+        Ok(RecordId {
+            page: page_id,
+            slot,
+        })
+    }
+
+    /// Read a record.
+    pub fn get(&self, tx: &mut impl PageRead, rid: RecordId) -> Result<Vec<u8>> {
+        let page = tx.page(rid.page)?;
+        if page.kind() != Some(PageKind::Heap) {
+            return Err(StorageError::RecordNotFound {
+                page: rid.page,
+                slot: rid.slot,
+            });
+        }
+        let cell = slotted::get(page, rid.slot).ok_or(StorageError::RecordNotFound {
+            page: rid.page,
+            slot: rid.slot,
+        })?;
+        match cell.first().copied() {
+            Some(TAG_INLINE) => Ok(cell[1..].to_vec()),
+            Some(TAG_OVERFLOW) => {
+                if cell.len() != OVERFLOW_STUB_LEN {
+                    return Err(StorageError::TreeCorrupt("bad overflow stub"));
+                }
+                let total = u32::from_le_bytes(cell[1..5].try_into().expect("4 bytes")) as usize;
+                let first = PageId(u64::from_le_bytes(cell[5..13].try_into().expect("8 bytes")));
+                self.read_overflow_chain(tx, first, total)
+            }
+            _ => Err(StorageError::TreeCorrupt("bad record tag")),
+        }
+    }
+
+    /// Delete a record, freeing any overflow pages. Returns whether it
+    /// existed.
+    pub fn delete(&self, tx: &mut impl PageWrite, rid: RecordId) -> Result<bool> {
+        let cell = match slotted::get(tx.page(rid.page)?, rid.slot) {
+            Some(c) => c.to_vec(),
+            None => return Ok(false),
+        };
+        if cell.first().copied() == Some(TAG_OVERFLOW) && cell.len() == OVERFLOW_STUB_LEN {
+            let mut next = PageId(u64::from_le_bytes(cell[5..13].try_into().expect("8 bytes")));
+            while !next.is_null() {
+                let after = tx.page(next)?.link();
+                tx.free_page(next)?;
+                next = after;
+            }
+        }
+        let page = tx.page_mut(rid.page)?;
+        let existed = slotted::delete(page, rid.slot);
+        if existed {
+            // Pages with reclaimed space become the insert hint.
+            if slotted::free_space(tx.page(rid.page)?) > PAGE_SIZE / 2 {
+                tx.page_mut(self.dir)?.write_u64(dir::HINT, rid.page.0);
+            }
+            self.bump_count(tx, -1)?;
+        }
+        Ok(existed)
+    }
+
+    /// Replace a record: delete + insert. The record id changes; callers
+    /// own remapping any references (see module docs).
+    pub fn replace(&self, tx: &mut impl PageWrite, rid: RecordId, data: &[u8]) -> Result<RecordId> {
+        if !self.delete(tx, rid)? {
+            return Err(StorageError::RecordNotFound {
+                page: rid.page,
+                slot: rid.slot,
+            });
+        }
+        self.insert(tx, data)
+    }
+
+    /// Collect every live record (id, bytes), in page-chain order.
+    ///
+    /// This materializes the result: scans are used by extent iteration in
+    /// the object layer, which decodes records immediately anyway.
+    pub fn scan(&self, tx: &mut impl PageRead) -> Result<Vec<(RecordId, Vec<u8>)>> {
+        let mut out = Vec::new();
+        let mut page_id = PageId(tx.page(self.dir)?.read_u64(dir::FIRST));
+        while !page_id.is_null() {
+            let page = tx.page(page_id)?;
+            let next = page.link();
+            let slots: Vec<u16> = slotted::live_slots(page).collect();
+            for slot in slots {
+                let rid = RecordId {
+                    page: page_id,
+                    slot,
+                };
+                let data = self.get(tx, rid)?;
+                out.push((rid, data));
+            }
+            page_id = next;
+        }
+        Ok(out)
+    }
+
+    fn bump_count(&self, tx: &mut impl PageWrite, delta: i64) -> Result<()> {
+        let count = tx.page(self.dir)?.read_u64(dir::RECORD_COUNT);
+        let new = count
+            .checked_add_signed(delta)
+            .expect("record count underflow");
+        tx.page_mut(self.dir)?.write_u64(dir::RECORD_COUNT, new);
+        Ok(())
+    }
+
+    /// Find (or allocate) a data page that can hold a cell of `len` bytes.
+    fn page_for_insert(&self, tx: &mut impl PageWrite, len: usize) -> Result<PageId> {
+        let hint = PageId(tx.page(self.dir)?.read_u64(dir::HINT));
+        if !hint.is_null() && slotted::can_insert(tx.page(hint)?, len) {
+            return Ok(hint);
+        }
+        let first = PageId(tx.page(self.dir)?.read_u64(dir::FIRST));
+        if !first.is_null() && slotted::can_insert(tx.page(first)?, len) {
+            return Ok(first);
+        }
+        // Allocate a fresh data page at the chain head.
+        let new_id = tx.allocate(PageKind::Heap)?;
+        {
+            let page = tx.page_mut(new_id)?;
+            slotted::init(page);
+            page.set_link(first);
+        }
+        let dir_page = tx.page_mut(self.dir)?;
+        dir_page.write_u64(dir::FIRST, new_id.0);
+        dir_page.write_u64(dir::HINT, new_id.0);
+        Ok(new_id)
+    }
+
+    fn write_overflow_chain(&self, tx: &mut impl PageWrite, data: &[u8]) -> Result<PageId> {
+        // Build the chain back-to-front so each page links to its
+        // successor at allocation time.
+        let mut next = PageId::NULL;
+        let chunks: Vec<&[u8]> = data.chunks(OVERFLOW_CHUNK).collect();
+        for chunk in chunks.into_iter().rev() {
+            let id = tx.allocate(PageKind::Overflow)?;
+            let page = tx.page_mut(id)?;
+            page.set_link(next);
+            page.write_u32(PAGE_HEADER_LEN, chunk.len() as u32);
+            let start = PAGE_HEADER_LEN + 4;
+            page.as_bytes_mut()[start..start + chunk.len()].copy_from_slice(chunk);
+            next = id;
+        }
+        Ok(next)
+    }
+
+    fn read_overflow_chain(
+        &self,
+        tx: &mut impl PageRead,
+        first: PageId,
+        total: usize,
+    ) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(total);
+        let mut cur = first;
+        while !cur.is_null() {
+            let page = tx.page(cur)?;
+            if page.kind() != Some(PageKind::Overflow) {
+                return Err(StorageError::TreeCorrupt("overflow chain broken"));
+            }
+            let len = page.read_u32(PAGE_HEADER_LEN) as usize;
+            if len > OVERFLOW_CHUNK {
+                return Err(StorageError::TreeCorrupt("overflow chunk too long"));
+            }
+            let start = PAGE_HEADER_LEN + 4;
+            out.extend_from_slice(&page.as_bytes()[start..start + len]);
+            cur = page.link();
+        }
+        if out.len() != total {
+            return Err(StorageError::TreeCorrupt("overflow length mismatch"));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{Store, StoreOptions};
+
+    fn temp_store(name: &str) -> (std::path::PathBuf, Store) {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ode-heap-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        let _ = std::fs::remove_file(p.with_extension("db.wal"));
+        let mut wal = p.clone().into_os_string();
+        wal.push(".wal");
+        let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+        let store = Store::create(&p, StoreOptions::default()).unwrap();
+        (p, store)
+    }
+
+    fn cleanup(p: &std::path::Path) {
+        let _ = std::fs::remove_file(p);
+        let mut wal = p.to_path_buf().into_os_string();
+        wal.push(".wal");
+        let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+    }
+
+    #[test]
+    fn record_id_packing() {
+        let rid = RecordId {
+            page: PageId(0x0000_1234_5678_9ABC),
+            slot: 0xFEDC,
+        };
+        assert_eq!(RecordId::from_u64(rid.to_u64()), rid);
+    }
+
+    #[test]
+    fn insert_get_delete_small() {
+        let (path, store) = temp_store("small");
+        let mut tx = store.begin();
+        let heap = Heap::create(&mut tx).unwrap();
+        let rid = heap.insert(&mut tx, b"hello heap").unwrap();
+        assert_eq!(heap.get(&mut tx, rid).unwrap(), b"hello heap");
+        assert_eq!(heap.len(&mut tx).unwrap(), 1);
+        assert!(heap.delete(&mut tx, rid).unwrap());
+        assert!(!heap.delete(&mut tx, rid).unwrap());
+        assert_eq!(heap.len(&mut tx).unwrap(), 0);
+        assert!(heap.get(&mut tx, rid).is_err());
+        tx.commit().unwrap();
+        drop(store);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn large_records_use_overflow() {
+        let (path, store) = temp_store("overflow");
+        let mut tx = store.begin();
+        let heap = Heap::create(&mut tx).unwrap();
+        // 3 pages worth of data plus a ragged tail.
+        let data: Vec<u8> = (0..3 * OVERFLOW_CHUNK + 123)
+            .map(|i| (i % 251) as u8)
+            .collect();
+        let rid = heap.insert(&mut tx, &data).unwrap();
+        assert_eq!(heap.get(&mut tx, rid).unwrap(), data);
+        let pages_before = tx.page_count().unwrap();
+        assert!(heap.delete(&mut tx, rid).unwrap());
+        // Deleting frees all 4 overflow pages (they return to the free
+        // list rather than shrinking the file).
+        assert_eq!(tx.page_count().unwrap(), pages_before);
+        // Re-inserting reuses them instead of growing the file.
+        let rid2 = heap.insert(&mut tx, &data).unwrap();
+        assert_eq!(tx.page_count().unwrap(), pages_before);
+        assert_eq!(heap.get(&mut tx, rid2).unwrap(), data);
+        tx.commit().unwrap();
+        drop(store);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn replace_changes_rid_and_preserves_data() {
+        let (path, store) = temp_store("replace");
+        let mut tx = store.begin();
+        let heap = Heap::create(&mut tx).unwrap();
+        let rid = heap.insert(&mut tx, b"v0").unwrap();
+        let rid2 = heap.replace(&mut tx, rid, b"v1-much-longer").unwrap();
+        assert_eq!(heap.get(&mut tx, rid2).unwrap(), b"v1-much-longer");
+        assert_eq!(heap.len(&mut tx).unwrap(), 1);
+        tx.commit().unwrap();
+        drop(store);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn scan_returns_all_live_records() {
+        let (path, store) = temp_store("scan");
+        let mut tx = store.begin();
+        let heap = Heap::create(&mut tx).unwrap();
+        let mut expected = Vec::new();
+        for i in 0..500u32 {
+            let data = format!("record-{i}").into_bytes();
+            let rid = heap.insert(&mut tx, &data).unwrap();
+            expected.push((rid, data));
+        }
+        // Delete a third of them.
+        for (rid, _) in expected.iter().step_by(3) {
+            heap.delete(&mut tx, *rid).unwrap();
+        }
+        let kept: Vec<_> = expected
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .map(|(_, e)| e.clone())
+            .collect();
+        let mut scanned = heap.scan(&mut tx).unwrap();
+        scanned.sort();
+        let mut kept_sorted = kept.clone();
+        kept_sorted.sort();
+        assert_eq!(scanned, kept_sorted);
+        assert_eq!(heap.len(&mut tx).unwrap(), kept.len() as u64);
+        tx.commit().unwrap();
+        drop(store);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn many_records_span_many_pages() {
+        let (path, store) = temp_store("manypages");
+        let mut tx = store.begin();
+        let heap = Heap::create(&mut tx).unwrap();
+        let data = vec![0xAAu8; 1000];
+        let rids: Vec<RecordId> = (0..100)
+            .map(|_| heap.insert(&mut tx, &data).unwrap())
+            .collect();
+        let distinct_pages: std::collections::HashSet<u64> =
+            rids.iter().map(|r| r.page.0).collect();
+        assert!(distinct_pages.len() > 20, "1000-byte records spread pages");
+        for rid in rids {
+            assert_eq!(heap.get(&mut tx, rid).unwrap(), data);
+        }
+        tx.commit().unwrap();
+        drop(store);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn heap_persists_across_reopen() {
+        let (path, store) = temp_store("persist");
+        let (heap_dir, rid) = {
+            let mut tx = store.begin();
+            let heap = Heap::create(&mut tx).unwrap();
+            let rid = heap.insert(&mut tx, b"durable").unwrap();
+            tx.set_root(0, heap.dir.0).unwrap();
+            tx.commit().unwrap();
+            (heap.dir, rid)
+        };
+        drop(store);
+        let store = Store::open(&path, StoreOptions::default()).unwrap();
+        let mut r = store.read();
+        assert_eq!(r.root(0).unwrap(), heap_dir.0);
+        let heap = Heap::open(heap_dir);
+        assert_eq!(heap.get(&mut r, rid).unwrap(), b"durable");
+        drop(r);
+        drop(store);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn empty_record_round_trips() {
+        let (path, store) = temp_store("empty");
+        let mut tx = store.begin();
+        let heap = Heap::create(&mut tx).unwrap();
+        let rid = heap.insert(&mut tx, b"").unwrap();
+        assert_eq!(heap.get(&mut tx, rid).unwrap(), b"");
+        tx.commit().unwrap();
+        drop(store);
+        cleanup(&path);
+    }
+}

@@ -1,0 +1,194 @@
+//! Raw page file: page-granular reads and writes with checksums.
+//!
+//! The pager knows nothing about allocation, free lists, or transactions —
+//! that logic lives in [`crate::store`], which keeps the store header
+//! (page 0) in the buffer pool like any other page.  The pager's only
+//! responsibilities are positioned I/O, checksum sealing/verification,
+//! and growing the file when a page beyond EOF is written (recovery may
+//! apply write-ahead-log images out of order).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::page::{PageBuf, PageId, PAGE_SIZE};
+use crate::{Result, StorageError};
+
+/// File-backed page manager.
+pub struct Pager {
+    file: File,
+    /// Number of whole pages physically present in the file.
+    file_pages: u64,
+}
+
+impl Pager {
+    /// Create a new, empty page file (truncating any existing one).
+    pub fn create(path: &Path) -> Result<Pager> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Pager {
+            file,
+            file_pages: 0,
+        })
+    }
+
+    /// Open an existing page file. The length must be page-aligned; a
+    /// ragged tail means the file is not an Ode store (the WAL protects
+    /// page writes, so torn pages inside the file are caught by
+    /// checksums, not length checks).
+    pub fn open(path: &Path) -> Result<Pager> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StorageError::BadMagic);
+        }
+        Ok(Pager {
+            file,
+            file_pages: len / PAGE_SIZE as u64,
+        })
+    }
+
+    /// Number of whole pages physically in the file.
+    pub fn file_pages(&self) -> u64 {
+        self.file_pages
+    }
+
+    /// Read a page, verifying its checksum.
+    pub fn read_page(&mut self, id: PageId) -> Result<PageBuf> {
+        if id.0 >= self.file_pages {
+            return Err(StorageError::PageOutOfBounds {
+                page: id,
+                page_count: self.file_pages,
+            });
+        }
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.file.seek(SeekFrom::Start(id.file_offset()))?;
+        self.file.read_exact(&mut buf)?;
+        let page = PageBuf::from_vec(buf).expect("page-sized buffer");
+        if !page.verify() {
+            return Err(StorageError::ChecksumMismatch { page: id });
+        }
+        Ok(page)
+    }
+
+    /// Write a page image, sealing its checksum. Writing beyond EOF grows
+    /// the file; any gap pages are zero-filled (and will fail checksum
+    /// verification if ever read before being written, which is the
+    /// desired corruption signal).
+    pub fn write_page(&mut self, id: PageId, page: &mut PageBuf) -> Result<()> {
+        page.seal();
+        if id.0 >= self.file_pages {
+            self.file.set_len((id.0 + 1) * PAGE_SIZE as u64)?;
+            self.file_pages = id.0 + 1;
+        }
+        self.file.seek(SeekFrom::Start(id.file_offset()))?;
+        self.file.write_all(page.as_bytes())?;
+        Ok(())
+    }
+
+    /// fsync the file.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageKind;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ode-pager-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let path = temp_path("rt");
+        let mut pager = Pager::create(&path).unwrap();
+        let mut page = PageBuf::new(PageKind::Heap);
+        page.payload_mut()[..4].copy_from_slice(b"data");
+        pager.write_page(PageId(0), &mut page).unwrap();
+        let back = pager.read_page(PageId(0)).unwrap();
+        assert_eq!(&back.payload()[..4], b"data");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn write_beyond_eof_grows_file() {
+        let path = temp_path("grow");
+        let mut pager = Pager::create(&path).unwrap();
+        let mut page = PageBuf::new(PageKind::Heap);
+        pager.write_page(PageId(5), &mut page).unwrap();
+        assert_eq!(pager.file_pages(), 6);
+        // The zero-filled gap page fails its checksum if read.
+        assert!(matches!(
+            pager.read_page(PageId(3)),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn reopen_preserves_pages() {
+        let path = temp_path("reopen");
+        {
+            let mut pager = Pager::create(&path).unwrap();
+            let mut page = PageBuf::new(PageKind::Heap);
+            page.payload_mut()[0] = 7;
+            pager.write_page(PageId(2), &mut page).unwrap();
+            pager.sync().unwrap();
+        }
+        let mut pager = Pager::open(&path).unwrap();
+        assert_eq!(pager.file_pages(), 3);
+        assert_eq!(pager.read_page(PageId(2)).unwrap().payload()[0], 7);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn ragged_file_rejected() {
+        let path = temp_path("ragged");
+        std::fs::write(&path, vec![0u8; PAGE_SIZE + 17]).unwrap();
+        assert!(matches!(Pager::open(&path), Err(StorageError::BadMagic)));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let path = temp_path("corrupt");
+        {
+            let mut pager = Pager::create(&path).unwrap();
+            let mut page = PageBuf::new(PageKind::Heap);
+            pager.write_page(PageId(0), &mut page).unwrap();
+        }
+        {
+            let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.seek(SeekFrom::Start(100)).unwrap();
+            f.write_all(&[0xFF]).unwrap();
+        }
+        let mut pager = Pager::open(&path).unwrap();
+        assert!(matches!(
+            pager.read_page(PageId(0)),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_read_rejected() {
+        let path = temp_path("oob");
+        let mut pager = Pager::create(&path).unwrap();
+        assert!(matches!(
+            pager.read_page(PageId(5)),
+            Err(StorageError::PageOutOfBounds { .. })
+        ));
+        std::fs::remove_file(path).unwrap();
+    }
+}

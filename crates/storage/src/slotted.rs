@@ -1,0 +1,364 @@
+//! Slotted-page record layout.
+//!
+//! Within a heap page's payload area:
+//!
+//! ```text
+//! [u16 nslots][u16 cell_start][slot 0][slot 1]... ...cells... (grow down)
+//! ```
+//!
+//! Each slot is `[u16 offset][u16 len]` where `offset` is relative to the
+//! start of the *page* (so 0 is never a valid cell offset and doubles as
+//! the tombstone marker).  Cells are allocated from the end of the page
+//! downwards; deleting a record tombstones its slot; compaction rewrites
+//! live cells to squeeze out holes.  Slot indexes are stable across
+//! compaction (record ids embed them), and tombstoned slots are reused by
+//! later inserts.
+
+use crate::page::{PageBuf, PAGE_HEADER_LEN, PAGE_SIZE};
+use crate::{Result, StorageError};
+
+const NSLOTS_OFF: usize = PAGE_HEADER_LEN;
+const CELL_START_OFF: usize = PAGE_HEADER_LEN + 2;
+const SLOTS_OFF: usize = PAGE_HEADER_LEN + 4;
+const SLOT_SIZE: usize = 4;
+
+/// Largest record payload a single slotted page can hold (one slot, one
+/// cell, empty page).
+pub const MAX_CELL: usize = PAGE_SIZE - SLOTS_OFF - SLOT_SIZE;
+
+/// Initialize an empty slotted layout on a page.
+pub fn init(page: &mut PageBuf) {
+    page.write_u16(NSLOTS_OFF, 0);
+    page.write_u16(CELL_START_OFF, PAGE_SIZE as u16);
+}
+
+fn nslots(page: &PageBuf) -> usize {
+    page.read_u16(NSLOTS_OFF) as usize
+}
+
+fn cell_start(page: &PageBuf) -> usize {
+    let v = page.read_u16(CELL_START_OFF) as usize;
+    // A zero cell_start encodes PAGE_SIZE (u16 cannot hold 4096).
+    if v == 0 {
+        PAGE_SIZE
+    } else {
+        v
+    }
+}
+
+fn set_cell_start(page: &mut PageBuf, v: usize) {
+    debug_assert!(v <= PAGE_SIZE);
+    page.write_u16(CELL_START_OFF, if v == PAGE_SIZE { 0 } else { v as u16 });
+}
+
+fn slot(page: &PageBuf, idx: usize) -> (usize, usize) {
+    let base = SLOTS_OFF + idx * SLOT_SIZE;
+    (
+        page.read_u16(base) as usize,
+        page.read_u16(base + 2) as usize,
+    )
+}
+
+fn set_slot(page: &mut PageBuf, idx: usize, offset: usize, len: usize) {
+    let base = SLOTS_OFF + idx * SLOT_SIZE;
+    page.write_u16(base, offset as u16);
+    page.write_u16(base + 2, len as u16);
+}
+
+/// Bytes of contiguous free space between the slot array and cell area.
+fn contiguous_free(page: &PageBuf) -> usize {
+    cell_start(page).saturating_sub(SLOTS_OFF + nslots(page) * SLOT_SIZE)
+}
+
+/// Total reclaimable free space (contiguous + dead cells).
+pub fn free_space(page: &PageBuf) -> usize {
+    let mut live = 0usize;
+    for i in 0..nslots(page) {
+        let (off, len) = slot(page, i);
+        if off != 0 {
+            live += len;
+        }
+    }
+    (PAGE_SIZE - SLOTS_OFF - nslots(page) * SLOT_SIZE) - live
+}
+
+/// Whether a record of `len` bytes can be inserted (possibly after
+/// compaction), accounting for a new slot if no tombstone is free.
+pub fn can_insert(page: &PageBuf, len: usize) -> bool {
+    if len > MAX_CELL {
+        return false;
+    }
+    let has_tombstone = (0..nslots(page)).any(|i| slot(page, i).0 == 0);
+    let slot_cost = if has_tombstone { 0 } else { SLOT_SIZE };
+    free_space(page) >= len + slot_cost
+}
+
+/// Number of live (non-tombstoned) records.
+pub fn live_count(page: &PageBuf) -> usize {
+    (0..nslots(page)).filter(|&i| slot(page, i).0 != 0).count()
+}
+
+/// Insert a record, returning its slot index.
+///
+/// Errors with [`StorageError::PageFull`] when it does not fit; callers
+/// should gate on [`can_insert`].
+pub fn insert(page: &mut PageBuf, data: &[u8]) -> Result<u16> {
+    if !can_insert(page, data.len()) {
+        return Err(StorageError::PageFull);
+    }
+    let reuse = (0..nslots(page)).find(|&i| slot(page, i).0 == 0);
+    // Compact *before* growing the slot array: a new slot entry would
+    // otherwise overwrite the lowest cell when the gap between the slot
+    // array and cell area is smaller than one slot.
+    let needed = data.len() + if reuse.is_none() { SLOT_SIZE } else { 0 };
+    if contiguous_free(page) < needed {
+        compact(page);
+    }
+    let idx = match reuse {
+        Some(i) => i,
+        None => {
+            let n = nslots(page);
+            page.write_u16(NSLOTS_OFF, (n + 1) as u16);
+            set_slot(page, n, 0, 0);
+            n
+        }
+    };
+    let new_start = cell_start(page) - data.len();
+    page.as_bytes_mut()[new_start..new_start + data.len()].copy_from_slice(data);
+    set_cell_start(page, new_start);
+    set_slot(page, idx, new_start, data.len());
+    Ok(idx as u16)
+}
+
+/// Read a record by slot index.
+pub fn get(page: &PageBuf, idx: u16) -> Option<&[u8]> {
+    let idx = idx as usize;
+    if idx >= nslots(page) {
+        return None;
+    }
+    let (off, len) = slot(page, idx);
+    if off == 0 {
+        return None;
+    }
+    Some(&page.as_bytes()[off..off + len])
+}
+
+/// Delete a record (tombstone its slot). Returns whether it was live.
+pub fn delete(page: &mut PageBuf, idx: u16) -> bool {
+    let idx = idx as usize;
+    if idx >= nslots(page) || slot(page, idx).0 == 0 {
+        return false;
+    }
+    set_slot(page, idx, 0, 0);
+    true
+}
+
+/// Update a record in place when possible, otherwise delete + reinsert at
+/// the same slot. Fails with [`StorageError::PageFull`] when the new
+/// value does not fit even after compaction (caller then relocates the
+/// record to another page).
+pub fn update(page: &mut PageBuf, idx: u16, data: &[u8]) -> Result<()> {
+    let i = idx as usize;
+    if i >= nslots(page) {
+        return Err(StorageError::RecordNotFound {
+            page: crate::PageId(0),
+            slot: idx,
+        });
+    }
+    let (off, len) = slot(page, i);
+    if off == 0 {
+        return Err(StorageError::RecordNotFound {
+            page: crate::PageId(0),
+            slot: idx,
+        });
+    }
+    if data.len() <= len {
+        // Shrink in place (wastes len - data.len() until next compaction).
+        page.as_bytes_mut()[off..off + data.len()].copy_from_slice(data);
+        set_slot(page, i, off, data.len());
+        return Ok(());
+    }
+    // Grow: tombstone, then re-add at the same slot index.
+    set_slot(page, i, 0, 0);
+    if free_space(page) < data.len() {
+        // Restore the old slot before failing so the record isn't lost.
+        set_slot(page, i, off, len);
+        return Err(StorageError::PageFull);
+    }
+    if contiguous_free(page) < data.len() {
+        compact(page);
+    }
+    let new_start = cell_start(page) - data.len();
+    page.as_bytes_mut()[new_start..new_start + data.len()].copy_from_slice(data);
+    set_cell_start(page, new_start);
+    set_slot(page, i, new_start, data.len());
+    Ok(())
+}
+
+/// Iterate live slot indexes.
+pub fn live_slots(page: &PageBuf) -> impl Iterator<Item = u16> + '_ {
+    (0..nslots(page)).filter_map(move |i| {
+        if slot(page, i).0 != 0 {
+            Some(i as u16)
+        } else {
+            None
+        }
+    })
+}
+
+/// Rewrite live cells contiguously at the end of the page, squeezing out
+/// holes left by deletes and shrinking updates.
+pub fn compact(page: &mut PageBuf) {
+    let n = nslots(page);
+    // Collect live cells (slot, bytes), then rewrite from the end.
+    let mut cells: Vec<(usize, Vec<u8>)> = Vec::new();
+    for i in 0..n {
+        let (off, len) = slot(page, i);
+        if off != 0 {
+            cells.push((i, page.as_bytes()[off..off + len].to_vec()));
+        }
+    }
+    let mut write_pos = PAGE_SIZE;
+    for (i, bytes) in cells {
+        write_pos -= bytes.len();
+        page.as_bytes_mut()[write_pos..write_pos + bytes.len()].copy_from_slice(&bytes);
+        set_slot(page, i, write_pos, bytes.len());
+    }
+    set_cell_start(page, write_pos);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageKind;
+
+    fn fresh() -> PageBuf {
+        let mut p = PageBuf::new(PageKind::Heap);
+        init(&mut p);
+        p
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let mut p = fresh();
+        let a = insert(&mut p, b"alpha").unwrap();
+        let b = insert(&mut p, b"bravo!").unwrap();
+        assert_eq!(get(&p, a).unwrap(), b"alpha");
+        assert_eq!(get(&p, b).unwrap(), b"bravo!");
+        assert_eq!(live_count(&p), 2);
+    }
+
+    #[test]
+    fn delete_tombstones_and_slot_reused() {
+        let mut p = fresh();
+        let a = insert(&mut p, b"one").unwrap();
+        let _b = insert(&mut p, b"two").unwrap();
+        assert!(delete(&mut p, a));
+        assert!(!delete(&mut p, a), "double delete is a no-op");
+        assert_eq!(get(&p, a), None);
+        let c = insert(&mut p, b"three").unwrap();
+        assert_eq!(c, a, "tombstoned slot is reused");
+        assert_eq!(get(&p, c).unwrap(), b"three");
+    }
+
+    #[test]
+    fn update_shrink_and_grow() {
+        let mut p = fresh();
+        let a = insert(&mut p, b"longer-value").unwrap();
+        update(&mut p, a, b"tiny").unwrap();
+        assert_eq!(get(&p, a).unwrap(), b"tiny");
+        update(&mut p, a, b"now-much-longer-than-before").unwrap();
+        assert_eq!(get(&p, a).unwrap(), b"now-much-longer-than-before");
+    }
+
+    #[test]
+    fn fill_page_then_overflow() {
+        let mut p = fresh();
+        let rec = vec![7u8; 100];
+        let mut count = 0;
+        while can_insert(&p, rec.len()) {
+            insert(&mut p, &rec).unwrap();
+            count += 1;
+        }
+        assert!(
+            count >= 35,
+            "expected ~39 records of 104 bytes, got {count}"
+        );
+        assert!(matches!(insert(&mut p, &rec), Err(StorageError::PageFull)));
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_space() {
+        let mut p = fresh();
+        let mut slots = Vec::new();
+        for _ in 0..30 {
+            slots.push(insert(&mut p, &[1u8; 100]).unwrap());
+        }
+        // Delete every other record.
+        for (i, &s) in slots.iter().enumerate() {
+            if i % 2 == 0 {
+                delete(&mut p, s);
+            }
+        }
+        // A 1000-byte record needs compaction (contiguous space is gone)
+        // but fits in reclaimed space.
+        assert!(can_insert(&p, 1000));
+        let big = insert(&mut p, &[9u8; 1000]).unwrap();
+        assert_eq!(get(&p, big).unwrap(), &[9u8; 1000][..]);
+        // Survivors are intact after compaction.
+        for (i, &s) in slots.iter().enumerate() {
+            if i % 2 == 1 {
+                assert_eq!(get(&p, s).unwrap(), &[1u8; 100][..]);
+            }
+        }
+    }
+
+    #[test]
+    fn max_cell_fits_exactly() {
+        let mut p = fresh();
+        let rec = vec![5u8; MAX_CELL];
+        assert!(can_insert(&p, rec.len()));
+        let s = insert(&mut p, &rec).unwrap();
+        assert_eq!(get(&p, s).unwrap().len(), MAX_CELL);
+        assert!(!can_insert(&p, 1));
+        assert!(!can_insert(&p, MAX_CELL + 1));
+    }
+
+    #[test]
+    fn update_grow_beyond_space_restores_record() {
+        let mut p = fresh();
+        let filler = insert(&mut p, &vec![1u8; MAX_CELL - 200]).unwrap();
+        let small = insert(&mut p, b"abc").unwrap();
+        let err = update(&mut p, small, &vec![2u8; 500]);
+        assert!(matches!(err, Err(StorageError::PageFull)));
+        // The record must still be readable with its old value.
+        assert_eq!(get(&p, small).unwrap(), b"abc");
+        assert_eq!(get(&p, filler).unwrap().len(), MAX_CELL - 200);
+    }
+
+    #[test]
+    fn get_out_of_range_is_none() {
+        let p = fresh();
+        assert_eq!(get(&p, 0), None);
+        assert_eq!(get(&p, 100), None);
+    }
+
+    #[test]
+    fn live_slots_iteration() {
+        let mut p = fresh();
+        let a = insert(&mut p, b"a").unwrap();
+        let b = insert(&mut p, b"b").unwrap();
+        let c = insert(&mut p, b"c").unwrap();
+        delete(&mut p, b);
+        let live: Vec<u16> = live_slots(&p).collect();
+        assert_eq!(live, vec![a, c]);
+    }
+
+    #[test]
+    fn zero_length_records_supported() {
+        let mut p = fresh();
+        let s = insert(&mut p, b"").unwrap();
+        assert_eq!(get(&p, s).unwrap(), b"");
+        assert!(delete(&mut p, s));
+    }
+}

@@ -1,0 +1,864 @@
+//! Transactional store: the facade combining pager, buffer pool, and WAL.
+//!
+//! Concurrency model: one coarse lock serializes sessions, matching the
+//! paper's scope ("We do not discuss concurrency control issues in this
+//! paper").  A [`Tx`] is the single writer; [`ReadTx`] gives read access
+//! through the same lock.  Both are RAII guards.
+//!
+//! Durability protocol:
+//!
+//! * page 0 is the store header (magic, page count, free-list head, and
+//!   sixteen named *root slots* used by higher layers);
+//! * during a transaction all page mutations stay in the buffer pool;
+//! * commit appends after-images + a commit record to the WAL (fsync
+//!   governed by [`StoreOptions::sync_on_commit`]);
+//! * abort (dropping a [`Tx`] uncommitted) restores before-images;
+//! * checkpoint writes dirty pages to the database file, fsyncs, and
+//!   resets the WAL;
+//! * open replays committed WAL images into the database file.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::buffer::{BufferPool, BufferStats};
+use crate::page::{PageBuf, PageId, PageKind, PAGE_SIZE};
+use crate::pager::Pager;
+use crate::wal::{
+    committed_changes, delta_payload_len, page_diff_ops, CommittedChange, Wal, WalRecord,
+};
+use crate::{Result, StorageError};
+
+/// Magic number identifying an Ode store header page.
+pub const MAGIC: u32 = 0x4F44_4531; // "ODE1"
+/// Current file-format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Number of named root slots in the header.
+pub const ROOT_SLOTS: usize = 16;
+
+/// Header-page field offsets (bytes ≥ 16 are past the common page header).
+mod hdr {
+    pub const MAGIC: usize = 16;
+    pub const FORMAT_VERSION: usize = 20;
+    pub const PAGE_COUNT: usize = 24;
+    pub const FREE_HEAD: usize = 32;
+    pub const ROOTS: usize = 40;
+}
+
+/// Tuning and durability options for a [`Store`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Buffer-pool capacity in pages.
+    pub buffer_pages: usize,
+    /// fsync the WAL on every commit. Disable only for benchmarks where
+    /// durability of the tail is irrelevant.
+    pub sync_on_commit: bool,
+    /// Checkpoint automatically once the WAL exceeds this many bytes.
+    pub checkpoint_wal_bytes: u64,
+    /// Log changed byte ranges instead of full page images when a page's
+    /// delta is small — the storage-level "small changes have small
+    /// impact". Full images remain the fallback for heavily rewritten
+    /// pages.
+    pub wal_deltas: bool,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            buffer_pages: 1024,
+            sync_on_commit: true,
+            checkpoint_wal_bytes: 16 * 1024 * 1024,
+            wal_deltas: true,
+        }
+    }
+}
+
+/// Gap tolerance when merging changed byte runs into delta ops.
+const DELTA_RUN_GAP: usize = 24;
+/// Deltas whose payload exceeds this fall back to a full page image.
+const DELTA_MAX_PAYLOAD: usize = (PAGE_SIZE * 3) / 4;
+
+struct Inner {
+    pager: Pager,
+    pool: BufferPool,
+    wal: Wal,
+    options: StoreOptions,
+    next_tx: u64,
+}
+
+/// A durable, transactional page store.
+pub struct Store {
+    inner: Mutex<Inner>,
+    db_path: PathBuf,
+}
+
+/// Read access to pages, shared by [`Tx`] and [`ReadTx`].
+pub trait PageRead {
+    /// Read-only view of a page.
+    fn page(&mut self, id: PageId) -> Result<&PageBuf>;
+    /// Read a named root slot.
+    fn root(&mut self, slot: usize) -> Result<u64>;
+    /// Total pages tracked by the store header.
+    fn page_count(&mut self) -> Result<u64>;
+}
+
+/// Mutating access to pages, implemented by [`Tx`] only.
+pub trait PageWrite: PageRead {
+    /// Mutable view of a page (captures an undo image on first touch).
+    fn page_mut(&mut self, id: PageId) -> Result<&mut PageBuf>;
+    /// Allocate a fresh page of `kind`.
+    fn allocate(&mut self, kind: PageKind) -> Result<PageId>;
+    /// Return a page to the free list.
+    fn free_page(&mut self, id: PageId) -> Result<()>;
+    /// Write a named root slot.
+    fn set_root(&mut self, slot: usize, value: u64) -> Result<()>;
+}
+
+impl Store {
+    /// Create a new store, erasing any existing files at `path` (the
+    /// database file) and `path` + `".wal"`.
+    pub fn create(path: impl AsRef<Path>, options: StoreOptions) -> Result<Store> {
+        let db_path = path.as_ref().to_path_buf();
+        let wal_path = wal_path_for(&db_path);
+        let _ = std::fs::remove_file(&wal_path);
+        let mut pager = Pager::create(&db_path)?;
+
+        let mut header = PageBuf::new(PageKind::Header);
+        header.write_u32(hdr::MAGIC, MAGIC);
+        header.write_u32(hdr::FORMAT_VERSION, FORMAT_VERSION);
+        header.write_u64(hdr::PAGE_COUNT, 1);
+        header.write_u64(hdr::FREE_HEAD, 0);
+        pager.write_page(PageId::HEADER, &mut header)?;
+        pager.sync()?;
+
+        let wal = Wal::open(&wal_path)?;
+        Ok(Store {
+            inner: Mutex::new(Inner {
+                pool: BufferPool::new(options.buffer_pages),
+                pager,
+                wal,
+                options,
+                next_tx: 1,
+            }),
+            db_path,
+        })
+    }
+
+    /// Open an existing store, running crash recovery from the WAL.
+    pub fn open(path: impl AsRef<Path>, options: StoreOptions) -> Result<Store> {
+        let db_path = path.as_ref().to_path_buf();
+        let wal_path = wal_path_for(&db_path);
+        let mut pager = Pager::open(&db_path)?;
+        let mut wal = Wal::open(&wal_path)?;
+
+        // Recovery: apply committed page changes in log order, then clear
+        // the log. Idempotent, so a crash during recovery just reruns it.
+        // Pages are accumulated in memory so a page touched by many
+        // transactions is read and written once.
+        let (records, tear) = wal.records()?;
+        let changes = committed_changes(&records);
+        let had_changes = !changes.is_empty();
+        let mut recovered: HashMap<u64, PageBuf> = HashMap::new();
+        for change in changes {
+            match change {
+                CommittedChange::Image(page_id, image) => {
+                    let page = PageBuf::from_vec(image.clone())
+                        .ok_or(StorageError::WalCorrupt { offset: 0 })?;
+                    recovered.insert(page_id.0, page);
+                }
+                CommittedChange::Delta(page_id, ops) => {
+                    let page = match recovered.entry(page_id.0) {
+                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            // Base = the file state (last checkpoint); a
+                            // page past EOF or never-written starts zeroed.
+                            let base = pager
+                                .read_page(page_id)
+                                .unwrap_or_else(|_| PageBuf::zeroed());
+                            e.insert(base)
+                        }
+                    };
+                    for (offset, bytes) in ops {
+                        let start = *offset as usize;
+                        let end = start + bytes.len();
+                        if end > PAGE_SIZE {
+                            return Err(StorageError::WalCorrupt { offset: 0 });
+                        }
+                        page.as_bytes_mut()[start..end].copy_from_slice(bytes);
+                    }
+                }
+            }
+        }
+        for (raw_id, mut page) in recovered {
+            pager.write_page(PageId(raw_id), &mut page)?;
+        }
+        if had_changes {
+            pager.sync()?;
+        }
+        if had_changes || tear.is_some() {
+            wal.reset()?;
+        }
+
+        // Validate the header now that recovery has run.
+        let header = pager.read_page(PageId::HEADER)?;
+        if header.read_u32(hdr::MAGIC) != MAGIC
+            || header.read_u32(hdr::FORMAT_VERSION) != FORMAT_VERSION
+        {
+            return Err(StorageError::BadMagic);
+        }
+
+        Ok(Store {
+            inner: Mutex::new(Inner {
+                pool: BufferPool::new(options.buffer_pages),
+                pager,
+                wal,
+                options,
+                next_tx: 1,
+            }),
+            db_path,
+        })
+    }
+
+    /// Open `path`, creating a fresh store when the file does not exist.
+    pub fn open_or_create(path: impl AsRef<Path>, options: StoreOptions) -> Result<Store> {
+        if path.as_ref().exists() {
+            Store::open(path, options)
+        } else {
+            Store::create(path, options)
+        }
+    }
+
+    /// Path of the database file.
+    pub fn path(&self) -> &Path {
+        &self.db_path
+    }
+
+    /// Begin a write transaction. Holds the store lock until commit or
+    /// drop (abort).
+    pub fn begin(&self) -> Tx<'_> {
+        let mut guard = self.inner.lock();
+        let tx_id = guard.next_tx;
+        guard.next_tx += 1;
+        Tx {
+            guard,
+            tx_id,
+            undo: HashMap::new(),
+            dirtied: Vec::new(),
+            committed: false,
+        }
+    }
+
+    /// Begin a read-only transaction.
+    pub fn read(&self) -> ReadTx<'_> {
+        ReadTx {
+            guard: self.inner.lock(),
+        }
+    }
+
+    /// Write all dirty pages to the database file and reset the WAL.
+    pub fn checkpoint(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.checkpoint()
+    }
+
+    /// Buffer-pool statistics snapshot.
+    pub fn buffer_stats(&self) -> BufferStats {
+        self.inner.lock().pool.stats()
+    }
+
+    /// Current WAL size in bytes.
+    pub fn wal_len(&self) -> u64 {
+        self.inner.lock().wal.len()
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        // Best-effort checkpoint so clean shutdowns reopen without replay.
+        if let Some(mut inner) = self.inner.try_lock() {
+            let _ = inner.checkpoint();
+        }
+    }
+}
+
+fn wal_path_for(db_path: &Path) -> PathBuf {
+    let mut os = db_path.as_os_str().to_owned();
+    os.push(".wal");
+    PathBuf::from(os)
+}
+
+impl Inner {
+    fn header(&mut self) -> Result<&PageBuf> {
+        self.pool.get(&mut self.pager, PageId::HEADER)
+    }
+
+    fn header_mut(&mut self) -> Result<&mut PageBuf> {
+        self.pool.get_mut(&mut self.pager, PageId::HEADER)
+    }
+
+    fn checkpoint(&mut self) -> Result<()> {
+        self.pool.flush_all(&mut self.pager)?;
+        self.pager.sync()?;
+        self.wal.reset()?;
+        Ok(())
+    }
+}
+
+/// What rollback must do with a page this transaction touched.
+enum UndoEntry {
+    /// Restore this pre-transaction image (and dirty flag).
+    Restore(PageBuf, bool),
+    /// The page did not exist before (fresh allocation past the file
+    /// end): drop it from the pool.
+    Discard,
+}
+
+/// A write transaction (RAII guard; drop without
+/// [`Tx::commit`] aborts and rolls back).
+pub struct Tx<'a> {
+    guard: MutexGuard<'a, Inner>,
+    tx_id: u64,
+    /// Before-images for rollback and delta logging, keyed by page id.
+    undo: HashMap<u64, UndoEntry>,
+    /// Pages dirtied by this transaction, in first-touch order.
+    dirtied: Vec<PageId>,
+    committed: bool,
+}
+
+impl Tx<'_> {
+    /// The transaction id (for diagnostics).
+    pub fn id(&self) -> u64 {
+        self.tx_id
+    }
+
+    fn capture_undo(&mut self, id: PageId) -> Result<()> {
+        if self.undo.contains_key(&id.0) {
+            return Ok(());
+        }
+        // Always capture the pre-transaction image: rollback restores
+        // it, and commit diffs against it for delta logging.
+        let inner = &mut *self.guard;
+        let dirty = inner.pool.is_dirty(id);
+        let image = inner.pool.get(&mut inner.pager, id)?.clone();
+        self.undo.insert(id.0, UndoEntry::Restore(image, dirty));
+        self.dirtied.push(id);
+        Ok(())
+    }
+
+    /// Mark a freshly allocated page (no prior state anywhere).
+    fn capture_fresh(&mut self, id: PageId) {
+        if self.undo.contains_key(&id.0) {
+            return;
+        }
+        self.undo.insert(id.0, UndoEntry::Discard);
+        self.dirtied.push(id);
+    }
+
+    /// Commit: log after-images (or byte-range deltas, when small) plus
+    /// a commit record, then clear undo state. Auto-checkpoints when the
+    /// WAL or pool has grown large.
+    pub fn commit(mut self) -> Result<()> {
+        if !self.dirtied.is_empty() {
+            let inner = &mut *self.guard;
+            inner.wal.append(&WalRecord::Begin { tx: self.tx_id })?;
+            let zero = PageBuf::zeroed();
+            for &id in &self.dirtied {
+                // Every dirtied page is still resident (dirty pages are
+                // never evicted).
+                let after = inner.pool.get(&mut inner.pager, id)?.as_bytes().to_vec();
+                let record = if inner.options.wal_deltas {
+                    let before = match self.undo.get(&id.0) {
+                        Some(UndoEntry::Restore(img, _)) => img.as_bytes(),
+                        // Fresh pages diff against zeroes (their content
+                        // is usually sparse).
+                        Some(UndoEntry::Discard) | None => zero.as_bytes(),
+                    };
+                    let ops = page_diff_ops(before, &after, DELTA_RUN_GAP);
+                    if delta_payload_len(&ops) <= DELTA_MAX_PAYLOAD {
+                        WalRecord::PageDelta {
+                            tx: self.tx_id,
+                            page: id.0,
+                            ops,
+                        }
+                    } else {
+                        WalRecord::Page {
+                            tx: self.tx_id,
+                            page: id.0,
+                            image: after,
+                        }
+                    }
+                } else {
+                    WalRecord::Page {
+                        tx: self.tx_id,
+                        page: id.0,
+                        image: after,
+                    }
+                };
+                inner.wal.append(&record)?;
+            }
+            inner.wal.append(&WalRecord::Commit { tx: self.tx_id })?;
+            if inner.options.sync_on_commit {
+                inner.wal.sync()?;
+            }
+        }
+        self.committed = true;
+        self.undo.clear();
+        let inner = &mut *self.guard;
+        if inner.wal.len() > inner.options.checkpoint_wal_bytes || inner.pool.over_target() {
+            inner.checkpoint()?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Tx<'_> {
+    fn drop(&mut self) {
+        if self.committed {
+            return;
+        }
+        // Abort: restore before-images / discard pages first touched here.
+        let undo = std::mem::take(&mut self.undo);
+        for (raw_id, prior) in undo {
+            let id = PageId(raw_id);
+            match prior {
+                UndoEntry::Restore(image, dirty) => {
+                    let inner = &mut *self.guard;
+                    // Install ignores errors here deliberately: rollback
+                    // in Drop must not panic; worst case the page stays
+                    // evicted and is re-read from the file.
+                    let _ = inner.pool.install(&mut inner.pager, id, image, dirty);
+                }
+                UndoEntry::Discard => {
+                    self.guard.pool.discard(id);
+                }
+            }
+        }
+    }
+}
+
+impl PageRead for Tx<'_> {
+    fn page(&mut self, id: PageId) -> Result<&PageBuf> {
+        let inner = &mut *self.guard;
+        inner.pool.get(&mut inner.pager, id)
+    }
+
+    fn root(&mut self, slot: usize) -> Result<u64> {
+        assert!(slot < ROOT_SLOTS, "root slot out of range");
+        Ok(self.guard.header()?.read_u64(hdr::ROOTS + slot * 8))
+    }
+
+    fn page_count(&mut self) -> Result<u64> {
+        Ok(self.guard.header()?.read_u64(hdr::PAGE_COUNT))
+    }
+}
+
+impl PageWrite for Tx<'_> {
+    fn page_mut(&mut self, id: PageId) -> Result<&mut PageBuf> {
+        self.capture_undo(id)?;
+        let inner = &mut *self.guard;
+        inner.pool.get_mut(&mut inner.pager, id)
+    }
+
+    fn allocate(&mut self, kind: PageKind) -> Result<PageId> {
+        let free_head = PageId(self.guard.header()?.read_u64(hdr::FREE_HEAD));
+        let id = if !free_head.is_null() {
+            let next = self.page(free_head)?.link();
+            self.page_mut(PageId::HEADER)?
+                .write_u64(hdr::FREE_HEAD, next.0);
+            free_head
+        } else {
+            let count = self.page_count()?;
+            self.page_mut(PageId::HEADER)?
+                .write_u64(hdr::PAGE_COUNT, count + 1);
+            PageId(count)
+        };
+        // Capture undo before overwriting: a reused free-list page has a
+        // prior image to restore; a fresh page past the file end does not.
+        if id.0 < self.guard.pager.file_pages() {
+            self.capture_undo(id)?;
+        } else {
+            self.capture_fresh(id);
+        }
+        let inner = &mut *self.guard;
+        inner
+            .pool
+            .install(&mut inner.pager, id, PageBuf::new(kind), true)?;
+        Ok(id)
+    }
+
+    fn free_page(&mut self, id: PageId) -> Result<()> {
+        assert!(!id.is_null(), "cannot free the header page");
+        let head = self.guard.header()?.read_u64(hdr::FREE_HEAD);
+        let page = self.page_mut(id)?;
+        let mut fresh = PageBuf::new(PageKind::Free);
+        fresh.set_link(PageId(head));
+        *page = fresh;
+        self.page_mut(PageId::HEADER)?
+            .write_u64(hdr::FREE_HEAD, id.0);
+        Ok(())
+    }
+
+    fn set_root(&mut self, slot: usize, value: u64) -> Result<()> {
+        assert!(slot < ROOT_SLOTS, "root slot out of range");
+        self.capture_undo(PageId::HEADER)?;
+        self.guard
+            .header_mut()?
+            .write_u64(hdr::ROOTS + slot * 8, value);
+        Ok(())
+    }
+}
+
+/// A read-only transaction.
+pub struct ReadTx<'a> {
+    guard: MutexGuard<'a, Inner>,
+}
+
+impl PageRead for ReadTx<'_> {
+    fn page(&mut self, id: PageId) -> Result<&PageBuf> {
+        let inner = &mut *self.guard;
+        inner.pool.get(&mut inner.pager, id)
+    }
+
+    fn root(&mut self, slot: usize) -> Result<u64> {
+        assert!(slot < ROOT_SLOTS, "root slot out of range");
+        Ok(self.guard.header()?.read_u64(hdr::ROOTS + slot * 8))
+    }
+
+    fn page_count(&mut self) -> Result<u64> {
+        Ok(self.guard.header()?.read_u64(hdr::PAGE_COUNT))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_db(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ode-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        let _ = std::fs::remove_file(wal_path_for(&p));
+        p
+    }
+
+    fn cleanup(p: &Path) {
+        let _ = std::fs::remove_file(p);
+        let _ = std::fs::remove_file(wal_path_for(p));
+    }
+
+    #[test]
+    fn allocate_and_read_back() {
+        let path = temp_db("alloc");
+        let store = Store::create(&path, StoreOptions::default()).unwrap();
+        let id = {
+            let mut tx = store.begin();
+            let id = tx.allocate(PageKind::Heap).unwrap();
+            tx.page_mut(id).unwrap().payload_mut()[0] = 42;
+            tx.commit().unwrap();
+            id
+        };
+        let mut r = store.read();
+        assert_eq!(r.page(id).unwrap().payload()[0], 42);
+        drop(r);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn abort_rolls_back_everything() {
+        let path = temp_db("abort");
+        let store = Store::create(&path, StoreOptions::default()).unwrap();
+        let id = {
+            let mut tx = store.begin();
+            let id = tx.allocate(PageKind::Heap).unwrap();
+            tx.page_mut(id).unwrap().payload_mut()[0] = 1;
+            tx.commit().unwrap();
+            id
+        };
+        {
+            let mut tx = store.begin();
+            tx.page_mut(id).unwrap().payload_mut()[0] = 99;
+            let id2 = tx.allocate(PageKind::Heap).unwrap();
+            tx.set_root(0, id2.0).unwrap();
+            // Dropped without commit.
+        }
+        let mut r = store.read();
+        assert_eq!(r.page(id).unwrap().payload()[0], 1);
+        assert_eq!(r.root(0).unwrap(), 0);
+        // The aborted allocation is rolled back: page_count back to 2.
+        assert_eq!(r.page_count().unwrap(), 2);
+        drop(r);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn committed_data_survives_reopen_without_checkpoint() {
+        let path = temp_db("walrecover");
+        let id;
+        {
+            let store = Store::create(&path, StoreOptions::default()).unwrap();
+            let mut tx = store.begin();
+            id = tx.allocate(PageKind::Heap).unwrap();
+            tx.page_mut(id).unwrap().payload_mut()[..5].copy_from_slice(b"hello");
+            tx.set_root(2, id.0).unwrap();
+            tx.commit().unwrap();
+            // Simulate crash: leak the store so Drop's checkpoint never
+            // runs and the data exists only in the WAL.
+            std::mem::forget(store);
+        }
+        let store = Store::open(&path, StoreOptions::default()).unwrap();
+        let mut r = store.read();
+        assert_eq!(r.root(2).unwrap(), id.0);
+        assert_eq!(&r.page(id).unwrap().payload()[..5], b"hello");
+        drop(r);
+        drop(store);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn uncommitted_wal_tail_discarded_on_reopen() {
+        let path = temp_db("tornrecover");
+        {
+            let store = Store::create(&path, StoreOptions::default()).unwrap();
+            {
+                let mut tx = store.begin();
+                let id = tx.allocate(PageKind::Heap).unwrap();
+                tx.page_mut(id).unwrap().payload_mut()[0] = 7;
+                tx.set_root(0, id.0).unwrap();
+                tx.commit().unwrap();
+            }
+            std::mem::forget(store);
+        }
+        // Append a torn record to the WAL by hand.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(wal_path_for(&path))
+                .unwrap();
+            f.write_all(&[0xAB, 0xCD, 0x01]).unwrap();
+        }
+        let store = Store::open(&path, StoreOptions::default()).unwrap();
+        let mut r = store.read();
+        let id = PageId(r.root(0).unwrap());
+        assert_eq!(r.page(id).unwrap().payload()[0], 7);
+        drop(r);
+        drop(store);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn checkpoint_resets_wal() {
+        let path = temp_db("ckpt");
+        let store = Store::create(&path, StoreOptions::default()).unwrap();
+        {
+            let mut tx = store.begin();
+            let id = tx.allocate(PageKind::Heap).unwrap();
+            tx.page_mut(id).unwrap().payload_mut()[0] = 3;
+            tx.commit().unwrap();
+        }
+        assert!(store.wal_len() > 0);
+        store.checkpoint().unwrap();
+        assert_eq!(store.wal_len(), 0);
+        drop(store);
+        // Reopen: data must come from the database file alone.
+        let store = Store::open(&path, StoreOptions::default()).unwrap();
+        let mut r = store.read();
+        assert_eq!(r.page(PageId(1)).unwrap().payload()[0], 3);
+        drop(r);
+        drop(store);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn free_pages_are_reused_lifo() {
+        let path = temp_db("freelist");
+        let store = Store::create(&path, StoreOptions::default()).unwrap();
+        let (a, b) = {
+            let mut tx = store.begin();
+            let a = tx.allocate(PageKind::Heap).unwrap();
+            let b = tx.allocate(PageKind::Heap).unwrap();
+            tx.commit().unwrap();
+            (a, b)
+        };
+        {
+            let mut tx = store.begin();
+            tx.free_page(a).unwrap();
+            tx.free_page(b).unwrap();
+            tx.commit().unwrap();
+        }
+        {
+            let mut tx = store.begin();
+            let c = tx.allocate(PageKind::Heap).unwrap();
+            let d = tx.allocate(PageKind::Heap).unwrap();
+            assert_eq!(c, b); // LIFO
+            assert_eq!(d, a);
+            assert_eq!(tx.page_count().unwrap(), 3);
+            tx.commit().unwrap();
+        }
+        drop(store);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn root_slots_persist() {
+        let path = temp_db("roots");
+        {
+            let store = Store::create(&path, StoreOptions::default()).unwrap();
+            let mut tx = store.begin();
+            for slot in 0..ROOT_SLOTS {
+                tx.set_root(slot, (slot as u64 + 1) * 11).unwrap();
+            }
+            tx.commit().unwrap();
+        }
+        let store = Store::open(&path, StoreOptions::default()).unwrap();
+        let mut r = store.read();
+        for slot in 0..ROOT_SLOTS {
+            assert_eq!(r.root(slot).unwrap(), (slot as u64 + 1) * 11);
+        }
+        drop(r);
+        drop(store);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn delta_wal_is_small_for_small_edits() {
+        let path_d = temp_db("deltasmall");
+        let path_f = temp_db("fullsmall");
+        let mk = |path: &Path, deltas: bool| {
+            let store = Store::create(
+                path,
+                StoreOptions {
+                    wal_deltas: deltas,
+                    sync_on_commit: false,
+                    ..StoreOptions::default()
+                },
+            )
+            .unwrap();
+            // One big page, then many single-byte edits.
+            let id = {
+                let mut tx = store.begin();
+                let id = tx.allocate(PageKind::Heap).unwrap();
+                tx.commit().unwrap();
+                id
+            };
+            for i in 0..50u64 {
+                let mut tx = store.begin();
+                tx.page_mut(id)
+                    .unwrap()
+                    .write_u64(16 + (i as usize % 100) * 8, i);
+                tx.commit().unwrap();
+            }
+            store.wal_len()
+        };
+        let delta_bytes = mk(&path_d, true);
+        let full_bytes = mk(&path_f, false);
+        assert!(
+            delta_bytes * 10 < full_bytes,
+            "delta WAL {delta_bytes} should be far below full-image WAL {full_bytes}"
+        );
+        cleanup(&path_d);
+        cleanup(&path_f);
+    }
+
+    #[test]
+    fn delta_wal_recovers_identically_to_full() {
+        for deltas in [true, false] {
+            let path = temp_db(if deltas { "recdelta" } else { "recfull" });
+            let options = StoreOptions {
+                wal_deltas: deltas,
+                ..StoreOptions::default()
+            };
+            let id = {
+                let store = Store::create(&path, options.clone()).unwrap();
+                let id = {
+                    let mut tx = store.begin();
+                    let id = tx.allocate(PageKind::Heap).unwrap();
+                    tx.page_mut(id).unwrap().write_u64(100, 1);
+                    tx.commit().unwrap();
+                    id
+                };
+                // Several transactions editing the same and fresh pages.
+                for i in 2..20u64 {
+                    let mut tx = store.begin();
+                    tx.page_mut(id).unwrap().write_u64(100, i);
+                    let extra = tx.allocate(PageKind::Heap).unwrap();
+                    tx.page_mut(extra).unwrap().write_u64(24, i * 7);
+                    tx.commit().unwrap();
+                }
+                std::mem::forget(store); // crash
+                id
+            };
+            let store = Store::open(&path, options).unwrap();
+            let mut r = store.read();
+            assert_eq!(r.page(id).unwrap().read_u64(100), 19, "deltas={deltas}");
+            assert_eq!(r.page_count().unwrap(), 20, "deltas={deltas}");
+            for extra in 2..20u64 {
+                assert_eq!(
+                    r.page(PageId(extra)).unwrap().read_u64(24),
+                    (extra) * 7,
+                    "deltas={deltas}"
+                );
+            }
+            drop(r);
+            drop(store);
+            cleanup(&path);
+        }
+    }
+
+    #[test]
+    fn heavily_rewritten_pages_fall_back_to_full_images() {
+        let path = temp_db("fallback");
+        let store = Store::create(
+            &path,
+            StoreOptions {
+                sync_on_commit: false,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        let id = {
+            let mut tx = store.begin();
+            let id = tx.allocate(PageKind::Heap).unwrap();
+            tx.commit().unwrap();
+            id
+        };
+        let before = store.wal_len();
+        {
+            let mut tx = store.begin();
+            // Rewrite nearly the whole payload: delta would exceed the
+            // threshold, so a full image is logged (~PAGE_SIZE).
+            let page = tx.page_mut(id).unwrap();
+            for (i, b) in page.payload_mut().iter_mut().enumerate() {
+                *b = (i % 251) as u8;
+            }
+            tx.commit().unwrap();
+        }
+        let grew = store.wal_len() - before;
+        assert!(grew >= PAGE_SIZE as u64, "full image logged, got {grew}");
+        drop(store);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn many_transactions_interleaved_with_reopen() {
+        let path = temp_db("many");
+        {
+            let store = Store::create(&path, StoreOptions::default()).unwrap();
+            for i in 0..20u64 {
+                let mut tx = store.begin();
+                let id = tx.allocate(PageKind::Heap).unwrap();
+                tx.page_mut(id).unwrap().write_u64(16, i);
+                tx.commit().unwrap();
+            }
+        }
+        let store = Store::open(&path, StoreOptions::default()).unwrap();
+        let mut r = store.read();
+        for i in 0..20u64 {
+            assert_eq!(r.page(PageId(i + 1)).unwrap().read_u64(16), i);
+        }
+        drop(r);
+        drop(store);
+        cleanup(&path);
+    }
+}

@@ -1,0 +1,436 @@
+//! Redo-only write-ahead log.
+//!
+//! Commit protocol: at transaction commit the store appends the full
+//! after-image of every page the transaction dirtied, then a commit
+//! record, then (optionally) fsyncs.  The database file itself is only
+//! updated at checkpoints, after which the log is reset.
+//!
+//! Framing: every record is `[u32 len][u32 crc32(payload)][payload]`.
+//! Replay stops at the first frame that fails its length or CRC check —
+//! that is the torn tail left by a crash mid-append, and everything
+//! before it is intact by construction.
+//!
+//! Recovery applies the page images of *committed* transactions, in log
+//! order, to the database file.  Uncommitted trailing transactions are
+//! simply never applied.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use ode_codec::{from_bytes, impl_persist_enum, to_bytes};
+
+use crate::page::PageId;
+use crate::{crc32, Result, StorageError};
+
+/// One logical record in the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A transaction began. Purely informational; replay keys off
+    /// `Commit`.
+    Begin {
+        /// Transaction id (unique within one log generation).
+        tx: u64,
+    },
+    /// Full after-image of one page written by transaction `tx`.
+    Page {
+        /// Owning transaction.
+        tx: u64,
+        /// Page the image belongs to.
+        page: u64,
+        /// The complete `PAGE_SIZE` image.
+        image: Vec<u8>,
+    },
+    /// Transaction `tx` committed; its page images are now durable.
+    Commit {
+        /// Committing transaction.
+        tx: u64,
+    },
+    /// Changed byte ranges of one page (delta logging: the storage-level
+    /// "small changes have small impact"). The base is the page's state
+    /// as of the previous record for it in this log generation, or the
+    /// database file (= last checkpoint) if none.
+    PageDelta {
+        /// Owning transaction.
+        tx: u64,
+        /// Page the delta applies to.
+        page: u64,
+        /// `(offset, bytes)` write runs, ascending and non-overlapping.
+        ops: Vec<(u32, Vec<u8>)>,
+    },
+}
+
+impl_persist_enum!(WalRecord {
+    Begin { tx },
+    Page { tx, page, image },
+    Commit { tx },
+    PageDelta { tx, page, ops },
+});
+
+/// Append-only log writer/reader over a single file.
+pub struct Wal {
+    file: File,
+    /// Append position (end of the last intact record).
+    write_pos: u64,
+}
+
+impl Wal {
+    /// Open (or create) the log at `path`. Does not replay — see
+    /// [`Wal::records`].
+    pub fn open(path: &Path) -> Result<Wal> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let write_pos = file.metadata()?.len();
+        Ok(Wal { file, write_pos })
+    }
+
+    /// Current log size in bytes.
+    pub fn len(&self) -> u64 {
+        self.write_pos
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.write_pos == 0
+    }
+
+    /// Append one record (not yet durable; call [`Wal::sync`]).
+    pub fn append(&mut self, record: &WalRecord) -> Result<()> {
+        let payload = to_bytes(record);
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.seek(SeekFrom::Start(self.write_pos))?;
+        self.file.write_all(&frame)?;
+        self.write_pos += frame.len() as u64;
+        Ok(())
+    }
+
+    /// fsync the log.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Read every intact record from the start of the log.
+    ///
+    /// Returns the records and the byte offset of the torn tail, if any
+    /// (i.e. the offset where a corrupt or truncated frame was found).
+    /// A torn tail is *expected* after a crash and is not an error.
+    pub fn records(&mut self) -> Result<(Vec<WalRecord>, Option<u64>)> {
+        let file_len = self.file.metadata()?.len();
+        let mut data = Vec::with_capacity(file_len as usize);
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.read_to_end(&mut data)?;
+
+        let mut records = Vec::new();
+        let mut pos: usize = 0;
+        loop {
+            if pos == data.len() {
+                return Ok((records, None));
+            }
+            if pos + 8 > data.len() {
+                return Ok((records, Some(pos as u64)));
+            }
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            let body_start = pos + 8;
+            let body_end = match body_start.checked_add(len) {
+                Some(e) if e <= data.len() => e,
+                _ => return Ok((records, Some(pos as u64))),
+            };
+            let payload = &data[body_start..body_end];
+            if crc32(payload) != crc {
+                return Ok((records, Some(pos as u64)));
+            }
+            match from_bytes::<WalRecord>(payload) {
+                Ok(rec) => records.push(rec),
+                // Framing was intact but the payload didn't parse: that is
+                // real corruption, not a torn tail.
+                Err(_) => return Err(StorageError::WalCorrupt { offset: pos as u64 }),
+            }
+            pos = body_end;
+        }
+    }
+
+    /// Discard the whole log (after a checkpoint made its contents
+    /// redundant).
+    pub fn reset(&mut self) -> Result<()> {
+        self.file.set_len(0)?;
+        self.file.sync_data()?;
+        self.write_pos = 0;
+        Ok(())
+    }
+
+    /// Truncate the log at `offset`, discarding a torn tail found by
+    /// [`Wal::records`] so later appends start from a clean frame
+    /// boundary.
+    pub fn truncate_tail(&mut self, offset: u64) -> Result<()> {
+        self.file.set_len(offset)?;
+        self.file.sync_data()?;
+        self.write_pos = offset;
+        Ok(())
+    }
+}
+
+/// One page mutation from a committed transaction, in log order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommittedChange<'a> {
+    /// Replace the whole page.
+    Image(PageId, &'a Vec<u8>),
+    /// Apply byte-range writes onto the page's prior state.
+    Delta(PageId, &'a Vec<(u32, Vec<u8>)>),
+}
+
+/// Filter a log to the page changes of *committed* transactions, in the
+/// order they must be applied.
+pub fn committed_changes(records: &[WalRecord]) -> Vec<CommittedChange<'_>> {
+    use std::collections::HashSet;
+    let committed: HashSet<u64> = records
+        .iter()
+        .filter_map(|r| match r {
+            WalRecord::Commit { tx } => Some(*tx),
+            _ => None,
+        })
+        .collect();
+    records
+        .iter()
+        .filter_map(|r| match r {
+            WalRecord::Page { tx, page, image } if committed.contains(tx) => {
+                Some(CommittedChange::Image(PageId(*page), image))
+            }
+            WalRecord::PageDelta { tx, page, ops } if committed.contains(tx) => {
+                Some(CommittedChange::Delta(PageId(*page), ops))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Compute the changed byte runs between two page images, merging runs
+/// separated by fewer than `gap` identical bytes (run-header amortization).
+pub fn page_diff_ops(before: &[u8], after: &[u8], gap: usize) -> Vec<(u32, Vec<u8>)> {
+    debug_assert_eq!(before.len(), after.len());
+    let mut ops: Vec<(u32, Vec<u8>)> = Vec::new();
+    let mut i = 0usize;
+    let n = after.len();
+    while i < n {
+        if before[i] == after[i] {
+            i += 1;
+            continue;
+        }
+        // Start of a changed run; extend until `gap` unchanged bytes.
+        let start = i;
+        let mut end = i + 1;
+        let mut same = 0usize;
+        let mut j = end;
+        while j < n && same < gap {
+            if before[j] == after[j] {
+                same += 1;
+            } else {
+                end = j + 1;
+                same = 0;
+            }
+            j += 1;
+        }
+        ops.push((start as u32, after[start..end].to_vec()));
+        i = end;
+    }
+    ops
+}
+
+/// Total payload bytes of a delta op list.
+pub fn delta_payload_len(ops: &[(u32, Vec<u8>)]) -> usize {
+    ops.iter().map(|(_, b)| b.len() + 8).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ode-wal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Begin { tx: 1 },
+            WalRecord::Page {
+                tx: 1,
+                page: 3,
+                image: vec![1, 2, 3],
+            },
+            WalRecord::Commit { tx: 1 },
+            WalRecord::Begin { tx: 2 },
+            WalRecord::Page {
+                tx: 2,
+                page: 4,
+                image: vec![9, 9],
+            },
+        ]
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let path = temp_path("replay");
+        let mut wal = Wal::open(&path).unwrap();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        let (records, tear) = wal.records().unwrap();
+        assert_eq!(records, sample_records());
+        assert_eq!(tear, None);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn committed_filter_drops_uncommitted() {
+        let records = sample_records();
+        let changes = committed_changes(&records);
+        // tx 2 never committed: only tx 1's page survives.
+        assert_eq!(changes.len(), 1);
+        assert!(matches!(changes[0], CommittedChange::Image(PageId(3), _)));
+    }
+
+    #[test]
+    fn delta_records_round_trip_and_filter() {
+        let path = temp_path("delta");
+        let mut wal = Wal::open(&path).unwrap();
+        let rec = WalRecord::PageDelta {
+            tx: 1,
+            page: 7,
+            ops: vec![(4, vec![1, 2]), (100, vec![9])],
+        };
+        wal.append(&rec).unwrap();
+        wal.append(&WalRecord::Commit { tx: 1 }).unwrap();
+        let (records, tear) = wal.records().unwrap();
+        assert_eq!(tear, None);
+        assert_eq!(records[0], rec);
+        let changes = committed_changes(&records);
+        assert!(matches!(changes[0], CommittedChange::Delta(PageId(7), _)));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn page_diff_ops_finds_runs() {
+        let before = vec![0u8; 64];
+        let mut after = before.clone();
+        after[3] = 1;
+        after[4] = 2;
+        after[30] = 3;
+        // Small gap: two separate runs.
+        let ops = page_diff_ops(&before, &after, 4);
+        assert_eq!(ops, vec![(3, vec![1, 2]), (30, vec![3])]);
+        // Huge gap: merged into one run spanning the unchanged middle.
+        let ops = page_diff_ops(&before, &after, 64);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].0, 3);
+        assert_eq!(ops[0].1.len(), 28);
+        // Identical images: no ops.
+        assert!(page_diff_ops(&before, &before, 4).is_empty());
+        // Reconstruction: applying ops to `before` yields `after`.
+        let mut rebuilt = before.clone();
+        for (off, bytes) in page_diff_ops(&before, &after, 4) {
+            rebuilt[off as usize..off as usize + bytes.len()].copy_from_slice(&bytes);
+        }
+        assert_eq!(rebuilt, after);
+    }
+
+    #[test]
+    fn torn_tail_detected_and_truncatable() {
+        let path = temp_path("torn");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            for r in sample_records() {
+                wal.append(&r).unwrap();
+            }
+        }
+        // Chop off the last 3 bytes, simulating a crash mid-append.
+        let full_len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full_len - 3).unwrap();
+        drop(f);
+
+        let mut wal = Wal::open(&path).unwrap();
+        let (records, tear) = wal.records().unwrap();
+        assert_eq!(records.len(), sample_records().len() - 1);
+        let tear = tear.expect("torn tail reported");
+        wal.truncate_tail(tear).unwrap();
+        // After truncation the log replays cleanly and appends work.
+        let (records2, tear2) = wal.records().unwrap();
+        assert_eq!(records2, records);
+        assert_eq!(tear2, None);
+        wal.append(&WalRecord::Commit { tx: 2 }).unwrap();
+        let (records3, _) = wal.records().unwrap();
+        assert_eq!(records3.len(), records.len() + 1);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn bitflip_in_payload_is_torn_tail() {
+        let path = temp_path("bitflip");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            for r in sample_records() {
+                wal.append(&r).unwrap();
+            }
+        }
+        // Flip a byte in the last record's payload.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let mut f = OpenOptions::new()
+            .write(true)
+            .read(true)
+            .open(&path)
+            .unwrap();
+        f.seek(SeekFrom::Start(len - 1)).unwrap();
+        let mut b = [0u8];
+        f.read_exact(&mut b).unwrap();
+        f.seek(SeekFrom::Start(len - 1)).unwrap();
+        f.write_all(&[b[0] ^ 0xFF]).unwrap();
+        drop(f);
+
+        let mut wal = Wal::open(&path).unwrap();
+        let (records, tear) = wal.records().unwrap();
+        assert_eq!(records.len(), sample_records().len() - 1);
+        assert!(tear.is_some());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn reset_empties_log() {
+        let path = temp_path("reset");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&WalRecord::Begin { tx: 1 }).unwrap();
+        assert!(!wal.is_empty());
+        wal.reset().unwrap();
+        assert!(wal.is_empty());
+        let (records, tear) = wal.records().unwrap();
+        assert!(records.is_empty());
+        assert_eq!(tear, None);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn reopen_appends_after_existing_records() {
+        let path = temp_path("reopen");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&WalRecord::Begin { tx: 1 }).unwrap();
+        }
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(&WalRecord::Commit { tx: 1 }).unwrap();
+            let (records, _) = wal.records().unwrap();
+            assert_eq!(records.len(), 2);
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+}

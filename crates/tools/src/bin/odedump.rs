@@ -1,0 +1,112 @@
+//! `odedump` — inspect an Ode database from the command line.
+//!
+//! ```text
+//! odedump info    <db>          physical + logical summary
+//! odedump objects <db>          list live objects
+//! odedump object  <db> <oid>    one object's metadata and history
+//! odedump dot     <db> <oid>    Graphviz export of a version graph
+//! odedump fsck    <db>          consistency check
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: odedump <command> <db> [args]\n\
+         commands:\n\
+         \x20 info    <db>          physical + logical summary\n\
+         \x20 objects <db>          list live objects\n\
+         \x20 object  <db> <oid>    one object's metadata and history\n\
+         \x20 dot     <db> <oid>    Graphviz export of a version graph\n\
+         \x20 wal     <db>          write-ahead-log summary\n\
+         \x20 fsck    <db>          consistency check"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => return usage(),
+    };
+    let db: PathBuf = match rest.first() {
+        Some(path) => PathBuf::from(path),
+        None => return usage(),
+    };
+    let oid_arg = || -> Option<u64> { rest.get(1).and_then(|s| s.parse().ok()) };
+
+    let outcome = match command {
+        "info" => ode_tools::store_info(&db).map(|info| {
+            println!("pages      : {}", info.page_count);
+            for (kind, count) in &info.pages_by_kind {
+                let name = match kind {
+                    Some(1) => "header",
+                    Some(2) => "free",
+                    Some(3) => "heap",
+                    Some(4) => "overflow",
+                    Some(5) => "btree-inner",
+                    Some(6) => "btree-leaf",
+                    Some(7) => "heap-dir",
+                    _ => "unreadable",
+                };
+                println!("  {name:<12}: {count}");
+            }
+            println!("wal bytes  : {}", info.wal_bytes);
+            println!("objects    : {}", info.object_count);
+            println!("versions   : {}", info.version_count);
+            println!("types      : {}", info.type_count);
+        }),
+        "objects" => ode_tools::list_objects(&db).map(|objects| {
+            println!(
+                "{:<8} {:<20} {:>8} {:>8} {:>10}",
+                "oid", "tag", "versions", "latest", "body(B)"
+            );
+            for o in objects {
+                println!(
+                    "{:<8} {:<#20x} {:>8} {:>8} {:>10}",
+                    o.oid, o.tag, o.versions, o.latest, o.latest_body_bytes
+                );
+            }
+        }),
+        "object" => match oid_arg() {
+            Some(oid) => ode_tools::describe_object(&db, oid).map(|text| print!("{text}")),
+            None => return usage(),
+        },
+        "dot" => match oid_arg() {
+            Some(oid) => ode_tools::export_object_dot(&db, oid).map(|dot| print!("{dot}")),
+            None => return usage(),
+        },
+        "wal" => ode_tools::wal_summary(&db).map(|s| {
+            println!("bytes      : {}", s.bytes);
+            println!("begins     : {}", s.begins);
+            println!("commits    : {}", s.commits);
+            println!("page images: {}", s.page_images);
+            println!("page deltas: {}", s.page_deltas);
+            println!("torn tail  : {}", s.torn_tail);
+        }),
+        "fsck" => ode_tools::fsck(&db).map(|report| {
+            println!(
+                "checked {} objects / {} versions",
+                report.objects_checked, report.versions_checked
+            );
+            if report.is_healthy() {
+                println!("store is healthy");
+            } else {
+                for p in &report.problems {
+                    println!("PROBLEM: {p}");
+                }
+            }
+        }),
+        _ => return usage(),
+    };
+
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("odedump: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,586 @@
+//! The version graph engine: create, derive, update, delete, traverse.
+
+use ode_codec::TypeTag;
+use ode_object::{Extents, IdAllocator, KvTable, ObjectHeap, Oid, Vid};
+use ode_storage::heap::RecordId;
+use ode_storage::{PageRead, PageWrite};
+
+use crate::records::{ObjectMeta, VersionMeta};
+use crate::{Result, VersionError};
+
+/// Root-slot assignment for a [`VersionStore`]'s six persistent
+/// components. The default occupies slots 0–5, leaving 6–15 free for the
+/// embedding application.
+#[derive(Debug, Clone, Copy)]
+pub struct VersionStoreLayout {
+    /// Slot of the oid → object-record table.
+    pub obj_table_slot: usize,
+    /// Slot of the vid → version-record table.
+    pub ver_table_slot: usize,
+    /// Slot of the record heap.
+    pub heap_slot: usize,
+    /// Slot of the object-id counter.
+    pub oid_slot: usize,
+    /// Slot of the version-id counter.
+    pub vid_slot: usize,
+    /// Slot of the per-type extent directory.
+    pub extent_slot: usize,
+}
+
+impl Default for VersionStoreLayout {
+    fn default() -> Self {
+        VersionStoreLayout {
+            obj_table_slot: 0,
+            ver_table_slot: 1,
+            heap_slot: 2,
+            oid_slot: 3,
+            vid_slot: 4,
+            extent_slot: 5,
+        }
+    }
+}
+
+/// The version graph over a transactional page store.
+///
+/// All operations take a storage transaction; the store itself is a cheap
+/// `Copy` handle binding the root-slot layout.
+///
+/// ```
+/// use ode_codec::TypeTag;
+/// use ode_storage::{Store, StoreOptions};
+/// use ode_version::{VersionStore, VersionStoreLayout};
+///
+/// # let path = std::env::temp_dir().join(format!("vs-doc-{}", std::process::id()));
+/// let store = Store::create(&path, StoreOptions::default()).unwrap();
+/// let vs = VersionStore::new(VersionStoreLayout::default());
+/// const TAG: TypeTag = TypeTag::from_name("doc/Obj");
+///
+/// let mut tx = store.begin();
+/// let (oid, v0) = vs.create_object(&mut tx, TAG, b"state-0".to_vec()).unwrap();
+/// let v1 = vs.new_version_from(&mut tx, v0).unwrap();
+/// vs.write_body(&mut tx, v1, TAG, b"state-1".to_vec()).unwrap();
+/// assert_eq!(vs.latest(&mut tx, oid).unwrap(), v1);
+/// assert_eq!(vs.dprevious(&mut tx, v1).unwrap(), Some(v0));
+/// assert_eq!(vs.read_body(&mut tx, v0, TAG).unwrap(), b"state-0");
+/// vs.check_object(&mut tx, oid).unwrap();
+/// tx.commit().unwrap();
+/// # drop(store);
+/// # let _ = std::fs::remove_file(&path);
+/// # let mut w = path.into_os_string(); w.push(".wal");
+/// # let _ = std::fs::remove_file(std::path::PathBuf::from(w));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct VersionStore {
+    obj_table: KvTable,
+    ver_table: KvTable,
+    heap: ObjectHeap,
+    oids: IdAllocator,
+    vids: IdAllocator,
+    extents: Extents,
+}
+
+impl VersionStore {
+    /// Bind a version store to a slot layout.
+    pub fn new(layout: VersionStoreLayout) -> VersionStore {
+        VersionStore {
+            obj_table: KvTable::new(layout.obj_table_slot),
+            ver_table: KvTable::new(layout.ver_table_slot),
+            heap: ObjectHeap::new(layout.heap_slot),
+            oids: IdAllocator::new(layout.oid_slot),
+            vids: IdAllocator::new(layout.vid_slot),
+            extents: Extents::new(layout.extent_slot),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Record plumbing
+    // ------------------------------------------------------------------
+
+    /// Load an object record.
+    pub fn object_meta(&self, tx: &mut impl PageRead, oid: Oid) -> Result<ObjectMeta> {
+        let rid = self
+            .obj_table
+            .get(tx, oid.0)?
+            .ok_or(VersionError::UnknownObject(oid))?;
+        Ok(self.heap.load(tx, RecordId::from_u64(rid))?)
+    }
+
+    /// Load a version record.
+    pub fn version_meta(&self, tx: &mut impl PageRead, vid: Vid) -> Result<VersionMeta> {
+        let rid = self
+            .ver_table
+            .get(tx, vid.0)?
+            .ok_or(VersionError::UnknownVersion(vid))?;
+        Ok(self.heap.load(tx, RecordId::from_u64(rid))?)
+    }
+
+    fn save_object(&self, tx: &mut impl PageWrite, meta: &ObjectMeta) -> Result<()> {
+        match self.obj_table.get(tx, meta.oid.0)? {
+            Some(rid) => {
+                let new_rid = self.heap.replace(tx, RecordId::from_u64(rid), meta)?;
+                if new_rid.to_u64() != rid {
+                    self.obj_table.put(tx, meta.oid.0, new_rid.to_u64())?;
+                }
+            }
+            None => {
+                let rid = self.heap.store(tx, meta)?;
+                self.obj_table.put(tx, meta.oid.0, rid.to_u64())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn save_version(&self, tx: &mut impl PageWrite, meta: &VersionMeta) -> Result<()> {
+        match self.ver_table.get(tx, meta.vid.0)? {
+            Some(rid) => {
+                let new_rid = self.heap.replace(tx, RecordId::from_u64(rid), meta)?;
+                if new_rid.to_u64() != rid {
+                    self.ver_table.put(tx, meta.vid.0, new_rid.to_u64())?;
+                }
+            }
+            None => {
+                let rid = self.heap.store(tx, meta)?;
+                self.ver_table.put(tx, meta.vid.0, rid.to_u64())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn drop_version_record(&self, tx: &mut impl PageWrite, vid: Vid) -> Result<()> {
+        if let Some(rid) = self.ver_table.remove(tx, vid.0)? {
+            self.heap.delete(tx, RecordId::from_u64(rid))?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // pnew / newversion / pdelete
+    // ------------------------------------------------------------------
+
+    /// `pnew`: create a persistent object with its first version.
+    pub fn create_object(
+        &self,
+        tx: &mut impl PageWrite,
+        tag: TypeTag,
+        body: Vec<u8>,
+    ) -> Result<(Oid, Vid)> {
+        let oid = Oid(self.oids.next(tx)?);
+        let vid = Vid(self.vids.next(tx)?);
+        let version = VersionMeta {
+            vid,
+            oid,
+            tag,
+            dprev: Vid::NULL,
+            dnext: Vec::new(),
+            tprev: Vid::NULL,
+            tnext: Vid::NULL,
+            created: vid.0,
+            body,
+        };
+        let object = ObjectMeta {
+            oid,
+            tag,
+            root: vid,
+            latest: vid,
+            version_count: 1,
+        };
+        self.save_version(tx, &version)?;
+        self.save_object(tx, &object)?;
+        self.extents.add(tx, tag, oid.0)?;
+        Ok((oid, vid))
+    }
+
+    /// `newversion(o)` — derive from the object's latest version.
+    pub fn new_version_of(&self, tx: &mut impl PageWrite, oid: Oid) -> Result<Vid> {
+        let latest = self.object_meta(tx, oid)?.latest;
+        self.new_version_from(tx, latest)
+    }
+
+    /// `newversion(v)` — derive a new version from a specific base.
+    ///
+    /// The new version starts as a copy of the base's state, becomes a
+    /// derived-from child of the base, and is appended at the temporal
+    /// tail (so it is the object's new latest version, regardless of
+    /// where in the tree the base sits — exactly the paper's v2-from-v0
+    /// "alternative" figure).
+    pub fn new_version_from(&self, tx: &mut impl PageWrite, base: Vid) -> Result<Vid> {
+        let mut base_meta = self.version_meta(tx, base)?;
+        let mut object = self.object_meta(tx, base_meta.oid)?;
+        let vid = Vid(self.vids.next(tx)?);
+
+        let version = VersionMeta {
+            vid,
+            oid: object.oid,
+            tag: object.tag,
+            dprev: base,
+            dnext: Vec::new(),
+            tprev: object.latest,
+            tnext: Vid::NULL,
+            created: vid.0,
+            body: base_meta.body.clone(),
+        };
+
+        base_meta.dnext.push(vid);
+        self.save_version(tx, &base_meta)?;
+
+        // Re-load the temporal tail (it may *be* the base, whose saved
+        // record now carries the new dnext entry) and hook in the new
+        // version.
+        let mut tail = self.version_meta(tx, object.latest)?;
+        tail.tnext = vid;
+        self.save_version(tx, &tail)?;
+
+        self.save_version(tx, &version)?;
+        object.latest = vid;
+        object.version_count += 1;
+        self.save_object(tx, &object)?;
+        Ok(vid)
+    }
+
+    /// `pdelete` on an object id: the object and *all* its versions go.
+    pub fn delete_object(&self, tx: &mut impl PageWrite, oid: Oid) -> Result<()> {
+        let object = self.object_meta(tx, oid)?;
+        // Walk the temporal chain backwards from the latest version.
+        let mut cur = object.latest;
+        while !cur.is_null() {
+            let meta = self.version_meta(tx, cur)?;
+            self.drop_version_record(tx, cur)?;
+            cur = meta.tprev;
+        }
+        if let Some(rid) = self.obj_table.remove(tx, oid.0)? {
+            self.heap.delete(tx, RecordId::from_u64(rid))?;
+        }
+        self.extents.remove(tx, object.tag, oid.0)?;
+        Ok(())
+    }
+
+    /// `pdelete` on a version id: remove one version, splicing the
+    /// temporal chain and the derived-from tree around it (children are
+    /// re-parented to the deleted version's own parent).
+    ///
+    /// Deleting the last remaining version is refused — use
+    /// [`VersionStore::delete_object`].
+    pub fn delete_version(&self, tx: &mut impl PageWrite, vid: Vid) -> Result<()> {
+        let meta = self.version_meta(tx, vid)?;
+        let mut object = self.object_meta(tx, meta.oid)?;
+        if object.version_count <= 1 {
+            return Err(VersionError::LastVersion(vid));
+        }
+
+        // Temporal splice.
+        if !meta.tprev.is_null() {
+            let mut prev = self.version_meta(tx, meta.tprev)?;
+            prev.tnext = meta.tnext;
+            self.save_version(tx, &prev)?;
+        }
+        if !meta.tnext.is_null() {
+            let mut next = self.version_meta(tx, meta.tnext)?;
+            next.tprev = meta.tprev;
+            self.save_version(tx, &next)?;
+        }
+        if object.latest == vid {
+            // vid was the tail, so its tprev exists (count > 1).
+            object.latest = meta.tprev;
+        }
+
+        // Derivation splice: children adopt the deleted version's parent.
+        for &child in &meta.dnext {
+            let mut c = self.version_meta(tx, child)?;
+            c.dprev = meta.dprev;
+            self.save_version(tx, &c)?;
+        }
+        if !meta.dprev.is_null() {
+            let mut parent = self.version_meta(tx, meta.dprev)?;
+            let pos = parent
+                .dnext
+                .iter()
+                .position(|&v| v == vid)
+                .expect("parent lists child");
+            // Children take the deleted version's position, preserving
+            // derivation order.
+            parent.dnext.splice(pos..=pos, meta.dnext.iter().copied());
+            self.save_version(tx, &parent)?;
+        }
+        if object.root == vid {
+            // The root moves to the first re-parented child, or — when
+            // the deleted root was childless — to the oldest live
+            // version (the temporal splices above already bypass `vid`).
+            object.root = match meta.dnext.first() {
+                Some(&child) => child,
+                None => {
+                    let mut head = object.latest;
+                    loop {
+                        let m = self.version_meta(tx, head)?;
+                        if m.tprev.is_null() {
+                            break head;
+                        }
+                        head = m.tprev;
+                    }
+                }
+            };
+        }
+
+        object.version_count -= 1;
+        self.save_object(tx, &object)?;
+        self.drop_version_record(tx, vid)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Reads and updates
+    // ------------------------------------------------------------------
+
+    /// The latest version id of an object (what a generic reference
+    /// binds to *at access time*).
+    pub fn latest(&self, tx: &mut impl PageRead, oid: Oid) -> Result<Vid> {
+        Ok(self.object_meta(tx, oid)?.latest)
+    }
+
+    /// The object a version belongs to.
+    pub fn object_of(&self, tx: &mut impl PageRead, vid: Vid) -> Result<Oid> {
+        Ok(self.version_meta(tx, vid)?.oid)
+    }
+
+    /// Read a version's body, type-checked against `expected`.
+    pub fn read_body(
+        &self,
+        tx: &mut impl PageRead,
+        vid: Vid,
+        expected: TypeTag,
+    ) -> Result<Vec<u8>> {
+        let meta = self.version_meta(tx, vid)?;
+        if meta.tag != expected {
+            return Err(VersionError::TypeMismatch {
+                expected,
+                found: meta.tag,
+            });
+        }
+        Ok(meta.body)
+    }
+
+    /// Overwrite a version's body in place (no new version is created —
+    /// this is ordinary mutation through a pointer in O++).
+    pub fn write_body(
+        &self,
+        tx: &mut impl PageWrite,
+        vid: Vid,
+        expected: TypeTag,
+        body: Vec<u8>,
+    ) -> Result<()> {
+        let mut meta = self.version_meta(tx, vid)?;
+        if meta.tag != expected {
+            return Err(VersionError::TypeMismatch {
+                expected,
+                found: meta.tag,
+            });
+        }
+        meta.body = body;
+        self.save_version(tx, &meta)
+    }
+
+    // ------------------------------------------------------------------
+    // Traversal (Dprevious / Tprevious and friends)
+    // ------------------------------------------------------------------
+
+    /// `Dprevious`: the version this one was derived from.
+    pub fn dprevious(&self, tx: &mut impl PageRead, vid: Vid) -> Result<Option<Vid>> {
+        let v = self.version_meta(tx, vid)?.dprev;
+        Ok(if v.is_null() { None } else { Some(v) })
+    }
+
+    /// `Dnext`: versions derived from this one, in creation order.
+    pub fn dnext(&self, tx: &mut impl PageRead, vid: Vid) -> Result<Vec<Vid>> {
+        Ok(self.version_meta(tx, vid)?.dnext)
+    }
+
+    /// `Tprevious`: the version created immediately before this one.
+    pub fn tprevious(&self, tx: &mut impl PageRead, vid: Vid) -> Result<Option<Vid>> {
+        let v = self.version_meta(tx, vid)?.tprev;
+        Ok(if v.is_null() { None } else { Some(v) })
+    }
+
+    /// `Tnext`: the version created immediately after this one.
+    pub fn tnext(&self, tx: &mut impl PageRead, vid: Vid) -> Result<Option<Vid>> {
+        let v = self.version_meta(tx, vid)?.tnext;
+        Ok(if v.is_null() { None } else { Some(v) })
+    }
+
+    /// All versions of an object in temporal order (oldest first).
+    pub fn version_history(&self, tx: &mut impl PageRead, oid: Oid) -> Result<Vec<Vid>> {
+        let object = self.object_meta(tx, oid)?;
+        let mut out = Vec::with_capacity(object.version_count as usize);
+        let mut cur = object.latest;
+        while !cur.is_null() {
+            out.push(cur);
+            cur = self.version_meta(tx, cur)?.tprev;
+        }
+        out.reverse();
+        Ok(out)
+    }
+
+    /// The derivation path from `vid` back to a root (vid first).
+    pub fn derivation_path(&self, tx: &mut impl PageRead, vid: Vid) -> Result<Vec<Vid>> {
+        let mut out = vec![vid];
+        let mut cur = vid;
+        loop {
+            let prev = self.version_meta(tx, cur)?.dprev;
+            if prev.is_null() {
+                return Ok(out);
+            }
+            out.push(prev);
+            cur = prev;
+        }
+    }
+
+    /// Leaves of the derived-from tree: "each leaf represents the most
+    /// up-to-date version of an alternative design".
+    pub fn derivation_leaves(&self, tx: &mut impl PageRead, oid: Oid) -> Result<Vec<Vid>> {
+        let mut leaves = Vec::new();
+        for vid in self.version_history(tx, oid)? {
+            if self.version_meta(tx, vid)?.is_derivation_leaf() {
+                leaves.push(vid);
+            }
+        }
+        Ok(leaves)
+    }
+
+    /// Number of live versions of an object.
+    pub fn version_count(&self, tx: &mut impl PageRead, oid: Oid) -> Result<u64> {
+        Ok(self.object_meta(tx, oid)?.version_count)
+    }
+
+    /// A version's global creation stamp (monotone across the whole
+    /// database — the basis for temporal "as-of" queries in historical
+    /// databases, §2).
+    pub fn created_stamp(&self, tx: &mut impl PageRead, vid: Vid) -> Result<u64> {
+        Ok(self.version_meta(tx, vid)?.created)
+    }
+
+    /// The newest version of `oid` created at or before `stamp`
+    /// (`None` when the object's oldest surviving version is newer).
+    ///
+    /// Walks the temporal chain backwards from the latest version, so
+    /// recent as-of points are cheap.
+    pub fn version_as_of(
+        &self,
+        tx: &mut impl PageRead,
+        oid: Oid,
+        stamp: u64,
+    ) -> Result<Option<Vid>> {
+        let mut cur = self.object_meta(tx, oid)?.latest;
+        while !cur.is_null() {
+            let meta = self.version_meta(tx, cur)?;
+            if meta.created <= stamp {
+                return Ok(Some(cur));
+            }
+            cur = meta.tprev;
+        }
+        Ok(None)
+    }
+
+    /// The current global creation stamp (the stamp the *next* version
+    /// will exceed). Capture this to name a database-wide moment.
+    pub fn now_stamp(&self, tx: &mut impl PageRead) -> Result<u64> {
+        Ok(self.vids.last(tx)?)
+    }
+
+    /// All live objects of a type, in oid order (the O++ extent query).
+    pub fn objects_of_type(&self, tx: &mut impl PageRead, tag: TypeTag) -> Result<Vec<Oid>> {
+        Ok(self
+            .extents
+            .members(tx, tag)?
+            .into_iter()
+            .map(Oid)
+            .collect())
+    }
+
+    /// A page of the type's extent: up to `limit` oids `>= from`, in
+    /// oid order (cursor-style iteration for extents too large to
+    /// materialize).
+    pub fn objects_of_type_from(
+        &self,
+        tx: &mut impl PageRead,
+        tag: TypeTag,
+        from: Oid,
+        limit: usize,
+    ) -> Result<Vec<Oid>> {
+        Ok(self
+            .extents
+            .members_from(tx, tag, from.0, limit)?
+            .into_iter()
+            .map(Oid)
+            .collect())
+    }
+
+    /// Whether an object id is live.
+    pub fn object_exists(&self, tx: &mut impl PageRead, oid: Oid) -> Result<bool> {
+        Ok(self.obj_table.get(tx, oid.0)?.is_some())
+    }
+
+    /// Whether a version id is live.
+    pub fn version_exists(&self, tx: &mut impl PageRead, vid: Vid) -> Result<bool> {
+        Ok(self.ver_table.get(tx, vid.0)?.is_some())
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant checking (tests, fsck)
+    // ------------------------------------------------------------------
+
+    /// Verify the structural invariants of one object's version graph:
+    /// temporal chain doubly linked with `latest` at the tail and
+    /// `version_count` entries, creation stamps strictly ascending along
+    /// it, derived-from links forming a forest consistent with `dnext`
+    /// lists.
+    pub fn check_object(&self, tx: &mut impl PageRead, oid: Oid) -> Result<()> {
+        use std::collections::HashSet;
+        let object = self.object_meta(tx, oid)?;
+        let history = self.version_history(tx, oid)?;
+        let corrupt = |msg: &'static str| -> VersionError {
+            VersionError::Storage(ode_storage::StorageError::TreeCorrupt(msg))
+        };
+        if history.len() as u64 != object.version_count {
+            return Err(corrupt("version_count mismatch"));
+        }
+        if *history.last().expect("non-empty history") != object.latest {
+            return Err(corrupt("latest is not the temporal tail"));
+        }
+        let live: HashSet<Vid> = history.iter().copied().collect();
+        let mut last_created = 0;
+        let mut prev = Vid::NULL;
+        for &vid in &history {
+            let meta = self.version_meta(tx, vid)?;
+            if meta.oid != oid {
+                return Err(corrupt("version belongs to another object"));
+            }
+            if meta.tprev != prev {
+                return Err(corrupt("temporal chain back-link broken"));
+            }
+            if meta.created <= last_created {
+                return Err(corrupt("creation stamps not ascending"));
+            }
+            last_created = meta.created;
+            if !meta.dprev.is_null() {
+                if !live.contains(&meta.dprev) {
+                    return Err(corrupt("dprev points at a dead version"));
+                }
+                let parent = self.version_meta(tx, meta.dprev)?;
+                if !parent.dnext.contains(&vid) {
+                    return Err(corrupt("parent does not list child"));
+                }
+            }
+            for &child in &meta.dnext {
+                if !live.contains(&child) {
+                    return Err(corrupt("dnext lists a dead version"));
+                }
+                if self.version_meta(tx, child)?.dprev != vid {
+                    return Err(corrupt("child does not point at parent"));
+                }
+            }
+            prev = vid;
+        }
+        if !live.contains(&object.root) {
+            return Err(corrupt("root is not a live version"));
+        }
+        Ok(())
+    }
+}

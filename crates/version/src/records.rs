@@ -1,0 +1,115 @@
+//! On-disk records of the version graph.
+
+use ode_codec::{impl_persist_struct, TypeTag};
+use ode_object::{Oid, Vid};
+
+/// Per-object record: identity, type, and the ends of the temporal chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectMeta {
+    /// The object's identity.
+    pub oid: Oid,
+    /// Stable type tag of the object's Rust type.
+    pub tag: TypeTag,
+    /// The first version ever created (root of the derived-from tree).
+    pub root: Vid,
+    /// The temporal head — what the object id resolves to (the paper:
+    /// "an object id ... logically refers to the latest version").
+    pub latest: Vid,
+    /// Number of live versions.
+    pub version_count: u64,
+}
+
+impl_persist_struct!(ObjectMeta {
+    oid,
+    tag,
+    root,
+    latest,
+    version_count,
+});
+
+/// Per-version record: graph links plus the encoded object state.
+///
+/// `dprev` records the **derived-from** relationship (solid arrows in the
+/// paper's figures); `tprev`/`tnext` record the **temporal** relationship
+/// (dotted arrows).  `dnext` lists derived children so `Dnext` traversal
+/// and leaf enumeration need no scans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionMeta {
+    /// This version's identity.
+    pub vid: Vid,
+    /// Owning object.
+    pub oid: Oid,
+    /// Type tag, duplicated from [`ObjectMeta`] so specific-version reads
+    /// can type-check with a single record fetch.
+    pub tag: TypeTag,
+    /// Version this one was derived from (`NULL` for the first version).
+    pub dprev: Vid,
+    /// Versions derived from this one, in creation order.
+    pub dnext: Vec<Vid>,
+    /// Temporal predecessor within the object (`NULL` for the oldest).
+    pub tprev: Vid,
+    /// Temporal successor within the object (`NULL` for the latest).
+    pub tnext: Vid,
+    /// Monotone creation stamp (global sequence; preserved across
+    /// deletions, unlike chain position).
+    pub created: u64,
+    /// The object state, encoded with `ode_codec`.
+    pub body: Vec<u8>,
+}
+
+impl_persist_struct!(VersionMeta {
+    vid,
+    oid,
+    tag,
+    dprev,
+    dnext,
+    tprev,
+    tnext,
+    created,
+    body,
+});
+
+impl VersionMeta {
+    /// Whether this version is a leaf of the derived-from tree (an
+    /// "alternative's most up-to-date version" in the paper's terms).
+    pub fn is_derivation_leaf(&self) -> bool {
+        self.dnext.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ode_codec::{from_bytes, to_bytes};
+
+    #[test]
+    fn object_meta_round_trips() {
+        let m = ObjectMeta {
+            oid: Oid(7),
+            tag: TypeTag::from_name("x/Y"),
+            root: Vid(1),
+            latest: Vid(9),
+            version_count: 4,
+        };
+        assert_eq!(from_bytes::<ObjectMeta>(&to_bytes(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn version_meta_round_trips() {
+        let m = VersionMeta {
+            vid: Vid(9),
+            oid: Oid(7),
+            tag: TypeTag::from_name("x/Y"),
+            dprev: Vid(3),
+            dnext: vec![Vid(11), Vid(12)],
+            tprev: Vid(8),
+            tnext: Vid::NULL,
+            created: 42,
+            body: vec![1, 2, 3],
+        };
+        assert_eq!(from_bytes::<VersionMeta>(&to_bytes(&m)).unwrap(), m);
+        assert!(!m.is_derivation_leaf());
+        let leaf = VersionMeta { dnext: vec![], ..m };
+        assert!(leaf.is_derivation_leaf());
+    }
+}

@@ -1,0 +1,311 @@
+//! Behavioural tests of the version graph: the §4 operation semantics.
+
+use ode_codec::TypeTag;
+use ode_storage::{Store, StoreOptions};
+use ode_version::{Oid, VersionError, VersionStore, VersionStoreLayout, Vid};
+
+const TAG: TypeTag = TypeTag::from_name("test/Doc");
+
+fn temp_store(name: &str) -> (std::path::PathBuf, Store) {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ode-vgraph-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    let mut wal = p.clone().into_os_string();
+    wal.push(".wal");
+    let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+    let store = Store::create(&p, StoreOptions::default()).unwrap();
+    (p, store)
+}
+
+fn cleanup(p: &std::path::Path) {
+    let _ = std::fs::remove_file(p);
+    let mut wal = p.to_path_buf().into_os_string();
+    wal.push(".wal");
+    let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+}
+
+fn vs() -> VersionStore {
+    VersionStore::new(VersionStoreLayout::default())
+}
+
+#[test]
+fn create_makes_single_version_object() {
+    let (path, store) = temp_store("create");
+    let vs = vs();
+    let mut tx = store.begin();
+    let (oid, v0) = vs.create_object(&mut tx, TAG, b"state0".to_vec()).unwrap();
+    assert_eq!(vs.latest(&mut tx, oid).unwrap(), v0);
+    assert_eq!(vs.version_count(&mut tx, oid).unwrap(), 1);
+    assert_eq!(vs.version_history(&mut tx, oid).unwrap(), vec![v0]);
+    assert_eq!(vs.read_body(&mut tx, v0, TAG).unwrap(), b"state0");
+    assert_eq!(vs.dprevious(&mut tx, v0).unwrap(), None);
+    assert_eq!(vs.tprevious(&mut tx, v0).unwrap(), None);
+    vs.check_object(&mut tx, oid).unwrap();
+    tx.commit().unwrap();
+    drop(store);
+    cleanup(&path);
+}
+
+#[test]
+fn newversion_is_revision_with_copied_state() {
+    let (path, store) = temp_store("revision");
+    let vs = vs();
+    let mut tx = store.begin();
+    let (oid, v0) = vs.create_object(&mut tx, TAG, b"base".to_vec()).unwrap();
+    let v1 = vs.new_version_of(&mut tx, oid).unwrap();
+    // v1 is a copy of v0's state, derived from v0, and the new latest.
+    assert_eq!(vs.read_body(&mut tx, v1, TAG).unwrap(), b"base");
+    assert_eq!(vs.dprevious(&mut tx, v1).unwrap(), Some(v0));
+    assert_eq!(vs.tprevious(&mut tx, v1).unwrap(), Some(v0));
+    assert_eq!(vs.tnext(&mut tx, v0).unwrap(), Some(v1));
+    assert_eq!(vs.latest(&mut tx, oid).unwrap(), v1);
+    // Mutating v1 leaves v0 untouched (the paper's central property).
+    vs.write_body(&mut tx, v1, TAG, b"changed".to_vec())
+        .unwrap();
+    assert_eq!(vs.read_body(&mut tx, v0, TAG).unwrap(), b"base");
+    assert_eq!(vs.read_body(&mut tx, v1, TAG).unwrap(), b"changed");
+    vs.check_object(&mut tx, oid).unwrap();
+    tx.commit().unwrap();
+    drop(store);
+    cleanup(&path);
+}
+
+#[test]
+fn alternatives_branch_from_common_ancestor() {
+    let (path, store) = temp_store("alts");
+    let vs = vs();
+    let mut tx = store.begin();
+    let (oid, v0) = vs.create_object(&mut tx, TAG, b"v0".to_vec()).unwrap();
+    let v1 = vs.new_version_from(&mut tx, v0).unwrap();
+    let v2 = vs.new_version_from(&mut tx, v0).unwrap();
+    // v1 and v2 are variants/alternatives of v0 (paper §4.2).
+    assert_eq!(vs.dnext(&mut tx, v0).unwrap(), vec![v1, v2]);
+    assert_eq!(vs.dprevious(&mut tx, v2).unwrap(), Some(v0));
+    // Temporal chain is creation order regardless of derivation shape.
+    assert_eq!(vs.version_history(&mut tx, oid).unwrap(), vec![v0, v1, v2]);
+    // v2 (created last) is the latest, even though derived from v0.
+    assert_eq!(vs.latest(&mut tx, oid).unwrap(), v2);
+    // Both tips are leaves of the derivation tree.
+    assert_eq!(vs.derivation_leaves(&mut tx, oid).unwrap(), vec![v1, v2]);
+    vs.check_object(&mut tx, oid).unwrap();
+    tx.commit().unwrap();
+    drop(store);
+    cleanup(&path);
+}
+
+#[test]
+fn version_history_follows_derivation_path() {
+    let (path, store) = temp_store("history");
+    let vs = vs();
+    let mut tx = store.begin();
+    // Paper §4: v3 derived from v1 derived from v0 — "v3, v1, v0
+    // constitute a version history".
+    let (oid, v0) = vs.create_object(&mut tx, TAG, b"v0".to_vec()).unwrap();
+    let v1 = vs.new_version_from(&mut tx, v0).unwrap();
+    let _v2 = vs.new_version_from(&mut tx, v0).unwrap();
+    let v3 = vs.new_version_from(&mut tx, v1).unwrap();
+    assert_eq!(vs.derivation_path(&mut tx, v3).unwrap(), vec![v3, v1, v0]);
+    vs.check_object(&mut tx, oid).unwrap();
+    tx.commit().unwrap();
+    drop(store);
+    cleanup(&path);
+}
+
+#[test]
+fn delete_object_removes_all_versions() {
+    let (path, store) = temp_store("delobj");
+    let vs = vs();
+    let mut tx = store.begin();
+    let (oid, v0) = vs.create_object(&mut tx, TAG, b"x".to_vec()).unwrap();
+    let v1 = vs.new_version_of(&mut tx, oid).unwrap();
+    let v2 = vs.new_version_of(&mut tx, oid).unwrap();
+    vs.delete_object(&mut tx, oid).unwrap();
+    assert!(!vs.object_exists(&mut tx, oid).unwrap());
+    for v in [v0, v1, v2] {
+        assert!(!vs.version_exists(&mut tx, v).unwrap());
+    }
+    assert!(vs.objects_of_type(&mut tx, TAG).unwrap().is_empty());
+    assert!(matches!(
+        vs.latest(&mut tx, oid),
+        Err(VersionError::UnknownObject(_))
+    ));
+    tx.commit().unwrap();
+    drop(store);
+    cleanup(&path);
+}
+
+#[test]
+fn delete_middle_version_splices_chains() {
+    let (path, store) = temp_store("delmid");
+    let vs = vs();
+    let mut tx = store.begin();
+    let (oid, v0) = vs.create_object(&mut tx, TAG, b"x".to_vec()).unwrap();
+    let v1 = vs.new_version_from(&mut tx, v0).unwrap();
+    let v2 = vs.new_version_from(&mut tx, v1).unwrap();
+    vs.delete_version(&mut tx, v1).unwrap();
+    // Temporal: v0 <-> v2.
+    assert_eq!(vs.tnext(&mut tx, v0).unwrap(), Some(v2));
+    assert_eq!(vs.tprevious(&mut tx, v2).unwrap(), Some(v0));
+    assert_eq!(vs.version_history(&mut tx, oid).unwrap(), vec![v0, v2]);
+    // Derivation: v2 re-parented onto v0.
+    assert_eq!(vs.dprevious(&mut tx, v2).unwrap(), Some(v0));
+    assert_eq!(vs.dnext(&mut tx, v0).unwrap(), vec![v2]);
+    assert_eq!(vs.version_count(&mut tx, oid).unwrap(), 2);
+    vs.check_object(&mut tx, oid).unwrap();
+    tx.commit().unwrap();
+    drop(store);
+    cleanup(&path);
+}
+
+#[test]
+fn delete_latest_version_moves_latest_back() {
+    let (path, store) = temp_store("dellatest");
+    let vs = vs();
+    let mut tx = store.begin();
+    let (oid, v0) = vs.create_object(&mut tx, TAG, b"x".to_vec()).unwrap();
+    let v1 = vs.new_version_from(&mut tx, v0).unwrap();
+    vs.delete_version(&mut tx, v1).unwrap();
+    assert_eq!(vs.latest(&mut tx, oid).unwrap(), v0);
+    assert_eq!(vs.tnext(&mut tx, v0).unwrap(), None);
+    assert_eq!(vs.dnext(&mut tx, v0).unwrap(), Vec::<Vid>::new());
+    vs.check_object(&mut tx, oid).unwrap();
+    tx.commit().unwrap();
+    drop(store);
+    cleanup(&path);
+}
+
+#[test]
+fn delete_root_promotes_children() {
+    let (path, store) = temp_store("delroot");
+    let vs = vs();
+    let mut tx = store.begin();
+    let (oid, v0) = vs.create_object(&mut tx, TAG, b"x".to_vec()).unwrap();
+    let v1 = vs.new_version_from(&mut tx, v0).unwrap();
+    let v2 = vs.new_version_from(&mut tx, v0).unwrap();
+    vs.delete_version(&mut tx, v0).unwrap();
+    // Both children become roots of the forest.
+    assert_eq!(vs.dprevious(&mut tx, v1).unwrap(), None);
+    assert_eq!(vs.dprevious(&mut tx, v2).unwrap(), None);
+    assert_eq!(vs.version_history(&mut tx, oid).unwrap(), vec![v1, v2]);
+    vs.check_object(&mut tx, oid).unwrap();
+    tx.commit().unwrap();
+    drop(store);
+    cleanup(&path);
+}
+
+#[test]
+fn last_version_delete_refused() {
+    let (path, store) = temp_store("lastver");
+    let vs = vs();
+    let mut tx = store.begin();
+    let (_oid, v0) = vs.create_object(&mut tx, TAG, b"x".to_vec()).unwrap();
+    assert!(matches!(
+        vs.delete_version(&mut tx, v0),
+        Err(VersionError::LastVersion(_))
+    ));
+    tx.commit().unwrap();
+    drop(store);
+    cleanup(&path);
+}
+
+#[test]
+fn type_mismatch_rejected() {
+    let (path, store) = temp_store("typecheck");
+    let vs = vs();
+    let other = TypeTag::from_name("test/Other");
+    let mut tx = store.begin();
+    let (_oid, v0) = vs.create_object(&mut tx, TAG, b"x".to_vec()).unwrap();
+    assert!(matches!(
+        vs.read_body(&mut tx, v0, other),
+        Err(VersionError::TypeMismatch { .. })
+    ));
+    assert!(matches!(
+        vs.write_body(&mut tx, v0, other, vec![]),
+        Err(VersionError::TypeMismatch { .. })
+    ));
+    tx.commit().unwrap();
+    drop(store);
+    cleanup(&path);
+}
+
+#[test]
+fn extents_track_live_objects() {
+    let (path, store) = temp_store("extents");
+    let vs = vs();
+    let other = TypeTag::from_name("test/Other");
+    let mut tx = store.begin();
+    let (o1, _) = vs.create_object(&mut tx, TAG, b"1".to_vec()).unwrap();
+    let (o2, _) = vs.create_object(&mut tx, TAG, b"2".to_vec()).unwrap();
+    let (o3, _) = vs.create_object(&mut tx, other, b"3".to_vec()).unwrap();
+    assert_eq!(vs.objects_of_type(&mut tx, TAG).unwrap(), vec![o1, o2]);
+    assert_eq!(vs.objects_of_type(&mut tx, other).unwrap(), vec![o3]);
+    vs.delete_object(&mut tx, o1).unwrap();
+    assert_eq!(vs.objects_of_type(&mut tx, TAG).unwrap(), vec![o2]);
+    tx.commit().unwrap();
+    drop(store);
+    cleanup(&path);
+}
+
+#[test]
+fn graph_survives_reopen() {
+    let (path, store) = temp_store("reopen");
+    let vs = vs();
+    let (oid, v0, v1, v2) = {
+        let mut tx = store.begin();
+        let (oid, v0) = vs.create_object(&mut tx, TAG, b"v0".to_vec()).unwrap();
+        let v1 = vs.new_version_from(&mut tx, v0).unwrap();
+        let v2 = vs.new_version_from(&mut tx, v0).unwrap();
+        vs.write_body(&mut tx, v1, TAG, b"v1".to_vec()).unwrap();
+        tx.commit().unwrap();
+        (oid, v0, v1, v2)
+    };
+    drop(store);
+    let store = Store::open(&path, StoreOptions::default()).unwrap();
+    let mut r = store.read();
+    assert_eq!(vs.latest(&mut r, oid).unwrap(), v2);
+    assert_eq!(vs.version_history(&mut r, oid).unwrap(), vec![v0, v1, v2]);
+    assert_eq!(vs.read_body(&mut r, v1, TAG).unwrap(), b"v1");
+    assert_eq!(vs.dnext(&mut r, v0).unwrap(), vec![v1, v2]);
+    vs.check_object(&mut r, oid).unwrap();
+    drop(r);
+    drop(store);
+    cleanup(&path);
+}
+
+#[test]
+fn deep_history_traversal() {
+    let (path, store) = temp_store("deep");
+    let vs = vs();
+    let mut tx = store.begin();
+    let (oid, v0) = vs.create_object(&mut tx, TAG, vec![0u8; 64]).unwrap();
+    let mut tip = v0;
+    for _ in 0..500 {
+        tip = vs.new_version_from(&mut tx, tip).unwrap();
+    }
+    assert_eq!(vs.version_count(&mut tx, oid).unwrap(), 501);
+    assert_eq!(vs.derivation_path(&mut tx, tip).unwrap().len(), 501);
+    assert_eq!(vs.version_history(&mut tx, oid).unwrap().len(), 501);
+    assert_eq!(vs.derivation_leaves(&mut tx, oid).unwrap(), vec![tip]);
+    vs.check_object(&mut tx, oid).unwrap();
+    tx.commit().unwrap();
+    drop(store);
+    cleanup(&path);
+}
+
+#[test]
+fn unknown_ids_error_cleanly() {
+    let (path, store) = temp_store("unknown");
+    let vs = vs();
+    let mut tx = store.begin();
+    assert!(matches!(
+        vs.latest(&mut tx, Oid(999)),
+        Err(VersionError::UnknownObject(Oid(999)))
+    ));
+    assert!(matches!(
+        vs.version_meta(&mut tx, Vid(999)),
+        Err(VersionError::UnknownVersion(Vid(999)))
+    ));
+    tx.commit().unwrap();
+    drop(store);
+    cleanup(&path);
+}

@@ -1,0 +1,156 @@
+//! Adversarial splice sequences: repeated deletions inside branched
+//! graphs, checking every intermediate state with the invariant checker
+//! and explicit expectations.
+
+use ode_codec::TypeTag;
+use ode_storage::{Store, StoreOptions};
+use ode_version::{VersionStore, VersionStoreLayout, Vid};
+
+const TAG: TypeTag = TypeTag::from_name("splice/Doc");
+
+fn temp_store(name: &str) -> (std::path::PathBuf, Store) {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ode-splice-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    let mut wal = p.clone().into_os_string();
+    wal.push(".wal");
+    let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+    let store = Store::create(&p, StoreOptions::default()).unwrap();
+    (p, store)
+}
+
+fn cleanup(p: &std::path::Path) {
+    let _ = std::fs::remove_file(p);
+    let mut wal = p.to_path_buf().into_os_string();
+    wal.push(".wal");
+    let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+}
+
+fn vs() -> VersionStore {
+    VersionStore::new(VersionStoreLayout::default())
+}
+
+/// Delete every version of a bushy tree one by one (always a legal
+/// target), checking invariants after each removal.
+#[test]
+fn incremental_teardown_of_bushy_tree() {
+    let (path, store) = temp_store("teardown");
+    let vs = vs();
+    let mut tx = store.begin();
+    let (oid, v0) = vs.create_object(&mut tx, TAG, vec![0]).unwrap();
+    // Three alternatives off v0, each extended twice.
+    let mut all = vec![v0];
+    for _ in 0..3 {
+        let mut tip = vs.new_version_from(&mut tx, v0).unwrap();
+        all.push(tip);
+        for _ in 0..2 {
+            tip = vs.new_version_from(&mut tx, tip).unwrap();
+            all.push(tip);
+        }
+    }
+    assert_eq!(vs.version_count(&mut tx, oid).unwrap(), 10);
+
+    // Remove versions middle-out until one remains.
+    while vs.version_count(&mut tx, oid).unwrap() > 1 {
+        let history = vs.version_history(&mut tx, oid).unwrap();
+        let target = history[history.len() / 2];
+        vs.delete_version(&mut tx, target).unwrap();
+        vs.check_object(&mut tx, oid).unwrap();
+        // Remaining versions still read.
+        for vid in vs.version_history(&mut tx, oid).unwrap() {
+            vs.read_body(&mut tx, vid, TAG).unwrap();
+        }
+    }
+    assert_eq!(vs.version_count(&mut tx, oid).unwrap(), 1);
+    tx.commit().unwrap();
+    drop(store);
+    cleanup(&path);
+}
+
+/// Deleting a chain of branch points re-parents grandchildren onto the
+/// surviving ancestor, preserving relative derivation order.
+#[test]
+fn cascading_reparent_preserves_order() {
+    let (path, store) = temp_store("cascade");
+    let vs = vs();
+    let mut tx = store.begin();
+    let (oid, v0) = vs.create_object(&mut tx, TAG, vec![0]).unwrap();
+    let a = vs.new_version_from(&mut tx, v0).unwrap();
+    let b = vs.new_version_from(&mut tx, a).unwrap();
+    let c1 = vs.new_version_from(&mut tx, b).unwrap();
+    let c2 = vs.new_version_from(&mut tx, b).unwrap();
+    let d = vs.new_version_from(&mut tx, a).unwrap();
+
+    // Delete b: c1, c2 re-parent onto a, taking b's position before d.
+    vs.delete_version(&mut tx, b).unwrap();
+    assert_eq!(vs.dnext(&mut tx, a).unwrap(), vec![c1, c2, d]);
+    // Delete a: all three land on v0.
+    vs.delete_version(&mut tx, a).unwrap();
+    assert_eq!(vs.dnext(&mut tx, v0).unwrap(), vec![c1, c2, d]);
+    for v in [c1, c2, d] {
+        assert_eq!(vs.dprevious(&mut tx, v).unwrap(), Some(v0));
+    }
+    vs.check_object(&mut tx, oid).unwrap();
+    tx.commit().unwrap();
+    drop(store);
+    cleanup(&path);
+}
+
+/// Deleting the root of a forest (after a previous root deletion) keeps
+/// the forest coherent.
+#[test]
+fn repeated_root_deletion_yields_forest() {
+    let (path, store) = temp_store("forest");
+    let vs = vs();
+    let mut tx = store.begin();
+    let (oid, v0) = vs.create_object(&mut tx, TAG, vec![0]).unwrap();
+    let l = vs.new_version_from(&mut tx, v0).unwrap();
+    let r = vs.new_version_from(&mut tx, v0).unwrap();
+    let rl = vs.new_version_from(&mut tx, r).unwrap();
+
+    vs.delete_version(&mut tx, v0).unwrap(); // l, r become roots
+    assert_eq!(vs.dprevious(&mut tx, l).unwrap(), None);
+    assert_eq!(vs.dprevious(&mut tx, r).unwrap(), None);
+    vs.check_object(&mut tx, oid).unwrap();
+
+    vs.delete_version(&mut tx, r).unwrap(); // rl becomes a root too
+    assert_eq!(vs.dprevious(&mut tx, rl).unwrap(), None);
+    assert_eq!(vs.version_history(&mut tx, oid).unwrap(), vec![l, rl]);
+    vs.check_object(&mut tx, oid).unwrap();
+    tx.commit().unwrap();
+    drop(store);
+    cleanup(&path);
+}
+
+/// Temporal chain stays exact under alternating head/tail deletions.
+#[test]
+fn alternating_head_tail_deletions() {
+    let (path, store) = temp_store("headtail");
+    let vs = vs();
+    let mut tx = store.begin();
+    let (oid, v0) = vs.create_object(&mut tx, TAG, vec![0]).unwrap();
+    let mut expected: Vec<Vid> = vec![v0];
+    for _ in 0..9 {
+        let v = vs.new_version_of(&mut tx, oid).unwrap();
+        expected.push(v);
+    }
+    let mut from_head = true;
+    while expected.len() > 1 {
+        let victim = if from_head {
+            expected.remove(0)
+        } else {
+            expected.pop().unwrap()
+        };
+        from_head = !from_head;
+        vs.delete_version(&mut tx, victim).unwrap();
+        assert_eq!(vs.version_history(&mut tx, oid).unwrap(), expected);
+        assert_eq!(
+            vs.latest(&mut tx, oid).unwrap(),
+            *expected.last().unwrap()
+        );
+        vs.check_object(&mut tx, oid).unwrap();
+    }
+    tx.commit().unwrap();
+    drop(store);
+    cleanup(&path);
+}

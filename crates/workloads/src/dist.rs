@@ -1,0 +1,156 @@
+//! Supporting distributions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Object-size classes seen in design databases: lots of small leaf
+/// cells, some medium modules, a few large boards/netlists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeClass {
+    /// ~64 B payloads (leaf cells, attributes).
+    Small,
+    /// ~1 KiB payloads (modules).
+    Medium,
+    /// ~16 KiB payloads (netlists; exercises overflow pages).
+    Large,
+}
+
+impl SizeClass {
+    /// The nominal payload size in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            SizeClass::Small => 64,
+            SizeClass::Medium => 1024,
+            SizeClass::Large => 16 * 1024,
+        }
+    }
+
+    /// Sample a class with the 70/25/5 mix typical of part libraries.
+    pub fn sample(rng: &mut StdRng) -> SizeClass {
+        match rng.random_range(0..100u32) {
+            0..70 => SizeClass::Small,
+            70..95 => SizeClass::Medium,
+            _ => SizeClass::Large,
+        }
+    }
+
+    /// A deterministic payload of this class's size, parameterized so
+    /// different objects get different (but reproducible) bytes.
+    pub fn payload(self, salt: u64) -> Vec<u8> {
+        let n = self.bytes();
+        (0..n)
+            .map(|i| (salt.wrapping_mul(31).wrapping_add(i as u64) % 251) as u8)
+            .collect()
+    }
+}
+
+/// A Zipf(θ) sampler over `0..n` using the rejection-inversion-free
+/// cumulative method (table-based; fine for the `n` ≤ 1e6 the benches
+/// use).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl Zipf {
+    /// Build a sampler over `0..n` with skew `theta` (0 = uniform,
+    /// ~0.99 = classic YCSB skew). Panics if `n == 0`.
+    pub fn new(n: usize, theta: f64, seed: u64) -> Zipf {
+        assert!(n > 0, "Zipf over empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf {
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Sample an index in `0..n`.
+    pub fn sample(&mut self) -> usize {
+        let u: f64 = self.rng.random();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite cdf"))
+        {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_classes_have_expected_sizes() {
+        assert_eq!(SizeClass::Small.bytes(), 64);
+        assert_eq!(SizeClass::Medium.bytes(), 1024);
+        assert_eq!(SizeClass::Large.bytes(), 16 * 1024);
+        assert_eq!(SizeClass::Small.payload(1).len(), 64);
+        // Payloads are deterministic in the salt.
+        assert_eq!(SizeClass::Small.payload(7), SizeClass::Small.payload(7));
+        assert_ne!(SizeClass::Small.payload(7), SizeClass::Small.payload(8));
+    }
+
+    #[test]
+    fn size_mix_is_roughly_70_25_5() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            match SizeClass::sample(&mut rng) {
+                SizeClass::Small => counts[0] += 1,
+                SizeClass::Medium => counts[1] += 1,
+                SizeClass::Large => counts[2] += 1,
+            }
+        }
+        assert!((6500..7500).contains(&counts[0]), "{counts:?}");
+        assert!((2000..3000).contains(&counts[1]), "{counts:?}");
+        assert!((300..800).contains(&counts[2]), "{counts:?}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut z = Zipf::new(1000, 0.99, 1);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..50_000 {
+            let i = z.sample();
+            assert!(i < 1000);
+            counts[i] += 1;
+        }
+        // Head much hotter than tail.
+        assert!(counts[0] > 20 * counts[500].max(1), "{}", counts[0]);
+    }
+
+    #[test]
+    fn zipf_zero_theta_is_roughly_uniform() {
+        let mut z = Zipf::new(10, 0.0, 2);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample()] += 1;
+        }
+        for &c in &counts {
+            assert!((1500..2500).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_deterministic_in_seed() {
+        let a: Vec<usize> = {
+            let mut z = Zipf::new(100, 0.9, 7);
+            (0..50).map(|_| z.sample()).collect()
+        };
+        let b: Vec<usize> = {
+            let mut z = Zipf::new(100, 0.9, 7);
+            (0..50).map(|_| z.sample()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,27 @@
+//! # ode-workloads — deterministic workload generators for the benches
+//!
+//! The paper's motivating domain is CAD design databases (and, for the
+//! temporal features, historical databases).  This crate synthesizes
+//! both workload families with seeded RNGs so every benchmark run sees
+//! identical operation streams:
+//!
+//! * [`design`] — design-evolution traces: a population of objects
+//!   receiving `newversion` operations that are *revisions* (derive from
+//!   the tip) or *alternatives* (derive from a random earlier version)
+//!   in a configurable ratio, with state edits in between;
+//! * [`historical`] — address-book-style update streams where every
+//!   change versions the object, and reads are split between "current"
+//!   (generic) and "as-of" (specific) lookups;
+//! * [`dist`] — supporting distributions: object-size classes and a
+//!   Zipf sampler for skewed access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod design;
+pub mod dist;
+pub mod historical;
+
+pub use design::{DesignOp, DesignTrace, DesignTraceConfig};
+pub use dist::{SizeClass, Zipf};
+pub use historical::{HistoricalOp, HistoricalTrace, HistoricalTraceConfig};

@@ -1,0 +1,108 @@
+//! ORION-style checkout/checkin (§7), built purely from Ode primitives:
+//! a designer checks a part out of the public database into a private
+//! workspace, iterates there, and checks the result back in as a new
+//! public version.
+//!
+//! Run with: `cargo run -p bench --example checkout_checkin`
+
+use ode::{Database, DatabaseOptions};
+use ode_codec::{impl_persist_struct, impl_type_name};
+use ode_policies::checkout::Workspace;
+use ode_policies::environment::{EnvHandle, VersionState};
+
+#[derive(Debug, Clone, PartialEq)]
+struct Layout {
+    name: String,
+    polygons: u32,
+    drc_clean: bool,
+}
+impl_persist_struct!(Layout {
+    name,
+    polygons,
+    drc_clean
+});
+impl_type_name!(Layout = "checkout/Layout");
+
+fn main() -> ode::Result<()> {
+    let dir = std::env::temp_dir().join(format!("ode-checkout-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    let public = Database::create(dir.join("public.db"), DatabaseOptions::default())?;
+    let layout = {
+        let mut txn = public.begin();
+        let p = txn.pnew(&Layout {
+            name: "alu-core".into(),
+            polygons: 12_000,
+            drc_clean: true,
+        })?;
+        txn.commit()?;
+        p
+    };
+
+    // A released-version environment guards the public history.
+    let env = {
+        let mut txn = public.begin();
+        let env = EnvHandle::create(&mut txn, "released")?;
+        let v0 = txn.current_version(&layout)?;
+        env.track(&mut txn, v0)?;
+        env.transition(&mut txn, v0, VersionState::Valid)?;
+        env.transition(&mut txn, v0, VersionState::Frozen)?;
+        txn.commit()?;
+        env
+    };
+
+    // Designer workspace: checkout → private edits → checkin.
+    let ws = Workspace::create(&public, dir.join("designer1.db"))?;
+    let working = ws.checkout(layout)?;
+    println!("checked out {working} into the private database");
+
+    for round in 0..3 {
+        ws.edit(working, |l: &mut Layout| {
+            l.polygons += 500;
+            l.drc_clean = round == 2; // only the last iteration is clean
+        })?;
+    }
+    let new_public = ws.checkin(working)?;
+    println!("checked in as public version {new_public}");
+
+    // Track + validate the new public version in the environment.
+    {
+        let mut txn = public.begin();
+        env.track(&mut txn, new_public)?;
+        let ok = txn.deref_v(&new_public)?.drc_clean;
+        let target = if ok {
+            VersionState::Valid
+        } else {
+            VersionState::Invalid
+        };
+        env.transition(&mut txn, new_public, target)?;
+        txn.commit()?;
+    }
+
+    // Report the public history and environment partitions.
+    let mut txn = public.begin();
+    println!("\npublic history of {layout}:");
+    for v in txn.version_history(&layout)? {
+        let state = txn.deref_v(&v)?;
+        let env_state = env.state_of(&mut txn, v)?;
+        println!(
+            "  {v}: polygons={} drc_clean={} env={env_state:?}",
+            state.polygons, state.drc_clean
+        );
+    }
+    println!(
+        "frozen partition: {:?}",
+        env.partition(&mut txn, VersionState::Frozen)?
+    );
+    println!(
+        "valid partition : {:?}",
+        env.partition(&mut txn, VersionState::Valid)?
+    );
+    txn.commit()?;
+
+    drop(ws);
+    drop(public);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

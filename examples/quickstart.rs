@@ -1,0 +1,84 @@
+//! Quickstart: the paper's core operations in ~60 lines.
+//!
+//! Run with: `cargo run -p bench --example quickstart`
+
+use ode::{Database, DatabaseOptions};
+use ode_codec::{impl_persist_struct, impl_type_name};
+
+#[derive(Debug, Clone, PartialEq)]
+struct Part {
+    name: String,
+    weight: u32,
+}
+impl_persist_struct!(Part { name, weight });
+impl_type_name!(Part = "quickstart/Part");
+
+fn main() -> ode::Result<()> {
+    let path = std::env::temp_dir().join(format!("ode-quickstart-{}.db", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let db = Database::create(&path, DatabaseOptions::default())?;
+
+    let mut txn = db.begin();
+
+    // pnew: a persistent object; its first version exists immediately.
+    let p = txn.pnew(&Part {
+        name: "alu".into(),
+        weight: 7,
+    })?;
+    println!("created {p} with version {}", txn.current_version(&p)?);
+
+    // Pin the current version (generic → specific reference), then
+    // derive a new version and edit it.
+    let v0 = txn.current_version(&p)?;
+    let v1 = txn.newversion(&p)?;
+    txn.update(&p, |part| part.weight = 9)?;
+
+    // Generic reference (object id): late binding — sees the latest.
+    let latest = txn.deref(&p)?;
+    println!(
+        "through ObjPtr      : weight = {} (bound to {})",
+        latest.weight,
+        latest.version()
+    );
+
+    // Specific reference (version id): early binding — pinned.
+    let old = txn.deref_v(&v0)?;
+    println!(
+        "through VersionPtr  : weight = {} (version {v0})",
+        old.weight
+    );
+
+    // The relationships are maintained automatically.
+    println!("Dprevious(v1)       : {:?}", txn.dprevious(&v1)?);
+    println!("Tprevious(v1)       : {:?}", txn.tprevious(&v1)?);
+    println!("history             : {:?}", txn.version_history(&p)?);
+
+    // An alternative: derive from v0 while v1 exists.
+    let v2 = txn.newversion_from(&v0)?;
+    println!("alternatives of v0  : {:?}", txn.dnext(&v0)?);
+    println!("derivation leaves   : {:?}", txn.derivation_leaves(&p)?);
+
+    // pdelete on a version removes just that version.
+    txn.pdelete_version(v2)?;
+    println!("after pdelete v2    : {:?}", txn.version_history(&p)?);
+
+    txn.commit()?;
+
+    // Objects persist across invocations: reopen and look again.
+    drop(db);
+    let db = Database::open(&path, DatabaseOptions::default())?;
+    let mut snap = db.snapshot();
+    println!(
+        "after reopen        : weight = {} in {} versions",
+        snap.deref(&p)?.weight,
+        snap.version_count(&p)?
+    );
+
+    drop(snap);
+    drop(db);
+    let _ = std::fs::remove_file(&path);
+    let mut wal = path.into_os_string();
+    wal.push(".wal");
+    let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+    Ok(())
+}

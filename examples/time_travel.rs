@@ -1,0 +1,97 @@
+//! Historical-database usage (§2's accounting motivation): every change
+//! versions the object, as-of queries recover any past state, and a
+//! retention policy prunes history while respecting frozen milestones.
+//!
+//! Run with: `cargo run -p bench --example time_travel`
+
+use ode::{Database, DatabaseOptions};
+use ode_codec::{impl_persist_struct, impl_type_name};
+use ode_policies::environment::{EnvHandle, VersionState};
+use ode_policies::retention::RetentionPolicy;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Ledger {
+    account: String,
+    balance: i64,
+}
+impl_persist_struct!(Ledger { account, balance });
+impl_type_name!(Ledger = "time-travel/Ledger");
+
+fn main() -> ode::Result<()> {
+    let path = std::env::temp_dir().join(format!("ode-timetravel-{}.db", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let db = Database::create(&path, DatabaseOptions::default())?;
+
+    let mut txn = db.begin();
+    let ledger = txn.pnew(&Ledger {
+        account: "acme".into(),
+        balance: 0,
+    })?;
+
+    // A year of monthly postings; capture a stamp after each quarter.
+    let mut quarter_stamps = Vec::new();
+    for month in 1..=12i64 {
+        txn.newversion(&ledger)?;
+        txn.update(&ledger, |l| l.balance += month * 100)?;
+        if month % 3 == 0 {
+            quarter_stamps.push((month, txn.now_stamp()?));
+        }
+    }
+
+    println!("current balance : {}", txn.deref(&ledger)?.balance);
+    for (month, stamp) in &quarter_stamps {
+        let v = txn.version_as_of(&ledger, *stamp)?.expect("stamped state");
+        println!(
+            "as of month {month:>2}  : balance {}  (version {v})",
+            txn.deref_v(&v)?.balance
+        );
+    }
+
+    // Freeze the year-end close so it can never be pruned or edited.
+    let year_end = txn.current_version(&ledger)?;
+    let env = EnvHandle::create(&mut txn, "closings")?;
+    env.track(&mut txn, year_end)?;
+    env.transition(&mut txn, year_end, VersionState::Valid)?;
+    env.transition(&mut txn, year_end, VersionState::Frozen)?;
+
+    // Prune: keep the last 4 versions plus anything frozen.
+    let pruned = RetentionPolicy {
+        keep_last: 4,
+        keep_branch_points: true,
+    }
+    .apply(&mut txn, &ledger, Some(&env))?;
+    println!(
+        "retention pruned {} versions; {} remain",
+        pruned.len(),
+        txn.version_count(&ledger)?
+    );
+
+    // Old quarter states are gone, recent ones still resolve.
+    let (q1, q1_stamp) = quarter_stamps[0];
+    let resolved = txn.version_as_of(&ledger, q1_stamp)?;
+    println!(
+        "as of month {q1:>2}  : {}",
+        match resolved {
+            // After pruning, the as-of query binds to the oldest
+            // surviving version instead.
+            Some(v) => format!("now resolves to surviving version {v}"),
+            None => "no surviving version that old".into(),
+        }
+    );
+    let (q4, q4_stamp) = quarter_stamps[3];
+    let v = txn
+        .version_as_of(&ledger, q4_stamp)?
+        .expect("year end kept");
+    println!(
+        "as of month {q4:>2}  : balance {} (frozen close)",
+        txn.deref_v(&v)?.balance
+    );
+    txn.commit()?;
+
+    drop(db);
+    let _ = std::fs::remove_file(&path);
+    let mut wal = path.into_os_string();
+    wal.push(".wal");
+    let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+    Ok(())
+}

@@ -1,0 +1,207 @@
+//! Executable reproductions of the paper's figures and §4 examples.
+//!
+//! The paper's figures are version-graph diagrams (circles = versions,
+//! solid arrows = derived-from, dotted arrows = temporal order, `p` =
+//! the object pointer binding to the latest version).  Each test builds
+//! the figure's scenario with the exact operation sequence the text
+//! gives and asserts the resulting graph shape.
+
+use ode::{Database, DatabaseOptions, Error};
+use ode_codec::{impl_persist_struct, impl_type_name};
+
+#[derive(Debug, Clone, PartialEq)]
+struct Design {
+    payload: u32,
+}
+impl_persist_struct!(Design { payload });
+impl_type_name!(Design = "figures/Design");
+
+struct TempDb {
+    path: std::path::PathBuf,
+}
+
+impl TempDb {
+    fn new(name: &str) -> TempDb {
+        let mut path = std::env::temp_dir();
+        path.push(format!("ode-fig-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut wal = path.clone().into_os_string();
+        wal.push(".wal");
+        let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+        TempDb { path }
+    }
+    fn create(&self) -> Database {
+        Database::create(&self.path, DatabaseOptions::default()).unwrap()
+    }
+}
+
+impl Drop for TempDb {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+        let mut wal = self.path.clone().into_os_string();
+        wal.push(".wal");
+        let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+    }
+}
+
+/// Figure (§4.2, first): `p = pnew(...)` then `newversion(p)`.
+///
+/// ```text
+/// p ──► v1 ···· v0      v1 is a *revision* of v0; p binds to v1.
+///        └──────►┘      (solid: derived-from, dotted: temporal)
+/// ```
+#[test]
+fn fig_revision() {
+    let tmp = TempDb::new("revision");
+    let db = tmp.create();
+    let mut txn = db.begin();
+
+    let p = txn.pnew(&Design { payload: 0 }).unwrap();
+    let v0 = txn.current_version(&p).unwrap();
+    let v1 = txn.newversion(&p).unwrap();
+
+    // p now refers to v1 (the object id binds to the latest version).
+    assert_eq!(txn.current_version(&p).unwrap(), v1);
+    // Solid arrow: v1 derived from v0.
+    assert_eq!(txn.dprevious(&v1).unwrap(), Some(v0));
+    // Dotted arrow: v0 temporally precedes v1.
+    assert_eq!(txn.tprevious(&v1).unwrap(), Some(v0));
+    assert_eq!(txn.tnext(&v0).unwrap(), Some(v1));
+    // "when creating a version, no changes were required in the type
+    // definition of this object" — nothing was declared versionable.
+    txn.check_object(&p).unwrap();
+    txn.commit().unwrap();
+}
+
+/// Figure (§4.2, second): `newversion(vp0)` where vp0 holds v0's id.
+///
+/// ```text
+/// p ──► v2
+///        \
+/// v1      ► v0         v1 and v2 are *variants/alternatives*,
+///  └───────►┘          both derived from v0.
+/// ```
+#[test]
+fn fig_alternatives() {
+    let tmp = TempDb::new("alternatives");
+    let db = tmp.create();
+    let mut txn = db.begin();
+
+    let p = txn.pnew(&Design { payload: 0 }).unwrap();
+    let v0 = txn.current_version(&p).unwrap();
+    let v1 = txn.newversion(&p).unwrap();
+    // vp0 contains the id of version v0; derive from it.
+    let v2 = txn.newversion_from(&v0).unwrap();
+
+    // Both variants hang off v0.
+    assert_eq!(txn.dprevious(&v1).unwrap(), Some(v0));
+    assert_eq!(txn.dprevious(&v2).unwrap(), Some(v0));
+    assert_eq!(txn.dnext(&v0).unwrap(), vec![v1, v2]);
+    // p refers to v2: the latest *created*, not the deepest derived.
+    assert_eq!(txn.current_version(&p).unwrap(), v2);
+    // Temporal (dotted) order is creation order v0, v1, v2.
+    assert_eq!(txn.version_history(&p).unwrap(), vec![v0, v1, v2]);
+    txn.check_object(&p).unwrap();
+    txn.commit().unwrap();
+}
+
+/// Figure (§4.2, third): `newversion(vp1)` — "note that v3, v1, and v0
+/// constitute a version history."
+#[test]
+fn fig_version_history() {
+    let tmp = TempDb::new("history");
+    let db = tmp.create();
+    let mut txn = db.begin();
+
+    let p = txn.pnew(&Design { payload: 0 }).unwrap();
+    let v0 = txn.current_version(&p).unwrap();
+    let v1 = txn.newversion(&p).unwrap();
+    let v2 = txn.newversion_from(&v0).unwrap();
+    let v3 = txn.newversion_from(&v1).unwrap();
+
+    // The derivation path of v3 is exactly v3, v1, v0.
+    assert_eq!(txn.derivation_path(&v3).unwrap(), vec![v3, v1, v0]);
+    // v2 and v3 are the alternative tips.
+    assert_eq!(txn.derivation_leaves(&p).unwrap(), vec![v2, v3]);
+    // p binds to v3 (latest created).
+    assert_eq!(txn.current_version(&p).unwrap(), v3);
+    txn.check_object(&p).unwrap();
+    txn.commit().unwrap();
+}
+
+/// §4.2's state-copy semantics: the new version starts as a copy of its
+/// base, and editing either side never disturbs the other.
+#[test]
+fn fig_versions_are_independent_states() {
+    let tmp = TempDb::new("states");
+    let db = tmp.create();
+    let mut txn = db.begin();
+
+    let p = txn.pnew(&Design { payload: 10 }).unwrap();
+    let v0 = txn.current_version(&p).unwrap();
+    let v1 = txn.newversion(&p).unwrap();
+    assert_eq!(txn.deref_v(&v1).unwrap().payload, 10, "copy of base");
+
+    txn.update(&p, |d| d.payload = 20).unwrap(); // edits v1 (latest)
+    txn.update_version(&v0, |d| d.payload = 5).unwrap();
+    assert_eq!(txn.deref_v(&v0).unwrap().payload, 5);
+    assert_eq!(txn.deref_v(&v1).unwrap().payload, 20);
+    txn.commit().unwrap();
+}
+
+/// §4.4: "Given an object id, operator pdelete deletes the object and
+/// all its versions.  Given a version id, pdelete deletes the specified
+/// version."
+#[test]
+fn fig_pdelete_object_vs_version() {
+    let tmp = TempDb::new("pdelete");
+    let db = tmp.create();
+    let mut txn = db.begin();
+
+    // Version-id pdelete.
+    let p = txn.pnew(&Design { payload: 0 }).unwrap();
+    let v0 = txn.current_version(&p).unwrap();
+    let v1 = txn.newversion(&p).unwrap();
+    let v2 = txn.newversion(&p).unwrap();
+    txn.pdelete_version(v1).unwrap();
+    assert!(txn.version_exists(&v0).unwrap());
+    assert!(!txn.version_exists(&v1).unwrap());
+    assert!(txn.version_exists(&v2).unwrap());
+    assert_eq!(txn.version_history(&p).unwrap(), vec![v0, v2]);
+
+    // Object-id pdelete.
+    txn.pdelete(p).unwrap();
+    assert!(!txn.exists(&p).unwrap());
+    assert!(!txn.version_exists(&v0).unwrap());
+    assert!(!txn.version_exists(&v2).unwrap());
+    assert!(matches!(txn.deref(&p), Err(Error::UnknownObject(_))));
+    txn.commit().unwrap();
+}
+
+/// §4.5's design-environment reading: "parallel versions derived from
+/// the same ancestor are called alternatives, and each path from the
+/// root of the derived-from tree to a leaf represents evolution of an
+/// alternative design."
+#[test]
+fn fig_alternative_design_evolution() {
+    let tmp = TempDb::new("evolution");
+    let db = tmp.create();
+    let mut txn = db.begin();
+
+    let p = txn.pnew(&Design { payload: 0 }).unwrap();
+    let v0 = txn.current_version(&p).unwrap();
+    // Two alternatives, each evolving independently.
+    let a1 = txn.newversion_from(&v0).unwrap();
+    let b1 = txn.newversion_from(&v0).unwrap();
+    let a2 = txn.newversion_from(&a1).unwrap();
+    let b2 = txn.newversion_from(&b1).unwrap();
+    let a3 = txn.newversion_from(&a2).unwrap();
+
+    // Each leaf is the most up-to-date version of an alternative.
+    assert_eq!(txn.derivation_leaves(&p).unwrap(), vec![b2, a3]);
+    // Root-to-leaf paths are the evolutions.
+    assert_eq!(txn.derivation_path(&a3).unwrap(), vec![a3, a2, a1, v0]);
+    assert_eq!(txn.derivation_path(&b2).unwrap(), vec![b2, b1, v0]);
+    txn.check_object(&p).unwrap();
+    txn.commit().unwrap();
+}

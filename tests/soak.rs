@@ -1,0 +1,135 @@
+//! Soak: a large generated design-evolution trace replayed through the
+//! public API, interleaved with crashes, reopens, checkpoints, and
+//! `fsck`-grade invariant sweeps. Exercises every layer at once.
+
+use std::collections::HashMap;
+
+use ode::{Database, DatabaseOptions, ObjPtr, VersionPtr};
+use ode_codec::{impl_persist_struct, impl_type_name};
+use ode_workloads::{DesignOp, DesignTrace, DesignTraceConfig};
+
+#[derive(Debug, Clone, PartialEq)]
+struct Artifact {
+    payload: Vec<u8>,
+}
+impl_persist_struct!(Artifact { payload });
+impl_type_name!(Artifact = "soak/Artifact");
+
+fn wal_of(path: &std::path::Path) -> std::path::PathBuf {
+    let mut wal = path.to_path_buf().into_os_string();
+    wal.push(".wal");
+    std::path::PathBuf::from(wal)
+}
+
+#[test]
+fn design_trace_soak_with_crashes() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("ode-soak-{}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(wal_of(&path));
+
+    let trace = DesignTrace::generate(&DesignTraceConfig {
+        objects: 30,
+        operations: 600,
+        alternative_ratio: 0.25,
+        derive_ratio: 0.35,
+        read_ratio: 0.4,
+        seed: 0xBEEF,
+    });
+
+    let mut db = Database::create(&path, DatabaseOptions::default()).unwrap();
+    // Trace-local object index → pointer; per object, versions in
+    // creation order with the expected payload of each.
+    let mut objs: Vec<ObjPtr<Artifact>> = Vec::new();
+    let mut vers: Vec<Vec<VersionPtr<Artifact>>> = Vec::new();
+    let mut expected: HashMap<u64, Vec<u8>> = HashMap::new();
+
+    let mut txn = db.begin();
+    let mut ops_in_txn = 0usize;
+    let mut committed_ops = 0usize;
+
+    for (step, op) in trace.ops.iter().enumerate() {
+        match op {
+            DesignOp::Create { payload } => {
+                let p = txn
+                    .pnew(&Artifact {
+                        payload: payload.clone(),
+                    })
+                    .unwrap();
+                let v0 = txn.current_version(&p).unwrap();
+                objs.push(p);
+                vers.push(vec![v0]);
+                expected.insert(v0.vid().0, payload.clone());
+            }
+            DesignOp::Revise { obj } => {
+                let v = txn.newversion(&objs[*obj]).unwrap();
+                let tip_payload = expected[&vers[*obj].last().unwrap().vid().0].clone();
+                vers[*obj].push(v);
+                expected.insert(v.vid().0, tip_payload);
+            }
+            DesignOp::Branch { obj, version } => {
+                let base = vers[*obj][*version];
+                let v = txn.newversion_from(&base).unwrap();
+                let base_payload = expected[&base.vid().0].clone();
+                vers[*obj].push(v);
+                expected.insert(v.vid().0, base_payload);
+            }
+            DesignOp::Edit { obj, payload } => {
+                let tip = txn
+                    .update(&objs[*obj], |a| a.payload = payload.clone())
+                    .unwrap();
+                expected.insert(tip.vid().0, payload.clone());
+            }
+            DesignOp::ReadCurrent { obj } => {
+                let state = txn.deref(&objs[*obj]).unwrap();
+                let tip = vers[*obj].last().unwrap();
+                assert_eq!(state.payload, expected[&tip.vid().0], "step {step}");
+            }
+            DesignOp::ReadVersion { obj, version } => {
+                let vp = vers[*obj][*version];
+                let state = txn.deref_v(&vp).unwrap();
+                assert_eq!(state.payload, expected[&vp.vid().0], "step {step}");
+            }
+        }
+        ops_in_txn += 1;
+
+        // Commit in batches; periodically crash and recover.
+        if ops_in_txn >= 25 {
+            txn.commit().unwrap();
+            committed_ops += ops_in_txn;
+            ops_in_txn = 0;
+            match (committed_ops / 25) % 4 {
+                0 => {
+                    // Simulated crash: no shutdown checkpoint.
+                    std::mem::forget(db);
+                    db = Database::open(&path, DatabaseOptions::default()).unwrap();
+                }
+                1 => db.checkpoint().unwrap(),
+                _ => {}
+            }
+            txn = db.begin();
+        }
+    }
+    txn.commit().unwrap();
+
+    // Final sweep: every object's graph is intact and every surviving
+    // version carries exactly the payload the model predicts.
+    let mut snap = db.snapshot();
+    assert_eq!(snap.objects::<Artifact>().unwrap().len(), objs.len());
+    for (i, p) in objs.iter().enumerate() {
+        snap.check_object(p).unwrap();
+        let history = snap.version_history(p).unwrap();
+        assert_eq!(history, vers[i], "object {i} history");
+        for vp in &history {
+            assert_eq!(
+                snap.deref_v(vp).unwrap().payload,
+                expected[&vp.vid().0],
+                "object {i} version {vp}"
+            );
+        }
+    }
+    drop(snap);
+    drop(db);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(wal_of(&path));
+}
