@@ -29,7 +29,7 @@ mod impls;
 mod macros;
 mod reader;
 pub mod type_tag;
-mod varint;
+pub mod varint;
 mod writer;
 
 pub use error::DecodeError;

@@ -22,7 +22,6 @@
 //! ## Quick start
 //!
 //! ```
-//! use ode::{Database, DatabaseOptions, OdeType};
 //! use ode_codec::{impl_persist_struct, impl_type_name};
 //!
 //! #[derive(Debug, Clone, PartialEq)]
@@ -30,9 +29,8 @@
 //! impl_persist_struct!(Part { name, weight });
 //! impl_type_name!(Part = "demo/Part");
 //!
-//! let dir = std::env::temp_dir().join(format!("ode-doc-{}", std::process::id()));
-//! let _ = std::fs::remove_file(&dir);
-//! let db = Database::create(&dir, DatabaseOptions::default()).unwrap();
+//! // A throwaway on-disk database, removed (with its WAL) on drop.
+//! let db = ode::testutil::tempdb();
 //!
 //! let mut txn = db.begin();
 //! // pnew: create a persistent object (its first version).
@@ -49,10 +47,6 @@
 //! // Derived-from traversal.
 //! assert_eq!(txn.dprevious(&v1).unwrap(), Some(v0));
 //! txn.commit().unwrap();
-//! # drop(db);
-//! # let _ = std::fs::remove_file(&dir);
-//! # let mut w = dir.into_os_string(); w.push(".wal");
-//! # let _ = std::fs::remove_file(std::path::PathBuf::from(w));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -62,6 +56,8 @@ mod db;
 mod event;
 mod guard;
 mod ptr;
+#[doc(hidden)]
+pub mod testutil;
 mod txn;
 
 pub use db::{Database, DatabaseOptions};

@@ -1,0 +1,132 @@
+//! Temporary-database helpers shared by tests, doctests, and examples.
+//!
+//! Creating a throwaway database used to mean a hand-rolled unique
+//! temp path plus manual cleanup of both the database file and its
+//! `.wal` sidecar; [`tempdb`] packages that dance. The returned
+//! [`TempDb`] derefs to [`Database`] and removes both files on drop.
+
+use std::ops::Deref;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{Database, DatabaseOptions};
+
+static NEXT_DB: AtomicU64 = AtomicU64::new(0);
+
+/// A unique, not-yet-existing path in the system temp directory.
+pub fn fresh_path() -> PathBuf {
+    let n = NEXT_DB.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("ode-test-{}-{n}.odb", std::process::id()))
+}
+
+/// Create a temporary database with default options.
+pub fn tempdb() -> TempDb {
+    tempdb_with(DatabaseOptions::default())
+}
+
+/// Create a temporary database with the given options (tests that
+/// hammer commits usually want [`DatabaseOptions::no_sync`]).
+pub fn tempdb_with(options: DatabaseOptions) -> TempDb {
+    let path = fresh_path();
+    let db = Database::create(&path, options.clone()).expect("create temporary database");
+    TempDb {
+        db: Some(db),
+        path,
+        options,
+    }
+}
+
+/// A [`Database`] at a unique temp path, deleted (with its WAL) on
+/// drop.
+pub struct TempDb {
+    db: Option<Database>,
+    path: PathBuf,
+    options: DatabaseOptions,
+}
+
+impl TempDb {
+    /// The database file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The open database. Panics after [`TempDb::close`].
+    pub fn db(&self) -> &Database {
+        self.db.as_ref().expect("temporary database is closed")
+    }
+
+    /// Close the database, keeping its files — for crash-recovery and
+    /// reopen tests. Follow with [`TempDb::reopen`].
+    pub fn close(&mut self) {
+        self.db = None;
+    }
+
+    /// Reopen the (closed or open) database from its files, running
+    /// recovery as a real restart would.
+    pub fn reopen(&mut self) {
+        self.db = None;
+        let db =
+            Database::open(&self.path, self.options.clone()).expect("reopen temporary database");
+        self.db = Some(db);
+    }
+}
+
+impl Deref for TempDb {
+    type Target = Database;
+
+    fn deref(&self) -> &Database {
+        self.db()
+    }
+}
+
+impl Drop for TempDb {
+    fn drop(&mut self) {
+        self.db = None;
+        let _ = std::fs::remove_file(&self.path);
+        let mut wal = self.path.clone().into_os_string();
+        wal.push(".wal");
+        let _ = std::fs::remove_file(PathBuf::from(wal));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ode_codec::{impl_persist_struct, impl_type_name};
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Probe {
+        n: u64,
+    }
+    impl_persist_struct!(Probe { n });
+    impl_type_name!(Probe = "testutil/Probe");
+
+    #[test]
+    fn tempdb_cleans_up_its_files() {
+        let (path, wal) = {
+            let db = tempdb();
+            let mut txn = db.begin();
+            txn.pnew(&Probe { n: 42 }).unwrap();
+            txn.commit().unwrap();
+            let mut wal = db.path().to_path_buf().into_os_string();
+            wal.push(".wal");
+            (db.path().to_path_buf(), PathBuf::from(wal))
+        };
+        assert!(!path.exists(), "database file should be removed on drop");
+        assert!(!wal.exists(), "wal file should be removed on drop");
+    }
+
+    #[test]
+    fn tempdb_survives_reopen() {
+        let mut db = tempdb();
+        let ptr = {
+            let mut txn = db.begin();
+            let ptr = txn.pnew(&Probe { n: 7 }).unwrap();
+            txn.commit().unwrap();
+            ptr
+        };
+        db.reopen();
+        let mut snap = db.snapshot();
+        assert_eq!(snap.deref(&ptr).unwrap().n, 7);
+    }
+}

@@ -277,6 +277,111 @@ macro_rules! read_api {
         pub fn export_dot<T: OdeType>(&mut self, ptr: &ObjPtr<T>) -> Result<String> {
             ode_version::version_graph_dot(self.db.versions(), &mut self.tx, ptr.oid)
         }
+
+        // -- type-erased (raw-id) reads ---------------------------------
+        //
+        // Layers that cannot name `T` statically — network servers
+        // dispatching wire requests, policy engines walking
+        // heterogeneous graphs — operate on raw ids plus the stored
+        // type tag. Type safety is still enforced: body reads check the
+        // caller-supplied tag against the stored one.
+
+        /// Type-erased latest-version lookup by raw object id.
+        pub fn latest_raw(&mut self, oid: ode_object::Oid) -> Result<ode_object::Vid> {
+            self.db.versions().latest(&mut self.tx, oid)
+        }
+
+        /// The stored type tag of an object.
+        pub fn object_tag_raw(&mut self, oid: ode_object::Oid) -> Result<ode_codec::TypeTag> {
+            Ok(self.db.versions().object_meta(&mut self.tx, oid)?.tag)
+        }
+
+        /// Type-erased `deref`: resolve the latest version and return
+        /// its id and encoded body, checking `tag` against the stored
+        /// type.
+        pub fn deref_raw(
+            &mut self,
+            oid: ode_object::Oid,
+            tag: ode_codec::TypeTag,
+        ) -> Result<(ode_object::Vid, Vec<u8>)> {
+            let vid = self.db.versions().latest(&mut self.tx, oid)?;
+            let body = self.db.versions().read_body(&mut self.tx, vid, tag)?;
+            Ok((vid, body))
+        }
+
+        /// Type-erased `deref_v`: one specific version's encoded body.
+        pub fn deref_version_raw(
+            &mut self,
+            vid: ode_object::Vid,
+            tag: ode_codec::TypeTag,
+        ) -> Result<Vec<u8>> {
+            self.db.versions().read_body(&mut self.tx, vid, tag)
+        }
+
+        /// Type-erased [`object_of`](Self::object_of).
+        pub fn object_of_raw(&mut self, vid: ode_object::Vid) -> Result<ode_object::Oid> {
+            self.db.versions().object_of(&mut self.tx, vid)
+        }
+
+        /// Type-erased [`dprevious`](Self::dprevious).
+        pub fn dprevious_raw(&mut self, vid: ode_object::Vid) -> Result<Option<ode_object::Vid>> {
+            self.db.versions().dprevious(&mut self.tx, vid)
+        }
+
+        /// Type-erased [`dnext`](Self::dnext).
+        pub fn dnext_raw(&mut self, vid: ode_object::Vid) -> Result<Vec<ode_object::Vid>> {
+            self.db.versions().dnext(&mut self.tx, vid)
+        }
+
+        /// Type-erased [`tprevious`](Self::tprevious).
+        pub fn tprevious_raw(&mut self, vid: ode_object::Vid) -> Result<Option<ode_object::Vid>> {
+            self.db.versions().tprevious(&mut self.tx, vid)
+        }
+
+        /// Type-erased [`tnext`](Self::tnext).
+        pub fn tnext_raw(&mut self, vid: ode_object::Vid) -> Result<Option<ode_object::Vid>> {
+            self.db.versions().tnext(&mut self.tx, vid)
+        }
+
+        /// Type-erased [`version_history`](Self::version_history).
+        pub fn version_history_raw(
+            &mut self,
+            oid: ode_object::Oid,
+        ) -> Result<Vec<ode_object::Vid>> {
+            self.db.versions().version_history(&mut self.tx, oid)
+        }
+
+        /// Type-erased [`version_count`](Self::version_count).
+        pub fn version_count_raw(&mut self, oid: ode_object::Oid) -> Result<u64> {
+            self.db.versions().version_count(&mut self.tx, oid)
+        }
+
+        /// Type-erased extent query by stored type tag.
+        pub fn objects_raw(&mut self, tag: ode_codec::TypeTag) -> Result<Vec<ode_object::Oid>> {
+            self.db.versions().objects_of_type(&mut self.tx, tag)
+        }
+
+        /// Type-erased [`objects_page`](Self::objects_page).
+        pub fn objects_page_raw(
+            &mut self,
+            tag: ode_codec::TypeTag,
+            after: ode_object::Oid,
+            limit: usize,
+        ) -> Result<Vec<ode_object::Oid>> {
+            self.db
+                .versions()
+                .objects_of_type_from(&mut self.tx, tag, after, limit)
+        }
+
+        /// Type-erased [`exists`](Self::exists).
+        pub fn exists_raw(&mut self, oid: ode_object::Oid) -> Result<bool> {
+            self.db.versions().object_exists(&mut self.tx, oid)
+        }
+
+        /// Type-erased [`version_exists`](Self::version_exists).
+        pub fn version_exists_raw(&mut self, vid: ode_object::Vid) -> Result<bool> {
+            self.db.versions().version_exists(&mut self.tx, vid)
+        }
     };
 }
 
@@ -463,9 +568,81 @@ impl<'db> Txn<'db> {
         Ok(vid)
     }
 
-    /// Type-erased latest-version lookup by raw object id.
-    pub fn latest_raw(&mut self, oid: ode_object::Oid) -> Result<ode_object::Vid> {
-        self.db.versions().latest(&mut self.tx, oid)
+    /// Type-erased `pnew`: create an object of the given stored type
+    /// tag with an already-encoded first-version body. The network
+    /// server uses this to apply `pnew` requests whose `T` only the
+    /// remote client knows.
+    pub fn pnew_raw(
+        &mut self,
+        tag: ode_codec::TypeTag,
+        body: Vec<u8>,
+    ) -> Result<(ode_object::Oid, ode_object::Vid)> {
+        let (oid, vid) = self.db.versions().create_object(&mut self.tx, tag, body)?;
+        self.events.push(Event::Created { oid, vid, tag });
+        Ok((oid, vid))
+    }
+
+    /// Type-erased `newversion` from a *specific* base version.
+    pub fn newversion_from_raw(&mut self, base: ode_object::Vid) -> Result<ode_object::Vid> {
+        let oid = self.db.versions().object_of(&mut self.tx, base)?;
+        let tag = self.db.versions().object_meta(&mut self.tx, oid)?.tag;
+        let vid = self.db.versions().new_version_from(&mut self.tx, base)?;
+        self.events.push(Event::NewVersion {
+            oid,
+            vid,
+            base,
+            tag,
+        });
+        Ok(vid)
+    }
+
+    /// Type-erased [`put`](Self::put): replace the latest version's
+    /// body with pre-encoded bytes, checking `tag` against the stored
+    /// type. Returns the version written.
+    pub fn put_raw(
+        &mut self,
+        oid: ode_object::Oid,
+        tag: ode_codec::TypeTag,
+        body: Vec<u8>,
+    ) -> Result<ode_object::Vid> {
+        let vid = self.db.versions().latest(&mut self.tx, oid)?;
+        self.db
+            .versions()
+            .write_body(&mut self.tx, vid, tag, body)?;
+        self.events.push(Event::Updated { oid, vid, tag });
+        Ok(vid)
+    }
+
+    /// Type-erased [`put_version`](Self::put_version).
+    pub fn put_version_raw(
+        &mut self,
+        vid: ode_object::Vid,
+        tag: ode_codec::TypeTag,
+        body: Vec<u8>,
+    ) -> Result<()> {
+        let oid = self.db.versions().object_of(&mut self.tx, vid)?;
+        self.db
+            .versions()
+            .write_body(&mut self.tx, vid, tag, body)?;
+        self.events.push(Event::Updated { oid, vid, tag });
+        Ok(())
+    }
+
+    /// Type-erased [`pdelete`](Self::pdelete).
+    pub fn pdelete_raw(&mut self, oid: ode_object::Oid) -> Result<()> {
+        let tag = self.db.versions().object_meta(&mut self.tx, oid)?.tag;
+        self.db.versions().delete_object(&mut self.tx, oid)?;
+        self.events.push(Event::ObjectDeleted { oid, tag });
+        Ok(())
+    }
+
+    /// Type-erased [`pdelete_version`](Self::pdelete_version).
+    pub fn pdelete_version_raw(&mut self, vid: ode_object::Vid) -> Result<()> {
+        let oid = self.db.versions().object_of(&mut self.tx, vid)?;
+        let tag = self.db.versions().object_meta(&mut self.tx, oid)?.tag;
+        self.db.versions().delete_version(&mut self.tx, vid)?;
+        self.events.push(Event::VersionDeleted { oid, vid, tag });
+        Ok(())
     }
 
     /// `pdelete p`: delete the object **and all its versions**.

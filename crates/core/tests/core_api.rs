@@ -4,7 +4,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use ode::{Database, DatabaseOptions, Error, Event, ObjPtr, VersionPtr};
+use ode::{Database, Error, Event, ObjPtr, VersionPtr};
 use ode_codec::{impl_persist_struct, impl_type_name};
 
 #[derive(Debug, Clone, PartialEq)]
@@ -32,37 +32,15 @@ struct AddressBook {
 impl_persist_struct!(AddressBook { people });
 impl_type_name!(AddressBook = "core-test/AddressBook");
 
-struct TempDb {
-    path: std::path::PathBuf,
-}
-
-impl TempDb {
-    fn new(name: &str) -> TempDb {
-        let mut path = std::env::temp_dir();
-        path.push(format!("ode-core-{name}-{}", std::process::id()));
-        let _ = std::fs::remove_file(&path);
-        let mut wal = path.clone().into_os_string();
-        wal.push(".wal");
-        let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
-        TempDb { path }
-    }
-
-    fn create(&self) -> Database {
-        Database::create(&self.path, DatabaseOptions::default()).unwrap()
-    }
-
-    fn open(&self) -> Database {
-        Database::open(&self.path, DatabaseOptions::default()).unwrap()
-    }
-}
-
-impl Drop for TempDb {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
-        let mut wal = self.path.clone().into_os_string();
-        wal.push(".wal");
-        let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
-    }
+/// `Database` is shared across server worker threads behind an `Arc`,
+/// and `Store` underpins that sharing — both must stay `Send + Sync`.
+/// Compile-time only: losing either bound breaks this test's build.
+#[test]
+fn database_and_store_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+    assert_send_sync::<ode_storage::Store>();
+    assert_send_sync::<std::sync::Arc<Database>>();
 }
 
 fn part(name: &str, weight: u32) -> Part {
@@ -74,8 +52,7 @@ fn part(name: &str, weight: u32) -> Part {
 
 #[test]
 fn pnew_and_deref() {
-    let tmp = TempDb::new("pnew");
-    let db = tmp.create();
+    let db = ode::testutil::tempdb();
     let mut txn = db.begin();
     let p = txn.pnew(&part("alu", 7)).unwrap();
     let guard = txn.deref(&p).unwrap();
@@ -87,8 +64,7 @@ fn pnew_and_deref() {
 
 #[test]
 fn generic_vs_specific_binding() {
-    let tmp = TempDb::new("binding");
-    let db = tmp.create();
+    let db = ode::testutil::tempdb();
     let mut txn = db.begin();
     let p = txn.pnew(&part("chip", 1)).unwrap();
     let v0 = txn.current_version(&p).unwrap();
@@ -111,8 +87,7 @@ fn address_book_dynamic_binding_scenario() {
     // Paper §4.3: "an address-book object that keeps track of current
     // addresses requires references to the latest versions of person
     // objects to access their latest addresses".
-    let tmp = TempDb::new("addressbook");
-    let db = tmp.create();
+    let db = ode::testutil::tempdb();
     let mut txn = db.begin();
     let alice = txn
         .pnew(&Person {
@@ -146,9 +121,8 @@ fn address_book_dynamic_binding_scenario() {
 
 #[test]
 fn persistence_across_reopen() {
-    let tmp = TempDb::new("persist");
+    let mut db = ode::testutil::tempdb();
     let (p, v0) = {
-        let db = tmp.create();
         let mut txn = db.begin();
         let p = txn.pnew(&part("alu", 7)).unwrap();
         let v0 = txn.current_version(&p).unwrap();
@@ -158,7 +132,7 @@ fn persistence_across_reopen() {
         (p, v0)
     };
     // Objects "automatically persist across program invocations".
-    let db = tmp.open();
+    db.reopen();
     let mut snap = db.snapshot();
     assert_eq!(snap.deref(&p).unwrap().weight, 8);
     assert_eq!(snap.deref_v(&v0).unwrap().weight, 7);
@@ -167,8 +141,7 @@ fn persistence_across_reopen() {
 
 #[test]
 fn aborted_transaction_leaves_no_trace() {
-    let tmp = TempDb::new("abort");
-    let db = tmp.create();
+    let db = ode::testutil::tempdb();
     let p = {
         let mut txn = db.begin();
         let p = txn.pnew(&part("keep", 1)).unwrap();
@@ -188,8 +161,7 @@ fn aborted_transaction_leaves_no_trace() {
 
 #[test]
 fn pdelete_object_and_version_semantics() {
-    let tmp = TempDb::new("pdelete");
-    let db = tmp.create();
+    let db = ode::testutil::tempdb();
     let mut txn = db.begin();
     let p = txn.pnew(&part("x", 0)).unwrap();
     let v0 = txn.current_version(&p).unwrap();
@@ -213,8 +185,7 @@ fn pdelete_object_and_version_semantics() {
 
 #[test]
 fn last_version_guard() {
-    let tmp = TempDb::new("lastver");
-    let db = tmp.create();
+    let db = ode::testutil::tempdb();
     let mut txn = db.begin();
     let p = txn.pnew(&part("only", 0)).unwrap();
     let v0 = txn.current_version(&p).unwrap();
@@ -227,8 +198,7 @@ fn last_version_guard() {
 
 #[test]
 fn traversal_operators() {
-    let tmp = TempDb::new("traverse");
-    let db = tmp.create();
+    let db = ode::testutil::tempdb();
     let mut txn = db.begin();
     let p = txn.pnew(&part("root", 0)).unwrap();
     let v0 = txn.current_version(&p).unwrap();
@@ -249,8 +219,7 @@ fn traversal_operators() {
 
 #[test]
 fn extent_queries_by_type() {
-    let tmp = TempDb::new("extent");
-    let db = tmp.create();
+    let db = ode::testutil::tempdb();
     let mut txn = db.begin();
     let p1 = txn.pnew(&part("a", 1)).unwrap();
     let p2 = txn.pnew(&part("b", 2)).unwrap();
@@ -270,8 +239,7 @@ fn extent_queries_by_type() {
 
 #[test]
 fn triggers_fire_after_commit_only() {
-    let tmp = TempDb::new("triggers");
-    let db = tmp.create();
+    let db = ode::testutil::tempdb();
     let p = {
         let mut txn = db.begin();
         let p = txn.pnew(&part("watched", 0)).unwrap();
@@ -304,8 +272,7 @@ fn triggers_fire_after_commit_only() {
 
 #[test]
 fn type_triggers_and_removal() {
-    let tmp = TempDb::new("typetriggers");
-    let db = tmp.create();
+    let db = ode::testutil::tempdb();
     let created = Arc::new(AtomicUsize::new(0));
     let c = Arc::clone(&created);
     let id = db.on_type::<Part>(move |ev| {
@@ -331,8 +298,7 @@ fn type_triggers_and_removal() {
 
 #[test]
 fn type_mismatch_via_forged_pointer() {
-    let tmp = TempDb::new("forged");
-    let db = tmp.create();
+    let db = ode::testutil::tempdb();
     let mut txn = db.begin();
     let p = txn.pnew(&part("real", 1)).unwrap();
     // Forge a Person pointer at the Part's oid.
@@ -352,8 +318,7 @@ fn type_mismatch_via_forged_pointer() {
 
 #[test]
 fn update_returns_written_version() {
-    let tmp = TempDb::new("updret");
-    let db = tmp.create();
+    let db = ode::testutil::tempdb();
     let mut txn = db.begin();
     let p = txn.pnew(&part("x", 1)).unwrap();
     let v = txn.update(&p, |c| c.weight = 5).unwrap();
@@ -370,8 +335,7 @@ fn update_returns_written_version() {
 
 #[test]
 fn derive_with_versions_and_edits_atomically() {
-    let tmp = TempDb::new("derivewith");
-    let db = tmp.create();
+    let db = ode::testutil::tempdb();
     let mut txn = db.begin();
     let p = txn.pnew(&part("base", 1)).unwrap();
     let v0 = txn.current_version(&p).unwrap();
@@ -393,8 +357,7 @@ fn derive_with_versions_and_edits_atomically() {
 
 #[test]
 fn snapshot_is_read_only_view() {
-    let tmp = TempDb::new("snapshot");
-    let db = tmp.create();
+    let db = ode::testutil::tempdb();
     let p = {
         let mut txn = db.begin();
         let p = txn.pnew(&part("s", 3)).unwrap();
@@ -409,8 +372,7 @@ fn snapshot_is_read_only_view() {
 
 #[test]
 fn many_objects_many_versions_stress() {
-    let tmp = TempDb::new("stress");
-    let db = tmp.create();
+    let db = ode::testutil::tempdb();
     let mut ptrs = Vec::new();
     {
         let mut txn = db.begin();
@@ -434,8 +396,7 @@ fn many_objects_many_versions_stress() {
 
 #[test]
 fn pending_events_accumulate_in_order() {
-    let tmp = TempDb::new("events");
-    let db = tmp.create();
+    let db = ode::testutil::tempdb();
     let mut txn = db.begin();
     let p = txn.pnew(&part("e", 0)).unwrap();
     txn.newversion(&p).unwrap();

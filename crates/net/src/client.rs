@@ -1,0 +1,567 @@
+//! The blocking Ode client.
+//!
+//! [`OdeClient`] speaks the wire protocol over one reused TCP
+//! connection and exposes typed methods mirroring the embedded
+//! [`ode::Txn`] API: values are encoded/decoded locally with
+//! [`ode_codec`], and references come back as [`ClientObjPtr`] /
+//! [`ClientVersionPtr`] — the same generic-vs-specific distinction as
+//! [`ode::ObjPtr`] / [`ode::VersionPtr`], carrying the raw [`Oid`] /
+//! [`Vid`].
+//!
+//! The connection is lazily (re)established. Idempotent reads are
+//! retried once on a fresh connection when the old one turns out to be
+//! dead (a server restart, an idle-timeout close); writes are never
+//! retried — an I/O error on a write leaves its outcome unknown and is
+//! surfaced to the caller.
+
+use std::fmt;
+use std::io::{self, BufReader, Write};
+use std::marker::PhantomData;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use ode::{ObjPtr, OdeType, Oid, TypeTag, VersionPtr, Vid};
+use ode_codec::{from_bytes, to_bytes};
+
+use crate::error::{NetError, Result};
+use crate::protocol::{read_frame, write_frame, Request, Response, StatsReport, MAGIC};
+
+/// Client tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Socket read timeout (`None` blocks forever).
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout (`None` blocks forever).
+    pub write_timeout: Option<Duration>,
+    /// Retry an idempotent read once on a fresh connection after an
+    /// I/O failure.
+    pub retry_reads: bool,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            retry_reads: true,
+        }
+    }
+}
+
+/// A generic (latest-version) reference held by a remote client.
+///
+/// The client-side analogue of [`ObjPtr`]: same identity, no borrow of
+/// a local database.
+pub struct ClientObjPtr<T> {
+    oid: Oid,
+    _marker: PhantomData<fn() -> T>,
+}
+
+/// A specific (pinned-version) reference held by a remote client; the
+/// analogue of [`VersionPtr`].
+pub struct ClientVersionPtr<T> {
+    vid: Vid,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> ClientObjPtr<T> {
+    /// Wrap a raw object id.
+    pub fn from_oid(oid: Oid) -> ClientObjPtr<T> {
+        ClientObjPtr {
+            oid,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The raw object id.
+    pub fn oid(self) -> Oid {
+        self.oid
+    }
+
+    /// The embedded-API pointer with the same identity (for code that
+    /// also opens the database file directly).
+    pub fn as_obj_ptr(self) -> ObjPtr<T> {
+        ObjPtr::from_oid(self.oid)
+    }
+}
+
+impl<T> ClientVersionPtr<T> {
+    /// Wrap a raw version id.
+    pub fn from_vid(vid: Vid) -> ClientVersionPtr<T> {
+        ClientVersionPtr {
+            vid,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The raw version id.
+    pub fn vid(self) -> Vid {
+        self.vid
+    }
+
+    /// The embedded-API pointer with the same identity.
+    pub fn as_version_ptr(self) -> VersionPtr<T> {
+        VersionPtr::from_vid(self.vid)
+    }
+}
+
+impl<T: OdeType> ClientObjPtr<T> {
+    /// The stable type tag of `T`.
+    pub fn tag() -> TypeTag {
+        ObjPtr::<T>::tag()
+    }
+}
+
+impl<T> From<ObjPtr<T>> for ClientObjPtr<T> {
+    fn from(p: ObjPtr<T>) -> ClientObjPtr<T> {
+        ClientObjPtr::from_oid(p.oid())
+    }
+}
+
+impl<T> From<VersionPtr<T>> for ClientVersionPtr<T> {
+    fn from(v: VersionPtr<T>) -> ClientVersionPtr<T> {
+        ClientVersionPtr::from_vid(v.vid())
+    }
+}
+
+// Manual impls: derive would wrongly require `T: Clone` etc.
+impl<T> Clone for ClientObjPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for ClientObjPtr<T> {}
+impl<T> PartialEq for ClientObjPtr<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.oid == other.oid
+    }
+}
+impl<T> Eq for ClientObjPtr<T> {}
+impl<T> fmt::Debug for ClientObjPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ClientObjPtr({})", self.oid)
+    }
+}
+impl<T> fmt::Display for ClientObjPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.oid)
+    }
+}
+impl<T> Clone for ClientVersionPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for ClientVersionPtr<T> {}
+impl<T> PartialEq for ClientVersionPtr<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.vid == other.vid
+    }
+}
+impl<T> Eq for ClientVersionPtr<T> {}
+impl<T> fmt::Debug for ClientVersionPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ClientVersionPtr({})", self.vid)
+    }
+}
+impl<T> fmt::Display for ClientVersionPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.vid)
+    }
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A blocking client for one Ode server.
+pub struct OdeClient {
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
+    conn: Option<Conn>,
+}
+
+impl OdeClient {
+    /// Connect to a server (handshake included), so configuration
+    /// errors surface here rather than on the first operation.
+    pub fn connect(addr: impl ToSocketAddrs, config: ClientConfig) -> Result<OdeClient> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(NetError::Io(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )));
+        }
+        let mut client = OdeClient {
+            addrs,
+            config,
+            conn: None,
+        };
+        client.reconnect()?;
+        Ok(client)
+    }
+
+    /// Drop the current connection; the next operation dials anew.
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    fn reconnect(&mut self) -> Result<()> {
+        self.conn = None;
+        let stream = TcpStream::connect(&self.addrs[..])?;
+        stream.set_read_timeout(self.config.read_timeout)?;
+        stream.set_write_timeout(self.config.write_timeout)?;
+        stream.set_nodelay(true).ok();
+        let mut writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        writer.write_all(&MAGIC)?;
+        writer.flush()?;
+        let mut echo = [0u8; 4];
+        io::Read::read_exact(&mut reader, &mut echo)?;
+        if echo != MAGIC {
+            return Err(NetError::Protocol(
+                "server did not echo the handshake magic".into(),
+            ));
+        }
+        self.conn = Some(Conn { reader, writer });
+        Ok(())
+    }
+
+    fn roundtrip(&mut self, payload: &[u8]) -> Result<Response> {
+        if self.conn.is_none() {
+            self.reconnect()?;
+        }
+        let conn = self.conn.as_mut().expect("connection just established");
+        let result = (|| {
+            write_frame(&mut conn.writer, payload)?;
+            conn.writer.flush()?;
+            match read_frame(&mut conn.reader)? {
+                Some(frame) => Response::decode(&frame),
+                None => Err(NetError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ))),
+            }
+        })();
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response> {
+        let payload = request.encode();
+        match self.roundtrip(&payload) {
+            Err(NetError::Io(_)) if request.is_read() && self.config.retry_reads => {
+                self.roundtrip(&payload)
+            }
+            other => other,
+        }
+    }
+
+    // -- liveness & stats ---------------------------------------------------
+
+    /// Round-trip a ping.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Fetch the server's statistics counters.
+    pub fn stats(&mut self) -> Result<StatsReport> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(report) => Ok(report),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    // -- typed operations (mirror ode::Txn) ---------------------------------
+
+    /// `pnew`: create a persistent object on the server.
+    pub fn pnew<T: OdeType>(&mut self, value: &T) -> Result<ClientObjPtr<T>> {
+        let response = self.call(&Request::Pnew {
+            tag: ObjPtr::<T>::tag(),
+            body: to_bytes(value),
+        })?;
+        match response {
+            Response::Created { oid, .. } => Ok(ClientObjPtr::from_oid(oid)),
+            other => Err(unexpected("created", &other)),
+        }
+    }
+
+    /// Dereference a generic reference: the latest version's value plus
+    /// a pinned pointer to the version it came from.
+    pub fn deref<T: OdeType>(&mut self, ptr: &ClientObjPtr<T>) -> Result<(T, ClientVersionPtr<T>)> {
+        let response = self.call(&Request::Deref {
+            oid: ptr.oid,
+            tag: ObjPtr::<T>::tag(),
+        })?;
+        match response {
+            Response::Body { vid, bytes } => {
+                Ok((from_bytes(&bytes)?, ClientVersionPtr::from_vid(vid)))
+            }
+            other => Err(unexpected("body", &other)),
+        }
+    }
+
+    /// Dereference a specific reference.
+    pub fn deref_v<T: OdeType>(&mut self, vp: &ClientVersionPtr<T>) -> Result<T> {
+        let response = self.call(&Request::DerefVersion {
+            vid: vp.vid,
+            tag: VersionPtr::<T>::tag(),
+        })?;
+        match response {
+            Response::Body { bytes, .. } => Ok(from_bytes(&bytes)?),
+            other => Err(unexpected("body", &other)),
+        }
+    }
+
+    /// Replace the latest version's state; returns the version written.
+    pub fn put<T: OdeType>(
+        &mut self,
+        ptr: &ClientObjPtr<T>,
+        value: &T,
+    ) -> Result<ClientVersionPtr<T>> {
+        let response = self.call(&Request::Update {
+            oid: ptr.oid,
+            tag: ObjPtr::<T>::tag(),
+            body: to_bytes(value),
+        })?;
+        match response {
+            Response::Version(vid) => Ok(ClientVersionPtr::from_vid(vid)),
+            other => Err(unexpected("version", &other)),
+        }
+    }
+
+    /// Replace a specific version's state.
+    pub fn put_version<T: OdeType>(&mut self, vp: &ClientVersionPtr<T>, value: &T) -> Result<()> {
+        let response = self.call(&Request::UpdateVersion {
+            vid: vp.vid,
+            tag: VersionPtr::<T>::tag(),
+            body: to_bytes(value),
+        })?;
+        match response {
+            Response::Unit => Ok(()),
+            other => Err(unexpected("unit", &other)),
+        }
+    }
+
+    /// `newversion(p)`: derive a new version from the object's latest.
+    pub fn newversion<T: OdeType>(&mut self, ptr: &ClientObjPtr<T>) -> Result<ClientVersionPtr<T>> {
+        match self.call(&Request::NewVersion { oid: ptr.oid })? {
+            Response::Version(vid) => Ok(ClientVersionPtr::from_vid(vid)),
+            other => Err(unexpected("version", &other)),
+        }
+    }
+
+    /// `newversion(vp)`: derive from a specific base version.
+    pub fn newversion_from<T: OdeType>(
+        &mut self,
+        vp: &ClientVersionPtr<T>,
+    ) -> Result<ClientVersionPtr<T>> {
+        match self.call(&Request::NewVersionFrom { vid: vp.vid })? {
+            Response::Version(vid) => Ok(ClientVersionPtr::from_vid(vid)),
+            other => Err(unexpected("version", &other)),
+        }
+    }
+
+    /// `pdelete p`: delete the object and all its versions.
+    pub fn pdelete<T: OdeType>(&mut self, ptr: ClientObjPtr<T>) -> Result<()> {
+        match self.call(&Request::Pdelete { oid: ptr.oid })? {
+            Response::Unit => Ok(()),
+            other => Err(unexpected("unit", &other)),
+        }
+    }
+
+    /// `pdelete vp`: delete one specific version.
+    pub fn pdelete_version<T: OdeType>(&mut self, vp: ClientVersionPtr<T>) -> Result<()> {
+        match self.call(&Request::PdeleteVersion { vid: vp.vid })? {
+            Response::Unit => Ok(()),
+            other => Err(unexpected("unit", &other)),
+        }
+    }
+
+    /// `Dprevious`: the version `vp` was derived from.
+    pub fn dprevious<T: OdeType>(
+        &mut self,
+        vp: &ClientVersionPtr<T>,
+    ) -> Result<Option<ClientVersionPtr<T>>> {
+        self.maybe_version(&Request::Dprevious { vid: vp.vid })
+    }
+
+    /// `Dnext`: versions derived from `vp`, in creation order.
+    pub fn dnext<T: OdeType>(
+        &mut self,
+        vp: &ClientVersionPtr<T>,
+    ) -> Result<Vec<ClientVersionPtr<T>>> {
+        self.versions(&Request::Dnext { vid: vp.vid })
+    }
+
+    /// `Tprevious`: the version created immediately before `vp`.
+    pub fn tprevious<T: OdeType>(
+        &mut self,
+        vp: &ClientVersionPtr<T>,
+    ) -> Result<Option<ClientVersionPtr<T>>> {
+        self.maybe_version(&Request::Tprevious { vid: vp.vid })
+    }
+
+    /// `Tnext`: the version created immediately after `vp`.
+    pub fn tnext<T: OdeType>(
+        &mut self,
+        vp: &ClientVersionPtr<T>,
+    ) -> Result<Option<ClientVersionPtr<T>>> {
+        self.maybe_version(&Request::Tnext { vid: vp.vid })
+    }
+
+    /// All versions of an object in temporal (creation) order.
+    pub fn version_history<T: OdeType>(
+        &mut self,
+        ptr: &ClientObjPtr<T>,
+    ) -> Result<Vec<ClientVersionPtr<T>>> {
+        self.versions(&Request::VersionHistory { oid: ptr.oid })
+    }
+
+    /// Pin the object's current latest version.
+    pub fn current_version<T: OdeType>(
+        &mut self,
+        ptr: &ClientObjPtr<T>,
+    ) -> Result<ClientVersionPtr<T>> {
+        match self.call(&Request::CurrentVersion { oid: ptr.oid })? {
+            Response::Version(vid) => Ok(ClientVersionPtr::from_vid(vid)),
+            other => Err(unexpected("version", &other)),
+        }
+    }
+
+    /// The object a version belongs to.
+    pub fn object_of<T: OdeType>(&mut self, vp: &ClientVersionPtr<T>) -> Result<ClientObjPtr<T>> {
+        match self.call(&Request::ObjectOf { vid: vp.vid })? {
+            Response::Object(oid) => Ok(ClientObjPtr::from_oid(oid)),
+            other => Err(unexpected("object", &other)),
+        }
+    }
+
+    /// Extent query: every live object of type `T` on the server.
+    pub fn objects<T: OdeType>(&mut self) -> Result<Vec<ClientObjPtr<T>>> {
+        match self.call(&Request::Objects {
+            tag: ObjPtr::<T>::tag(),
+        })? {
+            Response::Objects(oids) => Ok(oids.into_iter().map(ClientObjPtr::from_oid).collect()),
+            other => Err(unexpected("objects", &other)),
+        }
+    }
+
+    /// A page of the type's extent: up to `limit` objects with ids
+    /// `>= after` (pass [`Oid::NULL`] to start).
+    pub fn objects_page<T: OdeType>(
+        &mut self,
+        after: Oid,
+        limit: u64,
+    ) -> Result<Vec<ClientObjPtr<T>>> {
+        match self.call(&Request::ObjectsPage {
+            tag: ObjPtr::<T>::tag(),
+            after,
+            limit,
+        })? {
+            Response::Objects(oids) => Ok(oids.into_iter().map(ClientObjPtr::from_oid).collect()),
+            other => Err(unexpected("objects", &other)),
+        }
+    }
+
+    /// Number of live versions of an object.
+    pub fn version_count<T: OdeType>(&mut self, ptr: &ClientObjPtr<T>) -> Result<u64> {
+        match self.call(&Request::VersionCount { oid: ptr.oid })? {
+            Response::Count(n) => Ok(n),
+            other => Err(unexpected("count", &other)),
+        }
+    }
+
+    /// Whether the object still exists.
+    pub fn exists<T: OdeType>(&mut self, ptr: &ClientObjPtr<T>) -> Result<bool> {
+        match self.call(&Request::Exists { oid: ptr.oid })? {
+            Response::Flag(b) => Ok(b),
+            other => Err(unexpected("flag", &other)),
+        }
+    }
+
+    /// Whether the version still exists.
+    pub fn version_exists<T: OdeType>(&mut self, vp: &ClientVersionPtr<T>) -> Result<bool> {
+        match self.call(&Request::VersionExists { vid: vp.vid })? {
+            Response::Flag(b) => Ok(b),
+            other => Err(unexpected("flag", &other)),
+        }
+    }
+
+    // -- raw (type-erased) operations ---------------------------------------
+
+    /// Type-erased `pnew` from an already-encoded body.
+    pub fn pnew_raw(&mut self, tag: TypeTag, body: Vec<u8>) -> Result<(Oid, Vid)> {
+        match self.call(&Request::Pnew { tag, body })? {
+            Response::Created { oid, vid } => Ok((oid, vid)),
+            other => Err(unexpected("created", &other)),
+        }
+    }
+
+    /// Type-erased `deref`: the latest version id and encoded body.
+    pub fn deref_raw(&mut self, oid: Oid, tag: TypeTag) -> Result<(Vid, Vec<u8>)> {
+        match self.call(&Request::Deref { oid, tag })? {
+            Response::Body { vid, bytes } => Ok((vid, bytes)),
+            other => Err(unexpected("body", &other)),
+        }
+    }
+
+    fn maybe_version<T>(&mut self, request: &Request) -> Result<Option<ClientVersionPtr<T>>> {
+        match self.call(request)? {
+            Response::MaybeVersion(vid) => Ok(vid.map(ClientVersionPtr::from_vid)),
+            other => Err(unexpected("maybe_version", &other)),
+        }
+    }
+
+    fn versions<T>(&mut self, request: &Request) -> Result<Vec<ClientVersionPtr<T>>> {
+        match self.call(request)? {
+            Response::Versions(vids) => {
+                Ok(vids.into_iter().map(ClientVersionPtr::from_vid).collect())
+            }
+            other => Err(unexpected("versions", &other)),
+        }
+    }
+}
+
+/// Fold an error frame into [`NetError::Remote`]; anything else of the
+/// wrong shape is a protocol violation.
+fn unexpected(wanted: &str, got: &Response) -> NetError {
+    match got {
+        Response::Err(e) => NetError::Remote(e.clone()),
+        other => NetError::Protocol(format!(
+            "expected a {wanted} response, got {}",
+            other.kind_name()
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+
+    #[test]
+    fn client_pointers_are_copy_eq() {
+        let p: ClientObjPtr<Dummy> = ClientObjPtr::from_oid(Oid(3));
+        let q = p;
+        assert_eq!(p, q);
+        assert_eq!(p.oid(), Oid(3));
+        let v: ClientVersionPtr<Dummy> = ClientVersionPtr::from_vid(Vid(4));
+        assert_eq!(v, v);
+        assert_eq!(v.as_version_ptr().vid(), Vid(4));
+    }
+
+    #[test]
+    fn pointers_convert_to_and_from_embedded_api() {
+        let p: ObjPtr<Dummy> = ObjPtr::from_oid(Oid(7));
+        let c: ClientObjPtr<Dummy> = p.into();
+        assert_eq!(c.as_obj_ptr(), p);
+    }
+}

@@ -1,0 +1,43 @@
+//! # ode-net — networked access to an Ode database
+//!
+//! The paper's O++ programs run *in-process* against the database; this
+//! crate adds the client/server deployment shape: a TCP server
+//! ([`OdeServer`]) wrapping a shared [`ode::Database`], a compact
+//! binary wire protocol ([`protocol`]) carrying the full O++ operation
+//! set (`pnew`, generic/specific dereference, `newversion` in both
+//! forms, `pdelete` of objects and versions, the four derived-from /
+//! temporal traversals, extent scans), and a blocking typed client
+//! ([`OdeClient`]) whose [`ClientObjPtr`] / [`ClientVersionPtr`]
+//! preserve the generic-vs-specific reference distinction across the
+//! network.
+//!
+//! Built on `std::net` only — no async runtime. One request maps to one
+//! server-side snapshot (reads) or one committed transaction (writes),
+//! so a successful write response implies WAL durability, and a client
+//! reconnecting after a server restart sees every version it was ever
+//! acknowledged.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use ode::{Database, DatabaseOptions};
+//! use ode_net::{ClientConfig, OdeClient, OdeServer, ServerConfig};
+//!
+//! let db = Arc::new(Database::create("parts.odb", DatabaseOptions::default()).unwrap());
+//! let server = OdeServer::bind(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let mut client = OdeClient::connect(server.local_addr(), ClientConfig::default()).unwrap();
+//! client.ping().unwrap();
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod error;
+pub mod protocol;
+mod server;
+
+pub use client::{ClientConfig, ClientObjPtr, ClientVersionPtr, OdeClient};
+pub use error::{NetError, RemoteError, Result};
+pub use protocol::{Opcode, StatsReport};
+pub use server::{OdeServer, ServerConfig};

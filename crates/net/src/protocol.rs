@@ -1,0 +1,1049 @@
+//! The Ode wire protocol.
+//!
+//! A connection starts with a 4-byte handshake: the client sends
+//! [`MAGIC`] (`"ODE"` plus a protocol-version byte) and the server
+//! echoes it back. After that the stream is a sequence of
+//! **length-prefixed frames** in each direction: a LEB128 varint byte
+//! count followed by that many payload bytes. Requests and responses
+//! use the same framing; every request frame is answered by exactly one
+//! response frame, in order.
+//!
+//! A request payload is an opcode byte followed by the operation's
+//! fields; a response payload is a response-kind byte followed by the
+//! result fields. All integers (ids, tags, counts, lengths) are LEB128
+//! varints via [`ode_codec`]'s writer/reader; object bodies travel as
+//! length-prefixed byte strings holding their normal [`ode_codec`]
+//! `Persist` encoding — the server never decodes bodies, it stores and
+//! serves the client's bytes and only checks the type tag.
+//!
+//! The full opcode table lives in the README ("Running Ode as a
+//! server"); [`Opcode`] is the authoritative enumeration.
+
+use std::io::{self, Read, Write};
+
+use ode::{Oid, TypeTag, Vid};
+use ode_codec::{varint, Reader, Writer};
+
+use crate::error::{NetError, RemoteError, Result};
+
+/// Connection handshake: `"ODE"` + protocol version byte.
+pub const MAGIC: [u8; 4] = *b"ODE\x01";
+
+/// Upper bound on a single frame's payload, guarding both sides
+/// against allocating unbounded memory on a corrupt length prefix.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+// ---------------------------------------------------------------------------
+// Opcodes
+// ---------------------------------------------------------------------------
+
+/// Request opcodes — the first byte of every request payload.
+///
+/// The numeric values are the wire encoding and also index the server's
+/// per-opcode request counters; they are append-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Liveness probe.
+    Ping = 0,
+    /// Server statistics snapshot.
+    Stats = 1,
+    /// `pnew`: create an object from a tag + encoded body.
+    Pnew = 2,
+    /// Dereference a generic reference (latest version).
+    Deref = 3,
+    /// Dereference a specific version.
+    DerefVersion = 4,
+    /// Replace the latest version's body.
+    Update = 5,
+    /// Replace a specific version's body.
+    UpdateVersion = 6,
+    /// Derive a new version from the object's latest.
+    NewVersion = 7,
+    /// Derive a new version from a specific base version.
+    NewVersionFrom = 8,
+    /// Delete an object and all its versions.
+    Pdelete = 9,
+    /// Delete one specific version.
+    PdeleteVersion = 10,
+    /// Derived-from predecessor.
+    Dprevious = 11,
+    /// Derived-from successors.
+    Dnext = 12,
+    /// Temporal predecessor.
+    Tprevious = 13,
+    /// Temporal successor.
+    Tnext = 14,
+    /// All versions of an object in temporal order.
+    VersionHistory = 15,
+    /// Pin the current latest version.
+    CurrentVersion = 16,
+    /// Extent scan: all live objects of a type.
+    Objects = 17,
+    /// Extent page: objects of a type from a cursor.
+    ObjectsPage = 18,
+    /// The object a version belongs to.
+    ObjectOf = 19,
+    /// Number of live versions of an object.
+    VersionCount = 20,
+    /// Whether an object exists.
+    Exists = 21,
+    /// Whether a version exists.
+    VersionExists = 22,
+}
+
+/// Number of opcodes (size of the server's per-opcode counter array).
+pub const OPCODE_COUNT: usize = 23;
+
+impl Opcode {
+    /// Every opcode, in wire order.
+    pub const ALL: [Opcode; OPCODE_COUNT] = [
+        Opcode::Ping,
+        Opcode::Stats,
+        Opcode::Pnew,
+        Opcode::Deref,
+        Opcode::DerefVersion,
+        Opcode::Update,
+        Opcode::UpdateVersion,
+        Opcode::NewVersion,
+        Opcode::NewVersionFrom,
+        Opcode::Pdelete,
+        Opcode::PdeleteVersion,
+        Opcode::Dprevious,
+        Opcode::Dnext,
+        Opcode::Tprevious,
+        Opcode::Tnext,
+        Opcode::VersionHistory,
+        Opcode::CurrentVersion,
+        Opcode::Objects,
+        Opcode::ObjectsPage,
+        Opcode::ObjectOf,
+        Opcode::VersionCount,
+        Opcode::Exists,
+        Opcode::VersionExists,
+    ];
+
+    /// Decode a wire byte.
+    pub fn from_u8(b: u8) -> Option<Opcode> {
+        Opcode::ALL.get(b as usize).copied()
+    }
+
+    /// Human-readable name (stats displays, CLI output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Ping => "ping",
+            Opcode::Stats => "stats",
+            Opcode::Pnew => "pnew",
+            Opcode::Deref => "deref",
+            Opcode::DerefVersion => "deref_version",
+            Opcode::Update => "update",
+            Opcode::UpdateVersion => "update_version",
+            Opcode::NewVersion => "newversion",
+            Opcode::NewVersionFrom => "newversion_from",
+            Opcode::Pdelete => "pdelete",
+            Opcode::PdeleteVersion => "pdelete_version",
+            Opcode::Dprevious => "dprevious",
+            Opcode::Dnext => "dnext",
+            Opcode::Tprevious => "tprevious",
+            Opcode::Tnext => "tnext",
+            Opcode::VersionHistory => "version_history",
+            Opcode::CurrentVersion => "current_version",
+            Opcode::Objects => "objects",
+            Opcode::ObjectsPage => "objects_page",
+            Opcode::ObjectOf => "object_of",
+            Opcode::VersionCount => "version_count",
+            Opcode::Exists => "exists",
+            Opcode::VersionExists => "version_exists",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// One request frame's decoded payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Server statistics snapshot.
+    Stats,
+    /// Create an object: first version holds `body` (already
+    /// `Persist`-encoded by the client).
+    Pnew {
+        /// Stored type tag of the object's type.
+        tag: TypeTag,
+        /// Encoded first-version body.
+        body: Vec<u8>,
+    },
+    /// Latest version's body of `oid`, type-checked against `tag`.
+    Deref {
+        /// Object to dereference.
+        oid: Oid,
+        /// Expected type tag.
+        tag: TypeTag,
+    },
+    /// A specific version's body, type-checked against `tag`.
+    DerefVersion {
+        /// Version to dereference.
+        vid: Vid,
+        /// Expected type tag.
+        tag: TypeTag,
+    },
+    /// Replace the latest version's body.
+    Update {
+        /// Object whose latest version to overwrite.
+        oid: Oid,
+        /// Expected type tag.
+        tag: TypeTag,
+        /// New encoded body.
+        body: Vec<u8>,
+    },
+    /// Replace a specific version's body.
+    UpdateVersion {
+        /// Version to overwrite.
+        vid: Vid,
+        /// Expected type tag.
+        tag: TypeTag,
+        /// New encoded body.
+        body: Vec<u8>,
+    },
+    /// Derive a new version from the object's latest.
+    NewVersion {
+        /// Object to version.
+        oid: Oid,
+    },
+    /// Derive a new version from a specific base.
+    NewVersionFrom {
+        /// Base version.
+        vid: Vid,
+    },
+    /// Delete an object and all its versions.
+    Pdelete {
+        /// Object to delete.
+        oid: Oid,
+    },
+    /// Delete one specific version.
+    PdeleteVersion {
+        /// Version to delete.
+        vid: Vid,
+    },
+    /// Derived-from predecessor of `vid`.
+    Dprevious {
+        /// Version to traverse from.
+        vid: Vid,
+    },
+    /// Derived-from successors of `vid`.
+    Dnext {
+        /// Version to traverse from.
+        vid: Vid,
+    },
+    /// Temporal predecessor of `vid`.
+    Tprevious {
+        /// Version to traverse from.
+        vid: Vid,
+    },
+    /// Temporal successor of `vid`.
+    Tnext {
+        /// Version to traverse from.
+        vid: Vid,
+    },
+    /// All versions of `oid` in temporal order.
+    VersionHistory {
+        /// Object to list.
+        oid: Oid,
+    },
+    /// Pin `oid`'s current latest version.
+    CurrentVersion {
+        /// Object to pin.
+        oid: Oid,
+    },
+    /// Extent scan: all live objects tagged `tag`.
+    Objects {
+        /// Type tag of the extent.
+        tag: TypeTag,
+    },
+    /// Extent page: up to `limit` objects tagged `tag` with ids `>=
+    /// after`.
+    ObjectsPage {
+        /// Type tag of the extent.
+        tag: TypeTag,
+        /// Cursor: smallest id to return.
+        after: Oid,
+        /// Maximum number of objects.
+        limit: u64,
+    },
+    /// The object `vid` belongs to.
+    ObjectOf {
+        /// Version to resolve.
+        vid: Vid,
+    },
+    /// Number of live versions of `oid`.
+    VersionCount {
+        /// Object to count.
+        oid: Oid,
+    },
+    /// Whether `oid` exists.
+    Exists {
+        /// Object to probe.
+        oid: Oid,
+    },
+    /// Whether `vid` exists.
+    VersionExists {
+        /// Version to probe.
+        vid: Vid,
+    },
+}
+
+impl Request {
+    /// This request's opcode.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Request::Ping => Opcode::Ping,
+            Request::Stats => Opcode::Stats,
+            Request::Pnew { .. } => Opcode::Pnew,
+            Request::Deref { .. } => Opcode::Deref,
+            Request::DerefVersion { .. } => Opcode::DerefVersion,
+            Request::Update { .. } => Opcode::Update,
+            Request::UpdateVersion { .. } => Opcode::UpdateVersion,
+            Request::NewVersion { .. } => Opcode::NewVersion,
+            Request::NewVersionFrom { .. } => Opcode::NewVersionFrom,
+            Request::Pdelete { .. } => Opcode::Pdelete,
+            Request::PdeleteVersion { .. } => Opcode::PdeleteVersion,
+            Request::Dprevious { .. } => Opcode::Dprevious,
+            Request::Dnext { .. } => Opcode::Dnext,
+            Request::Tprevious { .. } => Opcode::Tprevious,
+            Request::Tnext { .. } => Opcode::Tnext,
+            Request::VersionHistory { .. } => Opcode::VersionHistory,
+            Request::CurrentVersion { .. } => Opcode::CurrentVersion,
+            Request::Objects { .. } => Opcode::Objects,
+            Request::ObjectsPage { .. } => Opcode::ObjectsPage,
+            Request::ObjectOf { .. } => Opcode::ObjectOf,
+            Request::VersionCount { .. } => Opcode::VersionCount,
+            Request::Exists { .. } => Opcode::Exists,
+            Request::VersionExists { .. } => Opcode::VersionExists,
+        }
+    }
+
+    /// Whether this request only reads — readable from a snapshot, and
+    /// safe for the client to retry once over a fresh connection.
+    pub fn is_read(&self) -> bool {
+        !matches!(
+            self,
+            Request::Pnew { .. }
+                | Request::Update { .. }
+                | Request::UpdateVersion { .. }
+                | Request::NewVersion { .. }
+                | Request::NewVersionFrom { .. }
+                | Request::Pdelete { .. }
+                | Request::PdeleteVersion { .. }
+        )
+    }
+
+    /// Encode into a frame payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(self.opcode() as u8);
+        match self {
+            Request::Ping | Request::Stats => {}
+            Request::Pnew { tag, body } => {
+                w.put_varint(tag.0);
+                w.put_bytes(body);
+            }
+            Request::Deref { oid, tag } => {
+                w.put_varint(oid.0);
+                w.put_varint(tag.0);
+            }
+            Request::DerefVersion { vid, tag } => {
+                w.put_varint(vid.0);
+                w.put_varint(tag.0);
+            }
+            Request::Update { oid, tag, body } => {
+                w.put_varint(oid.0);
+                w.put_varint(tag.0);
+                w.put_bytes(body);
+            }
+            Request::UpdateVersion { vid, tag, body } => {
+                w.put_varint(vid.0);
+                w.put_varint(tag.0);
+                w.put_bytes(body);
+            }
+            Request::NewVersion { oid }
+            | Request::Pdelete { oid }
+            | Request::VersionHistory { oid }
+            | Request::CurrentVersion { oid }
+            | Request::VersionCount { oid }
+            | Request::Exists { oid } => {
+                w.put_varint(oid.0);
+            }
+            Request::NewVersionFrom { vid }
+            | Request::PdeleteVersion { vid }
+            | Request::Dprevious { vid }
+            | Request::Dnext { vid }
+            | Request::Tprevious { vid }
+            | Request::Tnext { vid }
+            | Request::ObjectOf { vid }
+            | Request::VersionExists { vid } => {
+                w.put_varint(vid.0);
+            }
+            Request::Objects { tag } => {
+                w.put_varint(tag.0);
+            }
+            Request::ObjectsPage { tag, after, limit } => {
+                w.put_varint(tag.0);
+                w.put_varint(after.0);
+                w.put_varint(*limit);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload. Strict: unknown opcodes and trailing
+    /// bytes are protocol errors.
+    pub fn decode(payload: &[u8]) -> Result<Request> {
+        let mut r = Reader::new(payload);
+        let op = r.get_u8()?;
+        let op = Opcode::from_u8(op)
+            .ok_or_else(|| NetError::Protocol(format!("unknown request opcode {op}")))?;
+        let req = match op {
+            Opcode::Ping => Request::Ping,
+            Opcode::Stats => Request::Stats,
+            Opcode::Pnew => Request::Pnew {
+                tag: TypeTag(r.get_varint()?),
+                body: r.get_bytes()?.to_vec(),
+            },
+            Opcode::Deref => Request::Deref {
+                oid: Oid(r.get_varint()?),
+                tag: TypeTag(r.get_varint()?),
+            },
+            Opcode::DerefVersion => Request::DerefVersion {
+                vid: Vid(r.get_varint()?),
+                tag: TypeTag(r.get_varint()?),
+            },
+            Opcode::Update => Request::Update {
+                oid: Oid(r.get_varint()?),
+                tag: TypeTag(r.get_varint()?),
+                body: r.get_bytes()?.to_vec(),
+            },
+            Opcode::UpdateVersion => Request::UpdateVersion {
+                vid: Vid(r.get_varint()?),
+                tag: TypeTag(r.get_varint()?),
+                body: r.get_bytes()?.to_vec(),
+            },
+            Opcode::NewVersion => Request::NewVersion {
+                oid: Oid(r.get_varint()?),
+            },
+            Opcode::NewVersionFrom => Request::NewVersionFrom {
+                vid: Vid(r.get_varint()?),
+            },
+            Opcode::Pdelete => Request::Pdelete {
+                oid: Oid(r.get_varint()?),
+            },
+            Opcode::PdeleteVersion => Request::PdeleteVersion {
+                vid: Vid(r.get_varint()?),
+            },
+            Opcode::Dprevious => Request::Dprevious {
+                vid: Vid(r.get_varint()?),
+            },
+            Opcode::Dnext => Request::Dnext {
+                vid: Vid(r.get_varint()?),
+            },
+            Opcode::Tprevious => Request::Tprevious {
+                vid: Vid(r.get_varint()?),
+            },
+            Opcode::Tnext => Request::Tnext {
+                vid: Vid(r.get_varint()?),
+            },
+            Opcode::VersionHistory => Request::VersionHistory {
+                oid: Oid(r.get_varint()?),
+            },
+            Opcode::CurrentVersion => Request::CurrentVersion {
+                oid: Oid(r.get_varint()?),
+            },
+            Opcode::Objects => Request::Objects {
+                tag: TypeTag(r.get_varint()?),
+            },
+            Opcode::ObjectsPage => Request::ObjectsPage {
+                tag: TypeTag(r.get_varint()?),
+                after: Oid(r.get_varint()?),
+                limit: r.get_varint()?,
+            },
+            Opcode::ObjectOf => Request::ObjectOf {
+                vid: Vid(r.get_varint()?),
+            },
+            Opcode::VersionCount => Request::VersionCount {
+                oid: Oid(r.get_varint()?),
+            },
+            Opcode::Exists => Request::Exists {
+                oid: Oid(r.get_varint()?),
+            },
+            Opcode::VersionExists => Request::VersionExists {
+                vid: Vid(r.get_varint()?),
+            },
+        };
+        if r.remaining() != 0 {
+            return Err(NetError::Protocol(format!(
+                "{} trailing bytes after {} request",
+                r.remaining(),
+                op.name()
+            )));
+        }
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Response-kind byte values (first byte of every response payload).
+mod kind {
+    pub const PONG: u8 = 0;
+    pub const STATS: u8 = 1;
+    pub const CREATED: u8 = 2;
+    pub const VERSION: u8 = 3;
+    pub const BODY: u8 = 4;
+    pub const UNIT: u8 = 5;
+    pub const MAYBE_VERSION: u8 = 6;
+    pub const VERSIONS: u8 = 7;
+    pub const OBJECTS: u8 = 8;
+    pub const OBJECT: u8 = 9;
+    pub const COUNT: u8 = 10;
+    pub const FLAG: u8 = 11;
+    pub const ERR: u8 = 255;
+}
+
+/// Server statistics, shipped by the `Stats` opcode.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsReport {
+    /// Connections currently in a session (post-handshake).
+    pub active_connections: u64,
+    /// Connections accepted over the server's lifetime.
+    pub total_connections: u64,
+    /// Frame payload bytes received (length prefixes included).
+    pub bytes_in: u64,
+    /// Frame payload bytes sent (length prefixes included).
+    pub bytes_out: u64,
+    /// Frames that violated the protocol (bad opcode, bad payload).
+    pub protocol_errors: u64,
+    /// Requests that executed and failed (error frames sent).
+    pub op_errors: u64,
+    /// Per-opcode request counts; only non-zero entries are listed.
+    pub requests: Vec<(Opcode, u64)>,
+}
+
+impl StatsReport {
+    /// The count recorded for one opcode.
+    pub fn requests_for(&self, op: Opcode) -> u64 {
+        self.requests
+            .iter()
+            .find(|(o, _)| *o == op)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    /// Total requests across every opcode.
+    pub fn total_requests(&self) -> u64 {
+        self.requests.iter().map(|(_, n)| *n).sum()
+    }
+
+    fn encode_into(&self, w: &mut Writer) {
+        w.put_varint(self.active_connections);
+        w.put_varint(self.total_connections);
+        w.put_varint(self.bytes_in);
+        w.put_varint(self.bytes_out);
+        w.put_varint(self.protocol_errors);
+        w.put_varint(self.op_errors);
+        w.put_varint(self.requests.len() as u64);
+        for (op, n) in &self.requests {
+            w.put_u8(*op as u8);
+            w.put_varint(*n);
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<StatsReport> {
+        let active_connections = r.get_varint()?;
+        let total_connections = r.get_varint()?;
+        let bytes_in = r.get_varint()?;
+        let bytes_out = r.get_varint()?;
+        let protocol_errors = r.get_varint()?;
+        let op_errors = r.get_varint()?;
+        let n = r.get_count()?;
+        let mut requests = Vec::with_capacity(n.min(OPCODE_COUNT));
+        for _ in 0..n {
+            let op = r.get_u8()?;
+            let op = Opcode::from_u8(op)
+                .ok_or_else(|| NetError::Protocol(format!("unknown stats opcode {op}")))?;
+            requests.push((op, r.get_varint()?));
+        }
+        Ok(StatsReport {
+            active_connections,
+            total_connections,
+            bytes_in,
+            bytes_out,
+            protocol_errors,
+            op_errors,
+            requests,
+        })
+    }
+}
+
+/// One response frame's decoded payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Reply to `Ping`.
+    Pong,
+    /// Reply to `Stats`.
+    Stats(StatsReport),
+    /// Reply to `Pnew`: the new object and its first version.
+    Created {
+        /// New object id.
+        oid: Oid,
+        /// Its first version.
+        vid: Vid,
+    },
+    /// A single version id (`NewVersion`, `NewVersionFrom`, `Update`,
+    /// `CurrentVersion`).
+    Version(Vid),
+    /// An encoded body plus the version it came from (`Deref`,
+    /// `DerefVersion`).
+    Body {
+        /// The version the body belongs to (for `Deref`, the resolved
+        /// latest).
+        vid: Vid,
+        /// `Persist`-encoded object state.
+        bytes: Vec<u8>,
+    },
+    /// Success with nothing to return (`UpdateVersion`, `Pdelete`,
+    /// `PdeleteVersion`).
+    Unit,
+    /// An optional version id (the four traversals).
+    MaybeVersion(Option<Vid>),
+    /// A list of version ids (`Dnext`, `VersionHistory`).
+    Versions(Vec<Vid>),
+    /// A list of object ids (`Objects`, `ObjectsPage`).
+    Objects(Vec<Oid>),
+    /// A single object id (`ObjectOf`).
+    Object(Oid),
+    /// A count (`VersionCount`).
+    Count(u64),
+    /// A boolean (`Exists`, `VersionExists`).
+    Flag(bool),
+    /// The operation failed on the server.
+    Err(RemoteError),
+}
+
+impl Response {
+    /// Short name of this response's shape (protocol-error messages).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Response::Pong => "pong",
+            Response::Stats(_) => "stats",
+            Response::Created { .. } => "created",
+            Response::Version(_) => "version",
+            Response::Body { .. } => "body",
+            Response::Unit => "unit",
+            Response::MaybeVersion(_) => "maybe_version",
+            Response::Versions(_) => "versions",
+            Response::Objects(_) => "objects",
+            Response::Object(_) => "object",
+            Response::Count(_) => "count",
+            Response::Flag(_) => "flag",
+            Response::Err(_) => "err",
+        }
+    }
+
+    /// Encode into a frame payload (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Response::Pong => w.put_u8(kind::PONG),
+            Response::Stats(report) => {
+                w.put_u8(kind::STATS);
+                report.encode_into(&mut w);
+            }
+            Response::Created { oid, vid } => {
+                w.put_u8(kind::CREATED);
+                w.put_varint(oid.0);
+                w.put_varint(vid.0);
+            }
+            Response::Version(vid) => {
+                w.put_u8(kind::VERSION);
+                w.put_varint(vid.0);
+            }
+            Response::Body { vid, bytes } => {
+                w.put_u8(kind::BODY);
+                w.put_varint(vid.0);
+                w.put_bytes(bytes);
+            }
+            Response::Unit => w.put_u8(kind::UNIT),
+            Response::MaybeVersion(vid) => {
+                w.put_u8(kind::MAYBE_VERSION);
+                match vid {
+                    None => w.put_u8(0),
+                    Some(vid) => {
+                        w.put_u8(1);
+                        w.put_varint(vid.0);
+                    }
+                }
+            }
+            Response::Versions(vids) => {
+                w.put_u8(kind::VERSIONS);
+                w.put_varint(vids.len() as u64);
+                for vid in vids {
+                    w.put_varint(vid.0);
+                }
+            }
+            Response::Objects(oids) => {
+                w.put_u8(kind::OBJECTS);
+                w.put_varint(oids.len() as u64);
+                for oid in oids {
+                    w.put_varint(oid.0);
+                }
+            }
+            Response::Object(oid) => {
+                w.put_u8(kind::OBJECT);
+                w.put_varint(oid.0);
+            }
+            Response::Count(n) => {
+                w.put_u8(kind::COUNT);
+                w.put_varint(*n);
+            }
+            Response::Flag(b) => {
+                w.put_u8(kind::FLAG);
+                w.put_u8(*b as u8);
+            }
+            Response::Err(e) => {
+                w.put_u8(kind::ERR);
+                w.put_u8(e.code());
+                match e {
+                    RemoteError::UnknownObject(oid) => {
+                        w.put_varint(oid.0);
+                        w.put_varint(0);
+                        w.put_bytes(&[]);
+                    }
+                    RemoteError::UnknownVersion(vid) | RemoteError::LastVersion(vid) => {
+                        w.put_varint(vid.0);
+                        w.put_varint(0);
+                        w.put_bytes(&[]);
+                    }
+                    RemoteError::TypeMismatch { expected, found } => {
+                        w.put_varint(expected.0);
+                        w.put_varint(found.0);
+                        w.put_bytes(&[]);
+                    }
+                    RemoteError::Storage(msg) | RemoteError::BadRequest(msg) => {
+                        w.put_varint(0);
+                        w.put_varint(0);
+                        w.put_bytes(msg.as_bytes());
+                    }
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload. Strict: unknown kinds, unknown error
+    /// codes, and trailing bytes are protocol errors.
+    pub fn decode(payload: &[u8]) -> Result<Response> {
+        let mut r = Reader::new(payload);
+        let k = r.get_u8()?;
+        let resp = match k {
+            kind::PONG => Response::Pong,
+            kind::STATS => Response::Stats(StatsReport::decode_from(&mut r)?),
+            kind::CREATED => Response::Created {
+                oid: Oid(r.get_varint()?),
+                vid: Vid(r.get_varint()?),
+            },
+            kind::VERSION => Response::Version(Vid(r.get_varint()?)),
+            kind::BODY => Response::Body {
+                vid: Vid(r.get_varint()?),
+                bytes: r.get_bytes()?.to_vec(),
+            },
+            kind::UNIT => Response::Unit,
+            kind::MAYBE_VERSION => match r.get_u8()? {
+                0 => Response::MaybeVersion(None),
+                1 => Response::MaybeVersion(Some(Vid(r.get_varint()?))),
+                b => {
+                    return Err(NetError::Protocol(format!(
+                        "bad option discriminant {b} in maybe_version response"
+                    )))
+                }
+            },
+            kind::VERSIONS => {
+                let n = r.get_count()?;
+                let mut vids = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    vids.push(Vid(r.get_varint()?));
+                }
+                Response::Versions(vids)
+            }
+            kind::OBJECTS => {
+                let n = r.get_count()?;
+                let mut oids = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    oids.push(Oid(r.get_varint()?));
+                }
+                Response::Objects(oids)
+            }
+            kind::OBJECT => Response::Object(Oid(r.get_varint()?)),
+            kind::COUNT => Response::Count(r.get_varint()?),
+            kind::FLAG => Response::Flag(r.get_u8()? != 0),
+            kind::ERR => {
+                let code = r.get_u8()?;
+                let a = r.get_varint()?;
+                let b = r.get_varint()?;
+                let msg = String::from_utf8_lossy(r.get_bytes()?).into_owned();
+                let err = match code {
+                    1 => RemoteError::UnknownObject(Oid(a)),
+                    2 => RemoteError::UnknownVersion(Vid(a)),
+                    3 => RemoteError::TypeMismatch {
+                        expected: TypeTag(a),
+                        found: TypeTag(b),
+                    },
+                    4 => RemoteError::LastVersion(Vid(a)),
+                    5 => RemoteError::Storage(msg),
+                    6 => RemoteError::BadRequest(msg),
+                    c => return Err(NetError::Protocol(format!("unknown remote error code {c}"))),
+                };
+                Response::Err(err)
+            }
+            k => {
+                return Err(NetError::Protocol(format!(
+                    "unknown response kind byte {k}"
+                )))
+            }
+        };
+        if r.remaining() != 0 {
+            return Err(NetError::Protocol(format!(
+                "{} trailing bytes after {} response",
+                r.remaining(),
+                resp.kind_name()
+            )));
+        }
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O
+// ---------------------------------------------------------------------------
+
+/// Write one length-prefixed frame. Returns the total bytes written
+/// (prefix + payload). The caller flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<u64> {
+    let mut prefix = Vec::with_capacity(varint::MAX_VARINT_LEN);
+    varint::write_u64(&mut prefix, payload.len() as u64);
+    w.write_all(&prefix)?;
+    w.write_all(payload)?;
+    Ok((prefix.len() + payload.len()) as u64)
+}
+
+/// Read one length-prefixed frame. Returns `Ok(None)` on a clean EOF
+/// *at a frame boundary* (the peer hung up between frames); EOF inside
+/// a frame is an error.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    // Varint length prefix, byte by byte off the stream.
+    let mut len: u64 = 0;
+    let mut shift: u32 = 0;
+    let mut first = true;
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read_exact(&mut byte) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof && first => return Ok(None),
+            Err(e) => return Err(NetError::Io(e)),
+        }
+        first = false;
+        if shift >= 63 && byte[0] > 1 {
+            return Err(NetError::Protocol("frame length varint overflow".into()));
+        }
+        len |= u64::from(byte[0] & 0x7F) << shift;
+        if byte[0] & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(NetError::Protocol("frame length varint overflow".into()));
+        }
+    }
+    if len as usize > MAX_FRAME_LEN {
+        return Err(NetError::Protocol(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let bytes = req.encode();
+        assert_eq!(Request::decode(&bytes).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let bytes = resp.encode();
+        assert_eq!(Response::decode(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Ping);
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Pnew {
+            tag: TypeTag(0xDEAD_BEEF),
+            body: vec![1, 2, 3],
+        });
+        round_trip_request(Request::Deref {
+            oid: Oid(7),
+            tag: TypeTag(u64::MAX),
+        });
+        round_trip_request(Request::DerefVersion {
+            vid: Vid(9),
+            tag: TypeTag(1),
+        });
+        round_trip_request(Request::Update {
+            oid: Oid(1),
+            tag: TypeTag(2),
+            body: vec![],
+        });
+        round_trip_request(Request::UpdateVersion {
+            vid: Vid(3),
+            tag: TypeTag(4),
+            body: vec![255; 300],
+        });
+        round_trip_request(Request::NewVersion { oid: Oid(1) });
+        round_trip_request(Request::NewVersionFrom { vid: Vid(2) });
+        round_trip_request(Request::Pdelete { oid: Oid(3) });
+        round_trip_request(Request::PdeleteVersion { vid: Vid(4) });
+        round_trip_request(Request::Dprevious { vid: Vid(5) });
+        round_trip_request(Request::Dnext { vid: Vid(6) });
+        round_trip_request(Request::Tprevious { vid: Vid(7) });
+        round_trip_request(Request::Tnext { vid: Vid(8) });
+        round_trip_request(Request::VersionHistory { oid: Oid(9) });
+        round_trip_request(Request::CurrentVersion { oid: Oid(10) });
+        round_trip_request(Request::Objects { tag: TypeTag(11) });
+        round_trip_request(Request::ObjectsPage {
+            tag: TypeTag(12),
+            after: Oid(13),
+            limit: 14,
+        });
+        round_trip_request(Request::ObjectOf { vid: Vid(15) });
+        round_trip_request(Request::VersionCount { oid: Oid(16) });
+        round_trip_request(Request::Exists { oid: Oid(17) });
+        round_trip_request(Request::VersionExists { vid: Vid(18) });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Pong);
+        round_trip_response(Response::Stats(StatsReport {
+            active_connections: 1,
+            total_connections: 9,
+            bytes_in: 1000,
+            bytes_out: 2000,
+            protocol_errors: 1,
+            op_errors: 2,
+            requests: vec![(Opcode::Ping, 3), (Opcode::Pnew, 4)],
+        }));
+        round_trip_response(Response::Created {
+            oid: Oid(1),
+            vid: Vid(2),
+        });
+        round_trip_response(Response::Version(Vid(3)));
+        round_trip_response(Response::Body {
+            vid: Vid(4),
+            bytes: vec![9; 17],
+        });
+        round_trip_response(Response::Unit);
+        round_trip_response(Response::MaybeVersion(None));
+        round_trip_response(Response::MaybeVersion(Some(Vid(5))));
+        round_trip_response(Response::Versions(vec![Vid(1), Vid(2), Vid(3)]));
+        round_trip_response(Response::Objects(vec![Oid(4), Oid(5)]));
+        round_trip_response(Response::Object(Oid(6)));
+        round_trip_response(Response::Count(7));
+        round_trip_response(Response::Flag(true));
+        round_trip_response(Response::Flag(false));
+        for err in [
+            RemoteError::UnknownObject(Oid(1)),
+            RemoteError::UnknownVersion(Vid(2)),
+            RemoteError::TypeMismatch {
+                expected: TypeTag(3),
+                found: TypeTag(4),
+            },
+            RemoteError::LastVersion(Vid(5)),
+            RemoteError::Storage("disk on fire".into()),
+            RemoteError::BadRequest("garbage".into()),
+        ] {
+            round_trip_response(Response::Err(err));
+        }
+    }
+
+    #[test]
+    fn every_opcode_survives_the_byte_round_trip() {
+        for op in Opcode::ALL {
+            assert_eq!(Opcode::from_u8(op as u8), Some(op));
+        }
+        assert_eq!(Opcode::from_u8(OPCODE_COUNT as u8), None);
+    }
+
+    #[test]
+    fn unknown_opcode_is_a_protocol_error() {
+        let err = Request::decode(&[200]).unwrap_err();
+        assert!(matches!(err, NetError::Protocol(_)));
+    }
+
+    #[test]
+    fn trailing_bytes_are_a_protocol_error() {
+        let mut bytes = Request::Ping.encode();
+        bytes.push(0);
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(NetError::Protocol(_))
+        ));
+        let mut bytes = Response::Unit.encode();
+        bytes.push(0);
+        assert!(matches!(
+            Response::decode(&bytes),
+            Err(NetError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        let n1 = write_frame(&mut buf, b"hello").unwrap();
+        let n2 = write_frame(&mut buf, &[]).unwrap();
+        assert_eq!(n1, 6);
+        assert_eq!(n2, 1);
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), Vec::<u8>::new());
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn eof_inside_a_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(3); // length prefix + partial payload
+        let mut cursor = io::Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cursor), Err(NetError::Io(_))));
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, (MAX_FRAME_LEN as u64) + 1);
+        let mut cursor = io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(NetError::Protocol(_))
+        ));
+    }
+}

@@ -1,0 +1,357 @@
+//! The Ode TCP server.
+//!
+//! [`OdeServer`] wraps an [`Arc<Database>`] and serves the wire
+//! protocol over `std::net`: an accept-loop thread hands connections to
+//! a bounded pool of worker threads; each worker runs one connection's
+//! session at a time. Read requests run on [`Database::snapshot`]s;
+//! write requests each run in their own [`Database::begin`] transaction
+//! committed before the response frame is sent (so a successful reply
+//! means the change is durable to the WAL).
+//!
+//! Shutdown is graceful and prompt: the listener is woken, every live
+//! connection's socket is shut down (unblocking worker reads), and all
+//! threads are joined. In-flight requests finish; their connections
+//! then close.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+use ode::Database;
+
+use crate::error::RemoteError;
+use crate::protocol::{
+    read_frame, write_frame, Opcode, Request, Response, StatsReport, MAGIC, OPCODE_COUNT,
+};
+use crate::NetError;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads — the maximum number of concurrently served
+    /// connections (further accepted connections wait in line).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        let workers = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(4, 16);
+        ServerConfig { workers }
+    }
+}
+
+/// Lifetime counters, all monotone except `active_connections`.
+#[derive(Default)]
+struct ServerStats {
+    active_connections: AtomicU64,
+    total_connections: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    protocol_errors: AtomicU64,
+    op_errors: AtomicU64,
+    requests: [AtomicU64; OPCODE_COUNT],
+}
+
+impl ServerStats {
+    fn report(&self) -> StatsReport {
+        let requests = Opcode::ALL
+            .iter()
+            .filter_map(|&op| {
+                let n = self.requests[op as usize].load(Ordering::Relaxed);
+                (n != 0).then_some((op, n))
+            })
+            .collect();
+        StatsReport {
+            active_connections: self.active_connections.load(Ordering::Relaxed),
+            total_connections: self.total_connections.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            op_errors: self.op_errors.load(Ordering::Relaxed),
+            requests,
+        }
+    }
+}
+
+/// Live connections by id, kept as `try_clone`d handles so shutdown can
+/// unblock a worker parked in a socket read.
+type ConnRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
+
+/// A running Ode network server.
+pub struct OdeServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    conns: ConnRegistry,
+    accept_handle: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl OdeServer {
+    /// Bind `addr` (port 0 picks a free port) and start serving `db`.
+    pub fn bind(
+        db: Arc<Database>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<OdeServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let conns: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
+
+        let (conn_tx, conn_rx) = mpsc::channel::<(u64, TcpStream)>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let db = Arc::clone(&db);
+                let rx = Arc::clone(&conn_rx);
+                let stats = Arc::clone(&stats);
+                let conns = Arc::clone(&conns);
+                thread::Builder::new()
+                    .name(format!("ode-net-worker-{i}"))
+                    .spawn(move || worker_loop(&db, &rx, &stats, &conns))
+                    .expect("spawn server worker thread")
+            })
+            .collect();
+
+        let accept_handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            thread::Builder::new()
+                .name("ode-net-accept".into())
+                .spawn(move || {
+                    let mut next_id = 0u64;
+                    // conn_tx moves in here; dropping it on exit stops
+                    // the workers once the queue drains.
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let stream = match stream {
+                            Ok(s) => s,
+                            Err(_) => continue,
+                        };
+                        stats.total_connections.fetch_add(1, Ordering::Relaxed);
+                        next_id += 1;
+                        if conn_tx.send((next_id, stream)).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn server accept thread")
+        };
+
+        Ok(OdeServer {
+            addr,
+            shutdown,
+            stats,
+            conns,
+            accept_handle: Some(accept_handle),
+            workers,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the server's counters (the same data the `Stats`
+    /// opcode serves remotely).
+    pub fn stats(&self) -> StatsReport {
+        self.stats.report()
+    }
+
+    /// Stop accepting, unblock and close every live connection, and
+    /// join all server threads. In-flight requests complete first.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop with a throwaway connection; it sees the
+        // flag and exits, dropping the channel sender.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // Unblock workers parked in reads on live sessions.
+        for (_, stream) in self.conns.lock().unwrap().drain() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for OdeServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(
+    db: &Database,
+    rx: &Mutex<mpsc::Receiver<(u64, TcpStream)>>,
+    stats: &ServerStats,
+    conns: &ConnRegistry,
+) {
+    loop {
+        // Hold the lock only for the dequeue, not the whole session.
+        let next = rx.lock().unwrap().recv();
+        let (id, stream) = match next {
+            Ok(pair) => pair,
+            Err(_) => return, // sender gone: server is shutting down
+        };
+        if let Ok(handle) = stream.try_clone() {
+            conns.lock().unwrap().insert(id, handle);
+        }
+        stats.active_connections.fetch_add(1, Ordering::Relaxed);
+        let _ = serve_connection(db, stream, stats);
+        stats.active_connections.fetch_sub(1, Ordering::Relaxed);
+        conns.lock().unwrap().remove(&id);
+    }
+}
+
+/// Run one connection's session to completion. Any `Err` return or
+/// protocol violation closes the connection; per-request operation
+/// failures are reported in error frames and the session continues.
+fn serve_connection(db: &Database, stream: TcpStream, stats: &ServerStats) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    // Handshake: expect the client's magic, echo it back.
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        return Ok(());
+    }
+    writer.write_all(&MAGIC)?;
+    writer.flush()?;
+
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return Ok(()), // client hung up cleanly
+            Err(NetError::Io(e)) => return Err(e),
+            Err(_) => {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+        };
+        stats.bytes_in.fetch_add(
+            payload.len() as u64 + frame_prefix_len(payload.len()),
+            Ordering::Relaxed,
+        );
+
+        let response = match Request::decode(&payload) {
+            Ok(request) => {
+                stats.requests[request.opcode() as usize].fetch_add(1, Ordering::Relaxed);
+                match request {
+                    Request::Ping => Response::Pong,
+                    Request::Stats => Response::Stats(stats.report()),
+                    request => apply(db, request).unwrap_or_else(|e| {
+                        stats.op_errors.fetch_add(1, Ordering::Relaxed);
+                        Response::Err(RemoteError::from(&e))
+                    }),
+                }
+            }
+            Err(e) => {
+                // The frame was well delimited, so the stream is still
+                // in sync: report and keep the session alive.
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                Response::Err(RemoteError::BadRequest(e.to_string()))
+            }
+        };
+
+        let out = response.encode();
+        let written = write_frame(&mut writer, &out)?;
+        writer.flush()?;
+        stats.bytes_out.fetch_add(written, Ordering::Relaxed);
+    }
+}
+
+fn frame_prefix_len(payload_len: usize) -> u64 {
+    let mut buf = Vec::with_capacity(10);
+    ode_codec::varint::write_u64(&mut buf, payload_len as u64);
+    buf.len() as u64
+}
+
+/// Execute one operation. Reads run on a snapshot; writes run in a
+/// transaction committed before returning, so the response implies
+/// durability.
+fn apply(db: &Database, request: Request) -> ode::Result<Response> {
+    if request.is_read() {
+        let mut snap = db.snapshot();
+        return match request {
+            Request::Deref { oid, tag } => {
+                let (vid, bytes) = snap.deref_raw(oid, tag)?;
+                Ok(Response::Body { vid, bytes })
+            }
+            Request::DerefVersion { vid, tag } => {
+                let bytes = snap.deref_version_raw(vid, tag)?;
+                Ok(Response::Body { vid, bytes })
+            }
+            Request::Dprevious { vid } => Ok(Response::MaybeVersion(snap.dprevious_raw(vid)?)),
+            Request::Dnext { vid } => Ok(Response::Versions(snap.dnext_raw(vid)?)),
+            Request::Tprevious { vid } => Ok(Response::MaybeVersion(snap.tprevious_raw(vid)?)),
+            Request::Tnext { vid } => Ok(Response::MaybeVersion(snap.tnext_raw(vid)?)),
+            Request::VersionHistory { oid } => {
+                Ok(Response::Versions(snap.version_history_raw(oid)?))
+            }
+            Request::CurrentVersion { oid } => Ok(Response::Version(snap.latest_raw(oid)?)),
+            Request::Objects { tag } => Ok(Response::Objects(snap.objects_raw(tag)?)),
+            Request::ObjectsPage { tag, after, limit } => Ok(Response::Objects(
+                snap.objects_page_raw(tag, after, limit as usize)?,
+            )),
+            Request::ObjectOf { vid } => Ok(Response::Object(snap.object_of_raw(vid)?)),
+            Request::VersionCount { oid } => Ok(Response::Count(snap.version_count_raw(oid)?)),
+            Request::Exists { oid } => Ok(Response::Flag(snap.exists_raw(oid)?)),
+            Request::VersionExists { vid } => Ok(Response::Flag(snap.version_exists_raw(vid)?)),
+            // Ping/Stats are answered before apply; writes are handled
+            // below.
+            _ => unreachable!("non-read request routed to snapshot"),
+        };
+    }
+
+    let mut txn = db.begin();
+    let response = match request {
+        Request::Pnew { tag, body } => {
+            let (oid, vid) = txn.pnew_raw(tag, body)?;
+            Response::Created { oid, vid }
+        }
+        Request::Update { oid, tag, body } => Response::Version(txn.put_raw(oid, tag, body)?),
+        Request::UpdateVersion { vid, tag, body } => {
+            txn.put_version_raw(vid, tag, body)?;
+            Response::Unit
+        }
+        Request::NewVersion { oid } => Response::Version(txn.newversion_raw(oid)?),
+        Request::NewVersionFrom { vid } => Response::Version(txn.newversion_from_raw(vid)?),
+        Request::Pdelete { oid } => {
+            txn.pdelete_raw(oid)?;
+            Response::Unit
+        }
+        Request::PdeleteVersion { vid } => {
+            txn.pdelete_version_raw(vid)?;
+            Response::Unit
+        }
+        _ => unreachable!("read request routed to transaction"),
+    };
+    txn.commit()?;
+    Ok(response)
+}

@@ -1,0 +1,544 @@
+//! End-to-end tests: real TCP on loopback, real database files, real
+//! WAL recovery — the network path exercised exactly as a deployment
+//! would.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+
+use ode::{Database, DatabaseOptions, ObjPtr, Oid};
+use ode_codec::{impl_persist_struct, impl_type_name};
+use ode_net::{
+    ClientConfig, ClientObjPtr, ClientVersionPtr, NetError, OdeClient, OdeServer, Opcode,
+    RemoteError, ServerConfig,
+};
+
+#[derive(Debug, Clone, PartialEq)]
+struct Doc {
+    title: String,
+    revision: u64,
+}
+impl_persist_struct!(Doc { title, revision });
+impl_type_name!(Doc = "net-test/Doc");
+
+/// A type the server has never stored — for type-mismatch tests.
+#[derive(Debug, Clone, PartialEq)]
+struct Imposter {
+    n: u64,
+}
+impl_persist_struct!(Imposter { n });
+impl_type_name!(Imposter = "net-test/Imposter");
+
+/// Database file at a unique temp path, removed (with WAL) on drop.
+struct TempPath(PathBuf);
+
+impl TempPath {
+    fn new() -> TempPath {
+        TempPath(ode::testutil::fresh_path())
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+        let mut wal = self.0.clone().into_os_string();
+        wal.push(".wal");
+        let _ = std::fs::remove_file(PathBuf::from(wal));
+    }
+}
+
+fn start_server(path: &PathBuf, workers: usize) -> (Arc<Database>, OdeServer) {
+    let db = Arc::new(Database::create(path, DatabaseOptions::no_sync()).expect("create db"));
+    let server = OdeServer::bind(Arc::clone(&db), "127.0.0.1:0", ServerConfig { workers })
+        .expect("bind server");
+    (db, server)
+}
+
+fn client(addr: SocketAddr) -> OdeClient {
+    OdeClient::connect(addr, ClientConfig::default()).expect("connect client")
+}
+
+/// The acceptance flow, runnable concurrently from many threads: create
+/// an object, derive from latest and from a pinned version, read
+/// through both reference kinds, traverse, delete a version, and check
+/// latest-version resolution throughout.
+fn full_versioning_flow(client: &mut OdeClient, who: &str) {
+    let doc = Doc {
+        title: who.to_string(),
+        revision: 0,
+    };
+    let p = client.pnew(&doc).expect("pnew");
+    let v0 = client.current_version(&p).expect("current_version");
+
+    // Derivation 1: from the latest (v0); becomes latest, then edit it.
+    let v1 = client.newversion(&p).expect("newversion");
+    let rev1 = Doc {
+        title: who.to_string(),
+        revision: 1,
+    };
+    let wrote = client.put(&p, &rev1).expect("put");
+    assert_eq!(wrote, v1, "put through a generic ref writes the latest");
+
+    // Derivation 2: from the *pinned* v0 — branches the derived-from
+    // tree and becomes the new latest.
+    let v2 = client.newversion_from(&v0).expect("newversion_from");
+
+    // Generic reference: late binding resolves to v2 (whose state was
+    // copied from v0, untouched by the v1 edit).
+    let (latest_doc, latest_vid) = client.deref(&p).expect("deref");
+    assert_eq!(latest_vid, v2);
+    assert_eq!(latest_doc, doc);
+
+    // Specific references: pinned, regardless of later versions.
+    assert_eq!(client.deref_v(&v0).expect("deref_v v0"), doc);
+    assert_eq!(client.deref_v(&v1).expect("deref_v v1"), rev1);
+
+    // Derived-from traversals: both children hang off v0.
+    assert_eq!(client.dprevious(&v1).expect("dprevious v1"), Some(v0));
+    assert_eq!(client.dprevious(&v2).expect("dprevious v2"), Some(v0));
+    assert_eq!(client.dprevious(&v0).expect("dprevious v0"), None);
+    assert_eq!(client.dnext(&v0).expect("dnext v0"), vec![v1, v2]);
+
+    // Temporal traversals.
+    assert_eq!(client.tprevious(&v2).expect("tprevious v2"), Some(v1));
+    assert_eq!(client.tnext(&v1).expect("tnext v1"), Some(v2));
+    assert_eq!(
+        client.version_history(&p).expect("history"),
+        vec![v0, v1, v2]
+    );
+
+    // Delete the middle version; temporal chain splices around it and
+    // the object id still resolves to v2.
+    client.pdelete_version(v1).expect("pdelete_version");
+    assert!(!client.version_exists(&v1).expect("version_exists"));
+    assert_eq!(
+        client.tprevious(&v2).expect("tprevious after del"),
+        Some(v0)
+    );
+    assert_eq!(client.version_history(&p).expect("history"), vec![v0, v2]);
+    assert_eq!(client.version_count(&p).expect("version_count"), 2);
+    let (after_del, after_vid) = client.deref(&p).expect("deref after delete");
+    assert_eq!(after_vid, v2);
+    assert_eq!(after_del, doc);
+
+    // Round trips that tie both pointer kinds together.
+    assert_eq!(client.object_of(&v2).expect("object_of"), p);
+    assert!(client.exists(&p).expect("exists"));
+}
+
+#[test]
+fn end_to_end_acceptance_flow_with_concurrent_clients() {
+    let path = TempPath::new();
+    let (db, server) = start_server(&path.0, 8);
+    let addr = server.local_addr();
+
+    // Once single-threaded (easier failure diagnosis) ...
+    full_versioning_flow(&mut client(addr), "solo");
+
+    // ... then the same full flow from 6 concurrent client threads,
+    // each over its own TCP connection.
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            thread::spawn(move || {
+                let mut c = client(addr);
+                full_versioning_flow(&mut c, &format!("thread-{i}"));
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread must not panic");
+    }
+
+    // Every object the flows created is intact under the embedded API.
+    let mut snap = db.snapshot();
+    let objects = snap.objects::<Doc>().expect("objects");
+    assert_eq!(objects.len(), 7);
+    for p in &objects {
+        snap.check_object(p).expect("invariants hold");
+    }
+    drop(snap);
+
+    // Stats: per-opcode counters are non-zero for everything the flow
+    // used, and nothing went wrong at the protocol level.
+    let mut c = client(addr);
+    let stats = c.stats().expect("stats");
+    for op in [
+        Opcode::Pnew,
+        Opcode::Deref,
+        Opcode::DerefVersion,
+        Opcode::Update,
+        Opcode::NewVersion,
+        Opcode::NewVersionFrom,
+        Opcode::PdeleteVersion,
+        Opcode::Dprevious,
+        Opcode::Dnext,
+        Opcode::Tprevious,
+        Opcode::Tnext,
+        Opcode::VersionHistory,
+        Opcode::CurrentVersion,
+        Opcode::ObjectOf,
+        Opcode::VersionCount,
+        Opcode::Exists,
+        Opcode::VersionExists,
+        Opcode::Stats,
+    ] {
+        assert!(
+            stats.requests_for(op) > 0,
+            "opcode {} should have been counted",
+            op.name()
+        );
+    }
+    assert_eq!(stats.protocol_errors, 0);
+    assert_eq!(stats.op_errors, 0);
+    assert!(stats.total_connections >= 8);
+    assert!(stats.bytes_in > 0 && stats.bytes_out > 0);
+
+    server.shutdown();
+}
+
+/// Tiny deterministic PRNG so the mixed workload needs no external
+/// crates and replays identically.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+#[test]
+fn concurrent_mixed_workload_preserves_version_graph_invariants() {
+    const THREADS: u64 = 6;
+    const OPS: u64 = 40;
+
+    let path = TempPath::new();
+    let (db, server) = start_server(&path.0, 8);
+    let addr = server.local_addr();
+
+    // Four shared objects all threads gang up on.
+    let mut setup = client(addr);
+    let shared: Vec<ClientObjPtr<Doc>> = (0..4)
+        .map(|i| {
+            setup
+                .pnew(&Doc {
+                    title: format!("shared-{i}"),
+                    revision: 0,
+                })
+                .expect("pnew shared")
+        })
+        .collect();
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let shared = shared.clone();
+            thread::spawn(move || {
+                let mut rng = XorShift(0x9E37_79B9 ^ (t + 1));
+                let mut c = client(addr);
+                for _ in 0..OPS {
+                    let p = shared[(rng.next() % shared.len() as u64) as usize];
+                    match rng.next() % 6 {
+                        0 => {
+                            c.newversion(&p).expect("newversion");
+                        }
+                        1 => {
+                            // Branch from a random existing version.
+                            let history = c.version_history(&p).expect("history");
+                            let base = history[(rng.next() % history.len() as u64) as usize];
+                            c.newversion_from(&base).expect("newversion_from");
+                        }
+                        2 => {
+                            c.put(
+                                &p,
+                                &Doc {
+                                    title: format!("t{t}"),
+                                    revision: rng.next(),
+                                },
+                            )
+                            .expect("put");
+                        }
+                        3 => {
+                            let (_, vid) = c.deref(&p).expect("deref");
+                            assert!(c.version_exists(&vid).expect("version_exists"));
+                        }
+                        4 => {
+                            let v = c.current_version(&p).expect("current_version");
+                            assert_eq!(c.object_of(&v).expect("object_of"), p);
+                        }
+                        _ => {
+                            let history = c.version_history(&p).expect("history");
+                            assert!(!history.is_empty());
+                            // The derivation parent of any version must
+                            // itself be a live version of the object.
+                            let probe = history[(rng.next() % history.len() as u64) as usize];
+                            if let Some(parent) = c.dprevious(&probe).expect("dprevious") {
+                                assert!(history.contains(&parent));
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("workload thread must not panic");
+    }
+
+    // Full structural validation of every shared object over the wire.
+    // (A `Snapshot` pins the store mutex, so the embedded-API pass
+    // below must not overlap with network calls into the same process.)
+    let mut c = client(addr);
+    for p in &shared {
+        let history = c.version_history(p).expect("history");
+        assert_eq!(c.version_count(p).expect("count"), history.len() as u64);
+
+        // The temporal chain must thread the whole history in order.
+        for pair in history.windows(2) {
+            assert_eq!(c.tnext(&pair[0]).expect("tnext"), Some(pair[1]));
+            assert_eq!(c.tprevious(&pair[1]).expect("tprevious"), Some(pair[0]));
+        }
+        // The generic reference resolves to the temporal tail.
+        let (_, latest) = c.deref(p).expect("deref");
+        assert_eq!(Some(&latest), history.last());
+    }
+
+    // And once more against the embedded API.
+    let mut snap = db.snapshot();
+    for p in &shared {
+        snap.check_object(&p.as_obj_ptr()).expect("check_object");
+    }
+    drop(snap);
+
+    let stats = server.stats();
+    assert_eq!(stats.protocol_errors, 0, "no protocol-level failures");
+    assert_eq!(stats.op_errors, 0, "no operation should have failed");
+    server.shutdown();
+}
+
+#[test]
+fn server_restart_recovers_all_committed_versions_over_the_network() {
+    let path = TempPath::new();
+
+    // Sync on commit: this test is about durability.
+    let db = Arc::new(Database::create(&path.0, DatabaseOptions::default()).expect("create db"));
+    let server = OdeServer::bind(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default())
+        .expect("bind server");
+    let addr = server.local_addr();
+
+    let mut c = client(addr);
+    let p = c
+        .pnew(&Doc {
+            title: "durable".into(),
+            revision: 0,
+        })
+        .expect("pnew");
+    let v0 = c.current_version(&p).expect("current_version");
+    let v1 = c.newversion(&p).expect("newversion");
+    c.put(
+        &p,
+        &Doc {
+            title: "durable".into(),
+            revision: 1,
+        },
+    )
+    .expect("put");
+    let v2 = c.newversion_from(&v0).expect("newversion_from");
+
+    // Kill the server without any orderly database shutdown: the Arc is
+    // leaked, so no checkpoint runs and reopening must replay the WAL —
+    // exactly what a crashed server process would leave behind.
+    server.shutdown();
+    std::mem::forget(db);
+
+    // Same address, fresh database handle recovered from the files.
+    let db2 = Arc::new(Database::open(&path.0, DatabaseOptions::default()).expect("recover db"));
+    let _server2 =
+        OdeServer::bind(Arc::clone(&db2), addr, ServerConfig::default()).expect("rebind server");
+
+    // The ORIGINAL client instance: its connection died with the old
+    // server, so this read exercises retry-once-on-reconnect.
+    let history = c.version_history(&p).expect("history after restart");
+    assert_eq!(history, vec![v0, v1, v2]);
+
+    let (latest, vid) = c.deref(&p).expect("deref after restart");
+    assert_eq!(vid, v2);
+    assert_eq!(latest.revision, 0, "v2 branched from v0's state");
+    assert_eq!(c.deref_v(&v1).expect("deref_v v1").revision, 1);
+    assert_eq!(c.dprevious(&v2).expect("dprevious"), Some(v0));
+}
+
+#[test]
+fn operation_failures_come_back_as_error_frames_and_sessions_survive() {
+    let path = TempPath::new();
+    let (_db, server) = start_server(&path.0, 4);
+    let mut c = client(server.local_addr());
+
+    // Unknown object.
+    let ghost: ClientObjPtr<Doc> = ClientObjPtr::from_oid(Oid(0xDEAD));
+    match c.deref(&ghost) {
+        Err(NetError::Remote(RemoteError::UnknownObject(oid))) => assert_eq!(oid, Oid(0xDEAD)),
+        other => panic!("expected UnknownObject, got {other:?}"),
+    }
+
+    // Type mismatch: read a Doc as an Imposter.
+    let p = c
+        .pnew(&Doc {
+            title: "real".into(),
+            revision: 0,
+        })
+        .expect("pnew");
+    let wrong: ClientObjPtr<Imposter> = ClientObjPtr::from_oid(p.oid());
+    match c.deref(&wrong) {
+        Err(NetError::Remote(RemoteError::TypeMismatch { expected, found })) => {
+            assert_eq!(expected, ObjPtr::<Imposter>::tag());
+            assert_eq!(found, ObjPtr::<Doc>::tag());
+        }
+        other => panic!("expected TypeMismatch, got {other:?}"),
+    }
+
+    // Deleting the only version is refused.
+    let only = c.current_version(&p).expect("current_version");
+    match c.pdelete_version(only) {
+        Err(NetError::Remote(RemoteError::LastVersion(vid))) => assert_eq!(vid, only.vid()),
+        other => panic!("expected LastVersion, got {other:?}"),
+    }
+
+    // After three error frames the same connection still works.
+    c.ping().expect("session survives error frames");
+    assert_eq!(c.deref(&p).expect("deref").0.title, "real");
+
+    let stats = server.stats();
+    assert_eq!(stats.op_errors, 3);
+    assert_eq!(stats.protocol_errors, 0);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_get_error_replies_without_killing_the_session() {
+    use std::io::{Read, Write};
+
+    let path = TempPath::new();
+    let (_db, server) = start_server(&path.0, 4);
+
+    // Speak the protocol by hand: handshake, then a garbage opcode.
+    let mut s = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    s.write_all(b"ODE\x01").expect("send magic");
+    let mut echo = [0u8; 4];
+    s.read_exact(&mut echo).expect("read magic");
+    assert_eq!(&echo, b"ODE\x01");
+
+    // Frame: length 1, payload = opcode 200 (unknown).
+    s.write_all(&[1, 200]).expect("send garbage");
+    let mut prefix = [0u8; 1];
+    s.read_exact(&mut prefix).expect("read reply length");
+    let mut reply = vec![0u8; prefix[0] as usize];
+    s.read_exact(&mut reply).expect("read reply");
+    assert_eq!(reply[0], 255, "reply must be an error frame");
+
+    // The session is still alive: a well-formed ping round-trips.
+    s.write_all(&[1, 0]).expect("send ping");
+    s.read_exact(&mut prefix).expect("read pong length");
+    assert_eq!(prefix[0], 1);
+    let mut pong = [0u8; 1];
+    s.read_exact(&mut pong).expect("read pong");
+    assert_eq!(pong[0], 0, "pong response kind");
+
+    assert!(server.stats().protocol_errors > 0);
+    server.shutdown();
+}
+
+#[test]
+fn extent_scans_and_pagination_over_the_wire() {
+    let path = TempPath::new();
+    let (_db, server) = start_server(&path.0, 4);
+    let mut c = client(server.local_addr());
+
+    let created: Vec<ClientObjPtr<Doc>> = (0..10)
+        .map(|i| {
+            c.pnew(&Doc {
+                title: format!("doc-{i}"),
+                revision: i,
+            })
+            .expect("pnew")
+        })
+        .collect();
+
+    let all = c.objects::<Doc>().expect("objects");
+    assert_eq!(all, created);
+
+    // Cursor pagination: three pages of 4/4/2.
+    let mut after = Oid::NULL;
+    let mut paged: Vec<ClientObjPtr<Doc>> = Vec::new();
+    loop {
+        let page = c.objects_page::<Doc>(after, 4).expect("objects_page");
+        if page.is_empty() {
+            break;
+        }
+        assert!(page.len() <= 4);
+        after = Oid(page.last().unwrap().oid().0 + 1);
+        paged.extend(page);
+    }
+    assert_eq!(paged, created);
+
+    // pdelete removes from the extent.
+    c.pdelete(created[3]).expect("pdelete");
+    let remaining = c.objects::<Doc>().expect("objects");
+    assert_eq!(remaining.len(), 9);
+    assert!(!remaining.contains(&created[3]));
+    assert!(!c.exists(&created[3]).expect("exists"));
+
+    server.shutdown();
+}
+
+#[test]
+fn versions_travel_between_embedded_and_network_apis() {
+    // Objects created through the embedded API are visible over the
+    // wire and vice versa — same file, same ids.
+    let path = TempPath::new();
+    let (db, server) = start_server(&path.0, 4);
+
+    let p_embedded = {
+        let mut txn = db.begin();
+        let p = txn
+            .pnew(&Doc {
+                title: "embedded".into(),
+                revision: 7,
+            })
+            .expect("pnew");
+        txn.commit().expect("commit");
+        p
+    };
+
+    let mut c = client(server.local_addr());
+    let p_remote: ClientObjPtr<Doc> = p_embedded.into();
+    let (doc, _) = c.deref(&p_remote).expect("deref embedded object");
+    assert_eq!(doc.title, "embedded");
+
+    let p_net = c
+        .pnew(&Doc {
+            title: "networked".into(),
+            revision: 8,
+        })
+        .expect("pnew over wire");
+    let mut snap = db.snapshot();
+    let doc = snap
+        .deref(&p_net.as_obj_ptr())
+        .expect("deref network object locally");
+    assert_eq!(doc.title, "networked");
+    drop(snap);
+
+    // A ClientVersionPtr obtained remotely dereferences locally too.
+    let v: ClientVersionPtr<Doc> = c.current_version(&p_net).expect("current_version");
+    let mut snap = db.snapshot();
+    assert_eq!(
+        snap.deref_v(&v.as_version_ptr()).expect("deref_v").revision,
+        8
+    );
+
+    server.shutdown();
+}

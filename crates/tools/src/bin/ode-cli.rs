@@ -1,0 +1,201 @@
+//! `ode-cli` — poke a running `ode-served` instance.
+//!
+//! ```text
+//! ode-cli <addr> ping
+//! ode-cli <addr> stats
+//! ode-cli <addr> put <text>                 create a Note object
+//! ode-cli <addr> get <oid>                  latest version of a Note
+//! ode-cli <addr> get-version <vid>          one pinned version
+//! ode-cli <addr> set <oid> <text>           overwrite the latest version
+//! ode-cli <addr> newversion <oid>           derive from the latest
+//! ode-cli <addr> newversion-from <vid>      derive from a pinned version
+//! ode-cli <addr> history <oid>              all versions, temporal order
+//! ode-cli <addr> objects                    every Note on the server
+//! ode-cli <addr> delete <oid>               pdelete the object
+//! ode-cli <addr> delete-version <vid>       pdelete one version
+//! ```
+//!
+//! The CLI works with one concrete type, `Note { text }` — enough to
+//! demonstrate every versioning operation end to end from a shell.
+
+use std::process::ExitCode;
+
+use ode::{Oid, Vid};
+use ode_codec::{impl_persist_struct, impl_type_name};
+use ode_net::{ClientConfig, ClientObjPtr, ClientVersionPtr, OdeClient};
+
+/// `println!` that exits quietly when stdout is gone (output piped
+/// into `head`, say) instead of panicking on the broken pipe.
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        if writeln!(std::io::stdout(), $($arg)*).is_err() {
+            std::process::exit(0);
+        }
+    }};
+}
+
+/// The CLI's object type. Any process (CLI or library) that declares
+/// the same persistent name and layout can read these objects.
+#[derive(Debug, Clone, PartialEq)]
+struct Note {
+    text: String,
+}
+impl_persist_struct!(Note { text });
+impl_type_name!(Note = "ode-cli/Note");
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ode-cli <addr> <command> [args]\n\
+         commands:\n\
+         \x20 ping\n\
+         \x20 stats\n\
+         \x20 put <text>               create a Note, print its ids\n\
+         \x20 get <oid>                latest version's text\n\
+         \x20 get-version <vid>        one pinned version's text\n\
+         \x20 set <oid> <text>         overwrite the latest version\n\
+         \x20 newversion <oid>         derive a version from the latest\n\
+         \x20 newversion-from <vid>    derive from a pinned version\n\
+         \x20 history <oid>            list all versions\n\
+         \x20 objects                  list every Note\n\
+         \x20 delete <oid>             delete object + versions\n\
+         \x20 delete-version <vid>     delete one version"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, command, rest) = match args.split_first() {
+        Some((addr, rest)) => match rest.split_first() {
+            Some((command, rest)) => (addr.clone(), command.clone(), rest.to_vec()),
+            None => return usage(),
+        },
+        None => return usage(),
+    };
+    let id_arg = || -> Option<u64> { rest.first().and_then(|s| s.parse().ok()) };
+    let obj = |oid: u64| -> ClientObjPtr<Note> { ClientObjPtr::from_oid(Oid(oid)) };
+    let ver = |vid: u64| -> ClientVersionPtr<Note> { ClientVersionPtr::from_vid(Vid(vid)) };
+
+    let mut client = match OdeClient::connect(addr.as_str(), ClientConfig::default()) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("ode-cli: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let outcome = match command.as_str() {
+        "ping" => client.ping().map(|()| out!("pong")),
+        "stats" => client.stats().map(|stats| {
+            out!(
+                "connections: {} total, {} active",
+                stats.total_connections,
+                stats.active_connections
+            );
+            out!(
+                "bytes      : {} in, {} out",
+                stats.bytes_in,
+                stats.bytes_out
+            );
+            out!(
+                "errors     : {} op, {} protocol",
+                stats.op_errors,
+                stats.protocol_errors
+            );
+            out!("requests   : {}", stats.total_requests());
+            for (op, n) in &stats.requests {
+                out!("  {:<16} {n}", op.name());
+            }
+        }),
+        "put" => match rest.first() {
+            Some(text) => client
+                .pnew(&Note { text: text.clone() })
+                .and_then(|p| client.current_version(&p).map(|v| (p, v)))
+                .map(|(p, v)| out!("created {} (latest {})", p.oid(), v.vid())),
+            None => return usage(),
+        },
+        "get" => match id_arg() {
+            Some(oid) => client
+                .deref(&obj(oid))
+                .map(|(note, v)| out!("{} @ {}: {}", Oid(oid), v.vid(), note.text)),
+            None => return usage(),
+        },
+        "get-version" => match id_arg() {
+            Some(vid) => client
+                .deref_v(&ver(vid))
+                .map(|note| out!("{}: {}", Vid(vid), note.text)),
+            None => return usage(),
+        },
+        "set" => match (id_arg(), rest.get(1)) {
+            (Some(oid), Some(text)) => client
+                .put(&obj(oid), &Note { text: text.clone() })
+                .map(|v| out!("updated {} (latest {})", Oid(oid), v.vid())),
+            _ => return usage(),
+        },
+        "newversion" => match id_arg() {
+            Some(oid) => client
+                .newversion(&obj(oid))
+                .map(|v| out!("derived {}", v.vid())),
+            None => return usage(),
+        },
+        "newversion-from" => match id_arg() {
+            Some(vid) => client
+                .newversion_from(&ver(vid))
+                .map(|v| out!("derived {} from {}", v.vid(), Vid(vid))),
+            None => return usage(),
+        },
+        "history" => match id_arg() {
+            Some(oid) => (|| {
+                let history = client.version_history(&obj(oid))?;
+                let latest = client.current_version(&obj(oid))?;
+                for v in history {
+                    let note = client.deref_v(&v)?;
+                    let dprev = client.dprevious(&v)?;
+                    let marker = if v == latest { "  <- latest" } else { "" };
+                    let from = match dprev {
+                        Some(b) => format!(" (from {})", b.vid()),
+                        None => String::new(),
+                    };
+                    out!("{}{from}: {}{marker}", v.vid(), note.text);
+                }
+                Ok(())
+            })(),
+            None => return usage(),
+        },
+        "objects" => client.objects::<Note>().and_then(|objects| {
+            for p in objects {
+                let (note, v) = client.deref(&p)?;
+                let n = client.version_count(&p)?;
+                out!(
+                    "{} ({n} versions, latest {}): {}",
+                    p.oid(),
+                    v.vid(),
+                    note.text
+                );
+            }
+            Ok(())
+        }),
+        "delete" => match id_arg() {
+            Some(oid) => client
+                .pdelete(obj(oid))
+                .map(|()| out!("deleted {}", Oid(oid))),
+            None => return usage(),
+        },
+        "delete-version" => match id_arg() {
+            Some(vid) => client
+                .pdelete_version(ver(vid))
+                .map(|()| out!("deleted {}", Vid(vid))),
+            None => return usage(),
+        },
+        _ => return usage(),
+    };
+
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ode-cli: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -57,6 +57,11 @@ fn main() -> ExitCode {
             println!("objects    : {}", info.object_count);
             println!("versions   : {}", info.version_count);
             println!("types      : {}", info.type_count);
+            println!("buffer pool (during this scan):");
+            println!("  hits      : {}", info.buffer.hits);
+            println!("  misses    : {}", info.buffer.misses);
+            println!("  evictions : {}", info.buffer.evictions);
+            println!("  writebacks: {}", info.buffer.writebacks);
         }),
         "objects" => ode_tools::list_objects(&db).map(|objects| {
             println!(

@@ -32,6 +32,10 @@ pub struct StoreInfo {
     pub pages_by_kind: BTreeMap<Option<u8>, u64>,
     /// Current WAL length in bytes.
     pub wal_bytes: u64,
+    /// Buffer-pool counters accumulated while gathering this summary
+    /// (the page census reads every page, so misses ≈ cold reads and
+    /// hits show re-visits).
+    pub buffer: ode_storage::buffer::BufferStats,
     /// Live objects.
     pub object_count: usize,
     /// Live versions across all objects.
@@ -101,10 +105,12 @@ pub fn store_info(path: &Path) -> Result<StoreInfo> {
             version_count += vs.version_count(&mut tx, oid)?;
         }
     }
+    drop(tx);
     Ok(StoreInfo {
         page_count,
         pages_by_kind,
         wal_bytes,
+        buffer: store.buffer_stats(),
         object_count,
         version_count,
         type_count: tags.len(),
@@ -317,6 +323,10 @@ mod tests {
         assert!(info.page_count > 1);
         let total: u64 = info.pages_by_kind.values().sum();
         assert_eq!(total, info.page_count);
+        assert!(
+            info.buffer.hits + info.buffer.misses > 0,
+            "the census reads pages, so the pool must have seen traffic"
+        );
         cleanup(&path);
     }
 
@@ -390,9 +400,10 @@ mod tests {
         }
         // fsck must never panic: either the store refuses to open /
         // enumerate (Err) or the report lists problems.
-        match fsck(&path) {
-            Ok(report) => assert!(!report.is_healthy(), "corruption must be flagged"),
-            Err(_) => {} // checksum failure surfaced at open/scan: acceptable
+        // An Err is acceptable too: the checksum failure surfaced at
+        // open/scan instead of in the report.
+        if let Ok(report) = fsck(&path) {
+            assert!(!report.is_healthy(), "corruption must be flagged");
         }
         cleanup(&path);
     }

@@ -144,10 +144,7 @@ fn alternating_head_tail_deletions() {
         from_head = !from_head;
         vs.delete_version(&mut tx, victim).unwrap();
         assert_eq!(vs.version_history(&mut tx, oid).unwrap(), expected);
-        assert_eq!(
-            vs.latest(&mut tx, oid).unwrap(),
-            *expected.last().unwrap()
-        );
+        assert_eq!(vs.latest(&mut tx, oid).unwrap(), *expected.last().unwrap());
         vs.check_object(&mut tx, oid).unwrap();
     }
     tx.commit().unwrap();

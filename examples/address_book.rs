@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run -p bench --example address_book`
 
-use ode::{Database, DatabaseOptions, ObjPtr};
+use ode::ObjPtr;
 use ode_codec::{impl_persist_struct, impl_type_name};
 
 #[derive(Debug, Clone, PartialEq)]
@@ -28,9 +28,7 @@ impl_persist_struct!(AddressBook { title, people });
 impl_type_name!(AddressBook = "address-book/AddressBook");
 
 fn main() -> ode::Result<()> {
-    let path = std::env::temp_dir().join(format!("ode-abook-{}.db", std::process::id()));
-    let _ = std::fs::remove_file(&path);
-    let db = Database::create(&path, DatabaseOptions::default())?;
+    let db = ode::testutil::tempdb();
 
     let mut txn = db.begin();
     let alice = txn.pnew(&Person {
@@ -82,10 +80,5 @@ fn main() -> ode::Result<()> {
     );
     txn.commit()?;
 
-    drop(db);
-    let _ = std::fs::remove_file(&path);
-    let mut wal = path.into_os_string();
-    wal.push(".wal");
-    let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
     Ok(())
 }

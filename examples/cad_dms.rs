@@ -3,13 +3,10 @@
 //!
 //! Run with: `cargo run -p bench --example cad_dms`
 
-use ode::{Database, DatabaseOptions};
 use ode_dms::{bootstrap, AluDesign, Cell};
 
 fn main() -> ode::Result<()> {
-    let path = std::env::temp_dir().join(format!("ode-dms-example-{}.db", std::process::id()));
-    let _ = std::fs::remove_file(&path);
-    let db = Database::create(&path, DatabaseOptions::default())?;
+    let mut db = ode::testutil::tempdb();
 
     // 1. Initial design state (§5): three data objects, three
     //    representation configurations.
@@ -101,8 +98,7 @@ fn main() -> ode::Result<()> {
     txn.commit()?;
 
     // 6. Reopen: the whole design state persists.
-    drop(db);
-    let db = Database::open(&path, DatabaseOptions::default())?;
+    db.reopen();
     let design = AluDesign::attach(design.ptr);
     let mut txn = db.begin();
     let chip = design.chip(&mut txn)?;
@@ -113,10 +109,5 @@ fn main() -> ode::Result<()> {
     );
     txn.commit()?;
 
-    drop(db);
-    let _ = std::fs::remove_file(&path);
-    let mut wal = path.into_os_string();
-    wal.push(".wal");
-    let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
     Ok(())
 }

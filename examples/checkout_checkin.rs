@@ -5,7 +5,6 @@
 //!
 //! Run with: `cargo run -p bench --example checkout_checkin`
 
-use ode::{Database, DatabaseOptions};
 use ode_codec::{impl_persist_struct, impl_type_name};
 use ode_policies::checkout::Workspace;
 use ode_policies::environment::{EnvHandle, VersionState};
@@ -24,11 +23,7 @@ impl_persist_struct!(Layout {
 impl_type_name!(Layout = "checkout/Layout");
 
 fn main() -> ode::Result<()> {
-    let dir = std::env::temp_dir().join(format!("ode-checkout-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).expect("scratch dir");
-
-    let public = Database::create(dir.join("public.db"), DatabaseOptions::default())?;
+    let public = ode::testutil::tempdb();
     let layout = {
         let mut txn = public.begin();
         let p = txn.pnew(&Layout {
@@ -52,8 +47,10 @@ fn main() -> ode::Result<()> {
         env
     };
 
-    // Designer workspace: checkout → private edits → checkin.
-    let ws = Workspace::create(&public, dir.join("designer1.db"))?;
+    // Designer workspace: checkout → private edits → checkin. The
+    // private database gets its own scratch path.
+    let private_path = ode::testutil::fresh_path();
+    let ws = Workspace::create(&public, &private_path)?;
     let working = ws.checkout(layout)?;
     println!("checked out {working} into the private database");
 
@@ -102,7 +99,9 @@ fn main() -> ode::Result<()> {
     txn.commit()?;
 
     drop(ws);
-    drop(public);
-    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&private_path);
+    let mut wal = private_path.into_os_string();
+    wal.push(".wal");
+    let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
     Ok(())
 }

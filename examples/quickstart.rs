@@ -2,7 +2,6 @@
 //!
 //! Run with: `cargo run -p bench --example quickstart`
 
-use ode::{Database, DatabaseOptions};
 use ode_codec::{impl_persist_struct, impl_type_name};
 
 #[derive(Debug, Clone, PartialEq)]
@@ -14,9 +13,7 @@ impl_persist_struct!(Part { name, weight });
 impl_type_name!(Part = "quickstart/Part");
 
 fn main() -> ode::Result<()> {
-    let path = std::env::temp_dir().join(format!("ode-quickstart-{}.db", std::process::id()));
-    let _ = std::fs::remove_file(&path);
-    let db = Database::create(&path, DatabaseOptions::default())?;
+    let mut db = ode::testutil::tempdb();
 
     let mut txn = db.begin();
 
@@ -65,8 +62,7 @@ fn main() -> ode::Result<()> {
     txn.commit()?;
 
     // Objects persist across invocations: reopen and look again.
-    drop(db);
-    let db = Database::open(&path, DatabaseOptions::default())?;
+    db.reopen();
     let mut snap = db.snapshot();
     println!(
         "after reopen        : weight = {} in {} versions",
@@ -74,11 +70,5 @@ fn main() -> ode::Result<()> {
         snap.version_count(&p)?
     );
 
-    drop(snap);
-    drop(db);
-    let _ = std::fs::remove_file(&path);
-    let mut wal = path.into_os_string();
-    wal.push(".wal");
-    let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
     Ok(())
 }

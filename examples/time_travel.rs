@@ -4,7 +4,6 @@
 //!
 //! Run with: `cargo run -p bench --example time_travel`
 
-use ode::{Database, DatabaseOptions};
 use ode_codec::{impl_persist_struct, impl_type_name};
 use ode_policies::environment::{EnvHandle, VersionState};
 use ode_policies::retention::RetentionPolicy;
@@ -18,9 +17,7 @@ impl_persist_struct!(Ledger { account, balance });
 impl_type_name!(Ledger = "time-travel/Ledger");
 
 fn main() -> ode::Result<()> {
-    let path = std::env::temp_dir().join(format!("ode-timetravel-{}.db", std::process::id()));
-    let _ = std::fs::remove_file(&path);
-    let db = Database::create(&path, DatabaseOptions::default())?;
+    let db = ode::testutil::tempdb();
 
     let mut txn = db.begin();
     let ledger = txn.pnew(&Ledger {
@@ -88,10 +85,5 @@ fn main() -> ode::Result<()> {
     );
     txn.commit()?;
 
-    drop(db);
-    let _ = std::fs::remove_file(&path);
-    let mut wal = path.into_os_string();
-    wal.push(".wal");
-    let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
     Ok(())
 }

@@ -1,0 +1,263 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! provides the API surface the workspace's bench targets use
+//! (`criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `Bencher::iter` / `iter_batched` /
+//! `iter_with_large_drop`, `BenchmarkId`, `BatchSize`) with a simple
+//! wall-clock measurement loop and a plain-text report instead of
+//! criterion's statistical machinery.
+//!
+//! Under `cargo test` (or with `--test` in the args) each benchmark
+//! body runs exactly once, so bench targets double as smoke tests.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handle passed to each `criterion_group!` function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_TEST_MODE").is_some();
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name}");
+        BenchmarkGroup {
+            criterion: self,
+            _name: name,
+            measurement: Duration::from_millis(200),
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let measurement = Duration::from_millis(200);
+        run_one(self.test_mode, &id.to_string(), measurement, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    _name: String,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stand-in sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the stand-in does not warm up.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Cap the measurement loop for each benchmark in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d.min(Duration::from_millis(500));
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            self.criterion.test_mode,
+            &id.to_string(),
+            self.measurement,
+            f,
+        );
+        self
+    }
+
+    /// End the group (report flushing in real criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(test_mode: bool, id: &str, measurement: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        single_shot: test_mode,
+        deadline: Instant::now()
+            + if test_mode {
+                Duration::ZERO
+            } else {
+                measurement
+            },
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("  {id:<40} ok (test mode)");
+    } else if b.iters > 0 {
+        let per = b.elapsed.as_nanos() / b.iters as u128;
+        println!("  {id:<40} {per:>12} ns/iter ({} iters)", b.iters);
+    } else {
+        println!("  {id:<40} (no iterations)");
+    }
+}
+
+/// Measurement driver passed to each benchmark closure.
+pub struct Bencher {
+    single_shot: bool,
+    deadline: Instant,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Call `routine` repeatedly until the measurement window closes.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if self.single_shot || Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter`], dropping large outputs outside the timed
+    /// section.
+    pub fn iter_with_large_drop<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        loop {
+            let t0 = Instant::now();
+            let out = routine();
+            self.elapsed += t0.elapsed();
+            drop(black_box(out));
+            self.iters += 1;
+            if self.single_shot || Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+
+    /// Measure `routine` on inputs built by `setup` outside the timed
+    /// section.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if self.single_shot || Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Batch sizing hints (accepted for compatibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh input per iteration.
+    PerIteration,
+    /// Small batches.
+    SmallInput,
+    /// Large batches.
+    LargeInput,
+}
+
+/// A two-part benchmark id: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Build `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Build from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Group several bench functions under one entry function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_smoke() {
+        std::env::set_var("CRITERION_TEST_MODE", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        group.bench_function(BenchmarkId::new("inc", 1), |b| b.iter(|| count += 1));
+        group.bench_function(BenchmarkId::new("batched", 2), |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::PerIteration)
+        });
+        group.finish();
+        assert!(count >= 1);
+        c.bench_function("free-standing", |b| b.iter(|| black_box(2 + 2)));
+    }
+}

@@ -1,0 +1,788 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! re-implements the subset of proptest's API that the workspace's
+//! property tests use: the [`Strategy`] trait with `prop_map`,
+//! [`any`] over an [`Arbitrary`] trait, range / string / tuple / `Just`
+//! strategies, `collection::{vec, btree_map}`, weighted [`prop_oneof!`],
+//! the [`proptest!`] macro (both `pat in strategy` and `ident: Type`
+//! argument forms), [`ProptestConfig`] and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberate for an offline test rig:
+//!
+//! * **No shrinking.** A failing case reports its case number and seed
+//!   (set `PROPTEST_SEED` to replay) instead of a minimized input.
+//! * **Deterministic by default.** Case `i` of test `name` derives its
+//!   seed from `hash(name) ⊕ i`, so CI failures always reproduce.
+//! * `prop_assert!`/`prop_assert_eq!` panic (like `assert!`) rather
+//!   than returning `Err`; the runner's case banner still fires.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Retry generation until `f` accepts the value (bounded; panics if
+    /// the predicate rejects everything).
+    fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+
+    /// Type-erase into a [`BoxedStrategy`].
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe alias used behind [`BoxedStrategy`].
+trait DynStrategy {
+    type Value;
+    fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A heap-allocated, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter predicate rejected 1000 consecutive values");
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between boxed alternatives (`prop_oneof!` backend).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms. Panics if empty or all
+    /// weights are zero.
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.random_range(0..self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights covered above")
+    }
+}
+
+// -- primitive strategies ---------------------------------------------------
+
+/// Integer ranges are strategies over their element type.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// String patterns act as strategies producing arbitrary strings.
+///
+/// Real proptest interprets the pattern as a regex; every in-tree use
+/// is `".*"`, so this stand-in generates arbitrary short strings
+/// (including multi-byte chars) and ignores the pattern text.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        arbitrary_string(rng)
+    }
+}
+
+fn arbitrary_string(rng: &mut TestRng) -> String {
+    let len = rng.random_range(0usize..12);
+    (0..len)
+        .map(|_| match rng.random_range(0u32..10) {
+            0 => char::from_u32(rng.random_range(0x80u32..0x2000)).unwrap_or('\u{fffd}'),
+            1 => '\u{1F600}',
+            _ => char::from(rng.random_range(0x20u8..0x7f)),
+        })
+        .collect()
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+// ---------------------------------------------------------------------------
+// Arbitrary / any
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` — proptest's `any::<T>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Mix boundary-ish values in, as real proptest's edge
+                // bias does: small, max, and uniform draws.
+                match rng.random_range(0u32..8) {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => rng.random_range(0u64..16) as $t,
+                    _ => rng.random::<$t>(),
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_arbitrary_signed {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                match rng.random_range(0u32..8) {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => rng.random_range(-8i64..8) as $t,
+                    _ => rng.random::<$t>(),
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_signed!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        match rng.random_range(0u32..8) {
+            0 => 0,
+            1 => u128::MAX,
+            2 => rng.random_range(0u64..16) as u128,
+            _ => (rng.random::<u64>() as u128) << 64 | rng.random::<u64>() as u128,
+        }
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.random()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        if rng.random_bool(0.8) {
+            char::from(rng.random_range(0x20u8..0x7f))
+        } else {
+            char::from_u32(rng.random_range(0x80u32..0xD7FF)).unwrap_or('\u{fffd}')
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.random::<u64>())
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> String {
+        arbitrary_string(rng)
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut TestRng) -> Option<T> {
+        if rng.random_bool(0.3) {
+            None
+        } else {
+            Some(T::arbitrary(rng))
+        }
+    }
+}
+
+fn arbitrary_len(rng: &mut TestRng) -> usize {
+    // Geometric-ish: usually small, occasionally larger.
+    match rng.random_range(0u32..10) {
+        0 => 0,
+        1..=6 => rng.random_range(1usize..8),
+        7 | 8 => rng.random_range(8usize..32),
+        _ => rng.random_range(32usize..100),
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut TestRng) -> Vec<T> {
+        let len = arbitrary_len(rng);
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+impl<K: Arbitrary + Ord, V: Arbitrary> Arbitrary for std::collections::BTreeMap<K, V> {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let len = arbitrary_len(rng);
+        (0..len)
+            .map(|_| (K::arbitrary(rng), V::arbitrary(rng)))
+            .collect()
+    }
+}
+
+impl<T: Arbitrary + Ord> Arbitrary for std::collections::BTreeSet<T> {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let len = arbitrary_len(rng);
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+impl<K: Arbitrary + std::hash::Hash + Eq, V: Arbitrary> Arbitrary
+    for std::collections::HashMap<K, V>
+{
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let len = arbitrary_len(rng);
+        (0..len)
+            .map(|_| (K::arbitrary(rng), V::arbitrary(rng)))
+            .collect()
+    }
+}
+
+macro_rules! impl_arbitrary_tuple {
+    ($(($($t:ident),+))*) => {$(
+        impl<$($t: Arbitrary),+> Arbitrary for ($($t,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($t::arbitrary(rng),)+)
+            }
+        }
+    )*};
+}
+impl_arbitrary_tuple! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+// ---------------------------------------------------------------------------
+// collection
+// ---------------------------------------------------------------------------
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            assert!(self.hi > self.lo, "empty collection size range");
+            rng.random_range(self.lo..self.hi)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`; sizes are an upper
+    /// bound since duplicate keys collapse.
+    pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            keys,
+            values,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len)
+                .map(|_| (self.keys.generate(rng), self.values.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner / config
+// ---------------------------------------------------------------------------
+
+/// Test-runner configuration (`proptest::test_runner::ProptestConfig`).
+pub mod test_runner {
+    /// How many cases each property test runs, and other knobs kept for
+    /// source compatibility.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Accepted for compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig {
+                cases: 64,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+}
+
+pub use test_runner::ProptestConfig;
+
+/// Drives one property test: seeds, case loop, failure banner.
+/// Used by the [`proptest!`] macro expansion; not part of proptest's
+/// public API surface.
+#[doc(hidden)]
+pub fn run_cases(name: &str, cases: u32, mut case: impl FnMut(&mut TestRng)) {
+    let base = match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s.parse::<u64>().unwrap_or_else(|_| hash_name(&s)),
+        Err(_) => hash_name(name),
+    };
+    for i in 0..cases as u64 {
+        let seed = base ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // The banner's Drop prints only while unwinding, so a passing
+        // case drops it silently.
+        let _banner = FailureBanner {
+            name,
+            case: i,
+            seed,
+        };
+        let mut rng = TestRng::seed_from_u64(seed);
+        case(&mut rng);
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a: stable across runs (DefaultHasher is randomized per
+    // process in some configurations; determinism matters here).
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+struct FailureBanner<'a> {
+    name: &'a str,
+    case: u64,
+    seed: u64,
+}
+
+impl Drop for FailureBanner<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest: {} failed at case {} (PROPTEST_SEED={} replays this exact run)",
+                self.name, self.case, self.seed
+            );
+        }
+    }
+}
+
+impl fmt::Debug for FailureBanner<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FailureBanner({})", self.name)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Define property tests. Supports the two proptest argument forms:
+/// `name in strategy` and `name: Type` (the latter meaning
+/// `any::<Type>()`), plus an optional leading
+/// `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    // Done.
+    (($cfg:expr)) => {};
+    // One test fn, then recurse on the rest.
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __cfg = $cfg;
+            $crate::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                __cfg.cases,
+                |__rng| {
+                    $crate::__proptest_bind!(__rng, $($args)*);
+                    $body
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Bind proptest-style test arguments from the case RNG.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $pat:pat in $strat:expr $(, $($rest:tt)*)?) => {
+        let $pat = $crate::Strategy::generate(&$strat, $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, $name:ident: $ty:ty $(, $($rest:tt)*)?) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary($rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+}
+
+/// Weighted or unweighted choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Property-test assertion (panics on failure, like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property-test equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property-test inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// The usual glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, Strategy,
+    };
+    /// Alias so `prop::collection::vec(...)` style paths work.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        A(u8),
+        B(u64, bool),
+        Stop,
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => any::<u8>().prop_map(Op::A),
+            2 => (any::<u64>(), any::<bool>()).prop_map(|(x, b)| Op::B(x, b)),
+            1 => Just(Op::Stop),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 0u64..100, y in 5usize..6) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(y, 5);
+        }
+
+        #[test]
+        fn typed_args_generate(v: Vec<u8>, flag: bool, s: String) {
+            let _ = (v.len(), flag, s.len());
+        }
+
+        #[test]
+        fn oneof_and_collections(ops in collection::vec(arb_op(), 1..20)) {
+            prop_assert!(!ops.is_empty() && ops.len() < 20);
+        }
+
+        #[test]
+        fn string_strategy(s in ".*") {
+            let _ = s.len();
+        }
+
+        #[test]
+        fn btree_map_strategy(m in collection::btree_map(".*", 0u32..10, 0..8)) {
+            prop_assert!(m.len() < 8);
+            for v in m.values() { prop_assert!(*v < 10); }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 7, ..ProptestConfig::default() })]
+        #[test]
+        fn config_cases_respected(_x in 0u8..=255) {
+            // 7 cases, each in bounds by construction.
+        }
+    }
+
+    #[test]
+    fn union_weights_skew_distribution() {
+        use rand::SeedableRng;
+        let strat = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        let hits = (0..1000).filter(|_| strat.generate(&mut rng)).count();
+        assert!(hits > 800, "hits {hits}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        crate::run_cases("det-test", 5, |rng| a.push(u64::arbitrary(rng)));
+        crate::run_cases("det-test", 5, |rng| b.push(u64::arbitrary(rng)));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,250 @@
+//! Offline stand-in for the `rand` crate (0.9 API surface).
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! implements the subset of `rand` 0.9 that the workspace uses:
+//! [`Rng::random`], [`Rng::random_range`], [`Rng::random_bool`],
+//! [`SeedableRng::seed_from_u64`] and [`rngs::StdRng`].  The generator
+//! is xoshiro256** seeded via SplitMix64 — deterministic for a given
+//! seed, statistically solid for workload generation (this is not a
+//! cryptographic RNG, and neither use here needs one).
+
+#![forbid(unsafe_code)]
+
+/// A source of randomness: the subset of `rand::Rng` used in-tree.
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T` (`u8`–`u128`, sizes, `bool`,
+    /// `f64` in `[0,1)`).
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_rng(self.next_u64_dyn())
+    }
+
+    /// A uniformly random value in `range` (half-open or inclusive).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: SampleRange<T>,
+    {
+        let (lo, span) = range.bounds();
+        assert!(span > 0, "cannot sample from an empty range");
+        // Widening-multiply rejection-free mapping (Lemire); the tiny
+        // bias at span ≫ 2^64 is irrelevant for workload generation.
+        let x = self.next_u64_dyn();
+        let mapped = ((x as u128 * span as u128) >> 64) as u64;
+        T::from_offset(lo, mapped)
+    }
+
+    /// `true` with probability `p` (clamped to `[0,1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        (self.next_u64_dyn() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64_dyn().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The raw 64-bit generator interface (object safe).
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64_dyn(&mut self) -> u64;
+}
+
+/// Seeding interface: the subset of `rand::SeedableRng` used in-tree.
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible uniformly from raw bits ("standard distribution").
+pub trait Standard: Sized {
+    /// Build a value from one draw of 64 random bits.
+    fn from_rng(bits: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_rng(bits: u64) -> $t { bits as $t }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn from_rng(bits: u64) -> u128 {
+        // One draw only; callers needing full-width u128 entropy should
+        // combine two draws themselves (none in-tree do).
+        bits as u128
+    }
+}
+
+impl Standard for bool {
+    fn from_rng(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_rng(bits: u64) -> f64 {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types samplable by [`Rng::random_range`].
+pub trait UniformInt: Copy {
+    /// Reconstruct a value as `lo + offset`.
+    fn from_offset(lo: Self, offset: u64) -> Self;
+    /// The value as an unsigned 64-bit ordinal.
+    fn to_u64(self) -> u64;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn from_offset(lo: $t, offset: u64) -> $t {
+                (lo as i128 + offset as i128) as $t
+            }
+            fn to_u64(self) -> u64 { self as u64 }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Lower bound and number of representable values (0 = empty).
+    fn bounds(&self) -> (T, u64);
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::Range<T> {
+    fn bounds(&self) -> (T, u64) {
+        let span = self.end.to_u64().wrapping_sub(self.start.to_u64());
+        (self.start, span)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn bounds(&self) -> (T, u64) {
+        let span = self
+            .end()
+            .to_u64()
+            .wrapping_sub(self.start().to_u64())
+            .wrapping_add(1);
+        (*self.start(), span)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** seeded via SplitMix64 — `rand`'s `StdRng` role.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 stream expands the seed into the full state,
+            // as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64_dyn(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64_dyn(), b.next_u64_dyn());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64_dyn(), c.next_u64_dyn());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u64 = rng.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: usize = rng.random_range(0..3);
+            assert!(w < 3);
+            let x: i32 = rng.random_range(-5..5);
+            assert!((-5..5).contains(&x));
+            let y: u8 = rng.random_range(0..=255);
+            let _ = y;
+        }
+    }
+
+    #[test]
+    fn floats_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}
