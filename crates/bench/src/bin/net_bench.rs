@@ -1,0 +1,171 @@
+//! `net_bench` — loopback throughput of `ode-net`, sequential vs
+//! pipelined reads.
+//!
+//! ```text
+//! net_bench [clients] [reads_per_client] [batch] [objects]
+//! ```
+//!
+//! One in-process server on 127.0.0.1, `clients` client threads, each
+//! performing `reads_per_client` Deref reads over a shared pool of
+//! `objects` seeded objects. Two phases over the same workload:
+//!
+//! - **sequential** — one request, one round trip, `call()` at a time
+//!   (the PR 1 client model);
+//! - **pipelined** — the same reads pushed in `batch`-sized
+//!   [`Pipeline`](ode_net::Pipeline) batches, so a whole batch costs
+//!   roughly one round trip.
+//!
+//! The report (JSON on stdout, the shape checked into BENCH_net.json)
+//! includes the server's snapshot-cache hit/miss counters per phase:
+//! a read-only workload settles into one epoch, so nearly every read
+//! after the first touch of each object is a cache hit.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Instant;
+
+use ode::{Database, DatabaseOptions, Oid, TypeTag};
+use ode_net::{ClientConfig, OdeClient, OdeServer, Request, Response, ServerConfig};
+
+const TAG: TypeTag = TypeTag(0x6e65745f62656e63); // "net_benc"
+
+struct Scratch(std::path::PathBuf);
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+        let mut wal = self.0.clone().into_os_string();
+        wal.push(".wal");
+        let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+    }
+}
+
+struct PhaseResult {
+    elapsed_secs: f64,
+    ops_per_sec: f64,
+    snapshot_hits: u64,
+    snapshot_misses: u64,
+}
+
+/// Run one phase: every thread performs `reads` Derefs over `oids`,
+/// round-robin from a per-thread offset. Returns aggregate throughput
+/// and the snapshot-cache counters accumulated *during* the phase.
+fn run_phase(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    reads: usize,
+    batch: usize,
+    oids: &[Oid],
+    pipelined: bool,
+) -> PhaseResult {
+    let mut stats_client = OdeClient::connect(addr, ClientConfig::default()).expect("connect");
+    let before = stats_client.stats().expect("stats");
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let start = Instant::now();
+    thread::scope(|scope| {
+        for t in 0..clients {
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                let mut c = OdeClient::connect(addr, ClientConfig::default()).expect("connect");
+                barrier.wait();
+                let mut i = t; // offset per thread so the pool interleaves
+                if pipelined {
+                    let mut done = 0usize;
+                    while done < reads {
+                        let n = batch.min(reads - done);
+                        let mut pipe = c.pipeline();
+                        for _ in 0..n {
+                            let oid = oids[i % oids.len()];
+                            i += 1;
+                            pipe.push(&Request::Deref { oid, tag: TAG }).expect("push");
+                        }
+                        for r in pipe.run().expect("pipeline") {
+                            assert!(matches!(r, Response::Body { .. }));
+                        }
+                        done += n;
+                    }
+                } else {
+                    for _ in 0..reads {
+                        let oid = oids[i % oids.len()];
+                        i += 1;
+                        c.deref_raw(oid, TAG).expect("deref");
+                    }
+                }
+            });
+        }
+        barrier.wait();
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let after = stats_client.stats().expect("stats");
+    let total_ops = (clients * reads) as f64;
+    PhaseResult {
+        elapsed_secs: elapsed,
+        ops_per_sec: total_ops / elapsed,
+        snapshot_hits: after.snapshot_hits - before.snapshot_hits,
+        snapshot_misses: after.snapshot_misses - before.snapshot_misses,
+    }
+}
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("numeric argument"))
+        .collect();
+    let clients = args.first().copied().unwrap_or(8);
+    let reads = args.get(1).copied().unwrap_or(20_000);
+    let batch = args.get(2).copied().unwrap_or(32);
+    let objects = args.get(3).copied().unwrap_or(64);
+
+    let path = std::env::temp_dir().join(format!("ode-net-bench-{}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let scratch = Scratch(path);
+    let db = Arc::new(Database::create(&scratch.0, DatabaseOptions::no_sync()).expect("create db"));
+    // Workers bound the number of concurrently served connections; the
+    // benchmark needs every client live at once (plus the seeder and
+    // the per-phase stats connection), whatever the host's CPU count.
+    let config = ServerConfig {
+        workers: clients + 2,
+        ..ServerConfig::default()
+    };
+    let server = OdeServer::bind(Arc::clone(&db), "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+
+    let mut seeder = OdeClient::connect(addr, ClientConfig::default()).expect("connect");
+    let body = vec![0xABu8; 128];
+    let oids: Vec<Oid> = (0..objects)
+        .map(|_| seeder.pnew_raw(TAG, body.clone()).expect("seed").0)
+        .collect();
+
+    // Warm-up: touch every object once so both phases start from a
+    // fully resolved store (the first phase would otherwise pay the
+    // cold-path cost alone).
+    for &oid in &oids {
+        seeder.deref_raw(oid, TAG).expect("warm");
+    }
+
+    let sequential = run_phase(addr, clients, reads, batch, &oids, false);
+    let pipelined = run_phase(addr, clients, reads, batch, &oids, true);
+    let speedup = pipelined.ops_per_sec / sequential.ops_per_sec;
+    server.shutdown();
+
+    println!("{{");
+    println!("  \"benchmark\": \"net_loopback_reads\",");
+    println!("  \"clients\": {clients},");
+    println!("  \"reads_per_client\": {reads},");
+    println!("  \"batch\": {batch},");
+    println!("  \"objects\": {objects},");
+    println!("  \"sequential\": {{");
+    println!("    \"ops_per_sec\": {:.0},", sequential.ops_per_sec);
+    println!("    \"elapsed_secs\": {:.3},", sequential.elapsed_secs);
+    println!("    \"snapshot_hits\": {},", sequential.snapshot_hits);
+    println!("    \"snapshot_misses\": {}", sequential.snapshot_misses);
+    println!("  }},");
+    println!("  \"pipelined\": {{");
+    println!("    \"ops_per_sec\": {:.0},", pipelined.ops_per_sec);
+    println!("    \"elapsed_secs\": {:.3},", pipelined.elapsed_secs);
+    println!("    \"snapshot_hits\": {},", pipelined.snapshot_hits);
+    println!("    \"snapshot_misses\": {}", pipelined.snapshot_misses);
+    println!("  }},");
+    println!("  \"pipelined_over_sequential\": {speedup:.2}");
+    println!("}}");
+}

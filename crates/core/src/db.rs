@@ -1,6 +1,7 @@
 //! The database handle.
 
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ode_storage::{Store, StoreOptions};
@@ -44,6 +45,13 @@ pub struct Database {
     store: Store,
     versions: VersionStore,
     triggers: TriggerRegistry,
+    /// Bumped by every committed write transaction, *before* the commit
+    /// call returns — so once a writer has been told its commit
+    /// succeeded, every subsequent [`Database::snapshot_epoch`] call
+    /// (from any thread) observes a newer epoch. Read-side caches key
+    /// their entries on this counter to get commit-granularity
+    /// invalidation without tracking individual objects.
+    epoch: AtomicU64,
 }
 
 impl Database {
@@ -54,6 +62,7 @@ impl Database {
             store,
             versions: VersionStore::new(VersionStoreLayout::default()),
             triggers: TriggerRegistry::default(),
+            epoch: AtomicU64::new(1),
         })
     }
 
@@ -64,6 +73,7 @@ impl Database {
             store,
             versions: VersionStore::new(VersionStoreLayout::default()),
             triggers: TriggerRegistry::default(),
+            epoch: AtomicU64::new(1),
         })
     }
 
@@ -74,6 +84,7 @@ impl Database {
             store,
             versions: VersionStore::new(VersionStoreLayout::default()),
             triggers: TriggerRegistry::default(),
+            epoch: AtomicU64::new(1),
         })
     }
 
@@ -127,6 +138,24 @@ impl Database {
 
     pub(crate) fn fire(&self, events: &[Event]) {
         self.triggers.fire(events);
+    }
+
+    /// The current snapshot epoch.
+    ///
+    /// Monotone; advanced by every committed write transaction before
+    /// [`Txn::commit`] returns. Two equal observations bracket a span in
+    /// which no transaction committed, so any data read from a snapshot
+    /// opened in between is still current — the contract read-side
+    /// caches (e.g. the network server's snapshot cache) rely on.
+    /// Sample the epoch *before* opening the snapshot: a commit racing
+    /// in between then tags the cached data with an already-stale epoch,
+    /// which is the safe direction.
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Buffer pool statistics (bench instrumentation).

@@ -674,6 +674,11 @@ impl<'db> Txn<'db> {
     /// triggers for the committed events.
     pub fn commit(self) -> Result<()> {
         self.tx.commit()?;
+        // Advance the snapshot epoch before returning (and so before
+        // any caller acknowledges this commit to anyone): readers that
+        // sample the epoch after the ack are guaranteed to see a value
+        // newer than any cache entry built from pre-commit state.
+        self.db.bump_epoch();
         self.db.fire(&self.events);
         Ok(())
     }

@@ -1,0 +1,173 @@
+//! The server's epoch-tagged read-snapshot cache.
+//!
+//! The storage engine resolves every read under the store's coarse
+//! lock, so a hot read path pays lock traffic plus latest-version
+//! resolution per request even when nothing has changed. The paper's
+//! generic references make this worse: *every* `Deref` re-resolves the
+//! latest version. This cache keys successful read responses by their
+//! encoded request bytes and tags the whole map with the database's
+//! [snapshot epoch](ode::Database::snapshot_epoch); a hit is served
+//! straight off the map without opening a snapshot (and therefore
+//! without touching the store lock at all).
+//!
+//! Consistency is commit-granular: [`Txn::commit`](ode::Txn) bumps the
+//! epoch before it returns, and [`SnapshotCache::lookup`] discards the
+//! whole map the moment it sees a newer epoch, so a read that starts
+//! after any commit was acknowledged can never be served a pre-commit
+//! answer. Readers sample the epoch *before* opening their snapshot;
+//! a commit racing the fill then leaves the entry tagged with an
+//! already-stale epoch, which only costs a future miss — never a stale
+//! hit.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::protocol::Response;
+
+/// Cached responses for one epoch.
+#[derive(Default)]
+struct Generation {
+    /// Epoch every entry in `map` was resolved at.
+    epoch: u64,
+    /// Encoded request payload (seq 0) → successful read response.
+    map: HashMap<Vec<u8>, Response>,
+}
+
+/// A commit-invalidated cache of read responses, shared by every
+/// connection of one server.
+pub(crate) struct SnapshotCache {
+    inner: Mutex<Generation>,
+    /// Entry cap; at the cap, new fills are dropped (the map never
+    /// outlives one epoch, so eviction pressure resolves itself at the
+    /// next commit).
+    max_entries: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SnapshotCache {
+    /// A cache holding at most `max_entries` responses per epoch.
+    /// `max_entries == 0` disables caching: every lookup misses and
+    /// every insert is dropped (the counters still tick, keeping the
+    /// stats meaningful).
+    pub(crate) fn new(max_entries: usize) -> SnapshotCache {
+        SnapshotCache {
+            inner: Mutex::new(Generation::default()),
+            max_entries,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up the cached response for `key` as of `epoch`. Drops the
+    /// whole map first if `epoch` has moved past the one the entries
+    /// were filled at.
+    pub(crate) fn lookup(&self, epoch: u64, key: &[u8]) -> Option<Response> {
+        let mut inner = self.inner.lock();
+        if inner.epoch < epoch {
+            // One generation at a time: a newer epoch orphans every
+            // entry. The inverse (a caller still holding an older
+            // sample while the cache moved on) just misses — the
+            // generation is never rolled back.
+            inner.map.clear();
+            inner.epoch = epoch;
+        }
+        if inner.epoch != epoch {
+            drop(inner);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        match inner.map.get(key) {
+            Some(resp) => {
+                let resp = resp.clone();
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(resp)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Record the response a read resolved to at `epoch`. Skipped when
+    /// the cache has moved on to a newer epoch (the entry would be
+    /// stale on arrival) and when the per-epoch cap is reached.
+    pub(crate) fn insert(&self, epoch: u64, key: Vec<u8>, resp: Response) {
+        if self.max_entries == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if inner.epoch < epoch {
+            inner.map.clear();
+            inner.epoch = epoch;
+        }
+        if inner.epoch != epoch || inner.map.len() >= self.max_entries {
+            return;
+        }
+        inner.map.insert(key, resp);
+    }
+
+    /// Total lookups served from the map.
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total lookups that had to open a snapshot.
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill_within_one_epoch() {
+        let cache = SnapshotCache::new(16);
+        assert_eq!(cache.lookup(1, b"k"), None);
+        cache.insert(1, b"k".to_vec(), Response::Count(7));
+        assert_eq!(cache.lookup(1, b"k"), Some(Response::Count(7)));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn epoch_advance_invalidates_everything() {
+        let cache = SnapshotCache::new(16);
+        cache.insert(1, b"k".to_vec(), Response::Count(7));
+        assert_eq!(cache.lookup(2, b"k"), None);
+        // And the old-epoch entry cannot resurface later.
+        assert_eq!(cache.lookup(2, b"k"), None);
+    }
+
+    #[test]
+    fn stale_fill_is_dropped() {
+        let cache = SnapshotCache::new(16);
+        assert_eq!(cache.lookup(2, b"k"), None); // cache now at epoch 2
+        cache.insert(1, b"k".to_vec(), Response::Count(7)); // resolved pre-commit
+        assert_eq!(cache.lookup(2, b"k"), None);
+    }
+
+    #[test]
+    fn capacity_zero_disables() {
+        let cache = SnapshotCache::new(0);
+        cache.insert(1, b"k".to_vec(), Response::Count(7));
+        assert_eq!(cache.lookup(1, b"k"), None);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn capacity_cap_drops_new_fills() {
+        let cache = SnapshotCache::new(1);
+        cache.insert(1, b"a".to_vec(), Response::Count(1));
+        cache.insert(1, b"b".to_vec(), Response::Count(2));
+        assert_eq!(cache.lookup(1, b"a"), Some(Response::Count(1)));
+        assert_eq!(cache.lookup(1, b"b"), None);
+    }
+}

@@ -8,14 +8,23 @@
 //! [`ode::ObjPtr`] / [`ode::VersionPtr`], carrying the raw [`Oid`] /
 //! [`Vid`].
 //!
+//! The connection is a **pipeline**: every request carries a
+//! client-assigned sequence id and the server may answer out of order,
+//! so [`OdeClient::send`] / [`OdeClient::recv`] keep any number of
+//! requests in flight, with [`OdeClient::pipeline`] batching a whole
+//! group in one flush. The typed methods are all one-request
+//! conveniences over the same machinery.
+//!
 //! The connection is lazily (re)established. Idempotent reads are
 //! retried once on a fresh connection when the old one turns out to be
-//! dead (a server restart, an idle-timeout close); writes are never
-//! retried — an I/O error on a write leaves its outcome unknown and is
-//! surfaced to the caller.
+//! dead (a server restart, an idle-timeout close) — and only when
+//! nothing else was in flight, so a retry can never reorder around
+//! other requests; writes are never retried — an I/O error on a write
+//! leaves its outcome unknown and is surfaced to the caller.
 
+use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::io::{self, BufReader, Write};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::marker::PhantomData;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -172,7 +181,7 @@ impl<T> fmt::Display for ClientVersionPtr<T> {
 
 struct Conn {
     reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    writer: BufWriter<TcpStream>,
 }
 
 /// A blocking client for one Ode server.
@@ -180,6 +189,14 @@ pub struct OdeClient {
     addrs: Vec<SocketAddr>,
     config: ClientConfig,
     conn: Option<Conn>,
+    /// Next sequence id to stamp on a request. Connection-independent:
+    /// ids never repeat across reconnects, so a late response from a
+    /// dead connection can never be confused with a live request's.
+    next_seq: u64,
+    /// Sequence ids sent but not yet answered.
+    inflight: HashSet<u64>,
+    /// Responses that arrived while waiting for a different sequence id.
+    backlog: HashMap<u64, Response>,
 }
 
 impl OdeClient {
@@ -197,23 +214,34 @@ impl OdeClient {
             addrs,
             config,
             conn: None,
+            next_seq: 0,
+            inflight: HashSet::new(),
+            backlog: HashMap::new(),
         };
         client.reconnect()?;
         Ok(client)
     }
 
     /// Drop the current connection; the next operation dials anew.
+    /// Responses to anything still in flight are abandoned.
     pub fn disconnect(&mut self) {
+        self.poison();
+    }
+
+    /// Forget the connection and everything that was in flight on it.
+    fn poison(&mut self) {
         self.conn = None;
+        self.inflight.clear();
+        self.backlog.clear();
     }
 
     fn reconnect(&mut self) -> Result<()> {
-        self.conn = None;
+        self.poison();
         let stream = TcpStream::connect(&self.addrs[..])?;
         stream.set_read_timeout(self.config.read_timeout)?;
         stream.set_write_timeout(self.config.write_timeout)?;
         stream.set_nodelay(true).ok();
-        let mut writer = stream.try_clone()?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
         let mut reader = BufReader::new(stream);
         writer.write_all(&MAGIC)?;
         writer.flush()?;
@@ -228,13 +256,83 @@ impl OdeClient {
         Ok(())
     }
 
-    fn roundtrip(&mut self, payload: &[u8]) -> Result<Response> {
+    // -- pipelined core ------------------------------------------------------
+
+    /// Send one request without waiting for its response; returns the
+    /// sequence id to pass to [`OdeClient::recv_for`]. The request is
+    /// buffered — it reaches the wire at the next `recv`/`recv_for`
+    /// (which flush before reading), keeping a burst of sends in one
+    /// write.
+    pub fn send(&mut self, request: &Request) -> Result<u64> {
         if self.conn.is_none() {
             self.reconnect()?;
         }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let payload = request.encode(seq);
         let conn = self.conn.as_mut().expect("connection just established");
+        match write_frame(&mut conn.writer, &payload) {
+            Ok(_) => {
+                self.inflight.insert(seq);
+                Ok(seq)
+            }
+            Err(e) => {
+                self.poison();
+                Err(NetError::Io(e))
+            }
+        }
+    }
+
+    /// Receive the next response the server sends (order unspecified —
+    /// responses backlogged while waiting for other sequence ids are
+    /// drained first). Errors when nothing is in flight.
+    pub fn recv(&mut self) -> Result<(u64, Response)> {
+        if let Some(&seq) = self.backlog.keys().next() {
+            let response = self.backlog.remove(&seq).expect("key just seen");
+            return Ok((seq, response));
+        }
+        self.read_one()
+    }
+
+    /// Receive the response for one specific sequence id, buffering any
+    /// other responses that arrive first.
+    pub fn recv_for(&mut self, seq: u64) -> Result<Response> {
+        loop {
+            if let Some(response) = self.backlog.remove(&seq) {
+                return Ok(response);
+            }
+            if !self.inflight.contains(&seq) {
+                return Err(NetError::Protocol(format!(
+                    "sequence id {seq} is not in flight"
+                )));
+            }
+            let (got, response) = self.read_one()?;
+            if got == seq {
+                return Ok(response);
+            }
+            self.backlog.insert(got, response);
+        }
+    }
+
+    /// Start a batch of pipelined requests on this connection.
+    pub fn pipeline(&mut self) -> Pipeline<'_> {
+        Pipeline {
+            client: self,
+            seqs: Vec::new(),
+        }
+    }
+
+    /// Flush buffered requests and read one frame off the socket. Any
+    /// failure poisons the connection — everything in flight is lost.
+    fn read_one(&mut self) -> Result<(u64, Response)> {
+        if self.inflight.is_empty() {
+            return Err(NetError::Protocol("no requests in flight".into()));
+        }
+        let conn = self
+            .conn
+            .as_mut()
+            .expect("in-flight requests imply a connection");
         let result = (|| {
-            write_frame(&mut conn.writer, payload)?;
             conn.writer.flush()?;
             match read_frame(&mut conn.reader)? {
                 Some(frame) => Response::decode(&frame),
@@ -244,17 +342,36 @@ impl OdeClient {
                 ))),
             }
         })();
-        if result.is_err() {
-            self.conn = None;
+        match result {
+            Ok((seq, response)) => {
+                if !self.inflight.remove(&seq) {
+                    self.poison();
+                    return Err(NetError::Protocol(format!(
+                        "response for unknown sequence id {seq}"
+                    )));
+                }
+                Ok((seq, response))
+            }
+            Err(e) => {
+                self.poison();
+                Err(e)
+            }
         }
-        result
+    }
+
+    fn call_once(&mut self, request: &Request) -> Result<Response> {
+        let seq = self.send(request)?;
+        self.recv_for(seq)
     }
 
     fn call(&mut self, request: &Request) -> Result<Response> {
-        let payload = request.encode();
-        match self.roundtrip(&payload) {
-            Err(NetError::Io(_)) if request.is_read() && self.config.retry_reads => {
-                self.roundtrip(&payload)
+        // Only an idle connection may retry: with other requests in
+        // flight a reconnect would abandon them, and the retry could
+        // slip past a write queued ahead of it.
+        let idle = self.inflight.is_empty() && self.backlog.is_empty();
+        match self.call_once(request) {
+            Err(NetError::Io(_)) if idle && request.is_read() && self.config.retry_reads => {
+                self.call_once(request)
             }
             other => other,
         }
@@ -526,6 +643,49 @@ impl OdeClient {
             }
             other => Err(unexpected("versions", &other)),
         }
+    }
+}
+
+/// A batch of requests kept in flight together on one [`OdeClient`]
+/// connection.
+///
+/// [`push`](Pipeline::push) buffers requests without waiting;
+/// [`run`](Pipeline::run) flushes them as one write and collects every
+/// response, returned in **request order** regardless of the order the
+/// server answered. Nothing in a pipeline is ever retried — the first
+/// failure surfaces immediately and abandons the rest of the batch
+/// (their outcomes, like any failed write's, are unknown).
+pub struct Pipeline<'a> {
+    client: &'a mut OdeClient,
+    seqs: Vec<u64>,
+}
+
+impl Pipeline<'_> {
+    /// Queue one request; returns its sequence id.
+    pub fn push(&mut self, request: &Request) -> Result<u64> {
+        let seq = self.client.send(request)?;
+        self.seqs.push(seq);
+        Ok(seq)
+    }
+
+    /// Number of requests queued so far.
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Whether the batch is still empty.
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// Collect every queued response, in the order the requests were
+    /// pushed.
+    pub fn run(self) -> Result<Vec<Response>> {
+        let mut responses = Vec::with_capacity(self.seqs.len());
+        for seq in self.seqs {
+            responses.push(self.client.recv_for(seq)?);
+        }
+        Ok(responses)
     }
 }
 

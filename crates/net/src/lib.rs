@@ -17,6 +17,15 @@
 //! reconnecting after a server restart sees every version it was ever
 //! acknowledged.
 //!
+//! Protocol v2 makes every connection a **pipeline**: requests carry
+//! client-assigned sequence ids and responses may arrive out of order,
+//! so [`OdeClient::send`]/[`OdeClient::recv`] (and the
+//! [`Pipeline`] batch API) keep many requests in flight per
+//! connection. The server decodes ahead into a bounded per-connection
+//! queue and serves repeated reads from a commit-invalidated snapshot
+//! cache ([`StatsReport::snapshot_hits`] /
+//! [`StatsReport::snapshot_misses`] show its effectiveness).
+//!
 //! ```no_run
 //! use std::sync::Arc;
 //! use ode::{Database, DatabaseOptions};
@@ -32,12 +41,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod client;
 mod error;
 pub mod protocol;
 mod server;
 
-pub use client::{ClientConfig, ClientObjPtr, ClientVersionPtr, OdeClient};
+pub use client::{ClientConfig, ClientObjPtr, ClientVersionPtr, OdeClient, Pipeline};
 pub use error::{NetError, RemoteError, Result};
-pub use protocol::{Opcode, StatsReport};
+pub use protocol::{Opcode, Request, Response, StatsReport};
 pub use server::{OdeServer, ServerConfig};

@@ -6,15 +6,24 @@
 //! **length-prefixed frames** in each direction: a LEB128 varint byte
 //! count followed by that many payload bytes. Requests and responses
 //! use the same framing; every request frame is answered by exactly one
-//! response frame, in order.
+//! response frame, **matched by sequence id, not by order**.
 //!
-//! A request payload is an opcode byte followed by the operation's
-//! fields; a response payload is a response-kind byte followed by the
-//! result fields. All integers (ids, tags, counts, lengths) are LEB128
-//! varints via [`ode_codec`]'s writer/reader; object bodies travel as
-//! length-prefixed byte strings holding their normal [`ode_codec`]
-//! `Persist` encoding — the server never decodes bodies, it stores and
-//! serves the client's bytes and only checks the type tag.
+//! Protocol version 2 (the `\x02` in [`MAGIC`]) made the connection a
+//! *pipeline*: every request payload starts with a client-assigned
+//! varint sequence id, echoed back as the first field of its response
+//! payload. A client may keep any number of requests in flight, and the
+//! server may answer them out of order (it answers `Ping`, `Stats`, and
+//! snapshot-cache hits ahead of queued work); the sequence id is the
+//! only correlation between the two streams.
+//!
+//! After the sequence id, a request payload is an opcode byte followed
+//! by the operation's fields; a response payload is a response-kind
+//! byte followed by the result fields. All integers (ids, tags, counts,
+//! lengths) are LEB128 varints via [`ode_codec`]'s writer/reader;
+//! object bodies travel as length-prefixed byte strings holding their
+//! normal [`ode_codec`] `Persist` encoding — the server never decodes
+//! bodies, it stores and serves the client's bytes and only checks the
+//! type tag.
 //!
 //! The full opcode table lives in the README ("Running Ode as a
 //! server"); [`Opcode`] is the authoritative enumeration.
@@ -26,8 +35,10 @@ use ode_codec::{varint, Reader, Writer};
 
 use crate::error::{NetError, RemoteError, Result};
 
-/// Connection handshake: `"ODE"` + protocol version byte.
-pub const MAGIC: [u8; 4] = *b"ODE\x01";
+/// Connection handshake: `"ODE"` + protocol version byte. Version 2
+/// added pipelining (sequence-id-prefixed payloads); a v1 peer fails
+/// the handshake rather than misparsing frames.
+pub const MAGIC: [u8; 4] = *b"ODE\x02";
 
 /// Upper bound on a single frame's payload, guarding both sides
 /// against allocating unbounded memory on a corrupt length prefix.
@@ -341,9 +352,11 @@ impl Request {
         )
     }
 
-    /// Encode into a frame payload (no length prefix).
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encode into a frame payload (no length prefix), stamped with the
+    /// client-assigned sequence id the response will echo.
+    pub fn encode(&self, seq: u64) -> Vec<u8> {
         let mut w = Writer::new();
+        w.put_varint(seq);
         w.put_u8(self.opcode() as u8);
         match self {
             Request::Ping | Request::Stats => {}
@@ -399,10 +412,18 @@ impl Request {
         w.into_bytes()
     }
 
-    /// Decode a frame payload. Strict: unknown opcodes and trailing
-    /// bytes are protocol errors.
-    pub fn decode(payload: &[u8]) -> Result<Request> {
+    /// Decode just the sequence id from a request payload — the part a
+    /// server can still echo in an error frame when the rest of the
+    /// payload is garbage.
+    pub fn decode_seq(payload: &[u8]) -> Result<u64> {
+        Ok(Reader::new(payload).get_varint()?)
+    }
+
+    /// Decode a frame payload into its sequence id and request. Strict:
+    /// unknown opcodes and trailing bytes are protocol errors.
+    pub fn decode(payload: &[u8]) -> Result<(u64, Request)> {
         let mut r = Reader::new(payload);
+        let seq = r.get_varint()?;
         let op = r.get_u8()?;
         let op = Opcode::from_u8(op)
             .ok_or_else(|| NetError::Protocol(format!("unknown request opcode {op}")))?;
@@ -489,7 +510,7 @@ impl Request {
                 op.name()
             )));
         }
-        Ok(req)
+        Ok((seq, req))
     }
 }
 
@@ -529,6 +550,11 @@ pub struct StatsReport {
     pub protocol_errors: u64,
     /// Requests that executed and failed (error frames sent).
     pub op_errors: u64,
+    /// Read requests answered from the server's snapshot cache without
+    /// touching the store.
+    pub snapshot_hits: u64,
+    /// Read requests that had to open a fresh database snapshot.
+    pub snapshot_misses: u64,
     /// Per-opcode request counts; only non-zero entries are listed.
     pub requests: Vec<(Opcode, u64)>,
 }
@@ -554,6 +580,8 @@ impl StatsReport {
         w.put_varint(self.bytes_out);
         w.put_varint(self.protocol_errors);
         w.put_varint(self.op_errors);
+        w.put_varint(self.snapshot_hits);
+        w.put_varint(self.snapshot_misses);
         w.put_varint(self.requests.len() as u64);
         for (op, n) in &self.requests {
             w.put_u8(*op as u8);
@@ -568,6 +596,8 @@ impl StatsReport {
         let bytes_out = r.get_varint()?;
         let protocol_errors = r.get_varint()?;
         let op_errors = r.get_varint()?;
+        let snapshot_hits = r.get_varint()?;
+        let snapshot_misses = r.get_varint()?;
         let n = r.get_count()?;
         let mut requests = Vec::with_capacity(n.min(OPCODE_COUNT));
         for _ in 0..n {
@@ -583,6 +613,8 @@ impl StatsReport {
             bytes_out,
             protocol_errors,
             op_errors,
+            snapshot_hits,
+            snapshot_misses,
             requests,
         })
     }
@@ -653,9 +685,11 @@ impl Response {
         }
     }
 
-    /// Encode into a frame payload (no length prefix).
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encode into a frame payload (no length prefix), echoing the
+    /// sequence id of the request this response answers.
+    pub fn encode(&self, seq: u64) -> Vec<u8> {
         let mut w = Writer::new();
+        w.put_varint(seq);
         match self {
             Response::Pong => w.put_u8(kind::PONG),
             Response::Stats(report) => {
@@ -743,10 +777,12 @@ impl Response {
         w.into_bytes()
     }
 
-    /// Decode a frame payload. Strict: unknown kinds, unknown error
-    /// codes, and trailing bytes are protocol errors.
-    pub fn decode(payload: &[u8]) -> Result<Response> {
+    /// Decode a frame payload into the echoed sequence id and the
+    /// response. Strict: unknown kinds, unknown error codes, and
+    /// trailing bytes are protocol errors.
+    pub fn decode(payload: &[u8]) -> Result<(u64, Response)> {
         let mut r = Reader::new(payload);
+        let seq = r.get_varint()?;
         let k = r.get_u8()?;
         let resp = match k {
             kind::PONG => Response::Pong,
@@ -821,7 +857,7 @@ impl Response {
                 resp.kind_name()
             )));
         }
-        Ok(resp)
+        Ok((seq, resp))
     }
 }
 
@@ -882,13 +918,18 @@ mod tests {
     use super::*;
 
     fn round_trip_request(req: Request) {
-        let bytes = req.encode();
-        assert_eq!(Request::decode(&bytes).unwrap(), req);
+        for seq in [0, 1, 300, u64::MAX] {
+            let bytes = req.encode(seq);
+            assert_eq!(Request::decode_seq(&bytes).unwrap(), seq);
+            assert_eq!(Request::decode(&bytes).unwrap(), (seq, req.clone()));
+        }
     }
 
     fn round_trip_response(resp: Response) {
-        let bytes = resp.encode();
-        assert_eq!(Response::decode(&bytes).unwrap(), resp);
+        for seq in [0, 1, 300, u64::MAX] {
+            let bytes = resp.encode(seq);
+            assert_eq!(Response::decode(&bytes).unwrap(), (seq, resp.clone()));
+        }
     }
 
     #[test]
@@ -949,6 +990,8 @@ mod tests {
             bytes_out: 2000,
             protocol_errors: 1,
             op_errors: 2,
+            snapshot_hits: 41,
+            snapshot_misses: 12,
             requests: vec![(Opcode::Ping, 3), (Opcode::Pnew, 4)],
         }));
         round_trip_response(Response::Created {
@@ -994,19 +1037,20 @@ mod tests {
 
     #[test]
     fn unknown_opcode_is_a_protocol_error() {
-        let err = Request::decode(&[200]).unwrap_err();
+        // Seq 0, then an out-of-range opcode byte.
+        let err = Request::decode(&[0, 200]).unwrap_err();
         assert!(matches!(err, NetError::Protocol(_)));
     }
 
     #[test]
     fn trailing_bytes_are_a_protocol_error() {
-        let mut bytes = Request::Ping.encode();
+        let mut bytes = Request::Ping.encode(7);
         bytes.push(0);
         assert!(matches!(
             Request::decode(&bytes),
             Err(NetError::Protocol(_))
         ));
-        let mut bytes = Response::Unit.encode();
+        let mut bytes = Response::Unit.encode(7);
         bytes.push(0);
         assert!(matches!(
             Response::decode(&bytes),

@@ -8,6 +8,17 @@
 //! committed before the response frame is sent (so a successful reply
 //! means the change is durable to the WAL).
 //!
+//! Each session is a **pipeline**: the connection's worker splits into
+//! a reader that decodes frames ahead into a bounded queue and an
+//! executor that drains it, so the client can keep many requests in
+//! flight. Responses carry the request's sequence id and may leave out
+//! of order — the reader answers `Ping`, `Stats`, and snapshot-cache
+//! hits immediately, ahead of queued work. The cache fast path is
+//! gated on the connection having no write queued, which preserves
+//! read-your-writes per connection; cross-connection consistency is
+//! commit-granular via the database's snapshot epoch (see
+//! [`crate::cache`]).
+//!
 //! Shutdown is graceful and prompt: the listener is woken, every live
 //! connection's socket is shut down (unblocking worker reads), and all
 //! threads are joined. In-flight requests finish; their connections
@@ -23,6 +34,7 @@ use std::thread::{self, JoinHandle};
 
 use ode::Database;
 
+use crate::cache::SnapshotCache;
 use crate::error::RemoteError;
 use crate::protocol::{
     read_frame, write_frame, Opcode, Request, Response, StatsReport, MAGIC, OPCODE_COUNT,
@@ -35,6 +47,13 @@ pub struct ServerConfig {
     /// Worker threads — the maximum number of concurrently served
     /// connections (further accepted connections wait in line).
     pub workers: usize,
+    /// Per-connection decode-ahead depth: how many decoded requests may
+    /// wait in the executor queue before the reader stops pulling
+    /// frames off the socket (backpressure).
+    pub pipeline_depth: usize,
+    /// Snapshot-cache capacity in responses per epoch; `0` disables the
+    /// cache entirely.
+    pub cache_entries: usize,
 }
 
 impl Default for ServerConfig {
@@ -43,7 +62,11 @@ impl Default for ServerConfig {
             .map(|n| n.get())
             .unwrap_or(4)
             .clamp(4, 16);
-        ServerConfig { workers }
+        ServerConfig {
+            workers,
+            pipeline_depth: 64,
+            cache_entries: 4096,
+        }
     }
 }
 
@@ -60,7 +83,7 @@ struct ServerStats {
 }
 
 impl ServerStats {
-    fn report(&self) -> StatsReport {
+    fn report(&self, cache: &SnapshotCache) -> StatsReport {
         let requests = Opcode::ALL
             .iter()
             .filter_map(|&op| {
@@ -75,6 +98,8 @@ impl ServerStats {
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             op_errors: self.op_errors.load(Ordering::Relaxed),
+            snapshot_hits: cache.hits(),
+            snapshot_misses: cache.misses(),
             requests,
         }
     }
@@ -89,6 +114,7 @@ pub struct OdeServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
+    cache: Arc<SnapshotCache>,
     conns: ConnRegistry,
     accept_handle: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -105,7 +131,9 @@ impl OdeServer {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
+        let cache = Arc::new(SnapshotCache::new(config.cache_entries));
         let conns: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
+        let depth = config.pipeline_depth.max(1);
 
         let (conn_tx, conn_rx) = mpsc::channel::<(u64, TcpStream)>();
         let conn_rx = Arc::new(Mutex::new(conn_rx));
@@ -115,10 +143,11 @@ impl OdeServer {
                 let db = Arc::clone(&db);
                 let rx = Arc::clone(&conn_rx);
                 let stats = Arc::clone(&stats);
+                let cache = Arc::clone(&cache);
                 let conns = Arc::clone(&conns);
                 thread::Builder::new()
                     .name(format!("ode-net-worker-{i}"))
-                    .spawn(move || worker_loop(&db, &rx, &stats, &conns))
+                    .spawn(move || worker_loop(&db, &rx, &stats, &cache, &conns, depth))
                     .expect("spawn server worker thread")
             })
             .collect();
@@ -154,6 +183,7 @@ impl OdeServer {
             addr,
             shutdown,
             stats,
+            cache,
             conns,
             accept_handle: Some(accept_handle),
             workers,
@@ -168,7 +198,7 @@ impl OdeServer {
     /// A snapshot of the server's counters (the same data the `Stats`
     /// opcode serves remotely).
     pub fn stats(&self) -> StatsReport {
-        self.stats.report()
+        self.stats.report(&self.cache)
     }
 
     /// Stop accepting, unblock and close every live connection, and
@@ -207,7 +237,9 @@ fn worker_loop(
     db: &Database,
     rx: &Mutex<mpsc::Receiver<(u64, TcpStream)>>,
     stats: &ServerStats,
+    cache: &SnapshotCache,
     conns: &ConnRegistry,
+    depth: usize,
 ) {
     loop {
         // Hold the lock only for the dequeue, not the whole session.
@@ -220,19 +252,55 @@ fn worker_loop(
             conns.lock().unwrap().insert(id, handle);
         }
         stats.active_connections.fetch_add(1, Ordering::Relaxed);
-        let _ = serve_connection(db, stream, stats);
+        let _ = serve_connection(db, stream, stats, cache, depth);
         stats.active_connections.fetch_sub(1, Ordering::Relaxed);
         conns.lock().unwrap().remove(&id);
     }
 }
 
+/// One decoded request waiting for the connection's executor.
+struct Job {
+    seq: u64,
+    request: Request,
+    /// Cache key (the request encoded with seq 0) — `Some` for reads.
+    key: Option<Vec<u8>>,
+    /// Whether the reader already consulted the cache and missed; the
+    /// executor then skips its own lookup so each request counts one
+    /// hit or one miss, never both.
+    looked_up: bool,
+}
+
+/// Send one response frame. Responses from the reader fast path and the
+/// executor interleave on the same socket, so every frame goes through
+/// this one lock.
+fn respond(
+    writer: &Mutex<BufWriter<TcpStream>>,
+    stats: &ServerStats,
+    seq: u64,
+    response: &Response,
+) -> io::Result<()> {
+    let out = response.encode(seq);
+    let mut w = writer.lock().unwrap();
+    let written = write_frame(&mut *w, &out)?;
+    w.flush()?;
+    drop(w);
+    stats.bytes_out.fetch_add(written, Ordering::Relaxed);
+    Ok(())
+}
+
 /// Run one connection's session to completion. Any `Err` return or
 /// protocol violation closes the connection; per-request operation
 /// failures are reported in error frames and the session continues.
-fn serve_connection(db: &Database, stream: TcpStream, stats: &ServerStats) -> io::Result<()> {
+fn serve_connection(
+    db: &Database,
+    stream: TcpStream,
+    stats: &ServerStats,
+    cache: &SnapshotCache,
+    depth: usize,
+) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    let writer = Mutex::new(BufWriter::new(stream));
 
     // Handshake: expect the client's magic, echo it back.
     let mut magic = [0u8; 4];
@@ -241,11 +309,55 @@ fn serve_connection(db: &Database, stream: TcpStream, stats: &ServerStats) -> io
         stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
         return Ok(());
     }
-    writer.write_all(&MAGIC)?;
-    writer.flush()?;
+    {
+        let mut w = writer.lock().unwrap();
+        w.write_all(&MAGIC)?;
+        w.flush()?;
+    }
 
+    // Writes queued on this connection but not yet committed. While
+    // non-zero the reader must not answer reads from the cache: a read
+    // pipelined after a write has to observe that write.
+    let pending_writes = AtomicU64::new(0);
+
+    let (job_tx, job_rx) = mpsc::sync_channel::<Job>(depth);
+    thread::scope(|scope| {
+        let executor = thread::Builder::new()
+            .name("ode-net-exec".into())
+            .spawn_scoped(scope, {
+                let writer = &writer;
+                let pending_writes = &pending_writes;
+                move || executor_loop(db, job_rx, writer, stats, cache, pending_writes)
+            })
+            .expect("spawn connection executor thread");
+        let result = reader_loop(
+            db,
+            &mut reader,
+            job_tx, // moved: dropping it on return stops the executor
+            &writer,
+            stats,
+            cache,
+            &pending_writes,
+        );
+        let _ = executor.join();
+        result
+    })
+}
+
+/// The session's frame-decoding half: pulls frames off the socket,
+/// answers what it can immediately (`Ping`, `Stats`, cache hits,
+/// protocol errors), and queues the rest for the executor in order.
+fn reader_loop(
+    db: &Database,
+    reader: &mut BufReader<TcpStream>,
+    job_tx: mpsc::SyncSender<Job>,
+    writer: &Mutex<BufWriter<TcpStream>>,
+    stats: &ServerStats,
+    cache: &SnapshotCache,
+    pending_writes: &AtomicU64,
+) -> io::Result<()> {
     loop {
-        let payload = match read_frame(&mut reader) {
+        let payload = match read_frame(reader) {
             Ok(Some(payload)) => payload,
             Ok(None) => return Ok(()), // client hung up cleanly
             Err(NetError::Io(e)) => return Err(e),
@@ -259,30 +371,119 @@ fn serve_connection(db: &Database, stream: TcpStream, stats: &ServerStats) -> io
             Ordering::Relaxed,
         );
 
-        let response = match Request::decode(&payload) {
-            Ok(request) => {
-                stats.requests[request.opcode() as usize].fetch_add(1, Ordering::Relaxed);
-                match request {
-                    Request::Ping => Response::Pong,
-                    Request::Stats => Response::Stats(stats.report()),
-                    request => apply(db, request).unwrap_or_else(|e| {
-                        stats.op_errors.fetch_add(1, Ordering::Relaxed);
-                        Response::Err(RemoteError::from(&e))
-                    }),
-                }
-            }
+        let (seq, request) = match Request::decode(&payload) {
+            Ok(decoded) => decoded,
             Err(e) => {
                 // The frame was well delimited, so the stream is still
-                // in sync: report and keep the session alive.
+                // in sync: report under the request's sequence id (or 0
+                // when even that is unreadable) and keep the session
+                // alive.
                 stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                Response::Err(RemoteError::BadRequest(e.to_string()))
+                let seq = Request::decode_seq(&payload).unwrap_or(0);
+                let response = Response::Err(RemoteError::BadRequest(e.to_string()));
+                respond(writer, stats, seq, &response)?;
+                continue;
             }
         };
+        stats.requests[request.opcode() as usize].fetch_add(1, Ordering::Relaxed);
 
-        let out = response.encode();
-        let written = write_frame(&mut writer, &out)?;
-        writer.flush()?;
-        stats.bytes_out.fetch_add(written, Ordering::Relaxed);
+        match request {
+            // Answered in place, possibly ahead of queued work.
+            Request::Ping => respond(writer, stats, seq, &Response::Pong)?,
+            Request::Stats => {
+                respond(writer, stats, seq, &Response::Stats(stats.report(cache)))?;
+            }
+            request if request.is_read() => {
+                let key = request.encode(0);
+                // Cache fast path, only when no write is queued ahead
+                // on this connection (read-your-writes). The epoch is
+                // sampled here, after the gate: any commit acknowledged
+                // before this request was sent has already bumped it.
+                let mut looked_up = false;
+                if pending_writes.load(Ordering::Acquire) == 0 {
+                    if let Some(response) = cache.lookup(db.snapshot_epoch(), &key) {
+                        respond(writer, stats, seq, &response)?;
+                        continue;
+                    }
+                    looked_up = true;
+                }
+                let job = Job {
+                    seq,
+                    request,
+                    key: Some(key),
+                    looked_up,
+                };
+                if job_tx.send(job).is_err() {
+                    return Ok(()); // executor died (socket gone)
+                }
+            }
+            request => {
+                pending_writes.fetch_add(1, Ordering::AcqRel);
+                let job = Job {
+                    seq,
+                    request,
+                    key: None,
+                    looked_up: false,
+                };
+                if job_tx.send(job).is_err() {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// The session's executing half: drains the job queue in order, runs
+/// each request against the database, and ships the response.
+fn executor_loop(
+    db: &Database,
+    job_rx: mpsc::Receiver<Job>,
+    writer: &Mutex<BufWriter<TcpStream>>,
+    stats: &ServerStats,
+    cache: &SnapshotCache,
+    pending_writes: &AtomicU64,
+) {
+    while let Ok(job) = job_rx.recv() {
+        let is_write = job.key.is_none();
+        let response = match job.key {
+            Some(key) => {
+                // Sampled before the snapshot opens: a commit landing
+                // in between tags the fill with an already-stale epoch
+                // (a wasted entry, never a stale hit).
+                let epoch = db.snapshot_epoch();
+                let cached = if job.looked_up {
+                    None
+                } else {
+                    cache.lookup(epoch, &key)
+                };
+                match cached {
+                    Some(response) => response,
+                    None => match apply(db, job.request) {
+                        Ok(response) => {
+                            cache.insert(epoch, key, response.clone());
+                            response
+                        }
+                        Err(e) => {
+                            stats.op_errors.fetch_add(1, Ordering::Relaxed);
+                            Response::Err(RemoteError::from(&e))
+                        }
+                    },
+                }
+            }
+            None => apply(db, job.request).unwrap_or_else(|e| {
+                stats.op_errors.fetch_add(1, Ordering::Relaxed);
+                Response::Err(RemoteError::from(&e))
+            }),
+        };
+        let sent = respond(writer, stats, job.seq, &response);
+        if is_write {
+            // Cleared only now, after the write committed (or failed):
+            // a reader that sees zero can safely serve cached reads.
+            pending_writes.fetch_sub(1, Ordering::AcqRel);
+        }
+        if sent.is_err() {
+            return; // socket gone; reader will notice too
+        }
     }
 }
 
@@ -323,7 +524,7 @@ fn apply(db: &Database, request: Request) -> ode::Result<Response> {
             Request::VersionCount { oid } => Ok(Response::Count(snap.version_count_raw(oid)?)),
             Request::Exists { oid } => Ok(Response::Flag(snap.exists_raw(oid)?)),
             Request::VersionExists { vid } => Ok(Response::Flag(snap.version_exists_raw(vid)?)),
-            // Ping/Stats are answered before apply; writes are handled
+            // Ping/Stats are answered by the reader; writes are handled
             // below.
             _ => unreachable!("non-read request routed to snapshot"),
         };

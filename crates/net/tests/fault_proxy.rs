@@ -1,0 +1,266 @@
+//! Fault injection: a chaos TCP relay sits between client and server,
+//! splitting streams at arbitrary byte boundaries, delaying delivery,
+//! and cutting connections mid-pipeline. The protocol must shrug off
+//! fragmentation, surface connection loss as a clean error, and never
+//! silently retry a write.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use ode::{Database, DatabaseOptions};
+use ode_codec::{impl_persist_struct, impl_type_name};
+use ode_net::{
+    ClientConfig, ClientObjPtr, NetError, OdeClient, OdeServer, Opcode, Request, Response,
+    ServerConfig,
+};
+
+#[derive(Debug, Clone, PartialEq)]
+struct Doc {
+    title: String,
+    revision: u64,
+}
+impl_persist_struct!(Doc { title, revision });
+impl_type_name!(Doc = "fault-test/Doc");
+
+struct TempPath(PathBuf);
+
+impl TempPath {
+    fn new() -> TempPath {
+        TempPath(ode::testutil::fresh_path())
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+        let mut wal = self.0.clone().into_os_string();
+        wal.push(".wal");
+        let _ = std::fs::remove_file(PathBuf::from(wal));
+    }
+}
+
+/// How the proxy mistreats one proxied connection.
+#[derive(Clone, Copy)]
+struct ConnPlan {
+    /// Bytes forwarded client→server before the connection is cut.
+    c2s_budget: usize,
+    /// Bytes forwarded server→client before the connection is cut.
+    s2c_budget: usize,
+    /// Forwarding granularity: each read is re-written in chunks of at
+    /// most this many bytes.
+    chunk: usize,
+    /// Delay between forwarded chunks.
+    delay: Duration,
+}
+
+impl ConnPlan {
+    fn clean() -> ConnPlan {
+        ConnPlan {
+            c2s_budget: usize::MAX,
+            s2c_budget: usize::MAX,
+            chunk: usize::MAX,
+            delay: Duration::ZERO,
+        }
+    }
+}
+
+/// One relay direction: read from `from`, forward to `to` in
+/// plan-sized chunks until the byte budget runs out, then cut both
+/// directions of both sockets.
+fn pump(mut from: TcpStream, mut to: TcpStream, mut budget: usize, chunk: usize, delay: Duration) {
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        for piece in buf[..n].chunks(chunk.max(1)) {
+            let take = piece.len().min(budget);
+            if to.write_all(&piece[..take]).is_err() {
+                budget = 0;
+            } else {
+                budget -= take;
+            }
+            if budget == 0 {
+                // Budget spent: kill the connection mid-stream.
+                let _ = from.shutdown(Shutdown::Both);
+                let _ = to.shutdown(Shutdown::Both);
+                return;
+            }
+            if !delay.is_zero() {
+                thread::sleep(delay);
+            }
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+/// Start a chaos relay in front of `upstream`. The nth accepted
+/// connection follows `plans[n]`; connections beyond the list are
+/// forwarded cleanly. Returns the address to point the client at.
+fn start_proxy(upstream: SocketAddr, plans: Vec<ConnPlan>) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind proxy");
+    let addr = listener.local_addr().expect("proxy addr");
+    let next = Arc::new(AtomicUsize::new(0));
+    thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(client_side) = stream else { continue };
+            let Ok(server_side) = TcpStream::connect(upstream) else {
+                let _ = client_side.shutdown(Shutdown::Both);
+                continue;
+            };
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let plan = plans.get(i).copied().unwrap_or_else(ConnPlan::clean);
+            let (c2, s2) = (
+                client_side.try_clone().expect("clone"),
+                server_side.try_clone().expect("clone"),
+            );
+            thread::spawn(move || {
+                pump(
+                    client_side,
+                    server_side,
+                    plan.c2s_budget,
+                    plan.chunk,
+                    plan.delay,
+                )
+            });
+            thread::spawn(move || pump(s2, c2, plan.s2c_budget, plan.chunk, plan.delay));
+        }
+    });
+    addr
+}
+
+fn start_server(path: &PathBuf) -> (Arc<Database>, OdeServer) {
+    let db = Arc::new(Database::create(path, DatabaseOptions::no_sync()).expect("create db"));
+    let server = OdeServer::bind(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default())
+        .expect("bind server");
+    (db, server)
+}
+
+#[test]
+fn frames_split_at_every_byte_boundary_still_work() {
+    let path = TempPath::new();
+    let (_db, server) = start_server(&path.0);
+    // One byte at a time with a delay: every frame arrives maximally
+    // fragmented in both directions.
+    let plan = ConnPlan {
+        chunk: 1,
+        delay: Duration::from_micros(50),
+        ..ConnPlan::clean()
+    };
+    let proxy = start_proxy(server.local_addr(), vec![plan]);
+
+    let mut c = OdeClient::connect(proxy, ClientConfig::default()).expect("connect via proxy");
+    let p = c
+        .pnew(&Doc {
+            title: "fragmented".into(),
+            revision: 1,
+        })
+        .expect("pnew through 1-byte chunks");
+    let v1 = c.current_version(&p).expect("current_version");
+    let v2 = c.newversion(&p).expect("newversion");
+    let (doc, vid) = c.deref(&p).expect("deref");
+    assert_eq!(vid, v2);
+    assert_eq!(doc.revision, 1);
+    assert_eq!(c.version_history(&p).expect("history"), vec![v1, v2]);
+
+    // A pipelined batch through the same shredded connection.
+    let mut pipe = c.pipeline();
+    for _ in 0..5 {
+        pipe.push(&Request::Deref {
+            oid: p.oid(),
+            tag: ClientObjPtr::<Doc>::tag(),
+        })
+        .expect("push");
+    }
+    let responses = pipe.run().expect("pipelined batch over fragments");
+    for r in responses {
+        match r {
+            Response::Body { vid: got, .. } => assert_eq!(got, v2.vid()),
+            other => panic!("expected body, got {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn connection_cut_mid_pipeline_surfaces_a_clean_error() {
+    let path = TempPath::new();
+    let (_db, server) = start_server(&path.0);
+    // First connection: the handshake echo (4 bytes) plus a handful of
+    // response bytes pass, then the stream dies mid-frame. Later
+    // connections are clean.
+    let plan = ConnPlan {
+        s2c_budget: 4 + 9,
+        ..ConnPlan::clean()
+    };
+    let proxy = start_proxy(server.local_addr(), vec![plan]);
+
+    let mut c = OdeClient::connect(proxy, ClientConfig::default()).expect("connect via proxy");
+    let tag = ClientObjPtr::<Doc>::tag();
+
+    // Pipeline enough reads that the response stream necessarily blows
+    // past the budget.
+    let mut pipe = c.pipeline();
+    for _ in 0..10 {
+        pipe.push(&Request::Exists { oid: ode::Oid(1) })
+            .expect("push");
+    }
+    match pipe.run() {
+        Err(NetError::Io(_)) => {} // the clean surface we demand
+        Ok(_) => panic!("the cut connection cannot deliver every response"),
+        Err(other) => panic!("expected an I/O error, got {other:?}"),
+    }
+
+    // The client recovers on a fresh (clean) connection.
+    let p = c
+        .pnew(&Doc {
+            title: "after the cut".into(),
+            revision: 0,
+        })
+        .expect("pnew after reconnect");
+    let (_, bytes) = c.deref_raw(p.oid(), tag).expect("deref after reconnect");
+    assert!(!bytes.is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn writes_are_never_silently_retried() {
+    let path = TempPath::new();
+    let (_db, server) = start_server(&path.0);
+    // First connection: the 4-byte handshake echo plus ONE more byte
+    // reach the client. That extra byte can only be the start of a
+    // response frame — proof the server processed the request — and
+    // then the stream dies mid-frame, so the response itself is lost.
+    // Exactly the ambiguous-outcome window.
+    let plan = ConnPlan {
+        s2c_budget: 4 + 1,
+        ..ConnPlan::clean()
+    };
+    let proxy = start_proxy(server.local_addr(), vec![plan]);
+
+    let mut c = OdeClient::connect(proxy, ClientConfig::default()).expect("connect via proxy");
+    match c.pnew(&Doc {
+        title: "ambiguous".into(),
+        revision: 0,
+    }) {
+        Err(NetError::Io(_)) => {} // outcome unknown, surfaced to the caller
+        Ok(_) => panic!("no response can have arrived through a 4-byte budget"),
+        Err(other) => panic!("expected an I/O error, got {other:?}"),
+    }
+
+    // The server executed the write exactly once: one Pnew counted, one
+    // object in the extent. A silent retry would show two of each.
+    // (Reads, by contrast, reconnect freely — `objects` succeeding on a
+    // fresh connection right after the failure is that asymmetry.)
+    let objects = c.objects::<Doc>().expect("objects on a fresh connection");
+    assert_eq!(objects.len(), 1, "exactly one execution of the lost write");
+    assert_eq!(server.stats().requests_for(Opcode::Pnew), 1);
+    server.shutdown();
+}

@@ -11,7 +11,7 @@ use ode::{Database, DatabaseOptions, ObjPtr, Oid};
 use ode_codec::{impl_persist_struct, impl_type_name};
 use ode_net::{
     ClientConfig, ClientObjPtr, ClientVersionPtr, NetError, OdeClient, OdeServer, Opcode,
-    RemoteError, ServerConfig,
+    RemoteError, Request, Response, ServerConfig,
 };
 
 #[derive(Debug, Clone, PartialEq)]
@@ -50,8 +50,11 @@ impl Drop for TempPath {
 
 fn start_server(path: &PathBuf, workers: usize) -> (Arc<Database>, OdeServer) {
     let db = Arc::new(Database::create(path, DatabaseOptions::no_sync()).expect("create db"));
-    let server = OdeServer::bind(Arc::clone(&db), "127.0.0.1:0", ServerConfig { workers })
-        .expect("bind server");
+    let config = ServerConfig {
+        workers,
+        ..ServerConfig::default()
+    };
+    let server = OdeServer::bind(Arc::clone(&db), "127.0.0.1:0", config).expect("bind server");
     (db, server)
 }
 
@@ -427,26 +430,28 @@ fn malformed_frames_get_error_replies_without_killing_the_session() {
 
     // Speak the protocol by hand: handshake, then a garbage opcode.
     let mut s = std::net::TcpStream::connect(server.local_addr()).expect("connect");
-    s.write_all(b"ODE\x01").expect("send magic");
+    s.write_all(b"ODE\x02").expect("send magic");
     let mut echo = [0u8; 4];
     s.read_exact(&mut echo).expect("read magic");
-    assert_eq!(&echo, b"ODE\x01");
+    assert_eq!(&echo, b"ODE\x02");
 
-    // Frame: length 1, payload = opcode 200 (unknown).
-    s.write_all(&[1, 200]).expect("send garbage");
+    // Frame: length 2, payload = seq 9 + opcode 200 (unknown).
+    s.write_all(&[2, 9, 200]).expect("send garbage");
     let mut prefix = [0u8; 1];
     s.read_exact(&mut prefix).expect("read reply length");
     let mut reply = vec![0u8; prefix[0] as usize];
     s.read_exact(&mut reply).expect("read reply");
-    assert_eq!(reply[0], 255, "reply must be an error frame");
+    assert_eq!(reply[0], 9, "error frame echoes the sequence id");
+    assert_eq!(reply[1], 255, "reply must be an error frame");
 
     // The session is still alive: a well-formed ping round-trips.
-    s.write_all(&[1, 0]).expect("send ping");
+    s.write_all(&[2, 10, 0]).expect("send ping");
     s.read_exact(&mut prefix).expect("read pong length");
-    assert_eq!(prefix[0], 1);
-    let mut pong = [0u8; 1];
+    assert_eq!(prefix[0], 2);
+    let mut pong = [0u8; 2];
     s.read_exact(&mut pong).expect("read pong");
-    assert_eq!(pong[0], 0, "pong response kind");
+    assert_eq!(pong[0], 10, "pong echoes the sequence id");
+    assert_eq!(pong[1], 0, "pong response kind");
 
     assert!(server.stats().protocol_errors > 0);
     server.shutdown();
@@ -493,6 +498,332 @@ fn extent_scans_and_pagination_over_the_wire() {
     assert!(!c.exists(&created[3]).expect("exists"));
 
     server.shutdown();
+}
+
+#[test]
+fn pipelined_responses_can_arrive_out_of_order() {
+    let path = TempPath::new();
+    let (db, server) = start_server(&path.0, 4);
+    let mut c = client(server.local_addr());
+
+    let p = c
+        .pnew(&Doc {
+            title: "ooo".into(),
+            revision: 0,
+        })
+        .expect("pnew");
+
+    // An embedded snapshot pins the store lock, so the executor cannot
+    // start the write's transaction — but the reader fast path answers
+    // pings without touching the store.
+    let snap = db.snapshot();
+    let w_seq = c
+        .send(&Request::NewVersion { oid: p.oid() })
+        .expect("send write");
+    let p_seq = c.send(&Request::Ping).expect("send ping");
+    let (first_seq, first) = c.recv().expect("recv while write is stuck");
+    assert_eq!(first_seq, p_seq, "ping overtakes the blocked write");
+    assert_eq!(first, Response::Pong);
+
+    // Release the store; the write completes and its response arrives.
+    drop(snap);
+    match c.recv_for(w_seq).expect("recv write response") {
+        Response::Version(_) => {}
+        other => panic!("expected a version response, got {other:?}"),
+    }
+    assert_eq!(c.version_count(&p).expect("count"), 2);
+    server.shutdown();
+}
+
+#[test]
+fn pipeline_batch_returns_responses_in_request_order() {
+    let path = TempPath::new();
+    let (_db, server) = start_server(&path.0, 4);
+    let mut c = client(server.local_addr());
+
+    let docs: Vec<ClientObjPtr<Doc>> = (0..20)
+        .map(|i| {
+            c.pnew(&Doc {
+                title: format!("batch-{i}"),
+                revision: i,
+            })
+            .expect("pnew")
+        })
+        .collect();
+
+    // Sequential ground truth.
+    let expected: Vec<(ode::Vid, Vec<u8>)> = docs
+        .iter()
+        .map(|p| {
+            c.deref_raw(p.oid(), ClientObjPtr::<Doc>::tag())
+                .expect("deref")
+        })
+        .collect();
+
+    // The same reads as one pipelined batch.
+    let mut pipe = c.pipeline();
+    for p in &docs {
+        pipe.push(&Request::Deref {
+            oid: p.oid(),
+            tag: ClientObjPtr::<Doc>::tag(),
+        })
+        .expect("push");
+    }
+    assert_eq!(pipe.len(), docs.len());
+    let responses = pipe.run().expect("run");
+    assert_eq!(responses.len(), docs.len());
+    for (response, (vid, bytes)) in responses.iter().zip(&expected) {
+        assert_eq!(
+            response,
+            &Response::Body {
+                vid: *vid,
+                bytes: bytes.clone()
+            },
+            "batch responses come back in request order"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_cache_serves_repeats_and_invalidates_on_commit() {
+    let path = TempPath::new();
+    let (_db, server) = start_server(&path.0, 4);
+    let addr = server.local_addr();
+    let mut a = client(addr);
+    let mut b = client(addr);
+
+    let p = a
+        .pnew(&Doc {
+            title: "cached".into(),
+            revision: 1,
+        })
+        .expect("pnew");
+
+    // First read misses and fills; repeats are served from the cache.
+    let first = a.deref(&p).expect("deref 1");
+    let hits_before = server.stats().snapshot_hits;
+    for _ in 0..5 {
+        assert_eq!(a.deref(&p).expect("repeat deref"), first);
+    }
+    let stats = server.stats();
+    assert!(
+        stats.snapshot_hits >= hits_before + 5,
+        "repeated identical reads must hit the cache ({} -> {})",
+        hits_before,
+        stats.snapshot_hits
+    );
+    assert!(stats.snapshot_misses >= 1);
+
+    // A commit on ANOTHER connection invalidates: the next read on the
+    // original connection must observe the new latest version.
+    let v2 = b
+        .put(
+            &p,
+            &Doc {
+                title: "cached".into(),
+                revision: 2,
+            },
+        )
+        .expect("put from other connection");
+    let (doc, vid) = a.deref(&p).expect("deref after foreign commit");
+    assert_eq!(vid, v2);
+    assert_eq!(doc.revision, 2, "no stale generic-reference reads");
+
+    // Remote stats carry the cache counters too.
+    let remote = a.stats().expect("stats over the wire");
+    assert!(remote.snapshot_hits >= 5);
+    assert!(remote.snapshot_misses >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn read_pipelined_behind_a_write_observes_that_write() {
+    let path = TempPath::new();
+    let (_db, server) = start_server(&path.0, 4);
+    let mut c = client(server.local_addr());
+
+    let p = c
+        .pnew(&Doc {
+            title: "ryw".into(),
+            revision: 1,
+        })
+        .expect("pnew");
+    let tag = ClientObjPtr::<Doc>::tag();
+
+    // Seed the cache with the pre-write answer, so a stale entry exists
+    // for the gate to protect against.
+    let (_, stale_bytes) = c.deref_raw(p.oid(), tag).expect("prefill");
+    let _ = c.deref_raw(p.oid(), tag).expect("cache hit on old value");
+
+    // One batch: [update, deref]. The deref is pipelined behind the
+    // write on the same connection, so it must see revision 2 even
+    // though the cache still holds revision 1 when it is decoded.
+    for round in 2..10u64 {
+        let mut pipe = c.pipeline();
+        let body = ode_codec::to_bytes(&Doc {
+            title: "ryw".into(),
+            revision: round,
+        });
+        pipe.push(&Request::Update {
+            oid: p.oid(),
+            tag,
+            body: body.clone(),
+        })
+        .expect("push update");
+        pipe.push(&Request::Deref { oid: p.oid(), tag })
+            .expect("push deref");
+        let responses = pipe.run().expect("run");
+        match (&responses[0], &responses[1]) {
+            (Response::Version(_), Response::Body { bytes, .. }) => {
+                assert_ne!(bytes, &stale_bytes, "round {round}: stale cached read");
+                assert_eq!(bytes, &body, "round {round}: read-your-writes");
+            }
+            other => panic!("unexpected responses {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+/// Re-exec helper, not a test of its own: when the crash-recovery test
+/// spawns the test binary with `ODE_NET_CRASH_CHILD` set, this runs a
+/// real server process that the parent SIGKILLs mid-pipeline. Without
+/// the env var it is a no-op.
+#[test]
+fn child_server_process() {
+    let Ok(db_path) = std::env::var("ODE_NET_CRASH_CHILD") else {
+        return;
+    };
+    let port_file = std::env::var("ODE_NET_CRASH_PORT_FILE").expect("port file env var");
+    // Durable commits: the parent's invariant is "acknowledged implies
+    // recovered", which needs fsync-on-commit.
+    let db = Arc::new(Database::create(&db_path, DatabaseOptions::default()).expect("create db"));
+    let server =
+        OdeServer::bind(db, "127.0.0.1:0", ServerConfig::default()).expect("bind child server");
+    let tmp = format!("{port_file}.tmp");
+    std::fs::write(&tmp, server.local_addr().to_string()).expect("write port file");
+    std::fs::rename(&tmp, &port_file).expect("publish port file");
+    // Serve until the parent kills this process.
+    loop {
+        thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// Kills the child process (SIGKILL — no cleanup, no WAL checkpoint) on
+/// drop, so a panicking assertion can't leak a server process.
+struct KillOnDrop(std::process::Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn sigkill_mid_pipeline_recovers_exactly_the_acknowledged_writes() {
+    use std::time::{Duration, Instant};
+
+    let path = TempPath::new();
+    let port_file = ode::testutil::fresh_path();
+
+    // Spawn this same test binary as the server process.
+    let exe = std::env::current_exe().expect("current_exe");
+    let child = std::process::Command::new(exe)
+        .args(["child_server_process", "--exact", "--nocapture"])
+        .env("ODE_NET_CRASH_CHILD", &path.0)
+        .env("ODE_NET_CRASH_PORT_FILE", &port_file)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child server");
+    let mut child = KillOnDrop(child);
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr: SocketAddr = loop {
+        if let Ok(s) = std::fs::read_to_string(&port_file) {
+            break s.trim().parse().expect("parse child address");
+        }
+        assert!(Instant::now() < deadline, "child server never came up");
+        thread::sleep(Duration::from_millis(20));
+    };
+    let _ = std::fs::remove_file(&port_file);
+
+    // Pipeline a burst of creates. Each body carries a unique marker in
+    // `revision`, so the database contents identify exactly which
+    // writes survived.
+    const SENT: u64 = 50;
+    const ACKED_BEFORE_KILL: u64 = 10;
+    let mut c = client(addr);
+    let mut seqs = Vec::new();
+    for i in 0..SENT {
+        let body = ode_codec::to_bytes(&Doc {
+            title: "crash".into(),
+            revision: i,
+        });
+        let seq = c
+            .send(&Request::Pnew {
+                tag: ClientObjPtr::<Doc>::tag(),
+                body,
+            })
+            .expect("send pnew");
+        seqs.push((i, seq));
+    }
+
+    // Collect the first few acknowledgements, then SIGKILL the server
+    // with the rest of the pipeline still in flight.
+    let mut acked: Vec<u64> = Vec::new();
+    for &(marker, seq) in seqs.iter().take(ACKED_BEFORE_KILL as usize) {
+        match c.recv_for(seq).expect("ack before kill") {
+            Response::Created { .. } => acked.push(marker),
+            other => panic!("expected created, got {other:?}"),
+        }
+    }
+    child.0.kill().expect("SIGKILL child");
+    child.0.wait().expect("reap child");
+
+    // Drain whatever still arrives; the connection must surface a clean
+    // error (not hang, not panic) once the stream dies.
+    let mut saw_error = false;
+    for &(marker, seq) in seqs.iter().skip(ACKED_BEFORE_KILL as usize) {
+        match c.recv_for(seq) {
+            Ok(Response::Created { .. }) => acked.push(marker),
+            Ok(other) => panic!("expected created, got {other:?}"),
+            Err(NetError::Io(_)) => {
+                saw_error = true;
+                break;
+            }
+            Err(other) => panic!("expected an I/O error, got {other:?}"),
+        }
+    }
+    assert!(saw_error, "the killed connection must error out");
+
+    // Recover the database the way a restarted server would and read
+    // back the markers that survived.
+    let db = Database::open(&path.0, DatabaseOptions::default()).expect("recover db");
+    let mut snap = db.snapshot();
+    let mut recovered: Vec<u64> = snap
+        .objects::<Doc>()
+        .expect("objects")
+        .iter()
+        .map(|p| snap.deref(p).expect("deref recovered").revision)
+        .collect();
+    recovered.sort_unstable();
+
+    // Exactly the acknowledged writes are guaranteed: every ack is
+    // recovered (durability), and nothing outside the sent set appears.
+    // Unacknowledged writes may or may not have committed — that's the
+    // crash window — but the acknowledged prefix is a hard floor.
+    for marker in &acked {
+        assert!(
+            recovered.contains(marker),
+            "acknowledged write {marker} lost by the crash (recovered: {recovered:?})"
+        );
+    }
+    assert!(acked.len() as u64 >= ACKED_BEFORE_KILL);
+    for marker in &recovered {
+        assert!(*marker < SENT, "recovered a write that was never sent");
+    }
 }
 
 #[test]

@@ -4,7 +4,8 @@
 //! ode-cli <addr> ping
 //! ode-cli <addr> stats
 //! ode-cli <addr> put <text>                 create a Note object
-//! ode-cli <addr> get <oid>                  latest version of a Note
+//! ode-cli <addr> get <oid>...               latest version of each Note
+//! ode-cli <addr> get --pipeline <oid>...    same, batched in one pipeline
 //! ode-cli <addr> get-version <vid>          one pinned version
 //! ode-cli <addr> set <oid> <text>           overwrite the latest version
 //! ode-cli <addr> newversion <oid>           derive from the latest
@@ -21,8 +22,10 @@
 use std::process::ExitCode;
 
 use ode::{Oid, Vid};
-use ode_codec::{impl_persist_struct, impl_type_name};
-use ode_net::{ClientConfig, ClientObjPtr, ClientVersionPtr, OdeClient};
+use ode_codec::{from_bytes, impl_persist_struct, impl_type_name};
+use ode_net::{
+    ClientConfig, ClientObjPtr, ClientVersionPtr, NetError, OdeClient, Request, Response,
+};
 
 /// `println!` that exits quietly when stdout is gone (output piped
 /// into `head`, say) instead of panicking on the broken pipe.
@@ -51,7 +54,10 @@ fn usage() -> ExitCode {
          \x20 ping\n\
          \x20 stats\n\
          \x20 put <text>               create a Note, print its ids\n\
-         \x20 get <oid>                latest version's text\n\
+         \x20 get [--pipeline] <oid>...\n\
+         \x20                          latest text of each Note; with\n\
+         \x20                          --pipeline all requests share one\n\
+         \x20                          in-flight batch\n\
          \x20 get-version <vid>        one pinned version's text\n\
          \x20 set <oid> <text>         overwrite the latest version\n\
          \x20 newversion <oid>         derive a version from the latest\n\
@@ -62,6 +68,34 @@ fn usage() -> ExitCode {
          \x20 delete-version <vid>     delete one version"
     );
     ExitCode::from(2)
+}
+
+/// Fetch every oid's latest version in one pipelined batch: all
+/// requests go out before the first response is awaited, so the whole
+/// list costs roughly one round trip instead of one per object.
+fn get_pipelined(client: &mut OdeClient, oids: &[u64]) -> ode_net::Result<()> {
+    let tag = ClientObjPtr::<Note>::tag();
+    let mut pipe = client.pipeline();
+    for &oid in oids {
+        pipe.push(&Request::Deref { oid: Oid(oid), tag })?;
+    }
+    let responses = pipe.run()?;
+    for (&oid, response) in oids.iter().zip(responses) {
+        match response {
+            Response::Body { vid, bytes } => {
+                let note: Note = from_bytes(&bytes)?;
+                out!("{} @ {}: {}", Oid(oid), vid, note.text);
+            }
+            Response::Err(e) => out!("{}: error: {e}", Oid(oid)),
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "expected a body response, got {}",
+                    other.kind_name()
+                )))
+            }
+        }
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -103,6 +137,11 @@ fn main() -> ExitCode {
                 stats.op_errors,
                 stats.protocol_errors
             );
+            out!(
+                "snapshots  : {} cache hits, {} misses",
+                stats.snapshot_hits,
+                stats.snapshot_misses
+            );
             out!("requests   : {}", stats.total_requests());
             for (op, n) in &stats.requests {
                 out!("  {:<16} {n}", op.name());
@@ -115,12 +154,28 @@ fn main() -> ExitCode {
                 .map(|(p, v)| out!("created {} (latest {})", p.oid(), v.vid())),
             None => return usage(),
         },
-        "get" => match id_arg() {
-            Some(oid) => client
-                .deref(&obj(oid))
-                .map(|(note, v)| out!("{} @ {}: {}", Oid(oid), v.vid(), note.text)),
-            None => return usage(),
-        },
+        "get" => {
+            let pipelined = rest.iter().any(|a| a == "--pipeline");
+            let oids: Option<Vec<u64>> = rest
+                .iter()
+                .filter(|a| *a != "--pipeline")
+                .map(|s| s.parse().ok())
+                .collect();
+            match oids {
+                Some(oids) if !oids.is_empty() => {
+                    if pipelined {
+                        get_pipelined(&mut client, &oids)
+                    } else {
+                        oids.iter().try_for_each(|&oid| {
+                            client
+                                .deref(&obj(oid))
+                                .map(|(note, v)| out!("{} @ {}: {}", Oid(oid), v.vid(), note.text))
+                        })
+                    }
+                }
+                _ => return usage(),
+            }
+        }
         "get-version" => match id_arg() {
             Some(vid) => client
                 .deref_v(&ver(vid))
