@@ -4,11 +4,17 @@
 //! lock, so a hot read path pays lock traffic plus latest-version
 //! resolution per request even when nothing has changed. The paper's
 //! generic references make this worse: *every* `Deref` re-resolves the
-//! latest version. This cache keys successful read responses by their
-//! encoded request bytes and tags the whole map with the database's
-//! [snapshot epoch](ode::Database::snapshot_epoch); a hit is served
-//! straight off the map without opening a snapshot (and therefore
-//! without touching the store lock at all).
+//! latest version. This cache keys successful read responses by the
+//! request's *operation bytes* (the encoded payload after the sequence
+//! id varint — sequence-independent, so every connection shares one
+//! map) and stores the *encoded response* the same way (the payload
+//! after its sequence varint), so a hit is served by prefixing the
+//! caller's sequence id onto bytes that are already wire-ready: no
+//! snapshot, no store lock, no re-encode. Values sit behind an `Arc`
+//! so a hit never copies the body either.
+//!
+//! The whole map is tagged with the database's
+//! [snapshot epoch](ode::Database::snapshot_epoch).
 //!
 //! Consistency is commit-granular: [`Txn::commit`](ode::Txn) bumps the
 //! epoch before it returns, and [`SnapshotCache::lookup`] discards the
@@ -21,18 +27,18 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
-
-use crate::protocol::Response;
 
 /// Cached responses for one epoch.
 #[derive(Default)]
 struct Generation {
     /// Epoch every entry in `map` was resolved at.
     epoch: u64,
-    /// Encoded request payload (seq 0) → successful read response.
-    map: HashMap<Vec<u8>, Response>,
+    /// Request operation bytes → encoded response (both without their
+    /// sequence id varint).
+    map: HashMap<Vec<u8>, Arc<[u8]>>,
 }
 
 /// A commit-invalidated cache of read responses, shared by every
@@ -61,10 +67,10 @@ impl SnapshotCache {
         }
     }
 
-    /// Look up the cached response for `key` as of `epoch`. Drops the
-    /// whole map first if `epoch` has moved past the one the entries
-    /// were filled at.
-    pub(crate) fn lookup(&self, epoch: u64, key: &[u8]) -> Option<Response> {
+    /// Look up the cached response bytes for `key` as of `epoch`. Drops
+    /// the whole map first if `epoch` has moved past the one the
+    /// entries were filled at.
+    pub(crate) fn lookup(&self, epoch: u64, key: &[u8]) -> Option<Arc<[u8]>> {
         let mut inner = self.inner.lock();
         if inner.epoch < epoch {
             // One generation at a time: a newer epoch orphans every
@@ -94,10 +100,11 @@ impl SnapshotCache {
         }
     }
 
-    /// Record the response a read resolved to at `epoch`. Skipped when
-    /// the cache has moved on to a newer epoch (the entry would be
-    /// stale on arrival) and when the per-epoch cap is reached.
-    pub(crate) fn insert(&self, epoch: u64, key: Vec<u8>, resp: Response) {
+    /// Record the encoded response a read resolved to at `epoch`.
+    /// Skipped when the cache has moved on to a newer epoch (the entry
+    /// would be stale on arrival) and when the per-epoch cap is
+    /// reached.
+    pub(crate) fn insert(&self, epoch: u64, key: Vec<u8>, resp: Arc<[u8]>) {
         if self.max_entries == 0 {
             return;
         }
@@ -127,12 +134,16 @@ impl SnapshotCache {
 mod tests {
     use super::*;
 
+    fn bytes(b: &[u8]) -> Arc<[u8]> {
+        Arc::from(b)
+    }
+
     #[test]
     fn hit_after_fill_within_one_epoch() {
         let cache = SnapshotCache::new(16);
         assert_eq!(cache.lookup(1, b"k"), None);
-        cache.insert(1, b"k".to_vec(), Response::Count(7));
-        assert_eq!(cache.lookup(1, b"k"), Some(Response::Count(7)));
+        cache.insert(1, b"k".to_vec(), bytes(b"seven"));
+        assert_eq!(cache.lookup(1, b"k"), Some(bytes(b"seven")));
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
     }
@@ -140,7 +151,7 @@ mod tests {
     #[test]
     fn epoch_advance_invalidates_everything() {
         let cache = SnapshotCache::new(16);
-        cache.insert(1, b"k".to_vec(), Response::Count(7));
+        cache.insert(1, b"k".to_vec(), bytes(b"seven"));
         assert_eq!(cache.lookup(2, b"k"), None);
         // And the old-epoch entry cannot resurface later.
         assert_eq!(cache.lookup(2, b"k"), None);
@@ -150,14 +161,14 @@ mod tests {
     fn stale_fill_is_dropped() {
         let cache = SnapshotCache::new(16);
         assert_eq!(cache.lookup(2, b"k"), None); // cache now at epoch 2
-        cache.insert(1, b"k".to_vec(), Response::Count(7)); // resolved pre-commit
+        cache.insert(1, b"k".to_vec(), bytes(b"seven")); // resolved pre-commit
         assert_eq!(cache.lookup(2, b"k"), None);
     }
 
     #[test]
     fn capacity_zero_disables() {
         let cache = SnapshotCache::new(0);
-        cache.insert(1, b"k".to_vec(), Response::Count(7));
+        cache.insert(1, b"k".to_vec(), bytes(b"seven"));
         assert_eq!(cache.lookup(1, b"k"), None);
         assert_eq!(cache.misses(), 1);
     }
@@ -165,9 +176,9 @@ mod tests {
     #[test]
     fn capacity_cap_drops_new_fills() {
         let cache = SnapshotCache::new(1);
-        cache.insert(1, b"a".to_vec(), Response::Count(1));
-        cache.insert(1, b"b".to_vec(), Response::Count(2));
-        assert_eq!(cache.lookup(1, b"a"), Some(Response::Count(1)));
+        cache.insert(1, b"a".to_vec(), bytes(b"one"));
+        cache.insert(1, b"b".to_vec(), bytes(b"two"));
+        assert_eq!(cache.lookup(1, b"a"), Some(bytes(b"one")));
         assert_eq!(cache.lookup(1, b"b"), None);
     }
 }

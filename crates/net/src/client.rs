@@ -195,8 +195,12 @@ pub struct OdeClient {
     next_seq: u64,
     /// Sequence ids sent but not yet answered.
     inflight: HashSet<u64>,
-    /// Responses that arrived while waiting for a different sequence id.
-    backlog: HashMap<u64, Response>,
+    /// Results that arrived while waiting for a different sequence id.
+    /// An `Err` entry is a frame that arrived for this sequence id but
+    /// would not decode — the error is surfaced to whoever collects
+    /// that id, without poisoning the rest of the pipeline (frames are
+    /// length-delimited, so one bad payload leaves the stream in sync).
+    backlog: HashMap<u64, Result<Response>>,
 }
 
 impl OdeClient {
@@ -285,32 +289,38 @@ impl OdeClient {
 
     /// Receive the next response the server sends (order unspecified —
     /// responses backlogged while waiting for other sequence ids are
-    /// drained first). Errors when nothing is in flight.
+    /// drained first). Errors when nothing is in flight. A frame that
+    /// arrived for a known sequence id but would not decode surfaces
+    /// here as `Err` after removing that id from flight; other in-flight
+    /// requests are unaffected.
     pub fn recv(&mut self) -> Result<(u64, Response)> {
         if let Some(&seq) = self.backlog.keys().next() {
-            let response = self.backlog.remove(&seq).expect("key just seen");
-            return Ok((seq, response));
+            let result = self.backlog.remove(&seq).expect("key just seen");
+            return result.map(|response| (seq, response));
         }
-        self.read_one()
+        let (seq, result) = self.read_one()?;
+        result.map(|response| (seq, response))
     }
 
     /// Receive the response for one specific sequence id, buffering any
-    /// other responses that arrive first.
+    /// other responses that arrive first. An undecodable frame for a
+    /// *different* in-flight id is backlogged as that id's error; only
+    /// `seq`'s own bad frame errors this call.
     pub fn recv_for(&mut self, seq: u64) -> Result<Response> {
         loop {
-            if let Some(response) = self.backlog.remove(&seq) {
-                return Ok(response);
+            if let Some(result) = self.backlog.remove(&seq) {
+                return result;
             }
             if !self.inflight.contains(&seq) {
                 return Err(NetError::Protocol(format!(
                     "sequence id {seq} is not in flight"
                 )));
             }
-            let (got, response) = self.read_one()?;
+            let (got, result) = self.read_one()?;
             if got == seq {
-                return Ok(response);
+                return result;
             }
-            self.backlog.insert(got, response);
+            self.backlog.insert(got, result);
         }
     }
 
@@ -322,9 +332,15 @@ impl OdeClient {
         }
     }
 
-    /// Flush buffered requests and read one frame off the socket. Any
-    /// failure poisons the connection — everything in flight is lost.
-    fn read_one(&mut self) -> Result<(u64, Response)> {
+    /// Flush buffered requests and read one frame off the socket.
+    ///
+    /// Stream-level failures (I/O, a frame whose sequence id is
+    /// unknown or unreadable) poison the connection — everything in
+    /// flight is lost. A well-delimited frame that decodes its sequence
+    /// id but not its payload is a *per-request* failure: the stream is
+    /// still in sync, so only that request's result becomes the decode
+    /// error and the rest of the pipeline proceeds.
+    fn read_one(&mut self) -> Result<(u64, Result<Response>)> {
         if self.inflight.is_empty() {
             return Err(NetError::Protocol("no requests in flight".into()));
         }
@@ -332,17 +348,24 @@ impl OdeClient {
             .conn
             .as_mut()
             .expect("in-flight requests imply a connection");
-        let result = (|| {
+        let frame = (|| {
             conn.writer.flush()?;
             match read_frame(&mut conn.reader)? {
-                Some(frame) => Response::decode(&frame),
+                Some(frame) => Ok(frame),
                 None => Err(NetError::Io(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
                     "server closed the connection",
                 ))),
             }
         })();
-        match result {
+        let frame = match frame {
+            Ok(frame) => frame,
+            Err(e) => {
+                self.poison();
+                return Err(e);
+            }
+        };
+        match Response::decode(&frame) {
             Ok((seq, response)) => {
                 if !self.inflight.remove(&seq) {
                     self.poison();
@@ -350,12 +373,15 @@ impl OdeClient {
                         "response for unknown sequence id {seq}"
                     )));
                 }
-                Ok((seq, response))
+                Ok((seq, Ok(response)))
             }
-            Err(e) => {
-                self.poison();
-                Err(e)
-            }
+            Err(e) => match Response::decode_seq(&frame) {
+                Ok(seq) if self.inflight.remove(&seq) => Ok((seq, Err(e))),
+                _ => {
+                    self.poison();
+                    Err(e)
+                }
+            },
         }
     }
 
@@ -655,6 +681,8 @@ impl OdeClient {
 /// server answered. Nothing in a pipeline is ever retried — the first
 /// failure surfaces immediately and abandons the rest of the batch
 /// (their outcomes, like any failed write's, are unknown).
+/// [`run_each`](Pipeline::run_each) collects a result *per request*
+/// instead, so one bad response frame cannot poison its siblings.
 pub struct Pipeline<'a> {
     client: &'a mut OdeClient,
     seqs: Vec<u64>,
@@ -679,13 +707,29 @@ impl Pipeline<'_> {
     }
 
     /// Collect every queued response, in the order the requests were
-    /// pushed.
+    /// pushed. The first failure wins and the remaining results are
+    /// dropped (a response that would not decode only fails its own
+    /// request — the connection survives, and siblings stay
+    /// collectable via [`OdeClient::recv_for`] when collected through
+    /// [`Pipeline::run_each`] instead).
     pub fn run(self) -> Result<Vec<Response>> {
         let mut responses = Vec::with_capacity(self.seqs.len());
         for seq in self.seqs {
             responses.push(self.client.recv_for(seq)?);
         }
         Ok(responses)
+    }
+
+    /// Collect a result per queued request, in the order the requests
+    /// were pushed. One request's failure (an error frame that would
+    /// not decode, a response of the wrong shape) is confined to its
+    /// own slot; siblings before *and after* it in the batch still get
+    /// their responses. Connection-level failures (the socket dying
+    /// mid-batch) still fail every not-yet-collected slot, because
+    /// their responses can no longer arrive.
+    pub fn run_each(self) -> Vec<Result<Response>> {
+        let Pipeline { client, seqs } = self;
+        seqs.into_iter().map(|seq| client.recv_for(seq)).collect()
     }
 }
 

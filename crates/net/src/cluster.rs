@@ -1,0 +1,174 @@
+//! An in-process sharded tier for deterministic cluster-fault tests.
+//!
+//! [`Cluster`] spins up N backend [`OdeServer`] shards, fronts each
+//! with a [`FaultRelay`], and parks an [`OdeRouter`] on the relay
+//! addresses. Tests drive the tier through an ordinary
+//! [`crate::OdeClient`] pointed at the router, and inject faults
+//! through the relays: [`Cluster::kill_shard`] downs one shard
+//! mid-pipeline, [`Cluster::restart_shard`] brings it back on a fresh
+//! port — the relay's stable address absorbs the move, which is
+//! exactly why the router dials relays rather than shards.
+//!
+//! Everything is in-process and panics on setup failure: this is a
+//! test harness, not a deployment tool (that is `ode-routerd`).
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use ode::{Database, DatabaseOptions};
+
+use crate::protocol::StatsReport;
+use crate::relay::FaultRelay;
+use crate::router::{OdeRouter, RouterConfig, RouterStatsReport};
+use crate::server::{OdeServer, ServerConfig};
+use crate::shard::ShardMap;
+
+/// Cluster tuning: how many shards, and the config handed to each
+/// backend server and to the router.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of backend shards.
+    pub shards: usize,
+    /// Config for every backend `OdeServer`.
+    pub server: ServerConfig,
+    /// Config for the router.
+    pub router: RouterConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            shards: 4,
+            server: ServerConfig::default(),
+            router: RouterConfig::default(),
+        }
+    }
+}
+
+struct ShardNode {
+    path: PathBuf,
+    /// `None` while the shard is killed.
+    db: Option<Arc<Database>>,
+    server: Option<OdeServer>,
+    relay: FaultRelay,
+}
+
+/// A running in-process tier: N shards, N relays, one router.
+pub struct Cluster {
+    nodes: Vec<ShardNode>,
+    router: Option<OdeRouter>,
+}
+
+impl Cluster {
+    /// Start a tier per `config`. Shard databases are fresh temp files
+    /// (removed on drop), WAL-durable but unsynced for test speed.
+    pub fn start(config: ClusterConfig) -> Cluster {
+        assert!(config.shards > 0, "a cluster needs at least one shard");
+        let nodes: Vec<ShardNode> = (0..config.shards)
+            .map(|i| {
+                let path = ode::testutil::fresh_path();
+                let db = Arc::new(
+                    Database::create(&path, DatabaseOptions::no_sync())
+                        .unwrap_or_else(|e| panic!("create shard {i} db: {e}")),
+                );
+                let server = OdeServer::bind(Arc::clone(&db), "127.0.0.1:0", config.server.clone())
+                    .unwrap_or_else(|e| panic!("bind shard {i}: {e}"));
+                let relay = FaultRelay::start(server.local_addr(), vec![])
+                    .unwrap_or_else(|e| panic!("start relay {i}: {e}"));
+                ShardNode {
+                    path,
+                    db: Some(db),
+                    server: Some(server),
+                    relay,
+                }
+            })
+            .collect();
+        let backends: Vec<SocketAddr> = nodes.iter().map(|n| n.relay.local_addr()).collect();
+        let router =
+            OdeRouter::bind("127.0.0.1:0", backends, config.router).expect("bind cluster router");
+        Cluster {
+            nodes,
+            router: Some(router),
+        }
+    }
+
+    /// The router address — point clients here.
+    pub fn router_addr(&self) -> SocketAddr {
+        self.router.as_ref().expect("router running").local_addr()
+    }
+
+    /// The tier's shard map (for asserting placement in tests).
+    pub fn shard_map(&self) -> ShardMap {
+        self.router.as_ref().expect("router running").shard_map()
+    }
+
+    /// The router's counters.
+    pub fn router_stats(&self) -> RouterStatsReport {
+        self.router.as_ref().expect("router running").stats()
+    }
+
+    /// One shard's server counters. Panics if the shard is killed.
+    pub fn shard_stats(&self, shard: usize) -> StatsReport {
+        self.nodes[shard]
+            .server
+            .as_ref()
+            .expect("shard is down")
+            .stats()
+    }
+
+    /// The fault relay in front of one shard, for finer-grained
+    /// mistreatment than kill/restart.
+    pub fn relay(&self, shard: usize) -> &FaultRelay {
+        &self.nodes[shard].relay
+    }
+
+    /// Kill one shard: cut every live connection mid-frame, refuse new
+    /// ones, and stop the backend server. In-flight requests on that
+    /// shard surface as `Unavailable`; other shards are untouched.
+    pub fn kill_shard(&mut self, shard: usize) {
+        let node = &mut self.nodes[shard];
+        node.relay.set_down(true);
+        node.relay.cut_all();
+        if let Some(server) = node.server.take() {
+            server.shutdown();
+        }
+        node.db = None; // release the database before a reopen
+    }
+
+    /// Restart a killed shard from its on-disk state (WAL recovery
+    /// included) on a fresh port, re-pointing the relay at it.
+    pub fn restart_shard(&mut self, shard: usize, server_config: ServerConfig) {
+        let node = &mut self.nodes[shard];
+        assert!(node.server.is_none(), "shard {shard} is already running");
+        let db = Arc::new(
+            Database::open(&node.path, DatabaseOptions::no_sync())
+                .unwrap_or_else(|e| panic!("reopen shard {shard} db: {e}")),
+        );
+        let server = OdeServer::bind(Arc::clone(&db), "127.0.0.1:0", server_config)
+            .unwrap_or_else(|e| panic!("rebind shard {shard}: {e}"));
+        node.relay.set_upstream(server.local_addr());
+        node.relay.set_down(false);
+        node.db = Some(db);
+        node.server = Some(server);
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        if let Some(router) = self.router.take() {
+            router.shutdown();
+        }
+        for node in &mut self.nodes {
+            node.relay.shutdown();
+            if let Some(server) = node.server.take() {
+                server.shutdown();
+            }
+            node.db = None;
+            let _ = std::fs::remove_file(&node.path);
+            let mut wal = node.path.clone().into_os_string();
+            wal.push(".wal");
+            let _ = std::fs::remove_file(PathBuf::from(wal));
+        }
+    }
+}

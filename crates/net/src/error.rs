@@ -51,6 +51,13 @@ pub enum RemoteError {
     Storage(String),
     /// The server could not make sense of the request frame.
     BadRequest(String),
+    /// The authority for this request is temporarily unreachable. Sent
+    /// by a routing tier when the backend shard owning the request's
+    /// object is down or still in its reconnect-backoff window; the
+    /// operation was **not** executed (or, for requests already
+    /// forwarded when the shard died, its outcome is unknown and it was
+    /// not retried).
+    Unavailable(String),
 }
 
 impl RemoteError {
@@ -63,6 +70,7 @@ impl RemoteError {
             RemoteError::LastVersion(_) => 4,
             RemoteError::Storage(_) => 5,
             RemoteError::BadRequest(_) => 6,
+            RemoteError::Unavailable(_) => 7,
         }
     }
 }
@@ -98,6 +106,7 @@ impl fmt::Display for RemoteError {
             ),
             RemoteError::Storage(msg) => write!(f, "remote storage error: {msg}"),
             RemoteError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            RemoteError::Unavailable(msg) => write!(f, "unavailable: {msg}"),
         }
     }
 }

@@ -26,6 +26,14 @@
 //! cache ([`StatsReport::snapshot_hits`] /
 //! [`StatsReport::snapshot_misses`] show its effectiveness).
 //!
+//! For scale-out, [`OdeRouter`] is a shard-routing front tier speaking
+//! the same protocol on both sides: clients connect to it exactly as
+//! to a single server while it routes each request to one of N backend
+//! shards by object id ([`ShardMap`]) — see the [`router`](OdeRouter)
+//! docs for the ordering and fault semantics. [`Cluster`] and
+//! [`relay::FaultRelay`] make the whole tier spawnable in-process for
+//! deterministic fault-injection tests.
+//!
 //! ```no_run
 //! use std::sync::Arc;
 //! use ode::{Database, DatabaseOptions};
@@ -43,11 +51,19 @@
 
 mod cache;
 mod client;
+pub mod cluster;
 mod error;
 pub mod protocol;
+pub mod relay;
+mod router;
 mod server;
+mod shard;
 
 pub use client::{ClientConfig, ClientObjPtr, ClientVersionPtr, OdeClient, Pipeline};
+pub use cluster::{Cluster, ClusterConfig};
 pub use error::{NetError, RemoteError, Result};
 pub use protocol::{Opcode, Request, Response, StatsReport};
+pub use relay::{FaultRelay, RelayPlan};
+pub use router::{OdeRouter, RouterConfig, RouterStatsReport};
 pub use server::{OdeServer, ServerConfig};
+pub use shard::ShardMap;

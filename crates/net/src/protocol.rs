@@ -518,8 +518,10 @@ impl Request {
 // Responses
 // ---------------------------------------------------------------------------
 
-/// Response-kind byte values (first byte of every response payload).
-mod kind {
+/// Response-kind byte values (first byte of every response payload
+/// after the sequence id varint). `pub(crate)` so the router can
+/// recognize re-taggable response shapes without a full decode.
+pub(crate) mod kind {
     pub const PONG: u8 = 0;
     pub const STATS: u8 = 1;
     pub const CREATED: u8 = 2;
@@ -685,6 +687,14 @@ impl Response {
         }
     }
 
+    /// Decode just the echoed sequence id from a response payload — the
+    /// part a client can still correlate when the rest of the payload
+    /// is garbage (see [`crate::OdeClient::recv`] on per-request decode
+    /// errors).
+    pub fn decode_seq(payload: &[u8]) -> Result<u64> {
+        Ok(Reader::new(payload).get_varint()?)
+    }
+
     /// Encode into a frame payload (no length prefix), echoing the
     /// sequence id of the request this response answers.
     pub fn encode(&self, seq: u64) -> Vec<u8> {
@@ -766,7 +776,9 @@ impl Response {
                         w.put_varint(found.0);
                         w.put_bytes(&[]);
                     }
-                    RemoteError::Storage(msg) | RemoteError::BadRequest(msg) => {
+                    RemoteError::Storage(msg)
+                    | RemoteError::BadRequest(msg)
+                    | RemoteError::Unavailable(msg) => {
                         w.put_varint(0);
                         w.put_varint(0);
                         w.put_bytes(msg.as_bytes());
@@ -840,6 +852,7 @@ impl Response {
                     4 => RemoteError::LastVersion(Vid(a)),
                     5 => RemoteError::Storage(msg),
                     6 => RemoteError::BadRequest(msg),
+                    7 => RemoteError::Unavailable(msg),
                     c => return Err(NetError::Protocol(format!("unknown remote error code {c}"))),
                 };
                 Response::Err(err)
@@ -879,6 +892,15 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<u64> {
 /// *at a frame boundary* (the peer hung up between frames); EOF inside
 /// a frame is an error.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    let mut payload = Vec::new();
+    Ok(read_frame_into(r, &mut payload)?.then_some(payload))
+}
+
+/// Like [`read_frame`], but reads the payload into `buf` (cleared
+/// first), so a hot receive loop can reuse one allocation across
+/// frames. Returns `Ok(false)` on clean EOF before the first length
+/// byte.
+pub fn read_frame_into(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<bool> {
     // Varint length prefix, byte by byte off the stream.
     let mut len: u64 = 0;
     let mut shift: u32 = 0;
@@ -887,7 +909,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
         let mut byte = [0u8; 1];
         match r.read_exact(&mut byte) {
             Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof && first => return Ok(None),
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof && first => return Ok(false),
             Err(e) => return Err(NetError::Io(e)),
         }
         first = false;
@@ -908,9 +930,10 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
             "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit"
         )));
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    Ok(Some(payload))
+    buf.clear();
+    buf.resize(len as usize, 0);
+    r.read_exact(buf)?;
+    Ok(true)
 }
 
 #[cfg(test)]
@@ -1022,9 +1045,22 @@ mod tests {
             RemoteError::LastVersion(Vid(5)),
             RemoteError::Storage("disk on fire".into()),
             RemoteError::BadRequest("garbage".into()),
+            RemoteError::Unavailable("shard 2 is reconnecting".into()),
         ] {
             round_trip_response(Response::Err(err));
         }
+    }
+
+    #[test]
+    fn response_seq_is_recoverable_from_an_undecodable_payload() {
+        // Valid seq varint followed by an unknown kind byte: the full
+        // decode fails, the seq alone still comes back.
+        let mut bytes = Writer::new();
+        bytes.put_varint(300);
+        bytes.put_u8(200);
+        let bytes = bytes.into_bytes();
+        assert!(Response::decode(&bytes).is_err());
+        assert_eq!(Response::decode_seq(&bytes).unwrap(), 300);
     }
 
     #[test]

@@ -1,0 +1,1527 @@
+//! `ode-router` — a shard-routing front tier for ode-net.
+//!
+//! An [`OdeRouter`] listens on one address speaking wire-protocol v2
+//! and forwards every request to one of N backend [`crate::OdeServer`]
+//! shards chosen by `shard_of(oid)` (see [`crate::ShardMap`]). Clients
+//! connect to the router exactly as they would to a single server:
+//! same handshake, same frames, same pipelining. The router remaps
+//! sequence ids per backend connection and re-tags responses with the
+//! client's original ids, so a client may keep requests to many shards
+//! in flight and receive their responses in whatever order the shards
+//! finish.
+//!
+//! ## Ordering guarantees
+//!
+//! Requests naming the *same object* always route to the same shard
+//! and travel one backend connection in client send order, so the
+//! per-connection read-your-writes guarantee of a single `OdeServer`
+//! survives the tier per oid. Requests naming *different* objects may
+//! land on different shards and complete in any order — there are no
+//! cross-shard transactions and no cross-object ordering.
+//!
+//! ## Faults
+//!
+//! When a backend connection drops, every request in flight on it is
+//! answered with [`RemoteError::Unavailable`] — the router never
+//! retries, because a request that reached a dead shard has an unknown
+//! outcome and a silent retry could double-execute a write. The shard
+//! then enters a reconnect-with-backoff window (doubling from
+//! [`RouterConfig::reconnect_backoff`] up to
+//! [`RouterConfig::reconnect_backoff_max`]); requests for its objects
+//! fail fast with `Unavailable` until a dial succeeds. Other shards
+//! are unaffected throughout.
+//!
+//! ## Scatter requests
+//!
+//! `Ping` is answered by the router itself. `Stats`, `Objects`, and
+//! `ObjectsPage` fan out to every shard and merge: stats counters sum,
+//! extent scans merge-sort by client-visible id (`ObjectsPage`
+//! re-truncates to the requested limit). A scatter fails as a whole if
+//! any shard is down — partial extents would be silent lies.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle, Scope};
+use std::time::{Duration, Instant};
+
+use ode::{Oid, Vid};
+use ode_codec::varint;
+use parking_lot::Mutex;
+
+use crate::error::RemoteError;
+use crate::protocol::{
+    kind, read_frame_into, write_frame, Opcode, Request, Response, StatsReport, MAGIC,
+};
+use crate::shard::ShardMap;
+use crate::NetError;
+
+/// Router tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Worker threads — the maximum number of concurrently served
+    /// client connections (further accepted connections wait in line).
+    pub workers: usize,
+    /// Dial + handshake timeout for backend connections.
+    pub connect_timeout: Duration,
+    /// First reconnect-backoff window after a shard connection fails;
+    /// doubles per consecutive failure.
+    pub reconnect_backoff: Duration,
+    /// Backoff ceiling.
+    pub reconnect_backoff_max: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            workers: 16,
+            connect_timeout: Duration::from_secs(5),
+            reconnect_backoff: Duration::from_millis(50),
+            reconnect_backoff_max: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A snapshot of the router's lifetime counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouterStatsReport {
+    /// Client connections accepted over the router's lifetime.
+    pub client_connections: u64,
+    /// Requests forwarded to a backend (scatter requests count once per
+    /// shard).
+    pub forwarded: u64,
+    /// Requests answered by the router without touching a backend
+    /// (`Ping`).
+    pub answered_locally: u64,
+    /// Scatter requests fanned out to every shard.
+    pub gathers: u64,
+    /// Successful backend dials (including reconnects).
+    pub backend_connects: u64,
+    /// Backend connections lost (each triggers a backoff window).
+    pub shard_failures: u64,
+    /// `Unavailable` error frames sent to clients.
+    pub unavailable_errors: u64,
+    /// Undecodable frames, from clients or backends.
+    pub protocol_errors: u64,
+}
+
+#[derive(Default)]
+struct RouterStats {
+    client_connections: AtomicU64,
+    forwarded: AtomicU64,
+    answered_locally: AtomicU64,
+    gathers: AtomicU64,
+    backend_connects: AtomicU64,
+    shard_failures: AtomicU64,
+    unavailable_errors: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl RouterStats {
+    fn report(&self) -> RouterStatsReport {
+        RouterStatsReport {
+            client_connections: self.client_connections.load(Ordering::Relaxed),
+            forwarded: self.forwarded.load(Ordering::Relaxed),
+            answered_locally: self.answered_locally.load(Ordering::Relaxed),
+            gathers: self.gathers.load(Ordering::Relaxed),
+            backend_connects: self.backend_connects.load(Ordering::Relaxed),
+            shard_failures: self.shard_failures.load(Ordering::Relaxed),
+            unavailable_errors: self.unavailable_errors.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State shared by every session of one router.
+struct RouterShared {
+    backends: Vec<SocketAddr>,
+    map: ShardMap,
+    config: RouterConfig,
+    stats: RouterStats,
+    /// Round-robin cursor for `Pnew` placement: new objects have no id
+    /// yet, so the router picks their shard and the minted id then
+    /// carries the placement forever.
+    next_pnew_shard: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+type ConnRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
+
+/// A running shard router. See the module docs.
+pub struct OdeRouter {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    conns: ConnRegistry,
+    accept_handle: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl OdeRouter {
+    /// Bind `addr` (port 0 picks a free port) and start routing to
+    /// `backends`. The order of `backends` **is** the shard map — it
+    /// must be identical on every router over the same tier.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        backends: Vec<SocketAddr>,
+        config: RouterConfig,
+    ) -> io::Result<OdeRouter> {
+        if backends.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a router needs at least one backend shard",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let map = ShardMap::new(backends.len());
+        let shared = Arc::new(RouterShared {
+            backends,
+            map,
+            config: config.clone(),
+            stats: RouterStats::default(),
+            next_pnew_shard: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let conns: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
+
+        let (conn_tx, conn_rx) = mpsc::channel::<(u64, TcpStream)>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&conn_rx);
+                let conns = Arc::clone(&conns);
+                thread::Builder::new()
+                    .name(format!("ode-router-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx, &conns))
+                    .expect("spawn router worker thread")
+            })
+            .collect();
+
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("ode-router-accept".into())
+                .spawn(move || {
+                    let mut next_id = 0u64;
+                    for stream in listener.incoming() {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let stream = match stream {
+                            Ok(s) => s,
+                            Err(_) => continue,
+                        };
+                        shared
+                            .stats
+                            .client_connections
+                            .fetch_add(1, Ordering::Relaxed);
+                        next_id += 1;
+                        if conn_tx.send((next_id, stream)).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn router accept thread")
+        };
+
+        Ok(OdeRouter {
+            addr,
+            shared,
+            conns,
+            accept_handle: Some(accept_handle),
+            workers,
+        })
+    }
+
+    /// The address the router is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shard map this router routes by.
+    pub fn shard_map(&self) -> ShardMap {
+        self.shared.map
+    }
+
+    /// A snapshot of the router's counters.
+    pub fn stats(&self) -> RouterStatsReport {
+        self.shared.stats.report()
+    }
+
+    /// Stop accepting, close every client session (which closes its
+    /// backend connections), and join all router threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for (_, stream) in self.conns.lock().drain() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for OdeRouter {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(
+    shared: &RouterShared,
+    rx: &Mutex<mpsc::Receiver<(u64, TcpStream)>>,
+    conns: &ConnRegistry,
+) {
+    loop {
+        let next = rx.lock().recv();
+        let (id, stream) = match next {
+            Ok(pair) => pair,
+            Err(_) => return,
+        };
+        if let Ok(handle) = stream.try_clone() {
+            conns.lock().insert(id, handle);
+        }
+        let _ = serve_session(shared, stream);
+        conns.lock().remove(&id);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing and id translation
+// ---------------------------------------------------------------------------
+
+/// What kind of scatter a fan-out request is, and how to merge it.
+#[derive(Debug, Clone, Copy)]
+enum GatherKind {
+    Stats,
+    Objects,
+    Page { limit: u64 },
+}
+
+/// Where one client request goes.
+enum Route {
+    /// Answered by the router itself.
+    Local(Response),
+    /// Forwarded to one shard, request already in backend id-space.
+    Single { shard: usize, backend: Request },
+    /// Fanned out to every shard; carries the original (client
+    /// id-space) request so per-shard variants can be derived.
+    Gather { kind: GatherKind, original: Request },
+}
+
+/// Decide a request's route and translate its ids to backend space.
+fn route(req: Request, map: ShardMap, next_pnew: &AtomicU64) -> Route {
+    use Request as R;
+    let single = |shard, backend| Route::Single { shard, backend };
+    match req {
+        R::Ping => Route::Local(Response::Pong),
+        R::Stats => Route::Gather {
+            kind: GatherKind::Stats,
+            original: R::Stats,
+        },
+        R::Objects { tag } => Route::Gather {
+            kind: GatherKind::Objects,
+            original: R::Objects { tag },
+        },
+        R::ObjectsPage { tag, after, limit } => Route::Gather {
+            kind: GatherKind::Page { limit },
+            original: R::ObjectsPage { tag, after, limit },
+        },
+        R::Pnew { tag, body } => {
+            let n = map.shard_count() as u64;
+            let shard = (next_pnew.fetch_add(1, Ordering::Relaxed) % n) as usize;
+            single(shard, R::Pnew { tag, body })
+        }
+        R::Deref { oid, tag } => single(
+            map.shard_of(oid),
+            R::Deref {
+                oid: map.backend_oid(oid),
+                tag,
+            },
+        ),
+        R::Update { oid, tag, body } => single(
+            map.shard_of(oid),
+            R::Update {
+                oid: map.backend_oid(oid),
+                tag,
+                body,
+            },
+        ),
+        R::NewVersion { oid } => single(
+            map.shard_of(oid),
+            R::NewVersion {
+                oid: map.backend_oid(oid),
+            },
+        ),
+        R::Pdelete { oid } => single(
+            map.shard_of(oid),
+            R::Pdelete {
+                oid: map.backend_oid(oid),
+            },
+        ),
+        R::VersionHistory { oid } => single(
+            map.shard_of(oid),
+            R::VersionHistory {
+                oid: map.backend_oid(oid),
+            },
+        ),
+        R::CurrentVersion { oid } => single(
+            map.shard_of(oid),
+            R::CurrentVersion {
+                oid: map.backend_oid(oid),
+            },
+        ),
+        R::VersionCount { oid } => single(
+            map.shard_of(oid),
+            R::VersionCount {
+                oid: map.backend_oid(oid),
+            },
+        ),
+        R::Exists { oid } => single(
+            map.shard_of(oid),
+            R::Exists {
+                oid: map.backend_oid(oid),
+            },
+        ),
+        R::DerefVersion { vid, tag } => single(
+            map.shard_of_vid(vid),
+            R::DerefVersion {
+                vid: map.backend_vid(vid),
+                tag,
+            },
+        ),
+        R::UpdateVersion { vid, tag, body } => single(
+            map.shard_of_vid(vid),
+            R::UpdateVersion {
+                vid: map.backend_vid(vid),
+                tag,
+                body,
+            },
+        ),
+        R::NewVersionFrom { vid } => single(
+            map.shard_of_vid(vid),
+            R::NewVersionFrom {
+                vid: map.backend_vid(vid),
+            },
+        ),
+        R::PdeleteVersion { vid } => single(
+            map.shard_of_vid(vid),
+            R::PdeleteVersion {
+                vid: map.backend_vid(vid),
+            },
+        ),
+        R::Dprevious { vid } => single(
+            map.shard_of_vid(vid),
+            R::Dprevious {
+                vid: map.backend_vid(vid),
+            },
+        ),
+        R::Dnext { vid } => single(
+            map.shard_of_vid(vid),
+            R::Dnext {
+                vid: map.backend_vid(vid),
+            },
+        ),
+        R::Tprevious { vid } => single(
+            map.shard_of_vid(vid),
+            R::Tprevious {
+                vid: map.backend_vid(vid),
+            },
+        ),
+        R::Tnext { vid } => single(
+            map.shard_of_vid(vid),
+            R::Tnext {
+                vid: map.backend_vid(vid),
+            },
+        ),
+        R::ObjectOf { vid } => single(
+            map.shard_of_vid(vid),
+            R::ObjectOf {
+                vid: map.backend_vid(vid),
+            },
+        ),
+        R::VersionExists { vid } => single(
+            map.shard_of_vid(vid),
+            R::VersionExists {
+                vid: map.backend_vid(vid),
+            },
+        ),
+    }
+}
+
+/// The per-shard variant of a scatter request.
+fn per_shard_request(original: &Request, map: ShardMap, shard: usize) -> Request {
+    match original {
+        Request::Stats => Request::Stats,
+        Request::Objects { tag } => Request::Objects { tag: *tag },
+        Request::ObjectsPage { tag, after, limit } => Request::ObjectsPage {
+            tag: *tag,
+            after: map.backend_cursor(*after, shard),
+            limit: *limit,
+        },
+        other => unreachable!("{:?} is not a scatter request", other.opcode()),
+    }
+}
+
+/// Rewrite every id embedded in a backend response into client space.
+fn translate_response(resp: Response, map: ShardMap, shard: usize) -> Response {
+    match resp {
+        Response::Created { oid, vid } => Response::Created {
+            oid: map.client_oid(oid, shard),
+            vid: map.client_vid(vid, shard),
+        },
+        Response::Version(vid) => Response::Version(map.client_vid(vid, shard)),
+        Response::Body { vid, bytes } => Response::Body {
+            vid: map.client_vid(vid, shard),
+            bytes,
+        },
+        Response::MaybeVersion(v) => Response::MaybeVersion(v.map(|v| map.client_vid(v, shard))),
+        Response::Versions(vs) => {
+            Response::Versions(vs.into_iter().map(|v| map.client_vid(v, shard)).collect())
+        }
+        Response::Objects(os) => {
+            Response::Objects(os.into_iter().map(|o| map.client_oid(o, shard)).collect())
+        }
+        Response::Object(oid) => Response::Object(map.client_oid(oid, shard)),
+        Response::Err(e) => Response::Err(match e {
+            RemoteError::UnknownObject(oid) => {
+                RemoteError::UnknownObject(map.client_oid(oid, shard))
+            }
+            RemoteError::UnknownVersion(vid) => {
+                RemoteError::UnknownVersion(map.client_vid(vid, shard))
+            }
+            RemoteError::LastVersion(vid) => RemoteError::LastVersion(map.client_vid(vid, shard)),
+            other => other,
+        }),
+        other => other, // Pong, Stats, Unit, Count, Flag: no ids
+    }
+}
+
+/// Sum per-shard stats reports into one tier-wide report.
+fn merge_stats(parts: Vec<StatsReport>) -> StatsReport {
+    let mut merged = StatsReport::default();
+    let mut per_op = [0u64; crate::protocol::OPCODE_COUNT];
+    for part in parts {
+        merged.active_connections += part.active_connections;
+        merged.total_connections += part.total_connections;
+        merged.bytes_in += part.bytes_in;
+        merged.bytes_out += part.bytes_out;
+        merged.protocol_errors += part.protocol_errors;
+        merged.op_errors += part.op_errors;
+        merged.snapshot_hits += part.snapshot_hits;
+        merged.snapshot_misses += part.snapshot_misses;
+        for (op, n) in part.requests {
+            per_op[op as usize] += n;
+        }
+    }
+    merged.requests = Opcode::ALL
+        .iter()
+        .filter_map(|&op| {
+            let n = per_op[op as usize];
+            (n != 0).then_some((op, n))
+        })
+        .collect();
+    merged
+}
+
+/// Merge per-shard extent scans (already translated to client ids,
+/// each ascending) into one ascending list.
+fn merge_objects(parts: Vec<Vec<Oid>>, limit: Option<u64>) -> Vec<Oid> {
+    let mut all: Vec<Oid> = parts.into_iter().flatten().collect();
+    all.sort_unstable_by_key(|o| o.0);
+    if let Some(limit) = limit {
+        all.truncate(limit as usize);
+    }
+    all
+}
+
+// ---------------------------------------------------------------------------
+// Session state
+// ---------------------------------------------------------------------------
+
+/// One in-flight scatter: per-shard parts accumulate until every shard
+/// has answered (or failed), then the merged response ships exactly
+/// once.
+struct Gather {
+    client_seq: u64,
+    kind: GatherKind,
+    parts: Vec<Option<Response>>,
+    remaining: usize,
+    error: Option<RemoteError>,
+    done: bool,
+}
+
+impl Gather {
+    fn new(client_seq: u64, kind: GatherKind, shards: usize) -> Gather {
+        Gather {
+            client_seq,
+            kind,
+            parts: (0..shards).map(|_| None).collect(),
+            remaining: shards,
+            error: None,
+            done: false,
+        }
+    }
+
+    /// Record one shard's outcome; returns the merged response when
+    /// this was the last part.
+    fn complete_part(
+        &mut self,
+        shard: usize,
+        part: Result<Response, RemoteError>,
+    ) -> Option<Response> {
+        if self.done {
+            return None;
+        }
+        match part {
+            Ok(Response::Err(e)) | Err(e) => {
+                if self.error.is_none() {
+                    self.error = Some(e);
+                }
+            }
+            Ok(resp) => self.parts[shard] = Some(resp),
+        }
+        self.remaining -= 1;
+        if self.remaining > 0 {
+            return None;
+        }
+        self.done = true;
+        if let Some(e) = self.error.take() {
+            return Some(Response::Err(e));
+        }
+        Some(self.merge())
+    }
+
+    fn merge(&mut self) -> Response {
+        let parts: Vec<Response> = self.parts.iter_mut().map(|p| p.take().unwrap()).collect();
+        match self.kind {
+            GatherKind::Stats => {
+                let mut reports = Vec::with_capacity(parts.len());
+                for p in parts {
+                    match p {
+                        Response::Stats(r) => reports.push(r),
+                        other => {
+                            return Response::Err(RemoteError::Unavailable(format!(
+                                "shard returned a {} response to a stats scatter",
+                                other.kind_name()
+                            )))
+                        }
+                    }
+                }
+                Response::Stats(merge_stats(reports))
+            }
+            GatherKind::Objects | GatherKind::Page { .. } => {
+                let mut lists = Vec::with_capacity(parts.len());
+                for p in parts {
+                    match p {
+                        Response::Objects(oids) => lists.push(oids),
+                        other => {
+                            return Response::Err(RemoteError::Unavailable(format!(
+                                "shard returned a {} response to an extent scatter",
+                                other.kind_name()
+                            )))
+                        }
+                    }
+                }
+                let limit = match self.kind {
+                    GatherKind::Page { limit } => Some(limit),
+                    _ => None,
+                };
+                Response::Objects(merge_objects(lists, limit))
+            }
+        }
+    }
+}
+
+/// What a backend owes for one forwarded sequence id.
+enum Pending {
+    /// A single-shard request: answer the client under this seq.
+    Single { client_seq: u64 },
+    /// One part of a scatter.
+    Part(Arc<Mutex<Gather>>),
+}
+
+/// The correlation half of one session's connection to one shard.
+struct SlotCtl {
+    alive: bool,
+    /// Raw handle for unblocking the slot's reader thread.
+    raw: Option<TcpStream>,
+    /// Next backend sequence id. Never reset across reconnects, so a
+    /// bseq is unique for the session's lifetime.
+    next_bseq: u64,
+    /// Requests written to this backend and not yet answered.
+    pending: HashMap<u64, Pending>,
+    /// Consecutive connection failures (doubles the backoff).
+    failures: u32,
+    /// No dial is attempted before this instant.
+    down_until: Option<Instant>,
+}
+
+/// One session's lazily-dialed connection to one shard.
+///
+/// Lock order, everywhere: `ctl` → `writer` → (gather) →
+/// `client_writer`. The ctl lock is never held across a backend socket
+/// write, and whichever path removes a [`Pending`] entry answers the
+/// client — each client seq is answered exactly once.
+struct ShardSlot {
+    ctl: Mutex<SlotCtl>,
+    writer: Mutex<Option<BufWriter<TcpStream>>>,
+}
+
+impl ShardSlot {
+    fn new(_shard: usize) -> ShardSlot {
+        ShardSlot {
+            ctl: Mutex::new(SlotCtl {
+                alive: false,
+                raw: None,
+                next_bseq: 0,
+                pending: HashMap::new(),
+                failures: 0,
+                down_until: None,
+            }),
+            writer: Mutex::new(None),
+        }
+    }
+}
+
+/// Per-client-connection state, shared between the client-reader
+/// thread and the per-shard backend-reader threads.
+struct Session<'a> {
+    shared: &'a RouterShared,
+    slots: Vec<ShardSlot>,
+    client_writer: Mutex<BufWriter<TcpStream>>,
+}
+
+impl Session<'_> {
+    /// Ship one response frame to the client. `flush` is the
+    /// coalescing decision — callers pass `true` when they are about
+    /// to block with nothing else to write.
+    fn send_client(&self, seq: u64, resp: &Response, flush: bool) -> io::Result<()> {
+        if matches!(resp, Response::Err(RemoteError::Unavailable(_))) {
+            self.shared
+                .stats
+                .unavailable_errors
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let buf = resp.encode(seq);
+        self.send_client_bytes(&buf, flush)
+    }
+
+    /// Ship an already-encoded response payload to the client.
+    fn send_client_bytes(&self, buf: &[u8], flush: bool) -> io::Result<()> {
+        let mut w = self.client_writer.lock();
+        write_frame(&mut *w, buf)?;
+        if flush {
+            w.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Kill every backend connection (session teardown): readers
+    /// parked in socket reads unblock and exit.
+    fn shutdown_backends(&self) {
+        for slot in &self.slots {
+            let mut ctl = slot.ctl.lock();
+            ctl.alive = false;
+            if let Some(raw) = ctl.raw.take() {
+                let _ = raw.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session threads
+// ---------------------------------------------------------------------------
+
+fn serve_session(shared: &RouterShared, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+
+    // Handshake: expect the client's magic, echo it back — the router
+    // is indistinguishable from a single server here.
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        return Ok(());
+    }
+    let session = Session {
+        shared,
+        slots: (0..shared.map.shard_count()).map(ShardSlot::new).collect(),
+        client_writer: Mutex::new(BufWriter::new(stream)),
+    };
+    {
+        let mut w = session.client_writer.lock();
+        w.write_all(&MAGIC)?;
+        w.flush()?;
+    }
+
+    thread::scope(|scope| {
+        let result = client_loop(scope, &session, &mut reader);
+        // Unblock the backend readers; the scope joins them on exit.
+        session.shutdown_backends();
+        result
+    })
+}
+
+/// The session's client-facing half: decode frames, route each one,
+/// and coalesce flushes — backend writers and the client writer are
+/// only flushed when the client has nothing more buffered.
+fn client_loop<'scope, 'env>(
+    scope: &'scope Scope<'scope, 'env>,
+    session: &'env Session<'env>,
+    reader: &mut BufReader<TcpStream>,
+) -> io::Result<()> {
+    let shared = session.shared;
+    let mut dirty_slots = vec![false; session.slots.len()];
+    let mut client_dirty = false;
+    // Reused across frames: the inbound payload and the outbound
+    // backend-frame scratch.
+    let mut payload = Vec::new();
+    let mut scratch = Vec::new();
+    loop {
+        // Before blocking on the socket, flush everything owed: the
+        // batch the client pipelined is fully forwarded, and our own
+        // locally-answered frames are on their way.
+        if reader.buffer().is_empty() {
+            if client_dirty {
+                session.client_writer.lock().flush()?;
+                client_dirty = false;
+            }
+            for (i, dirty) in dirty_slots.iter_mut().enumerate() {
+                if *dirty {
+                    *dirty = false;
+                    if let Some(w) = session.slots[i].writer.lock().as_mut() {
+                        let _ = w.flush();
+                    }
+                }
+            }
+        }
+        match read_frame_into(reader, &mut payload) {
+            Ok(true) => {}
+            Ok(false) => return Ok(()), // client hung up cleanly
+            Err(NetError::Io(e)) => return Err(e),
+            Err(_) => {
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+        };
+        // Fast path: most requests are `seq opcode id rest…` with the
+        // routing id as their first field. Patching the two leading
+        // varints straight into a backend frame skips the full
+        // decode/re-encode round trip; the patched ids are canonical
+        // varints either way, so a shard sees exactly the bytes the
+        // slow path would have sent. Anything unparseable falls
+        // through to the slow path for a proper error.
+        if let Some((shard, sent)) = fast_forward(scope, session, &payload, &mut scratch) {
+            match sent {
+                Sent::Forwarded => dirty_slots[shard] = true,
+                Sent::Answered => client_dirty = true,
+            }
+            continue;
+        }
+        let (seq, request) = match Request::decode(&payload) {
+            Ok(decoded) => decoded,
+            Err(e) => {
+                // Well-delimited frame, bad payload: the stream is
+                // still in sync, report and continue (server behavior).
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let seq = Request::decode_seq(&payload).unwrap_or(0);
+                let response = Response::Err(RemoteError::BadRequest(e.to_string()));
+                session.send_client(seq, &response, false)?;
+                client_dirty = true;
+                continue;
+            }
+        };
+        match route(request, shared.map, &shared.next_pnew_shard) {
+            Route::Local(resp) => {
+                shared
+                    .stats
+                    .answered_locally
+                    .fetch_add(1, Ordering::Relaxed);
+                session.send_client(seq, &resp, false)?;
+                client_dirty = true;
+            }
+            Route::Single { shard, backend } => {
+                let build = |bseq, out: &mut Vec<u8>| *out = backend.encode(bseq);
+                if route_single(scope, session, shard, seq, &mut scratch, build).forwarded() {
+                    dirty_slots[shard] = true;
+                } else {
+                    client_dirty = true;
+                }
+            }
+            Route::Gather { kind, original } => {
+                shared.stats.gathers.fetch_add(1, Ordering::Relaxed);
+                let gather = Arc::new(Mutex::new(Gather::new(seq, kind, session.slots.len())));
+                for (shard, dirty) in dirty_slots.iter_mut().enumerate() {
+                    let backend = per_shard_request(&original, shared.map, shard);
+                    match route_part(scope, session, shard, &backend, &mut scratch, &gather) {
+                        Sent::Forwarded => *dirty = true,
+                        Sent::Answered => client_dirty = true,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward an id-keyed (or `Pnew`) request by patching its leading
+/// varints in place, skipping the full `Request` decode. Returns the
+/// shard it went to, or `None` when the frame needs the slow path —
+/// a local answer, a scatter, or a payload whose head doesn't parse.
+///
+/// Validation of everything after the routing id is delegated to the
+/// shard: a malformed tail comes back as the same `BadRequest` frame
+/// the router itself would have produced, because shard and router run
+/// the same decoder.
+fn fast_forward<'scope, 'env>(
+    scope: &'scope Scope<'scope, 'env>,
+    session: &'env Session<'env>,
+    payload: &[u8],
+    scratch: &mut Vec<u8>,
+) -> Option<(usize, Sent)> {
+    let shared = session.shared;
+    let map = shared.map;
+    let (seq, seq_len) = varint::read_u64(payload).ok()?;
+    let op = Opcode::from_u8(*payload.get(seq_len)?)?;
+    let after_op = seq_len + 1;
+
+    // `Pnew` carries no id — the router places it; everything after
+    // the opcode forwards verbatim.
+    if op == Opcode::Pnew {
+        let n = map.shard_count() as u64;
+        let shard = (shared.next_pnew_shard.fetch_add(1, Ordering::Relaxed) % n) as usize;
+        let sent = route_single(scope, session, shard, seq, scratch, |bseq, out| {
+            varint::write_u64(out, bseq);
+            out.extend_from_slice(&payload[seq_len..]);
+        });
+        return Some((shard, sent));
+    }
+
+    let oid_keyed = matches!(
+        op,
+        Opcode::Deref
+            | Opcode::Update
+            | Opcode::NewVersion
+            | Opcode::Pdelete
+            | Opcode::VersionHistory
+            | Opcode::CurrentVersion
+            | Opcode::VersionCount
+            | Opcode::Exists
+    );
+    let vid_keyed = matches!(
+        op,
+        Opcode::DerefVersion
+            | Opcode::UpdateVersion
+            | Opcode::NewVersionFrom
+            | Opcode::PdeleteVersion
+            | Opcode::Dprevious
+            | Opcode::Dnext
+            | Opcode::Tprevious
+            | Opcode::Tnext
+            | Opcode::ObjectOf
+            | Opcode::VersionExists
+    );
+    if !oid_keyed && !vid_keyed {
+        return None; // Ping, Stats, extent scans: slow path
+    }
+    let (id, id_len) = varint::read_u64(&payload[after_op..]).ok()?;
+    let rest = &payload[after_op + id_len..];
+    let (shard, backend_id) = if oid_keyed {
+        (map.shard_of(Oid(id)), map.backend_oid(Oid(id)).0)
+    } else {
+        (map.shard_of_vid(Vid(id)), map.backend_vid(Vid(id)).0)
+    };
+    let sent = route_single(scope, session, shard, seq, scratch, |bseq, out| {
+        varint::write_u64(out, bseq);
+        out.push(op as u8);
+        varint::write_u64(out, backend_id);
+        out.extend_from_slice(rest);
+    });
+    Some((shard, sent))
+}
+
+/// Outcome of trying to hand a request to a shard: either it is on the
+/// backend's wire (an answer will come through the slot's pending
+/// table), or the client was already answered (unavailable shard).
+#[derive(PartialEq)]
+enum Sent {
+    Forwarded,
+    Answered,
+}
+
+impl Sent {
+    fn forwarded(&self) -> bool {
+        matches!(self, Sent::Forwarded)
+    }
+}
+
+/// Forward one single-shard request. `build` writes the backend frame
+/// into the (cleared) scratch buffer once the backend sequence id is
+/// known.
+fn route_single<'scope, 'env>(
+    scope: &'scope Scope<'scope, 'env>,
+    session: &'env Session<'env>,
+    shard: usize,
+    client_seq: u64,
+    scratch: &mut Vec<u8>,
+    build: impl FnOnce(u64, &mut Vec<u8>),
+) -> Sent {
+    forward(
+        scope,
+        session,
+        shard,
+        scratch,
+        build,
+        Pending::Single { client_seq },
+        |session, err| {
+            let _ = session.send_client(client_seq, &Response::Err(err), false);
+        },
+    )
+}
+
+/// Forward one part of a scatter.
+fn route_part<'scope, 'env>(
+    scope: &'scope Scope<'scope, 'env>,
+    session: &'env Session<'env>,
+    shard: usize,
+    backend: &Request,
+    scratch: &mut Vec<u8>,
+    gather: &Arc<Mutex<Gather>>,
+) -> Sent {
+    forward(
+        scope,
+        session,
+        shard,
+        scratch,
+        |bseq, out| *out = backend.encode(bseq),
+        Pending::Part(Arc::clone(gather)),
+        |session, err| {
+            let done = gather.lock().complete_part(shard, Err(err));
+            if let Some(resp) = done {
+                let seq = gather.lock().client_seq;
+                let _ = session.send_client(seq, &resp, false);
+            }
+        },
+    )
+}
+
+/// The shared forwarding path: ensure a live connection, register the
+/// pending entry, write the frame `build` produces for the assigned
+/// backend sequence id. `on_unavailable` runs when the request never
+/// made it onto a backend wire (the pending entry, if registered, has
+/// already been drained by the failure path — exactly one of the two
+/// answers the client).
+fn forward<'scope, 'env>(
+    scope: &'scope Scope<'scope, 'env>,
+    session: &'env Session<'env>,
+    shard: usize,
+    scratch: &mut Vec<u8>,
+    build: impl FnOnce(u64, &mut Vec<u8>),
+    pending: Pending,
+    on_unavailable: impl FnOnce(&Session<'env>, RemoteError),
+) -> Sent {
+    let slot = &session.slots[shard];
+    let bseq = {
+        let mut ctl = slot.ctl.lock();
+        if !ctl.alive {
+            if let Err(msg) = ensure_conn(scope, session, shard, &mut ctl) {
+                on_unavailable(session, RemoteError::Unavailable(msg));
+                return Sent::Answered;
+            }
+        }
+        let bseq = ctl.next_bseq;
+        ctl.next_bseq += 1;
+        ctl.pending.insert(bseq, pending);
+        bseq
+    };
+    session
+        .shared
+        .stats
+        .forwarded
+        .fetch_add(1, Ordering::Relaxed);
+    // The ctl lock is released: if the connection dies right here, the
+    // failure path drains our pending entry and answers the client;
+    // the writer below is then gone and we silently stand down.
+    let write_result = {
+        let mut w = slot.writer.lock();
+        match w.as_mut() {
+            None => return Sent::Forwarded, // failure path owns the answer
+            Some(w) => {
+                scratch.clear();
+                build(bseq, scratch);
+                write_frame(w, scratch).map(|_| ())
+            }
+        }
+    };
+    if write_result.is_err() {
+        fail_slot(session, shard, "write to shard failed");
+    }
+    Sent::Forwarded
+}
+
+/// Dial a dead slot's backend, handshake, and start its reader thread.
+/// Called with the slot's ctl lock held; on success the slot is alive.
+fn ensure_conn<'scope, 'env>(
+    scope: &'scope Scope<'scope, 'env>,
+    session: &'env Session<'env>,
+    shard: usize,
+    ctl: &mut SlotCtl,
+) -> Result<(), String> {
+    let shared = session.shared;
+    if let Some(until) = ctl.down_until {
+        if Instant::now() < until {
+            return Err(format!("shard {shard} is in its reconnect-backoff window"));
+        }
+    }
+    let config = &shared.config;
+    let dial = || -> io::Result<TcpStream> {
+        let stream = TcpStream::connect_timeout(&shared.backends[shard], config.connect_timeout)?;
+        stream.set_nodelay(true).ok();
+        // Handshake under a deadline so a wedged backend can't hang
+        // the whole session; cleared once the echo arrives.
+        stream.set_read_timeout(Some(config.connect_timeout))?;
+        let mut stream_w = stream.try_clone()?;
+        stream_w.write_all(&MAGIC)?;
+        stream_w.flush()?;
+        let mut echo = [0u8; 4];
+        (&stream).read_exact(&mut echo)?;
+        if echo != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "backend handshake mismatch",
+            ));
+        }
+        stream.set_read_timeout(None)?;
+        Ok(stream)
+    };
+    match dial() {
+        Ok(stream) => {
+            let reader_half = match stream.try_clone().map(BufReader::new) {
+                Ok(r) => r,
+                Err(e) => return Err(format!("shard {shard}: {e}")),
+            };
+            let writer_half = match stream.try_clone().map(BufWriter::new) {
+                Ok(w) => w,
+                Err(e) => return Err(format!("shard {shard}: {e}")),
+            };
+            *session.slots[shard].writer.lock() = Some(writer_half);
+            ctl.alive = true;
+            ctl.raw = Some(stream);
+            ctl.failures = 0;
+            ctl.down_until = None;
+            shared
+                .stats
+                .backend_connects
+                .fetch_add(1, Ordering::Relaxed);
+            scope.spawn(move || backend_reader(session, shard, reader_half));
+            Ok(())
+        }
+        Err(e) => {
+            ctl.failures += 1;
+            let exp = ctl.failures.saturating_sub(1).min(16);
+            let backoff = config
+                .reconnect_backoff
+                .saturating_mul(1u32 << exp)
+                .min(config.reconnect_backoff_max);
+            ctl.down_until = Some(Instant::now() + backoff);
+            shared.stats.shard_failures.fetch_add(1, Ordering::Relaxed);
+            Err(format!("shard {shard} is unreachable: {e}"))
+        }
+    }
+}
+
+/// Tear down one slot's connection: mark it dead, start the backoff
+/// clock, and answer every pending request with `Unavailable`. Safe to
+/// call from any thread; only the first caller acts.
+fn fail_slot(session: &Session<'_>, shard: usize, why: &str) {
+    let slot = &session.slots[shard];
+    let drained: Vec<(u64, Pending)> = {
+        let mut ctl = slot.ctl.lock();
+        if !ctl.alive {
+            return; // someone else already tore this connection down
+        }
+        ctl.alive = false;
+        if let Some(raw) = ctl.raw.take() {
+            let _ = raw.shutdown(Shutdown::Both);
+        }
+        ctl.failures += 1;
+        let exp = ctl.failures.saturating_sub(1).min(16);
+        let backoff = session
+            .shared
+            .config
+            .reconnect_backoff
+            .saturating_mul(1u32 << exp)
+            .min(session.shared.config.reconnect_backoff_max);
+        ctl.down_until = Some(Instant::now() + backoff);
+        ctl.pending.drain().collect()
+    };
+    *slot.writer.lock() = None;
+    session
+        .shared
+        .stats
+        .shard_failures
+        .fetch_add(1, Ordering::Relaxed);
+    let err = || RemoteError::Unavailable(format!("shard {shard}: {why}; request not retried"));
+    for (_, pending) in drained {
+        match pending {
+            Pending::Single { client_seq } => {
+                let _ = session.send_client(client_seq, &Response::Err(err()), false);
+            }
+            Pending::Part(gather) => {
+                let done = gather.lock().complete_part(shard, Err(err()));
+                if let Some(resp) = done {
+                    let seq = gather.lock().client_seq;
+                    let _ = session.send_client(seq, &resp, false);
+                }
+            }
+        }
+    }
+    // The drained answers must not sit in the buffer: the client loop
+    // doesn't know we wrote them.
+    let _ = session.client_writer.lock().flush();
+}
+
+/// Re-tag a backend response payload with the client's sequence id
+/// without a full decode. Covers the shapes whose only embedded id is
+/// a single leading varint (or none at all): the id is patched, every
+/// byte after it is copied verbatim. The patched varints are canonical
+/// either way, so the frame is byte-for-byte what decode + translate +
+/// re-encode would produce. Returns `None` for richer shapes (and
+/// garbage), which take the slow path.
+fn retag_response(
+    payload: &[u8],
+    after_seq: usize,
+    client_seq: u64,
+    map: ShardMap,
+    shard: usize,
+    out: &mut Vec<u8>,
+) -> Option<()> {
+    let k = *payload.get(after_seq)?;
+    let body = &payload[after_seq + 1..];
+    out.clear();
+    varint::write_u64(out, client_seq);
+    out.push(k);
+    match k {
+        // No ids at all (COUNT's varint is a count, FLAG's byte a bool).
+        kind::PONG | kind::UNIT | kind::COUNT | kind::FLAG => {
+            out.extend_from_slice(body);
+        }
+        kind::VERSION | kind::BODY => {
+            let (vid, len) = varint::read_u64(body).ok()?;
+            varint::write_u64(out, map.client_vid(Vid(vid), shard).0);
+            out.extend_from_slice(&body[len..]);
+        }
+        kind::OBJECT => {
+            let (oid, len) = varint::read_u64(body).ok()?;
+            varint::write_u64(out, map.client_oid(Oid(oid), shard).0);
+            out.extend_from_slice(&body[len..]);
+        }
+        _ => return None, // Created, lists, errors, stats: slow path
+    }
+    Some(())
+}
+
+/// One shard connection's response pump: correlate each backend frame
+/// with its pending entry, translate ids, and answer the client.
+fn backend_reader(session: &Session<'_>, shard: usize, mut reader: BufReader<TcpStream>) {
+    let map = session.shared.map;
+    // Reused across frames: the inbound payload and the re-tagged
+    // outbound copy.
+    let mut payload = Vec::new();
+    let mut retagged = Vec::new();
+    loop {
+        match read_frame_into(&mut reader, &mut payload) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => {
+                fail_slot(session, shard, "connection lost");
+                return;
+            }
+        };
+        let Ok((bseq, bseq_len)) = varint::read_u64(&payload) else {
+            // A backend speaking garbage can't be trusted for anything
+            // in flight: kill the connection, which answers every
+            // pending request cleanly.
+            session
+                .shared
+                .stats
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            fail_slot(session, shard, "undecodable response from shard");
+            return;
+        };
+        let pending = session.slots[shard].ctl.lock().pending.remove(&bseq);
+        // Flush only when this pump has nothing more buffered — mid
+        // burst, later responses ride the same flush.
+        let flush = reader.buffer().is_empty();
+        // The pending entry is already removed, so this reader owns the
+        // answer for `bseq` — on an undecodable payload it answers with
+        // the exact `Unavailable` the failure path gives everything
+        // else in flight, then tears the connection down.
+        let undecodable = |session: &Session<'_>| {
+            session
+                .shared
+                .stats
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            RemoteError::Unavailable(format!(
+                "shard {shard}: undecodable response from shard; request not retried"
+            ))
+        };
+        match pending {
+            None => {
+                // A response nothing asked for; ignoring it would leave
+                // the correlation state suspect, so treat as a fault.
+                session
+                    .shared
+                    .stats
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                fail_slot(session, shard, "response with unknown sequence id");
+                return;
+            }
+            Some(Pending::Single { client_seq }) => {
+                // Fast path first: single-id shapes re-tag in place.
+                if retag_response(&payload, bseq_len, client_seq, map, shard, &mut retagged)
+                    .is_some()
+                {
+                    if session.send_client_bytes(&retagged, flush).is_err() {
+                        return; // client gone; the session is tearing down
+                    }
+                    continue;
+                }
+                match Response::decode(&payload) {
+                    Ok((_, response)) => {
+                        let resp = translate_response(response, map, shard);
+                        if session.send_client(client_seq, &resp, flush).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => {
+                        let err = undecodable(session);
+                        let _ = session.send_client(client_seq, &Response::Err(err), false);
+                        fail_slot(session, shard, "undecodable response from shard");
+                        return;
+                    }
+                }
+            }
+            Some(Pending::Part(gather)) => {
+                let part = match Response::decode(&payload) {
+                    Ok((_, response)) => Ok(translate_response(response, map, shard)),
+                    Err(_) => Err(undecodable(session)),
+                };
+                let failed = part.is_err();
+                let done = gather.lock().complete_part(shard, part);
+                if let Some(merged) = done {
+                    let seq = gather.lock().client_seq;
+                    if session.send_client(seq, &merged, flush).is_err() {
+                        return;
+                    }
+                } else if flush && session.client_writer.lock().flush().is_err() {
+                    return;
+                }
+                if failed {
+                    fail_slot(session, shard, "undecodable response from shard");
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ode::{TypeTag, Vid};
+
+    #[test]
+    fn stats_scatter_sums_counters_and_per_opcode_counts() {
+        let a = StatsReport {
+            active_connections: 1,
+            total_connections: 2,
+            bytes_in: 10,
+            bytes_out: 20,
+            protocol_errors: 0,
+            op_errors: 1,
+            snapshot_hits: 5,
+            snapshot_misses: 2,
+            requests: vec![(Opcode::Pnew, 3), (Opcode::Deref, 4)],
+        };
+        let b = StatsReport {
+            active_connections: 2,
+            total_connections: 3,
+            bytes_in: 100,
+            bytes_out: 200,
+            protocol_errors: 1,
+            op_errors: 0,
+            snapshot_hits: 7,
+            snapshot_misses: 1,
+            requests: vec![(Opcode::Deref, 6), (Opcode::Ping, 1)],
+        };
+        let merged = merge_stats(vec![a, b]);
+        assert_eq!(merged.active_connections, 3);
+        assert_eq!(merged.total_connections, 5);
+        assert_eq!(merged.bytes_in, 110);
+        assert_eq!(merged.bytes_out, 220);
+        assert_eq!(merged.protocol_errors, 1);
+        assert_eq!(merged.op_errors, 1);
+        assert_eq!(merged.snapshot_hits, 12);
+        assert_eq!(merged.snapshot_misses, 3);
+        assert_eq!(merged.requests_for(Opcode::Deref), 10);
+        assert_eq!(merged.requests_for(Opcode::Pnew), 3);
+        assert_eq!(merged.requests_for(Opcode::Ping), 1);
+        // Wire order (the order a single server reports) is preserved.
+        assert_eq!(
+            merged.requests,
+            vec![(Opcode::Ping, 1), (Opcode::Pnew, 3), (Opcode::Deref, 10)]
+        );
+    }
+
+    #[test]
+    fn extent_scatter_merges_sorted_and_truncates_pages() {
+        let parts = vec![
+            vec![Oid(4), Oid(8), Oid(12)],
+            vec![Oid(1), Oid(5)],
+            vec![Oid(2), Oid(6), Oid(10)],
+        ];
+        assert_eq!(
+            merge_objects(parts.clone(), None),
+            vec![
+                Oid(1),
+                Oid(2),
+                Oid(4),
+                Oid(5),
+                Oid(6),
+                Oid(8),
+                Oid(10),
+                Oid(12)
+            ]
+        );
+        assert_eq!(merge_objects(parts, Some(3)), vec![Oid(1), Oid(2), Oid(4)]);
+    }
+
+    #[test]
+    fn responses_translate_every_embedded_id() {
+        let map = ShardMap::new(4);
+        let s = 2;
+        assert_eq!(
+            translate_response(
+                Response::Created {
+                    oid: Oid(3),
+                    vid: Vid(5)
+                },
+                map,
+                s
+            ),
+            Response::Created {
+                oid: Oid(14),
+                vid: Vid(22)
+            }
+        );
+        assert_eq!(
+            translate_response(Response::Version(Vid(1)), map, s),
+            Response::Version(Vid(6))
+        );
+        assert_eq!(
+            translate_response(
+                Response::Body {
+                    vid: Vid(2),
+                    bytes: vec![9]
+                },
+                map,
+                s
+            ),
+            Response::Body {
+                vid: Vid(10),
+                bytes: vec![9]
+            }
+        );
+        assert_eq!(
+            translate_response(Response::Versions(vec![Vid(1), Vid(2)]), map, s),
+            Response::Versions(vec![Vid(6), Vid(10)])
+        );
+        assert_eq!(
+            translate_response(Response::Err(RemoteError::UnknownObject(Oid(3))), map, s),
+            Response::Err(RemoteError::UnknownObject(Oid(14)))
+        );
+        // Shapes without ids pass through untouched.
+        assert_eq!(translate_response(Response::Unit, map, s), Response::Unit);
+        assert_eq!(
+            translate_response(Response::Count(7), map, s),
+            Response::Count(7)
+        );
+    }
+
+    #[test]
+    fn pnew_places_round_robin_and_keyed_requests_follow_their_id() {
+        let map = ShardMap::new(3);
+        let rr = AtomicU64::new(0);
+        for expect in [0usize, 1, 2, 0, 1] {
+            match route(
+                Request::Pnew {
+                    tag: TypeTag(1),
+                    body: vec![],
+                },
+                map,
+                &rr,
+            ) {
+                Route::Single { shard, .. } => assert_eq!(shard, expect),
+                _ => panic!("pnew must route to a single shard"),
+            }
+        }
+        // Oid 7 on 3 shards: shard 1, backend id 2.
+        match route(
+            Request::Deref {
+                oid: Oid(7),
+                tag: TypeTag(1),
+            },
+            map,
+            &rr,
+        ) {
+            Route::Single { shard, backend } => {
+                assert_eq!(shard, 1);
+                assert_eq!(
+                    backend,
+                    Request::Deref {
+                        oid: Oid(2),
+                        tag: TypeTag(1)
+                    }
+                );
+            }
+            _ => panic!("deref must route to a single shard"),
+        }
+    }
+
+    #[test]
+    fn a_gather_answers_exactly_once_even_with_failures() {
+        let mut g = Gather::new(9, GatherKind::Objects, 3);
+        assert!(g
+            .complete_part(0, Ok(Response::Objects(vec![Oid(3)])))
+            .is_none());
+        assert!(g
+            .complete_part(1, Err(RemoteError::Unavailable("down".into())))
+            .is_none());
+        let last = g.complete_part(2, Ok(Response::Objects(vec![Oid(2)])));
+        assert_eq!(
+            last,
+            Some(Response::Err(RemoteError::Unavailable("down".into())))
+        );
+        // Late or duplicate parts after completion are swallowed.
+        assert!(g.complete_part(0, Ok(Response::Objects(vec![]))).is_none());
+    }
+}

@@ -37,7 +37,7 @@ use ode::Database;
 use crate::cache::SnapshotCache;
 use crate::error::RemoteError;
 use crate::protocol::{
-    read_frame, write_frame, Opcode, Request, Response, StatsReport, MAGIC, OPCODE_COUNT,
+    read_frame_into, write_frame, Opcode, Request, Response, StatsReport, MAGIC, OPCODE_COUNT,
 };
 use crate::NetError;
 
@@ -262,7 +262,8 @@ fn worker_loop(
 struct Job {
     seq: u64,
     request: Request,
-    /// Cache key (the request encoded with seq 0) — `Some` for reads.
+    /// Cache key (the request's operation bytes, i.e. the payload
+    /// after its sequence varint) — `Some` for reads.
     key: Option<Vec<u8>>,
     /// Whether the reader already consulted the cache and missed; the
     /// executor then skips its own lookup so each request counts one
@@ -272,20 +273,43 @@ struct Job {
 
 /// Send one response frame. Responses from the reader fast path and the
 /// executor interleave on the same socket, so every frame goes through
-/// this one lock.
+/// this one lock. The frame lands in the shared `BufWriter` only —
+/// flushing is coalesced: each half of the session flushes when it runs
+/// out of immediate work (the reader before a socket read can block,
+/// the executor when its queue drains), so a pipelined batch costs a
+/// handful of write syscalls instead of one per response.
 fn respond(
     writer: &Mutex<BufWriter<TcpStream>>,
     stats: &ServerStats,
     seq: u64,
     response: &Response,
 ) -> io::Result<()> {
-    let out = response.encode(seq);
+    respond_bytes(writer, stats, &response.encode(seq))
+}
+
+/// [`respond`] for an already-encoded payload.
+fn respond_bytes(
+    writer: &Mutex<BufWriter<TcpStream>>,
+    stats: &ServerStats,
+    out: &[u8],
+) -> io::Result<()> {
     let mut w = writer.lock().unwrap();
-    let written = write_frame(&mut *w, &out)?;
-    w.flush()?;
+    let written = write_frame(&mut *w, out)?;
     drop(w);
     stats.bytes_out.fetch_add(written, Ordering::Relaxed);
     Ok(())
+}
+
+/// Flush everything buffered on the shared writer.
+fn flush_writer(writer: &Mutex<BufWriter<TcpStream>>) -> io::Result<()> {
+    writer.lock().unwrap().flush()
+}
+
+/// Length in bytes of the sequence-id varint a frame payload starts
+/// with — the *actual* length off the wire, so the operation bytes
+/// after it are exact even for non-canonical encodings.
+fn seq_prefix_len(payload: &[u8]) -> usize {
+    payload.iter().take_while(|b| **b & 0x80 != 0).count() + 1
 }
 
 /// Run one connection's session to completion. Any `Err` return or
@@ -356,10 +380,20 @@ fn reader_loop(
     cache: &SnapshotCache,
     pending_writes: &AtomicU64,
 ) -> io::Result<()> {
+    // Both buffers live across iterations — frame payloads and
+    // fast-path responses reuse one allocation each.
+    let mut payload = Vec::new();
+    let mut out = Vec::new();
     loop {
-        let payload = match read_frame(reader) {
-            Ok(Some(payload)) => payload,
-            Ok(None) => return Ok(()), // client hung up cleanly
+        // Coalesced flushing: once the read buffer is dry, the next
+        // frame read can block, so everything answered since the last
+        // flush (fast-path hits, pings) must reach the wire first.
+        if reader.buffer().is_empty() {
+            flush_writer(writer)?;
+        }
+        match read_frame_into(reader, &mut payload) {
+            Ok(true) => {}
+            Ok(false) => return Ok(()), // client hung up cleanly
             Err(NetError::Io(e)) => return Err(e),
             Err(_) => {
                 stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -394,15 +428,23 @@ fn reader_loop(
                 respond(writer, stats, seq, &Response::Stats(stats.report(cache)))?;
             }
             request if request.is_read() => {
-                let key = request.encode(0);
+                // The cache key is the request's operation bytes — the
+                // payload minus its sequence varint, borrowed straight
+                // off the frame (no re-encode).
+                let op_bytes = &payload[seq_prefix_len(&payload)..];
                 // Cache fast path, only when no write is queued ahead
                 // on this connection (read-your-writes). The epoch is
                 // sampled here, after the gate: any commit acknowledged
                 // before this request was sent has already bumped it.
                 let mut looked_up = false;
                 if pending_writes.load(Ordering::Acquire) == 0 {
-                    if let Some(response) = cache.lookup(db.snapshot_epoch(), &key) {
-                        respond(writer, stats, seq, &response)?;
+                    if let Some(cached) = cache.lookup(db.snapshot_epoch(), op_bytes) {
+                        // Wire-ready bytes: this caller's sequence id
+                        // prefixed onto the stored encoded response.
+                        out.clear();
+                        ode_codec::varint::write_u64(&mut out, seq);
+                        out.extend_from_slice(&cached);
+                        respond_bytes(writer, stats, &out)?;
                         continue;
                     }
                     looked_up = true;
@@ -410,7 +452,7 @@ fn reader_loop(
                 let job = Job {
                     seq,
                     request,
-                    key: Some(key),
+                    key: Some(op_bytes.to_vec()),
                     looked_up,
                 };
                 if job_tx.send(job).is_err() {
@@ -443,9 +485,28 @@ fn executor_loop(
     cache: &SnapshotCache,
     pending_writes: &AtomicU64,
 ) {
-    while let Ok(job) = job_rx.recv() {
+    loop {
+        let job = match job_rx.try_recv() {
+            Ok(job) => Some(job),
+            Err(mpsc::TryRecvError::Empty) => {
+                // The queue is dry: everything answered so far must
+                // reach the wire before this thread blocks.
+                if flush_writer(writer).is_err() {
+                    return;
+                }
+                job_rx.recv().ok()
+            }
+            Err(mpsc::TryRecvError::Disconnected) => None,
+        };
+        let Some(job) = job else {
+            let _ = flush_writer(writer);
+            return;
+        };
         let is_write = job.key.is_none();
-        let response = match job.key {
+        // The response encoded under the job's sequence id; what the
+        // cache stores is the part after the sequence varint, which is
+        // caller-independent.
+        let out: Vec<u8> = match job.key {
             Some(key) => {
                 // Sampled before the snapshot opens: a commit landing
                 // in between tags the fill with an already-stale epoch
@@ -457,25 +518,33 @@ fn executor_loop(
                     cache.lookup(epoch, &key)
                 };
                 match cached {
-                    Some(response) => response,
+                    Some(cached) => {
+                        let mut out = Vec::with_capacity(10 + cached.len());
+                        ode_codec::varint::write_u64(&mut out, job.seq);
+                        out.extend_from_slice(&cached);
+                        out
+                    }
                     None => match apply(db, job.request) {
                         Ok(response) => {
-                            cache.insert(epoch, key, response.clone());
-                            response
+                            let out = response.encode(job.seq);
+                            cache.insert(epoch, key, Arc::from(&out[seq_prefix_len(&out)..]));
+                            out
                         }
                         Err(e) => {
                             stats.op_errors.fetch_add(1, Ordering::Relaxed);
-                            Response::Err(RemoteError::from(&e))
+                            Response::Err(RemoteError::from(&e)).encode(job.seq)
                         }
                     },
                 }
             }
-            None => apply(db, job.request).unwrap_or_else(|e| {
-                stats.op_errors.fetch_add(1, Ordering::Relaxed);
-                Response::Err(RemoteError::from(&e))
-            }),
+            None => apply(db, job.request)
+                .unwrap_or_else(|e| {
+                    stats.op_errors.fetch_add(1, Ordering::Relaxed);
+                    Response::Err(RemoteError::from(&e))
+                })
+                .encode(job.seq),
         };
-        let sent = respond(writer, stats, job.seq, &response);
+        let sent = respond_bytes(writer, stats, &out);
         if is_write {
             // Cleared only now, after the write committed (or failed):
             // a reader that sees zero can safely serve cached reads.

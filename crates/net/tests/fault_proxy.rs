@@ -1,22 +1,31 @@
-//! Fault injection: a chaos TCP relay sits between client and server,
-//! splitting streams at arbitrary byte boundaries, delaying delivery,
-//! and cutting connections mid-pipeline. The protocol must shrug off
-//! fragmentation, surface connection loss as a clean error, and never
-//! silently retry a write.
+//! Fault injection: a chaos TCP relay ([`FaultRelay`]) sits between
+//! client and server, splitting streams at arbitrary byte boundaries,
+//! delaying delivery, and cutting connections mid-pipeline. The
+//! protocol must shrug off fragmentation, surface connection loss as a
+//! clean error, and never silently retry a write.
+//!
+//! The second half is the cluster battery: the same faults pointed at
+//! one shard of a 4-shard tier. Killing a shard mid-pipeline must fail
+//! exactly that shard's requests — cleanly, per request — while the
+//! rest of the batch completes, and a write whose response is lost in
+//! the cut must execute exactly once, never silently retried by any
+//! layer.
+//!
+//! Deterministic by construction: the relay's byte budgets make
+//! connection death exact to the byte (no timers to race), and the
+//! router's round-robin placement makes shard assignment exact from a
+//! fresh cluster. Run under `RUST_TEST_THREADS=1` in CI.
 
-use std::io::{Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ode::{Database, DatabaseOptions};
 use ode_codec::{impl_persist_struct, impl_type_name};
 use ode_net::{
-    ClientConfig, ClientObjPtr, NetError, OdeClient, OdeServer, Opcode, Request, Response,
-    ServerConfig,
+    ClientConfig, ClientObjPtr, Cluster, ClusterConfig, FaultRelay, NetError, OdeClient, OdeServer,
+    Opcode, RelayPlan, RemoteError, Request, Response, ServerConfig,
 };
 
 #[derive(Debug, Clone, PartialEq)]
@@ -44,98 +53,6 @@ impl Drop for TempPath {
     }
 }
 
-/// How the proxy mistreats one proxied connection.
-#[derive(Clone, Copy)]
-struct ConnPlan {
-    /// Bytes forwarded client→server before the connection is cut.
-    c2s_budget: usize,
-    /// Bytes forwarded server→client before the connection is cut.
-    s2c_budget: usize,
-    /// Forwarding granularity: each read is re-written in chunks of at
-    /// most this many bytes.
-    chunk: usize,
-    /// Delay between forwarded chunks.
-    delay: Duration,
-}
-
-impl ConnPlan {
-    fn clean() -> ConnPlan {
-        ConnPlan {
-            c2s_budget: usize::MAX,
-            s2c_budget: usize::MAX,
-            chunk: usize::MAX,
-            delay: Duration::ZERO,
-        }
-    }
-}
-
-/// One relay direction: read from `from`, forward to `to` in
-/// plan-sized chunks until the byte budget runs out, then cut both
-/// directions of both sockets.
-fn pump(mut from: TcpStream, mut to: TcpStream, mut budget: usize, chunk: usize, delay: Duration) {
-    let mut buf = [0u8; 4096];
-    loop {
-        let n = match from.read(&mut buf) {
-            Ok(0) | Err(_) => break,
-            Ok(n) => n,
-        };
-        for piece in buf[..n].chunks(chunk.max(1)) {
-            let take = piece.len().min(budget);
-            if to.write_all(&piece[..take]).is_err() {
-                budget = 0;
-            } else {
-                budget -= take;
-            }
-            if budget == 0 {
-                // Budget spent: kill the connection mid-stream.
-                let _ = from.shutdown(Shutdown::Both);
-                let _ = to.shutdown(Shutdown::Both);
-                return;
-            }
-            if !delay.is_zero() {
-                thread::sleep(delay);
-            }
-        }
-    }
-    let _ = from.shutdown(Shutdown::Both);
-    let _ = to.shutdown(Shutdown::Both);
-}
-
-/// Start a chaos relay in front of `upstream`. The nth accepted
-/// connection follows `plans[n]`; connections beyond the list are
-/// forwarded cleanly. Returns the address to point the client at.
-fn start_proxy(upstream: SocketAddr, plans: Vec<ConnPlan>) -> SocketAddr {
-    let listener = TcpListener::bind("127.0.0.1:0").expect("bind proxy");
-    let addr = listener.local_addr().expect("proxy addr");
-    let next = Arc::new(AtomicUsize::new(0));
-    thread::spawn(move || {
-        for stream in listener.incoming() {
-            let Ok(client_side) = stream else { continue };
-            let Ok(server_side) = TcpStream::connect(upstream) else {
-                let _ = client_side.shutdown(Shutdown::Both);
-                continue;
-            };
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            let plan = plans.get(i).copied().unwrap_or_else(ConnPlan::clean);
-            let (c2, s2) = (
-                client_side.try_clone().expect("clone"),
-                server_side.try_clone().expect("clone"),
-            );
-            thread::spawn(move || {
-                pump(
-                    client_side,
-                    server_side,
-                    plan.c2s_budget,
-                    plan.chunk,
-                    plan.delay,
-                )
-            });
-            thread::spawn(move || pump(s2, c2, plan.s2c_budget, plan.chunk, plan.delay));
-        }
-    });
-    addr
-}
-
 fn start_server(path: &PathBuf) -> (Arc<Database>, OdeServer) {
     let db = Arc::new(Database::create(path, DatabaseOptions::no_sync()).expect("create db"));
     let server = OdeServer::bind(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default())
@@ -143,20 +60,25 @@ fn start_server(path: &PathBuf) -> (Arc<Database>, OdeServer) {
     (db, server)
 }
 
+// ---------------------------------------------------------------------------
+// Single server behind the relay
+// ---------------------------------------------------------------------------
+
 #[test]
 fn frames_split_at_every_byte_boundary_still_work() {
     let path = TempPath::new();
     let (_db, server) = start_server(&path.0);
     // One byte at a time with a delay: every frame arrives maximally
     // fragmented in both directions.
-    let plan = ConnPlan {
+    let plan = RelayPlan {
         chunk: 1,
         delay: Duration::from_micros(50),
-        ..ConnPlan::clean()
+        ..RelayPlan::clean()
     };
-    let proxy = start_proxy(server.local_addr(), vec![plan]);
+    let relay = FaultRelay::start(server.local_addr(), vec![plan]).expect("start relay");
 
-    let mut c = OdeClient::connect(proxy, ClientConfig::default()).expect("connect via proxy");
+    let mut c =
+        OdeClient::connect(relay.local_addr(), ClientConfig::default()).expect("connect via relay");
     let p = c
         .pnew(&Doc {
             title: "fragmented".into(),
@@ -196,13 +118,14 @@ fn connection_cut_mid_pipeline_surfaces_a_clean_error() {
     // First connection: the handshake echo (4 bytes) plus a handful of
     // response bytes pass, then the stream dies mid-frame. Later
     // connections are clean.
-    let plan = ConnPlan {
+    let plan = RelayPlan {
         s2c_budget: 4 + 9,
-        ..ConnPlan::clean()
+        ..RelayPlan::clean()
     };
-    let proxy = start_proxy(server.local_addr(), vec![plan]);
+    let relay = FaultRelay::start(server.local_addr(), vec![plan]).expect("start relay");
 
-    let mut c = OdeClient::connect(proxy, ClientConfig::default()).expect("connect via proxy");
+    let mut c =
+        OdeClient::connect(relay.local_addr(), ClientConfig::default()).expect("connect via relay");
     let tag = ClientObjPtr::<Doc>::tag();
 
     // Pipeline enough reads that the response stream necessarily blows
@@ -239,13 +162,14 @@ fn writes_are_never_silently_retried() {
     // response frame — proof the server processed the request — and
     // then the stream dies mid-frame, so the response itself is lost.
     // Exactly the ambiguous-outcome window.
-    let plan = ConnPlan {
+    let plan = RelayPlan {
         s2c_budget: 4 + 1,
-        ..ConnPlan::clean()
+        ..RelayPlan::clean()
     };
-    let proxy = start_proxy(server.local_addr(), vec![plan]);
+    let relay = FaultRelay::start(server.local_addr(), vec![plan]).expect("start relay");
 
-    let mut c = OdeClient::connect(proxy, ClientConfig::default()).expect("connect via proxy");
+    let mut c =
+        OdeClient::connect(relay.local_addr(), ClientConfig::default()).expect("connect via relay");
     match c.pnew(&Doc {
         title: "ambiguous".into(),
         revision: 0,
@@ -263,4 +187,165 @@ fn writes_are_never_silently_retried() {
     assert_eq!(objects.len(), 1, "exactly one execution of the lost write");
     assert_eq!(server.stats().requests_for(Opcode::Pnew), 1);
     server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Cluster battery: the same faults against one shard of a 4-shard tier
+// ---------------------------------------------------------------------------
+
+fn doc(title: &str, revision: u64) -> Doc {
+    Doc {
+        title: title.into(),
+        revision,
+    }
+}
+
+#[test]
+fn a_killed_shard_fails_only_its_own_requests_and_never_replays_a_write() {
+    let mut cluster = Cluster::start(ClusterConfig::default());
+    let map = cluster.shard_map();
+    let mut c =
+        OdeClient::connect(cluster.router_addr(), ClientConfig::default()).expect("connect");
+
+    // Two objects per shard, placed by round-robin from a fresh router.
+    let ptrs: Vec<ClientObjPtr<Doc>> = (0..8)
+        .map(|i| c.pnew(&doc(&format!("m{i}"), i)).expect("pnew"))
+        .collect();
+
+    // Baseline: the full batch succeeds.
+    let mut pipe = c.pipeline();
+    for ptr in &ptrs {
+        pipe.push(&Request::Deref {
+            oid: ptr.oid(),
+            tag: ClientObjPtr::<Doc>::tag(),
+        })
+        .expect("push");
+    }
+    for r in pipe.run().expect("baseline batch") {
+        assert!(matches!(r, Response::Body { .. }), "baseline slot: {r:?}");
+    }
+
+    let victim = map.shard_of(ptrs[1].oid());
+    cluster.kill_shard(victim);
+
+    // The same batch again: the dead shard's slots fail with a clean
+    // per-request Unavailable error frame; every other slot still gets
+    // its body, on the same client connection, in request order.
+    let mut pipe = c.pipeline();
+    for ptr in &ptrs {
+        pipe.push(&Request::Deref {
+            oid: ptr.oid(),
+            tag: ClientObjPtr::<Doc>::tag(),
+        })
+        .expect("push");
+    }
+    for (i, result) in pipe.run_each().into_iter().enumerate() {
+        let response = result.expect("the client connection must survive a shard loss");
+        if map.shard_of(ptrs[i].oid()) == victim {
+            match response {
+                Response::Err(RemoteError::Unavailable(_)) => {}
+                other => panic!("slot {i} (dead shard): expected unavailable, got {other:?}"),
+            }
+        } else {
+            assert!(
+                matches!(response, Response::Body { .. }),
+                "slot {i} (live shard) must be untouched: {response:?}"
+            );
+        }
+    }
+
+    // A write aimed at the dead shard is refused, not queued: the
+    // Unavailable contract says it was never executed.
+    match c.put(&ptrs[1], &doc("m1", 1000)) {
+        Err(NetError::Remote(RemoteError::Unavailable(_))) => {}
+        other => panic!("expected unavailable write refusal, got {other:?}"),
+    }
+    // Writes to live shards are unaffected.
+    c.put(&ptrs[2], &doc("m2", 2000)).expect("live-shard write");
+
+    // Bring the shard back and prove the refused write never happened —
+    // and was never silently replayed by the router or the client. The
+    // restarted server's counters start at zero, so any replay would
+    // show up as an Update it never received from us.
+    cluster.restart_shard(victim, ServerConfig::default());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let recovered = loop {
+        match c.deref(&ptrs[1]) {
+            Ok((body, _)) => break body,
+            Err(NetError::Remote(RemoteError::Unavailable(_))) if Instant::now() < deadline => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("expected recovery, got {other:?}"),
+        }
+    };
+    assert_eq!(recovered.revision, 1, "the refused write must not exist");
+    assert_eq!(
+        cluster.shard_stats(victim).requests_for(Opcode::Update),
+        0,
+        "nothing may replay the refused write after restart"
+    );
+    c.put(&ptrs[1], &doc("m1", 3000))
+        .expect("write after recovery");
+    assert_eq!(cluster.shard_stats(victim).requests_for(Opcode::Update), 1);
+}
+
+#[test]
+fn a_write_whose_response_dies_in_the_cut_executes_exactly_once() {
+    let mut config = ClusterConfig::default();
+    // Fast reconnect so the post-fault verification doesn't dawdle.
+    config.router.reconnect_backoff = Duration::from_millis(10);
+    config.router.reconnect_backoff_max = Duration::from_millis(50);
+    let cluster = Cluster::start(config);
+    let map = cluster.shard_map();
+
+    // Seed through one client, then drop it: the next backend
+    // connection each shard's relay accepts belongs to the next client.
+    let target = {
+        let mut seeder =
+            OdeClient::connect(cluster.router_addr(), ClientConfig::default()).expect("seeder");
+        let ptrs: Vec<ClientObjPtr<Doc>> = (0..4)
+            .map(|i| seeder.pnew(&doc(&format!("s{i}"), 1)).expect("pnew"))
+            .collect();
+        ptrs[0]
+    };
+    let victim = map.shard_of(target.oid());
+
+    // The victim relay's next connection forwards the router→shard
+    // handshake echo (4 bytes) plus ONE byte of the first response,
+    // then dies mid-frame: the shard *has executed* the request, the
+    // router can never read the outcome. Budgets make this exact — no
+    // timing involved.
+    cluster.relay(victim).set_plans(vec![RelayPlan {
+        s2c_budget: 4 + 1,
+        ..RelayPlan::clean()
+    }]);
+
+    let mut c =
+        OdeClient::connect(cluster.router_addr(), ClientConfig::default()).expect("connect");
+    match c.put(&target, &doc("s0", 99)) {
+        Err(NetError::Remote(RemoteError::Unavailable(_))) => {}
+        other => panic!("expected unavailable (outcome unknown), got {other:?}"),
+    }
+
+    // The shard executed it exactly once; nothing retried it.
+    assert_eq!(cluster.shard_stats(victim).requests_for(Opcode::Update), 1);
+
+    // After the budgeted connection died, the next dial is clean (the
+    // plan list is spent) — the write's effect is there, once.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let body = loop {
+        match c.deref(&target) {
+            Ok((body, _)) => break body,
+            Err(NetError::Remote(RemoteError::Unavailable(_))) if Instant::now() < deadline => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("expected eventual reconnect, got {other:?}"),
+        }
+    };
+    assert_eq!(body.revision, 99, "the executed write must be visible");
+    assert_eq!(
+        cluster.shard_stats(victim).requests_for(Opcode::Update),
+        1,
+        "no layer may have silently retried the write"
+    );
 }

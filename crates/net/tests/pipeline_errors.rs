@@ -1,0 +1,148 @@
+//! Regression test: a response frame that decodes its sequence id but
+//! not its payload must fail *that one request*, not the pipeline.
+//!
+//! The old behaviour dropped every queued response when a mid-batch
+//! frame would not decode — `Pipeline::run` returned the decode error
+//! and the backlogged siblings were lost with the poisoned connection.
+//! The fix keeps the stream in sync (frames are length-delimited) and
+//! stores the error under the offending sequence id, so
+//! [`Pipeline::run_each`] hands back a per-request `Result` and the
+//! connection keeps serving.
+//!
+//! The misbehaving server is a hand-rolled fake: real servers never
+//! emit such frames, which is exactly why this needs a fake.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::thread::JoinHandle;
+
+use ode_net::protocol::{read_frame, write_frame, MAGIC};
+use ode_net::{ClientConfig, NetError, OdeClient, Request, Response};
+
+/// Varint-encode `v` (LEB128), the wire's integer encoding.
+fn varint(v: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut v = v;
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+    out
+}
+
+/// A frame whose sequence id is valid but whose kind byte (200) is
+/// garbage: `Response::decode_seq` succeeds, `Response::decode` fails.
+fn garbage_frame(seq: u64) -> Vec<u8> {
+    let mut payload = varint(seq);
+    payload.push(200);
+    payload.extend_from_slice(b"junk");
+    payload
+}
+
+/// Serve one connection: echo the handshake, read `expect` requests,
+/// then answer them all — out of order, with the middle request's
+/// response replaced by a garbage-kind frame.
+fn start_fake_server(expect: usize, poison_index: usize) -> (SocketAddr, JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+    let addr = listener.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        let mut magic = [0u8; 4];
+        stream.read_exact(&mut magic).expect("read magic");
+        assert_eq!(magic, MAGIC);
+        stream.write_all(&MAGIC).expect("echo magic");
+        let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+        let mut seqs = Vec::new();
+        while seqs.len() < expect {
+            let payload = read_frame(&mut reader)
+                .expect("read request")
+                .expect("client closed early");
+            let (seq, _req) = Request::decode(&payload).expect("decode request");
+            seqs.push(seq);
+        }
+        // Answer newest-first so the client must backlog responses —
+        // the regression only bites when good frames sit behind the
+        // bad one in the same read loop.
+        for (i, &seq) in seqs.iter().enumerate().rev() {
+            let frame = if i == poison_index {
+                garbage_frame(seq)
+            } else {
+                Response::Count(seq).encode(seq)
+            };
+            write_frame(&mut stream, &frame).expect("write response");
+        }
+        stream.flush().expect("flush");
+        // Hold the socket open until the client is done reading.
+        let mut rest = Vec::new();
+        let _ = reader.read_to_end(&mut rest);
+    });
+    (addr, handle)
+}
+
+#[test]
+fn a_bad_frame_mid_batch_fails_only_its_own_request() {
+    let (addr, server) = start_fake_server(5, 2);
+    let mut client = OdeClient::connect(addr, ClientConfig::default()).expect("connect");
+
+    let mut pipe = client.pipeline();
+    let mut seqs = Vec::new();
+    for _ in 0..5 {
+        seqs.push(pipe.push(&Request::Ping).expect("push"));
+    }
+    let results = pipe.run_each();
+    assert_eq!(results.len(), 5);
+    for (i, result) in results.iter().enumerate() {
+        if i == 2 {
+            assert!(
+                result.is_err(),
+                "slot 2 got the garbage frame, must surface its decode error"
+            );
+        } else {
+            match result {
+                Ok(Response::Count(n)) => assert_eq!(*n, seqs[i], "slot {i} answered wrongly"),
+                other => panic!("slot {i}: expected its count, got {other:?}"),
+            }
+        }
+    }
+
+    drop(client);
+    server.join().expect("fake server");
+}
+
+#[test]
+fn recv_for_skips_over_a_siblings_bad_frame() {
+    let (addr, server) = start_fake_server(3, 0);
+    let mut client = OdeClient::connect(addr, ClientConfig::default()).expect("connect");
+
+    let poisoned = client.send(&Request::Ping).expect("send 0");
+    let a = client.send(&Request::Ping).expect("send 1");
+    let b = client.send(&Request::Ping).expect("send 2");
+
+    // Collecting the *good* requests first: the bad frame for `poisoned`
+    // arrives interleaved and must be backlogged as that id's error,
+    // not returned (or thrown) here.
+    match client.recv_for(a).expect("recv a") {
+        Response::Count(n) => assert_eq!(n, a),
+        other => panic!("expected count, got {other:?}"),
+    }
+    match client.recv_for(b).expect("recv b") {
+        Response::Count(n) => assert_eq!(n, b),
+        other => panic!("expected count, got {other:?}"),
+    }
+    // The poisoned slot's error is waiting for whoever asks for it.
+    assert!(client.recv_for(poisoned).is_err());
+    // And the connection is not poisoned: asking again reports the id
+    // as unknown (a clean protocol error), not a dead socket.
+    match client.recv_for(poisoned) {
+        Err(NetError::Protocol(_)) => {}
+        other => panic!("expected not-in-flight protocol error, got {other:?}"),
+    }
+
+    drop(client);
+    server.join().expect("fake server");
+}

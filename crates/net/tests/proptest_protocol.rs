@@ -113,6 +113,7 @@ fn arb_remote_error() -> BoxedStrategy<RemoteError> {
         arb_vid().prop_map(RemoteError::LastVersion),
         ".*".prop_map(|s| RemoteError::Storage(s.to_string())),
         ".*".prop_map(|s| RemoteError::BadRequest(s.to_string())),
+        ".*".prop_map(|s| RemoteError::Unavailable(s.to_string())),
     ]
     .boxed()
 }
