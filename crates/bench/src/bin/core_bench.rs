@@ -1,0 +1,292 @@
+//! `core_bench` — multi-threaded storage-engine throughput.
+//!
+//! ```text
+//! core_bench [engine-label] [objects] [ms-per-phase] [stall-us] [commits-per-writer]
+//! ```
+//!
+//! Three phases over one seeded database, JSON on stdout (the shape
+//! checked into `BENCH_core.json`):
+//!
+//! - **read_scaling** — 1/2/4/8 reader threads, each looping
+//!   snapshot-open + `Deref` over a shared object pool. Run twice:
+//!   *raw* (CPU-bound) and *io-model*, where every snapshot holds for
+//!   `stall-us` microseconds, modeling a device read while the snapshot
+//!   is open. On the pre-concurrency engine snapshots serialize behind
+//!   the store mutex, so modeled stalls cannot overlap and throughput
+//!   stays flat as threads are added; on the concurrent engine the
+//!   stalls overlap and throughput scales with the thread count even on
+//!   a single core.
+//! - **mixed** — 4 readers against 1 continuously committing writer
+//!   (fsync on): read throughput while the write path holds its commit
+//!   section and fsyncs.
+//! - **group_commit** — 8 writer threads each committing
+//!   `commits-per-writer` small updates with fsync on, group commit off
+//!   vs on; the engine's fsync and batch counters show how many
+//!   commits each WAL sync amortizes.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ode::{Database, DatabaseOptions, ObjPtr};
+use ode_codec::{impl_persist_struct, impl_type_name};
+
+#[derive(Debug, Clone, PartialEq)]
+struct Item {
+    id: u64,
+    payload: Vec<u8>,
+}
+impl_persist_struct!(Item { id, payload });
+impl_type_name!(Item = "bench/core/Item");
+
+struct Scratch(std::path::PathBuf);
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+        let mut wal = self.0.clone().into_os_string();
+        wal.push(".wal");
+        let _ = std::fs::remove_file(std::path::PathBuf::from(wal));
+    }
+}
+
+fn fresh_db(name: &str, options: DatabaseOptions) -> (Scratch, Database) {
+    let mut path = std::env::temp_dir();
+    path.push(format!("ode-core-bench-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let db = Database::create(&path, options).expect("create bench db");
+    (Scratch(path), db)
+}
+
+fn seed(db: &Database, objects: usize) -> Vec<ObjPtr<Item>> {
+    let mut txn = db.begin();
+    let ptrs = (0..objects)
+        .map(|i| {
+            txn.pnew(&Item {
+                id: i as u64,
+                payload: vec![i as u8; 64],
+            })
+            .expect("seed pnew")
+        })
+        .collect();
+    txn.commit().expect("seed commit");
+    ptrs
+}
+
+/// Aggregate read ops/sec of `threads` readers over `window`, each
+/// iteration opening a snapshot, dereferencing one object, and (in
+/// io-model mode) holding the snapshot open for `stall` to model a
+/// device read.
+fn read_phase(
+    db: &Database,
+    ptrs: &[ObjPtr<Item>],
+    threads: usize,
+    window: Duration,
+    stall: Duration,
+) -> f64 {
+    let stop = AtomicBool::new(false);
+    let total = AtomicU64::new(0);
+    let barrier = Barrier::new(threads + 1);
+    thread::scope(|scope| {
+        for t in 0..threads {
+            let (stop, total, barrier) = (&stop, &total, &barrier);
+            scope.spawn(move || {
+                let mut i = t;
+                let mut ops = 0u64;
+                barrier.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    let mut snap = db.snapshot();
+                    let item = snap.deref(&ptrs[i % ptrs.len()]).expect("deref");
+                    assert_eq!(item.payload.len(), 64);
+                    if !stall.is_zero() {
+                        // The stall happens *while the snapshot is
+                        // open*: an engine that serializes snapshots
+                        // cannot overlap these.
+                        thread::sleep(stall);
+                    }
+                    drop(snap);
+                    i += 1;
+                    ops += 1;
+                }
+                total.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        barrier.wait();
+        let start = Instant::now();
+        thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+        start
+    });
+    let elapsed = window.as_secs_f64();
+    total.load(Ordering::Relaxed) as f64 / elapsed
+}
+
+fn json_f(v: f64) -> String {
+    format!("{:.1}", v)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine = args.first().cloned().unwrap_or_else(|| "unknown".into());
+    let objects: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(256);
+    let window_ms: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let stall_us: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let commits_per_writer: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let window = Duration::from_millis(window_ms);
+    let stall = Duration::from_micros(stall_us);
+    let cpus = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let threads = [1usize, 2, 4, 8];
+
+    // -- read_scaling -----------------------------------------------------
+    let (_scratch, db) = fresh_db("reads", DatabaseOptions::no_sync());
+    let ptrs = seed(&db, objects);
+    let raw: Vec<f64> = threads
+        .iter()
+        .map(|&t| read_phase(&db, &ptrs, t, window, Duration::ZERO))
+        .collect();
+    let modeled: Vec<f64> = threads
+        .iter()
+        .map(|&t| read_phase(&db, &ptrs, t, window, stall))
+        .collect();
+
+    // -- mixed ------------------------------------------------------------
+    let (_scratch2, db2) = fresh_db("mixed", DatabaseOptions::default());
+    let ptrs2 = seed(&db2, objects);
+    let stop = AtomicBool::new(false);
+    let commits = AtomicU64::new(0);
+    let mixed_reads = thread::scope(|scope| {
+        let writer = {
+            let (stop, commits) = (&stop, &commits);
+            let db2 = &db2;
+            let ptrs2 = &ptrs2;
+            scope.spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let mut txn = db2.begin();
+                    txn.update(&ptrs2[i % ptrs2.len()], |item| item.id += 1)
+                        .expect("update");
+                    txn.commit().expect("commit");
+                    commits.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            })
+        };
+        let reads = read_phase(&db2, &ptrs2, 4, window, Duration::ZERO);
+        stop.store(true, Ordering::Relaxed);
+        writer.join().expect("join writer");
+        reads
+    });
+    let mixed_commits = commits.load(Ordering::Relaxed) as f64 / window.as_secs_f64();
+
+    // -- group_commit -----------------------------------------------------
+    let group = group_commit_phase(objects, commits_per_writer);
+
+    println!("{{");
+    println!("  \"benchmark\": \"core_storage_concurrency\",");
+    println!("  \"engine\": \"{engine}\",");
+    println!("  \"cpus\": {cpus},");
+    println!("  \"objects\": {objects},");
+    println!("  \"window_ms\": {window_ms},");
+    println!("  \"read_scaling\": {{");
+    println!(
+        "    \"raw_ops_per_sec\": {{\"t1\": {}, \"t2\": {}, \"t4\": {}, \"t8\": {}}},",
+        json_f(raw[0]),
+        json_f(raw[1]),
+        json_f(raw[2]),
+        json_f(raw[3])
+    );
+    println!(
+        "    \"io_model_{stall_us}us_ops_per_sec\": {{\"t1\": {}, \"t2\": {}, \"t4\": {}, \"t8\": {}}},",
+        json_f(modeled[0]),
+        json_f(modeled[1]),
+        json_f(modeled[2]),
+        json_f(modeled[3])
+    );
+    println!(
+        "    \"io_model_scaling_1_to_4\": {}",
+        json_f(modeled[2] / modeled[0].max(1.0))
+    );
+    println!("  }},");
+    println!("  \"mixed\": {{");
+    println!("    \"readers\": 4,");
+    println!("    \"read_ops_per_sec\": {},", json_f(mixed_reads));
+    println!("    \"commits_per_sec\": {}", json_f(mixed_commits));
+    println!("  }},");
+    println!("{group}");
+    println!("}}");
+}
+
+/// 8 writers, `commits_per_writer` fsynced commits each, group commit
+/// off vs on. Returns the pre-rendered JSON block.
+fn group_commit_phase(objects: usize, commits_per_writer: usize) -> String {
+    const WRITERS: usize = 8;
+    let mut blocks = Vec::new();
+    for on in [false, true] {
+        let options = group_options(on);
+        let (_scratch, db) = fresh_db(if on { "gc-on" } else { "gc-off" }, options);
+        let ptrs = seed(&db, objects);
+        let barrier = Barrier::new(WRITERS + 1);
+        let start = Instant::now();
+        thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let (db, ptrs, barrier) = (&db, &ptrs, &barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    for i in 0..commits_per_writer {
+                        let mut txn = db.begin();
+                        txn.update(&ptrs[(w * commits_per_writer + i) % ptrs.len()], |item| {
+                            item.id += 1
+                        })
+                        .expect("update");
+                        txn.commit().expect("commit");
+                    }
+                });
+            }
+            barrier.wait();
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        let total = (WRITERS * commits_per_writer) as f64;
+        blocks.push(format!(
+            "    \"{}\": {{\"commits_per_sec\": {}{}}}",
+            if on { "on" } else { "off" },
+            json_f(total / elapsed),
+            group_counters(&db, total)
+        ));
+    }
+    format!(
+        "  \"group_commit\": {{\n    \"writers\": {WRITERS},\n    \"commits_per_writer\": {commits_per_writer},\n{}\n  }}",
+        blocks.join(",\n")
+    )
+}
+
+/// Engine options for the group-commit phase: fsync on commit in both
+/// runs, with the leader/follower group commit toggled. A small window
+/// lets leaders pick up cohorts even when the writers momentarily drain.
+fn group_options(on: bool) -> DatabaseOptions {
+    let mut options = DatabaseOptions::default();
+    options.storage.group_commit = on;
+    // No deliberate window: cohorts form from commits that land while a
+    // leader's fsync is in flight, so batching never costs latency.
+    options.storage.group_commit_window = Duration::ZERO;
+    options
+}
+
+/// Engine fsync/batch counters: how many WAL fsyncs the run issued, how
+/// many commits group leaders covered, and the largest cohort one fsync
+/// amortized.
+fn group_counters(db: &Database, commits: f64) -> String {
+    let stats = db.storage_stats();
+    format!(
+        ", \"wal_syncs\": {}, \"group_syncs\": {}, \"group_commit_txns\": {}, \
+         \"group_batch_max\": {}, \"commits_per_sync\": {}",
+        stats.wal_syncs,
+        stats.group_syncs,
+        stats.group_commit_txns,
+        stats.group_batch_max,
+        json_f(commits / stats.wal_syncs.max(1) as f64)
+    )
+}

@@ -1,10 +1,9 @@
 //! The database handle.
 
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use ode_storage::{Store, StoreOptions};
+use ode_storage::{Store, StoreOptions, StoreStats};
 use ode_version::{Result, VersionStore, VersionStoreLayout};
 
 use crate::event::{Event, TriggerId, TriggerRegistry};
@@ -45,13 +44,6 @@ pub struct Database {
     store: Store,
     versions: VersionStore,
     triggers: TriggerRegistry,
-    /// Bumped by every committed write transaction, *before* the commit
-    /// call returns — so once a writer has been told its commit
-    /// succeeded, every subsequent [`Database::snapshot_epoch`] call
-    /// (from any thread) observes a newer epoch. Read-side caches key
-    /// their entries on this counter to get commit-granularity
-    /// invalidation without tracking individual objects.
-    epoch: AtomicU64,
 }
 
 impl Database {
@@ -62,7 +54,6 @@ impl Database {
             store,
             versions: VersionStore::new(VersionStoreLayout::default()),
             triggers: TriggerRegistry::default(),
-            epoch: AtomicU64::new(1),
         })
     }
 
@@ -73,7 +64,6 @@ impl Database {
             store,
             versions: VersionStore::new(VersionStoreLayout::default()),
             triggers: TriggerRegistry::default(),
-            epoch: AtomicU64::new(1),
         })
     }
 
@@ -84,16 +74,18 @@ impl Database {
             store,
             versions: VersionStore::new(VersionStoreLayout::default()),
             triggers: TriggerRegistry::default(),
-            epoch: AtomicU64::new(1),
         })
     }
 
-    /// Begin a read-write transaction.
+    /// Begin a read-write transaction. Writers are serialized by the
+    /// storage engine; concurrent snapshots are unaffected.
     pub fn begin(&self) -> Txn<'_> {
         Txn::new(self, self.store.begin())
     }
 
-    /// Begin a read-only snapshot.
+    /// Begin a read-only snapshot. Snapshots take no exclusive lock:
+    /// any number run in parallel, with each other and with a writer's
+    /// build phase.
     pub fn snapshot(&self) -> Snapshot<'_> {
         Snapshot::new(self, self.store.read())
     }
@@ -147,20 +139,28 @@ impl Database {
     /// which no transaction committed, so any data read from a snapshot
     /// opened in between is still current — the contract read-side
     /// caches (e.g. the network server's snapshot cache) rely on.
-    /// Sample the epoch *before* opening the snapshot: a commit racing
-    /// in between then tags the cached data with an already-stale epoch,
-    /// which is the safe direction.
+    /// Sample the epoch *before* opening the snapshot (or use
+    /// [`Snapshot::epoch`], which is stamped atomically with snapshot
+    /// creation): a commit racing in between then tags the cached data
+    /// with an already-stale epoch, which is the safe direction.
+    ///
+    /// The value is the storage engine's commit epoch, bumped inside
+    /// the publish step of each commit — so it agrees exactly with what
+    /// concurrent snapshots can observe.
     pub fn snapshot_epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Acquire)
-    }
-
-    pub(crate) fn bump_epoch(&self) {
-        self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.store.epoch()
     }
 
     /// Buffer pool statistics (bench instrumentation).
     pub fn buffer_stats(&self) -> ode_storage::buffer::BufferStats {
         self.store.buffer_stats()
+    }
+
+    /// Storage-engine contention and commit statistics: read/write
+    /// transaction counts, lock-wait totals for both sides of the
+    /// snapshot gate, and WAL/group-commit fsync counters.
+    pub fn storage_stats(&self) -> StoreStats {
+        self.store.stats()
     }
 
     /// Current WAL length in bytes (bench instrumentation).

@@ -12,6 +12,13 @@
 //! re-bound to the latest version *at each dereference*, not
 //! continuously).  [`ORef::version`] reports which version a generic
 //! dereference actually bound to.
+//!
+//! Because a guard is an owned copy, it is fully detached from the
+//! storage engine's locks: holding an [`ORef`]/[`VRef`] does not pin a
+//! snapshot, block a committing writer at the snapshot gate, or keep a
+//! buffer-pool frame alive.  Guards are `Send + Sync` whenever `T` is,
+//! so results read under one snapshot can be handed to other threads
+//! freely (the concurrency tests assert this statically).
 
 use std::ops::Deref;
 
@@ -96,6 +103,13 @@ impl<T> AsRef<T> for VRef<T> {
 mod tests {
     use super::*;
     use ode_object::Vid;
+
+    #[test]
+    fn guards_are_send_sync_when_t_is() {
+        fn assert_send_sync<G: Send + Sync>() {}
+        assert_send_sync::<ORef<String>>();
+        assert_send_sync::<VRef<Vec<u8>>>();
+    }
 
     #[test]
     fn guards_deref_to_inner() {

@@ -390,6 +390,15 @@ impl<'db> Snapshot<'db> {
         Snapshot { db, tx }
     }
 
+    /// The commit epoch this snapshot observes, stamped atomically with
+    /// snapshot creation. Everything read through this snapshot can be
+    /// cached under this epoch: a later equal
+    /// [`Database::snapshot_epoch`] observation proves the cache entry
+    /// is still current.
+    pub fn epoch(&self) -> u64 {
+        self.tx.epoch()
+    }
+
     read_api!();
 }
 
@@ -673,12 +682,13 @@ impl<'db> Txn<'db> {
     /// Commit the transaction, making every change durable, then fire
     /// triggers for the committed events.
     pub fn commit(self) -> Result<()> {
+        // The storage engine advances the snapshot epoch inside the
+        // commit's publish step, before `commit()` returns (and so
+        // before any caller acknowledges this commit to anyone):
+        // readers that sample the epoch after the ack are guaranteed to
+        // see a value newer than any cache entry built from pre-commit
+        // state.
         self.tx.commit()?;
-        // Advance the snapshot epoch before returning (and so before
-        // any caller acknowledges this commit to anyone): readers that
-        // sample the epoch after the ack are guaranteed to see a value
-        // newer than any cache entry built from pre-commit state.
-        self.db.bump_epoch();
         self.db.fire(&self.events);
         Ok(())
     }

@@ -62,7 +62,7 @@ mod shard;
 pub use client::{ClientConfig, ClientObjPtr, ClientVersionPtr, OdeClient, Pipeline};
 pub use cluster::{Cluster, ClusterConfig};
 pub use error::{NetError, RemoteError, Result};
-pub use protocol::{Opcode, Request, Response, StatsReport};
+pub use protocol::{Opcode, Request, Response, StatsReport, StorageCounters};
 pub use relay::{FaultRelay, RelayPlan};
 pub use router::{OdeRouter, RouterConfig, RouterStatsReport};
 pub use server::{OdeServer, ServerConfig};

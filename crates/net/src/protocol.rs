@@ -537,6 +537,64 @@ pub(crate) mod kind {
     pub const ERR: u8 = 255;
 }
 
+/// Storage-engine contention and commit counters, nested inside
+/// [`StatsReport`] — the server-side view of
+/// `ode_storage::StoreStats`, so operators can watch reader/writer
+/// lock waits and group-commit batching over the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageCounters {
+    /// Read transactions (snapshots) begun.
+    pub read_txs: u64,
+    /// Write transactions committed with a non-empty write set.
+    pub write_txs: u64,
+    /// Snapshot acquisitions that blocked at the snapshot gate.
+    pub reader_waits: u64,
+    /// Total nanoseconds readers spent blocked.
+    pub reader_wait_nanos: u64,
+    /// Writer acquisitions (write mutex or publish gate) that blocked.
+    pub writer_waits: u64,
+    /// Total nanoseconds writers spent blocked.
+    pub writer_wait_nanos: u64,
+    /// WAL fsyncs issued (inline and group-leader).
+    pub wal_syncs: u64,
+    /// fsyncs performed by a group-commit leader.
+    pub group_syncs: u64,
+    /// Commits made durable by a group-leader fsync.
+    pub group_commit_txns: u64,
+    /// Largest commit cohort one group fsync covered.
+    pub group_batch_max: u64,
+}
+
+impl StorageCounters {
+    fn encode_into(&self, w: &mut Writer) {
+        w.put_varint(self.read_txs);
+        w.put_varint(self.write_txs);
+        w.put_varint(self.reader_waits);
+        w.put_varint(self.reader_wait_nanos);
+        w.put_varint(self.writer_waits);
+        w.put_varint(self.writer_wait_nanos);
+        w.put_varint(self.wal_syncs);
+        w.put_varint(self.group_syncs);
+        w.put_varint(self.group_commit_txns);
+        w.put_varint(self.group_batch_max);
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<StorageCounters> {
+        Ok(StorageCounters {
+            read_txs: r.get_varint()?,
+            write_txs: r.get_varint()?,
+            reader_waits: r.get_varint()?,
+            reader_wait_nanos: r.get_varint()?,
+            writer_waits: r.get_varint()?,
+            writer_wait_nanos: r.get_varint()?,
+            wal_syncs: r.get_varint()?,
+            group_syncs: r.get_varint()?,
+            group_commit_txns: r.get_varint()?,
+            group_batch_max: r.get_varint()?,
+        })
+    }
+}
+
 /// Server statistics, shipped by the `Stats` opcode.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StatsReport {
@@ -559,6 +617,8 @@ pub struct StatsReport {
     pub snapshot_misses: u64,
     /// Per-opcode request counts; only non-zero entries are listed.
     pub requests: Vec<(Opcode, u64)>,
+    /// Storage-engine contention and commit counters.
+    pub storage: StorageCounters,
 }
 
 impl StatsReport {
@@ -589,6 +649,7 @@ impl StatsReport {
             w.put_u8(*op as u8);
             w.put_varint(*n);
         }
+        self.storage.encode_into(w);
     }
 
     fn decode_from(r: &mut Reader<'_>) -> Result<StatsReport> {
@@ -608,6 +669,7 @@ impl StatsReport {
                 .ok_or_else(|| NetError::Protocol(format!("unknown stats opcode {op}")))?;
             requests.push((op, r.get_varint()?));
         }
+        let storage = StorageCounters::decode_from(r)?;
         Ok(StatsReport {
             active_connections,
             total_connections,
@@ -618,6 +680,7 @@ impl StatsReport {
             snapshot_hits,
             snapshot_misses,
             requests,
+            storage,
         })
     }
 }
@@ -1016,6 +1079,18 @@ mod tests {
             snapshot_hits: 41,
             snapshot_misses: 12,
             requests: vec![(Opcode::Ping, 3), (Opcode::Pnew, 4)],
+            storage: StorageCounters {
+                read_txs: 100,
+                write_txs: 20,
+                reader_waits: 3,
+                reader_wait_nanos: 4500,
+                writer_waits: 2,
+                writer_wait_nanos: 800,
+                wal_syncs: 12,
+                group_syncs: 5,
+                group_commit_txns: 18,
+                group_batch_max: 6,
+            },
         }));
         round_trip_response(Response::Created {
             oid: Oid(1),

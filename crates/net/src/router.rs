@@ -524,6 +524,20 @@ fn merge_stats(parts: Vec<StatsReport>) -> StatsReport {
         merged.op_errors += part.op_errors;
         merged.snapshot_hits += part.snapshot_hits;
         merged.snapshot_misses += part.snapshot_misses;
+        merged.storage.read_txs += part.storage.read_txs;
+        merged.storage.write_txs += part.storage.write_txs;
+        merged.storage.reader_waits += part.storage.reader_waits;
+        merged.storage.reader_wait_nanos += part.storage.reader_wait_nanos;
+        merged.storage.writer_waits += part.storage.writer_waits;
+        merged.storage.writer_wait_nanos += part.storage.writer_wait_nanos;
+        merged.storage.wal_syncs += part.storage.wal_syncs;
+        merged.storage.group_syncs += part.storage.group_syncs;
+        merged.storage.group_commit_txns += part.storage.group_commit_txns;
+        // A max, not a sum: the largest cohort any one shard saw.
+        merged.storage.group_batch_max = merged
+            .storage
+            .group_batch_max
+            .max(part.storage.group_batch_max);
         for (op, n) in part.requests {
             per_op[op as usize] += n;
         }
@@ -1361,6 +1375,12 @@ mod tests {
             snapshot_hits: 5,
             snapshot_misses: 2,
             requests: vec![(Opcode::Pnew, 3), (Opcode::Deref, 4)],
+            storage: crate::protocol::StorageCounters {
+                read_txs: 10,
+                write_txs: 3,
+                group_batch_max: 4,
+                ..Default::default()
+            },
         };
         let b = StatsReport {
             active_connections: 2,
@@ -1372,6 +1392,12 @@ mod tests {
             snapshot_hits: 7,
             snapshot_misses: 1,
             requests: vec![(Opcode::Deref, 6), (Opcode::Ping, 1)],
+            storage: crate::protocol::StorageCounters {
+                read_txs: 20,
+                write_txs: 5,
+                group_batch_max: 2,
+                ..Default::default()
+            },
         };
         let merged = merge_stats(vec![a, b]);
         assert_eq!(merged.active_connections, 3);
@@ -1382,6 +1408,10 @@ mod tests {
         assert_eq!(merged.op_errors, 1);
         assert_eq!(merged.snapshot_hits, 12);
         assert_eq!(merged.snapshot_misses, 3);
+        assert_eq!(merged.storage.read_txs, 30);
+        assert_eq!(merged.storage.write_txs, 8);
+        // Max across shards, not a sum.
+        assert_eq!(merged.storage.group_batch_max, 4);
         assert_eq!(merged.requests_for(Opcode::Deref), 10);
         assert_eq!(merged.requests_for(Opcode::Pnew), 3);
         assert_eq!(merged.requests_for(Opcode::Ping), 1);

@@ -19,6 +19,14 @@
 //! commit-granular via the database's snapshot epoch (see
 //! [`crate::cache`]).
 //!
+//! Ordering is **per connection only**: since the storage engine's
+//! snapshots are lock-free with respect to writers, one connection's
+//! in-flight write transaction never queues another connection's reads
+//! — each executor opens its snapshot immediately and reads the last
+//! published commit. The `Stats` response's storage counters
+//! ([`StorageCounters`]) expose the engine's reader/writer lock waits
+//! and group-commit batching for exactly this behavior.
+//!
 //! Shutdown is graceful and prompt: the listener is woken, every live
 //! connection's socket is shut down (unblocking worker reads), and all
 //! threads are joined. In-flight requests finish; their connections
@@ -37,7 +45,8 @@ use ode::Database;
 use crate::cache::SnapshotCache;
 use crate::error::RemoteError;
 use crate::protocol::{
-    read_frame_into, write_frame, Opcode, Request, Response, StatsReport, MAGIC, OPCODE_COUNT,
+    read_frame_into, write_frame, Opcode, Request, Response, StatsReport, StorageCounters, MAGIC,
+    OPCODE_COUNT,
 };
 use crate::NetError;
 
@@ -83,7 +92,8 @@ struct ServerStats {
 }
 
 impl ServerStats {
-    fn report(&self, cache: &SnapshotCache) -> StatsReport {
+    fn report(&self, cache: &SnapshotCache, db: &Database) -> StatsReport {
+        let storage = db.storage_stats();
         let requests = Opcode::ALL
             .iter()
             .filter_map(|&op| {
@@ -101,6 +111,18 @@ impl ServerStats {
             snapshot_hits: cache.hits(),
             snapshot_misses: cache.misses(),
             requests,
+            storage: StorageCounters {
+                read_txs: storage.read_txs,
+                write_txs: storage.write_txs,
+                reader_waits: storage.reader_waits,
+                reader_wait_nanos: storage.reader_wait_nanos,
+                writer_waits: storage.writer_waits,
+                writer_wait_nanos: storage.writer_wait_nanos,
+                wal_syncs: storage.wal_syncs,
+                group_syncs: storage.group_syncs,
+                group_commit_txns: storage.group_commit_txns,
+                group_batch_max: storage.group_batch_max,
+            },
         }
     }
 }
@@ -112,6 +134,7 @@ type ConnRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
 /// A running Ode network server.
 pub struct OdeServer {
     addr: SocketAddr,
+    db: Arc<Database>,
     shutdown: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
     cache: Arc<SnapshotCache>,
@@ -181,6 +204,7 @@ impl OdeServer {
 
         Ok(OdeServer {
             addr,
+            db,
             shutdown,
             stats,
             cache,
@@ -198,7 +222,7 @@ impl OdeServer {
     /// A snapshot of the server's counters (the same data the `Stats`
     /// opcode serves remotely).
     pub fn stats(&self) -> StatsReport {
-        self.stats.report(&self.cache)
+        self.stats.report(&self.cache, &self.db)
     }
 
     /// Stop accepting, unblock and close every live connection, and
@@ -425,7 +449,12 @@ fn reader_loop(
             // Answered in place, possibly ahead of queued work.
             Request::Ping => respond(writer, stats, seq, &Response::Pong)?,
             Request::Stats => {
-                respond(writer, stats, seq, &Response::Stats(stats.report(cache)))?;
+                respond(
+                    writer,
+                    stats,
+                    seq,
+                    &Response::Stats(stats.report(cache, db)),
+                )?;
             }
             request if request.is_read() => {
                 // The cache key is the request's operation bytes — the

@@ -7,7 +7,9 @@
 use std::io::Cursor;
 
 use ode::{Oid, TypeTag, Vid};
-use ode_net::protocol::{read_frame, write_frame, Opcode, StatsReport, MAX_FRAME_LEN};
+use ode_net::protocol::{
+    read_frame, write_frame, Opcode, StatsReport, StorageCounters, MAX_FRAME_LEN,
+};
 use ode_net::{RemoteError, Request, Response};
 use proptest::prelude::*;
 
@@ -72,13 +74,49 @@ fn arb_request() -> BoxedStrategy<Request> {
     .boxed()
 }
 
+fn arb_storage_counters() -> impl Strategy<Value = StorageCounters> {
+    (
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+    )
+        .prop_map(|(a, b)| {
+            let (read_txs, write_txs, reader_waits, reader_wait_nanos, writer_waits) = a;
+            let (writer_wait_nanos, wal_syncs, group_syncs, group_commit_txns, group_batch_max) = b;
+            StorageCounters {
+                read_txs,
+                write_txs,
+                reader_waits,
+                reader_wait_nanos,
+                writer_waits,
+                writer_wait_nanos,
+                wal_syncs,
+                group_syncs,
+                group_commit_txns,
+                group_batch_max,
+            }
+        })
+}
+
 fn arb_stats() -> impl Strategy<Value = StatsReport> {
     (
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         proptest::collection::vec((0u8..Opcode::ALL.len() as u8, any::<u64>()), 0..8),
+        arb_storage_counters(),
     )
-        .prop_map(|(connections, errors, raw_requests)| {
+        .prop_map(|(connections, errors, raw_requests, storage)| {
             let (active_connections, total_connections, bytes_in, bytes_out) = connections;
             let (protocol_errors, op_errors, snapshot_hits, snapshot_misses) = errors;
             // Unique opcodes, wire order — the shape the server emits.
@@ -100,6 +138,7 @@ fn arb_stats() -> impl Strategy<Value = StatsReport> {
                 snapshot_hits,
                 snapshot_misses,
                 requests,
+                storage,
             }
         })
 }

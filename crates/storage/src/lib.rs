@@ -5,13 +5,18 @@
 //! disk.  This crate is that substrate, built from scratch:
 //!
 //! * [`page`] — 4 KiB pages with typed headers and CRC32 checksums;
-//! * [`pager`] — the database file: page read/write, allocation, free list;
-//! * [`buffer`] — an LRU buffer pool with dirty tracking;
+//! * [`pager`] — the database file: positional page read/write;
+//! * [`buffer`] — a sharded LRU buffer pool with dirty tracking,
+//!   shared lock-lightly by concurrent readers;
 //! * [`wal`] — a redo-only write-ahead log with CRC-framed records and
 //!   torn-tail recovery;
-//! * [`store`] — the transactional facade combining all of the above
-//!   (single-writer / multi-reader, matching the paper's explicit
-//!   "we do not discuss concurrency control" scope);
+//! * [`gate`] — the writer-priority snapshot gate that keeps read
+//!   transactions cross-page consistent while commits publish;
+//! * [`store`] — the transactional facade combining all of the above:
+//!   a single serialized writer (matching the paper's explicit
+//!   "we do not discuss concurrency control" scope) alongside fully
+//!   concurrent snapshot readers, with leader/follower WAL group
+//!   commit;
 //! * [`slotted`] — slotted-page record layout;
 //! * [`heap`] — variable-length record storage with overflow chains;
 //! * [`btree`] — a persistent B+-tree mapping `u64` keys to `u64` values,
@@ -27,6 +32,7 @@ pub mod btree;
 pub mod buffer;
 mod checksum;
 mod error;
+pub mod gate;
 pub mod heap;
 pub mod page;
 pub mod pager;
@@ -36,5 +42,6 @@ pub mod wal;
 
 pub use checksum::crc32;
 pub use error::{Result, StorageError};
+pub use gate::GateStats;
 pub use page::{PageBuf, PageId, PAGE_SIZE};
-pub use store::{PageRead, PageWrite, ReadTx, Store, StoreOptions, Tx};
+pub use store::{PageRead, PageWrite, ReadTx, Store, StoreOptions, StoreStats, Tx};

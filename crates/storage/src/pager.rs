@@ -6,19 +6,30 @@
 //! responsibilities are positioned I/O, checksum sealing/verification,
 //! and growing the file when a page beyond EOF is written (recovery may
 //! apply write-ahead-log images out of order).
+//!
+//! All I/O is *positional* (`pread`/`pwrite`-style), so every method
+//! takes `&self`: concurrent readers never contend on a shared file
+//! cursor, which is what lets the buffer pool above serve cache misses
+//! without an exclusive lock.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::page::{PageBuf, PageId, PAGE_SIZE};
 use crate::{Result, StorageError};
+
+#[cfg(unix)]
+use std::os::unix::fs::FileExt;
 
 /// File-backed page manager.
 pub struct Pager {
     file: File,
     /// Number of whole pages physically present in the file.
-    file_pages: u64,
+    file_pages: AtomicU64,
+    /// Cursor lock for the non-`pread` fallback; unused on unix.
+    #[cfg(not(unix))]
+    cursor: std::sync::Mutex<()>,
 }
 
 impl Pager {
@@ -32,7 +43,9 @@ impl Pager {
             .open(path)?;
         Ok(Pager {
             file,
-            file_pages: 0,
+            file_pages: AtomicU64::new(0),
+            #[cfg(not(unix))]
+            cursor: std::sync::Mutex::new(()),
         })
     }
 
@@ -48,26 +61,28 @@ impl Pager {
         }
         Ok(Pager {
             file,
-            file_pages: len / PAGE_SIZE as u64,
+            file_pages: AtomicU64::new(len / PAGE_SIZE as u64),
+            #[cfg(not(unix))]
+            cursor: std::sync::Mutex::new(()),
         })
     }
 
     /// Number of whole pages physically in the file.
     pub fn file_pages(&self) -> u64 {
-        self.file_pages
+        self.file_pages.load(Ordering::Acquire)
     }
 
     /// Read a page, verifying its checksum.
-    pub fn read_page(&mut self, id: PageId) -> Result<PageBuf> {
-        if id.0 >= self.file_pages {
+    pub fn read_page(&self, id: PageId) -> Result<PageBuf> {
+        let file_pages = self.file_pages();
+        if id.0 >= file_pages {
             return Err(StorageError::PageOutOfBounds {
                 page: id,
-                page_count: self.file_pages,
+                page_count: file_pages,
             });
         }
         let mut buf = vec![0u8; PAGE_SIZE];
-        self.file.seek(SeekFrom::Start(id.file_offset()))?;
-        self.file.read_exact(&mut buf)?;
+        self.read_exact_at(&mut buf, id.file_offset())?;
         let page = PageBuf::from_vec(buf).expect("page-sized buffer");
         if !page.verify() {
             return Err(StorageError::ChecksumMismatch { page: id });
@@ -79,21 +94,56 @@ impl Pager {
     /// the file; any gap pages are zero-filled (and will fail checksum
     /// verification if ever read before being written, which is the
     /// desired corruption signal).
-    pub fn write_page(&mut self, id: PageId, page: &mut PageBuf) -> Result<()> {
+    ///
+    /// Writers are externally serialized (recovery, then the store's
+    /// checkpoint path, both run under the store's write lock); `&self`
+    /// here only grants lock-free *reads* alongside them.
+    pub fn write_page(&self, id: PageId, page: &mut PageBuf) -> Result<()> {
         page.seal();
-        if id.0 >= self.file_pages {
+        if id.0 >= self.file_pages() {
             self.file.set_len((id.0 + 1) * PAGE_SIZE as u64)?;
-            self.file_pages = id.0 + 1;
+            self.file_pages.fetch_max(id.0 + 1, Ordering::AcqRel);
         }
-        self.file.seek(SeekFrom::Start(id.file_offset()))?;
-        self.file.write_all(page.as_bytes())?;
+        self.write_all_at(page.as_bytes(), id.file_offset())?;
         Ok(())
     }
 
     /// fsync the file.
-    pub fn sync(&mut self) -> Result<()> {
+    pub fn sync(&self) -> Result<()> {
         self.file.sync_data()?;
         Ok(())
+    }
+
+    #[cfg(unix)]
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        self.file.read_exact_at(buf, offset)
+    }
+
+    #[cfg(unix)]
+    fn write_all_at(&self, buf: &[u8], offset: u64) -> std::io::Result<()> {
+        self.file.write_all_at(buf, offset)
+    }
+
+    #[cfg(not(unix))]
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        use std::io::{Read, Seek, SeekFrom};
+        let _cursor = self
+            .cursor
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        (&self.file).seek(SeekFrom::Start(offset))?;
+        (&self.file).read_exact(buf)
+    }
+
+    #[cfg(not(unix))]
+    fn write_all_at(&self, buf: &[u8], offset: u64) -> std::io::Result<()> {
+        use std::io::{Seek, SeekFrom, Write};
+        let _cursor = self
+            .cursor
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        (&self.file).seek(SeekFrom::Start(offset))?;
+        (&self.file).write_all(buf)
     }
 }
 
@@ -112,7 +162,7 @@ mod tests {
     #[test]
     fn write_read_round_trip() {
         let path = temp_path("rt");
-        let mut pager = Pager::create(&path).unwrap();
+        let pager = Pager::create(&path).unwrap();
         let mut page = PageBuf::new(PageKind::Heap);
         page.payload_mut()[..4].copy_from_slice(b"data");
         pager.write_page(PageId(0), &mut page).unwrap();
@@ -124,7 +174,7 @@ mod tests {
     #[test]
     fn write_beyond_eof_grows_file() {
         let path = temp_path("grow");
-        let mut pager = Pager::create(&path).unwrap();
+        let pager = Pager::create(&path).unwrap();
         let mut page = PageBuf::new(PageKind::Heap);
         pager.write_page(PageId(5), &mut page).unwrap();
         assert_eq!(pager.file_pages(), 6);
@@ -140,13 +190,13 @@ mod tests {
     fn reopen_preserves_pages() {
         let path = temp_path("reopen");
         {
-            let mut pager = Pager::create(&path).unwrap();
+            let pager = Pager::create(&path).unwrap();
             let mut page = PageBuf::new(PageKind::Heap);
             page.payload_mut()[0] = 7;
             pager.write_page(PageId(2), &mut page).unwrap();
             pager.sync().unwrap();
         }
-        let mut pager = Pager::open(&path).unwrap();
+        let pager = Pager::open(&path).unwrap();
         assert_eq!(pager.file_pages(), 3);
         assert_eq!(pager.read_page(PageId(2)).unwrap().payload()[0], 7);
         std::fs::remove_file(path).unwrap();
@@ -164,16 +214,17 @@ mod tests {
     fn corruption_detected() {
         let path = temp_path("corrupt");
         {
-            let mut pager = Pager::create(&path).unwrap();
+            let pager = Pager::create(&path).unwrap();
             let mut page = PageBuf::new(PageKind::Heap);
             pager.write_page(PageId(0), &mut page).unwrap();
         }
         {
+            use std::io::{Seek, SeekFrom, Write};
             let mut f = OpenOptions::new().write(true).open(&path).unwrap();
             f.seek(SeekFrom::Start(100)).unwrap();
             f.write_all(&[0xFF]).unwrap();
         }
-        let mut pager = Pager::open(&path).unwrap();
+        let pager = Pager::open(&path).unwrap();
         assert!(matches!(
             pager.read_page(PageId(0)),
             Err(StorageError::ChecksumMismatch { .. })
@@ -184,11 +235,33 @@ mod tests {
     #[test]
     fn out_of_bounds_read_rejected() {
         let path = temp_path("oob");
-        let mut pager = Pager::create(&path).unwrap();
+        let pager = Pager::create(&path).unwrap();
         assert!(matches!(
             pager.read_page(PageId(5)),
             Err(StorageError::PageOutOfBounds { .. })
         ));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_positional_reads() {
+        let path = temp_path("concread");
+        let pager = Pager::create(&path).unwrap();
+        for i in 0..16u64 {
+            let mut page = PageBuf::new(PageKind::Heap);
+            page.write_u64(16, i * 3);
+            pager.write_page(PageId(i), &mut page).unwrap();
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..16u64 {
+                        let page = pager.read_page(PageId(i)).unwrap();
+                        assert_eq!(page.read_u64(16), i * 3);
+                    }
+                });
+            }
+        });
         std::fs::remove_file(path).unwrap();
     }
 }

@@ -1,32 +1,58 @@
-//! Transactional store: the facade combining pager, buffer pool, and WAL.
+//! Transactional store: the facade combining pager, buffer pool, WAL,
+//! snapshot gate, and group commit.
 //!
-//! Concurrency model: one coarse lock serializes sessions, matching the
-//! paper's scope ("We do not discuss concurrency control issues in this
-//! paper").  A [`Tx`] is the single writer; [`ReadTx`] gives read access
-//! through the same lock.  Both are RAII guards.
+//! Concurrency model: **single writer, many concurrent readers.**
 //!
-//! Durability protocol:
+//! * A [`ReadTx`] holds the shared side of the [`SnapshotGate`] and
+//!   resolves pages through the sharded buffer pool (or the pager on a
+//!   miss) — it takes no exclusive lock anywhere, so read transactions
+//!   run fully in parallel with each other.
+//! * A [`Tx`] holds the store's write mutex for its lifetime (writers
+//!   are serialized, matching the paper's single-writer scope) and
+//!   buffers every mutation in a **private write set**.  Nothing a
+//!   transaction writes is visible to anyone until commit; abort is
+//!   simply dropping the write set.
+//! * Commit appends after-images (or byte-range deltas) plus a commit
+//!   record to the WAL, then takes the snapshot gate's exclusive side
+//!   for the brief *publish* step: bump the store epoch and install the
+//!   after-images into the buffer pool.  Readers therefore always see a
+//!   whole committed prefix — never a torn commit.
+//! * With [`StoreOptions::group_commit`] enabled, the WAL fsync is
+//!   amortized across concurrent committers (leader/follower): the
+//!   commit publishes first and then waits until a group leader's
+//!   single `fsync` covers its log position.  `commit()` never returns
+//!   before the transaction is durable; the only effect of the
+//!   reordering is that *other* transactions may observe data up to
+//!   [`StoreOptions::group_commit_window`] before it is durable —
+//!   standard early-lock-release semantics.
+//!
+//! Durability protocol (unchanged from the single-lock engine):
 //!
 //! * page 0 is the store header (magic, page count, free-list head, and
 //!   sixteen named *root slots* used by higher layers);
-//! * during a transaction all page mutations stay in the buffer pool;
+//! * during a transaction all page mutations stay in the write set;
 //! * commit appends after-images + a commit record to the WAL (fsync
 //!   governed by [`StoreOptions::sync_on_commit`]);
-//! * abort (dropping a [`Tx`] uncommitted) restores before-images;
-//! * checkpoint writes dirty pages to the database file, fsyncs, and
-//!   resets the WAL;
+//! * abort (dropping a [`Tx`] uncommitted) discards the write set;
+//! * checkpoint writes dirty pool pages to the database file, fsyncs,
+//!   and resets the WAL;
 //! * open replays committed WAL images into the database file.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, MutexGuard};
 
 use crate::buffer::{BufferPool, BufferStats};
+use crate::gate::SnapshotGate;
 use crate::page::{PageBuf, PageId, PageKind, PAGE_SIZE};
 use crate::pager::Pager;
 use crate::wal::{
     committed_changes, delta_payload_len, page_diff_ops, CommittedChange, Wal, WalRecord,
+    WalSyncHandle,
 };
 use crate::{Result, StorageError};
 
@@ -61,6 +87,18 @@ pub struct StoreOptions {
     /// impact". Full images remain the fallback for heavily rewritten
     /// pages.
     pub wal_deltas: bool,
+    /// Amortize commit fsyncs across concurrent committers: the first
+    /// committer to reach the sync step fsyncs once for every commit
+    /// appended so far (leader/follower). Only meaningful with
+    /// [`StoreOptions::sync_on_commit`]; `commit()` still returns only
+    /// after the transaction is durable.
+    pub group_commit: bool,
+    /// How long a group-commit leader waits before fsyncing, letting
+    /// more concurrent commits join its cohort. Zero (the default)
+    /// means no deliberate wait — batching then comes only from commits
+    /// that arrive while a previous fsync is in flight, which keeps
+    /// single-writer latency unchanged.
+    pub group_commit_window: Duration,
 }
 
 impl Default for StoreOptions {
@@ -70,6 +108,8 @@ impl Default for StoreOptions {
             sync_on_commit: true,
             checkpoint_wal_bytes: 16 * 1024 * 1024,
             wal_deltas: true,
+            group_commit: true,
+            group_commit_window: Duration::ZERO,
         }
     }
 }
@@ -79,17 +119,197 @@ const DELTA_RUN_GAP: usize = 24;
 /// Deltas whose payload exceeds this fall back to a full page image.
 const DELTA_MAX_PAYLOAD: usize = (PAGE_SIZE * 3) / 4;
 
-struct Inner {
-    pager: Pager,
-    pool: BufferPool,
-    wal: Wal,
-    options: StoreOptions,
-    next_tx: u64,
+/// Contention and commit statistics (monotone totals; see
+/// [`Store::stats`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Read transactions begun.
+    pub read_txs: u64,
+    /// Write transactions committed with a non-empty write set.
+    pub write_txs: u64,
+    /// Read transactions that blocked at the snapshot gate (behind a
+    /// publishing or waiting writer).
+    pub reader_waits: u64,
+    /// Total nanoseconds readers spent blocked at the gate.
+    pub reader_wait_nanos: u64,
+    /// Writer acquisitions (write mutex or publish gate) that blocked.
+    pub writer_waits: u64,
+    /// Total nanoseconds writers spent blocked.
+    pub writer_wait_nanos: u64,
+    /// WAL fsyncs issued (inline and group-leader).
+    pub wal_syncs: u64,
+    /// fsyncs performed by a group-commit leader.
+    pub group_syncs: u64,
+    /// Commits made durable by a group-leader fsync.
+    pub group_commit_txns: u64,
+    /// Largest commit cohort one group fsync covered.
+    pub group_batch_max: u64,
 }
 
-/// A durable, transactional page store.
+#[derive(Default)]
+struct Counters {
+    read_txs: AtomicU64,
+    write_txs: AtomicU64,
+    writer_lock_waits: AtomicU64,
+    writer_lock_wait_nanos: AtomicU64,
+    wal_syncs: AtomicU64,
+    group_syncs: AtomicU64,
+    group_commit_txns: AtomicU64,
+    group_batch_max: AtomicU64,
+}
+
+/// State reachable only through the store's write mutex.
+struct WriteState {
+    wal: Wal,
+    next_tx: u64,
+    /// Monotone count of logical bytes ever appended to the WAL. Unlike
+    /// `wal.len()` this survives checkpoint resets, so it can serve as a
+    /// group-commit sync target.
+    logical_pos: u64,
+    /// Monotone count of committed (non-empty) write transactions.
+    commit_seq: u64,
+}
+
+/// Leader/follower group-commit coordinator.
+///
+/// Commits register their `(logical_pos, commit_seq)` under the write
+/// mutex, *release it*, then call [`GroupCommit::sync_to`]. The first
+/// committer to arrive becomes leader: it optionally waits out the
+/// window, snapshots the registered high-water mark, fsyncs the WAL
+/// once through a duplicated file handle, and advances `synced_*` for
+/// the whole cohort. Followers just wait for `synced_pos` to cover
+/// their target. A checkpoint (which fsyncs the database file and
+/// resets the WAL) marks everything synced.
+struct GroupCommit {
+    state: Mutex<GcState>,
+    cv: std::sync::Condvar,
+    handle: WalSyncHandle,
+    window: Duration,
+}
+
+#[derive(Default)]
+struct GcState {
+    appended_pos: u64,
+    appended_seq: u64,
+    synced_pos: u64,
+    synced_seq: u64,
+    leader_active: bool,
+    /// Sticky fsync failure: every waiter (current and future) errors.
+    failed: Option<std::io::ErrorKind>,
+}
+
+impl GroupCommit {
+    fn new(handle: WalSyncHandle, window: Duration) -> GroupCommit {
+        GroupCommit {
+            state: Mutex::new(GcState::default()),
+            cv: std::sync::Condvar::new(),
+            handle,
+            window,
+        }
+    }
+
+    /// Record a commit's log position (called under the write mutex, so
+    /// positions arrive strictly increasing).
+    fn register(&self, pos: u64, seq: u64) {
+        let mut st = self.state.lock();
+        st.appended_pos = pos;
+        st.appended_seq = seq;
+    }
+
+    /// Everything appended so far is durable through other means (the
+    /// checkpoint fsynced the database file and reset the WAL).
+    fn mark_all_synced(&self) {
+        let mut st = self.state.lock();
+        st.synced_pos = st.appended_pos;
+        st.synced_seq = st.appended_seq;
+        self.cv.notify_all();
+    }
+
+    /// Block until the WAL is durable up to `pos`, becoming the group
+    /// leader if no fsync is in flight.
+    fn sync_to(&self, pos: u64, counters: &Counters) -> Result<()> {
+        let mut guard = self.state.lock();
+        loop {
+            if let Some(kind) = guard.failed {
+                return Err(StorageError::Io(std::io::Error::from(kind)));
+            }
+            if guard.synced_pos >= pos {
+                return Ok(());
+            }
+            if guard.leader_active {
+                // Follower: a leader's fsync is in flight; it (or the
+                // next leader) will cover us.
+                guard = self
+                    .cv
+                    .wait(guard)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                continue;
+            }
+            guard.leader_active = true;
+            if !self.window.is_zero() {
+                // Let more commits join the cohort. A spurious or early
+                // wake just shortens the window, which is harmless.
+                let (g, _) = self
+                    .cv
+                    .wait_timeout(guard, self.window)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                guard = g;
+            }
+            let goal_pos = guard.appended_pos;
+            let goal_seq = guard.appended_seq;
+            drop(guard);
+            let outcome = self.handle.sync();
+            guard = self.state.lock();
+            guard.leader_active = false;
+            match outcome {
+                Ok(()) => {
+                    counters.wal_syncs.fetch_add(1, Ordering::Relaxed);
+                    if goal_pos > guard.synced_pos {
+                        let batch = goal_seq - guard.synced_seq;
+                        guard.synced_pos = goal_pos;
+                        guard.synced_seq = goal_seq;
+                        counters.group_syncs.fetch_add(1, Ordering::Relaxed);
+                        counters
+                            .group_commit_txns
+                            .fetch_add(batch, Ordering::Relaxed);
+                        counters.group_batch_max.fetch_max(batch, Ordering::Relaxed);
+                    }
+                    self.cv.notify_all();
+                    // Loop: the goal covered at least our own position
+                    // (we registered before calling sync_to), so the
+                    // next iteration returns Ok.
+                }
+                Err(e) => {
+                    guard.failed = Some(match &e {
+                        StorageError::Io(io) => io.kind(),
+                        _ => std::io::ErrorKind::Other,
+                    });
+                    self.cv.notify_all();
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+// `Mutex` here is the vendored parking_lot wrapper whose `lock()` has no
+// poison Result; `GcState`'s lock is used with `std::sync::Condvar`,
+// which needs the std guard type — the wrapper's guard *is*
+// `std::sync::MutexGuard`, so the two compose.
+
+/// A durable, transactional page store with concurrent readers.
 pub struct Store {
-    inner: Mutex<Inner>,
+    pager: Pager,
+    pool: BufferPool,
+    write: Mutex<WriteState>,
+    gate: SnapshotGate,
+    group: GroupCommit,
+    /// Bumped (under the gate's exclusive side) by every published
+    /// commit. Readers stamp their snapshot with the value sampled
+    /// after entering the gate.
+    epoch: AtomicU64,
+    counters: Counters,
+    options: StoreOptions,
     db_path: PathBuf,
 }
 
@@ -105,7 +325,8 @@ pub trait PageRead {
 
 /// Mutating access to pages, implemented by [`Tx`] only.
 pub trait PageWrite: PageRead {
-    /// Mutable view of a page (captures an undo image on first touch).
+    /// Mutable view of a page (copied into the private write set on
+    /// first touch).
     fn page_mut(&mut self, id: PageId) -> Result<&mut PageBuf>;
     /// Allocate a fresh page of `kind`.
     fn allocate(&mut self, kind: PageKind) -> Result<PageId>;
@@ -122,7 +343,7 @@ impl Store {
         let db_path = path.as_ref().to_path_buf();
         let wal_path = wal_path_for(&db_path);
         let _ = std::fs::remove_file(&wal_path);
-        let mut pager = Pager::create(&db_path)?;
+        let pager = Pager::create(&db_path)?;
 
         let mut header = PageBuf::new(PageKind::Header);
         header.write_u32(hdr::MAGIC, MAGIC);
@@ -133,29 +354,21 @@ impl Store {
         pager.sync()?;
 
         let wal = Wal::open(&wal_path)?;
-        Ok(Store {
-            inner: Mutex::new(Inner {
-                pool: BufferPool::new(options.buffer_pages),
-                pager,
-                wal,
-                options,
-                next_tx: 1,
-            }),
-            db_path,
-        })
+        Store::assemble(pager, wal, options, db_path)
     }
 
     /// Open an existing store, running crash recovery from the WAL.
     pub fn open(path: impl AsRef<Path>, options: StoreOptions) -> Result<Store> {
         let db_path = path.as_ref().to_path_buf();
         let wal_path = wal_path_for(&db_path);
-        let mut pager = Pager::open(&db_path)?;
+        let pager = Pager::open(&db_path)?;
         let mut wal = Wal::open(&wal_path)?;
 
         // Recovery: apply committed page changes in log order, then clear
         // the log. Idempotent, so a crash during recovery just reruns it.
         // Pages are accumulated in memory so a page touched by many
-        // transactions is read and written once.
+        // transactions is read and written once. No other thread can
+        // hold the store yet, so plain pager writes are safe.
         let (records, tear) = wal.records()?;
         let changes = committed_changes(&records);
         let had_changes = !changes.is_empty();
@@ -208,14 +421,26 @@ impl Store {
             return Err(StorageError::BadMagic);
         }
 
+        Store::assemble(pager, wal, options, db_path)
+    }
+
+    fn assemble(pager: Pager, wal: Wal, options: StoreOptions, db_path: PathBuf) -> Result<Store> {
+        let handle = wal.sync_handle()?;
+        let window = options.group_commit_window;
         Ok(Store {
-            inner: Mutex::new(Inner {
-                pool: BufferPool::new(options.buffer_pages),
-                pager,
+            pool: BufferPool::new(options.buffer_pages),
+            pager,
+            write: Mutex::new(WriteState {
+                logical_pos: wal.len(),
                 wal,
-                options,
                 next_tx: 1,
+                commit_seq: 0,
             }),
+            gate: SnapshotGate::new(),
+            group: GroupCommit::new(handle, window),
+            epoch: AtomicU64::new(1),
+            counters: Counters::default(),
+            options,
             db_path,
         })
     }
@@ -234,50 +459,118 @@ impl Store {
         &self.db_path
     }
 
-    /// Begin a write transaction. Holds the store lock until commit or
-    /// drop (abort).
+    /// The current commit epoch: bumped by every published commit
+    /// before that commit's `Tx::commit` returns.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Acquire the write mutex, counting the wait if it blocks.
+    fn lock_write(&self) -> MutexGuard<'_, WriteState> {
+        if let Some(guard) = self.write.try_lock() {
+            return guard;
+        }
+        let start = Instant::now();
+        let guard = self.write.lock();
+        self.counters
+            .writer_lock_waits
+            .fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .writer_lock_wait_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        guard
+    }
+
+    /// Begin a write transaction. Holds the store's write lock until
+    /// commit or drop (abort); concurrent [`ReadTx`]s are unaffected.
     pub fn begin(&self) -> Tx<'_> {
-        let mut guard = self.inner.lock();
+        let mut guard = self.lock_write();
         let tx_id = guard.next_tx;
         guard.next_tx += 1;
         Tx {
-            guard,
+            store: self,
+            write: Some(guard),
             tx_id,
-            undo: HashMap::new(),
-            dirtied: Vec::new(),
-            committed: false,
+            pages: HashMap::new(),
+            base: HashMap::new(),
+            order: Vec::new(),
+            pins: HashMap::new(),
         }
     }
 
-    /// Begin a read-only transaction.
+    /// Begin a read-only transaction. Takes only the shared side of the
+    /// snapshot gate: read transactions run concurrently with each
+    /// other and with a writer's build phase, excluding only the brief
+    /// publish step of a commit.
     pub fn read(&self) -> ReadTx<'_> {
+        let gate = self.gate.read();
+        // Sampled under the gate, so it names exactly the committed
+        // prefix this transaction can observe.
+        let epoch = self.epoch.load(Ordering::Acquire);
+        self.counters.read_txs.fetch_add(1, Ordering::Relaxed);
         ReadTx {
-            guard: self.inner.lock(),
+            store: self,
+            _gate: gate,
+            epoch,
+            pins: HashMap::new(),
         }
+    }
+
+    /// Shared-path page lookup (buffer pool, falling back to the file).
+    fn fetch(&self, id: PageId) -> Result<Arc<PageBuf>> {
+        self.pool.get(&self.pager, id)
     }
 
     /// Write all dirty pages to the database file and reset the WAL.
     pub fn checkpoint(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        inner.checkpoint()
+        let mut ws = self.lock_write();
+        self.checkpoint_locked(&mut ws)
+    }
+
+    fn checkpoint_locked(&self, ws: &mut WriteState) -> Result<()> {
+        self.pool.flush_all(&self.pager)?;
+        self.pager.sync()?;
+        ws.wal.reset()?;
+        // Every appended commit is now durable via the database file.
+        self.group.mark_all_synced();
+        Ok(())
     }
 
     /// Buffer-pool statistics snapshot.
     pub fn buffer_stats(&self) -> BufferStats {
-        self.inner.lock().pool.stats()
+        self.pool.stats()
     }
 
     /// Current WAL size in bytes.
     pub fn wal_len(&self) -> u64 {
-        self.inner.lock().wal.len()
+        self.lock_write().wal.len()
+    }
+
+    /// Contention and commit statistics snapshot.
+    pub fn stats(&self) -> StoreStats {
+        let gate = self.gate.stats();
+        StoreStats {
+            read_txs: self.counters.read_txs.load(Ordering::Relaxed),
+            write_txs: self.counters.write_txs.load(Ordering::Relaxed),
+            reader_waits: gate.reader_waits,
+            reader_wait_nanos: gate.reader_wait_nanos,
+            writer_waits: gate.writer_waits
+                + self.counters.writer_lock_waits.load(Ordering::Relaxed),
+            writer_wait_nanos: gate.writer_wait_nanos
+                + self.counters.writer_lock_wait_nanos.load(Ordering::Relaxed),
+            wal_syncs: self.counters.wal_syncs.load(Ordering::Relaxed),
+            group_syncs: self.counters.group_syncs.load(Ordering::Relaxed),
+            group_commit_txns: self.counters.group_commit_txns.load(Ordering::Relaxed),
+            group_batch_max: self.counters.group_batch_max.load(Ordering::Relaxed),
+        }
     }
 }
 
 impl Drop for Store {
     fn drop(&mut self) {
         // Best-effort checkpoint so clean shutdowns reopen without replay.
-        if let Some(mut inner) = self.inner.try_lock() {
-            let _ = inner.checkpoint();
+        if let Some(mut ws) = self.write.try_lock() {
+            let _ = self.checkpoint_locked(&mut ws);
         }
     }
 }
@@ -288,42 +581,27 @@ fn wal_path_for(db_path: &Path) -> PathBuf {
     PathBuf::from(os)
 }
 
-impl Inner {
-    fn header(&mut self) -> Result<&PageBuf> {
-        self.pool.get(&mut self.pager, PageId::HEADER)
-    }
-
-    fn header_mut(&mut self) -> Result<&mut PageBuf> {
-        self.pool.get_mut(&mut self.pager, PageId::HEADER)
-    }
-
-    fn checkpoint(&mut self) -> Result<()> {
-        self.pool.flush_all(&mut self.pager)?;
-        self.pager.sync()?;
-        self.wal.reset()?;
-        Ok(())
-    }
-}
-
-/// What rollback must do with a page this transaction touched.
-enum UndoEntry {
-    /// Restore this pre-transaction image (and dirty flag).
-    Restore(PageBuf, bool),
-    /// The page did not exist before (fresh allocation past the file
-    /// end): drop it from the pool.
-    Discard,
-}
-
-/// A write transaction (RAII guard; drop without
-/// [`Tx::commit`] aborts and rolls back).
+/// A write transaction (RAII guard; drop without [`Tx::commit`] aborts
+/// by discarding the private write set — shared state is untouched
+/// until commit, so there is nothing to roll back).
 pub struct Tx<'a> {
-    guard: MutexGuard<'a, Inner>,
+    store: &'a Store,
+    /// Present until commit consumes it; dropping it releases the write
+    /// lock.
+    write: Option<MutexGuard<'a, WriteState>>,
     tx_id: u64,
-    /// Before-images for rollback and delta logging, keyed by page id.
-    undo: HashMap<u64, UndoEntry>,
-    /// Pages dirtied by this transaction, in first-touch order.
-    dirtied: Vec<PageId>,
-    committed: bool,
+    /// The private write set: working images of every page this
+    /// transaction has mutated.
+    pages: HashMap<u64, PageBuf>,
+    /// Pre-transaction image of each written page (`None` for pages
+    /// freshly allocated past the old page count), used for delta
+    /// logging at commit.
+    base: HashMap<u64, Option<Arc<PageBuf>>>,
+    /// Write-set page ids in first-touch order (the WAL append order).
+    order: Vec<PageId>,
+    /// Read-only pins for pages only read, so `page()` can hand out
+    /// references with the transaction's lifetime.
+    pins: HashMap<u64, Arc<PageBuf>>,
 }
 
 impl Tx<'_> {
@@ -332,49 +610,52 @@ impl Tx<'_> {
         self.tx_id
     }
 
-    fn capture_undo(&mut self, id: PageId) -> Result<()> {
-        if self.undo.contains_key(&id.0) {
+    /// Copy a page into the write set on first mutation.
+    fn materialize(&mut self, id: PageId) -> Result<()> {
+        if self.pages.contains_key(&id.0) {
             return Ok(());
         }
-        // Always capture the pre-transaction image: rollback restores
-        // it, and commit diffs against it for delta logging.
-        let inner = &mut *self.guard;
-        let dirty = inner.pool.is_dirty(id);
-        let image = inner.pool.get(&mut inner.pager, id)?.clone();
-        self.undo.insert(id.0, UndoEntry::Restore(image, dirty));
-        self.dirtied.push(id);
+        let current = self.store.fetch(id)?;
+        self.pages.insert(id.0, (*current).clone());
+        self.base.insert(id.0, Some(current));
+        self.order.push(id);
         Ok(())
     }
 
-    /// Mark a freshly allocated page (no prior state anywhere).
-    fn capture_fresh(&mut self, id: PageId) {
-        if self.undo.contains_key(&id.0) {
-            return;
-        }
-        self.undo.insert(id.0, UndoEntry::Discard);
-        self.dirtied.push(id);
+    /// Enter a freshly allocated page (no prior state anywhere) into the
+    /// write set.
+    fn materialize_fresh(&mut self, id: PageId, page: PageBuf) {
+        debug_assert!(
+            !self.pages.contains_key(&id.0),
+            "fresh page already in write set"
+        );
+        self.pages.insert(id.0, page);
+        self.base.insert(id.0, None);
+        self.order.push(id);
     }
 
     /// Commit: log after-images (or byte-range deltas, when small) plus
-    /// a commit record, then clear undo state. Auto-checkpoints when the
-    /// WAL or pool has grown large.
+    /// a commit record, publish the write set as the new committed
+    /// state, and make it durable (inline fsync, or via the group-commit
+    /// leader). Auto-checkpoints when the WAL or pool has grown large.
     pub fn commit(mut self) -> Result<()> {
-        if !self.dirtied.is_empty() {
-            let inner = &mut *self.guard;
-            inner.wal.append(&WalRecord::Begin { tx: self.tx_id })?;
+        let store = self.store;
+        let mut ws = self.write.take().expect("write guard held until commit");
+        let mut group_target = None;
+        if !self.order.is_empty() {
+            let wal_start = ws.wal.len();
+            ws.wal.append(&WalRecord::Begin { tx: self.tx_id })?;
             let zero = PageBuf::zeroed();
-            for &id in &self.dirtied {
-                // Every dirtied page is still resident (dirty pages are
-                // never evicted).
-                let after = inner.pool.get(&mut inner.pager, id)?.as_bytes().to_vec();
-                let record = if inner.options.wal_deltas {
-                    let before = match self.undo.get(&id.0) {
-                        Some(UndoEntry::Restore(img, _)) => img.as_bytes(),
+            for &id in &self.order {
+                let after = self.pages.get(&id.0).expect("ordered page in write set");
+                let record = if store.options.wal_deltas {
+                    let before = match self.base.get(&id.0) {
+                        Some(Some(img)) => img.as_bytes(),
                         // Fresh pages diff against zeroes (their content
                         // is usually sparse).
-                        Some(UndoEntry::Discard) | None => zero.as_bytes(),
+                        _ => zero.as_bytes(),
                     };
-                    let ops = page_diff_ops(before, &after, DELTA_RUN_GAP);
+                    let ops = page_diff_ops(before, after.as_bytes(), DELTA_RUN_GAP);
                     if delta_payload_len(&ops) <= DELTA_MAX_PAYLOAD {
                         WalRecord::PageDelta {
                             tx: self.tx_id,
@@ -385,111 +666,117 @@ impl Tx<'_> {
                         WalRecord::Page {
                             tx: self.tx_id,
                             page: id.0,
-                            image: after,
+                            image: after.as_bytes().to_vec(),
                         }
                     }
                 } else {
                     WalRecord::Page {
                         tx: self.tx_id,
                         page: id.0,
-                        image: after,
+                        image: after.as_bytes().to_vec(),
                     }
                 };
-                inner.wal.append(&record)?;
+                ws.wal.append(&record)?;
             }
-            inner.wal.append(&WalRecord::Commit { tx: self.tx_id })?;
-            if inner.options.sync_on_commit {
-                inner.wal.sync()?;
+            ws.wal.append(&WalRecord::Commit { tx: self.tx_id })?;
+            ws.logical_pos += ws.wal.len() - wal_start;
+            ws.commit_seq += 1;
+
+            let grouped = store.options.sync_on_commit && store.options.group_commit;
+            if store.options.sync_on_commit && !grouped {
+                ws.wal.sync()?;
+                store.counters.wal_syncs.fetch_add(1, Ordering::Relaxed);
+            }
+
+            // Publish: under the gate's exclusive side, bump the epoch
+            // and install every after-image. From here the commit is
+            // visible to new snapshots as one atomic step.
+            {
+                let _publish = store.gate.write();
+                let epoch = store.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+                for &id in &self.order {
+                    let image = self.pages.remove(&id.0).expect("ordered page in write set");
+                    store.pool.publish(id, Arc::new(image), true, epoch);
+                }
+            }
+            store.counters.write_txs.fetch_add(1, Ordering::Relaxed);
+
+            if grouped {
+                store.group.register(ws.logical_pos, ws.commit_seq);
+                group_target = Some(ws.logical_pos);
             }
         }
-        self.committed = true;
-        self.undo.clear();
-        let inner = &mut *self.guard;
-        if inner.wal.len() > inner.options.checkpoint_wal_bytes || inner.pool.over_target() {
-            inner.checkpoint()?;
+        if ws.wal.len() > store.options.checkpoint_wal_bytes || store.pool.over_target() {
+            store.checkpoint_locked(&mut ws)?;
+            // The checkpoint fsynced everything; no group wait needed.
+            group_target = None;
+        }
+        // Release the write lock *before* waiting on the group fsync —
+        // that is the whole point: the next writer appends while the
+        // leader's fsync is in flight, forming the next cohort.
+        drop(ws);
+        if let Some(target) = group_target {
+            store.group.sync_to(target, &store.counters)?;
         }
         Ok(())
     }
 }
 
-impl Drop for Tx<'_> {
-    fn drop(&mut self) {
-        if self.committed {
-            return;
-        }
-        // Abort: restore before-images / discard pages first touched here.
-        let undo = std::mem::take(&mut self.undo);
-        for (raw_id, prior) in undo {
-            let id = PageId(raw_id);
-            match prior {
-                UndoEntry::Restore(image, dirty) => {
-                    let inner = &mut *self.guard;
-                    // Install ignores errors here deliberately: rollback
-                    // in Drop must not panic; worst case the page stays
-                    // evicted and is re-read from the file.
-                    let _ = inner.pool.install(&mut inner.pager, id, image, dirty);
-                }
-                UndoEntry::Discard => {
-                    self.guard.pool.discard(id);
-                }
-            }
-        }
-    }
-}
-
 impl PageRead for Tx<'_> {
     fn page(&mut self, id: PageId) -> Result<&PageBuf> {
-        let inner = &mut *self.guard;
-        inner.pool.get(&mut inner.pager, id)
+        if self.pages.contains_key(&id.0) {
+            return Ok(&self.pages[&id.0]);
+        }
+        let store = self.store;
+        match self.pins.entry(id.0) {
+            std::collections::hash_map::Entry::Occupied(e) => Ok(&**e.into_mut()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let arc = store.fetch(id)?;
+                Ok(&**e.insert(arc))
+            }
+        }
     }
 
     fn root(&mut self, slot: usize) -> Result<u64> {
         assert!(slot < ROOT_SLOTS, "root slot out of range");
-        Ok(self.guard.header()?.read_u64(hdr::ROOTS + slot * 8))
+        Ok(self.page(PageId::HEADER)?.read_u64(hdr::ROOTS + slot * 8))
     }
 
     fn page_count(&mut self) -> Result<u64> {
-        Ok(self.guard.header()?.read_u64(hdr::PAGE_COUNT))
+        Ok(self.page(PageId::HEADER)?.read_u64(hdr::PAGE_COUNT))
     }
 }
 
 impl PageWrite for Tx<'_> {
     fn page_mut(&mut self, id: PageId) -> Result<&mut PageBuf> {
-        self.capture_undo(id)?;
-        let inner = &mut *self.guard;
-        inner.pool.get_mut(&mut inner.pager, id)
+        self.materialize(id)?;
+        Ok(self.pages.get_mut(&id.0).expect("just materialized"))
     }
 
     fn allocate(&mut self, kind: PageKind) -> Result<PageId> {
-        let free_head = PageId(self.guard.header()?.read_u64(hdr::FREE_HEAD));
-        let id = if !free_head.is_null() {
+        let free_head = PageId(self.page(PageId::HEADER)?.read_u64(hdr::FREE_HEAD));
+        if !free_head.is_null() {
             let next = self.page(free_head)?.link();
             self.page_mut(PageId::HEADER)?
                 .write_u64(hdr::FREE_HEAD, next.0);
-            free_head
+            // A reused free-list page has prior committed state, so it
+            // enters the write set through the normal copy path (its
+            // base image feeds delta logging), then gets reset.
+            *self.page_mut(free_head)? = PageBuf::new(kind);
+            Ok(free_head)
         } else {
             let count = self.page_count()?;
             self.page_mut(PageId::HEADER)?
                 .write_u64(hdr::PAGE_COUNT, count + 1);
-            PageId(count)
-        };
-        // Capture undo before overwriting: a reused free-list page has a
-        // prior image to restore; a fresh page past the file end does not.
-        if id.0 < self.guard.pager.file_pages() {
-            self.capture_undo(id)?;
-        } else {
-            self.capture_fresh(id);
+            let id = PageId(count);
+            self.materialize_fresh(id, PageBuf::new(kind));
+            Ok(id)
         }
-        let inner = &mut *self.guard;
-        inner
-            .pool
-            .install(&mut inner.pager, id, PageBuf::new(kind), true)?;
-        Ok(id)
     }
 
     fn free_page(&mut self, id: PageId) -> Result<()> {
         assert!(!id.is_null(), "cannot free the header page");
-        let head = self.guard.header()?.read_u64(hdr::FREE_HEAD);
+        let head = self.page(PageId::HEADER)?.read_u64(hdr::FREE_HEAD);
         let page = self.page_mut(id)?;
         let mut fresh = PageBuf::new(PageKind::Free);
         fresh.set_link(PageId(head));
@@ -501,32 +788,51 @@ impl PageWrite for Tx<'_> {
 
     fn set_root(&mut self, slot: usize, value: u64) -> Result<()> {
         assert!(slot < ROOT_SLOTS, "root slot out of range");
-        self.capture_undo(PageId::HEADER)?;
-        self.guard
-            .header_mut()?
+        self.page_mut(PageId::HEADER)?
             .write_u64(hdr::ROOTS + slot * 8, value);
         Ok(())
     }
 }
 
-/// A read-only transaction.
+/// A read-only transaction: a consistent snapshot of the committed
+/// state as of [`ReadTx::epoch`]. Holds only the shared side of the
+/// snapshot gate, so any number of read transactions run in parallel.
 pub struct ReadTx<'a> {
-    guard: MutexGuard<'a, Inner>,
+    store: &'a Store,
+    _gate: crate::gate::ReadGuard<'a>,
+    epoch: u64,
+    /// Pages resolved so far. Pinning the `Arc` (rather than re-fetching)
+    /// both stabilizes `page()`'s returned references and keeps every
+    /// observed image alive for the transaction's lifetime.
+    pins: HashMap<u64, Arc<PageBuf>>,
+}
+
+impl ReadTx<'_> {
+    /// The commit epoch this snapshot observes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
 }
 
 impl PageRead for ReadTx<'_> {
     fn page(&mut self, id: PageId) -> Result<&PageBuf> {
-        let inner = &mut *self.guard;
-        inner.pool.get(&mut inner.pager, id)
+        let store = self.store;
+        match self.pins.entry(id.0) {
+            std::collections::hash_map::Entry::Occupied(e) => Ok(&**e.into_mut()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let arc = store.fetch(id)?;
+                Ok(&**e.insert(arc))
+            }
+        }
     }
 
     fn root(&mut self, slot: usize) -> Result<u64> {
         assert!(slot < ROOT_SLOTS, "root slot out of range");
-        Ok(self.guard.header()?.read_u64(hdr::ROOTS + slot * 8))
+        Ok(self.page(PageId::HEADER)?.read_u64(hdr::ROOTS + slot * 8))
     }
 
     fn page_count(&mut self) -> Result<u64> {
-        Ok(self.guard.header()?.read_u64(hdr::PAGE_COUNT))
+        Ok(self.page(PageId::HEADER)?.read_u64(hdr::PAGE_COUNT))
     }
 }
 
@@ -585,9 +891,87 @@ mod tests {
         let mut r = store.read();
         assert_eq!(r.page(id).unwrap().payload()[0], 1);
         assert_eq!(r.root(0).unwrap(), 0);
-        // The aborted allocation is rolled back: page_count back to 2.
+        // The aborted allocation was never published: page_count still 2.
         assert_eq!(r.page_count().unwrap(), 2);
         drop(r);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn uncommitted_writes_invisible_to_concurrent_reader() {
+        let path = temp_db("invisible");
+        let store = Store::create(&path, StoreOptions::default()).unwrap();
+        let id = {
+            let mut tx = store.begin();
+            let id = tx.allocate(PageKind::Heap).unwrap();
+            tx.page_mut(id).unwrap().payload_mut()[0] = 1;
+            tx.commit().unwrap();
+            id
+        };
+        let mut tx = store.begin();
+        tx.page_mut(id).unwrap().payload_mut()[0] = 99;
+        // A snapshot opened *while the writer holds uncommitted state*
+        // must see the old image — the seed engine could not even open
+        // one here.
+        let mut r = store.read();
+        assert_eq!(r.page(id).unwrap().payload()[0], 1);
+        drop(r);
+        tx.commit().unwrap();
+        let mut r = store.read();
+        assert_eq!(r.page(id).unwrap().payload()[0], 99);
+        drop(r);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn concurrent_read_txs_coexist() {
+        let path = temp_db("coexist");
+        let store = Store::create(&path, StoreOptions::default()).unwrap();
+        {
+            let mut tx = store.begin();
+            let id = tx.allocate(PageKind::Heap).unwrap();
+            tx.page_mut(id).unwrap().payload_mut()[0] = 5;
+            tx.set_root(0, id.0).unwrap();
+            tx.commit().unwrap();
+        }
+        // Two snapshots alive at once on one thread: instant deadlock on
+        // the old single-mutex engine.
+        let mut a = store.read();
+        let mut b = store.read();
+        let id = PageId(a.root(0).unwrap());
+        assert_eq!(a.page(id).unwrap().payload()[0], 5);
+        assert_eq!(b.page(id).unwrap().payload()[0], 5);
+        assert_eq!(a.epoch(), b.epoch());
+        drop(a);
+        drop(b);
+        assert!(store.stats().read_txs >= 2);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn epoch_advances_per_commit_and_stamps_snapshots() {
+        let path = temp_db("epoch");
+        let store = Store::create(&path, StoreOptions::default()).unwrap();
+        let e0 = store.epoch();
+        let id = {
+            let mut tx = store.begin();
+            let id = tx.allocate(PageKind::Heap).unwrap();
+            tx.commit().unwrap();
+            id
+        };
+        assert_eq!(store.epoch(), e0 + 1);
+        let r = store.read();
+        assert_eq!(r.epoch(), e0 + 1);
+        drop(r);
+        {
+            let mut tx = store.begin();
+            tx.page_mut(id).unwrap().payload_mut()[0] = 9;
+            tx.commit().unwrap();
+        }
+        assert_eq!(store.epoch(), e0 + 2);
+        // An empty commit publishes nothing and does not bump the epoch.
+        store.begin().commit().unwrap();
+        assert_eq!(store.epoch(), e0 + 2);
         cleanup(&path);
     }
 
@@ -856,6 +1240,87 @@ mod tests {
         let mut r = store.read();
         for i in 0..20u64 {
             assert_eq!(r.page(PageId(i + 1)).unwrap().read_u64(16), i);
+        }
+        drop(r);
+        drop(store);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn group_commit_counts_batches() {
+        let path = temp_db("groupbatch");
+        let store = Store::create(
+            &path,
+            StoreOptions {
+                group_commit: true,
+                group_commit_window: Duration::from_millis(2),
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        let id = {
+            let mut tx = store.begin();
+            let id = tx.allocate(PageKind::Heap).unwrap();
+            tx.commit().unwrap();
+            id
+        };
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let store = &store;
+                scope.spawn(move || {
+                    for i in 0..10u64 {
+                        let mut tx = store.begin();
+                        tx.page_mut(id).unwrap().write_u64(200 + w * 8, i);
+                        tx.commit().unwrap();
+                    }
+                });
+            }
+        });
+        let stats = store.stats();
+        assert_eq!(stats.group_commit_txns, 41);
+        assert!(stats.group_syncs <= stats.group_commit_txns);
+        assert!(stats.group_batch_max >= 1);
+        drop(store);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn group_commit_data_recovers_after_crash() {
+        let path = temp_db("grouprecover");
+        let options = StoreOptions {
+            group_commit: true,
+            group_commit_window: Duration::from_millis(1),
+            ..StoreOptions::default()
+        };
+        let id = {
+            let store = Store::create(&path, options.clone()).unwrap();
+            let id = {
+                let mut tx = store.begin();
+                let id = tx.allocate(PageKind::Heap).unwrap();
+                tx.commit().unwrap();
+                id
+            };
+            std::thread::scope(|scope| {
+                for w in 0..4u64 {
+                    let store = &store;
+                    scope.spawn(move || {
+                        let mut tx = store.begin();
+                        tx.page_mut(id)
+                            .unwrap()
+                            .write_u64(300 + (w as usize) * 8, w + 1);
+                        tx.commit().unwrap();
+                    });
+                }
+            });
+            std::mem::forget(store); // crash: WAL only
+            id
+        };
+        let store = Store::open(&path, options).unwrap();
+        let mut r = store.read();
+        for w in 0..4u64 {
+            // Every commit was acked (commit() returned), so every write
+            // must be recovered.
+            assert_eq!(r.page(id).unwrap().read_u64(300 + (w as usize) * 8), w + 1);
         }
         drop(r);
         drop(store);

@@ -117,6 +117,19 @@ impl Wal {
         Ok(())
     }
 
+    /// A duplicated handle to the log file that can fsync it without
+    /// holding the `Wal` itself. This is what makes group commit work:
+    /// the leader fsyncs through the handle while other committers keep
+    /// appending through the store's write lock. Safe because the two
+    /// handles share one open file description (same durability
+    /// semantics as syncing `self.file`), and the log file is never
+    /// replaced — [`Wal::reset`]/[`Wal::truncate_tail`] only `set_len`.
+    pub fn sync_handle(&self) -> Result<WalSyncHandle> {
+        Ok(WalSyncHandle {
+            file: self.file.try_clone()?,
+        })
+    }
+
     /// Read every intact record from the start of the log.
     ///
     /// Returns the records and the byte offset of the torn tail, if any
@@ -174,6 +187,19 @@ impl Wal {
         self.file.set_len(offset)?;
         self.file.sync_data()?;
         self.write_pos = offset;
+        Ok(())
+    }
+}
+
+/// A standalone fsync handle for the log (see [`Wal::sync_handle`]).
+pub struct WalSyncHandle {
+    file: File,
+}
+
+impl WalSyncHandle {
+    /// fsync the log through this handle.
+    pub fn sync(&self) -> Result<()> {
+        self.file.sync_data()?;
         Ok(())
     }
 }

@@ -142,6 +142,25 @@ fn main() -> ExitCode {
                 stats.snapshot_hits,
                 stats.snapshot_misses
             );
+            out!(
+                "storage    : {} read txs, {} write txs",
+                stats.storage.read_txs,
+                stats.storage.write_txs
+            );
+            out!(
+                "lock waits : readers {} ({} ns), writers {} ({} ns)",
+                stats.storage.reader_waits,
+                stats.storage.reader_wait_nanos,
+                stats.storage.writer_waits,
+                stats.storage.writer_wait_nanos
+            );
+            out!(
+                "wal syncs  : {} total, {} by group leaders ({} txns, max batch {})",
+                stats.storage.wal_syncs,
+                stats.storage.group_syncs,
+                stats.storage.group_commit_txns,
+                stats.storage.group_batch_max
+            );
             out!("requests   : {}", stats.total_requests());
             for (op, n) in &stats.requests {
                 out!("  {:<16} {n}", op.name());

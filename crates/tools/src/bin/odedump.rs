@@ -62,6 +62,17 @@ fn main() -> ExitCode {
             println!("  misses    : {}", info.buffer.misses);
             println!("  evictions : {}", info.buffer.evictions);
             println!("  writebacks: {}", info.buffer.writebacks);
+            println!("storage engine (during this scan):");
+            println!("  read txs  : {}", info.storage.read_txs);
+            println!("  write txs : {}", info.storage.write_txs);
+            println!(
+                "  reader waits: {} ({} ns)",
+                info.storage.reader_waits, info.storage.reader_wait_nanos
+            );
+            println!(
+                "  writer waits: {} ({} ns)",
+                info.storage.writer_waits, info.storage.writer_wait_nanos
+            );
         }),
         "objects" => ode_tools::list_objects(&db).map(|objects| {
             println!(

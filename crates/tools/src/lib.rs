@@ -17,7 +17,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use ode_object::Oid;
-use ode_storage::{PageId, PageRead, Store, StoreOptions};
+use ode_storage::{PageId, PageRead, Store, StoreOptions, StoreStats};
 use ode_version::{version_graph_dot, VersionStore, VersionStoreLayout};
 
 /// Result alias reusing the version layer's error.
@@ -42,6 +42,11 @@ pub struct StoreInfo {
     pub version_count: u64,
     /// Distinct type tags with extents.
     pub type_count: usize,
+    /// Storage-engine transaction and contention counters accumulated
+    /// while gathering this summary (one long read transaction, so
+    /// `read_txs` ≥ 1 and the wait counters show any gate contention —
+    /// zero for this single-threaded scan).
+    pub storage: StoreStats,
 }
 
 /// Per-object summary for listings.
@@ -114,6 +119,7 @@ pub fn store_info(path: &Path) -> Result<StoreInfo> {
         object_count,
         version_count,
         type_count: tags.len(),
+        storage: store.stats(),
     })
 }
 
