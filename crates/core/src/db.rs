@@ -167,4 +167,63 @@ impl Database {
     pub fn wal_len(&self) -> u64 {
         self.store.wal_len()
     }
+
+    // -- replication tap (forwarded to the storage engine; used by the
+    // -- `ode-repl` shipping hub and replica apply loop) ---------------------
+
+    /// Checkpoint and copy the page file for bootstrapping a replica.
+    pub fn repl_snapshot(&self) -> Result<ode_storage::ReplSnapshot> {
+        Ok(self.store.repl_snapshot()?)
+    }
+
+    /// Read up to `max` shippable WAL bytes from logical position `from`.
+    pub fn read_wal_span(&self, from: u64, max: usize) -> Result<ode_storage::WalSpan> {
+        Ok(self.store.read_wal_span(from, max)?)
+    }
+
+    /// Block until WAL bytes past `from` are shippable (or `timeout`).
+    pub fn wait_shippable(&self, from: u64, timeout: std::time::Duration) -> u64 {
+        self.store.wait_shippable(from, timeout)
+    }
+
+    /// Block until the applied epoch reaches `floor` (or `timeout`);
+    /// returns the epoch either way.
+    pub fn wait_for_epoch(&self, floor: u64, timeout: std::time::Duration) -> u64 {
+        self.store.wait_for_epoch(floor, timeout)
+    }
+
+    /// Install a snapshot shipped from a primary, replacing this
+    /// database's entire state.
+    pub fn replica_install_snapshot(
+        &self,
+        db_bytes: &[u8],
+        base_pos: u64,
+        epoch: u64,
+    ) -> Result<()> {
+        Ok(self
+            .store
+            .replica_install_snapshot(db_bytes, base_pos, epoch)?)
+    }
+
+    /// Ingest raw shipped WAL bytes, applying every commit they
+    /// complete.
+    pub fn replica_ingest(&self, bytes: &[u8]) -> Result<ode_storage::IngestOutcome> {
+        Ok(self.store.replica_ingest(bytes)?)
+    }
+
+    /// Promote a replica to primary (fence the log at the last applied
+    /// commit; idempotent).
+    pub fn promote_to_primary(&self) -> Result<()> {
+        Ok(self.store.promote_to_primary()?)
+    }
+
+    /// Count WAL bytes shipped to replicas (hub instrumentation).
+    pub fn note_bytes_shipped(&self, n: u64) {
+        self.store.note_bytes_shipped(n)
+    }
+
+    /// Record the current worst replica lag in epochs (hub gauge).
+    pub fn set_replica_lag_epochs(&self, lag: u64) {
+        self.store.set_replica_lag_epochs(lag)
+    }
 }

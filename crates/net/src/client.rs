@@ -421,6 +421,40 @@ impl OdeClient {
         }
     }
 
+    // -- replication role ---------------------------------------------------
+
+    /// The node's applied commit epoch — the freshness token a reader
+    /// pins with [`OdeClient::read_floor`] on another connection.
+    /// Answered inline by the server (like `Ping`), so it doubles as a
+    /// health probe that stays prompt under load.
+    pub fn epoch(&mut self) -> Result<u64> {
+        match self.call(&Request::Epoch)? {
+            Response::Count(epoch) => Ok(epoch),
+            other => Err(unexpected("count", &other)),
+        }
+    }
+
+    /// Pin this connection's reads at `epoch`: the node holds each
+    /// subsequent read until it has applied at least that epoch, and
+    /// fails it `Unavailable` (never answers from older state) if it
+    /// stays behind past the server's floor timeout.
+    pub fn read_floor(&mut self, epoch: u64) -> Result<()> {
+        match self.call(&Request::ReadFloor { epoch })? {
+            Response::Unit => Ok(()),
+            other => Err(unexpected("unit", &other)),
+        }
+    }
+
+    /// Promote the node from replica to primary (driven failover):
+    /// fences the unapplied WAL tail and starts accepting writes.
+    /// Idempotent — promoting a primary is a no-op success.
+    pub fn promote(&mut self) -> Result<()> {
+        match self.call(&Request::Promote)? {
+            Response::Unit => Ok(()),
+            other => Err(unexpected("unit", &other)),
+        }
+    }
+
     // -- typed operations (mirror ode::Txn) ---------------------------------
 
     /// `pnew`: create a persistent object on the server.

@@ -64,6 +64,6 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use error::{NetError, RemoteError, Result};
 pub use protocol::{Opcode, Request, Response, StatsReport, StorageCounters};
 pub use relay::{FaultRelay, RelayPlan};
-pub use router::{OdeRouter, RouterConfig, RouterStatsReport};
-pub use server::{OdeServer, ServerConfig};
+pub use router::{OdeRouter, RouterConfig, RouterStatsReport, ShardMembership};
+pub use server::{OdeServer, ServerConfig, ServerHooks};
 pub use shard::ShardMap;

@@ -101,10 +101,17 @@ pub enum Opcode {
     Exists = 21,
     /// Whether a version exists.
     VersionExists = 22,
+    /// The node's applied commit epoch (answered inline, like `Ping`).
+    Epoch = 23,
+    /// Set this connection's read floor: subsequent reads wait until
+    /// the node has applied at least this epoch (replica read gate).
+    ReadFloor = 24,
+    /// Promote a replica node to primary (driven failover).
+    Promote = 25,
 }
 
 /// Number of opcodes (size of the server's per-opcode counter array).
-pub const OPCODE_COUNT: usize = 23;
+pub const OPCODE_COUNT: usize = 26;
 
 impl Opcode {
     /// Every opcode, in wire order.
@@ -132,6 +139,9 @@ impl Opcode {
         Opcode::VersionCount,
         Opcode::Exists,
         Opcode::VersionExists,
+        Opcode::Epoch,
+        Opcode::ReadFloor,
+        Opcode::Promote,
     ];
 
     /// Decode a wire byte.
@@ -165,6 +175,9 @@ impl Opcode {
             Opcode::VersionCount => "version_count",
             Opcode::Exists => "exists",
             Opcode::VersionExists => "version_exists",
+            Opcode::Epoch => "epoch",
+            Opcode::ReadFloor => "read_floor",
+            Opcode::Promote => "promote",
         }
     }
 }
@@ -305,6 +318,17 @@ pub enum Request {
         /// Version to probe.
         vid: Vid,
     },
+    /// The node's applied commit epoch (the router's health probe).
+    Epoch,
+    /// Read-your-writes gate for replica reads: pin this connection's
+    /// reads at `epoch` — they wait until the node has applied it.
+    ReadFloor {
+        /// Minimum applied epoch subsequent reads require (0 clears).
+        epoch: u64,
+    },
+    /// Promote this node from replica to primary (driven failover;
+    /// idempotent).
+    Promote,
 }
 
 impl Request {
@@ -334,6 +358,9 @@ impl Request {
             Request::VersionCount { .. } => Opcode::VersionCount,
             Request::Exists { .. } => Opcode::Exists,
             Request::VersionExists { .. } => Opcode::VersionExists,
+            Request::Epoch => Opcode::Epoch,
+            Request::ReadFloor { .. } => Opcode::ReadFloor,
+            Request::Promote => Opcode::Promote,
         }
     }
 
@@ -349,6 +376,7 @@ impl Request {
                 | Request::NewVersionFrom { .. }
                 | Request::Pdelete { .. }
                 | Request::PdeleteVersion { .. }
+                | Request::Promote
         )
     }
 
@@ -359,7 +387,10 @@ impl Request {
         w.put_varint(seq);
         w.put_u8(self.opcode() as u8);
         match self {
-            Request::Ping | Request::Stats => {}
+            Request::Ping | Request::Stats | Request::Epoch | Request::Promote => {}
+            Request::ReadFloor { epoch } => {
+                w.put_varint(*epoch);
+            }
             Request::Pnew { tag, body } => {
                 w.put_varint(tag.0);
                 w.put_bytes(body);
@@ -502,6 +533,11 @@ impl Request {
             Opcode::VersionExists => Request::VersionExists {
                 vid: Vid(r.get_varint()?),
             },
+            Opcode::Epoch => Request::Epoch,
+            Opcode::ReadFloor => Request::ReadFloor {
+                epoch: r.get_varint()?,
+            },
+            Opcode::Promote => Request::Promote,
         };
         if r.remaining() != 0 {
             return Err(NetError::Protocol(format!(
@@ -563,6 +599,12 @@ pub struct StorageCounters {
     pub group_commit_txns: u64,
     /// Largest commit cohort one group fsync covered.
     pub group_batch_max: u64,
+    /// WAL + snapshot bytes shipped to replicas.
+    pub bytes_shipped: u64,
+    /// Worst replica lag behind the primary, in commit epochs (gauge).
+    pub replica_lag_epochs: u64,
+    /// Replica-to-primary promotions this node has performed.
+    pub failovers: u64,
 }
 
 impl StorageCounters {
@@ -577,6 +619,9 @@ impl StorageCounters {
         w.put_varint(self.group_syncs);
         w.put_varint(self.group_commit_txns);
         w.put_varint(self.group_batch_max);
+        w.put_varint(self.bytes_shipped);
+        w.put_varint(self.replica_lag_epochs);
+        w.put_varint(self.failovers);
     }
 
     fn decode_from(r: &mut Reader<'_>) -> Result<StorageCounters> {
@@ -591,6 +636,9 @@ impl StorageCounters {
             group_syncs: r.get_varint()?,
             group_commit_txns: r.get_varint()?,
             group_batch_max: r.get_varint()?,
+            bytes_shipped: r.get_varint()?,
+            replica_lag_epochs: r.get_varint()?,
+            failovers: r.get_varint()?,
         })
     }
 }
@@ -1064,6 +1112,10 @@ mod tests {
         round_trip_request(Request::VersionCount { oid: Oid(16) });
         round_trip_request(Request::Exists { oid: Oid(17) });
         round_trip_request(Request::VersionExists { vid: Vid(18) });
+        round_trip_request(Request::Epoch);
+        round_trip_request(Request::ReadFloor { epoch: 19 });
+        round_trip_request(Request::ReadFloor { epoch: 0 });
+        round_trip_request(Request::Promote);
     }
 
     #[test]
@@ -1090,6 +1142,9 @@ mod tests {
                 group_syncs: 5,
                 group_commit_txns: 18,
                 group_batch_max: 6,
+                bytes_shipped: 4096,
+                replica_lag_epochs: 2,
+                failovers: 1,
             },
         }));
         round_trip_response(Response::Created {

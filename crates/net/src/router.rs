@@ -51,6 +51,7 @@ use ode::{Oid, Vid};
 use ode_codec::varint;
 use parking_lot::Mutex;
 
+use crate::client::{ClientConfig, OdeClient};
 use crate::error::RemoteError;
 use crate::protocol::{
     kind, read_frame_into, write_frame, Opcode, Request, Response, StatsReport, MAGIC,
@@ -71,6 +72,16 @@ pub struct RouterConfig {
     pub reconnect_backoff: Duration,
     /// Backoff ceiling.
     pub reconnect_backoff_max: Duration,
+    /// How often the health prober samples every member's epoch.
+    pub probe_interval: Duration,
+    /// Consecutive failed primary probes before the router drives a
+    /// failover (given a live replica to promote).
+    pub failover_after: u32,
+    /// Route reads from sessions that have not written to a shard onto
+    /// that shard's replicas (pinned by `ReadFloor` at the primary's
+    /// last probed epoch). Writes always go to the primary, and a
+    /// session's first write to a shard flips its reads there too.
+    pub replica_reads: bool,
 }
 
 impl Default for RouterConfig {
@@ -80,7 +91,117 @@ impl Default for RouterConfig {
             connect_timeout: Duration::from_secs(5),
             reconnect_backoff: Duration::from_millis(50),
             reconnect_backoff_max: Duration::from_secs(2),
+            probe_interval: Duration::from_millis(150),
+            failover_after: 3,
+            replica_reads: true,
         }
+    }
+}
+
+/// One shard's member set, as handed to
+/// [`OdeRouter::bind_with_members`]: the address writes go to plus the
+/// replicas tailing its WAL (possibly none).
+#[derive(Debug, Clone)]
+pub struct ShardMembership {
+    /// The shard's current primary.
+    pub primary: SocketAddr,
+    /// Read-only replicas of that primary.
+    pub replicas: Vec<SocketAddr>,
+}
+
+impl ShardMembership {
+    /// A single-node shard (no replicas).
+    pub fn solo(primary: SocketAddr) -> ShardMembership {
+        ShardMembership {
+            primary,
+            replicas: Vec::new(),
+        }
+    }
+}
+
+/// One shard's live membership view, maintained by the prober.
+struct MemberState {
+    primary: SocketAddr,
+    /// Last epoch a primary probe reported.
+    primary_epoch: u64,
+    /// Consecutive failed primary probes.
+    primary_failures: u32,
+    replicas: Vec<SocketAddr>,
+    /// Last probed epoch per replica; `None` = unreachable.
+    replica_epochs: Vec<Option<u64>>,
+    /// Set for the promotion window: every dial to this shard fails
+    /// with `Unavailable` (strictly no retry) until the new primary is
+    /// installed or the attempt is abandoned.
+    promoting: bool,
+}
+
+/// The router's membership table: one probed member set per shard.
+struct Membership {
+    shards: Vec<Mutex<MemberState>>,
+    /// Round-robin cursor for spreading read connections over replicas.
+    read_rr: AtomicU64,
+}
+
+impl Membership {
+    fn new(members: Vec<ShardMembership>) -> Membership {
+        Membership {
+            shards: members
+                .into_iter()
+                .map(|m| {
+                    let n = m.replicas.len();
+                    Mutex::new(MemberState {
+                        primary: m.primary,
+                        primary_epoch: 0,
+                        primary_failures: 0,
+                        replicas: m.replicas,
+                        replica_epochs: vec![None; n],
+                        promoting: false,
+                    })
+                })
+                .collect(),
+            read_rr: AtomicU64::new(0),
+        }
+    }
+
+    fn primary_addr(&self, shard: usize) -> SocketAddr {
+        self.shards[shard].lock().primary
+    }
+
+    /// The primary's last probed epoch — the read floor pinned onto
+    /// replica-read connections.
+    fn primary_epoch(&self, shard: usize) -> u64 {
+        self.shards[shard].lock().primary_epoch
+    }
+
+    fn promoting(&self, shard: usize) -> bool {
+        self.shards[shard].lock().promoting
+    }
+
+    /// Whether any replica answered its last probe (a read connection
+    /// would have somewhere to go).
+    fn has_live_replica(&self, shard: usize) -> bool {
+        self.shards[shard]
+            .lock()
+            .replica_epochs
+            .iter()
+            .any(Option::is_some)
+    }
+
+    /// Address for a *read* connection: a live replica round-robin,
+    /// falling back to the primary when none is reachable.
+    fn pick_read_addr(&self, shard: usize) -> SocketAddr {
+        let ms = self.shards[shard].lock();
+        let live: Vec<SocketAddr> = ms
+            .replicas
+            .iter()
+            .zip(&ms.replica_epochs)
+            .filter_map(|(a, e)| e.map(|_| *a))
+            .collect();
+        if live.is_empty() {
+            return ms.primary;
+        }
+        let i = self.read_rr.fetch_add(1, Ordering::Relaxed) as usize;
+        live[i % live.len()]
     }
 }
 
@@ -105,6 +226,11 @@ pub struct RouterStatsReport {
     pub unavailable_errors: u64,
     /// Undecodable frames, from clients or backends.
     pub protocol_errors: u64,
+    /// Read requests forwarded to a replica instead of a primary.
+    pub replica_reads: u64,
+    /// Failovers this router drove to completion (a replica promoted
+    /// and installed as the shard's primary).
+    pub failovers: u64,
 }
 
 #[derive(Default)]
@@ -117,6 +243,8 @@ struct RouterStats {
     shard_failures: AtomicU64,
     unavailable_errors: AtomicU64,
     protocol_errors: AtomicU64,
+    replica_reads: AtomicU64,
+    failovers: AtomicU64,
 }
 
 impl RouterStats {
@@ -130,13 +258,15 @@ impl RouterStats {
             shard_failures: self.shard_failures.load(Ordering::Relaxed),
             unavailable_errors: self.unavailable_errors.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            replica_reads: self.replica_reads.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
         }
     }
 }
 
 /// State shared by every session of one router.
 struct RouterShared {
-    backends: Vec<SocketAddr>,
+    membership: Membership,
     map: ShardMap,
     config: RouterConfig,
     stats: RouterStats,
@@ -155,19 +285,37 @@ pub struct OdeRouter {
     shared: Arc<RouterShared>,
     conns: ConnRegistry,
     accept_handle: Option<JoinHandle<()>>,
+    prober_handle: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl OdeRouter {
     /// Bind `addr` (port 0 picks a free port) and start routing to
-    /// `backends`. The order of `backends` **is** the shard map — it
-    /// must be identical on every router over the same tier.
+    /// `backends`, each a single-node shard with no replicas. The order
+    /// of `backends` **is** the shard map — it must be identical on
+    /// every router over the same tier.
     pub fn bind(
         addr: impl ToSocketAddrs,
         backends: Vec<SocketAddr>,
         config: RouterConfig,
     ) -> io::Result<OdeRouter> {
-        if backends.is_empty() {
+        let members = backends.into_iter().map(ShardMembership::solo).collect();
+        OdeRouter::bind_with_members(addr, members, config)
+    }
+
+    /// [`OdeRouter::bind`] with full per-shard membership: each shard
+    /// has a primary plus replicas. The router probes every member's
+    /// epoch on [`RouterConfig::probe_interval`], routes replica reads
+    /// behind a `ReadFloor` pin, and on
+    /// [`RouterConfig::failover_after`] consecutive failed primary
+    /// probes promotes the most-caught-up live replica and installs it
+    /// as the shard's primary.
+    pub fn bind_with_members(
+        addr: impl ToSocketAddrs,
+        members: Vec<ShardMembership>,
+        config: RouterConfig,
+    ) -> io::Result<OdeRouter> {
+        if members.is_empty() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 "a router needs at least one backend shard",
@@ -175,9 +323,9 @@ impl OdeRouter {
         }
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let map = ShardMap::new(backends.len());
+        let map = ShardMap::new(members.len());
         let shared = Arc::new(RouterShared {
-            backends,
+            membership: Membership::new(members),
             map,
             config: config.clone(),
             stats: RouterStats::default(),
@@ -228,13 +376,38 @@ impl OdeRouter {
                 .expect("spawn router accept thread")
         };
 
+        let prober_handle = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("ode-router-prober".into())
+                .spawn(move || prober_loop(&shared))
+                .expect("spawn router prober thread")
+        };
+
         Ok(OdeRouter {
             addr,
             shared,
             conns,
             accept_handle: Some(accept_handle),
+            prober_handle: Some(prober_handle),
             workers,
         })
+    }
+
+    /// One shard's current membership as the prober sees it: the
+    /// primary address and its last probed epoch, then each replica
+    /// with its last probed epoch (`None` = unreachable).
+    pub fn shard_members(&self, shard: usize) -> (SocketAddr, u64, Vec<(SocketAddr, Option<u64>)>) {
+        let ms = self.shared.membership.shards[shard].lock();
+        (
+            ms.primary,
+            ms.primary_epoch,
+            ms.replicas
+                .iter()
+                .copied()
+                .zip(ms.replica_epochs.iter().copied())
+                .collect(),
+        )
     }
 
     /// The address the router is listening on.
@@ -264,6 +437,9 @@ impl OdeRouter {
         }
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.prober_handle.take() {
             let _ = handle.join();
         }
         for (_, stream) in self.conns.lock().drain() {
@@ -301,6 +477,125 @@ fn worker_loop(
 }
 
 // ---------------------------------------------------------------------------
+// Health probing and driven failover
+// ---------------------------------------------------------------------------
+
+/// The router's health loop: sample every member's epoch each tick,
+/// and drive a failover when a primary stays dead.
+fn prober_loop(shared: &RouterShared) {
+    loop {
+        for shard in 0..shared.map.shard_count() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            probe_shard(shared, shard);
+        }
+        // Chunked sleep so shutdown is prompt.
+        let deadline = Instant::now() + shared.config.probe_interval;
+        while Instant::now() < deadline {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+/// Dial a member and ask its applied epoch. A fresh connection per
+/// probe keeps liveness honest: a wedged node fails the dial, not just
+/// the request.
+fn probe_epoch(addr: SocketAddr, timeout: Duration) -> Option<u64> {
+    let config = ClientConfig {
+        read_timeout: Some(timeout),
+        write_timeout: Some(timeout),
+        retry_reads: false,
+    };
+    let mut client = OdeClient::connect(addr, config).ok()?;
+    client.epoch().ok()
+}
+
+fn probe_shard(shared: &RouterShared, shard: usize) {
+    let (primary, replicas) = {
+        let ms = shared.membership.shards[shard].lock();
+        (ms.primary, ms.replicas.clone())
+    };
+    let timeout = shared.config.connect_timeout.min(Duration::from_secs(1));
+    let replica_epochs: Vec<Option<u64>> = replicas
+        .iter()
+        .map(|&addr| probe_epoch(addr, timeout))
+        .collect();
+    let primary_epoch = probe_epoch(primary, timeout);
+    let drive_failover = {
+        let mut ms = shared.membership.shards[shard].lock();
+        // Membership may have moved under us (another failover path);
+        // only publish results for the set we probed.
+        if ms.primary == primary && ms.replicas == replicas {
+            ms.replica_epochs = replica_epochs;
+            match primary_epoch {
+                Some(e) => {
+                    ms.primary_epoch = e;
+                    ms.primary_failures = 0;
+                    false
+                }
+                None => {
+                    ms.primary_failures += 1;
+                    ms.primary_failures >= shared.config.failover_after
+                        && ms.replica_epochs.iter().any(Option::is_some)
+                }
+            }
+        } else {
+            false
+        }
+    };
+    if drive_failover {
+        attempt_failover(shared, shard);
+    }
+}
+
+/// Promote the most-caught-up live replica and install it as the
+/// shard's primary. During the promotion window every dial to the
+/// shard fails `Unavailable` (strictly no retry — a request that
+/// raced the old primary's death has an unknown outcome).
+fn attempt_failover(shared: &RouterShared, shard: usize) {
+    let (idx, addr, epoch) = {
+        let mut ms = shared.membership.shards[shard].lock();
+        let best = ms
+            .replica_epochs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.map(|e| (i, e)))
+            .max_by_key(|&(_, e)| e);
+        let Some((idx, epoch)) = best else { return };
+        ms.promoting = true;
+        (idx, ms.replicas[idx], epoch)
+    };
+    let timeout = shared.config.connect_timeout.min(Duration::from_secs(2));
+    let promoted = (|| {
+        let config = ClientConfig {
+            read_timeout: Some(timeout),
+            write_timeout: Some(timeout),
+            retry_reads: false,
+        };
+        OdeClient::connect(addr, config)?.promote()
+    })();
+    let mut ms = shared.membership.shards[shard].lock();
+    ms.promoting = false;
+    if promoted.is_ok() && ms.replicas.get(idx) == Some(&addr) {
+        let old = std::mem::replace(&mut ms.primary, addr);
+        ms.replicas.remove(idx);
+        ms.replica_epochs.remove(idx);
+        // The dead ex-primary stays listed as a (currently unreachable)
+        // replica: when it rejoins the shipping channel fences its
+        // unshipped tail and it starts answering probes again.
+        ms.replicas.push(old);
+        ms.replica_epochs.push(None);
+        ms.primary_epoch = epoch;
+        ms.primary_failures = 0;
+        shared.stats.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Routing and id translation
 // ---------------------------------------------------------------------------
 
@@ -329,6 +624,12 @@ fn route(req: Request, map: ShardMap, next_pnew: &AtomicU64) -> Route {
     let single = |shard, backend| Route::Single { shard, backend };
     match req {
         R::Ping => Route::Local(Response::Pong),
+        // Node-local requests: epochs are per shard (not comparable
+        // across the tier), read floors are pinned by the router
+        // itself, and promotion is the router's failover to drive.
+        R::Epoch | R::ReadFloor { .. } | R::Promote => Route::Local(Response::Err(
+            RemoteError::BadRequest("node-local request; connect to a node directly".into()),
+        )),
         R::Stats => Route::Gather {
             kind: GatherKind::Stats,
             original: R::Stats,
@@ -533,6 +834,9 @@ fn merge_stats(parts: Vec<StatsReport>) -> StatsReport {
         merged.storage.wal_syncs += part.storage.wal_syncs;
         merged.storage.group_syncs += part.storage.group_syncs;
         merged.storage.group_commit_txns += part.storage.group_commit_txns;
+        merged.storage.bytes_shipped += part.storage.bytes_shipped;
+        merged.storage.replica_lag_epochs += part.storage.replica_lag_epochs;
+        merged.storage.failovers += part.storage.failovers;
         // A max, not a sum: the largest cohort any one shard saw.
         merged.storage.group_batch_max = merged
             .storage
@@ -667,6 +971,9 @@ enum Pending {
     Single { client_seq: u64 },
     /// One part of a scatter.
     Part(Arc<Mutex<Gather>>),
+    /// Router-internal bookkeeping (the `ReadFloor` pin sent when a
+    /// replica-read connection opens): the response is swallowed.
+    Internal,
 }
 
 /// The correlation half of one session's connection to one shard.
@@ -714,13 +1021,39 @@ impl ShardSlot {
 
 /// Per-client-connection state, shared between the client-reader
 /// thread and the per-shard backend-reader threads.
+///
+/// Slots come in two banks of `shard_count` each: slot `s` is the
+/// session's *write* connection to shard `s`'s primary, slot
+/// `shard_count + s` its *read* connection (a replica when one is
+/// live, pinned by `ReadFloor`; otherwise the primary again).
 struct Session<'a> {
     shared: &'a RouterShared,
     slots: Vec<ShardSlot>,
+    /// Set once the session has written to a shard: its reads flip to
+    /// the primary bank forever (read-your-writes without cross-node
+    /// epoch bookkeeping).
+    wrote: Vec<AtomicBool>,
     client_writer: Mutex<BufWriter<TcpStream>>,
 }
 
 impl Session<'_> {
+    /// Which slot a request for `shard` should ride.
+    fn pick_slot(&self, shard: usize, is_read: bool) -> usize {
+        let n = self.shared.map.shard_count();
+        if is_read
+            && self.shared.config.replica_reads
+            && !self.wrote[shard].load(Ordering::Relaxed)
+            && self.shared.membership.has_live_replica(shard)
+        {
+            n + shard
+        } else {
+            if !is_read {
+                self.wrote[shard].store(true, Ordering::Relaxed);
+            }
+            shard
+        }
+    }
+
     /// Ship one response frame to the client. `flush` is the
     /// coalescing decision — callers pass `true` when they are about
     /// to block with nothing else to write.
@@ -774,9 +1107,11 @@ fn serve_session(shared: &RouterShared, stream: TcpStream) -> io::Result<()> {
         shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
         return Ok(());
     }
+    let n = shared.map.shard_count();
     let session = Session {
         shared,
-        slots: (0..shared.map.shard_count()).map(ShardSlot::new).collect(),
+        slots: (0..n * 2).map(ShardSlot::new).collect(),
+        wrote: (0..n).map(|_| AtomicBool::new(false)).collect(),
         client_writer: Mutex::new(BufWriter::new(stream)),
     };
     {
@@ -872,17 +1207,21 @@ fn client_loop<'scope, 'env>(
                 client_dirty = true;
             }
             Route::Single { shard, backend } => {
+                let slot = session.pick_slot(shard, backend.is_read());
                 let build = |bseq, out: &mut Vec<u8>| *out = backend.encode(bseq);
-                if route_single(scope, session, shard, seq, &mut scratch, build).forwarded() {
-                    dirty_slots[shard] = true;
+                if route_single(scope, session, slot, seq, &mut scratch, build).forwarded() {
+                    dirty_slots[slot] = true;
                 } else {
                     client_dirty = true;
                 }
             }
             Route::Gather { kind, original } => {
                 shared.stats.gathers.fetch_add(1, Ordering::Relaxed);
-                let gather = Arc::new(Mutex::new(Gather::new(seq, kind, session.slots.len())));
-                for (shard, dirty) in dirty_slots.iter_mut().enumerate() {
+                let shards = shared.map.shard_count();
+                let gather = Arc::new(Mutex::new(Gather::new(seq, kind, shards)));
+                // Scatters always hit the primary bank: a merged extent
+                // or stats report must not mix replica lag in.
+                for (shard, dirty) in dirty_slots.iter_mut().enumerate().take(shards) {
                     let backend = per_shard_request(&original, shared.map, shard);
                     match route_part(scope, session, shard, &backend, &mut scratch, &gather) {
                         Sent::Forwarded => *dirty = true,
@@ -920,11 +1259,12 @@ fn fast_forward<'scope, 'env>(
     if op == Opcode::Pnew {
         let n = map.shard_count() as u64;
         let shard = (shared.next_pnew_shard.fetch_add(1, Ordering::Relaxed) % n) as usize;
-        let sent = route_single(scope, session, shard, seq, scratch, |bseq, out| {
+        let slot = session.pick_slot(shard, false);
+        let sent = route_single(scope, session, slot, seq, scratch, |bseq, out| {
             varint::write_u64(out, bseq);
             out.extend_from_slice(&payload[seq_len..]);
         });
-        return Some((shard, sent));
+        return Some((slot, sent));
     }
 
     let oid_keyed = matches!(
@@ -954,6 +1294,15 @@ fn fast_forward<'scope, 'env>(
     if !oid_keyed && !vid_keyed {
         return None; // Ping, Stats, extent scans: slow path
     }
+    let is_read = !matches!(
+        op,
+        Opcode::Update
+            | Opcode::NewVersion
+            | Opcode::Pdelete
+            | Opcode::UpdateVersion
+            | Opcode::NewVersionFrom
+            | Opcode::PdeleteVersion
+    );
     let (id, id_len) = varint::read_u64(&payload[after_op..]).ok()?;
     let rest = &payload[after_op + id_len..];
     let (shard, backend_id) = if oid_keyed {
@@ -961,13 +1310,14 @@ fn fast_forward<'scope, 'env>(
     } else {
         (map.shard_of_vid(Vid(id)), map.backend_vid(Vid(id)).0)
     };
-    let sent = route_single(scope, session, shard, seq, scratch, |bseq, out| {
+    let slot = session.pick_slot(shard, is_read);
+    let sent = route_single(scope, session, slot, seq, scratch, |bseq, out| {
         varint::write_u64(out, bseq);
         out.push(op as u8);
         varint::write_u64(out, backend_id);
         out.extend_from_slice(rest);
     });
-    Some((shard, sent))
+    Some((slot, sent))
 }
 
 /// Outcome of trying to hand a request to a shard: either it is on the
@@ -991,7 +1341,7 @@ impl Sent {
 fn route_single<'scope, 'env>(
     scope: &'scope Scope<'scope, 'env>,
     session: &'env Session<'env>,
-    shard: usize,
+    slot: usize,
     client_seq: u64,
     scratch: &mut Vec<u8>,
     build: impl FnOnce(u64, &mut Vec<u8>),
@@ -999,7 +1349,7 @@ fn route_single<'scope, 'env>(
     forward(
         scope,
         session,
-        shard,
+        slot,
         scratch,
         build,
         Pending::Single { client_seq },
@@ -1044,17 +1394,17 @@ fn route_part<'scope, 'env>(
 fn forward<'scope, 'env>(
     scope: &'scope Scope<'scope, 'env>,
     session: &'env Session<'env>,
-    shard: usize,
+    slot_idx: usize,
     scratch: &mut Vec<u8>,
     build: impl FnOnce(u64, &mut Vec<u8>),
     pending: Pending,
     on_unavailable: impl FnOnce(&Session<'env>, RemoteError),
 ) -> Sent {
-    let slot = &session.slots[shard];
+    let slot = &session.slots[slot_idx];
     let bseq = {
         let mut ctl = slot.ctl.lock();
         if !ctl.alive {
-            if let Err(msg) = ensure_conn(scope, session, shard, &mut ctl) {
+            if let Err(msg) = ensure_conn(scope, session, slot_idx, &mut ctl) {
                 on_unavailable(session, RemoteError::Unavailable(msg));
                 return Sent::Answered;
             }
@@ -1069,6 +1419,13 @@ fn forward<'scope, 'env>(
         .stats
         .forwarded
         .fetch_add(1, Ordering::Relaxed);
+    if slot_idx >= session.shared.map.shard_count() {
+        session
+            .shared
+            .stats
+            .replica_reads
+            .fetch_add(1, Ordering::Relaxed);
+    }
     // The ctl lock is released: if the connection dies right here, the
     // failure path drains our pending entry and answers the client;
     // the writer below is then gone and we silently stand down.
@@ -1084,28 +1441,47 @@ fn forward<'scope, 'env>(
         }
     };
     if write_result.is_err() {
-        fail_slot(session, shard, "write to shard failed");
+        fail_slot(session, slot_idx, "write to shard failed");
     }
     Sent::Forwarded
 }
 
 /// Dial a dead slot's backend, handshake, and start its reader thread.
 /// Called with the slot's ctl lock held; on success the slot is alive.
+///
+/// The address comes from the shard's *current* membership: primary
+/// bank slots dial the primary, read bank slots a live replica (or the
+/// primary when none is up). A read-bank connection is pinned with a
+/// `ReadFloor` at the primary's last probed epoch before anything else
+/// rides it, so the replica can never answer from state older than the
+/// primary state the router has already observed.
 fn ensure_conn<'scope, 'env>(
     scope: &'scope Scope<'scope, 'env>,
     session: &'env Session<'env>,
-    shard: usize,
+    slot_idx: usize,
     ctl: &mut SlotCtl,
 ) -> Result<(), String> {
     let shared = session.shared;
+    let shard = slot_idx % shared.map.shard_count();
     if let Some(until) = ctl.down_until {
         if Instant::now() < until {
             return Err(format!("shard {shard} is in its reconnect-backoff window"));
         }
     }
+    if shared.membership.promoting(shard) {
+        // The promotion window: strictly no retry, the request's
+        // outcome on the dying primary is unknown.
+        return Err(format!("shard {shard} is failing over"));
+    }
+    let read_bank = slot_idx >= shared.map.shard_count();
+    let addr = if read_bank {
+        shared.membership.pick_read_addr(shard)
+    } else {
+        shared.membership.primary_addr(shard)
+    };
     let config = &shared.config;
     let dial = || -> io::Result<TcpStream> {
-        let stream = TcpStream::connect_timeout(&shared.backends[shard], config.connect_timeout)?;
+        let stream = TcpStream::connect_timeout(&addr, config.connect_timeout)?;
         stream.set_nodelay(true).ok();
         // Handshake under a deadline so a wedged backend can't hang
         // the whole session; cleared once the echo arrives.
@@ -1134,16 +1510,28 @@ fn ensure_conn<'scope, 'env>(
                 Ok(w) => w,
                 Err(e) => return Err(format!("shard {shard}: {e}")),
             };
-            *session.slots[shard].writer.lock() = Some(writer_half);
+            *session.slots[slot_idx].writer.lock() = Some(writer_half);
             ctl.alive = true;
             ctl.raw = Some(stream);
             ctl.failures = 0;
             ctl.down_until = None;
+            if read_bank {
+                let floor = shared.membership.primary_epoch(shard);
+                if floor > 0 {
+                    let bseq = ctl.next_bseq;
+                    ctl.next_bseq += 1;
+                    ctl.pending.insert(bseq, Pending::Internal);
+                    let frame = Request::ReadFloor { epoch: floor }.encode(bseq);
+                    if let Some(w) = session.slots[slot_idx].writer.lock().as_mut() {
+                        let _ = write_frame(w, &frame);
+                    }
+                }
+            }
             shared
                 .stats
                 .backend_connects
                 .fetch_add(1, Ordering::Relaxed);
-            scope.spawn(move || backend_reader(session, shard, reader_half));
+            scope.spawn(move || backend_reader(session, slot_idx, reader_half));
             Ok(())
         }
         Err(e) => {
@@ -1163,8 +1551,9 @@ fn ensure_conn<'scope, 'env>(
 /// Tear down one slot's connection: mark it dead, start the backoff
 /// clock, and answer every pending request with `Unavailable`. Safe to
 /// call from any thread; only the first caller acts.
-fn fail_slot(session: &Session<'_>, shard: usize, why: &str) {
-    let slot = &session.slots[shard];
+fn fail_slot(session: &Session<'_>, slot_idx: usize, why: &str) {
+    let shard = slot_idx % session.shared.map.shard_count();
+    let slot = &session.slots[slot_idx];
     let drained: Vec<(u64, Pending)> = {
         let mut ctl = slot.ctl.lock();
         if !ctl.alive {
@@ -1204,6 +1593,7 @@ fn fail_slot(session: &Session<'_>, shard: usize, why: &str) {
                     let _ = session.send_client(seq, &resp, false);
                 }
             }
+            Pending::Internal => {} // nothing owed to the client
         }
     }
     // The drained answers must not sit in the buffer: the client loop
@@ -1253,8 +1643,9 @@ fn retag_response(
 
 /// One shard connection's response pump: correlate each backend frame
 /// with its pending entry, translate ids, and answer the client.
-fn backend_reader(session: &Session<'_>, shard: usize, mut reader: BufReader<TcpStream>) {
+fn backend_reader(session: &Session<'_>, slot_idx: usize, mut reader: BufReader<TcpStream>) {
     let map = session.shared.map;
+    let shard = slot_idx % map.shard_count();
     // Reused across frames: the inbound payload and the re-tagged
     // outbound copy.
     let mut payload = Vec::new();
@@ -1263,7 +1654,7 @@ fn backend_reader(session: &Session<'_>, shard: usize, mut reader: BufReader<Tcp
         match read_frame_into(&mut reader, &mut payload) {
             Ok(true) => {}
             Ok(false) | Err(_) => {
-                fail_slot(session, shard, "connection lost");
+                fail_slot(session, slot_idx, "connection lost");
                 return;
             }
         };
@@ -1276,10 +1667,10 @@ fn backend_reader(session: &Session<'_>, shard: usize, mut reader: BufReader<Tcp
                 .stats
                 .protocol_errors
                 .fetch_add(1, Ordering::Relaxed);
-            fail_slot(session, shard, "undecodable response from shard");
+            fail_slot(session, slot_idx, "undecodable response from shard");
             return;
         };
-        let pending = session.slots[shard].ctl.lock().pending.remove(&bseq);
+        let pending = session.slots[slot_idx].ctl.lock().pending.remove(&bseq);
         // Flush only when this pump has nothing more buffered — mid
         // burst, later responses ride the same flush.
         let flush = reader.buffer().is_empty();
@@ -1306,9 +1697,10 @@ fn backend_reader(session: &Session<'_>, shard: usize, mut reader: BufReader<Tcp
                     .stats
                     .protocol_errors
                     .fetch_add(1, Ordering::Relaxed);
-                fail_slot(session, shard, "response with unknown sequence id");
+                fail_slot(session, slot_idx, "response with unknown sequence id");
                 return;
             }
+            Some(Pending::Internal) => {} // the `ReadFloor` pin's ack
             Some(Pending::Single { client_seq }) => {
                 // Fast path first: single-id shapes re-tag in place.
                 if retag_response(&payload, bseq_len, client_seq, map, shard, &mut retagged)
@@ -1329,7 +1721,7 @@ fn backend_reader(session: &Session<'_>, shard: usize, mut reader: BufReader<Tcp
                     Err(_) => {
                         let err = undecodable(session);
                         let _ = session.send_client(client_seq, &Response::Err(err), false);
-                        fail_slot(session, shard, "undecodable response from shard");
+                        fail_slot(session, slot_idx, "undecodable response from shard");
                         return;
                     }
                 }
@@ -1350,7 +1742,7 @@ fn backend_reader(session: &Session<'_>, shard: usize, mut reader: BufReader<Tcp
                     return;
                 }
                 if failed {
-                    fail_slot(session, shard, "undecodable response from shard");
+                    fail_slot(session, slot_idx, "undecodable response from shard");
                     return;
                 }
             }

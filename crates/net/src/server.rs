@@ -63,6 +63,12 @@ pub struct ServerConfig {
     /// Snapshot-cache capacity in responses per epoch; `0` disables the
     /// cache entirely.
     pub cache_entries: usize,
+    /// Start in replica mode: writes are refused with `Unavailable`
+    /// until a `Promote` request flips the node to primary.
+    pub replica: bool,
+    /// How long a read pinned by `ReadFloor` may wait for the node to
+    /// apply the floor epoch before failing with `Unavailable`.
+    pub read_floor_timeout: std::time::Duration,
 }
 
 impl Default for ServerConfig {
@@ -75,7 +81,35 @@ impl Default for ServerConfig {
             workers,
             pipeline_depth: 64,
             cache_entries: 4096,
+            replica: false,
+            read_floor_timeout: std::time::Duration::from_secs(5),
         }
+    }
+}
+
+/// Replication wiring, injected by whatever owns the node's shipping
+/// role (the cluster harness, or a standalone deployment script). The
+/// server itself stays ignorant of the replication transport.
+#[derive(Clone, Default)]
+pub struct ServerHooks {
+    /// Called after every committed write with the database's commit
+    /// epoch: a primary's semi-synchronous barrier (block until a
+    /// replica acked the epoch). The response frame is not sent until
+    /// this returns.
+    pub commit_wait: Option<Arc<dyn Fn(u64) + Send + Sync>>,
+    /// Called when a `Promote` request arrives on a replica, *instead
+    /// of* the default `Database::promote_to_primary` — so the owner
+    /// can also stop its tailing `ReplicaNode`, start a hub, etc.
+    /// Returning `Err` keeps the node a replica.
+    pub promote: Option<Arc<dyn Fn() -> std::result::Result<(), String> + Send + Sync>>,
+}
+
+impl std::fmt::Debug for ServerHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHooks")
+            .field("commit_wait", &self.commit_wait.is_some())
+            .field("promote", &self.promote.is_some())
+            .finish()
     }
 }
 
@@ -122,6 +156,9 @@ impl ServerStats {
                 group_syncs: storage.group_syncs,
                 group_commit_txns: storage.group_commit_txns,
                 group_batch_max: storage.group_batch_max,
+                bytes_shipped: storage.bytes_shipped,
+                replica_lag_epochs: storage.replica_lag_epochs,
+                failovers: storage.failovers,
             },
         }
     }
@@ -131,13 +168,25 @@ impl ServerStats {
 /// unblock a worker parked in a socket read.
 type ConnRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
 
+/// Everything a connection needs about the node it runs on, shared by
+/// all workers: the database, counters, cache, and the node's
+/// replication role.
+struct NodeCtx {
+    db: Arc<Database>,
+    stats: Arc<ServerStats>,
+    cache: Arc<SnapshotCache>,
+    /// `true` while this node is a replica (writes refused). Flipped to
+    /// `false` by a successful `Promote`.
+    replica: AtomicBool,
+    hooks: ServerHooks,
+    floor_timeout: std::time::Duration,
+}
+
 /// A running Ode network server.
 pub struct OdeServer {
     addr: SocketAddr,
-    db: Arc<Database>,
+    ctx: Arc<NodeCtx>,
     shutdown: Arc<AtomicBool>,
-    stats: Arc<ServerStats>,
-    cache: Arc<SnapshotCache>,
     conns: ConnRegistry,
     accept_handle: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -150,6 +199,17 @@ impl OdeServer {
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> io::Result<OdeServer> {
+        OdeServer::bind_with(db, addr, config, ServerHooks::default())
+    }
+
+    /// [`OdeServer::bind`] with replication hooks (commit barrier,
+    /// promote handler).
+    pub fn bind_with(
+        db: Arc<Database>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        hooks: ServerHooks,
+    ) -> io::Result<OdeServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -157,20 +217,26 @@ impl OdeServer {
         let cache = Arc::new(SnapshotCache::new(config.cache_entries));
         let conns: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
         let depth = config.pipeline_depth.max(1);
+        let ctx = Arc::new(NodeCtx {
+            db,
+            stats: Arc::clone(&stats),
+            cache,
+            replica: AtomicBool::new(config.replica),
+            hooks,
+            floor_timeout: config.read_floor_timeout,
+        });
 
         let (conn_tx, conn_rx) = mpsc::channel::<(u64, TcpStream)>();
         let conn_rx = Arc::new(Mutex::new(conn_rx));
 
         let workers = (0..config.workers.max(1))
             .map(|i| {
-                let db = Arc::clone(&db);
+                let ctx = Arc::clone(&ctx);
                 let rx = Arc::clone(&conn_rx);
-                let stats = Arc::clone(&stats);
-                let cache = Arc::clone(&cache);
                 let conns = Arc::clone(&conns);
                 thread::Builder::new()
                     .name(format!("ode-net-worker-{i}"))
-                    .spawn(move || worker_loop(&db, &rx, &stats, &cache, &conns, depth))
+                    .spawn(move || worker_loop(&ctx, &rx, &conns, depth))
                     .expect("spawn server worker thread")
             })
             .collect();
@@ -204,10 +270,8 @@ impl OdeServer {
 
         Ok(OdeServer {
             addr,
-            db,
+            ctx,
             shutdown,
-            stats,
-            cache,
             conns,
             accept_handle: Some(accept_handle),
             workers,
@@ -219,10 +283,15 @@ impl OdeServer {
         self.addr
     }
 
+    /// Whether this node currently refuses writes (replica role).
+    pub fn is_replica(&self) -> bool {
+        self.ctx.replica.load(Ordering::Acquire)
+    }
+
     /// A snapshot of the server's counters (the same data the `Stats`
     /// opcode serves remotely).
     pub fn stats(&self) -> StatsReport {
-        self.stats.report(&self.cache, &self.db)
+        self.ctx.stats.report(&self.ctx.cache, &self.ctx.db)
     }
 
     /// Stop accepting, unblock and close every live connection, and
@@ -258,10 +327,8 @@ impl Drop for OdeServer {
 }
 
 fn worker_loop(
-    db: &Database,
+    ctx: &NodeCtx,
     rx: &Mutex<mpsc::Receiver<(u64, TcpStream)>>,
-    stats: &ServerStats,
-    cache: &SnapshotCache,
     conns: &ConnRegistry,
     depth: usize,
 ) {
@@ -275,9 +342,9 @@ fn worker_loop(
         if let Ok(handle) = stream.try_clone() {
             conns.lock().unwrap().insert(id, handle);
         }
-        stats.active_connections.fetch_add(1, Ordering::Relaxed);
-        let _ = serve_connection(db, stream, stats, cache, depth);
-        stats.active_connections.fetch_sub(1, Ordering::Relaxed);
+        ctx.stats.active_connections.fetch_add(1, Ordering::Relaxed);
+        let _ = serve_connection(ctx, stream, depth);
+        ctx.stats.active_connections.fetch_sub(1, Ordering::Relaxed);
         conns.lock().unwrap().remove(&id);
     }
 }
@@ -339,13 +406,7 @@ fn seq_prefix_len(payload: &[u8]) -> usize {
 /// Run one connection's session to completion. Any `Err` return or
 /// protocol violation closes the connection; per-request operation
 /// failures are reported in error frames and the session continues.
-fn serve_connection(
-    db: &Database,
-    stream: TcpStream,
-    stats: &ServerStats,
-    cache: &SnapshotCache,
-    depth: usize,
-) -> io::Result<()> {
+fn serve_connection(ctx: &NodeCtx, stream: TcpStream, depth: usize) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let writer = Mutex::new(BufWriter::new(stream));
@@ -354,7 +415,7 @@ fn serve_connection(
     let mut magic = [0u8; 4];
     reader.read_exact(&mut magic)?;
     if magic != MAGIC {
-        stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        ctx.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
         return Ok(());
     }
     {
@@ -367,6 +428,10 @@ fn serve_connection(
     // non-zero the reader must not answer reads from the cache: a read
     // pipelined after a write has to observe that write.
     let pending_writes = AtomicU64::new(0);
+    // This connection's read floor (the `ReadFloor` opcode): reads wait
+    // until the node has applied at least this epoch. Per-connection,
+    // because it encodes one client session's read-your-writes horizon.
+    let read_floor = AtomicU64::new(0);
 
     let (job_tx, job_rx) = mpsc::sync_channel::<Job>(depth);
     thread::scope(|scope| {
@@ -375,17 +440,17 @@ fn serve_connection(
             .spawn_scoped(scope, {
                 let writer = &writer;
                 let pending_writes = &pending_writes;
-                move || executor_loop(db, job_rx, writer, stats, cache, pending_writes)
+                let read_floor = &read_floor;
+                move || executor_loop(ctx, job_rx, writer, pending_writes, read_floor)
             })
             .expect("spawn connection executor thread");
         let result = reader_loop(
-            db,
+            ctx,
             &mut reader,
             job_tx, // moved: dropping it on return stops the executor
             &writer,
-            stats,
-            cache,
             &pending_writes,
+            &read_floor,
         );
         let _ = executor.join();
         result
@@ -396,14 +461,14 @@ fn serve_connection(
 /// answers what it can immediately (`Ping`, `Stats`, cache hits,
 /// protocol errors), and queues the rest for the executor in order.
 fn reader_loop(
-    db: &Database,
+    ctx: &NodeCtx,
     reader: &mut BufReader<TcpStream>,
     job_tx: mpsc::SyncSender<Job>,
     writer: &Mutex<BufWriter<TcpStream>>,
-    stats: &ServerStats,
-    cache: &SnapshotCache,
     pending_writes: &AtomicU64,
+    read_floor: &AtomicU64,
 ) -> io::Result<()> {
+    let (db, stats, cache) = (&*ctx.db, &*ctx.stats, &*ctx.cache);
     // Both buffers live across iterations — frame payloads and
     // fast-path responses reuse one allocation each.
     let mut payload = Vec::new();
@@ -456,6 +521,18 @@ fn reader_loop(
                     &Response::Stats(stats.report(cache, db)),
                 )?;
             }
+            // The router's health probe: answered inline so a node busy
+            // with queued work still reports its epoch promptly.
+            Request::Epoch => {
+                respond(writer, stats, seq, &Response::Count(db.snapshot_epoch()))?;
+            }
+            // Set here, in stream order: every read decoded after this
+            // frame sees the new floor, exactly the read-your-writes
+            // contract the router relies on.
+            Request::ReadFloor { epoch } => {
+                read_floor.store(epoch, Ordering::Release);
+                respond(writer, stats, seq, &Response::Unit)?;
+            }
             request if request.is_read() => {
                 // The cache key is the request's operation bytes — the
                 // payload minus its sequence varint, borrowed straight
@@ -466,7 +543,8 @@ fn reader_loop(
                 // sampled here, after the gate: any commit acknowledged
                 // before this request was sent has already bumped it.
                 let mut looked_up = false;
-                if pending_writes.load(Ordering::Acquire) == 0 {
+                let floor = read_floor.load(Ordering::Acquire);
+                if pending_writes.load(Ordering::Acquire) == 0 && db.snapshot_epoch() >= floor {
                     if let Some(cached) = cache.lookup(db.snapshot_epoch(), op_bytes) {
                         // Wire-ready bytes: this caller's sequence id
                         // prefixed onto the stored encoded response.
@@ -507,13 +585,13 @@ fn reader_loop(
 /// The session's executing half: drains the job queue in order, runs
 /// each request against the database, and ships the response.
 fn executor_loop(
-    db: &Database,
+    ctx: &NodeCtx,
     job_rx: mpsc::Receiver<Job>,
     writer: &Mutex<BufWriter<TcpStream>>,
-    stats: &ServerStats,
-    cache: &SnapshotCache,
     pending_writes: &AtomicU64,
+    read_floor: &AtomicU64,
 ) {
+    let (db, stats, cache) = (&*ctx.db, &*ctx.stats, &*ctx.cache);
     loop {
         let job = match job_rx.try_recv() {
             Ok(job) => Some(job),
@@ -537,36 +615,90 @@ fn executor_loop(
         // caller-independent.
         let out: Vec<u8> = match job.key {
             Some(key) => {
-                // Sampled before the snapshot opens: a commit landing
-                // in between tags the fill with an already-stale epoch
-                // (a wasted entry, never a stale hit).
-                let epoch = db.snapshot_epoch();
-                let cached = if job.looked_up {
-                    None
+                // Replica read gate: a pinned connection's reads wait
+                // until this node has applied the floor epoch, and fail
+                // `Unavailable` (never answer from older state) when it
+                // stays behind past the timeout.
+                let floor = read_floor.load(Ordering::Acquire);
+                if floor > 0 && db.wait_for_epoch(floor, ctx.floor_timeout) < floor {
+                    stats.op_errors.fetch_add(1, Ordering::Relaxed);
+                    Response::Err(RemoteError::Unavailable(format!(
+                        "node at epoch {} has not applied read floor {floor}",
+                        db.snapshot_epoch()
+                    )))
+                    .encode(job.seq)
                 } else {
-                    cache.lookup(epoch, &key)
-                };
-                match cached {
-                    Some(cached) => {
-                        let mut out = Vec::with_capacity(10 + cached.len());
-                        ode_codec::varint::write_u64(&mut out, job.seq);
-                        out.extend_from_slice(&cached);
-                        out
-                    }
-                    None => match apply(db, job.request) {
-                        Ok(response) => {
-                            let out = response.encode(job.seq);
-                            cache.insert(epoch, key, Arc::from(&out[seq_prefix_len(&out)..]));
+                    // Sampled before the snapshot opens: a commit
+                    // landing in between tags the fill with an already-
+                    // stale epoch (a wasted entry, never a stale hit).
+                    let epoch = db.snapshot_epoch();
+                    let cached = if job.looked_up {
+                        None
+                    } else {
+                        cache.lookup(epoch, &key)
+                    };
+                    match cached {
+                        Some(cached) => {
+                            let mut out = Vec::with_capacity(10 + cached.len());
+                            ode_codec::varint::write_u64(&mut out, job.seq);
+                            out.extend_from_slice(&cached);
                             out
                         }
-                        Err(e) => {
-                            stats.op_errors.fetch_add(1, Ordering::Relaxed);
-                            Response::Err(RemoteError::from(&e)).encode(job.seq)
-                        }
-                    },
+                        None => match apply(db, job.request) {
+                            Ok(response) => {
+                                let out = response.encode(job.seq);
+                                cache.insert(epoch, key, Arc::from(&out[seq_prefix_len(&out)..]));
+                                out
+                            }
+                            Err(e) => {
+                                stats.op_errors.fetch_add(1, Ordering::Relaxed);
+                                Response::Err(RemoteError::from(&e)).encode(job.seq)
+                            }
+                        },
+                    }
                 }
             }
+            None if matches!(job.request, Request::Promote) => {
+                // Driven failover. Idempotent: promoting a primary is a
+                // no-op success.
+                let result = if !ctx.replica.load(Ordering::Acquire) {
+                    Ok(())
+                } else {
+                    match &ctx.hooks.promote {
+                        Some(hook) => hook(),
+                        None => ctx.db.promote_to_primary().map_err(|e| e.to_string()),
+                    }
+                };
+                match result {
+                    Ok(()) => {
+                        ctx.replica.store(false, Ordering::Release);
+                        Response::Unit.encode(job.seq)
+                    }
+                    Err(msg) => {
+                        stats.op_errors.fetch_add(1, Ordering::Relaxed);
+                        Response::Err(RemoteError::Storage(msg)).encode(job.seq)
+                    }
+                }
+            }
+            None if ctx.replica.load(Ordering::Acquire) => {
+                // Replicas are read-only; the router never routes
+                // writes here, so this is a client targeting the wrong
+                // node (or a promotion race) — strictly not retryable
+                // on this connection.
+                stats.op_errors.fetch_add(1, Ordering::Relaxed);
+                Response::Err(RemoteError::Unavailable(
+                    "replica is read-only (writes go to the primary)".into(),
+                ))
+                .encode(job.seq)
+            }
             None => apply(db, job.request)
+                .inspect(|_| {
+                    // Semi-synchronous barrier: hold the response
+                    // until a replica acked this commit's epoch.
+                    if let Some(wait) = &ctx.hooks.commit_wait {
+                        wait(db.snapshot_epoch());
+                    }
+                })
                 .unwrap_or_else(|e| {
                     stats.op_errors.fetch_add(1, Ordering::Relaxed);
                     Response::Err(RemoteError::from(&e))

@@ -268,6 +268,20 @@ impl BufferPool {
         Ok(())
     }
 
+    /// Drop every frame, dirty or clean, without write-back. Used when
+    /// the underlying file is wholesale replaced (a replica installing
+    /// a shipped snapshot): all cached state — including dirty pages —
+    /// describes the discarded store. The caller holds the snapshot
+    /// gate exclusively, so no reader can miss to the file mid-swap.
+    pub fn purge(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            let n = shard.frames.len();
+            shard.frames.clear();
+            self.resident.fetch_sub(n, Ordering::Relaxed);
+        }
+    }
+
     /// Remove everything from the pool (test aid; dirty pages must have
     /// been flushed first).
     pub fn clear(&self) {

@@ -44,4 +44,7 @@ pub use checksum::crc32;
 pub use error::{Result, StorageError};
 pub use gate::GateStats;
 pub use page::{PageBuf, PageId, PAGE_SIZE};
-pub use store::{PageRead, PageWrite, ReadTx, Store, StoreOptions, StoreStats, Tx};
+pub use store::{
+    IngestOutcome, PageRead, PageWrite, ReadTx, ReplSnapshot, Store, StoreOptions, StoreStats, Tx,
+    WalSpan,
+};

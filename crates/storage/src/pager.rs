@@ -108,6 +108,36 @@ impl Pager {
         Ok(())
     }
 
+    /// Replace the whole file with `bytes` (a snapshot of another
+    /// store's page file, installed by replication). The caller holds
+    /// the store's write lock *and* the snapshot gate exclusively, so
+    /// no reader can observe the half-replaced file.
+    pub fn replace_contents(&self, bytes: &[u8]) -> Result<()> {
+        if !bytes.len().is_multiple_of(PAGE_SIZE) {
+            return Err(StorageError::BadMagic);
+        }
+        self.file.set_len(bytes.len() as u64)?;
+        if !bytes.is_empty() {
+            self.write_all_at(bytes, 0)?;
+        }
+        self.file_pages
+            .store((bytes.len() / PAGE_SIZE) as u64, Ordering::Release);
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Read the raw bytes of the whole file (the shipping side of
+    /// [`Pager::replace_contents`]). The caller serializes against
+    /// writers; concurrent positional reads are unaffected.
+    pub fn raw_contents(&self) -> Result<Vec<u8>> {
+        let len = (self.file_pages() as usize) * PAGE_SIZE;
+        let mut buf = vec![0u8; len];
+        if len > 0 {
+            self.read_exact_at(&mut buf, 0)?;
+        }
+        Ok(buf)
+    }
+
     /// fsync the file.
     pub fn sync(&self) -> Result<()> {
         self.file.sync_data()?;

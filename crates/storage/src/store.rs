@@ -51,8 +51,8 @@ use crate::gate::SnapshotGate;
 use crate::page::{PageBuf, PageId, PageKind, PAGE_SIZE};
 use crate::pager::Pager;
 use crate::wal::{
-    committed_changes, delta_payload_len, page_diff_ops, CommittedChange, Wal, WalRecord,
-    WalSyncHandle,
+    committed_changes, delta_payload_len, page_diff_ops, CommittedChange, FrameScanner, Wal,
+    WalRecord, WalSyncHandle,
 };
 use crate::{Result, StorageError};
 
@@ -144,6 +144,15 @@ pub struct StoreStats {
     pub group_commit_txns: u64,
     /// Largest commit cohort one group fsync covered.
     pub group_batch_max: u64,
+    /// WAL bytes shipped to replicas (primary side; counted by the
+    /// replication hub via [`Store::note_bytes_shipped`]).
+    pub bytes_shipped: u64,
+    /// Current replica lag in epochs: the primary's epoch minus the
+    /// slowest connected replica's acked epoch (a gauge, set by the
+    /// replication hub; 0 with no replicas or when caught up).
+    pub replica_lag_epochs: u64,
+    /// Times this store was promoted from replica to primary.
+    pub failovers: u64,
 }
 
 #[derive(Default)]
@@ -156,6 +165,9 @@ struct Counters {
     group_syncs: AtomicU64,
     group_commit_txns: AtomicU64,
     group_batch_max: AtomicU64,
+    bytes_shipped: AtomicU64,
+    replica_lag_epochs: AtomicU64,
+    failovers: AtomicU64,
 }
 
 /// State reachable only through the store's write mutex.
@@ -166,8 +178,126 @@ struct WriteState {
     /// `wal.len()` this survives checkpoint resets, so it can serve as a
     /// group-commit sync target.
     logical_pos: u64,
+    /// Logical position of the start of the current WAL file (invariant:
+    /// `base_pos == logical_pos - wal.len()`). The shipping coordinate:
+    /// a replica asking for bytes below `base_pos` needs a fresh
+    /// snapshot, because a checkpoint already recycled that span.
+    base_pos: u64,
     /// Monotone count of committed (non-empty) write transactions.
     commit_seq: u64,
+    /// Replication apply state, present once this store has ingested
+    /// shipped WAL bytes (i.e. it is acting as a replica).
+    apply: Option<ReplApply>,
+}
+
+/// One page change buffered while a shipped transaction is still open
+/// (its Commit record has not arrived yet).
+enum PendingChange {
+    Image(PageId, Vec<u8>),
+    Delta(PageId, Vec<(u32, Vec<u8>)>),
+}
+
+/// Incremental replica apply state: shipped bytes land in the local WAL
+/// verbatim, a [`FrameScanner`] re-frames them, and complete *commits*
+/// are published under the snapshot gate one epoch bump apiece — the
+/// same per-commit atomicity the primary's own commit path provides.
+struct ReplApply {
+    scanner: FrameScanner,
+    /// Page changes of transactions whose Commit has not arrived.
+    open: HashMap<u64, Vec<PendingChange>>,
+    /// Physical WAL offset just past the last *applied* commit record.
+    /// Promotion fences here: everything after it was shipped but never
+    /// committed on this replica, so it must not survive into the new
+    /// primary's log (a recycled tx id could otherwise resurrect it).
+    applied_wal_off: u64,
+    /// Highest transaction id seen in the shipped stream.
+    max_tx: u64,
+}
+
+/// Result of one [`Store::replica_ingest`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// Commits applied (and epochs advanced) by this ingest.
+    pub commits_applied: u64,
+    /// The store's epoch after applying.
+    pub epoch: u64,
+}
+
+/// A point-in-time copy of the store for bootstrapping a replica.
+pub struct ReplSnapshot {
+    /// Raw bytes of the (just-checkpointed) page file.
+    pub db_bytes: Vec<u8>,
+    /// Logical WAL position the snapshot corresponds to; shipping
+    /// resumes from here.
+    pub base_pos: u64,
+    /// Commit epoch of the snapshotted state.
+    pub epoch: u64,
+}
+
+/// One answer from [`Store::read_wal_span`].
+pub enum WalSpan {
+    /// Raw WAL bytes starting at the requested logical position.
+    Data(Vec<u8>),
+    /// Nothing shippable past the requested position yet.
+    AtEnd,
+    /// The requested position predates the current WAL file (a
+    /// checkpoint recycled it) or postdates this store's stream (a
+    /// fenced ex-primary asking to resume past a divergence): the
+    /// replica needs a fresh snapshot.
+    SnapshotNeeded,
+}
+
+/// A monotone watermark with waiters (shipped-position and applied-epoch
+/// signals). `Mutex<u64>` + std `Condvar` compose because the vendored
+/// parking_lot guard *is* the std guard type (see the note on
+/// [`GroupCommit`]).
+struct Watermark {
+    value: Mutex<u64>,
+    cv: std::sync::Condvar,
+}
+
+impl Watermark {
+    fn new(value: u64) -> Watermark {
+        Watermark {
+            value: Mutex::new(value),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    fn get(&self) -> u64 {
+        *self.value.lock()
+    }
+
+    /// Raise the watermark (monotone; lower values are ignored).
+    fn advance(&self, to: u64) {
+        let mut v = self.value.lock();
+        if to > *v {
+            *v = to;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Wait until the watermark exceeds `past` or `timeout` elapses;
+    /// returns the current value either way.
+    fn wait_past(&self, past: u64, timeout: Duration) -> u64 {
+        let deadline = Instant::now() + timeout;
+        let mut v = self.value.lock();
+        while *v <= past {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, res) = self
+                .cv
+                .wait_timeout(v, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            v = guard;
+            if res.timed_out() {
+                break;
+            }
+        }
+        *v
+    }
 }
 
 /// Leader/follower group-commit coordinator.
@@ -308,6 +438,16 @@ pub struct Store {
     /// commit. Readers stamp their snapshot with the value sampled
     /// after entering the gate.
     epoch: AtomicU64,
+    /// Highest logical WAL position safe to ship to replicas: bytes at
+    /// or below it are durable per this store's durability model
+    /// (fsynced, group-synced, or merely appended when
+    /// `sync_on_commit` is off — the caller opted out of durability, so
+    /// shipping follows suit).
+    ship: Watermark,
+    /// The epoch as a waitable watermark (advanced after every publish),
+    /// so a replica server can block a floor-pinned read until the apply
+    /// stream catches up.
+    applied: Watermark,
     counters: Counters,
     options: StoreOptions,
     db_path: PathBuf,
@@ -427,18 +567,23 @@ impl Store {
     fn assemble(pager: Pager, wal: Wal, options: StoreOptions, db_path: PathBuf) -> Result<Store> {
         let handle = wal.sync_handle()?;
         let window = options.group_commit_window;
+        let logical_pos = wal.len();
         Ok(Store {
             pool: BufferPool::new(options.buffer_pages),
             pager,
             write: Mutex::new(WriteState {
-                logical_pos: wal.len(),
+                logical_pos,
                 wal,
                 next_tx: 1,
+                base_pos: 0,
                 commit_seq: 0,
+                apply: None,
             }),
             gate: SnapshotGate::new(),
             group: GroupCommit::new(handle, window),
             epoch: AtomicU64::new(1),
+            ship: Watermark::new(logical_pos),
+            applied: Watermark::new(1),
             counters: Counters::default(),
             options,
             db_path,
@@ -531,8 +676,10 @@ impl Store {
         self.pool.flush_all(&self.pager)?;
         self.pager.sync()?;
         ws.wal.reset()?;
+        ws.base_pos = ws.logical_pos;
         // Every appended commit is now durable via the database file.
         self.group.mark_all_synced();
+        self.ship.advance(ws.logical_pos);
         Ok(())
     }
 
@@ -562,7 +709,250 @@ impl Store {
             group_syncs: self.counters.group_syncs.load(Ordering::Relaxed),
             group_commit_txns: self.counters.group_commit_txns.load(Ordering::Relaxed),
             group_batch_max: self.counters.group_batch_max.load(Ordering::Relaxed),
+            bytes_shipped: self.counters.bytes_shipped.load(Ordering::Relaxed),
+            replica_lag_epochs: self.counters.replica_lag_epochs.load(Ordering::Relaxed),
+            failovers: self.counters.failovers.load(Ordering::Relaxed),
         }
+    }
+
+    // -- replication tap -----------------------------------------------------
+    //
+    // The primary side ships the WAL as an opaque byte stream
+    // ([`Store::repl_snapshot`] + [`Store::read_wal_span`], paced by
+    // [`Store::wait_shippable`]); the replica side lands those bytes
+    // verbatim and applies complete commits under the snapshot gate
+    // ([`Store::replica_install_snapshot`] + [`Store::replica_ingest`]).
+    // Promotion ([`Store::promote_to_primary`]) fences the log at the
+    // last applied commit and reopens the store for writes.
+
+    /// Checkpoint and copy the page file for bootstrapping a replica.
+    /// Returns the raw file bytes plus the logical WAL position and
+    /// epoch they correspond to; shipping resumes from `base_pos`.
+    pub fn repl_snapshot(&self) -> Result<ReplSnapshot> {
+        let mut ws = self.lock_write();
+        // After the checkpoint the file alone is the whole committed
+        // state and the WAL is empty, so `base_pos == logical_pos`.
+        self.checkpoint_locked(&mut ws)?;
+        let db_bytes = self.pager.raw_contents()?;
+        Ok(ReplSnapshot {
+            db_bytes,
+            base_pos: ws.logical_pos,
+            epoch: self.epoch(),
+        })
+    }
+
+    /// Read up to `max` shippable WAL bytes starting at logical
+    /// position `from`. Only durable bytes (per [`StoreOptions`]) are
+    /// served, so a replica can never hold commits the primary might
+    /// lose in a crash.
+    pub fn read_wal_span(&self, from: u64, max: usize) -> Result<WalSpan> {
+        let shippable = self.ship.get();
+        let mut ws = self.lock_write();
+        if from < ws.base_pos || from > ws.logical_pos {
+            return Ok(WalSpan::SnapshotNeeded);
+        }
+        let end = shippable.min(ws.logical_pos);
+        if from >= end {
+            return Ok(WalSpan::AtEnd);
+        }
+        let len = ((end - from) as usize).min(max);
+        let phys = from - ws.base_pos;
+        let bytes = ws.wal.read_span(phys, len)?;
+        if bytes.is_empty() {
+            return Ok(WalSpan::AtEnd);
+        }
+        Ok(WalSpan::Data(bytes))
+    }
+
+    /// Block until some WAL byte past logical position `from` is
+    /// shippable, or `timeout` elapses. Returns the current shippable
+    /// watermark either way.
+    pub fn wait_shippable(&self, from: u64, timeout: Duration) -> u64 {
+        self.ship.wait_past(from, timeout)
+    }
+
+    /// Block until the applied epoch reaches at least `floor`, or
+    /// `timeout` elapses. Returns the epoch either way. This is the
+    /// server-side half of read-your-writes on a replica: a read pinned
+    /// at epoch E waits here instead of returning older state.
+    pub fn wait_for_epoch(&self, floor: u64, timeout: Duration) -> u64 {
+        if floor == 0 {
+            return self.epoch();
+        }
+        self.applied.wait_past(floor - 1, timeout)
+    }
+
+    /// Install a snapshot shipped from a primary, discarding this
+    /// store's entire current state (both bootstrap and mid-stream
+    /// resync after falling behind a checkpoint). Readers in flight
+    /// keep their pinned pages; new snapshots see the installed state.
+    pub fn replica_install_snapshot(
+        &self,
+        db_bytes: &[u8],
+        base_pos: u64,
+        epoch: u64,
+    ) -> Result<()> {
+        let mut ws = self.lock_write();
+        {
+            // Exclusive gate for the whole swap: a concurrent reader
+            // missing to the file mid-replace would otherwise read a
+            // torn page.
+            let _publish = self.gate.write();
+            self.pager.replace_contents(db_bytes)?;
+            self.pool.purge();
+            self.epoch.store(epoch, Ordering::Release);
+        }
+        ws.wal.reset()?;
+        ws.logical_pos = base_pos;
+        ws.base_pos = base_pos;
+        ws.apply = None;
+        ws.next_tx = 1;
+        self.group.mark_all_synced();
+        self.applied.advance(epoch);
+        self.ship.advance(base_pos);
+        Ok(())
+    }
+
+    /// Ingest raw shipped WAL bytes: land them in the local log
+    /// verbatim, then apply every complete *commit* they finish, one
+    /// epoch bump per commit, under the snapshot gate. Bytes ending
+    /// mid-frame (or mid-transaction) stay buffered until the next
+    /// call.
+    pub fn replica_ingest(&self, bytes: &[u8]) -> Result<IngestOutcome> {
+        let mut ws = self.lock_write();
+        if ws.apply.is_none() {
+            ws.apply = Some(ReplApply {
+                scanner: FrameScanner::new(),
+                open: HashMap::new(),
+                applied_wal_off: ws.wal.len(),
+                max_tx: 0,
+            });
+        }
+        ws.wal.append_raw(bytes)?;
+        if self.options.sync_on_commit {
+            ws.wal.sync()?;
+            self.counters.wal_syncs.fetch_add(1, Ordering::Relaxed);
+        }
+        ws.logical_pos += bytes.len() as u64;
+        let wal_len = ws.wal.len();
+        let apply = ws.apply.as_mut().expect("apply state just ensured");
+        apply.scanner.push(bytes);
+        let mut commits_applied = 0u64;
+        while let Some(record) = apply.scanner.next_record()? {
+            match record {
+                WalRecord::Begin { tx } => {
+                    apply.max_tx = apply.max_tx.max(tx);
+                    apply.open.insert(tx, Vec::new());
+                }
+                WalRecord::Page { tx, page, image } => {
+                    apply.max_tx = apply.max_tx.max(tx);
+                    apply
+                        .open
+                        .entry(tx)
+                        .or_default()
+                        .push(PendingChange::Image(PageId(page), image));
+                }
+                WalRecord::PageDelta { tx, page, ops } => {
+                    apply.max_tx = apply.max_tx.max(tx);
+                    apply
+                        .open
+                        .entry(tx)
+                        .or_default()
+                        .push(PendingChange::Delta(PageId(page), ops));
+                }
+                WalRecord::Commit { tx } => {
+                    apply.max_tx = apply.max_tx.max(tx);
+                    let changes = apply.open.remove(&tx).unwrap_or_default();
+                    let epoch = {
+                        let _publish = self.gate.write();
+                        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+                        for change in changes {
+                            match change {
+                                PendingChange::Image(id, image) => {
+                                    let page = PageBuf::from_vec(image)
+                                        .ok_or(StorageError::WalCorrupt { offset: 0 })?;
+                                    self.pool.publish(id, Arc::new(page), true, epoch);
+                                }
+                                PendingChange::Delta(id, ops) => {
+                                    // Base = current committed image, or
+                                    // zeroes for a page that does not
+                                    // exist yet (fresh allocations diff
+                                    // against zero on the primary).
+                                    let base = self
+                                        .fetch(id)
+                                        .map(|arc| (*arc).clone())
+                                        .unwrap_or_else(|_| PageBuf::zeroed());
+                                    let mut page = base;
+                                    for (offset, bytes) in ops {
+                                        let start = offset as usize;
+                                        let end = start + bytes.len();
+                                        if end > PAGE_SIZE {
+                                            return Err(StorageError::WalCorrupt { offset: 0 });
+                                        }
+                                        page.as_bytes_mut()[start..end].copy_from_slice(&bytes);
+                                    }
+                                    self.pool.publish(id, Arc::new(page), true, epoch);
+                                }
+                            }
+                        }
+                        epoch
+                    };
+                    self.applied.advance(epoch);
+                    self.counters.write_txs.fetch_add(1, Ordering::Relaxed);
+                    apply.applied_wal_off = wal_len - apply.scanner.pending() as u64;
+                    commits_applied += 1;
+                }
+            }
+        }
+        // Checkpoint only at a clean point (everything ingested is
+        // applied): resetting the log mid-frame would desync the
+        // on-disk log from the scanner.
+        let clean = apply.scanner.pending() == 0 && apply.applied_wal_off == wal_len;
+        if clean && (wal_len > self.options.checkpoint_wal_bytes || self.pool.over_target()) {
+            self.checkpoint_locked(&mut ws)?;
+            let apply = ws.apply.as_mut().expect("apply state survives checkpoint");
+            apply.applied_wal_off = 0;
+        }
+        Ok(IngestOutcome {
+            commits_applied,
+            epoch: self.epoch(),
+        })
+    }
+
+    /// Promote a replica to primary: truncate the local log at the last
+    /// *applied* commit (the fencing rule — shipped-but-uncommitted
+    /// bytes must not survive, or a recycled tx id could resurrect
+    /// them), resume tx ids past everything seen in the stream, and
+    /// count the failover. Idempotent; a store that never ingested is
+    /// left unchanged.
+    pub fn promote_to_primary(&self) -> Result<()> {
+        let mut ws = self.lock_write();
+        let Some(apply) = ws.apply.take() else {
+            return Ok(());
+        };
+        ws.wal.truncate_tail(apply.applied_wal_off)?;
+        ws.logical_pos = ws.base_pos + ws.wal.len();
+        ws.next_tx = ws.next_tx.max(apply.max_tx + 1);
+        self.ship.advance(ws.logical_pos);
+        self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Whether this store currently holds replica apply state.
+    pub fn is_replica_target(&self) -> bool {
+        self.lock_write().apply.is_some()
+    }
+
+    /// Count WAL bytes shipped to replicas (called by the hub).
+    pub fn note_bytes_shipped(&self, n: u64) {
+        self.counters.bytes_shipped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record the current worst replica lag in epochs (a gauge).
+    pub fn set_replica_lag_epochs(&self, lag: u64) {
+        self.counters
+            .replica_lag_epochs
+            .store(lag, Ordering::Relaxed);
     }
 }
 
@@ -691,19 +1081,25 @@ impl Tx<'_> {
             // Publish: under the gate's exclusive side, bump the epoch
             // and install every after-image. From here the commit is
             // visible to new snapshots as one atomic step.
-            {
+            let epoch = {
                 let _publish = store.gate.write();
                 let epoch = store.epoch.fetch_add(1, Ordering::AcqRel) + 1;
                 for &id in &self.order {
                     let image = self.pages.remove(&id.0).expect("ordered page in write set");
                     store.pool.publish(id, Arc::new(image), true, epoch);
                 }
-            }
+                epoch
+            };
+            store.applied.advance(epoch);
             store.counters.write_txs.fetch_add(1, Ordering::Relaxed);
 
             if grouped {
                 store.group.register(ws.logical_pos, ws.commit_seq);
                 group_target = Some(ws.logical_pos);
+            } else {
+                // Inline-synced (or durability opted out): this commit's
+                // bytes are shippable right now.
+                store.ship.advance(ws.logical_pos);
             }
         }
         if ws.wal.len() > store.options.checkpoint_wal_bytes || store.pool.over_target() {
@@ -717,6 +1113,7 @@ impl Tx<'_> {
         drop(ws);
         if let Some(target) = group_target {
             store.group.sync_to(target, &store.counters)?;
+            store.ship.advance(target);
         }
         Ok(())
     }
@@ -1282,6 +1679,185 @@ mod tests {
         assert!(stats.group_batch_max >= 1);
         drop(store);
         cleanup(&path);
+    }
+
+    /// Drive one full shipping cycle between two in-process stores:
+    /// snapshot bootstrap, then tail spans in `chunk`-byte pieces.
+    fn ship_all(primary: &Store, replica: &Store, from: &mut u64, chunk: usize) {
+        loop {
+            match primary.read_wal_span(*from, chunk).unwrap() {
+                WalSpan::Data(bytes) => {
+                    *from += bytes.len() as u64;
+                    replica.replica_ingest(&bytes).unwrap();
+                }
+                WalSpan::AtEnd => break,
+                WalSpan::SnapshotNeeded => {
+                    let snap = primary.repl_snapshot().unwrap();
+                    replica
+                        .replica_install_snapshot(&snap.db_bytes, snap.base_pos, snap.epoch)
+                        .unwrap();
+                    *from = snap.base_pos;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_and_tail_replicate_state_and_epoch() {
+        let p_path = temp_db("repl-primary");
+        let r_path = temp_db("repl-replica");
+        let primary = Store::create(&p_path, StoreOptions::default()).unwrap();
+        let replica = Store::create(&r_path, StoreOptions::default()).unwrap();
+        let id = {
+            let mut tx = primary.begin();
+            let id = tx.allocate(PageKind::Heap).unwrap();
+            tx.page_mut(id).unwrap().payload_mut()[0] = 1;
+            tx.set_root(0, id.0).unwrap();
+            tx.commit().unwrap();
+            id
+        };
+        // Bootstrap: snapshot carries the first commit.
+        let snap = primary.repl_snapshot().unwrap();
+        replica
+            .replica_install_snapshot(&snap.db_bytes, snap.base_pos, snap.epoch)
+            .unwrap();
+        assert_eq!(replica.epoch(), primary.epoch());
+        let mut pos = snap.base_pos;
+        // Tail: more commits, shipped in deliberately tiny spans so
+        // frames split across ingests.
+        for i in 2..30u8 {
+            let mut tx = primary.begin();
+            tx.page_mut(id).unwrap().payload_mut()[0] = i;
+            tx.commit().unwrap();
+            ship_all(&primary, &replica, &mut pos, 11);
+        }
+        assert_eq!(replica.epoch(), primary.epoch());
+        let mut r = replica.read();
+        let rid = PageId(r.root(0).unwrap());
+        assert_eq!(rid, id);
+        assert_eq!(r.page(rid).unwrap().payload()[0], 29);
+        drop(r);
+        cleanup(&p_path);
+        cleanup(&r_path);
+    }
+
+    #[test]
+    fn checkpointed_primary_forces_snapshot_resync() {
+        let p_path = temp_db("repl-ckpt-p");
+        let r_path = temp_db("repl-ckpt-r");
+        let primary = Store::create(&p_path, StoreOptions::default()).unwrap();
+        let replica = Store::create(&r_path, StoreOptions::default()).unwrap();
+        let snap = primary.repl_snapshot().unwrap();
+        replica
+            .replica_install_snapshot(&snap.db_bytes, snap.base_pos, snap.epoch)
+            .unwrap();
+        let mut pos = snap.base_pos;
+        let id = {
+            let mut tx = primary.begin();
+            let id = tx.allocate(PageKind::Heap).unwrap();
+            tx.page_mut(id).unwrap().payload_mut()[0] = 7;
+            tx.commit().unwrap();
+            id
+        };
+        // The replica never sees that commit before a checkpoint
+        // recycles the WAL; its position is now below base_pos.
+        primary.checkpoint().unwrap();
+        assert!(matches!(
+            primary.read_wal_span(pos, 4096).unwrap(),
+            WalSpan::SnapshotNeeded
+        ));
+        ship_all(&primary, &replica, &mut pos, 4096);
+        assert_eq!(replica.epoch(), primary.epoch());
+        let mut r = replica.read();
+        assert_eq!(r.page(id).unwrap().payload()[0], 7);
+        drop(r);
+        cleanup(&p_path);
+        cleanup(&r_path);
+    }
+
+    #[test]
+    fn promotion_fences_unapplied_tail_and_resumes_writes() {
+        let p_path = temp_db("repl-fence-p");
+        let r_path = temp_db("repl-fence-r");
+        let primary = Store::create(&p_path, StoreOptions::default()).unwrap();
+        let replica = Store::create(&r_path, StoreOptions::default()).unwrap();
+        let snap = primary.repl_snapshot().unwrap();
+        replica
+            .replica_install_snapshot(&snap.db_bytes, snap.base_pos, snap.epoch)
+            .unwrap();
+        let mut pos = snap.base_pos;
+        let id = {
+            let mut tx = primary.begin();
+            let id = tx.allocate(PageKind::Heap).unwrap();
+            tx.page_mut(id).unwrap().payload_mut()[0] = 1;
+            tx.commit().unwrap();
+            id
+        };
+        ship_all(&primary, &replica, &mut pos, 4096);
+        // Second commit ships only partially: the replica holds its
+        // Begin+Page bytes but never the Commit.
+        {
+            let mut tx = primary.begin();
+            tx.page_mut(id).unwrap().payload_mut()[0] = 2;
+            tx.commit().unwrap();
+        }
+        if let WalSpan::Data(bytes) = primary.read_wal_span(pos, 4096).unwrap() {
+            let half = bytes.len() / 2;
+            replica.replica_ingest(&bytes[..half]).unwrap();
+        } else {
+            panic!("expected shippable bytes");
+        }
+        let pre_promote_epoch = replica.epoch();
+        replica.promote_to_primary().unwrap();
+        assert_eq!(replica.stats().failovers, 1);
+        // The half-shipped transaction is fenced out: state and epoch
+        // unchanged, and the log replays cleanly after a crash.
+        assert_eq!(replica.epoch(), pre_promote_epoch);
+        {
+            let mut tx = replica.begin();
+            tx.page_mut(id).unwrap().payload_mut()[0] = 9;
+            tx.commit().unwrap();
+        }
+        std::mem::forget(replica); // crash the new primary: WAL only
+        let reopened = Store::open(&r_path, StoreOptions::default()).unwrap();
+        let mut r = reopened.read();
+        assert_eq!(r.page(id).unwrap().payload()[0], 9);
+        drop(r);
+        drop(reopened);
+        cleanup(&p_path);
+        cleanup(&r_path);
+    }
+
+    #[test]
+    fn wait_for_epoch_blocks_until_apply_catches_up() {
+        let p_path = temp_db("repl-wait-p");
+        let r_path = temp_db("repl-wait-r");
+        let primary = Store::create(&p_path, StoreOptions::default()).unwrap();
+        let replica = Store::create(&r_path, StoreOptions::default()).unwrap();
+        let snap = primary.repl_snapshot().unwrap();
+        replica
+            .replica_install_snapshot(&snap.db_bytes, snap.base_pos, snap.epoch)
+            .unwrap();
+        let mut pos = snap.base_pos;
+        {
+            let mut tx = primary.begin();
+            let id = tx.allocate(PageKind::Heap).unwrap();
+            tx.page_mut(id).unwrap().payload_mut()[0] = 3;
+            tx.commit().unwrap();
+        }
+        let floor = primary.epoch();
+        // Lagging replica times out below the floor...
+        assert!(replica.wait_for_epoch(floor, Duration::from_millis(20)) < floor);
+        // ...and a waiter wakes as soon as the apply stream catches up.
+        std::thread::scope(|scope| {
+            let replica = &replica;
+            let waiter =
+                scope.spawn(move || replica.wait_for_epoch(floor, Duration::from_secs(10)));
+            ship_all(&primary, replica, &mut pos, 4096);
+            assert!(waiter.join().unwrap() >= floor);
+        });
+        cleanup(&p_path);
+        cleanup(&r_path);
     }
 
     #[test]

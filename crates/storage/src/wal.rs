@@ -111,6 +111,35 @@ impl Wal {
         Ok(())
     }
 
+    /// Append raw, already-framed log bytes (replication apply path: a
+    /// replica receives byte-exact spans of the primary's log and lands
+    /// them verbatim, so both logs agree on every frame boundary and
+    /// physical position). The bytes are not validated here — the
+    /// receiver parses them with a [`FrameScanner`] before trusting
+    /// their contents.
+    pub fn append_raw(&mut self, bytes: &[u8]) -> Result<()> {
+        self.file.seek(SeekFrom::Start(self.write_pos))?;
+        self.file.write_all(bytes)?;
+        self.write_pos += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Read up to `max` raw bytes of the log starting at `offset`
+    /// (clamped to the current append position). Used by the shipping
+    /// path to stream the log as an opaque byte sequence; frame
+    /// boundaries are irrelevant here because the receiver reassembles
+    /// them with a [`FrameScanner`].
+    pub fn read_span(&mut self, offset: u64, max: usize) -> Result<Vec<u8>> {
+        if offset >= self.write_pos {
+            return Ok(Vec::new());
+        }
+        let len = ((self.write_pos - offset) as usize).min(max);
+        let mut buf = vec![0u8; len];
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
     /// fsync the log.
     pub fn sync(&mut self) -> Result<()> {
         self.file.sync_data()?;
@@ -201,6 +230,78 @@ impl WalSyncHandle {
     pub fn sync(&self) -> Result<()> {
         self.file.sync_data()?;
         Ok(())
+    }
+}
+
+/// Incremental frame parser over a log byte stream.
+///
+/// A replica feeds raw shipped spans in with [`FrameScanner::push`] and
+/// drains complete records with [`FrameScanner::next_record`]; a span
+/// ending mid-frame simply leaves a partial tail buffered until the
+/// next push. Unlike [`Wal::records`], a CRC mismatch on a *complete*
+/// frame is a hard error here: the stream is a byte-exact copy of
+/// frames the primary already fsynced intact, so a bad frame means the
+/// transport (not a crash) corrupted it.
+#[derive(Debug, Default)]
+pub struct FrameScanner {
+    buf: Vec<u8>,
+    /// Bytes consumed as complete frames since construction.
+    consumed: u64,
+}
+
+impl FrameScanner {
+    /// A scanner with nothing buffered.
+    pub fn new() -> FrameScanner {
+        FrameScanner::default()
+    }
+
+    /// Buffer more stream bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Total bytes consumed as complete frames (the scanner's position
+    /// in the stream, counting from where it started).
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Bytes buffered but not yet part of a complete frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Parse the next complete record off the front of the buffer, or
+    /// `None` if only a partial frame is buffered.
+    pub fn next_record(&mut self) -> Result<Option<WalRecord>> {
+        if self.buf.len() < 8 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[0..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(self.buf[4..8].try_into().expect("4 bytes"));
+        let frame_len = match len.checked_add(8) {
+            Some(l) => l,
+            None => {
+                return Err(StorageError::WalCorrupt {
+                    offset: self.consumed,
+                })
+            }
+        };
+        if self.buf.len() < frame_len {
+            return Ok(None);
+        }
+        let payload = &self.buf[8..frame_len];
+        if crc32(payload) != crc {
+            return Err(StorageError::WalCorrupt {
+                offset: self.consumed,
+            });
+        }
+        let record = from_bytes::<WalRecord>(payload).map_err(|_| StorageError::WalCorrupt {
+            offset: self.consumed,
+        })?;
+        self.buf.drain(..frame_len);
+        self.consumed += frame_len as u64;
+        Ok(Some(record))
     }
 }
 
@@ -441,6 +542,187 @@ mod tests {
         let (records, tear) = wal.records().unwrap();
         assert!(records.is_empty());
         assert_eq!(tear, None);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn torn_final_record_at_every_cut_point() {
+        // A crash can land anywhere inside the final frame: inside the
+        // 8-byte header, inside the payload, or right at the frame
+        // boundary. Every cut short of a full frame must replay the
+        // prefix and report the tear at the final frame's start.
+        let intact = temp_path("cuts-intact");
+        let intact_len = {
+            let mut wal = Wal::open(&intact).unwrap();
+            for r in sample_records() {
+                wal.append(&r).unwrap();
+            }
+            wal.len()
+        };
+        let probe_path = temp_path("cuts-probe");
+        let before_last = {
+            let mut wal = Wal::open(&intact).unwrap();
+            let mut probe = Wal::open(&probe_path).unwrap();
+            let all = sample_records();
+            for r in &all[..all.len() - 1] {
+                probe.append(r).unwrap();
+            }
+            let len = probe.len();
+            let (records, tear) = wal.records().unwrap();
+            assert_eq!(records, all);
+            assert_eq!(tear, None);
+            len
+        };
+        // Cutting exactly at the boundary is a clean (shorter) log, not
+        // a tear — start one byte past it.
+        for cut in before_last + 1..intact_len {
+            let path = temp_path("cuts");
+            std::fs::copy(&intact, &path).unwrap();
+            let f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.set_len(cut).unwrap();
+            drop(f);
+            let mut wal = Wal::open(&path).unwrap();
+            let (records, tear) = wal.records().unwrap();
+            assert_eq!(records, sample_records()[..sample_records().len() - 1]);
+            assert_eq!(tear, Some(before_last), "cut at byte {cut}");
+            std::fs::remove_file(path).unwrap();
+        }
+        std::fs::remove_file(intact).unwrap();
+        std::fs::remove_file(probe_path).unwrap();
+    }
+
+    #[test]
+    fn truncate_then_append_round_trips() {
+        // Repeatedly tear the tail, truncate at the reported offset,
+        // and append fresh records: every cycle must leave a log that
+        // replays cleanly with the pre-tear prefix + the new records.
+        let path = temp_path("truncate-cycles");
+        let mut expected: Vec<WalRecord> = Vec::new();
+        for cycle in 0..4u64 {
+            {
+                let mut wal = Wal::open(&path).unwrap();
+                let keep = WalRecord::Commit { tx: cycle };
+                wal.append(&keep).unwrap();
+                expected.push(keep);
+                wal.append(&WalRecord::Page {
+                    tx: cycle,
+                    page: cycle,
+                    image: vec![cycle as u8; 32],
+                })
+                .unwrap();
+            }
+            // Tear 5 bytes off the record we do not intend to keep.
+            let len = std::fs::metadata(&path).unwrap().len();
+            let f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.set_len(len - 5).unwrap();
+            drop(f);
+            let mut wal = Wal::open(&path).unwrap();
+            let (records, tear) = wal.records().unwrap();
+            assert_eq!(records, expected, "cycle {cycle}");
+            let tear = tear.expect("torn tail reported");
+            wal.truncate_tail(tear).unwrap();
+            assert_eq!(wal.len(), tear);
+            let (records2, tear2) = wal.records().unwrap();
+            assert_eq!(records2, expected);
+            assert_eq!(tear2, None);
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn truncate_tail_at_intact_boundary_drops_suffix() {
+        // Fencing uses truncate_tail at an *intact* frame boundary to
+        // drop a fully written but unwanted suffix (an ex-primary's
+        // unshipped records), not just crash debris.
+        let path = temp_path("fence");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&WalRecord::Begin { tx: 1 }).unwrap();
+        wal.append(&WalRecord::Commit { tx: 1 }).unwrap();
+        let keep = wal.len();
+        wal.append(&WalRecord::Begin { tx: 2 }).unwrap();
+        wal.append(&WalRecord::Commit { tx: 2 }).unwrap();
+        wal.truncate_tail(keep).unwrap();
+        let (records, tear) = wal.records().unwrap();
+        assert_eq!(
+            records,
+            vec![WalRecord::Begin { tx: 1 }, WalRecord::Commit { tx: 1 }]
+        );
+        assert_eq!(tear, None);
+        // Appends continue from the fenced position.
+        wal.append(&WalRecord::Begin { tx: 3 }).unwrap();
+        let (records, _) = wal.records().unwrap();
+        assert_eq!(records.len(), 3);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn read_span_and_append_raw_round_trip() {
+        let src = temp_path("span-src");
+        let dst = temp_path("span-dst");
+        let mut wal = Wal::open(&src).unwrap();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        // Ship the whole log in small spans into a second log.
+        let mut replica = Wal::open(&dst).unwrap();
+        let mut pos = 0u64;
+        loop {
+            let span = wal.read_span(pos, 7).unwrap();
+            if span.is_empty() {
+                break;
+            }
+            pos += span.len() as u64;
+            replica.append_raw(&span).unwrap();
+        }
+        assert_eq!(replica.len(), wal.len());
+        let (records, tear) = replica.records().unwrap();
+        assert_eq!(records, sample_records());
+        assert_eq!(tear, None);
+        // Past-the-end reads are empty, not errors.
+        assert!(wal.read_span(wal.len(), 64).unwrap().is_empty());
+        assert!(wal.read_span(wal.len() + 100, 64).unwrap().is_empty());
+        std::fs::remove_file(src).unwrap();
+        std::fs::remove_file(dst).unwrap();
+    }
+
+    #[test]
+    fn frame_scanner_reassembles_across_pushes() {
+        let path = temp_path("scanner");
+        let mut wal = Wal::open(&path).unwrap();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        let bytes = wal.read_span(0, wal.len() as usize).unwrap();
+        // Feed one byte at a time: records must pop out exactly at
+        // frame boundaries, with consumed() tracking them.
+        let mut scanner = FrameScanner::new();
+        let mut got = Vec::new();
+        for b in &bytes {
+            scanner.push(std::slice::from_ref(b));
+            while let Some(rec) = scanner.next_record().unwrap() {
+                got.push(rec);
+            }
+        }
+        assert_eq!(got, sample_records());
+        assert_eq!(scanner.consumed(), bytes.len() as u64);
+        assert_eq!(scanner.pending(), 0);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn frame_scanner_rejects_corrupt_complete_frame() {
+        let path = temp_path("scanner-corrupt");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(&WalRecord::Begin { tx: 1 }).unwrap();
+        let mut bytes = wal.read_span(0, wal.len() as usize).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        let mut scanner = FrameScanner::new();
+        scanner.push(&bytes);
+        assert!(matches!(
+            scanner.next_record(),
+            Err(StorageError::WalCorrupt { offset: 0 })
+        ));
         std::fs::remove_file(path).unwrap();
     }
 

@@ -161,6 +161,12 @@ fn main() -> ExitCode {
                 stats.storage.group_commit_txns,
                 stats.storage.group_batch_max
             );
+            out!(
+                "replication: {} bytes shipped, {} epochs of replica lag, {} failovers",
+                stats.storage.bytes_shipped,
+                stats.storage.replica_lag_epochs,
+                stats.storage.failovers
+            );
             out!("requests   : {}", stats.total_requests());
             for (op, n) in &stats.requests {
                 out!("  {:<16} {n}", op.name());

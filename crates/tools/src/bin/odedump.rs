@@ -5,6 +5,7 @@
 //! odedump objects <db>          list live objects
 //! odedump object  <db> <oid>    one object's metadata and history
 //! odedump dot     <db> <oid>    Graphviz export of a version graph
+//! odedump wal     <db>          decode WAL records (offsets, epochs)
 //! odedump fsck    <db>          consistency check
 //! ```
 
@@ -19,7 +20,7 @@ fn usage() -> ExitCode {
          \x20 objects <db>          list live objects\n\
          \x20 object  <db> <oid>    one object's metadata and history\n\
          \x20 dot     <db> <oid>    Graphviz export of a version graph\n\
-         \x20 wal     <db>          write-ahead-log summary\n\
+         \x20 wal     <db>          decode WAL records (offsets, epochs) + summary\n\
          \x20 fsck    <db>          consistency check"
     );
     ExitCode::from(2)
@@ -94,13 +95,31 @@ fn main() -> ExitCode {
             Some(oid) => ode_tools::export_object_dot(&db, oid).map(|dot| print!("{dot}")),
             None => return usage(),
         },
-        "wal" => ode_tools::wal_summary(&db).map(|s| {
-            println!("bytes      : {}", s.bytes);
-            println!("begins     : {}", s.begins);
-            println!("commits    : {}", s.commits);
-            println!("page images: {}", s.page_images);
-            println!("page deltas: {}", s.page_deltas);
-            println!("torn tail  : {}", s.torn_tail);
+        "wal" => ode_tools::wal_records(&db).and_then(|(records, torn)| {
+            if !records.is_empty() {
+                println!("{:>10} {:>9} {:>7}  record", "offset", "bytes", "epoch");
+                for r in &records {
+                    let epoch = match r.epoch {
+                        Some(e) => format!("+{e}"),
+                        None => "-".into(),
+                    };
+                    println!(
+                        "{:>10} {:>9} {:>7}  {}",
+                        r.offset, r.payload_bytes, epoch, r.desc
+                    );
+                }
+            }
+            if let Some(offset) = torn {
+                println!("torn tail at offset {offset} (expected after a crash)");
+            }
+            ode_tools::wal_summary(&db).map(|s| {
+                println!("bytes      : {}", s.bytes);
+                println!("begins     : {}", s.begins);
+                println!("commits    : {}", s.commits);
+                println!("page images: {}", s.page_images);
+                println!("page deltas: {}", s.page_deltas);
+                println!("torn tail  : {}", s.torn_tail);
+            })
         }),
         "fsck" => ode_tools::fsck(&db).map(|report| {
             println!(

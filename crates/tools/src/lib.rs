@@ -242,6 +242,90 @@ pub fn wal_summary(db_path: &Path) -> Result<WalSummary> {
     Ok(summary)
 }
 
+/// One decoded WAL record with its physical position in the log file.
+///
+/// Offsets are file offsets within the current log generation (the
+/// logical shipping coordinate adds the store's in-memory base, which
+/// an offline dump cannot know); `epoch` counts commits within this
+/// file, so the record that produced "the k-th epoch since the last
+/// checkpoint" reads `Some(k)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecordInfo {
+    /// Byte offset of the record's frame (`[len][crc][payload]`).
+    pub offset: u64,
+    /// Payload length in bytes (the frame adds an 8-byte header).
+    pub payload_bytes: u32,
+    /// For `Commit` records: 1-based commit index within this file.
+    pub epoch: Option<u64>,
+    /// Human-readable description of the record.
+    pub desc: String,
+}
+
+/// Decode every intact WAL record with its offset, sizing, and (for
+/// commits) epoch index. Returns the records plus the offset of the
+/// torn tail, if any — reading the file directly so the log is left
+/// exactly as found (no recovery runs).
+pub fn wal_records(db_path: &Path) -> Result<(Vec<WalRecordInfo>, Option<u64>)> {
+    use ode_storage::wal::WalRecord;
+    let mut wal_path = db_path.to_path_buf().into_os_string();
+    wal_path.push(".wal");
+    let wal_path = std::path::PathBuf::from(wal_path);
+    if !wal_path.exists() {
+        return Ok((Vec::new(), None));
+    }
+    let data =
+        std::fs::read(&wal_path).map_err(|e| ode_version::VersionError::Storage(e.into()))?;
+
+    let mut records = Vec::new();
+    let mut epoch = 0u64;
+    let mut pos: usize = 0;
+    loop {
+        if pos == data.len() {
+            return Ok((records, None));
+        }
+        if pos + 8 > data.len() {
+            return Ok((records, Some(pos as u64)));
+        }
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let body_start = pos + 8;
+        let body_end = match body_start.checked_add(len) {
+            Some(e) if e <= data.len() => e,
+            _ => return Ok((records, Some(pos as u64))),
+        };
+        let payload = &data[body_start..body_end];
+        if ode_storage::crc32(payload) != crc {
+            return Ok((records, Some(pos as u64)));
+        }
+        let desc = match ode_codec::from_bytes::<WalRecord>(payload) {
+            Ok(WalRecord::Begin { tx }) => format!("begin       tx={tx}"),
+            Ok(WalRecord::Page { tx, page, image }) => {
+                format!("page-image  tx={tx} page={page} bytes={}", image.len())
+            }
+            Ok(WalRecord::PageDelta { tx, page, ops }) => {
+                let bytes: usize = ops.iter().map(|(_, b)| b.len()).sum();
+                format!(
+                    "page-delta  tx={tx} page={page} runs={} bytes={bytes}",
+                    ops.len()
+                )
+            }
+            Ok(WalRecord::Commit { tx }) => {
+                epoch += 1;
+                format!("commit      tx={tx}")
+            }
+            Err(_) => "UNDECODABLE (intact frame, unknown payload)".into(),
+        };
+        let is_commit = desc.starts_with("commit");
+        records.push(WalRecordInfo {
+            offset: pos as u64,
+            payload_bytes: len as u32,
+            epoch: is_commit.then_some(epoch),
+            desc,
+        });
+        pos = body_end;
+    }
+}
+
 /// Check every object's version-graph invariants and that every version
 /// body is readable.
 pub fn fsck(path: &Path) -> Result<FsckReport> {
