@@ -33,6 +33,33 @@ impl DatabaseOptions {
     }
 }
 
+/// How [`Database::transact`] paces re-execution after write conflicts.
+///
+/// The first attempt runs immediately; each retry sleeps the current
+/// backoff (starting at [`RetryPolicy::backoff`], doubling up to
+/// [`RetryPolicy::max_backoff`]) before re-running the closure against
+/// fresh reads. Zero `backoff` retries hot, which is only sensible in
+/// deterministic tests.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Sleep before the first retry.
+    pub backoff: std::time::Duration,
+    /// Backoff growth cap.
+    pub max_backoff: std::time::Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 16,
+            backoff: std::time::Duration::from_micros(50),
+            max_backoff: std::time::Duration::from_millis(5),
+        }
+    }
+}
+
 /// An Ode database: persistent, versioned objects in a single file (plus
 /// its write-ahead log).
 ///
@@ -77,10 +104,67 @@ impl Database {
         })
     }
 
-    /// Begin a read-write transaction. Writers are serialized by the
-    /// storage engine; concurrent snapshots are unaffected.
+    /// Begin an exclusive read-write transaction. Writers serialize on
+    /// the storage engine's write mutex; concurrent snapshots are
+    /// unaffected, and the transaction can never hit a write conflict.
     pub fn begin(&self) -> Txn<'_> {
         Txn::new(self, self.store.begin())
+    }
+
+    /// Begin an *optimistic* read-write transaction: no lock is taken,
+    /// so any number run concurrently, each building a private write
+    /// set. Commit validates the pages it read and wrote against
+    /// commits that landed in the meantime (first-committer-wins);
+    /// a loser aborts with a [`write conflict`](crate::Error::is_write_conflict)
+    /// and must be **re-executed from the start** — use
+    /// [`Database::transact`] for the standard retry loop.
+    pub fn begin_optimistic(&self) -> Txn<'_> {
+        Txn::new(self, self.store.begin_optimistic())
+    }
+
+    /// Run `body` in an optimistic transaction, retrying with
+    /// exponential backoff while it loses validation races.
+    ///
+    /// Each attempt gets a **fresh** transaction and re-executes the
+    /// closure — re-submitting a stale write set would silently undo
+    /// the winner's changes (the classic lost update), which is why
+    /// [`Txn::commit`] itself never retries. Conflicts surfaced by the
+    /// closure's own reads retry the same way as commit-time conflicts;
+    /// every other error aborts immediately and propagates. Triggers
+    /// fire once, after the attempt that commits.
+    ///
+    /// Returns the closure's value from the committing attempt, or the
+    /// last conflict once [`RetryPolicy::max_attempts`] is exhausted.
+    pub fn transact<R>(
+        &self,
+        policy: RetryPolicy,
+        mut body: impl FnMut(&mut Txn<'_>) -> Result<R>,
+    ) -> Result<R> {
+        let mut backoff = policy.backoff;
+        let mut last = None;
+        for attempt in 0..policy.max_attempts.max(1) {
+            if attempt > 0 {
+                self.store.note_write_retry();
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(policy.max_backoff);
+                }
+            }
+            let mut txn = self.begin_optimistic();
+            match body(&mut txn) {
+                Ok(value) => match txn.commit() {
+                    Ok(()) => return Ok(value),
+                    Err(e) if e.is_write_conflict() => last = Some(e),
+                    Err(e) => return Err(e),
+                },
+                Err(e) if e.is_write_conflict() => {
+                    drop(txn);
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("retry loop runs at least once"))
     }
 
     /// Begin a read-only snapshot. Snapshots take no exclusive lock:

@@ -60,7 +60,7 @@ mod ptr;
 pub mod testutil;
 mod txn;
 
-pub use db::{Database, DatabaseOptions};
+pub use db::{Database, DatabaseOptions, RetryPolicy};
 pub use event::{Event, TriggerId};
 pub use guard::{ORef, VRef};
 pub use ptr::{ObjPtr, VersionPtr};

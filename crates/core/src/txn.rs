@@ -693,6 +693,27 @@ impl<'db> Txn<'db> {
         Ok(())
     }
 
+    /// Commit exactly once, never retrying: the explicit escape hatch
+    /// from [`Database::transact`]'s retry loop for callers that want
+    /// to observe a conflict themselves (to merge, give up, or apply
+    /// their own policy).
+    ///
+    /// For an optimistic transaction this is what [`Txn::commit`] does
+    /// anyway — a conflicted transaction's reads are stale, so the
+    /// engine can only abort it; re-submitting the same write set would
+    /// overwrite the winning transaction's changes. The separate name
+    /// exists so call sites opting out of retries say so.
+    pub fn commit_once(self) -> Result<()> {
+        self.commit()
+    }
+
+    /// Whether this transaction validates optimistically at commit
+    /// (begun via [`Database::begin_optimistic`]) rather than holding
+    /// the exclusive write lock.
+    pub fn is_optimistic(&self) -> bool {
+        self.tx.is_optimistic()
+    }
+
     /// Events recorded so far (fired on commit; inspection aid).
     pub fn pending_events(&self) -> &[Event] {
         &self.events

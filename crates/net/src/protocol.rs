@@ -605,6 +605,12 @@ pub struct StorageCounters {
     pub replica_lag_epochs: u64,
     /// Replica-to-primary promotions this node has performed.
     pub failovers: u64,
+    /// Optimistic transactions aborted by first-committer-wins
+    /// validation (each one re-executed by the retry loop or surfaced
+    /// to the client).
+    pub write_conflicts: u64,
+    /// Re-executions of conflicted transactions.
+    pub write_retries: u64,
 }
 
 impl StorageCounters {
@@ -622,6 +628,8 @@ impl StorageCounters {
         w.put_varint(self.bytes_shipped);
         w.put_varint(self.replica_lag_epochs);
         w.put_varint(self.failovers);
+        w.put_varint(self.write_conflicts);
+        w.put_varint(self.write_retries);
     }
 
     fn decode_from(r: &mut Reader<'_>) -> Result<StorageCounters> {
@@ -639,6 +647,8 @@ impl StorageCounters {
             bytes_shipped: r.get_varint()?,
             replica_lag_epochs: r.get_varint()?,
             failovers: r.get_varint()?,
+            write_conflicts: r.get_varint()?,
+            write_retries: r.get_varint()?,
         })
     }
 }
@@ -1145,6 +1155,8 @@ mod tests {
                 bytes_shipped: 4096,
                 replica_lag_epochs: 2,
                 failovers: 1,
+                write_conflicts: 7,
+                write_retries: 6,
             },
         }));
         round_trip_response(Response::Created {

@@ -837,6 +837,8 @@ fn merge_stats(parts: Vec<StatsReport>) -> StatsReport {
         merged.storage.bytes_shipped += part.storage.bytes_shipped;
         merged.storage.replica_lag_epochs += part.storage.replica_lag_epochs;
         merged.storage.failovers += part.storage.failovers;
+        merged.storage.write_conflicts += part.storage.write_conflicts;
+        merged.storage.write_retries += part.storage.write_retries;
         // A max, not a sum: the largest cohort any one shard saw.
         merged.storage.group_batch_max = merged
             .storage
@@ -1771,6 +1773,8 @@ mod tests {
                 read_txs: 10,
                 write_txs: 3,
                 group_batch_max: 4,
+                write_conflicts: 2,
+                write_retries: 1,
                 ..Default::default()
             },
         };
@@ -1788,6 +1792,8 @@ mod tests {
                 read_txs: 20,
                 write_txs: 5,
                 group_batch_max: 2,
+                write_conflicts: 3,
+                write_retries: 2,
                 ..Default::default()
             },
         };
@@ -1802,6 +1808,8 @@ mod tests {
         assert_eq!(merged.snapshot_misses, 3);
         assert_eq!(merged.storage.read_txs, 30);
         assert_eq!(merged.storage.write_txs, 8);
+        assert_eq!(merged.storage.write_conflicts, 5);
+        assert_eq!(merged.storage.write_retries, 3);
         // Max across shards, not a sum.
         assert_eq!(merged.storage.group_batch_max, 4);
         assert_eq!(merged.requests_for(Opcode::Deref), 10);

@@ -159,6 +159,8 @@ impl ServerStats {
                 bytes_shipped: storage.bytes_shipped,
                 replica_lag_epochs: storage.replica_lag_epochs,
                 failovers: storage.failovers,
+                write_conflicts: storage.write_conflicts,
+                write_retries: storage.write_retries,
             },
         }
     }

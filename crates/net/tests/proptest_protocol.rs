@@ -90,12 +90,18 @@ fn arb_storage_counters() -> impl Strategy<Value = StorageCounters> {
             any::<u64>(),
             any::<u64>(),
         ),
-        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
     )
         .prop_map(|(a, b, c)| {
             let (read_txs, write_txs, reader_waits, reader_wait_nanos, writer_waits) = a;
             let (writer_wait_nanos, wal_syncs, group_syncs, group_commit_txns, group_batch_max) = b;
-            let (bytes_shipped, replica_lag_epochs, failovers) = c;
+            let (bytes_shipped, replica_lag_epochs, failovers, write_conflicts, write_retries) = c;
             StorageCounters {
                 read_txs,
                 write_txs,
@@ -110,6 +116,8 @@ fn arb_storage_counters() -> impl Strategy<Value = StorageCounters> {
                 bytes_shipped,
                 replica_lag_epochs,
                 failovers,
+                write_conflicts,
+                write_retries,
             }
         })
 }

@@ -49,6 +49,13 @@ pub enum StorageError {
     TreeCorrupt(&'static str),
     /// The operation requires an open write transaction.
     NoTransaction,
+    /// An optimistic write transaction lost its validation race: a page
+    /// it read or wrote was committed by another transaction after this
+    /// one began (first-committer-wins). The transaction is aborted and
+    /// left no trace; the caller should re-execute it from the start —
+    /// its reads may be stale, so blindly re-submitting the same write
+    /// set would lose the other writer's update.
+    WriteConflict,
 }
 
 impl fmt::Display for StorageError {
@@ -72,6 +79,9 @@ impl fmt::Display for StorageError {
             StorageError::Codec(e) => write!(f, "codec error: {e}"),
             StorageError::TreeCorrupt(msg) => write!(f, "btree corrupt: {msg}"),
             StorageError::NoTransaction => write!(f, "no open transaction"),
+            StorageError::WriteConflict => {
+                write!(f, "write conflict: transaction lost its validation race")
+            }
         }
     }
 }

@@ -2,10 +2,15 @@
 //! [`RecordId`]s, with overflow chains for values larger than a page.
 //!
 //! A heap is identified by its *directory page*, which holds the head of
-//! the data-page chain and an insert hint.  Records are immutable: update
-//! is expressed by the caller as delete + insert (the object layer remaps
-//! its object-table entry to the new record id), which keeps every record
-//! id valid for exactly the lifetime of its record.
+//! the data-page chain and an insert hint.  [`Heap::replace`] rewrites a
+//! record **in place** (same id, only its own page written) whenever the
+//! new value still fits its page; only when it does not — or when
+//! overflow chains are involved — does it fall back to delete + insert,
+//! and the object layer remaps its table entry to the new record id.
+//! The in-place path matters for the optimistic-concurrency engine:
+//! it keeps updates of records on different pages from ever touching a
+//! shared page (the directory's record count only moves on insert and
+//! delete), so they validate cleanly against each other.
 //!
 //! Record cell encoding:
 //!
@@ -197,9 +202,31 @@ impl Heap {
         Ok(existed)
     }
 
-    /// Replace a record: delete + insert. The record id changes; callers
-    /// own remapping any references (see module docs).
+    /// Replace a record's contents. When both the old and new value are
+    /// inline and the new one fits its page (in place or after
+    /// compaction), the record is rewritten under the **same id** and
+    /// only that one page is touched — no directory-page write, so
+    /// concurrent optimistic transactions replacing records on
+    /// different pages do not conflict. Otherwise falls back to
+    /// delete + insert, returning the new id; callers own remapping any
+    /// references (see module docs).
     pub fn replace(&self, tx: &mut impl PageWrite, rid: RecordId, data: &[u8]) -> Result<RecordId> {
+        if data.len() <= INLINE_MAX {
+            let page = tx.page(rid.page)?;
+            if page.kind() == Some(PageKind::Heap)
+                && slotted::get(page, rid.slot).is_some_and(|c| c.first() == Some(&TAG_INLINE))
+            {
+                let mut cell = Vec::with_capacity(data.len() + 1);
+                cell.push(TAG_INLINE);
+                cell.extend_from_slice(data);
+                match slotted::update(tx.page_mut(rid.page)?, rid.slot, &cell) {
+                    Ok(()) => return Ok(rid),
+                    // Doesn't fit even after compaction: relocate below.
+                    Err(StorageError::PageFull) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
         if !self.delete(tx, rid)? {
             return Err(StorageError::RecordNotFound {
                 page: rid.page,
@@ -394,6 +421,76 @@ mod tests {
         let rid2 = heap.replace(&mut tx, rid, b"v1-much-longer").unwrap();
         assert_eq!(heap.get(&mut tx, rid2).unwrap(), b"v1-much-longer");
         assert_eq!(heap.len(&mut tx).unwrap(), 1);
+        tx.commit().unwrap();
+        drop(store);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn replace_in_place_keeps_rid_and_touches_one_page() {
+        let (path, store) = temp_store("replace-in-place");
+        let mut tx = store.begin();
+        let heap = Heap::create(&mut tx).unwrap();
+        let rid = heap.insert(&mut tx, &[1u8; 64]).unwrap();
+        tx.commit().unwrap();
+
+        // Same-size, shrinking, and growing (within the page) rewrites
+        // all stay at the same record id.
+        let mut tx = store.begin();
+        assert_eq!(heap.replace(&mut tx, rid, &[2u8; 64]).unwrap(), rid);
+        assert_eq!(heap.replace(&mut tx, rid, &[3u8; 16]).unwrap(), rid);
+        assert_eq!(heap.replace(&mut tx, rid, &[4u8; 512]).unwrap(), rid);
+        assert_eq!(heap.get(&mut tx, rid).unwrap(), vec![4u8; 512]);
+        assert_eq!(heap.len(&mut tx).unwrap(), 1);
+        tx.commit().unwrap();
+
+        // An in-place replace's write set is the record's page alone —
+        // the directory page is only read. Checked through the
+        // optimistic engine: two concurrent replaces of records on
+        // different pages must not conflict (a directory write would
+        // make them).
+        let mut setup = store.begin();
+        // Fill past one page so the second record lands elsewhere.
+        let filler: Vec<RecordId> = (0..6)
+            .map(|_| heap.insert(&mut setup, &[9u8; 700]).unwrap())
+            .collect();
+        setup.commit().unwrap();
+        let other = filler[5];
+        assert_ne!(rid.page, other.page, "records must sit on different pages");
+        let mut a = store.begin_optimistic();
+        let mut b = store.begin_optimistic();
+        assert_eq!(heap.replace(&mut a, rid, &[5u8; 64]).unwrap(), rid);
+        assert_eq!(heap.replace(&mut b, other, &[6u8; 700]).unwrap(), other);
+        a.commit().unwrap();
+        b.commit().unwrap();
+        let mut check = store.begin();
+        assert_eq!(heap.get(&mut check, rid).unwrap(), vec![5u8; 64]);
+        assert_eq!(heap.get(&mut check, other).unwrap(), vec![6u8; 700]);
+        drop(check);
+        drop(store);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn replace_relocates_when_page_cannot_hold_growth() {
+        let (path, store) = temp_store("replace-relocate");
+        let mut tx = store.begin();
+        let heap = Heap::create(&mut tx).unwrap();
+        // Nearly fill one page so growing the first record must move it.
+        let rid = heap.insert(&mut tx, &[1u8; 800]).unwrap();
+        let mut sibling = rid;
+        while sibling.page == rid.page {
+            sibling = heap.insert(&mut tx, &[2u8; 800]).unwrap();
+        }
+        let grown = vec![7u8; 3000];
+        let new_rid = heap.replace(&mut tx, rid, &grown).unwrap();
+        assert_ne!(new_rid, rid, "growth past the page must relocate");
+        assert_eq!(heap.get(&mut tx, new_rid).unwrap(), grown);
+        // Overflow-sized values always relocate too (the inline slot
+        // becomes a stub pointing at a fresh chain).
+        let huge = vec![8u8; 20_000];
+        let huge_rid = heap.replace(&mut tx, new_rid, &huge).unwrap();
+        assert_eq!(heap.get(&mut tx, huge_rid).unwrap(), huge);
         tx.commit().unwrap();
         drop(store);
         cleanup(&path);

@@ -1,17 +1,28 @@
 //! Transactional store: the facade combining pager, buffer pool, WAL,
 //! snapshot gate, and group commit.
 //!
-//! Concurrency model: **single writer, many concurrent readers.**
+//! Concurrency model: **many concurrent readers, many concurrent
+//! writers (optimistic), with an exclusive-writer mode retained.**
 //!
 //! * A [`ReadTx`] holds the shared side of the [`SnapshotGate`] and
 //!   resolves pages through the sharded buffer pool (or the pager on a
 //!   miss) — it takes no exclusive lock anywhere, so read transactions
-//!   run fully in parallel with each other.
-//! * A [`Tx`] holds the store's write mutex for its lifetime (writers
-//!   are serialized, matching the paper's single-writer scope) and
-//!   buffers every mutation in a **private write set**.  Nothing a
-//!   transaction writes is visible to anyone until commit; abort is
-//!   simply dropping the write set.
+//!   run fully in parallel with each other, and they can never abort.
+//! * An *exclusive* [`Tx`] ([`Store::begin`]) holds the store's write
+//!   mutex for its lifetime (writers serialize, matching the paper's
+//!   single-writer scope) and buffers every mutation in a **private
+//!   write set**.  Nothing a transaction writes is visible to anyone
+//!   until commit; abort is simply dropping the write set.
+//! * An *optimistic* [`Tx`] ([`Store::begin_optimistic`]) builds the
+//!   same private write set with **no lock held**, tracking the page
+//!   ids it reads and writes. Commit validates that set against the
+//!   commits that landed since the transaction began (a bounded
+//!   commit log of recent write sets, first-committer-wins) inside a
+//!   short critical section under the write mutex; a loser aborts with
+//!   [`StorageError::WriteConflict`] before touching the WAL, and the
+//!   caller re-executes it. Each page fetch also revalidates when the
+//!   epoch has advanced, so every read view is consistent and doomed
+//!   transactions fail at the first stale fetch instead of at commit.
 //! * Commit appends after-images (or byte-range deltas) plus a commit
 //!   record to the WAL, then takes the snapshot gate's exclusive side
 //!   for the brief *publish* step: bump the store epoch and install the
@@ -38,7 +49,7 @@
 //!   and resets the WAL;
 //! * open replays committed WAL images into the database file.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -153,6 +164,13 @@ pub struct StoreStats {
     pub replica_lag_epochs: u64,
     /// Times this store was promoted from replica to primary.
     pub failovers: u64,
+    /// Optimistic transactions aborted with
+    /// [`StorageError::WriteConflict`] because a page they touched was
+    /// committed by another writer after they began.
+    pub write_conflicts: u64,
+    /// Times a caller re-executed a conflicted transaction (counted by
+    /// the retry loop above the engine via [`Store::note_write_retry`]).
+    pub write_retries: u64,
 }
 
 #[derive(Default)]
@@ -168,12 +186,85 @@ struct Counters {
     bytes_shipped: AtomicU64,
     replica_lag_epochs: AtomicU64,
     failovers: AtomicU64,
+    write_conflicts: AtomicU64,
+    write_retries: AtomicU64,
+}
+
+/// How many recent commits the [`CommitLog`] retains for optimistic
+/// validation. A transaction whose begin epoch has already been trimmed
+/// conservatively conflicts — in practice that needs a transaction to
+/// stay open across thousands of foreign commits.
+const COMMIT_LOG_CAP: usize = 4096;
+
+/// Bounded record of recently committed write sets, consulted by
+/// optimistic transactions (see [`Store::begin_optimistic`]) to decide
+/// whether any page they observed was overwritten after they observed
+/// it. Appended inside every publish critical section (local commits
+/// and replica applies alike), so a validator holding either the write
+/// mutex or the gate's shared side sees a log exactly consistent with
+/// the epoch counter.
+struct CommitLog {
+    inner: Mutex<CommitLogInner>,
+}
+
+struct CommitLogInner {
+    /// `(epoch, written page ids)` per publish, oldest first.
+    entries: VecDeque<(u64, Box<[u64]>)>,
+    /// Highest epoch that has been trimmed from `entries` (or predates
+    /// this log). Validation windows starting below it must
+    /// conservatively report a conflict.
+    horizon: u64,
+}
+
+impl CommitLog {
+    fn new(horizon: u64) -> CommitLog {
+        CommitLog {
+            inner: Mutex::new(CommitLogInner {
+                entries: VecDeque::new(),
+                horizon,
+            }),
+        }
+    }
+
+    /// Record one published commit's write set.
+    fn record(&self, epoch: u64, pages: Box<[u64]>) {
+        let mut inner = self.inner.lock();
+        debug_assert!(inner.entries.back().is_none_or(|(e, _)| *e < epoch));
+        inner.entries.push_back((epoch, pages));
+        while inner.entries.len() > COMMIT_LOG_CAP {
+            let (trimmed, _) = inner.entries.pop_front().expect("len > cap");
+            inner.horizon = trimmed;
+        }
+    }
+
+    /// Drop everything and restart the horizon at `epoch` (snapshot
+    /// install rewrites the whole store, so no prior window is valid).
+    fn reset(&self, epoch: u64) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.horizon = epoch;
+    }
+
+    /// Whether any commit with epoch `> since` wrote a page for which
+    /// `touched` returns true. Conservatively true when `since` predates
+    /// the retained window.
+    fn conflicts_since(&self, since: u64, touched: impl Fn(u64) -> bool) -> bool {
+        let inner = self.inner.lock();
+        if since < inner.horizon {
+            return true;
+        }
+        inner
+            .entries
+            .iter()
+            .rev()
+            .take_while(|(epoch, _)| *epoch > since)
+            .any(|(_, pages)| pages.iter().any(|&p| touched(p)))
+    }
 }
 
 /// State reachable only through the store's write mutex.
 struct WriteState {
     wal: Wal,
-    next_tx: u64,
     /// Monotone count of logical bytes ever appended to the WAL. Unlike
     /// `wal.len()` this survives checkpoint resets, so it can serve as a
     /// group-commit sync target.
@@ -438,6 +529,14 @@ pub struct Store {
     /// commit. Readers stamp their snapshot with the value sampled
     /// after entering the gate.
     epoch: AtomicU64,
+    /// Next transaction id. Atomic (not part of [`WriteState`]) so
+    /// optimistic transactions can begin without touching the write
+    /// mutex; ids are unique but may appear out of order in the WAL,
+    /// which recovery and replica apply tolerate (both key on the id,
+    /// not its ordering).
+    next_tx: AtomicU64,
+    /// Recently committed write sets, for optimistic validation.
+    commit_log: CommitLog,
     /// Highest logical WAL position safe to ship to replicas: bytes at
     /// or below it are durable per this store's durability model
     /// (fsynced, group-synced, or merely appended when
@@ -574,7 +673,6 @@ impl Store {
             write: Mutex::new(WriteState {
                 logical_pos,
                 wal,
-                next_tx: 1,
                 base_pos: 0,
                 commit_seq: 0,
                 apply: None,
@@ -582,6 +680,8 @@ impl Store {
             gate: SnapshotGate::new(),
             group: GroupCommit::new(handle, window),
             epoch: AtomicU64::new(1),
+            next_tx: AtomicU64::new(1),
+            commit_log: CommitLog::new(1),
             ship: Watermark::new(logical_pos),
             applied: Watermark::new(1),
             counters: Counters::default(),
@@ -626,21 +726,62 @@ impl Store {
         guard
     }
 
-    /// Begin a write transaction. Holds the store's write lock until
-    /// commit or drop (abort); concurrent [`ReadTx`]s are unaffected.
+    /// Begin an exclusive write transaction. Holds the store's write
+    /// lock until commit or drop (abort); concurrent [`ReadTx`]s are
+    /// unaffected. Exclusive transactions never see
+    /// [`StorageError::WriteConflict`] — use this when the caller wants
+    /// serialized writers with no retry loop.
     pub fn begin(&self) -> Tx<'_> {
-        let mut guard = self.lock_write();
-        let tx_id = guard.next_tx;
-        guard.next_tx += 1;
+        let guard = self.lock_write();
+        let tx_id = self.next_tx.fetch_add(1, Ordering::Relaxed);
+        let epoch = self.epoch.load(Ordering::Acquire);
         Tx {
             store: self,
             write: Some(guard),
             tx_id,
+            validated_epoch: epoch,
             pages: HashMap::new(),
             base: HashMap::new(),
             order: Vec::new(),
             pins: HashMap::new(),
         }
+    }
+
+    /// Begin an *optimistic* write transaction: no lock is taken, so any
+    /// number may build private write sets concurrently (and concurrently
+    /// with one exclusive writer). Every page the transaction reads or
+    /// writes is tracked; [`Tx::commit`] validates that set against the
+    /// commits that landed since the transaction began, under a short
+    /// critical section — first committer wins, losers abort with
+    /// [`StorageError::WriteConflict`] leaving no trace (nothing reaches
+    /// the WAL or the pool). The caller is expected to re-execute the
+    /// whole transaction on conflict; winners flow through the same
+    /// group-commit fsync batching as exclusive commits.
+    ///
+    /// Reads stay consistent *during* the build phase too: each page
+    /// fetch revalidates the set whenever the commit epoch has advanced,
+    /// so a conflicted transaction fails fast (at the fetch) rather than
+    /// traversing structures torn across epochs.
+    pub fn begin_optimistic(&self) -> Tx<'_> {
+        let tx_id = self.next_tx.fetch_add(1, Ordering::Relaxed);
+        let epoch = self.epoch.load(Ordering::Acquire);
+        Tx {
+            store: self,
+            write: None,
+            tx_id,
+            validated_epoch: epoch,
+            pages: HashMap::new(),
+            base: HashMap::new(),
+            order: Vec::new(),
+            pins: HashMap::new(),
+        }
+    }
+
+    /// Count one caller-level re-execution of a conflicted transaction
+    /// (the engine aborts but cannot retry — only the caller can re-run
+    /// the transaction body against fresh reads).
+    pub fn note_write_retry(&self) {
+        self.counters.write_retries.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Begin a read-only transaction. Takes only the shared side of the
@@ -712,6 +853,8 @@ impl Store {
             bytes_shipped: self.counters.bytes_shipped.load(Ordering::Relaxed),
             replica_lag_epochs: self.counters.replica_lag_epochs.load(Ordering::Relaxed),
             failovers: self.counters.failovers.load(Ordering::Relaxed),
+            write_conflicts: self.counters.write_conflicts.load(Ordering::Relaxed),
+            write_retries: self.counters.write_retries.load(Ordering::Relaxed),
         }
     }
 
@@ -806,7 +949,8 @@ impl Store {
         ws.logical_pos = base_pos;
         ws.base_pos = base_pos;
         ws.apply = None;
-        ws.next_tx = 1;
+        self.next_tx.store(1, Ordering::Relaxed);
+        self.commit_log.reset(epoch);
         self.group.mark_all_synced();
         self.applied.advance(epoch);
         self.ship.advance(base_pos);
@@ -866,6 +1010,20 @@ impl Store {
                     let epoch = {
                         let _publish = self.gate.write();
                         let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+                        // Applied commits enter the commit log too: after
+                        // a promotion, optimistic writers that began
+                        // before the last applied commit must still
+                        // validate against it.
+                        self.commit_log.record(
+                            epoch,
+                            changes
+                                .iter()
+                                .map(|c| match c {
+                                    PendingChange::Image(id, _) => id.0,
+                                    PendingChange::Delta(id, _) => id.0,
+                                })
+                                .collect(),
+                        );
                         for change in changes {
                             match change {
                                 PendingChange::Image(id, image) => {
@@ -932,7 +1090,7 @@ impl Store {
         };
         ws.wal.truncate_tail(apply.applied_wal_off)?;
         ws.logical_pos = ws.base_pos + ws.wal.len();
-        ws.next_tx = ws.next_tx.max(apply.max_tx + 1);
+        self.next_tx.fetch_max(apply.max_tx + 1, Ordering::Relaxed);
         self.ship.advance(ws.logical_pos);
         self.counters.failovers.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -974,12 +1132,26 @@ fn wal_path_for(db_path: &Path) -> PathBuf {
 /// A write transaction (RAII guard; drop without [`Tx::commit`] aborts
 /// by discarding the private write set — shared state is untouched
 /// until commit, so there is nothing to roll back).
+///
+/// Two flavors share this type: an *exclusive* transaction
+/// ([`Store::begin`]) holds the write mutex for its whole life and can
+/// never conflict; an *optimistic* one ([`Store::begin_optimistic`])
+/// takes no lock while building and validates its page read/write set
+/// at commit, aborting with [`StorageError::WriteConflict`] when it
+/// lost the race.
 pub struct Tx<'a> {
     store: &'a Store,
-    /// Present until commit consumes it; dropping it releases the write
-    /// lock.
+    /// Present until commit consumes it (exclusive mode); `None` for the
+    /// whole build phase of an optimistic transaction, which acquires
+    /// the mutex only inside commit.
     write: Option<MutexGuard<'a, WriteState>>,
     tx_id: u64,
+    /// Epoch through which this transaction's page set is known
+    /// conflict-free. Optimistic fetches and the final commit move it
+    /// forward by checking the span it skips against the commit log;
+    /// exclusive transactions never consult it (the held mutex excludes
+    /// every publish).
+    validated_epoch: u64,
     /// The private write set: working images of every page this
     /// transaction has mutated.
     pages: HashMap<u64, PageBuf>,
@@ -1000,12 +1172,68 @@ impl Tx<'_> {
         self.tx_id
     }
 
+    /// Whether this transaction validates at commit instead of holding
+    /// the write mutex.
+    pub fn is_optimistic(&self) -> bool {
+        self.write.is_none()
+    }
+
+    /// Move the conflict-free window forward to `now`, checking every
+    /// page this transaction has touched against the commits published
+    /// in `(validated_epoch, now]`. Callers must exclude concurrent
+    /// publishes (hold the write mutex or the gate's shared side) so
+    /// `now` cannot go stale mid-check.
+    fn validate_to(&mut self, now: u64) -> Result<()> {
+        if now == self.validated_epoch {
+            return Ok(());
+        }
+        debug_assert!(now > self.validated_epoch, "epoch is monotone");
+        let (pages, pins) = (&self.pages, &self.pins);
+        let conflict = self
+            .store
+            .commit_log
+            .conflicts_since(self.validated_epoch, |p| {
+                pages.contains_key(&p) || pins.contains_key(&p)
+            });
+        if conflict {
+            self.store
+                .counters
+                .write_conflicts
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(StorageError::WriteConflict);
+        }
+        self.validated_epoch = now;
+        Ok(())
+    }
+
+    /// Resolve a page image coherent with everything this transaction
+    /// has observed so far. Exclusive mode needs no ceremony (the held
+    /// mutex excludes every publish); optimistic mode takes the gate's
+    /// shared side so the epoch sample and the fetch see the same
+    /// committed prefix, then revalidates if that prefix has grown.
+    fn fetch_coherent(&mut self, id: PageId) -> Result<Arc<PageBuf>> {
+        let store = self.store;
+        if self.write.is_some() {
+            return store.fetch(id);
+        }
+        let _gate = store.gate.read();
+        let now = store.epoch.load(Ordering::Acquire);
+        self.validate_to(now)?;
+        store.fetch(id)
+    }
+
     /// Copy a page into the write set on first mutation.
     fn materialize(&mut self, id: PageId) -> Result<()> {
         if self.pages.contains_key(&id.0) {
             return Ok(());
         }
-        let current = self.store.fetch(id)?;
+        // A page already pinned for reading is coherent by construction
+        // (validation would have failed otherwise) and is the image the
+        // transaction has been reading — reuse it as the base.
+        let current = match self.pins.remove(&id.0) {
+            Some(arc) => arc,
+            None => self.fetch_coherent(id)?,
+        };
         self.pages.insert(id.0, (*current).clone());
         self.base.insert(id.0, Some(current));
         self.order.push(id);
@@ -1024,40 +1252,31 @@ impl Tx<'_> {
         self.order.push(id);
     }
 
-    /// Commit: log after-images (or byte-range deltas, when small) plus
-    /// a commit record, publish the write set as the new committed
-    /// state, and make it durable (inline fsync, or via the group-commit
-    /// leader). Auto-checkpoints when the WAL or pool has grown large.
-    pub fn commit(mut self) -> Result<()> {
+    /// Encode this transaction's WAL records (begin, one per written
+    /// page, commit). Pure function of the private write set, so an
+    /// optimistic commit runs it *before* taking the write mutex —
+    /// page diffing is the expensive part of a commit and must not
+    /// lengthen the critical section.
+    fn wal_records(&self) -> Vec<WalRecord> {
         let store = self.store;
-        let mut ws = self.write.take().expect("write guard held until commit");
-        let mut group_target = None;
-        if !self.order.is_empty() {
-            let wal_start = ws.wal.len();
-            ws.wal.append(&WalRecord::Begin { tx: self.tx_id })?;
-            let zero = PageBuf::zeroed();
-            for &id in &self.order {
-                let after = self.pages.get(&id.0).expect("ordered page in write set");
-                let record = if store.options.wal_deltas {
-                    let before = match self.base.get(&id.0) {
-                        Some(Some(img)) => img.as_bytes(),
-                        // Fresh pages diff against zeroes (their content
-                        // is usually sparse).
-                        _ => zero.as_bytes(),
-                    };
-                    let ops = page_diff_ops(before, after.as_bytes(), DELTA_RUN_GAP);
-                    if delta_payload_len(&ops) <= DELTA_MAX_PAYLOAD {
-                        WalRecord::PageDelta {
-                            tx: self.tx_id,
-                            page: id.0,
-                            ops,
-                        }
-                    } else {
-                        WalRecord::Page {
-                            tx: self.tx_id,
-                            page: id.0,
-                            image: after.as_bytes().to_vec(),
-                        }
+        let mut records = Vec::with_capacity(self.order.len() + 2);
+        records.push(WalRecord::Begin { tx: self.tx_id });
+        let zero = PageBuf::zeroed();
+        for &id in &self.order {
+            let after = self.pages.get(&id.0).expect("ordered page in write set");
+            let record = if store.options.wal_deltas {
+                let before = match self.base.get(&id.0) {
+                    Some(Some(img)) => img.as_bytes(),
+                    // Fresh pages diff against zeroes (their content
+                    // is usually sparse).
+                    _ => zero.as_bytes(),
+                };
+                let ops = page_diff_ops(before, after.as_bytes(), DELTA_RUN_GAP);
+                if delta_payload_len(&ops) <= DELTA_MAX_PAYLOAD {
+                    WalRecord::PageDelta {
+                        tx: self.tx_id,
+                        page: id.0,
+                        ops,
                     }
                 } else {
                     WalRecord::Page {
@@ -1065,10 +1284,66 @@ impl Tx<'_> {
                         page: id.0,
                         image: after.as_bytes().to_vec(),
                     }
-                };
-                ws.wal.append(&record)?;
+                }
+            } else {
+                WalRecord::Page {
+                    tx: self.tx_id,
+                    page: id.0,
+                    image: after.as_bytes().to_vec(),
+                }
+            };
+            records.push(record);
+        }
+        records.push(WalRecord::Commit { tx: self.tx_id });
+        records
+    }
+
+    /// Commit: log after-images (or byte-range deltas, when small) plus
+    /// a commit record, publish the write set as the new committed
+    /// state, and make it durable (inline fsync, or via the group-commit
+    /// leader). Auto-checkpoints when the WAL or pool has grown large.
+    ///
+    /// An optimistic transaction validates first, under the write
+    /// mutex: if any page it touched was committed by someone else
+    /// after it began, nothing is appended or published and the commit
+    /// returns [`StorageError::WriteConflict`] — the caller re-executes
+    /// the transaction (see `Database::transact` in `ode`) rather than
+    /// re-submitting the stale write set. Single attempt per call;
+    /// losers leave no trace in the WAL.
+    pub fn commit(mut self) -> Result<()> {
+        let store = self.store;
+        let optimistic = self.write.is_none();
+        if optimistic && self.order.is_empty() {
+            // Read-only optimistic transaction: every fetch already ran
+            // incremental validation, so its reads form a consistent
+            // snapshot as of `validated_epoch`. Nothing to publish.
+            return Ok(());
+        }
+        // Build the log records outside the critical section (no-op
+        // cost for exclusive mode, which holds the mutex anyway).
+        let records = if self.order.is_empty() {
+            Vec::new()
+        } else {
+            self.wal_records()
+        };
+        let mut ws = match self.write.take() {
+            Some(guard) => guard,
+            None => store.lock_write(),
+        };
+        if optimistic {
+            // First-committer-wins. The write mutex excludes every
+            // publish path (local commits and replica applies), so the
+            // epoch cannot move past `now` during validation — after
+            // this point the write set is known current.
+            let now = store.epoch.load(Ordering::Acquire);
+            self.validate_to(now)?;
+        }
+        let mut group_target = None;
+        if !self.order.is_empty() {
+            let wal_start = ws.wal.len();
+            for record in &records {
+                ws.wal.append(record)?;
             }
-            ws.wal.append(&WalRecord::Commit { tx: self.tx_id })?;
             ws.logical_pos += ws.wal.len() - wal_start;
             ws.commit_seq += 1;
 
@@ -1080,10 +1355,17 @@ impl Tx<'_> {
 
             // Publish: under the gate's exclusive side, bump the epoch
             // and install every after-image. From here the commit is
-            // visible to new snapshots as one atomic step.
+            // visible to new snapshots as one atomic step. The bump
+            // happens exactly once per non-empty commit, inside both
+            // the mutex and the gate — back-to-back winners in one
+            // group-commit cohort each pass through here serially, so
+            // one epoch always names one committed state.
             let epoch = {
                 let _publish = store.gate.write();
                 let epoch = store.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+                store
+                    .commit_log
+                    .record(epoch, self.order.iter().map(|id| id.0).collect());
                 for &id in &self.order {
                     let image = self.pages.remove(&id.0).expect("ordered page in write set");
                     store.pool.publish(id, Arc::new(image), true, epoch);
@@ -1124,14 +1406,11 @@ impl PageRead for Tx<'_> {
         if self.pages.contains_key(&id.0) {
             return Ok(&self.pages[&id.0]);
         }
-        let store = self.store;
-        match self.pins.entry(id.0) {
-            std::collections::hash_map::Entry::Occupied(e) => Ok(&**e.into_mut()),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                let arc = store.fetch(id)?;
-                Ok(&**e.insert(arc))
-            }
+        if !self.pins.contains_key(&id.0) {
+            let arc = self.fetch_coherent(id)?;
+            self.pins.insert(id.0, arc);
         }
+        Ok(&**self.pins.get(&id.0).expect("just pinned"))
     }
 
     fn root(&mut self, slot: usize) -> Result<u64> {

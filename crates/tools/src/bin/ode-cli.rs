@@ -162,6 +162,11 @@ fn main() -> ExitCode {
                 stats.storage.group_batch_max
             );
             out!(
+                "conflicts  : {} write conflicts, {} retries",
+                stats.storage.write_conflicts,
+                stats.storage.write_retries
+            );
+            out!(
                 "replication: {} bytes shipped, {} epochs of replica lag, {} failovers",
                 stats.storage.bytes_shipped,
                 stats.storage.replica_lag_epochs,

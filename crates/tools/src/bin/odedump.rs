@@ -74,6 +74,10 @@ fn main() -> ExitCode {
                 "  writer waits: {} ({} ns)",
                 info.storage.writer_waits, info.storage.writer_wait_nanos
             );
+            println!(
+                "  write conflicts: {} ({} retries)",
+                info.storage.write_conflicts, info.storage.write_retries
+            );
         }),
         "objects" => ode_tools::list_objects(&db).map(|objects| {
             println!(

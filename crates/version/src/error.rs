@@ -34,6 +34,19 @@ pub enum VersionError {
     LastVersion(Vid),
 }
 
+impl VersionError {
+    /// Whether this error is an optimistic write conflict: the
+    /// transaction lost its validation race and should be re-executed
+    /// from the start against fresh reads (see `Database::transact` in
+    /// `ode`).
+    pub fn is_write_conflict(&self) -> bool {
+        matches!(
+            self,
+            VersionError::Storage(ode_storage::StorageError::WriteConflict)
+        )
+    }
+}
+
 impl fmt::Display for VersionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -362,3 +362,156 @@ fn sigkill_mid_group_commit_recovers_every_acknowledged_txn() {
     let _ = std::fs::remove_dir_all(&ack_dir);
     cleanup(&path);
 }
+
+// ---------------------------------------------------------------------------
+// SIGKILL with optimistic multi-writers racing through group commit
+// ---------------------------------------------------------------------------
+
+/// Re-exec helper for the optimistic variant: four writers drive
+/// `Database::transact` loops — every `pnew` touches the shared header
+/// and catalog pages, so the writers conflict and retry constantly
+/// while their winners flow through group commit. Acknowledged markers
+/// are durably logged only after `transact` returns. No-op without the
+/// env var.
+#[test]
+fn child_multi_writer() {
+    let Ok(db_path) = std::env::var("ODE_CRASH_MULTI_CHILD") else {
+        return;
+    };
+    let ack_dir = std::env::var("ODE_CRASH_MULTI_ACK_DIR").expect("ack dir env var");
+
+    let mut options = DatabaseOptions::default();
+    options.storage.group_commit = true;
+    options.storage.group_commit_window = std::time::Duration::from_millis(2);
+    let db = Database::create(&db_path, options).expect("create db");
+
+    // Conflicts are expected by design here; the policy must be generous
+    // enough that a writer never gives up mid-run.
+    let policy = ode::RetryPolicy {
+        max_attempts: 100_000,
+        backoff: std::time::Duration::from_micros(50),
+        max_backoff: std::time::Duration::from_millis(1),
+    };
+    std::thread::scope(|scope| {
+        for w in 0..4u64 {
+            let db = &db;
+            let ack_path = format!("{ack_dir}/acks-{w}");
+            scope.spawn(move || {
+                use std::io::Write;
+                let mut acks = std::fs::File::create(&ack_path).expect("create ack log");
+                for i in 0.. {
+                    let marker = w * 1_000_000 + i;
+                    // Each retry re-executes the closure in a fresh
+                    // optimistic transaction, so a marker can commit at
+                    // most once no matter how many attempts it takes.
+                    db.transact(policy, |txn| {
+                        txn.pnew(&Doc {
+                            rev: marker as u32,
+                            text: format!("w{w}-{i}"),
+                        })
+                        .map(|_| ())
+                    })
+                    .expect("transact");
+                    acks.write_all(format!("{marker}\n").as_bytes())
+                        .expect("log ack");
+                    acks.sync_data().expect("sync ack log");
+                }
+            });
+        }
+    });
+}
+
+/// Four *optimistic* writers race each other (validation, retries) and
+/// the group-commit leader (shared fsync cohorts) until a SIGKILL lands
+/// mid-flight. Recovery must surface every acknowledged marker exactly
+/// once — a conflict-aborted or unacknowledged attempt must never
+/// resurrect as a duplicate object.
+#[test]
+fn sigkill_multi_writer_recovers_every_acknowledged_txn() {
+    use std::time::{Duration, Instant};
+
+    let path = temp_path("multikill");
+    let ack_dir = {
+        let mut d = std::env::temp_dir();
+        d.push(format!("ode-crash-multikill-acks-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).expect("create ack dir");
+        d
+    };
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut child = std::process::Command::new(exe)
+        .args(["child_multi_writer", "--exact", "--nocapture"])
+        .env("ODE_CRASH_MULTI_CHILD", &path)
+        .env("ODE_CRASH_MULTI_ACK_DIR", &ack_dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child writer");
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let collect_acked = |dir: &std::path::Path| -> Vec<u64> {
+        let mut acked = Vec::new();
+        for w in 0..4 {
+            if let Ok(text) = std::fs::read_to_string(dir.join(format!("acks-{w}"))) {
+                acked.extend(text.lines().filter_map(|l| l.parse::<u64>().ok()));
+            }
+        }
+        acked
+    };
+    loop {
+        if collect_acked(&ack_dir).len() >= 40 {
+            break;
+        }
+        if let Some(status) = child.try_wait().expect("poll child") {
+            panic!("child writer exited early: {status}");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "child never reached 40 acknowledged commits"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().expect("SIGKILL child");
+    child.wait().expect("reap child");
+
+    let acked = collect_acked(&ack_dir);
+    assert!(acked.len() >= 40, "lost the ack log itself?");
+
+    let db = Database::open(&path, DatabaseOptions::default()).expect("recover after SIGKILL");
+    let mut snap = db.snapshot();
+    let mut recovered: Vec<u32> = snap
+        .objects::<Doc>()
+        .expect("list objects")
+        .iter()
+        .map(|p| snap.deref(p).expect("deref recovered object").rev)
+        .collect();
+    drop(snap);
+
+    // Acked ⊆ recovered: every acknowledged commit survived the kill.
+    let recovered_set: std::collections::HashSet<u32> = recovered.iter().copied().collect();
+    let missing: Vec<u64> = acked
+        .iter()
+        .copied()
+        .filter(|m| !recovered_set.contains(&(*m as u32)))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "{} acknowledged commits lost after SIGKILL: {missing:?}",
+        missing.len()
+    );
+    // No marker committed twice: retries re-execute, they never replay a
+    // stale write set, so each marker appears at most once.
+    recovered.sort_unstable();
+    let before = recovered.len();
+    recovered.dedup();
+    assert_eq!(
+        before,
+        recovered.len(),
+        "a retried transaction committed the same marker twice"
+    );
+
+    drop(db);
+    let _ = std::fs::remove_dir_all(&ack_dir);
+    cleanup(&path);
+}
