@@ -11,11 +11,21 @@
 //! preserve the generic-vs-specific reference distinction across the
 //! network.
 //!
-//! Built on `std::net` only — no async runtime. One request maps to one
-//! server-side snapshot (reads) or one committed transaction (writes),
-//! so a successful write response implies WAL durability, and a client
-//! reconnecting after a server restart sees every version it was ever
-//! acknowledged.
+//! No async runtime: the server is one epoll **readiness loop** (the
+//! vendored [`polling`] crate) over nonblocking sockets, driving a
+//! per-connection state machine — partial-read frame reassembly, a
+//! bounded decode-ahead inbox, a partial-write output buffer — with a
+//! fixed worker pool executing the operations, so thread count is
+//! constant no matter how many thousands of connections are open. A
+//! client that stops reading is evicted once its buffered responses
+//! hit [`ServerConfig::write_buffer_cap`]
+//! ([`StatsReport::slow_client_evictions`] counts these). The old
+//! thread-per-connection implementation lives on as [`ThreadedServer`],
+//! the oracle the event loop is differentially property-tested against.
+//! One request maps to one server-side snapshot (reads) or one
+//! committed transaction (writes), so a successful write response
+//! implies WAL durability, and a client reconnecting after a server
+//! restart sees every version it was ever acknowledged.
 //!
 //! Protocol v2 makes every connection a **pipeline**: requests carry
 //! client-assigned sequence ids and responses may arrive out of order,
@@ -58,6 +68,7 @@ pub mod relay;
 mod router;
 mod server;
 mod shard;
+mod threaded;
 
 pub use client::{ClientConfig, ClientObjPtr, ClientVersionPtr, OdeClient, Pipeline};
 pub use cluster::{Cluster, ClusterConfig};
@@ -67,3 +78,4 @@ pub use relay::{FaultRelay, RelayPlan};
 pub use router::{OdeRouter, RouterConfig, RouterStatsReport, ShardMembership};
 pub use server::{OdeServer, ServerConfig, ServerHooks};
 pub use shard::ShardMap;
+pub use threaded::ThreadedServer;

@@ -673,6 +673,9 @@ pub struct StatsReport {
     pub snapshot_hits: u64,
     /// Read requests that had to open a fresh database snapshot.
     pub snapshot_misses: u64,
+    /// Connections evicted because their response backlog exceeded the
+    /// server's write-buffer cap (a slow or stalled reader).
+    pub slow_client_evictions: u64,
     /// Per-opcode request counts; only non-zero entries are listed.
     pub requests: Vec<(Opcode, u64)>,
     /// Storage-engine contention and commit counters.
@@ -702,6 +705,7 @@ impl StatsReport {
         w.put_varint(self.op_errors);
         w.put_varint(self.snapshot_hits);
         w.put_varint(self.snapshot_misses);
+        w.put_varint(self.slow_client_evictions);
         w.put_varint(self.requests.len() as u64);
         for (op, n) in &self.requests {
             w.put_u8(*op as u8);
@@ -719,6 +723,7 @@ impl StatsReport {
         let op_errors = r.get_varint()?;
         let snapshot_hits = r.get_varint()?;
         let snapshot_misses = r.get_varint()?;
+        let slow_client_evictions = r.get_varint()?;
         let n = r.get_count()?;
         let mut requests = Vec::with_capacity(n.min(OPCODE_COUNT));
         for _ in 0..n {
@@ -737,6 +742,7 @@ impl StatsReport {
             op_errors,
             snapshot_hits,
             snapshot_misses,
+            slow_client_evictions,
             requests,
             storage,
         })
@@ -1057,6 +1063,91 @@ pub fn read_frame_into(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<bool> {
     Ok(true)
 }
 
+/// Incremental frame decoder for nonblocking sockets.
+///
+/// Bytes arrive in arbitrary splits (a readiness loop reads whatever
+/// the kernel has); [`FrameBuffer::extend`] accumulates them and
+/// [`FrameBuffer::next_frame`] yields each complete payload without
+/// ever blocking. Frame-level corruption — a varint length prefix
+/// that overflows or exceeds [`MAX_FRAME_LEN`] — is an error exactly
+/// where [`read_frame_into`] would fail, and poisons the buffer (the
+/// stream has no recoverable framing past that point).
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Bytes before `start` belong to already-yielded frames.
+    start: usize,
+    poisoned: bool,
+}
+
+impl FrameBuffer {
+    /// An empty accumulator.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Appends bytes read off the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact lazily: only once the dead prefix dominates, so a
+        // busy connection isn't memmoving on every frame.
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet yielded as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// The next complete frame payload, or `Ok(None)` if more bytes
+    /// are needed.
+    pub fn next_frame(&mut self) -> Result<Option<&[u8]>> {
+        if self.poisoned {
+            return Err(NetError::Protocol("frame stream already corrupt".into()));
+        }
+        let avail = &self.buf[self.start..];
+        // Parse the varint length prefix.
+        let mut len: u64 = 0;
+        let mut shift: u32 = 0;
+        let mut prefix = 0usize;
+        loop {
+            let Some(&byte) = avail.get(prefix) else {
+                return Ok(None);
+            };
+            prefix += 1;
+            if shift >= 63 && byte > 1 {
+                self.poisoned = true;
+                return Err(NetError::Protocol("frame length varint overflow".into()));
+            }
+            len |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+            if shift > 63 {
+                self.poisoned = true;
+                return Err(NetError::Protocol("frame length varint overflow".into()));
+            }
+        }
+        if len as usize > MAX_FRAME_LEN {
+            self.poisoned = true;
+            return Err(NetError::Protocol(format!(
+                "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit"
+            )));
+        }
+        let total = prefix + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload_start = self.start + prefix;
+        self.start += total;
+        Ok(Some(&self.buf[payload_start..payload_start + len as usize]))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1140,6 +1231,7 @@ mod tests {
             op_errors: 2,
             snapshot_hits: 41,
             snapshot_misses: 12,
+            slow_client_evictions: 3,
             requests: vec![(Opcode::Ping, 3), (Opcode::Pnew, 4)],
             storage: StorageCounters {
                 read_txs: 100,
@@ -1267,5 +1359,61 @@ mod tests {
             read_frame(&mut cursor),
             Err(NetError::Protocol(_))
         ));
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_byte_split_frames() {
+        let mut wire = Vec::new();
+        let payloads: Vec<Vec<u8>> = vec![vec![], vec![7], vec![1; 300], b"tail".to_vec()];
+        for p in &payloads {
+            write_frame(&mut wire, p).unwrap();
+        }
+        // Feed one byte at a time: every frame still comes out whole,
+        // in order, and never early.
+        let mut fb = FrameBuffer::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        for &b in &wire {
+            fb.extend(&[b]);
+            while let Some(frame) = fb.next_frame().unwrap() {
+                got.push(frame.to_vec());
+            }
+        }
+        assert_eq!(got, payloads);
+        assert_eq!(fb.pending(), 0);
+        // And coalesced in one blob: identical result.
+        let mut fb = FrameBuffer::new();
+        fb.extend(&wire);
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        while let Some(frame) = fb.next_frame().unwrap() {
+            got.push(frame.to_vec());
+        }
+        assert_eq!(got, payloads);
+    }
+
+    #[test]
+    fn frame_buffer_rejects_hostile_length_prefixes() {
+        // Over the cap.
+        let mut wire = Vec::new();
+        varint::write_u64(&mut wire, (MAX_FRAME_LEN as u64) + 1);
+        let mut fb = FrameBuffer::new();
+        fb.extend(&wire);
+        assert!(fb.next_frame().is_err());
+        // Poisoned: stays an error even after more bytes arrive.
+        fb.extend(&[0; 16]);
+        assert!(fb.next_frame().is_err());
+
+        // Varint overflow (ten 0xFF continuation bytes).
+        let mut fb = FrameBuffer::new();
+        fb.extend(&[0xFF; 10]);
+        assert!(fb.next_frame().is_err());
+
+        // An incomplete prefix is just "need more bytes".
+        let mut fb = FrameBuffer::new();
+        fb.extend(&[0x80]);
+        assert!(fb.next_frame().unwrap().is_none());
+        fb.extend(&[0x01]); // length 128, no payload yet
+        assert!(fb.next_frame().unwrap().is_none());
+        fb.extend(&[0xAB; 128]);
+        assert_eq!(fb.next_frame().unwrap().unwrap(), &[0xAB; 128][..]);
     }
 }

@@ -50,11 +50,12 @@ use std::time::{Duration, Instant};
 use ode::{Oid, Vid};
 use ode_codec::varint;
 use parking_lot::Mutex;
+use polling::{Event, Poller};
 
 use crate::client::{ClientConfig, OdeClient};
 use crate::error::RemoteError;
 use crate::protocol::{
-    kind, read_frame_into, write_frame, Opcode, Request, Response, StatsReport, MAGIC,
+    kind, read_frame_into, write_frame, FrameBuffer, Opcode, Request, Response, StatsReport, MAGIC,
 };
 use crate::shard::ShardMap;
 use crate::NetError;
@@ -825,6 +826,7 @@ fn merge_stats(parts: Vec<StatsReport>) -> StatsReport {
         merged.op_errors += part.op_errors;
         merged.snapshot_hits += part.snapshot_hits;
         merged.snapshot_misses += part.snapshot_misses;
+        merged.slow_client_evictions += part.slow_client_evictions;
         merged.storage.read_txs += part.storage.read_txs;
         merged.storage.write_txs += part.storage.write_txs;
         merged.storage.reader_waits += part.storage.reader_waits;
@@ -981,8 +983,14 @@ enum Pending {
 /// The correlation half of one session's connection to one shard.
 struct SlotCtl {
     alive: bool,
-    /// Raw handle for unblocking the slot's reader thread.
+    /// Raw handle for tearing the connection down: shutting it makes
+    /// the pump's registered dup readable (HUP), so the pump notices
+    /// without being told.
     raw: Option<TcpStream>,
+    /// Bumped on every successful dial. A failure report carries the
+    /// generation it observed, so a stale error from a connection that
+    /// has already been replaced can't tear down its successor.
+    generation: u64,
     /// Next backend sequence id. Never reset across reconnects, so a
     /// bseq is unique for the session's lifetime.
     next_bseq: u64,
@@ -1011,6 +1019,7 @@ impl ShardSlot {
             ctl: Mutex::new(SlotCtl {
                 alive: false,
                 raw: None,
+                generation: 0,
                 next_bseq: 0,
                 pending: HashMap::new(),
                 failures: 0,
@@ -1022,12 +1031,17 @@ impl ShardSlot {
 }
 
 /// Per-client-connection state, shared between the client-reader
-/// thread and the per-shard backend-reader threads.
+/// thread and the session's single backend-pump thread.
 ///
 /// Slots come in two banks of `shard_count` each: slot `s` is the
 /// session's *write* connection to shard `s`'s primary, slot
 /// `shard_count + s` its *read* connection (a replica when one is
 /// live, pinned by `ReadFloor`; otherwise the primary again).
+///
+/// Backend responses are multiplexed: instead of one reader thread per
+/// live shard connection, the session runs at most one [`backend_pump`]
+/// thread that `epoll`-waits on every backend socket at once, so a
+/// session costs two threads no matter how many shards it talks to.
 struct Session<'a> {
     shared: &'a RouterShared,
     slots: Vec<ShardSlot>,
@@ -1036,6 +1050,18 @@ struct Session<'a> {
     /// epoch bookkeeping).
     wrote: Vec<AtomicBool>,
     client_writer: Mutex<BufWriter<TcpStream>>,
+    /// Readiness multiplexer for the backend pump.
+    poller: Poller,
+    /// Freshly dialed connections awaiting pump registration:
+    /// `(slot, generation, pump's read half)`. Pushed *before*
+    /// [`Poller::notify`], drained by the pump.
+    handoff: Mutex<Vec<(usize, u64, TcpStream)>>,
+    /// Tells the pump to exit (session teardown).
+    hangup: AtomicBool,
+    /// Whether the pump thread has been spawned yet — it starts
+    /// lazily with the session's first backend dial, so sessions that
+    /// never reach a shard never pay for it.
+    pump_started: AtomicBool,
 }
 
 impl Session<'_> {
@@ -1080,8 +1106,8 @@ impl Session<'_> {
         Ok(())
     }
 
-    /// Kill every backend connection (session teardown): readers
-    /// parked in socket reads unblock and exit.
+    /// Kill every backend connection and stop the pump (session
+    /// teardown): the pump wakes from its wait and exits.
     fn shutdown_backends(&self) {
         for slot in &self.slots {
             let mut ctl = slot.ctl.lock();
@@ -1090,6 +1116,8 @@ impl Session<'_> {
                 let _ = raw.shutdown(Shutdown::Both);
             }
         }
+        self.hangup.store(true, Ordering::Release);
+        let _ = self.poller.notify();
     }
 }
 
@@ -1115,6 +1143,10 @@ fn serve_session(shared: &RouterShared, stream: TcpStream) -> io::Result<()> {
         slots: (0..n * 2).map(ShardSlot::new).collect(),
         wrote: (0..n).map(|_| AtomicBool::new(false)).collect(),
         client_writer: Mutex::new(BufWriter::new(stream)),
+        poller: Poller::new()?,
+        handoff: Mutex::new(Vec::new()),
+        hangup: AtomicBool::new(false),
+        pump_started: AtomicBool::new(false),
     };
     {
         let mut w = session.client_writer.lock();
@@ -1124,7 +1156,7 @@ fn serve_session(shared: &RouterShared, stream: TcpStream) -> io::Result<()> {
 
     thread::scope(|scope| {
         let result = client_loop(scope, &session, &mut reader);
-        // Unblock the backend readers; the scope joins them on exit.
+        // Kill the backends and wake the pump; the scope joins it.
         session.shutdown_backends();
         result
     })
@@ -1403,7 +1435,7 @@ fn forward<'scope, 'env>(
     on_unavailable: impl FnOnce(&Session<'env>, RemoteError),
 ) -> Sent {
     let slot = &session.slots[slot_idx];
-    let bseq = {
+    let (bseq, generation) = {
         let mut ctl = slot.ctl.lock();
         if !ctl.alive {
             if let Err(msg) = ensure_conn(scope, session, slot_idx, &mut ctl) {
@@ -1414,7 +1446,7 @@ fn forward<'scope, 'env>(
         let bseq = ctl.next_bseq;
         ctl.next_bseq += 1;
         ctl.pending.insert(bseq, pending);
-        bseq
+        (bseq, ctl.generation)
     };
     session
         .shared
@@ -1443,13 +1475,15 @@ fn forward<'scope, 'env>(
         }
     };
     if write_result.is_err() {
-        fail_slot(session, slot_idx, "write to shard failed");
+        fail_slot(session, slot_idx, generation, "write to shard failed");
     }
     Sent::Forwarded
 }
 
-/// Dial a dead slot's backend, handshake, and start its reader thread.
-/// Called with the slot's ctl lock held; on success the slot is alive.
+/// Dial a dead slot's backend, handshake, and hand the connection to
+/// the session's backend pump (spawning the pump on the session's
+/// first dial). Called with the slot's ctl lock held; on success the
+/// slot is alive.
 ///
 /// The address comes from the shard's *current* membership: primary
 /// bank slots dial the primary, read bank slots a live replica (or the
@@ -1504,8 +1538,8 @@ fn ensure_conn<'scope, 'env>(
     };
     match dial() {
         Ok(stream) => {
-            let reader_half = match stream.try_clone().map(BufReader::new) {
-                Ok(r) => r,
+            let pump_half = match stream.try_clone() {
+                Ok(s) => s,
                 Err(e) => return Err(format!("shard {shard}: {e}")),
             };
             let writer_half = match stream.try_clone().map(BufWriter::new) {
@@ -1515,6 +1549,7 @@ fn ensure_conn<'scope, 'env>(
             *session.slots[slot_idx].writer.lock() = Some(writer_half);
             ctl.alive = true;
             ctl.raw = Some(stream);
+            ctl.generation += 1;
             ctl.failures = 0;
             ctl.down_until = None;
             if read_bank {
@@ -1533,7 +1568,16 @@ fn ensure_conn<'scope, 'env>(
                 .stats
                 .backend_connects
                 .fetch_add(1, Ordering::Relaxed);
-            scope.spawn(move || backend_reader(session, slot_idx, reader_half));
+            // Hand the read half to the pump: push *then* notify, so
+            // the pump can't wake without seeing the registration.
+            session
+                .handoff
+                .lock()
+                .push((slot_idx, ctl.generation, pump_half));
+            if !session.pump_started.swap(true, Ordering::SeqCst) {
+                scope.spawn(move || backend_pump(session));
+            }
+            let _ = session.poller.notify();
             Ok(())
         }
         Err(e) => {
@@ -1552,14 +1596,16 @@ fn ensure_conn<'scope, 'env>(
 
 /// Tear down one slot's connection: mark it dead, start the backoff
 /// clock, and answer every pending request with `Unavailable`. Safe to
-/// call from any thread; only the first caller acts.
-fn fail_slot(session: &Session<'_>, slot_idx: usize, why: &str) {
+/// call from any thread; only the first caller acts. `generation` is
+/// the connection the caller saw fail — if the slot has already been
+/// torn down *and redialed* since, the report is stale and ignored.
+fn fail_slot(session: &Session<'_>, slot_idx: usize, generation: u64, why: &str) {
     let shard = slot_idx % session.shared.map.shard_count();
     let slot = &session.slots[slot_idx];
     let drained: Vec<(u64, Pending)> = {
         let mut ctl = slot.ctl.lock();
-        if !ctl.alive {
-            return; // someone else already tore this connection down
+        if !ctl.alive || ctl.generation != generation {
+            return; // already torn down (or a successor is up)
         }
         ctl.alive = false;
         if let Some(raw) = ctl.raw.take() {
@@ -1643,110 +1689,242 @@ fn retag_response(
     Some(())
 }
 
-/// One shard connection's response pump: correlate each backend frame
-/// with its pending entry, translate ids, and answer the client.
-fn backend_reader(session: &Session<'_>, slot_idx: usize, mut reader: BufReader<TcpStream>) {
-    let map = session.shared.map;
-    let shard = slot_idx % map.shard_count();
-    // Reused across frames: the inbound payload and the re-tagged
-    // outbound copy.
-    let mut payload = Vec::new();
+/// One live backend connection as the pump sees it: the read half
+/// (registered with the poller under a session-unique key) and its
+/// frame-reassembly buffer.
+struct PumpConn {
+    slot_idx: usize,
+    /// The slot generation this connection was dialed under; failure
+    /// reports carry it so they can't hit a successor connection.
+    generation: u64,
+    stream: TcpStream,
+    fbuf: FrameBuffer,
+}
+
+/// What one pump step decided about a connection.
+enum PumpStatus {
+    /// Connection healthy, keep it registered.
+    Keep,
+    /// Connection faulted: fail the slot and drop the registration.
+    Drop(&'static str),
+    /// The *client* writer is dead — the session is tearing down, so
+    /// the pump exits wholesale.
+    ClientGone,
+}
+
+/// The session's backend-response pump: one thread multiplexing every
+/// live shard connection through an epoll [`Poller`], replacing the
+/// old reader-thread-per-backend design.
+///
+/// Backend sockets stay **blocking** — under level-triggered readiness
+/// a single `read` per readable event cannot block (readable means at
+/// least one byte, or EOF/error, is waiting), and the blocking writer
+/// halves used by [`forward`] keep their simple `BufWriter` semantics.
+/// New connections arrive through `Session::handoff` (pushed before a
+/// [`Poller::notify`]); dead ones are noticed by the HUP their
+/// shutdown causes. Each registration gets a fresh key, so a stale
+/// event for a replaced connection can never be misread as its
+/// successor's.
+fn backend_pump(session: &Session<'_>) {
+    let mut conns: HashMap<usize, PumpConn> = HashMap::new();
+    let mut next_key = 0usize;
+    let mut events = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    // Reused across frames: the re-tagged outbound copy.
     let mut retagged = Vec::new();
     loop {
-        match read_frame_into(&mut reader, &mut payload) {
-            Ok(true) => {}
-            Ok(false) | Err(_) => {
-                fail_slot(session, slot_idx, "connection lost");
-                return;
-            }
-        };
-        let Ok((bseq, bseq_len)) = varint::read_u64(&payload) else {
-            // A backend speaking garbage can't be trusted for anything
-            // in flight: kill the connection, which answers every
-            // pending request cleanly.
-            session
-                .shared
-                .stats
-                .protocol_errors
-                .fetch_add(1, Ordering::Relaxed);
-            fail_slot(session, slot_idx, "undecodable response from shard");
+        if session.poller.wait(&mut events, None).is_err() {
             return;
-        };
-        let pending = session.slots[slot_idx].ctl.lock().pending.remove(&bseq);
-        // Flush only when this pump has nothing more buffered — mid
-        // burst, later responses ride the same flush.
-        let flush = reader.buffer().is_empty();
-        // The pending entry is already removed, so this reader owns the
-        // answer for `bseq` — on an undecodable payload it answers with
-        // the exact `Unavailable` the failure path gives everything
-        // else in flight, then tears the connection down.
-        let undecodable = |session: &Session<'_>| {
-            session
-                .shared
-                .stats
-                .protocol_errors
-                .fetch_add(1, Ordering::Relaxed);
-            RemoteError::Unavailable(format!(
-                "shard {shard}: undecodable response from shard; request not retried"
-            ))
-        };
-        match pending {
-            None => {
-                // A response nothing asked for; ignoring it would leave
-                // the correlation state suspect, so treat as a fault.
+        }
+        if session.hangup.load(Ordering::Acquire) {
+            return; // teardown: shutdown_backends owns the sockets
+        }
+        // Register connections dialed since the last round. Drained to
+        // a local vec first: fail_slot takes ctl locks, and ensure_conn
+        // pushes here *while holding* a ctl lock.
+        let fresh: Vec<_> = session.handoff.lock().drain(..).collect();
+        for (slot_idx, generation, stream) in fresh {
+            let key = next_key;
+            next_key += 1;
+            if session.poller.add(&stream, Event::readable(key)).is_err() {
+                fail_slot(session, slot_idx, generation, "pump registration failed");
+                continue;
+            }
+            conns.insert(
+                key,
+                PumpConn {
+                    slot_idx,
+                    generation,
+                    stream,
+                    fbuf: FrameBuffer::new(),
+                },
+            );
+        }
+        let mut wrote = false;
+        for ev in &events {
+            let Some(conn) = conns.get_mut(&ev.key) else {
+                continue; // stale event for a dropped registration
+            };
+            match pump_step(session, conn, &mut scratch, &mut retagged, &mut wrote) {
+                PumpStatus::Keep => {}
+                PumpStatus::Drop(why) => {
+                    let conn = conns.remove(&ev.key).expect("checked above");
+                    fail_slot(session, conn.slot_idx, conn.generation, why);
+                    // Deregister before the dup closes on drop.
+                    let _ = session.poller.delete(&conn.stream);
+                }
+                PumpStatus::ClientGone => return,
+            }
+        }
+        // One flush per readiness round: responses from every backend
+        // that spoke this round share it.
+        if wrote && session.client_writer.lock().flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// Service one readable event: a single `read` (safe on the blocking
+/// socket — the event guarantees it won't park), then every complete
+/// frame it yields.
+fn pump_step(
+    session: &Session<'_>,
+    conn: &mut PumpConn,
+    scratch: &mut [u8],
+    retagged: &mut Vec<u8>,
+    wrote: &mut bool,
+) -> PumpStatus {
+    let n = match (&conn.stream).read(scratch) {
+        Ok(0) => return PumpStatus::Drop("connection lost"),
+        Ok(n) => n,
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => return PumpStatus::Keep,
+        Err(_) => return PumpStatus::Drop("connection lost"),
+    };
+    conn.fbuf.extend(&scratch[..n]);
+    let slot_idx = conn.slot_idx;
+    loop {
+        match conn.fbuf.next_frame() {
+            Ok(None) => return PumpStatus::Keep,
+            Ok(Some(payload)) => {
+                match on_backend_frame(session, slot_idx, payload, retagged, wrote) {
+                    FrameVerdict::Answered => {}
+                    FrameVerdict::Fault(why) => return PumpStatus::Drop(why),
+                    FrameVerdict::ClientGone => return PumpStatus::ClientGone,
+                }
+            }
+            Err(_) => {
+                // A backend framing its stream wrong can't be trusted
+                // for anything in flight: kill the connection, which
+                // answers every pending request cleanly.
                 session
                     .shared
                     .stats
                     .protocol_errors
                     .fetch_add(1, Ordering::Relaxed);
-                fail_slot(session, slot_idx, "response with unknown sequence id");
-                return;
+                return PumpStatus::Drop("undecodable response from shard");
             }
-            Some(Pending::Internal) => {} // the `ReadFloor` pin's ack
-            Some(Pending::Single { client_seq }) => {
-                // Fast path first: single-id shapes re-tag in place.
-                if retag_response(&payload, bseq_len, client_seq, map, shard, &mut retagged)
-                    .is_some()
-                {
-                    if session.send_client_bytes(&retagged, flush).is_err() {
-                        return; // client gone; the session is tearing down
-                    }
-                    continue;
-                }
-                match Response::decode(&payload) {
-                    Ok((_, response)) => {
-                        let resp = translate_response(response, map, shard);
-                        if session.send_client(client_seq, &resp, flush).is_err() {
-                            return;
-                        }
-                    }
-                    Err(_) => {
-                        let err = undecodable(session);
-                        let _ = session.send_client(client_seq, &Response::Err(err), false);
-                        fail_slot(session, slot_idx, "undecodable response from shard");
-                        return;
-                    }
-                }
-            }
-            Some(Pending::Part(gather)) => {
-                let part = match Response::decode(&payload) {
-                    Ok((_, response)) => Ok(translate_response(response, map, shard)),
-                    Err(_) => Err(undecodable(session)),
+        }
+    }
+}
+
+/// What correlating one backend frame concluded.
+enum FrameVerdict {
+    Answered,
+    Fault(&'static str),
+    ClientGone,
+}
+
+/// Correlate one backend frame with its pending entry, translate ids,
+/// and answer the client. `*wrote` records that the client writer now
+/// holds unflushed bytes — the pump flushes once per readiness round.
+fn on_backend_frame(
+    session: &Session<'_>,
+    slot_idx: usize,
+    payload: &[u8],
+    retagged: &mut Vec<u8>,
+    wrote: &mut bool,
+) -> FrameVerdict {
+    let map = session.shared.map;
+    let shard = slot_idx % map.shard_count();
+    let Ok((bseq, bseq_len)) = varint::read_u64(payload) else {
+        session
+            .shared
+            .stats
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        return FrameVerdict::Fault("undecodable response from shard");
+    };
+    let pending = session.slots[slot_idx].ctl.lock().pending.remove(&bseq);
+    // The pending entry is already removed, so this frame owns the
+    // answer for `bseq` — on an undecodable payload it answers with
+    // the exact `Unavailable` the failure path gives everything else
+    // in flight, then has the connection torn down.
+    let undecodable = |session: &Session<'_>| {
+        session
+            .shared
+            .stats
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        RemoteError::Unavailable(format!(
+            "shard {shard}: undecodable response from shard; request not retried"
+        ))
+    };
+    match pending {
+        None => {
+            // A response nothing asked for; ignoring it would leave
+            // the correlation state suspect, so treat as a fault.
+            session
+                .shared
+                .stats
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            FrameVerdict::Fault("response with unknown sequence id")
+        }
+        Some(Pending::Internal) => FrameVerdict::Answered, // the `ReadFloor` pin's ack
+        Some(Pending::Single { client_seq }) => {
+            // Fast path first: single-id shapes re-tag in place.
+            if retag_response(payload, bseq_len, client_seq, map, shard, retagged).is_some() {
+                *wrote = true;
+                return match session.send_client_bytes(retagged, false) {
+                    Ok(()) => FrameVerdict::Answered,
+                    Err(_) => FrameVerdict::ClientGone,
                 };
-                let failed = part.is_err();
-                let done = gather.lock().complete_part(shard, part);
-                if let Some(merged) = done {
-                    let seq = gather.lock().client_seq;
-                    if session.send_client(seq, &merged, flush).is_err() {
-                        return;
+            }
+            match Response::decode(payload) {
+                Ok((_, response)) => {
+                    let resp = translate_response(response, map, shard);
+                    *wrote = true;
+                    match session.send_client(client_seq, &resp, false) {
+                        Ok(()) => FrameVerdict::Answered,
+                        Err(_) => FrameVerdict::ClientGone,
                     }
-                } else if flush && session.client_writer.lock().flush().is_err() {
-                    return;
                 }
-                if failed {
-                    fail_slot(session, slot_idx, "undecodable response from shard");
-                    return;
+                Err(_) => {
+                    let err = undecodable(session);
+                    *wrote = true;
+                    let _ = session.send_client(client_seq, &Response::Err(err), false);
+                    FrameVerdict::Fault("undecodable response from shard")
                 }
+            }
+        }
+        Some(Pending::Part(gather)) => {
+            let part = match Response::decode(payload) {
+                Ok((_, response)) => Ok(translate_response(response, map, shard)),
+                Err(_) => Err(undecodable(session)),
+            };
+            let failed = part.is_err();
+            let done = gather.lock().complete_part(shard, part);
+            if let Some(merged) = done {
+                let seq = gather.lock().client_seq;
+                *wrote = true;
+                if session.send_client(seq, &merged, false).is_err() {
+                    return FrameVerdict::ClientGone;
+                }
+            }
+            if failed {
+                FrameVerdict::Fault("undecodable response from shard")
+            } else {
+                FrameVerdict::Answered
             }
         }
     }
@@ -1768,6 +1946,7 @@ mod tests {
             op_errors: 1,
             snapshot_hits: 5,
             snapshot_misses: 2,
+            slow_client_evictions: 1,
             requests: vec![(Opcode::Pnew, 3), (Opcode::Deref, 4)],
             storage: crate::protocol::StorageCounters {
                 read_txs: 10,
@@ -1787,6 +1966,7 @@ mod tests {
             op_errors: 0,
             snapshot_hits: 7,
             snapshot_misses: 1,
+            slow_client_evictions: 2,
             requests: vec![(Opcode::Deref, 6), (Opcode::Ping, 1)],
             storage: crate::protocol::StorageCounters {
                 read_txs: 20,
@@ -1806,6 +1986,7 @@ mod tests {
         assert_eq!(merged.op_errors, 1);
         assert_eq!(merged.snapshot_hits, 12);
         assert_eq!(merged.snapshot_misses, 3);
+        assert_eq!(merged.slow_client_evictions, 3);
         assert_eq!(merged.storage.read_txs, 30);
         assert_eq!(merged.storage.write_txs, 8);
         assert_eq!(merged.storage.write_conflicts, 5);

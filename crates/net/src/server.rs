@@ -1,39 +1,59 @@
 //! The Ode TCP server.
 //!
 //! [`OdeServer`] wraps an [`Arc<Database>`] and serves the wire
-//! protocol over `std::net`: an accept-loop thread hands connections to
-//! a bounded pool of worker threads; each worker runs one connection's
-//! session at a time. Read requests run on [`Database::snapshot`]s;
-//! write requests each run in their own [`Database::begin`] transaction
-//! committed before the response frame is sent (so a successful reply
-//! means the change is durable to the WAL).
+//! protocol over a **readiness event loop**: one thread runs an epoll
+//! poller (the vendored [`polling`] crate) over a nonblocking listener
+//! and every connection's nonblocking socket, so connection count is
+//! decoupled from thread count — 10k idle sessions cost 10k fds and
+//! some buffers, not 10k stacks. Request *execution* stays on a small
+//! worker pool ([`ServerConfig::workers`]), preserving the storage
+//! engine's multi-core parallelism: only connection I/O moved off
+//! dedicated threads.
 //!
-//! Each session is a **pipeline**: the connection's worker splits into
-//! a reader that decodes frames ahead into a bounded queue and an
-//! executor that drains it, so the client can keep many requests in
-//! flight. Responses carry the request's sequence id and may leave out
-//! of order — the reader answers `Ping`, `Stats`, and snapshot-cache
-//! hits immediately, ahead of queued work. The cache fast path is
-//! gated on the connection having no write queued, which preserves
-//! read-your-writes per connection; cross-connection consistency is
-//! commit-granular via the database's snapshot epoch (see
-//! [`crate::cache`]).
+//! Each connection is a small state machine driven by readiness:
 //!
-//! Ordering is **per connection only**: since the storage engine's
-//! snapshots are lock-free with respect to writers, one connection's
-//! in-flight write transaction never queues another connection's reads
-//! — each executor opens its snapshot immediately and reads the last
-//! published commit. The `Stats` response's storage counters
-//! ([`StorageCounters`]) expose the engine's reader/writer lock waits
-//! and group-commit batching for exactly this behavior.
+//! - **reading-frame** — readable bytes are pulled into an incremental
+//!   [`FrameBuffer`] (partial reads leave a partial frame buffered);
+//!   each complete frame is decoded on the loop. `Ping`, `Stats`,
+//!   `Epoch`, `ReadFloor`, and snapshot-cache hits are answered right
+//!   there, ahead of queued work; everything else becomes a job in the
+//!   connection's bounded inbox (the decode-ahead queue,
+//!   [`ServerConfig::pipeline_depth`]). A full inbox drops the
+//!   connection's read interest — backpressure is "stop reading", and
+//!   the kernel's receive window does the rest.
+//! - **executing** — at most one job batch per connection is in flight
+//!   on the worker pool at a time, so one connection's requests
+//!   execute in decode order (pipelining stays per-connection FIFO at
+//!   the store) while different connections execute in parallel.
+//!   Completed responses come back to the loop over a queue + poller
+//!   wake and may interleave arbitrarily across connections — the v2
+//!   sequence ids make out-of-order completion safe.
+//! - **writing-response** — response frames append to a per-connection
+//!   write buffer flushed as far as the socket allows (partial writes
+//!   keep a cursor). A non-empty buffer arms write interest; a reader
+//!   slower than its responses accumulates backlog until
+//!   [`ServerConfig::write_buffer_cap`], at which point the connection
+//!   is evicted (counted in `Stats` as `slow_client_evictions`) rather
+//!   than allowed to pin server memory.
 //!
-//! Shutdown is graceful and prompt: the listener is woken, every live
-//! connection's socket is shut down (unblocking worker reads), and all
-//! threads are joined. In-flight requests finish; their connections
-//! then close.
+//! Read requests run on [`Database::snapshot`]s; write requests each
+//! run in their own [`Database::begin`] transaction committed before
+//! the response frame is sent (a successful reply means the change is
+//! durable to the WAL). The cache fast path is gated on the connection
+//! having no write in flight, which preserves read-your-writes per
+//! connection; cross-connection consistency is commit-granular via the
+//! database's snapshot epoch (see [`crate::cache`]).
+//!
+//! The previous thread-per-connection implementation survives as
+//! [`crate::ThreadedServer`] — same wire behavior, used as the
+//! reference oracle by the state-machine proptest battery.
+//!
+//! Shutdown is graceful and prompt: the loop is woken, every live
+//! socket is shut down, queued jobs finish on the workers (writes
+//! commit), and all threads are joined.
 
-use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -41,24 +61,24 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 
 use ode::Database;
+use polling::{Event, Poller};
 
 use crate::cache::SnapshotCache;
 use crate::error::RemoteError;
 use crate::protocol::{
-    read_frame_into, write_frame, Opcode, Request, Response, StatsReport, StorageCounters, MAGIC,
+    write_frame, FrameBuffer, Opcode, Request, Response, StatsReport, StorageCounters, MAGIC,
     OPCODE_COUNT,
 };
-use crate::NetError;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads — the maximum number of concurrently served
-    /// connections (further accepted connections wait in line).
+    /// Worker threads executing requests — the storage-layer
+    /// parallelism cap. Connection count is independent of this.
     pub workers: usize,
     /// Per-connection decode-ahead depth: how many decoded requests may
-    /// wait in the executor queue before the reader stops pulling
-    /// frames off the socket (backpressure).
+    /// wait in the connection's inbox before the loop stops reading its
+    /// socket (backpressure).
     pub pipeline_depth: usize,
     /// Snapshot-cache capacity in responses per epoch; `0` disables the
     /// cache entirely.
@@ -69,6 +89,13 @@ pub struct ServerConfig {
     /// How long a read pinned by `ReadFloor` may wait for the node to
     /// apply the floor epoch before failing with `Unavailable`.
     pub read_floor_timeout: std::time::Duration,
+    /// Per-connection response-backlog cap in bytes. A client that
+    /// reads slower than it pipelines accumulates encoded responses in
+    /// its write buffer; crossing this cap evicts the connection
+    /// (`slow_client_evictions` in `Stats`) instead of letting one slow
+    /// reader pin unbounded server memory. Sized so that a full
+    /// pipeline of maximum-size frames fits comfortably above it.
+    pub write_buffer_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +110,7 @@ impl Default for ServerConfig {
             cache_entries: 4096,
             replica: false,
             read_floor_timeout: std::time::Duration::from_secs(5),
+            write_buffer_cap: 64 << 20,
         }
     }
 }
@@ -115,18 +143,19 @@ impl std::fmt::Debug for ServerHooks {
 
 /// Lifetime counters, all monotone except `active_connections`.
 #[derive(Default)]
-struct ServerStats {
-    active_connections: AtomicU64,
-    total_connections: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
-    protocol_errors: AtomicU64,
-    op_errors: AtomicU64,
-    requests: [AtomicU64; OPCODE_COUNT],
+pub(crate) struct ServerStats {
+    pub(crate) active_connections: AtomicU64,
+    pub(crate) total_connections: AtomicU64,
+    pub(crate) bytes_in: AtomicU64,
+    pub(crate) bytes_out: AtomicU64,
+    pub(crate) protocol_errors: AtomicU64,
+    pub(crate) op_errors: AtomicU64,
+    pub(crate) slow_client_evictions: AtomicU64,
+    pub(crate) requests: [AtomicU64; OPCODE_COUNT],
 }
 
 impl ServerStats {
-    fn report(&self, cache: &SnapshotCache, db: &Database) -> StatsReport {
+    pub(crate) fn report(&self, cache: &SnapshotCache, db: &Database) -> StatsReport {
         let storage = db.storage_stats();
         let requests = Opcode::ALL
             .iter()
@@ -144,6 +173,7 @@ impl ServerStats {
             op_errors: self.op_errors.load(Ordering::Relaxed),
             snapshot_hits: cache.hits(),
             snapshot_misses: cache.misses(),
+            slow_client_evictions: self.slow_client_evictions.load(Ordering::Relaxed),
             requests,
             storage: StorageCounters {
                 read_txs: storage.read_txs,
@@ -166,569 +196,167 @@ impl ServerStats {
     }
 }
 
-/// Live connections by id, kept as `try_clone`d handles so shutdown can
-/// unblock a worker parked in a socket read.
-type ConnRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
-
 /// Everything a connection needs about the node it runs on, shared by
-/// all workers: the database, counters, cache, and the node's
-/// replication role.
-struct NodeCtx {
-    db: Arc<Database>,
-    stats: Arc<ServerStats>,
-    cache: Arc<SnapshotCache>,
+/// the loop and all workers: the database, counters, cache, and the
+/// node's replication role.
+pub(crate) struct NodeCtx {
+    pub(crate) db: Arc<Database>,
+    pub(crate) stats: Arc<ServerStats>,
+    pub(crate) cache: Arc<SnapshotCache>,
     /// `true` while this node is a replica (writes refused). Flipped to
     /// `false` by a successful `Promote`.
-    replica: AtomicBool,
-    hooks: ServerHooks,
-    floor_timeout: std::time::Duration,
+    pub(crate) replica: AtomicBool,
+    pub(crate) hooks: ServerHooks,
+    pub(crate) floor_timeout: std::time::Duration,
 }
 
-/// A running Ode network server.
-pub struct OdeServer {
-    addr: SocketAddr,
-    ctx: Arc<NodeCtx>,
-    shutdown: Arc<AtomicBool>,
-    conns: ConnRegistry,
-    accept_handle: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
-}
-
-impl OdeServer {
-    /// Bind `addr` (port 0 picks a free port) and start serving `db`.
-    pub fn bind(
-        db: Arc<Database>,
-        addr: impl ToSocketAddrs,
-        config: ServerConfig,
-    ) -> io::Result<OdeServer> {
-        OdeServer::bind_with(db, addr, config, ServerHooks::default())
-    }
-
-    /// [`OdeServer::bind`] with replication hooks (commit barrier,
-    /// promote handler).
-    pub fn bind_with(
-        db: Arc<Database>,
-        addr: impl ToSocketAddrs,
-        config: ServerConfig,
-        hooks: ServerHooks,
-    ) -> io::Result<OdeServer> {
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let stats = Arc::new(ServerStats::default());
-        let cache = Arc::new(SnapshotCache::new(config.cache_entries));
-        let conns: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
-        let depth = config.pipeline_depth.max(1);
-        let ctx = Arc::new(NodeCtx {
+impl NodeCtx {
+    pub(crate) fn new(db: Arc<Database>, config: &ServerConfig, hooks: ServerHooks) -> NodeCtx {
+        NodeCtx {
             db,
-            stats: Arc::clone(&stats),
-            cache,
+            stats: Arc::new(ServerStats::default()),
+            cache: Arc::new(SnapshotCache::new(config.cache_entries)),
             replica: AtomicBool::new(config.replica),
             hooks,
             floor_timeout: config.read_floor_timeout,
-        });
-
-        let (conn_tx, conn_rx) = mpsc::channel::<(u64, TcpStream)>();
-        let conn_rx = Arc::new(Mutex::new(conn_rx));
-
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let ctx = Arc::clone(&ctx);
-                let rx = Arc::clone(&conn_rx);
-                let conns = Arc::clone(&conns);
-                thread::Builder::new()
-                    .name(format!("ode-net-worker-{i}"))
-                    .spawn(move || worker_loop(&ctx, &rx, &conns, depth))
-                    .expect("spawn server worker thread")
-            })
-            .collect();
-
-        let accept_handle = {
-            let shutdown = Arc::clone(&shutdown);
-            let stats = Arc::clone(&stats);
-            thread::Builder::new()
-                .name("ode-net-accept".into())
-                .spawn(move || {
-                    let mut next_id = 0u64;
-                    // conn_tx moves in here; dropping it on exit stops
-                    // the workers once the queue drains.
-                    for stream in listener.incoming() {
-                        if shutdown.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        let stream = match stream {
-                            Ok(s) => s,
-                            Err(_) => continue,
-                        };
-                        stats.total_connections.fetch_add(1, Ordering::Relaxed);
-                        next_id += 1;
-                        if conn_tx.send((next_id, stream)).is_err() {
-                            break;
-                        }
-                    }
-                })
-                .expect("spawn server accept thread")
-        };
-
-        Ok(OdeServer {
-            addr,
-            ctx,
-            shutdown,
-            conns,
-            accept_handle: Some(accept_handle),
-            workers,
-        })
-    }
-
-    /// The address the server is listening on.
-    pub fn local_addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// Whether this node currently refuses writes (replica role).
-    pub fn is_replica(&self) -> bool {
-        self.ctx.replica.load(Ordering::Acquire)
-    }
-
-    /// A snapshot of the server's counters (the same data the `Stats`
-    /// opcode serves remotely).
-    pub fn stats(&self) -> StatsReport {
-        self.ctx.stats.report(&self.ctx.cache, &self.ctx.db)
-    }
-
-    /// Stop accepting, unblock and close every live connection, and
-    /// join all server threads. In-flight requests complete first.
-    pub fn shutdown(mut self) {
-        self.stop();
-    }
-
-    fn stop(&mut self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Wake the accept loop with a throwaway connection; it sees the
-        // flag and exits, dropping the channel sender.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_handle.take() {
-            let _ = handle.join();
-        }
-        // Unblock workers parked in reads on live sessions.
-        for (_, stream) in self.conns.lock().unwrap().drain() {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
         }
     }
-}
-
-impl Drop for OdeServer {
-    fn drop(&mut self) {
-        self.stop();
-    }
-}
-
-fn worker_loop(
-    ctx: &NodeCtx,
-    rx: &Mutex<mpsc::Receiver<(u64, TcpStream)>>,
-    conns: &ConnRegistry,
-    depth: usize,
-) {
-    loop {
-        // Hold the lock only for the dequeue, not the whole session.
-        let next = rx.lock().unwrap().recv();
-        let (id, stream) = match next {
-            Ok(pair) => pair,
-            Err(_) => return, // sender gone: server is shutting down
-        };
-        if let Ok(handle) = stream.try_clone() {
-            conns.lock().unwrap().insert(id, handle);
-        }
-        ctx.stats.active_connections.fetch_add(1, Ordering::Relaxed);
-        let _ = serve_connection(ctx, stream, depth);
-        ctx.stats.active_connections.fetch_sub(1, Ordering::Relaxed);
-        conns.lock().unwrap().remove(&id);
-    }
-}
-
-/// One decoded request waiting for the connection's executor.
-struct Job {
-    seq: u64,
-    request: Request,
-    /// Cache key (the request's operation bytes, i.e. the payload
-    /// after its sequence varint) — `Some` for reads.
-    key: Option<Vec<u8>>,
-    /// Whether the reader already consulted the cache and missed; the
-    /// executor then skips its own lookup so each request counts one
-    /// hit or one miss, never both.
-    looked_up: bool,
-}
-
-/// Send one response frame. Responses from the reader fast path and the
-/// executor interleave on the same socket, so every frame goes through
-/// this one lock. The frame lands in the shared `BufWriter` only —
-/// flushing is coalesced: each half of the session flushes when it runs
-/// out of immediate work (the reader before a socket read can block,
-/// the executor when its queue drains), so a pipelined batch costs a
-/// handful of write syscalls instead of one per response.
-fn respond(
-    writer: &Mutex<BufWriter<TcpStream>>,
-    stats: &ServerStats,
-    seq: u64,
-    response: &Response,
-) -> io::Result<()> {
-    respond_bytes(writer, stats, &response.encode(seq))
-}
-
-/// [`respond`] for an already-encoded payload.
-fn respond_bytes(
-    writer: &Mutex<BufWriter<TcpStream>>,
-    stats: &ServerStats,
-    out: &[u8],
-) -> io::Result<()> {
-    let mut w = writer.lock().unwrap();
-    let written = write_frame(&mut *w, out)?;
-    drop(w);
-    stats.bytes_out.fetch_add(written, Ordering::Relaxed);
-    Ok(())
-}
-
-/// Flush everything buffered on the shared writer.
-fn flush_writer(writer: &Mutex<BufWriter<TcpStream>>) -> io::Result<()> {
-    writer.lock().unwrap().flush()
 }
 
 /// Length in bytes of the sequence-id varint a frame payload starts
 /// with — the *actual* length off the wire, so the operation bytes
 /// after it are exact even for non-canonical encodings.
-fn seq_prefix_len(payload: &[u8]) -> usize {
+pub(crate) fn seq_prefix_len(payload: &[u8]) -> usize {
     payload.iter().take_while(|b| **b & 0x80 != 0).count() + 1
 }
 
-/// Run one connection's session to completion. Any `Err` return or
-/// protocol violation closes the connection; per-request operation
-/// failures are reported in error frames and the session continues.
-fn serve_connection(ctx: &NodeCtx, stream: TcpStream, depth: usize) -> io::Result<()> {
-    stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let writer = Mutex::new(BufWriter::new(stream));
-
-    // Handshake: expect the client's magic, echo it back.
-    let mut magic = [0u8; 4];
-    reader.read_exact(&mut magic)?;
-    if magic != MAGIC {
-        ctx.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-        return Ok(());
-    }
-    {
-        let mut w = writer.lock().unwrap();
-        w.write_all(&MAGIC)?;
-        w.flush()?;
-    }
-
-    // Writes queued on this connection but not yet committed. While
-    // non-zero the reader must not answer reads from the cache: a read
-    // pipelined after a write has to observe that write.
-    let pending_writes = AtomicU64::new(0);
-    // This connection's read floor (the `ReadFloor` opcode): reads wait
-    // until the node has applied at least this epoch. Per-connection,
-    // because it encodes one client session's read-your-writes horizon.
-    let read_floor = AtomicU64::new(0);
-
-    let (job_tx, job_rx) = mpsc::sync_channel::<Job>(depth);
-    thread::scope(|scope| {
-        let executor = thread::Builder::new()
-            .name("ode-net-exec".into())
-            .spawn_scoped(scope, {
-                let writer = &writer;
-                let pending_writes = &pending_writes;
-                let read_floor = &read_floor;
-                move || executor_loop(ctx, job_rx, writer, pending_writes, read_floor)
-            })
-            .expect("spawn connection executor thread");
-        let result = reader_loop(
-            ctx,
-            &mut reader,
-            job_tx, // moved: dropping it on return stops the executor
-            &writer,
-            &pending_writes,
-            &read_floor,
-        );
-        let _ = executor.join();
-        result
-    })
-}
-
-/// The session's frame-decoding half: pulls frames off the socket,
-/// answers what it can immediately (`Ping`, `Stats`, cache hits,
-/// protocol errors), and queues the rest for the executor in order.
-fn reader_loop(
-    ctx: &NodeCtx,
-    reader: &mut BufReader<TcpStream>,
-    job_tx: mpsc::SyncSender<Job>,
-    writer: &Mutex<BufWriter<TcpStream>>,
-    pending_writes: &AtomicU64,
-    read_floor: &AtomicU64,
-) -> io::Result<()> {
-    let (db, stats, cache) = (&*ctx.db, &*ctx.stats, &*ctx.cache);
-    // Both buffers live across iterations — frame payloads and
-    // fast-path responses reuse one allocation each.
-    let mut payload = Vec::new();
-    let mut out = Vec::new();
-    loop {
-        // Coalesced flushing: once the read buffer is dry, the next
-        // frame read can block, so everything answered since the last
-        // flush (fast-path hits, pings) must reach the wire first.
-        if reader.buffer().is_empty() {
-            flush_writer(writer)?;
-        }
-        match read_frame_into(reader, &mut payload) {
-            Ok(true) => {}
-            Ok(false) => return Ok(()), // client hung up cleanly
-            Err(NetError::Io(e)) => return Err(e),
-            Err(_) => {
-                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                return Ok(());
-            }
-        };
-        stats.bytes_in.fetch_add(
-            payload.len() as u64 + frame_prefix_len(payload.len()),
-            Ordering::Relaxed,
-        );
-
-        let (seq, request) = match Request::decode(&payload) {
-            Ok(decoded) => decoded,
-            Err(e) => {
-                // The frame was well delimited, so the stream is still
-                // in sync: report under the request's sequence id (or 0
-                // when even that is unreadable) and keep the session
-                // alive.
-                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                let seq = Request::decode_seq(&payload).unwrap_or(0);
-                let response = Response::Err(RemoteError::BadRequest(e.to_string()));
-                respond(writer, stats, seq, &response)?;
-                continue;
-            }
-        };
-        stats.requests[request.opcode() as usize].fetch_add(1, Ordering::Relaxed);
-
-        match request {
-            // Answered in place, possibly ahead of queued work.
-            Request::Ping => respond(writer, stats, seq, &Response::Pong)?,
-            Request::Stats => {
-                respond(
-                    writer,
-                    stats,
-                    seq,
-                    &Response::Stats(stats.report(cache, db)),
-                )?;
-            }
-            // The router's health probe: answered inline so a node busy
-            // with queued work still reports its epoch promptly.
-            Request::Epoch => {
-                respond(writer, stats, seq, &Response::Count(db.snapshot_epoch()))?;
-            }
-            // Set here, in stream order: every read decoded after this
-            // frame sees the new floor, exactly the read-your-writes
-            // contract the router relies on.
-            Request::ReadFloor { epoch } => {
-                read_floor.store(epoch, Ordering::Release);
-                respond(writer, stats, seq, &Response::Unit)?;
-            }
-            request if request.is_read() => {
-                // The cache key is the request's operation bytes — the
-                // payload minus its sequence varint, borrowed straight
-                // off the frame (no re-encode).
-                let op_bytes = &payload[seq_prefix_len(&payload)..];
-                // Cache fast path, only when no write is queued ahead
-                // on this connection (read-your-writes). The epoch is
-                // sampled here, after the gate: any commit acknowledged
-                // before this request was sent has already bumped it.
-                let mut looked_up = false;
-                let floor = read_floor.load(Ordering::Acquire);
-                if pending_writes.load(Ordering::Acquire) == 0 && db.snapshot_epoch() >= floor {
-                    if let Some(cached) = cache.lookup(db.snapshot_epoch(), op_bytes) {
-                        // Wire-ready bytes: this caller's sequence id
-                        // prefixed onto the stored encoded response.
-                        out.clear();
-                        ode_codec::varint::write_u64(&mut out, seq);
-                        out.extend_from_slice(&cached);
-                        respond_bytes(writer, stats, &out)?;
-                        continue;
-                    }
-                    looked_up = true;
-                }
-                let job = Job {
-                    seq,
-                    request,
-                    key: Some(op_bytes.to_vec()),
-                    looked_up,
-                };
-                if job_tx.send(job).is_err() {
-                    return Ok(()); // executor died (socket gone)
-                }
-            }
-            request => {
-                pending_writes.fetch_add(1, Ordering::AcqRel);
-                let job = Job {
-                    seq,
-                    request,
-                    key: None,
-                    looked_up: false,
-                };
-                if job_tx.send(job).is_err() {
-                    return Ok(());
-                }
-            }
-        }
-    }
-}
-
-/// The session's executing half: drains the job queue in order, runs
-/// each request against the database, and ships the response.
-fn executor_loop(
-    ctx: &NodeCtx,
-    job_rx: mpsc::Receiver<Job>,
-    writer: &Mutex<BufWriter<TcpStream>>,
-    pending_writes: &AtomicU64,
-    read_floor: &AtomicU64,
-) {
-    let (db, stats, cache) = (&*ctx.db, &*ctx.stats, &*ctx.cache);
-    loop {
-        let job = match job_rx.try_recv() {
-            Ok(job) => Some(job),
-            Err(mpsc::TryRecvError::Empty) => {
-                // The queue is dry: everything answered so far must
-                // reach the wire before this thread blocks.
-                if flush_writer(writer).is_err() {
-                    return;
-                }
-                job_rx.recv().ok()
-            }
-            Err(mpsc::TryRecvError::Disconnected) => None,
-        };
-        let Some(job) = job else {
-            let _ = flush_writer(writer);
-            return;
-        };
-        let is_write = job.key.is_none();
-        // The response encoded under the job's sequence id; what the
-        // cache stores is the part after the sequence varint, which is
-        // caller-independent.
-        let out: Vec<u8> = match job.key {
-            Some(key) => {
-                // Replica read gate: a pinned connection's reads wait
-                // until this node has applied the floor epoch, and fail
-                // `Unavailable` (never answer from older state) when it
-                // stays behind past the timeout.
-                let floor = read_floor.load(Ordering::Acquire);
-                if floor > 0 && db.wait_for_epoch(floor, ctx.floor_timeout) < floor {
-                    stats.op_errors.fetch_add(1, Ordering::Relaxed);
-                    Response::Err(RemoteError::Unavailable(format!(
-                        "node at epoch {} has not applied read floor {floor}",
-                        db.snapshot_epoch()
-                    )))
-                    .encode(job.seq)
-                } else {
-                    // Sampled before the snapshot opens: a commit
-                    // landing in between tags the fill with an already-
-                    // stale epoch (a wasted entry, never a stale hit).
-                    let epoch = db.snapshot_epoch();
-                    let cached = if job.looked_up {
-                        None
-                    } else {
-                        cache.lookup(epoch, &key)
-                    };
-                    match cached {
-                        Some(cached) => {
-                            let mut out = Vec::with_capacity(10 + cached.len());
-                            ode_codec::varint::write_u64(&mut out, job.seq);
-                            out.extend_from_slice(&cached);
-                            out
-                        }
-                        None => match apply(db, job.request) {
-                            Ok(response) => {
-                                let out = response.encode(job.seq);
-                                cache.insert(epoch, key, Arc::from(&out[seq_prefix_len(&out)..]));
-                                out
-                            }
-                            Err(e) => {
-                                stats.op_errors.fetch_add(1, Ordering::Relaxed);
-                                Response::Err(RemoteError::from(&e)).encode(job.seq)
-                            }
-                        },
-                    }
-                }
-            }
-            None if matches!(job.request, Request::Promote) => {
-                // Driven failover. Idempotent: promoting a primary is a
-                // no-op success.
-                let result = if !ctx.replica.load(Ordering::Acquire) {
-                    Ok(())
-                } else {
-                    match &ctx.hooks.promote {
-                        Some(hook) => hook(),
-                        None => ctx.db.promote_to_primary().map_err(|e| e.to_string()),
-                    }
-                };
-                match result {
-                    Ok(()) => {
-                        ctx.replica.store(false, Ordering::Release);
-                        Response::Unit.encode(job.seq)
-                    }
-                    Err(msg) => {
-                        stats.op_errors.fetch_add(1, Ordering::Relaxed);
-                        Response::Err(RemoteError::Storage(msg)).encode(job.seq)
-                    }
-                }
-            }
-            None if ctx.replica.load(Ordering::Acquire) => {
-                // Replicas are read-only; the router never routes
-                // writes here, so this is a client targeting the wrong
-                // node (or a promotion race) — strictly not retryable
-                // on this connection.
-                stats.op_errors.fetch_add(1, Ordering::Relaxed);
-                Response::Err(RemoteError::Unavailable(
-                    "replica is read-only (writes go to the primary)".into(),
-                ))
-                .encode(job.seq)
-            }
-            None => apply(db, job.request)
-                .inspect(|_| {
-                    // Semi-synchronous barrier: hold the response
-                    // until a replica acked this commit's epoch.
-                    if let Some(wait) = &ctx.hooks.commit_wait {
-                        wait(db.snapshot_epoch());
-                    }
-                })
-                .unwrap_or_else(|e| {
-                    stats.op_errors.fetch_add(1, Ordering::Relaxed);
-                    Response::Err(RemoteError::from(&e))
-                })
-                .encode(job.seq),
-        };
-        let sent = respond_bytes(writer, stats, &out);
-        if is_write {
-            // Cleared only now, after the write committed (or failed):
-            // a reader that sees zero can safely serve cached reads.
-            pending_writes.fetch_sub(1, Ordering::AcqRel);
-        }
-        if sent.is_err() {
-            return; // socket gone; reader will notice too
-        }
-    }
-}
-
-fn frame_prefix_len(payload_len: usize) -> u64 {
+pub(crate) fn frame_prefix_len(payload_len: usize) -> u64 {
     let mut buf = Vec::with_capacity(10);
     ode_codec::varint::write_u64(&mut buf, payload_len as u64);
     buf.len() as u64
 }
 
+/// One decoded request waiting for (or in flight on) the worker pool.
+pub(crate) struct Job {
+    pub(crate) seq: u64,
+    pub(crate) request: Request,
+    /// Cache key (the request's operation bytes, i.e. the payload
+    /// after its sequence varint) — `Some` for reads.
+    pub(crate) key: Option<Vec<u8>>,
+    /// Whether the decode path already consulted the cache and missed;
+    /// execution then skips its own lookup so each request counts one
+    /// hit or one miss, never both.
+    pub(crate) looked_up: bool,
+    /// The connection's read floor when this request was decoded —
+    /// stream-order semantics for the `ReadFloor` opcode.
+    pub(crate) floor: u64,
+}
+
+/// Execute one job to a wire-ready encoded response. The second return
+/// is whether the job was a write (the caller clears its
+/// read-your-writes gate only after the commit happened here).
+pub(crate) fn execute_job(ctx: &NodeCtx, job: Job) -> (Vec<u8>, bool) {
+    let (db, stats, cache) = (&*ctx.db, &*ctx.stats, &*ctx.cache);
+    let is_write = job.key.is_none();
+    let out: Vec<u8> = match job.key {
+        Some(key) => {
+            // Replica read gate: a pinned connection's reads wait until
+            // this node has applied the floor epoch, and fail
+            // `Unavailable` (never answer from older state) when it
+            // stays behind past the timeout.
+            let floor = job.floor;
+            if floor > 0 && db.wait_for_epoch(floor, ctx.floor_timeout) < floor {
+                stats.op_errors.fetch_add(1, Ordering::Relaxed);
+                Response::Err(RemoteError::Unavailable(format!(
+                    "node at epoch {} has not applied read floor {floor}",
+                    db.snapshot_epoch()
+                )))
+                .encode(job.seq)
+            } else {
+                // Sampled before the snapshot opens: a commit landing
+                // in between tags the fill with an already-stale epoch
+                // (a wasted entry, never a stale hit).
+                let epoch = db.snapshot_epoch();
+                let cached = if job.looked_up {
+                    None
+                } else {
+                    cache.lookup(epoch, &key)
+                };
+                match cached {
+                    Some(cached) => {
+                        let mut out = Vec::with_capacity(10 + cached.len());
+                        ode_codec::varint::write_u64(&mut out, job.seq);
+                        out.extend_from_slice(&cached);
+                        out
+                    }
+                    None => match apply(db, job.request) {
+                        Ok(response) => {
+                            let out = response.encode(job.seq);
+                            cache.insert(epoch, key, Arc::from(&out[seq_prefix_len(&out)..]));
+                            out
+                        }
+                        Err(e) => {
+                            stats.op_errors.fetch_add(1, Ordering::Relaxed);
+                            Response::Err(RemoteError::from(&e)).encode(job.seq)
+                        }
+                    },
+                }
+            }
+        }
+        None if matches!(job.request, Request::Promote) => {
+            // Driven failover. Idempotent: promoting a primary is a
+            // no-op success.
+            let result = if !ctx.replica.load(Ordering::Acquire) {
+                Ok(())
+            } else {
+                match &ctx.hooks.promote {
+                    Some(hook) => hook(),
+                    None => ctx.db.promote_to_primary().map_err(|e| e.to_string()),
+                }
+            };
+            match result {
+                Ok(()) => {
+                    ctx.replica.store(false, Ordering::Release);
+                    Response::Unit.encode(job.seq)
+                }
+                Err(msg) => {
+                    stats.op_errors.fetch_add(1, Ordering::Relaxed);
+                    Response::Err(RemoteError::Storage(msg)).encode(job.seq)
+                }
+            }
+        }
+        None if ctx.replica.load(Ordering::Acquire) => {
+            // Replicas are read-only; the router never routes writes
+            // here, so this is a client targeting the wrong node (or a
+            // promotion race) — strictly not retryable on this
+            // connection.
+            stats.op_errors.fetch_add(1, Ordering::Relaxed);
+            Response::Err(RemoteError::Unavailable(
+                "replica is read-only (writes go to the primary)".into(),
+            ))
+            .encode(job.seq)
+        }
+        None => apply(db, job.request)
+            .inspect(|_| {
+                // Semi-synchronous barrier: hold the response until a
+                // replica acked this commit's epoch.
+                if let Some(wait) = &ctx.hooks.commit_wait {
+                    wait(db.snapshot_epoch());
+                }
+            })
+            .unwrap_or_else(|e| {
+                stats.op_errors.fetch_add(1, Ordering::Relaxed);
+                Response::Err(RemoteError::from(&e))
+            })
+            .encode(job.seq),
+    };
+    (out, is_write)
+}
+
 /// Execute one operation. Reads run on a snapshot; writes run in a
 /// transaction committed before returning, so the response implies
 /// durability.
-fn apply(db: &Database, request: Request) -> ode::Result<Response> {
+pub(crate) fn apply(db: &Database, request: Request) -> ode::Result<Response> {
     if request.is_read() {
         let mut snap = db.snapshot();
         return match request {
@@ -756,7 +384,7 @@ fn apply(db: &Database, request: Request) -> ode::Result<Response> {
             Request::VersionCount { oid } => Ok(Response::Count(snap.version_count_raw(oid)?)),
             Request::Exists { oid } => Ok(Response::Flag(snap.exists_raw(oid)?)),
             Request::VersionExists { vid } => Ok(Response::Flag(snap.version_exists_raw(vid)?)),
-            // Ping/Stats are answered by the reader; writes are handled
+            // Ping/Stats are answered at decode; writes are handled
             // below.
             _ => unreachable!("non-read request routed to snapshot"),
         };
@@ -787,4 +415,720 @@ fn apply(db: &Database, request: Request) -> ode::Result<Response> {
     };
     txn.commit()?;
     Ok(response)
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+/// The listener's poller key; connection tokens start above it.
+const LISTENER_KEY: usize = 0;
+
+/// One connection's batch of decoded jobs headed for the worker pool.
+struct Batch {
+    token: usize,
+    jobs: Vec<Job>,
+}
+
+/// What a worker sends back to the loop.
+enum Completion {
+    /// One job's encoded response frame payload.
+    Response {
+        token: usize,
+        out: Vec<u8>,
+        is_write: bool,
+    },
+    /// The batch finished; the connection may dispatch its next one.
+    BatchDone { token: usize },
+}
+
+/// Worker→loop completion queue. Workers push and wake the poller; the
+/// loop drains on every wakeup.
+struct Completions {
+    queue: Mutex<VecDeque<Completion>>,
+    poller: Arc<Poller>,
+}
+
+impl Completions {
+    fn push(&self, c: Completion) {
+        self.queue.lock().unwrap().push_back(c);
+        let _ = self.poller.notify();
+    }
+}
+
+/// Per-connection state machine. The `state` a connection is in is
+/// encoded by its buffers and flags: bytes pending in `rbuf` =
+/// reading-frame, `dispatched` = executing, bytes pending in `wbuf` =
+/// writing-response; all three can hold at once (that is what
+/// pipelining means).
+struct Conn {
+    stream: TcpStream,
+    token: usize,
+    /// Handshake progress: how many magic bytes have been read
+    /// (sessions start in the handshake state, `got < 4`).
+    magic_got: usize,
+    /// Partial-read buffer: accumulates socket bytes, yields frames.
+    rbuf: FrameBuffer,
+    /// Decoded jobs not yet dispatched to the workers.
+    inbox: VecDeque<Job>,
+    /// A batch is executing on the worker pool (at most one at a time
+    /// per connection — this is what keeps execution in decode order).
+    dispatched: bool,
+    /// Writes decoded but not yet committed: non-zero closes the
+    /// snapshot-cache fast path (read-your-writes).
+    pending_writes: u64,
+    /// The connection's read floor (the `ReadFloor` opcode), applied
+    /// to reads decoded after it.
+    read_floor: u64,
+    /// Partial-write buffer (`wpos` = bytes already on the wire).
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Peer sent EOF: finish decoded work, then close.
+    peer_closed: bool,
+    /// The socket's write side failed; responses are discarded but
+    /// decoded writes still execute (they were accepted off the wire).
+    write_dead: bool,
+    /// Interest currently armed with the poller, to skip no-op
+    /// `modify` syscalls.
+    armed: (bool, bool),
+}
+
+impl Conn {
+    fn backlog(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// Appends one response frame to the write buffer.
+    fn queue_frame(&mut self, stats: &ServerStats, payload: &[u8]) {
+        queue_frame(
+            &mut self.wbuf,
+            &mut self.wpos,
+            self.write_dead,
+            stats,
+            payload,
+        );
+    }
+}
+
+/// [`Conn::queue_frame`] over split borrows, for call sites holding a
+/// frame payload borrowed out of the same connection's read buffer.
+fn queue_frame(
+    wbuf: &mut Vec<u8>,
+    wpos: &mut usize,
+    write_dead: bool,
+    stats: &ServerStats,
+    payload: &[u8],
+) {
+    if write_dead {
+        return;
+    }
+    // Compact lazily once the sent prefix dominates.
+    if *wpos > 4096 && *wpos * 2 > wbuf.len() {
+        wbuf.drain(..*wpos);
+        *wpos = 0;
+    }
+    let written = write_frame(wbuf, payload).expect("Vec write is infallible");
+    stats.bytes_out.fetch_add(written, Ordering::Relaxed);
+}
+
+/// Why a connection is being torn down.
+enum Close {
+    /// Clean end of session (EOF with nothing left to do, handshake
+    /// refusal, frame-level protocol error).
+    Done,
+    /// Response backlog exceeded the write-buffer cap.
+    Evicted,
+}
+
+/// A running Ode network server (readiness event loop).
+pub struct OdeServer {
+    addr: SocketAddr,
+    ctx: Arc<NodeCtx>,
+    shutdown: Arc<AtomicBool>,
+    poller: Arc<Poller>,
+    loop_handle: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl OdeServer {
+    /// Bind `addr` (port 0 picks a free port) and start serving `db`.
+    pub fn bind(
+        db: Arc<Database>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<OdeServer> {
+        OdeServer::bind_with(db, addr, config, ServerHooks::default())
+    }
+
+    /// [`OdeServer::bind`] with replication hooks (commit barrier,
+    /// promote handler).
+    pub fn bind_with(
+        db: Arc<Database>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        hooks: ServerHooks,
+    ) -> io::Result<OdeServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let ctx = Arc::new(NodeCtx::new(db, &config, hooks));
+        let poller = Arc::new(Poller::new()?);
+        poller.add(&listener, Event::readable(LISTENER_KEY))?;
+
+        let (job_tx, job_rx) = mpsc::channel::<Batch>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let completions = Arc::new(Completions {
+            queue: Mutex::new(VecDeque::new()),
+            poller: Arc::clone(&poller),
+        });
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let ctx = Arc::clone(&ctx);
+                let rx = Arc::clone(&job_rx);
+                let completions = Arc::clone(&completions);
+                thread::Builder::new()
+                    .name(format!("ode-net-worker-{i}"))
+                    .spawn(move || worker_loop(&ctx, &rx, &completions))
+                    .expect("spawn server worker thread")
+            })
+            .collect();
+
+        let loop_handle = {
+            let ctx = Arc::clone(&ctx);
+            let poller = Arc::clone(&poller);
+            let shutdown = Arc::clone(&shutdown);
+            let depth = config.pipeline_depth.max(1);
+            let write_cap = config.write_buffer_cap.max(1);
+            thread::Builder::new()
+                .name("ode-net-loop".into())
+                .spawn(move || {
+                    // job_tx moves in here; dropping it on exit stops
+                    // the workers once the queue drains.
+                    event_loop(
+                        &ctx,
+                        listener,
+                        &poller,
+                        job_tx,
+                        &completions,
+                        &shutdown,
+                        depth,
+                        write_cap,
+                    )
+                })
+                .expect("spawn server event-loop thread")
+        };
+
+        Ok(OdeServer {
+            addr,
+            ctx,
+            shutdown,
+            poller,
+            loop_handle: Some(loop_handle),
+            workers,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether this node currently refuses writes (replica role).
+    pub fn is_replica(&self) -> bool {
+        self.ctx.replica.load(Ordering::Acquire)
+    }
+
+    /// A snapshot of the server's counters (the same data the `Stats`
+    /// opcode serves remotely).
+    pub fn stats(&self) -> StatsReport {
+        self.ctx.stats.report(&self.ctx.cache, &self.ctx.db)
+    }
+
+    /// Stop accepting, close every live connection, and join all
+    /// server threads. Requests already decoded complete first (their
+    /// writes commit; undeliverable responses are discarded).
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = self.poller.notify();
+        if let Some(handle) = self.loop_handle.take() {
+            let _ = handle.join();
+        }
+        // The loop dropped job_tx on exit; workers drain what was
+        // dispatched, then see the hangup and exit.
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for OdeServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for OdeServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OdeServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+fn worker_loop(ctx: &NodeCtx, rx: &Mutex<mpsc::Receiver<Batch>>, completions: &Completions) {
+    loop {
+        // Hold the lock only for the dequeue, not the execution.
+        let next = rx.lock().unwrap().recv();
+        let Ok(batch) = next else {
+            return; // sender gone: server is shutting down
+        };
+        for job in batch.jobs {
+            let (out, is_write) = execute_job(ctx, job);
+            // Streamed back one by one: earlier responses in a batch
+            // reach the wire while later jobs still execute.
+            completions.push(Completion::Response {
+                token: batch.token,
+                out,
+                is_write,
+            });
+        }
+        completions.push(Completion::BatchDone { token: batch.token });
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn event_loop(
+    ctx: &NodeCtx,
+    listener: TcpListener,
+    poller: &Arc<Poller>,
+    job_tx: mpsc::Sender<Batch>,
+    completions: &Completions,
+    shutdown: &AtomicBool,
+    depth: usize,
+    write_cap: usize,
+) {
+    let stats = &*ctx.stats;
+    let mut conns: HashMap<usize, Conn> = HashMap::new();
+    let mut next_token = LISTENER_KEY + 1;
+    let mut events: Vec<Event> = Vec::new();
+    let mut scratch = vec![0u8; 64 << 10];
+    // Connections touched this wakeup, pumped once at the end so a
+    // burst of completions costs one flush, not one syscall each.
+    let mut touched: Vec<usize> = Vec::new();
+
+    'run: loop {
+        if poller.wait(&mut events, None).is_err() {
+            break;
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        touched.clear();
+
+        for &ev in &events {
+            if ev.key == LISTENER_KEY {
+                accept_ready(&listener, poller, &mut conns, &mut next_token, stats);
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&ev.key) else {
+                continue;
+            };
+            if ev.readable {
+                read_ready(conn, ctx, &mut scratch, depth);
+            }
+            if !touched.contains(&ev.key) {
+                touched.push(ev.key);
+            }
+        }
+
+        // Drain completions delivered by the workers.
+        loop {
+            let Some(c) = completions.queue.lock().unwrap().pop_front() else {
+                break;
+            };
+            match c {
+                Completion::Response {
+                    token,
+                    out,
+                    is_write,
+                } => {
+                    // The connection may have been evicted while the
+                    // job executed; its work stands, the frame drops.
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue;
+                    };
+                    if is_write {
+                        conn.pending_writes -= 1;
+                    }
+                    conn.queue_frame(stats, &out);
+                    if !touched.contains(&token) {
+                        touched.push(token);
+                    }
+                }
+                Completion::BatchDone { token } => {
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue;
+                    };
+                    conn.dispatched = false;
+                    if !touched.contains(&token) {
+                        touched.push(token);
+                    }
+                }
+            }
+        }
+
+        // One pump — parse, dispatch, flush, re-arm — per touched
+        // connection.
+        for &token in &touched {
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            match pump(conn, ctx, poller, &job_tx, depth, write_cap) {
+                Ok(()) => {}
+                Err(close) => {
+                    if let Close::Evicted = close {
+                        stats.slow_client_evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let mut conn = conns.remove(&token).expect("conn present");
+                    // Best-effort final flush (one nonblocking pass),
+                    // mirroring the threaded server's buffered-writer
+                    // drop: answers queued before a fatal frame should
+                    // still try to reach the client.
+                    if !conn.write_dead && conn.backlog() > 0 {
+                        let wpos = conn.wpos;
+                        let _ = conn.stream.write_all(&conn.wbuf[wpos..]);
+                    }
+                    let _ = poller.delete(&conn.stream);
+                    let _ = conn.stream.shutdown(Shutdown::Both);
+                    stats.active_connections.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                break 'run;
+            }
+        }
+    }
+
+    // Teardown: close every socket; decoded-but-undispatched jobs are
+    // flushed to the workers first so "accepted off the wire" implies
+    // "executed" even across shutdown.
+    for (_, mut conn) in conns.drain() {
+        if !conn.inbox.is_empty() {
+            let _ = job_tx.send(Batch {
+                token: conn.token,
+                jobs: conn.inbox.drain(..).collect(),
+            });
+        }
+        let _ = poller.delete(&conn.stream);
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        stats.active_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+    drop(listener);
+    // job_tx drops here: workers finish the backlog and exit.
+}
+
+fn accept_ready(
+    listener: &TcpListener,
+    poller: &Poller,
+    conns: &mut HashMap<usize, Conn>,
+    next_token: &mut usize,
+    stats: &ServerStats,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            // Transient accept failures (ECONNABORTED, EMFILE): leave
+            // the rest for the next readiness report.
+            Err(_) => break,
+        };
+        stats.total_connections.fetch_add(1, Ordering::Relaxed);
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        stream.set_nodelay(true).ok();
+        let token = *next_token;
+        *next_token += 1;
+        if poller.add(&stream, Event::readable(token)).is_err() {
+            continue;
+        }
+        stats.active_connections.fetch_add(1, Ordering::Relaxed);
+        conns.insert(
+            token,
+            Conn {
+                stream,
+                token,
+                magic_got: 0,
+                rbuf: FrameBuffer::new(),
+                inbox: VecDeque::new(),
+                dispatched: false,
+                pending_writes: 0,
+                read_floor: 0,
+                wbuf: Vec::new(),
+                wpos: 0,
+                peer_closed: false,
+                write_dead: false,
+                armed: (true, false),
+            },
+        );
+    }
+}
+
+/// Pull whatever the kernel has into the connection's read state.
+/// Stops early once the inbox is full (backpressure): unread bytes
+/// stay in the kernel buffer and the read interest is dropped by the
+/// subsequent pump.
+fn read_ready(conn: &mut Conn, ctx: &NodeCtx, scratch: &mut [u8], depth: usize) {
+    while !conn.peer_closed && conn.inbox.len() < depth {
+        let n = match conn.stream.read(scratch) {
+            Ok(0) => {
+                conn.peer_closed = true;
+                break;
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Reset mid-stream: what was decoded still executes,
+                // nothing more arrives and nothing can be delivered.
+                conn.peer_closed = true;
+                conn.write_dead = true;
+                break;
+            }
+        };
+        let mut bytes = &scratch[..n];
+        // Handshake state: expect the client's 4 magic bytes, echo
+        // them back.
+        if conn.magic_got < 4 {
+            let take = bytes.len().min(4 - conn.magic_got);
+            let (magic, rest) = bytes.split_at(take);
+            if magic != &MAGIC[conn.magic_got..conn.magic_got + take] {
+                ctx.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                conn.peer_closed = true;
+                conn.write_dead = true;
+                return;
+            }
+            conn.magic_got += take;
+            bytes = rest;
+            if conn.magic_got == 4 && !conn.write_dead {
+                // The echo is raw bytes, not a frame: splice it in
+                // front of the write buffer path directly.
+                conn.wbuf.extend_from_slice(&MAGIC);
+            }
+            if bytes.is_empty() {
+                continue;
+            }
+        }
+        conn.rbuf.extend(bytes);
+    }
+}
+
+/// Decode complete frames out of the connection's read buffer: answer
+/// the fast-path opcodes inline, queue the rest as jobs. A frame-level
+/// protocol error (hostile length prefix) poisons the stream and ends
+/// the session.
+fn parse_frames(conn: &mut Conn, ctx: &NodeCtx, depth: usize) -> Result<(), Close> {
+    let (db, stats, cache) = (&*ctx.db, &*ctx.stats, &*ctx.cache);
+    // Split borrows: frame payloads stay borrowed out of `rbuf` while
+    // the other connection fields are written.
+    let Conn {
+        rbuf,
+        inbox,
+        pending_writes,
+        read_floor,
+        wbuf,
+        wpos,
+        write_dead,
+        ..
+    } = conn;
+    let mut out = Vec::new();
+    while inbox.len() < depth {
+        let payload: &[u8] = match rbuf.next_frame() {
+            Ok(Some(payload)) => payload,
+            Ok(None) => break,
+            Err(_) => {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(Close::Done);
+            }
+        };
+        stats.bytes_in.fetch_add(
+            payload.len() as u64 + frame_prefix_len(payload.len()),
+            Ordering::Relaxed,
+        );
+
+        let (seq, request) = match Request::decode(payload) {
+            Ok(decoded) => decoded,
+            Err(e) => {
+                // The frame was well delimited, so the stream is still
+                // in sync: report under the request's sequence id (or 0
+                // when even that is unreadable) and keep the session
+                // alive.
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let seq = Request::decode_seq(payload).unwrap_or(0);
+                let frame = Response::Err(RemoteError::BadRequest(e.to_string())).encode(seq);
+                queue_frame(wbuf, wpos, *write_dead, stats, &frame);
+                continue;
+            }
+        };
+        stats.requests[request.opcode() as usize].fetch_add(1, Ordering::Relaxed);
+
+        match request {
+            // Answered in place, possibly ahead of queued work.
+            Request::Ping => {
+                let frame = Response::Pong.encode(seq);
+                queue_frame(wbuf, wpos, *write_dead, stats, &frame);
+            }
+            Request::Stats => {
+                let frame = Response::Stats(stats.report(cache, db)).encode(seq);
+                queue_frame(wbuf, wpos, *write_dead, stats, &frame);
+            }
+            // The router's health probe: answered inline so a node busy
+            // with queued work still reports its epoch promptly.
+            Request::Epoch => {
+                let frame = Response::Count(db.snapshot_epoch()).encode(seq);
+                queue_frame(wbuf, wpos, *write_dead, stats, &frame);
+            }
+            // Set here, in stream order: every read decoded after this
+            // frame sees the new floor, exactly the read-your-writes
+            // contract the router relies on.
+            Request::ReadFloor { epoch } => {
+                *read_floor = epoch;
+                let frame = Response::Unit.encode(seq);
+                queue_frame(wbuf, wpos, *write_dead, stats, &frame);
+            }
+            request if request.is_read() => {
+                // The cache key is the request's operation bytes — the
+                // payload minus its sequence varint, borrowed straight
+                // off the frame (no re-encode).
+                let op_bytes = &payload[seq_prefix_len(payload)..];
+                // Cache fast path, only when no write is in flight on
+                // this connection (read-your-writes). The epoch is
+                // sampled here, after the gate: any commit acknowledged
+                // before this request was sent has already bumped it.
+                let mut looked_up = false;
+                let floor = *read_floor;
+                if *pending_writes == 0 && db.snapshot_epoch() >= floor {
+                    if let Some(cached) = cache.lookup(db.snapshot_epoch(), op_bytes) {
+                        // Wire-ready bytes: this caller's sequence id
+                        // prefixed onto the stored encoded response.
+                        out.clear();
+                        ode_codec::varint::write_u64(&mut out, seq);
+                        out.extend_from_slice(&cached);
+                        queue_frame(wbuf, wpos, *write_dead, stats, &out);
+                        continue;
+                    }
+                    looked_up = true;
+                }
+                let key = Some(op_bytes.to_vec());
+                inbox.push_back(Job {
+                    seq,
+                    request,
+                    key,
+                    looked_up,
+                    floor,
+                });
+            }
+            request => {
+                *pending_writes += 1;
+                inbox.push_back(Job {
+                    seq,
+                    request,
+                    key: None,
+                    looked_up: false,
+                    floor: *read_floor,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Advance a connection's state machine: decode, dispatch, flush, and
+/// re-arm interest. `Err` means the connection is done (or evicted)
+/// and must be torn down by the caller.
+fn pump(
+    conn: &mut Conn,
+    ctx: &NodeCtx,
+    poller: &Poller,
+    job_tx: &mpsc::Sender<Batch>,
+    depth: usize,
+    write_cap: usize,
+) -> Result<(), Close> {
+    parse_frames(conn, ctx, depth)?;
+
+    // Dispatch the next batch, if none is executing.
+    if !conn.dispatched && !conn.inbox.is_empty() {
+        let batch = Batch {
+            token: conn.token,
+            jobs: conn.inbox.drain(..).collect(),
+        };
+        conn.dispatched = true;
+        let _ = job_tx.send(batch);
+    }
+
+    // Flush as far as the socket allows.
+    while conn.wpos < conn.wbuf.len() && !conn.write_dead {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => {
+                conn.write_dead = true;
+            }
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.write_dead = true;
+            }
+        }
+    }
+    if conn.write_dead {
+        // Undeliverable: drop the backlog, keep executing what was
+        // decoded.
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    }
+
+    // Slow-client guard: a reader this far behind its responses is
+    // evicted rather than allowed to pin server memory.
+    if conn.backlog() > write_cap {
+        return Err(Close::Evicted);
+    }
+
+    // Nothing left to read, execute, or write: the session is over.
+    // (`parse_frames` just ran and the dispatch above drained the
+    // inbox, so any bytes still in `rbuf` are a partial frame cut off
+    // by the EOF — exactly the case the threaded server closed on.)
+    if conn.peer_closed
+        && !conn.dispatched
+        && conn.inbox.is_empty()
+        && (conn.backlog() == 0 || conn.write_dead)
+    {
+        return Err(Close::Done);
+    }
+
+    // Re-arm interest to match the state machine: read while the inbox
+    // has room, write while there is backlog.
+    let want = (
+        !conn.peer_closed && conn.inbox.len() < depth,
+        conn.backlog() > 0 && !conn.write_dead,
+    );
+    if want != conn.armed {
+        let ev = Event {
+            key: conn.token,
+            readable: want.0,
+            writable: want.1,
+        };
+        if poller.modify(&conn.stream, ev).is_err() {
+            return Err(Close::Done);
+        }
+        conn.armed = want;
+    }
+    Ok(())
 }

@@ -1,0 +1,452 @@
+//! The original thread-per-connection Ode server, kept as the
+//! **reference oracle** for the event-loop [`crate::OdeServer`].
+//!
+//! [`ThreadedServer`] serves the identical wire protocol with the
+//! pre-event-loop architecture: an accept-loop thread hands
+//! connections to a bounded pool of worker threads; each worker runs
+//! one connection's session at a time, split into a reader thread
+//! (decode-ahead into a bounded queue, fast-path answers) and an
+//! executor thread (in-order drain). The state-machine proptest
+//! battery drives both servers with the same byte streams — split and
+//! coalesced arbitrarily — and asserts the responses are
+//! byte-identical, which is what makes this implementation worth its
+//! weight: every behavior of the readiness loop is checked against a
+//! model whose control flow is plain blocking code.
+//!
+//! Semantics shared with the event-loop server (same `execute_job`,
+//! same cache, same hooks): reads on snapshots, writes committed
+//! before the response, per-connection ordering, out-of-order
+//! responses, read-your-writes gating. The one intentional divergence
+//! is resource shape — a thread per connection and an unbounded
+//! response buffer, exactly the scaling limits the event loop exists
+//! to remove — so the write-buffer cap and eviction counter do not
+//! apply here.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+use ode::Database;
+
+use crate::error::RemoteError;
+use crate::protocol::{read_frame_into, write_frame, Request, Response, StatsReport, MAGIC};
+use crate::server::{
+    execute_job, frame_prefix_len, seq_prefix_len, Job, NodeCtx, ServerConfig, ServerHooks,
+    ServerStats,
+};
+use crate::NetError;
+
+/// Live connections by id, kept as `try_clone`d handles so shutdown can
+/// unblock a worker parked in a socket read.
+type ConnRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
+
+/// A running thread-per-connection Ode server (the reference
+/// implementation — see the module docs).
+pub struct ThreadedServer {
+    addr: SocketAddr,
+    ctx: Arc<NodeCtx>,
+    shutdown: Arc<AtomicBool>,
+    conns: ConnRegistry,
+    accept_handle: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadedServer {
+    /// Bind `addr` (port 0 picks a free port) and start serving `db`.
+    pub fn bind(
+        db: Arc<Database>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<ThreadedServer> {
+        ThreadedServer::bind_with(db, addr, config, ServerHooks::default())
+    }
+
+    /// [`ThreadedServer::bind`] with replication hooks.
+    pub fn bind_with(
+        db: Arc<Database>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        hooks: ServerHooks,
+    ) -> io::Result<ThreadedServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
+        let depth = config.pipeline_depth.max(1);
+        let ctx = Arc::new(NodeCtx::new(db, &config, hooks));
+
+        let (conn_tx, conn_rx) = mpsc::channel::<(u64, TcpStream)>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let ctx = Arc::clone(&ctx);
+                let rx = Arc::clone(&conn_rx);
+                let conns = Arc::clone(&conns);
+                thread::Builder::new()
+                    .name(format!("ode-net-tworker-{i}"))
+                    .spawn(move || worker_loop(&ctx, &rx, &conns, depth))
+                    .expect("spawn server worker thread")
+            })
+            .collect();
+
+        let accept_handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&ctx.stats);
+            thread::Builder::new()
+                .name("ode-net-taccept".into())
+                .spawn(move || {
+                    let mut next_id = 0u64;
+                    // conn_tx moves in here; dropping it on exit stops
+                    // the workers once the queue drains.
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let stream = match stream {
+                            Ok(s) => s,
+                            Err(_) => continue,
+                        };
+                        stats.total_connections.fetch_add(1, Ordering::Relaxed);
+                        next_id += 1;
+                        if conn_tx.send((next_id, stream)).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn server accept thread")
+        };
+
+        Ok(ThreadedServer {
+            addr,
+            ctx,
+            shutdown,
+            conns,
+            accept_handle: Some(accept_handle),
+            workers,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether this node currently refuses writes (replica role).
+    pub fn is_replica(&self) -> bool {
+        self.ctx.replica.load(Ordering::Acquire)
+    }
+
+    /// A snapshot of the server's counters.
+    pub fn stats(&self) -> StatsReport {
+        self.ctx.stats.report(&self.ctx.cache, &self.ctx.db)
+    }
+
+    /// Stop accepting, unblock and close every live connection, and
+    /// join all server threads. In-flight requests complete first.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop with a throwaway connection; it sees the
+        // flag and exits, dropping the channel sender.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // Unblock workers parked in reads on live sessions.
+        for (_, stream) in self.conns.lock().unwrap().drain() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ThreadedServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(
+    ctx: &NodeCtx,
+    rx: &Mutex<mpsc::Receiver<(u64, TcpStream)>>,
+    conns: &ConnRegistry,
+    depth: usize,
+) {
+    loop {
+        // Hold the lock only for the dequeue, not the whole session.
+        let next = rx.lock().unwrap().recv();
+        let (id, stream) = match next {
+            Ok(pair) => pair,
+            Err(_) => return, // sender gone: server is shutting down
+        };
+        if let Ok(handle) = stream.try_clone() {
+            conns.lock().unwrap().insert(id, handle);
+        }
+        ctx.stats.active_connections.fetch_add(1, Ordering::Relaxed);
+        let _ = serve_connection(ctx, stream, depth);
+        ctx.stats.active_connections.fetch_sub(1, Ordering::Relaxed);
+        conns.lock().unwrap().remove(&id);
+    }
+}
+
+/// Send one response frame. Responses from the reader fast path and the
+/// executor interleave on the same socket, so every frame goes through
+/// this one lock. The frame lands in the shared `BufWriter` only —
+/// flushing is coalesced: each half of the session flushes when it runs
+/// out of immediate work.
+fn respond(
+    writer: &Mutex<BufWriter<TcpStream>>,
+    stats: &ServerStats,
+    seq: u64,
+    response: &Response,
+) -> io::Result<()> {
+    respond_bytes(writer, stats, &response.encode(seq))
+}
+
+/// [`respond`] for an already-encoded payload.
+fn respond_bytes(
+    writer: &Mutex<BufWriter<TcpStream>>,
+    stats: &ServerStats,
+    out: &[u8],
+) -> io::Result<()> {
+    let mut w = writer.lock().unwrap();
+    let written = write_frame(&mut *w, out)?;
+    drop(w);
+    stats.bytes_out.fetch_add(written, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Flush everything buffered on the shared writer.
+fn flush_writer(writer: &Mutex<BufWriter<TcpStream>>) -> io::Result<()> {
+    writer.lock().unwrap().flush()
+}
+
+/// Run one connection's session to completion. Any `Err` return or
+/// protocol violation closes the connection; per-request operation
+/// failures are reported in error frames and the session continues.
+fn serve_connection(ctx: &NodeCtx, stream: TcpStream, depth: usize) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let writer = Mutex::new(BufWriter::new(stream));
+
+    // Handshake: expect the client's magic, echo it back.
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        ctx.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        return Ok(());
+    }
+    {
+        let mut w = writer.lock().unwrap();
+        w.write_all(&MAGIC)?;
+        w.flush()?;
+    }
+
+    // Writes queued on this connection but not yet committed. While
+    // non-zero the reader must not answer reads from the cache: a read
+    // pipelined after a write has to observe that write.
+    let pending_writes = AtomicU64::new(0);
+    // This connection's read floor (the `ReadFloor` opcode): reads wait
+    // until the node has applied at least this epoch.
+    let read_floor = AtomicU64::new(0);
+
+    let (job_tx, job_rx) = mpsc::sync_channel::<Job>(depth);
+    thread::scope(|scope| {
+        let executor = thread::Builder::new()
+            .name("ode-net-texec".into())
+            .spawn_scoped(scope, {
+                let writer = &writer;
+                let pending_writes = &pending_writes;
+                move || executor_loop(ctx, job_rx, writer, pending_writes)
+            })
+            .expect("spawn connection executor thread");
+        let result = reader_loop(
+            ctx,
+            &mut reader,
+            job_tx, // moved: dropping it on return stops the executor
+            &writer,
+            &pending_writes,
+            &read_floor,
+        );
+        let _ = executor.join();
+        result
+    })
+}
+
+/// The session's frame-decoding half: pulls frames off the socket,
+/// answers what it can immediately (`Ping`, `Stats`, cache hits,
+/// protocol errors), and queues the rest for the executor in order.
+fn reader_loop(
+    ctx: &NodeCtx,
+    reader: &mut BufReader<TcpStream>,
+    job_tx: mpsc::SyncSender<Job>,
+    writer: &Mutex<BufWriter<TcpStream>>,
+    pending_writes: &AtomicU64,
+    read_floor: &AtomicU64,
+) -> io::Result<()> {
+    let (db, stats, cache) = (&*ctx.db, &*ctx.stats, &*ctx.cache);
+    // Both buffers live across iterations — frame payloads and
+    // fast-path responses reuse one allocation each.
+    let mut payload = Vec::new();
+    let mut out = Vec::new();
+    loop {
+        // Coalesced flushing: once the read buffer is dry, the next
+        // frame read can block, so everything answered since the last
+        // flush (fast-path hits, pings) must reach the wire first.
+        if reader.buffer().is_empty() {
+            flush_writer(writer)?;
+        }
+        match read_frame_into(reader, &mut payload) {
+            Ok(true) => {}
+            Ok(false) => return Ok(()), // client hung up cleanly
+            Err(NetError::Io(e)) => return Err(e),
+            Err(_) => {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+        };
+        stats.bytes_in.fetch_add(
+            payload.len() as u64 + frame_prefix_len(payload.len()),
+            Ordering::Relaxed,
+        );
+
+        let (seq, request) = match Request::decode(&payload) {
+            Ok(decoded) => decoded,
+            Err(e) => {
+                // The frame was well delimited, so the stream is still
+                // in sync: report under the request's sequence id (or 0
+                // when even that is unreadable) and keep the session
+                // alive.
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let seq = Request::decode_seq(&payload).unwrap_or(0);
+                let response = Response::Err(RemoteError::BadRequest(e.to_string()));
+                respond(writer, stats, seq, &response)?;
+                continue;
+            }
+        };
+        stats.requests[request.opcode() as usize].fetch_add(1, Ordering::Relaxed);
+
+        match request {
+            // Answered in place, possibly ahead of queued work.
+            Request::Ping => respond(writer, stats, seq, &Response::Pong)?,
+            Request::Stats => {
+                respond(
+                    writer,
+                    stats,
+                    seq,
+                    &Response::Stats(stats.report(cache, db)),
+                )?;
+            }
+            // The router's health probe: answered inline so a node busy
+            // with queued work still reports its epoch promptly.
+            Request::Epoch => {
+                respond(writer, stats, seq, &Response::Count(db.snapshot_epoch()))?;
+            }
+            // Set here, in stream order: every read decoded after this
+            // frame sees the new floor, exactly the read-your-writes
+            // contract the router relies on.
+            Request::ReadFloor { epoch } => {
+                read_floor.store(epoch, Ordering::Release);
+                respond(writer, stats, seq, &Response::Unit)?;
+            }
+            request if request.is_read() => {
+                // The cache key is the request's operation bytes — the
+                // payload minus its sequence varint, borrowed straight
+                // off the frame (no re-encode).
+                let op_bytes = &payload[seq_prefix_len(&payload)..];
+                // Cache fast path, only when no write is queued ahead
+                // on this connection (read-your-writes). The epoch is
+                // sampled here, after the gate: any commit acknowledged
+                // before this request was sent has already bumped it.
+                let mut looked_up = false;
+                let floor = read_floor.load(Ordering::Acquire);
+                if pending_writes.load(Ordering::Acquire) == 0 && db.snapshot_epoch() >= floor {
+                    if let Some(cached) = cache.lookup(db.snapshot_epoch(), op_bytes) {
+                        // Wire-ready bytes: this caller's sequence id
+                        // prefixed onto the stored encoded response.
+                        out.clear();
+                        ode_codec::varint::write_u64(&mut out, seq);
+                        out.extend_from_slice(&cached);
+                        respond_bytes(writer, stats, &out)?;
+                        continue;
+                    }
+                    looked_up = true;
+                }
+                let job = Job {
+                    seq,
+                    request,
+                    key: Some(op_bytes.to_vec()),
+                    looked_up,
+                    floor,
+                };
+                if job_tx.send(job).is_err() {
+                    return Ok(()); // executor died (socket gone)
+                }
+            }
+            request => {
+                pending_writes.fetch_add(1, Ordering::AcqRel);
+                let job = Job {
+                    seq,
+                    request,
+                    key: None,
+                    looked_up: false,
+                    floor: read_floor.load(Ordering::Acquire),
+                };
+                if job_tx.send(job).is_err() {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// The session's executing half: drains the job queue in order, runs
+/// each request against the database, and ships the response.
+fn executor_loop(
+    ctx: &NodeCtx,
+    job_rx: mpsc::Receiver<Job>,
+    writer: &Mutex<BufWriter<TcpStream>>,
+    pending_writes: &AtomicU64,
+) {
+    let stats = &*ctx.stats;
+    loop {
+        let job = match job_rx.try_recv() {
+            Ok(job) => Some(job),
+            Err(mpsc::TryRecvError::Empty) => {
+                // The queue is dry: everything answered so far must
+                // reach the wire before this thread blocks.
+                if flush_writer(writer).is_err() {
+                    return;
+                }
+                job_rx.recv().ok()
+            }
+            Err(mpsc::TryRecvError::Disconnected) => None,
+        };
+        let Some(job) = job else {
+            let _ = flush_writer(writer);
+            return;
+        };
+        let (out, is_write) = execute_job(ctx, job);
+        let sent = respond_bytes(writer, stats, &out);
+        if is_write {
+            // Cleared only now, after the write committed (or failed):
+            // a reader that sees zero can safely serve cached reads.
+            pending_writes.fetch_sub(1, Ordering::AcqRel);
+        }
+        if sent.is_err() {
+            return; // socket gone; reader will notice too
+        }
+    }
+}

@@ -150,6 +150,7 @@ fn arb_stats() -> impl Strategy<Value = StatsReport> {
                 op_errors,
                 snapshot_hits,
                 snapshot_misses,
+                slow_client_evictions: snapshot_hits ^ snapshot_misses,
                 requests,
                 storage,
             }

@@ -138,6 +138,10 @@ fn main() -> ExitCode {
                 stats.protocol_errors
             );
             out!(
+                "evictions  : {} slow clients over the write-buffer cap",
+                stats.slow_client_evictions
+            );
+            out!(
                 "snapshots  : {} cache hits, {} misses",
                 stats.snapshot_hits,
                 stats.snapshot_misses

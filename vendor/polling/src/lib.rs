@@ -1,0 +1,449 @@
+//! Offline stand-in for the smol-rs [`polling`] crate.
+//!
+//! The build environment has no route to crates.io, so — like the
+//! other `vendor/` crates — this implements exactly the API subset the
+//! workspace uses: a **level-triggered** epoll poller with a reserved
+//! eventfd waker, and an `RLIMIT_NOFILE` raiser for the
+//! connection-scaling batteries. Two deliberate divergences from the
+//! real crate: registrations are level-triggered rather than oneshot
+//! (callers manage interest explicitly with [`Poller::modify`]), and
+//! [`Poller::wait`] takes a plain `Vec<Event>` instead of an opaque
+//! `Events` arena.
+//!
+//! All `unsafe` in the workspace's network tier lives here: `ode-net`
+//! is `#![forbid(unsafe_code)]`, and the raw `epoll`/`eventfd`/
+//! `rlimit` syscalls (declared as `extern "C"` libc symbols — std
+//! already links libc) are confined to this crate behind a safe API.
+//!
+//! [`polling`]: https://docs.rs/polling
+
+#![deny(missing_docs)]
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::raw::{c_int, c_uint, c_void};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// libc surface (Linux)
+// ---------------------------------------------------------------------------
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+const RLIMIT_NOFILE: c_int = 7;
+
+/// Matches the kernel/glibc `struct epoll_event`; packed on x86-64
+/// (the one ABI where glibc declares it `__attribute__((packed))`).
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    u64: u64,
+}
+
+#[repr(C)]
+struct Rlimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+    fn getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// Interest in, or readiness of, one registered source.
+///
+/// As interest (passed to [`Poller::add`]/[`Poller::modify`]) the
+/// flags select which readiness to report; as a result (filled by
+/// [`Poller::wait`]) they say what the source is ready for. Error and
+/// hang-up conditions are folded into both flags so a half-closed or
+/// failed socket always surfaces through whatever interest is armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen key identifying the source (any `usize` except
+    /// `usize::MAX`, which the poller reserves for its waker).
+    pub key: usize,
+    /// Readable (or error/hang-up) readiness.
+    pub readable: bool,
+    /// Writable (or error/hang-up) readiness.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in both readable and writable readiness.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// Interest in readable readiness only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in writable readiness only.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// No interest; the registration stays but reports nothing
+    /// (error/hang-up conditions still wake `EPOLLERR`/`EPOLLHUP`
+    /// implicitly, surfaced with both flags set).
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+
+    fn mask(self) -> u32 {
+        let mut m = EPOLLRDHUP;
+        if self.readable {
+            m |= EPOLLIN;
+        }
+        if self.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+}
+
+/// The key [`Poller`] reserves for its internal eventfd waker;
+/// sources must not be registered under it.
+pub const NOTIFY_KEY: usize = usize::MAX;
+
+// ---------------------------------------------------------------------------
+// Poller
+// ---------------------------------------------------------------------------
+
+/// A level-triggered epoll instance with an eventfd waker.
+///
+/// `add`/`modify`/`delete`/`notify` are safe to call from any thread
+/// while another thread blocks in [`Poller::wait`] (the kernel
+/// serializes `epoll_ctl` against `epoll_wait`).
+pub struct Poller {
+    epfd: RawFd,
+    notify_fd: RawFd,
+}
+
+impl Poller {
+    /// Creates a poller with its waker eventfd already registered.
+    pub fn new() -> io::Result<Poller> {
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        let notify_fd = match cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }) {
+            Ok(fd) => fd,
+            Err(e) => {
+                unsafe { close(epfd) };
+                return Err(e);
+            }
+        };
+        let poller = Poller { epfd, notify_fd };
+        poller.ctl(EPOLL_CTL_ADD, notify_fd, Some(Event::readable(NOTIFY_KEY)))?;
+        Ok(poller)
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, interest: Option<Event>) -> io::Result<()> {
+        let mut ev = interest.map(|i| EpollEvent {
+            events: i.mask(),
+            u64: i.key as u64,
+        });
+        let ptr = ev
+            .as_mut()
+            .map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, ptr) })?;
+        Ok(())
+    }
+
+    /// Registers a source under `interest.key`.
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        assert_ne!(interest.key, NOTIFY_KEY, "key reserved for the waker");
+        self.ctl(EPOLL_CTL_ADD, source.as_raw_fd(), Some(interest))
+    }
+
+    /// Changes a registered source's interest (and/or key).
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        assert_ne!(interest.key, NOTIFY_KEY, "key reserved for the waker");
+        self.ctl(EPOLL_CTL_MOD, source.as_raw_fd(), Some(interest))
+    }
+
+    /// Removes a source's registration.
+    ///
+    /// Do this before closing a duplicated fd: the kernel keeps an
+    /// epoll registration alive as long as *any* duplicate of the
+    /// registered description stays open.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), None)
+    }
+
+    /// Blocks until at least one source is ready, the timeout lapses,
+    /// or [`Poller::notify`] is called; fills `events` (cleared first)
+    /// and returns how many were delivered. A wake by `notify` alone
+    /// returns `Ok(0)` with no events.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            Some(t) => t
+                .as_millis()
+                .min(c_int::MAX as u128)
+                .try_into()
+                .unwrap_or(c_int::MAX)
+                .max(if t.is_zero() { 0 } else { 1 }),
+        };
+        const CAP: usize = 1024;
+        let mut raw = [EpollEvent { events: 0, u64: 0 }; CAP];
+        let n = loop {
+            match cvt(unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), CAP as c_int, timeout_ms) })
+            {
+                Ok(n) => break n as usize,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        for ev in &raw[..n] {
+            let (bits, key) = (ev.events, ev.u64 as usize);
+            if key == NOTIFY_KEY {
+                // Drain the eventfd so the next notify() fires again.
+                let mut buf = 0u64;
+                unsafe { read(self.notify_fd, &mut buf as *mut u64 as *mut c_void, 8) };
+                continue;
+            }
+            let err = bits & (EPOLLERR | EPOLLHUP) != 0;
+            events.push(Event {
+                key,
+                readable: err || bits & (EPOLLIN | EPOLLRDHUP) != 0,
+                writable: err || bits & EPOLLOUT != 0,
+            });
+        }
+        Ok(events.len())
+    }
+
+    /// Wakes a concurrent [`Poller::wait`] from any thread.
+    pub fn notify(&self) -> io::Result<()> {
+        let one = 1u64;
+        let ret = unsafe { write(self.notify_fd, &one as *const u64 as *const c_void, 8) };
+        // EAGAIN means a previous notify is still pending — the waiter
+        // will wake anyway.
+        if ret < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() != io::ErrorKind::WouldBlock {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.notify_fd);
+            close(self.epfd);
+        }
+    }
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller")
+            .field("epfd", &self.epfd)
+            .field("notify_fd", &self.notify_fd)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// rlimit helper
+// ---------------------------------------------------------------------------
+
+/// Raises the soft `RLIMIT_NOFILE` to the hard limit and returns the
+/// resulting soft limit. The connection-scaling batteries call this
+/// first: CI runners default to a 1024-fd soft cap, far below 10k
+/// sockets.
+pub fn raise_nofile_limit() -> io::Result<u64> {
+    let mut lim = Rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) })?;
+    if lim.rlim_cur < lim.rlim_max {
+        lim.rlim_cur = lim.rlim_max;
+        cvt(unsafe { setrlimit(RLIMIT_NOFILE, &lim) })?;
+    }
+    Ok(lim.rlim_cur)
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    #[test]
+    fn readiness_and_interest_changes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&listener, Event::readable(1)).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing pending: a short wait times out empty.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 1 && e.readable));
+
+        let (mut accepted, _) = listener.accept().unwrap();
+        accepted.set_nonblocking(true).unwrap();
+        poller.add(&accepted, Event::readable(2)).unwrap();
+
+        // No data yet: key 2 stays quiet.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(!events.iter().any(|e| e.key == 2));
+
+        client.write_all(b"hello").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 2 && e.readable));
+
+        // Level-triggered: unread data keeps reporting.
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 2 && e.readable));
+
+        // Writable interest on an idle socket fires immediately.
+        poller.modify(&accepted, Event::all(2)).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 2 && e.writable));
+
+        // Drain + interest none: quiet again.
+        let mut buf = [0u8; 16];
+        assert_eq!(accepted.read(&mut buf).unwrap(), 5);
+        poller.modify(&accepted, Event::none(2)).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(!events.iter().any(|e| e.key == 2));
+
+        // Peer close surfaces as readiness even at interest none
+        // (EPOLLHUP/EPOLLRDHUP are not maskable).
+        drop(client);
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 2 && e.readable));
+
+        poller.delete(&accepted).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(!events.iter().any(|e| e.key == 2));
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait_across_threads() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let woken = {
+            let poller = poller.clone();
+            std::thread::spawn(move || {
+                let mut events = Vec::new();
+                let start = Instant::now();
+                poller
+                    .wait(&mut events, Some(Duration::from_secs(30)))
+                    .unwrap();
+                (start.elapsed(), events.len())
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        poller.notify().unwrap();
+        let (elapsed, n) = woken.join().unwrap();
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "wait did not wake: {elapsed:?}"
+        );
+        assert_eq!(n, 0, "notify must not surface as a user event");
+
+        // Coalesced double-notify still wakes exactly once, then the
+        // next wait times out (eventfd drained).
+        poller.notify().unwrap();
+        poller.notify().unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let start = Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn nofile_limit_is_raised_to_hard() {
+        let soft = raise_nofile_limit().unwrap();
+        assert!(soft >= 1024);
+        // Idempotent.
+        assert_eq!(raise_nofile_limit().unwrap(), soft);
+    }
+}
