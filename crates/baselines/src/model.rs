@@ -47,6 +47,9 @@ impl From<ode_version::VersionError> for ModelError {
             ode_version::VersionError::LastVersion(_) => {
                 ModelError::Unsupported("deleting last version")
             }
+            ode_version::VersionError::ChainCorrupt(_) => {
+                ModelError::Unsupported("corrupt delta chain")
+            }
         }
     }
 }

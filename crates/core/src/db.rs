@@ -4,12 +4,16 @@ use std::path::Path;
 use std::sync::Arc;
 
 use ode_storage::{Store, StoreOptions, StoreStats};
-use ode_version::{Result, VersionStore, VersionStoreLayout};
+use ode_version::{ChainConfig, MaterializeCache, Result, VersionStore, VersionStoreLayout};
 
 use crate::event::{Event, TriggerId, TriggerRegistry};
 use crate::ptr::ObjPtr;
 use crate::txn::{Snapshot, Txn};
 use crate::OdeType;
+
+/// Bodies the materialization cache holds — enough for a hot working
+/// set of historical versions without rivaling the buffer pool.
+const MATERIALIZE_CACHE_CAP: usize = 1024;
 
 /// Tuning options for a [`Database`].
 #[derive(Debug, Clone, Default)]
@@ -17,6 +21,14 @@ pub struct DatabaseOptions {
     /// Storage-engine options (buffer pool size, fsync policy,
     /// checkpoint threshold).
     pub storage: StoreOptions,
+    /// Delta-chain version storage. `None` (the default) stores every
+    /// version body whole, exactly as before; `Some(config)` stores an
+    /// object's second and later versions as one anchored delta chain
+    /// record. Opt-in per store: an existing whole-body database opened
+    /// with a config keeps its old records and chains new versions
+    /// (and a chained database opened without one stays correct — the
+    /// stored chains are always honored).
+    pub chain: Option<ChainConfig>,
 }
 
 impl DatabaseOptions {
@@ -29,7 +41,14 @@ impl DatabaseOptions {
                 sync_on_commit: false,
                 ..StoreOptions::default()
             },
+            chain: None,
         }
+    }
+
+    /// Enable delta-chain version storage with `config`.
+    pub fn with_chain(mut self, config: ChainConfig) -> DatabaseOptions {
+        self.chain = Some(config);
+        self
     }
 }
 
@@ -71,36 +90,47 @@ pub struct Database {
     store: Store,
     versions: VersionStore,
     triggers: TriggerRegistry,
+    materialize_cache: MaterializeCache,
+}
+
+fn version_store(options: &DatabaseOptions) -> VersionStore {
+    match options.chain {
+        Some(config) => VersionStore::with_chain(VersionStoreLayout::default(), config),
+        None => VersionStore::new(VersionStoreLayout::default()),
+    }
 }
 
 impl Database {
     /// Create a new database file at `path`, erasing any existing one.
     pub fn create(path: impl AsRef<Path>, options: DatabaseOptions) -> Result<Database> {
-        let store = Store::create(path, options.storage)?;
+        let store = Store::create(path, options.storage.clone())?;
         Ok(Database {
             store,
-            versions: VersionStore::new(VersionStoreLayout::default()),
+            versions: version_store(&options),
             triggers: TriggerRegistry::default(),
+            materialize_cache: MaterializeCache::new(MATERIALIZE_CACHE_CAP),
         })
     }
 
     /// Open an existing database (running crash recovery if needed).
     pub fn open(path: impl AsRef<Path>, options: DatabaseOptions) -> Result<Database> {
-        let store = Store::open(path, options.storage)?;
+        let store = Store::open(path, options.storage.clone())?;
         Ok(Database {
             store,
-            versions: VersionStore::new(VersionStoreLayout::default()),
+            versions: version_store(&options),
             triggers: TriggerRegistry::default(),
+            materialize_cache: MaterializeCache::new(MATERIALIZE_CACHE_CAP),
         })
     }
 
     /// Open `path`, creating it when absent.
     pub fn open_or_create(path: impl AsRef<Path>, options: DatabaseOptions) -> Result<Database> {
-        let store = Store::open_or_create(path, options.storage)?;
+        let store = Store::open_or_create(path, options.storage.clone())?;
         Ok(Database {
             store,
-            versions: VersionStore::new(VersionStoreLayout::default()),
+            versions: version_store(&options),
             triggers: TriggerRegistry::default(),
+            materialize_cache: MaterializeCache::new(MATERIALIZE_CACHE_CAP),
         })
     }
 
@@ -210,6 +240,18 @@ impl Database {
 
     pub(crate) fn versions(&self) -> &VersionStore {
         &self.versions
+    }
+
+    pub(crate) fn materialize_cache(&self) -> &MaterializeCache {
+        &self.materialize_cache
+    }
+
+    /// Materialization-cache hit/miss counters: how often a snapshot
+    /// read of a delta-chained historical version was served from the
+    /// in-memory cache vs replayed from the chain. Always `(0, 0)` for
+    /// whole-body databases.
+    pub fn materialize_cache_counters(&self) -> (u64, u64) {
+        self.materialize_cache.counters()
     }
 
     pub(crate) fn fire(&self, events: &[Event]) {

@@ -69,7 +69,7 @@ pub use txn::{Snapshot, Txn};
 pub use ode_codec::type_tag::TypeName;
 pub use ode_codec::{Persist, TypeTag};
 pub use ode_object::{Oid, Vid};
-pub use ode_version::{Result, VersionError as Error};
+pub use ode_version::{ChainConfig, ChainStats, Result, VersionDiff, VersionError as Error};
 
 /// The bound a type must satisfy to live in an Ode database: a stable
 /// persistent name plus a binary encoding.

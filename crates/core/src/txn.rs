@@ -2,7 +2,7 @@
 
 use ode_codec::{from_bytes, to_bytes};
 use ode_storage::store::{PageRead, ReadTx, Tx};
-use ode_version::{Result, VersionError, VersionStore};
+use ode_version::{MaterializeCache, Result, VersionDiff, VersionError, VersionStore};
 
 use crate::db::Database;
 use crate::event::Event;
@@ -33,9 +33,10 @@ fn read_deref<T: OdeType>(
     vs: &VersionStore,
     tx: &mut impl PageRead,
     ptr: &ObjPtr<T>,
+    cache: Option<(&MaterializeCache, u64)>,
 ) -> Result<ORef<T>> {
     let vid = vs.latest(tx, ptr.oid)?;
-    let body = vs.read_body(tx, vid, ObjPtr::<T>::tag())?;
+    let body = vs.read_body_cached(tx, vid, ObjPtr::<T>::tag(), cache)?;
     Ok(ORef {
         value: from_bytes(&body)?,
         version: VersionPtr::from_vid(vid),
@@ -46,8 +47,9 @@ fn read_deref_v<T: OdeType>(
     vs: &VersionStore,
     tx: &mut impl PageRead,
     vp: &VersionPtr<T>,
+    cache: Option<(&MaterializeCache, u64)>,
 ) -> Result<VRef<T>> {
-    let body = vs.read_body(tx, vp.vid, VersionPtr::<T>::tag())?;
+    let body = vs.read_body_cached(tx, vp.vid, VersionPtr::<T>::tag(), cache)?;
     Ok(VRef {
         value: from_bytes(&body)?,
         version: *vp,
@@ -59,12 +61,14 @@ macro_rules! read_api {
         /// Dereference a generic reference: decode the **latest** version
         /// (late binding happens here, at each call).
         pub fn deref<T: OdeType>(&mut self, ptr: &ObjPtr<T>) -> Result<ORef<T>> {
-            read_deref(self.db.versions(), &mut self.tx, ptr)
+            let cache = self.body_cache();
+            read_deref(self.db.versions(), &mut self.tx, ptr, cache)
         }
 
         /// Dereference a specific reference: decode exactly that version.
         pub fn deref_v<T: OdeType>(&mut self, vp: &VersionPtr<T>) -> Result<VRef<T>> {
-            read_deref_v(self.db.versions(), &mut self.tx, vp)
+            let cache = self.body_cache();
+            read_deref_v(self.db.versions(), &mut self.tx, vp, cache)
         }
 
         /// Pin the object's current latest version as a specific
@@ -235,6 +239,72 @@ macro_rules! read_api {
             self.db.versions().now_stamp(&mut self.tx)
         }
 
+        /// All versions of the object created in the global-stamp range
+        /// `[from, to]` (inclusive), oldest first — "all versions of X
+        /// between epochs". For delta-chained objects the answer is
+        /// served straight off the chain record's vid index, with no
+        /// per-version record loads and no state materialization.
+        pub fn history_between<T: OdeType>(
+            &mut self,
+            ptr: &ObjPtr<T>,
+            from: u64,
+            to: u64,
+        ) -> Result<Vec<VersionPtr<T>>> {
+            Ok(self
+                .db
+                .versions()
+                .history_between(&mut self.tx, ptr.oid, from, to)?
+                .into_iter()
+                .map(VersionPtr::from_vid)
+                .collect())
+        }
+
+        /// Type-erased [`history_between`](Self::history_between).
+        pub fn history_between_raw(
+            &mut self,
+            oid: ode_object::Oid,
+            from: u64,
+            to: u64,
+        ) -> Result<Vec<ode_object::Vid>> {
+            self.db
+                .versions()
+                .history_between(&mut self.tx, oid, from, to)
+        }
+
+        /// Summarize the difference between two versions' states —
+        /// "diff v_a..v_b". Adjacent members of a delta chain are
+        /// answered from the stored delta itself
+        /// ([`VersionDiff::stored`] is `true`) without materializing
+        /// any state; otherwise only the two endpoints are
+        /// materialized — never the versions between them.
+        pub fn diff_versions<T: OdeType>(
+            &mut self,
+            from: &VersionPtr<T>,
+            to: &VersionPtr<T>,
+        ) -> Result<VersionDiff> {
+            self.db
+                .versions()
+                .diff_versions(&mut self.tx, from.vid, to.vid)
+        }
+
+        /// Type-erased [`diff_versions`](Self::diff_versions).
+        pub fn diff_versions_raw(
+            &mut self,
+            from: ode_object::Vid,
+            to: ode_object::Vid,
+        ) -> Result<VersionDiff> {
+            self.db.versions().diff_versions(&mut self.tx, from, to)
+        }
+
+        /// Space/shape statistics of the object's delta-chain record
+        /// (`None` for whole-body objects).
+        pub fn chain_stats_raw(
+            &mut self,
+            oid: ode_object::Oid,
+        ) -> Result<Option<ode_version::ChainStats>> {
+            self.db.versions().chain_stats(&mut self.tx, oid)
+        }
+
         /// The newest version of the object created at or before
         /// `stamp` (`None` if its oldest surviving version is newer) —
         /// the as-of temporal query of historical databases.
@@ -258,7 +328,8 @@ macro_rules! read_api {
         ) -> Result<Vec<(ObjPtr<T>, T)>> {
             let mut out = Vec::new();
             for ptr in self.objects::<T>()? {
-                let value = read_deref(self.db.versions(), &mut self.tx, &ptr)?.into_inner();
+                let cache = self.body_cache();
+                let value = read_deref(self.db.versions(), &mut self.tx, &ptr, cache)?.into_inner();
                 if pred(&value) {
                     out.push((ptr, value));
                 }
@@ -304,8 +375,12 @@ macro_rules! read_api {
             oid: ode_object::Oid,
             tag: ode_codec::TypeTag,
         ) -> Result<(ode_object::Vid, Vec<u8>)> {
+            let cache = self.body_cache();
             let vid = self.db.versions().latest(&mut self.tx, oid)?;
-            let body = self.db.versions().read_body(&mut self.tx, vid, tag)?;
+            let body = self
+                .db
+                .versions()
+                .read_body_cached(&mut self.tx, vid, tag, cache)?;
             Ok((vid, body))
         }
 
@@ -315,7 +390,10 @@ macro_rules! read_api {
             vid: ode_object::Vid,
             tag: ode_codec::TypeTag,
         ) -> Result<Vec<u8>> {
-            self.db.versions().read_body(&mut self.tx, vid, tag)
+            let cache = self.body_cache();
+            self.db
+                .versions()
+                .read_body_cached(&mut self.tx, vid, tag, cache)
         }
 
         /// Type-erased [`object_of`](Self::object_of).
@@ -399,6 +477,13 @@ impl<'db> Snapshot<'db> {
         self.tx.epoch()
     }
 
+    /// Snapshots serve chain materializations through the database's
+    /// epoch-invalidated cache: the snapshot's epoch names exactly the
+    /// committed state its reads observe.
+    fn body_cache(&self) -> Option<(&'db MaterializeCache, u64)> {
+        Some((self.db.materialize_cache(), self.tx.epoch()))
+    }
+
     read_api!();
 }
 
@@ -409,6 +494,13 @@ impl<'db> Txn<'db> {
             tx,
             events: Vec::new(),
         }
+    }
+
+    /// Write transactions never use the materialization cache: their
+    /// own uncommitted writes don't move the commit epoch, so cached
+    /// pre-write bodies could mask them.
+    fn body_cache(&self) -> Option<(&'db MaterializeCache, u64)> {
+        None
     }
 
     read_api!();

@@ -7,7 +7,7 @@
 //! `interval - 1` delta applications — the classic RCS-trick
 //! generalized, and the knob the E7/ablation benches sweep.
 
-use ode_codec::impl_persist_struct;
+use ode_codec::{impl_persist_struct, DecodeError, Persist, Reader, Writer};
 
 use crate::diff::{apply, diff_with_block, ApplyError, Delta, DEFAULT_BLOCK};
 
@@ -20,22 +20,53 @@ struct Segment {
 impl_persist_struct!(Segment { anchor, deltas });
 
 /// A delta chain with periodic full snapshots.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct AnchoredChain {
     segments: Vec<Segment>,
     /// Versions per segment (anchor + interval-1 deltas).
     interval: u64,
     block: u64,
-    /// Cached state of the newest version (not persisted redundantly —
-    /// reconstructed on decode).
+    /// Number of versions stored.
     len: u64,
+    /// Runtime cache of the newest version's state so appends cost one
+    /// diff instead of an intra-segment replay.  Not persisted; `None`
+    /// after decode until the first append needs it.
+    tail: Option<Vec<u8>>,
 }
-impl_persist_struct!(AnchoredChain {
-    segments,
-    interval,
-    block,
-    len
-});
+
+// Hand-written (not `impl_persist_struct!`): the `tail` cache must not
+// hit the wire, and old encodings (segments, interval, block, len)
+// must still decode byte-identically.
+impl Persist for AnchoredChain {
+    fn encode(&self, w: &mut Writer) {
+        self.segments.encode(w);
+        self.interval.encode(w);
+        self.block.encode(w);
+        self.len.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(AnchoredChain {
+            segments: Persist::decode(r)?,
+            interval: Persist::decode(r)?,
+            block: Persist::decode(r)?,
+            len: Persist::decode(r)?,
+            tail: None,
+        })
+    }
+}
+
+/// Equality is over the persisted content only — the `tail` cache is
+/// derived state.
+impl PartialEq for AnchoredChain {
+    fn eq(&self, other: &AnchoredChain) -> bool {
+        self.segments == other.segments
+            && self.interval == other.interval
+            && self.block == other.block
+            && self.len == other.len
+    }
+}
+impl Eq for AnchoredChain {}
 
 impl AnchoredChain {
     /// Start a chain at `initial`, re-anchoring every `interval`
@@ -43,6 +74,7 @@ impl AnchoredChain {
     pub fn new(initial: Vec<u8>, interval: usize) -> AnchoredChain {
         let interval = interval.max(1);
         AnchoredChain {
+            tail: Some(initial.clone()),
             segments: vec![Segment {
                 anchor: initial,
                 deltas: Vec::new(),
@@ -68,7 +100,9 @@ impl AnchoredChain {
         self.interval as usize
     }
 
-    /// Append a new version state.
+    /// Append a new version state.  One diff per call when the tail
+    /// cache is warm (always, except for the first append after a
+    /// decode, which replays at most `interval - 1` deltas).
     pub fn push(&mut self, state: &[u8]) -> Result<(), ApplyError> {
         let last = self.segments.last().expect("at least one segment");
         if last.deltas.len() + 1 >= self.interval as usize {
@@ -78,7 +112,10 @@ impl AnchoredChain {
                 deltas: Vec::new(),
             });
         } else {
-            let prev = self.materialize(self.len() - 1)?;
+            let prev = match self.tail.take() {
+                Some(tail) => tail,
+                None => self.materialize(self.len() - 1)?,
+            };
             let delta = diff_with_block(&prev, state, self.block as usize);
             self.segments
                 .last_mut()
@@ -86,6 +123,7 @@ impl AnchoredChain {
                 .deltas
                 .push(delta);
         }
+        self.tail = Some(state.to_vec());
         self.len += 1;
         Ok(())
     }
@@ -104,9 +142,13 @@ impl AnchoredChain {
         Ok(state)
     }
 
-    /// Reconstruct the newest version.
+    /// Reconstruct the newest version. Free when the tail cache is
+    /// warm.
     pub fn latest(&self) -> Result<Vec<u8>, ApplyError> {
-        self.materialize(self.len() - 1)
+        match &self.tail {
+            Some(tail) => Ok(tail.clone()),
+            None => self.materialize(self.len() - 1),
+        }
     }
 
     /// Total encoded bytes.
@@ -159,6 +201,23 @@ mod tests {
         // Five segments, no deltas anywhere.
         assert_eq!(chain.segments.len(), 5);
         assert!(chain.segments.iter().all(|s| s.deltas.is_empty()));
+    }
+
+    #[test]
+    fn push_after_decode_rebuilds_tail() {
+        let versions = evolution(11, 600);
+        let mut chain = AnchoredChain::new(versions[0].clone(), 4);
+        for v in &versions[1..6] {
+            chain.push(v).unwrap();
+        }
+        let mut back: AnchoredChain = ode_codec::from_bytes(&ode_codec::to_bytes(&chain)).unwrap();
+        for v in &versions[6..] {
+            back.push(v).unwrap();
+        }
+        for (i, v) in versions.iter().enumerate() {
+            assert_eq!(&back.materialize(i).unwrap(), v, "version {i}");
+        }
+        assert_eq!(back.latest().unwrap(), versions[10]);
     }
 
     #[test]

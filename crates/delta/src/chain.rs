@@ -11,31 +11,59 @@
 //!   reading the **latest** is free, which matches Ode's object-id
 //!   semantics (generic references resolve to the latest version).
 
-use ode_codec::impl_persist_struct;
+use ode_codec::{DecodeError, Persist, Reader, Writer};
 
 use crate::diff::{apply, diff_with_block, ApplyError, Delta, DEFAULT_BLOCK};
 
 /// SCCS-style chain: oldest version whole, deltas run forward.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ForwardChain {
     /// The first version's full state.
-    pub base: Vec<u8>,
+    base: Vec<u8>,
     /// `deltas[i]` transforms version `i` into version `i + 1`.
-    pub deltas: Vec<Delta>,
+    deltas: Vec<Delta>,
     /// Block size used for diffing.
-    pub block: u64,
+    block: u64,
+    /// Runtime cache of the newest version's state, so N appends cost
+    /// N diffs instead of replaying the whole chain per append.  Not
+    /// persisted; `None` after decode until the first append needs it.
+    tail: Option<Vec<u8>>,
 }
 
-impl_persist_struct!(ForwardChain {
-    base,
-    deltas,
-    block
-});
+// Hand-written (not `impl_persist_struct!`): the `tail` cache must not
+// hit the wire, and old encodings (base, deltas, block) must still
+// decode byte-identically.
+impl Persist for ForwardChain {
+    fn encode(&self, w: &mut Writer) {
+        self.base.encode(w);
+        self.deltas.encode(w);
+        self.block.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(ForwardChain {
+            base: Persist::decode(r)?,
+            deltas: Persist::decode(r)?,
+            block: Persist::decode(r)?,
+            tail: None,
+        })
+    }
+}
+
+/// Equality is over the persisted content only — the `tail` cache is
+/// derived state.
+impl PartialEq for ForwardChain {
+    fn eq(&self, other: &ForwardChain) -> bool {
+        self.base == other.base && self.deltas == other.deltas && self.block == other.block
+    }
+}
+impl Eq for ForwardChain {}
 
 impl ForwardChain {
     /// Start a chain at `initial` state.
     pub fn new(initial: Vec<u8>) -> ForwardChain {
         ForwardChain {
+            tail: Some(initial.clone()),
             base: initial,
             deltas: Vec::new(),
             block: DEFAULT_BLOCK as u64,
@@ -45,6 +73,7 @@ impl ForwardChain {
     /// Start a chain with a custom diff block size.
     pub fn with_block(initial: Vec<u8>, block: usize) -> ForwardChain {
         ForwardChain {
+            tail: Some(initial.clone()),
             base: initial,
             deltas: Vec::new(),
             block: block as u64,
@@ -61,11 +90,17 @@ impl ForwardChain {
         false
     }
 
-    /// Append a new version state.
+    /// Append a new version state.  Amortized one diff per call: the
+    /// tail state is cached across appends (a freshly-decoded chain
+    /// pays one full replay on its first append, then stays O(1)).
     pub fn push(&mut self, state: &[u8]) -> Result<(), ApplyError> {
-        let prev = self.materialize(self.len() - 1)?;
+        let prev = match self.tail.take() {
+            Some(tail) => tail,
+            None => self.materialize(self.len() - 1)?,
+        };
         self.deltas
             .push(diff_with_block(&prev, state, self.block as usize));
+        self.tail = Some(state.to_vec());
         Ok(())
     }
 
@@ -80,9 +115,13 @@ impl ForwardChain {
         Ok(state)
     }
 
-    /// Reconstruct the newest version. Costs a full-chain replay.
+    /// Reconstruct the newest version. Free when the tail cache is
+    /// warm; a full-chain replay otherwise.
     pub fn latest(&self) -> Result<Vec<u8>, ApplyError> {
-        self.materialize(self.len() - 1)
+        match &self.tail {
+            Some(tail) => Ok(tail.clone()),
+            None => self.materialize(self.len() - 1),
+        }
     }
 
     /// Total encoded bytes (space accounting for experiment E7).
@@ -95,19 +134,32 @@ impl ForwardChain {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReverseChain {
     /// The newest version's full state.
-    pub head: Vec<u8>,
-    /// `deltas[0]` transforms the head into the previous version,
-    /// `deltas[1]` that one into its predecessor, and so on.
-    pub deltas: Vec<Delta>,
+    head: Vec<u8>,
+    /// `deltas[i]` transforms version `i + 1` into version `i`: the
+    /// delta for the newest step sits at the **end**, so an append is a
+    /// plain push instead of an O(n) front insert.
+    deltas: Vec<Delta>,
     /// Block size used for diffing.
-    pub block: u64,
+    block: u64,
 }
 
-impl_persist_struct!(ReverseChain {
-    head,
-    deltas,
-    block
-});
+// Hand-written for field privacy only; layout matches
+// `impl_persist_struct!(ReverseChain { head, deltas, block })`.
+impl Persist for ReverseChain {
+    fn encode(&self, w: &mut Writer) {
+        self.head.encode(w);
+        self.deltas.encode(w);
+        self.block.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(ReverseChain {
+            head: Persist::decode(r)?,
+            deltas: Persist::decode(r)?,
+            block: Persist::decode(r)?,
+        })
+    }
+}
 
 impl ReverseChain {
     /// Start a chain at `initial` state.
@@ -139,10 +191,11 @@ impl ReverseChain {
     }
 
     /// Append a new version state: the new state becomes the whole head
-    /// and a *reverse* delta (new → old) is pushed.
+    /// and a *reverse* delta (new → old) is appended — O(1) amortized,
+    /// no element shifting.
     pub fn push(&mut self, state: &[u8]) {
         let reverse = diff_with_block(state, &self.head, self.block as usize);
-        self.deltas.insert(0, reverse);
+        self.deltas.push(reverse);
         self.head = state.to_vec();
     }
 
@@ -150,9 +203,8 @@ impl ReverseChain {
     /// Costs `len() - 1 - index` delta applications.
     pub fn materialize(&self, index: usize) -> Result<Vec<u8>, ApplyError> {
         assert!(index < self.len(), "version index out of range");
-        let steps = self.len() - 1 - index;
         let mut state = self.head.clone();
-        for d in &self.deltas[..steps] {
+        for d in self.deltas[index..].iter().rev() {
             state = apply(&state, d)?;
         }
         Ok(state)
@@ -165,14 +217,15 @@ impl ReverseChain {
 
     /// Replace the newest version's state **in place** (no new version).
     ///
-    /// The first reverse delta reconstructs the previous version *from
+    /// The last reverse delta reconstructs the previous version *from
     /// the head*, so it must be recomputed against the new head — a
     /// subtlety unique to reverse-delta storage (forward chains never
     /// re-anchor on update).
     pub fn set_head(&mut self, state: &[u8]) -> Result<(), ApplyError> {
         if !self.deltas.is_empty() {
             let prev = self.materialize(self.len() - 2)?;
-            self.deltas[0] = diff_with_block(state, &prev, self.block as usize);
+            let last = self.deltas.len() - 1;
+            self.deltas[last] = diff_with_block(state, &prev, self.block as usize);
         }
         self.head = state.to_vec();
         Ok(())
@@ -224,6 +277,25 @@ mod tests {
             assert_eq!(&chain.materialize(i).unwrap(), v, "version {i}");
         }
         assert_eq!(chain.latest().unwrap(), versions[11]);
+    }
+
+    #[test]
+    fn forward_chain_push_after_decode_rebuilds_tail() {
+        let versions = evolution(6, 800);
+        let mut chain = ForwardChain::new(versions[0].clone());
+        for v in &versions[1..4] {
+            chain.push(v).unwrap();
+        }
+        // Decode drops the tail cache; the next push must still diff
+        // against the true previous state.
+        let mut back: ForwardChain = ode_codec::from_bytes(&ode_codec::to_bytes(&chain)).unwrap();
+        for v in &versions[4..] {
+            back.push(v).unwrap();
+        }
+        for (i, v) in versions.iter().enumerate() {
+            assert_eq!(&back.materialize(i).unwrap(), v, "version {i}");
+        }
+        assert_eq!(back.latest().unwrap(), versions[5]);
     }
 
     #[test]
@@ -301,11 +373,16 @@ mod tests {
     fn chains_round_trip_codec() {
         let versions = evolution(5, 500);
         let mut fwd = ForwardChain::new(versions[0].clone());
+        let mut rev = ReverseChain::new(versions[0].clone());
         for v in &versions[1..] {
             fwd.push(v).unwrap();
+            rev.push(v);
         }
         let back: ForwardChain = ode_codec::from_bytes(&ode_codec::to_bytes(&fwd)).unwrap();
         assert_eq!(back, fwd);
         assert_eq!(back.latest().unwrap(), versions[4]);
+        let back: ReverseChain = ode_codec::from_bytes(&ode_codec::to_bytes(&rev)).unwrap();
+        assert_eq!(back, rev);
+        assert_eq!(back.materialize(0).unwrap(), versions[0]);
     }
 }

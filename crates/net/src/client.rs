@@ -33,7 +33,9 @@ use ode::{ObjPtr, OdeType, Oid, TypeTag, VersionPtr, Vid};
 use ode_codec::{from_bytes, to_bytes};
 
 use crate::error::{NetError, Result};
-use crate::protocol::{read_frame, write_frame, Request, Response, StatsReport, MAGIC};
+use crate::protocol::{
+    read_frame, write_frame, DiffSummary, Request, Response, StatsReport, MAGIC,
+};
 
 /// Client tuning knobs.
 #[derive(Debug, Clone)]
@@ -668,6 +670,38 @@ impl OdeClient {
         match self.call(&Request::VersionExists { vid: vp.vid })? {
             Response::Flag(b) => Ok(b),
             other => Err(unexpected("flag", &other)),
+        }
+    }
+
+    /// All versions of an object whose global stamp lies in
+    /// `from..=to`, oldest first — served from the object's delta chain
+    /// when it has one, without materializing any bodies.
+    pub fn history_between<T: OdeType>(
+        &mut self,
+        ptr: &ClientObjPtr<T>,
+        from: u64,
+        to: u64,
+    ) -> Result<Vec<ClientVersionPtr<T>>> {
+        self.versions(&Request::HistoryBetween {
+            oid: ptr.oid,
+            from,
+            to,
+        })
+    }
+
+    /// Summary of the byte difference between two versions of the same
+    /// object (how much changed, and how compactly it deltas).
+    pub fn diff_versions<T: OdeType>(
+        &mut self,
+        from: &ClientVersionPtr<T>,
+        to: &ClientVersionPtr<T>,
+    ) -> Result<DiffSummary> {
+        match self.call(&Request::DiffVersions {
+            from: from.vid,
+            to: to.vid,
+        })? {
+            Response::Diff(d) => Ok(d),
+            other => Err(unexpected("diff", &other)),
         }
     }
 

@@ -86,6 +86,9 @@ impl From<&ode::Error> for RemoteError {
             },
             ode::Error::LastVersion(vid) => RemoteError::LastVersion(*vid),
             ode::Error::Storage(e) => RemoteError::Storage(e.to_string()),
+            // A corrupt delta chain is a storage-integrity failure as
+            // far as a remote caller is concerned.
+            ode::Error::ChainCorrupt(msg) => RemoteError::Storage(format!("delta chain: {msg}")),
         }
     }
 }

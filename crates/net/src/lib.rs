@@ -73,7 +73,7 @@ mod threaded;
 pub use client::{ClientConfig, ClientObjPtr, ClientVersionPtr, OdeClient, Pipeline};
 pub use cluster::{Cluster, ClusterConfig};
 pub use error::{NetError, RemoteError, Result};
-pub use protocol::{Opcode, Request, Response, StatsReport, StorageCounters};
+pub use protocol::{DiffSummary, Opcode, Request, Response, StatsReport, StorageCounters};
 pub use relay::{FaultRelay, RelayPlan};
 pub use router::{OdeRouter, RouterConfig, RouterStatsReport, ShardMembership};
 pub use server::{OdeServer, ServerConfig, ServerHooks};

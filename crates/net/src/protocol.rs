@@ -108,10 +108,15 @@ pub enum Opcode {
     ReadFloor = 24,
     /// Promote a replica node to primary (driven failover).
     Promote = 25,
+    /// All versions of an object created in a global-stamp range
+    /// (served from the object's delta chain when it has one).
+    HistoryBetween = 26,
+    /// Summary of the difference between two versions' states.
+    DiffVersions = 27,
 }
 
 /// Number of opcodes (size of the server's per-opcode counter array).
-pub const OPCODE_COUNT: usize = 26;
+pub const OPCODE_COUNT: usize = 28;
 
 impl Opcode {
     /// Every opcode, in wire order.
@@ -142,6 +147,8 @@ impl Opcode {
         Opcode::Epoch,
         Opcode::ReadFloor,
         Opcode::Promote,
+        Opcode::HistoryBetween,
+        Opcode::DiffVersions,
     ];
 
     /// Decode a wire byte.
@@ -178,6 +185,8 @@ impl Opcode {
             Opcode::Epoch => "epoch",
             Opcode::ReadFloor => "read_floor",
             Opcode::Promote => "promote",
+            Opcode::HistoryBetween => "history_between",
+            Opcode::DiffVersions => "diff_versions",
         }
     }
 }
@@ -329,6 +338,24 @@ pub enum Request {
     /// Promote this node from replica to primary (driven failover;
     /// idempotent).
     Promote,
+    /// All versions of `oid` whose global stamp lies in `from..=to`,
+    /// oldest first — served from the object's delta chain when it has
+    /// one, without materializing any bodies.
+    HistoryBetween {
+        /// Object whose history to slice.
+        oid: Oid,
+        /// Smallest global stamp to include.
+        from: u64,
+        /// Largest global stamp to include.
+        to: u64,
+    },
+    /// Summary of the byte difference between two versions' states.
+    DiffVersions {
+        /// Base version.
+        from: Vid,
+        /// Target version.
+        to: Vid,
+    },
 }
 
 impl Request {
@@ -361,6 +388,8 @@ impl Request {
             Request::Epoch => Opcode::Epoch,
             Request::ReadFloor { .. } => Opcode::ReadFloor,
             Request::Promote => Opcode::Promote,
+            Request::HistoryBetween { .. } => Opcode::HistoryBetween,
+            Request::DiffVersions { .. } => Opcode::DiffVersions,
         }
     }
 
@@ -438,6 +467,15 @@ impl Request {
                 w.put_varint(tag.0);
                 w.put_varint(after.0);
                 w.put_varint(*limit);
+            }
+            Request::HistoryBetween { oid, from, to } => {
+                w.put_varint(oid.0);
+                w.put_varint(*from);
+                w.put_varint(*to);
+            }
+            Request::DiffVersions { from, to } => {
+                w.put_varint(from.0);
+                w.put_varint(to.0);
             }
         }
         w.into_bytes()
@@ -538,6 +576,15 @@ impl Request {
                 epoch: r.get_varint()?,
             },
             Opcode::Promote => Request::Promote,
+            Opcode::HistoryBetween => Request::HistoryBetween {
+                oid: Oid(r.get_varint()?),
+                from: r.get_varint()?,
+                to: r.get_varint()?,
+            },
+            Opcode::DiffVersions => Request::DiffVersions {
+                from: Vid(r.get_varint()?),
+                to: Vid(r.get_varint()?),
+            },
         };
         if r.remaining() != 0 {
             return Err(NetError::Protocol(format!(
@@ -570,7 +617,31 @@ pub(crate) mod kind {
     pub const OBJECT: u8 = 9;
     pub const COUNT: u8 = 10;
     pub const FLAG: u8 = 11;
+    pub const DIFF: u8 = 12;
     pub const ERR: u8 = 255;
+}
+
+/// A version-to-version difference summary, the reply to
+/// `DiffVersions` — the wire view of the core's `VersionDiff`, flat
+/// varint fields so the router can remap the vids without decoding the
+/// rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffSummary {
+    /// Base version.
+    pub from: Vid,
+    /// Target version.
+    pub to: Vid,
+    /// Length of the target state in bytes.
+    pub to_len: u64,
+    /// Number of copy/insert ops in the delta.
+    pub ops: u64,
+    /// Bytes the delta carries literally (not copied from the base).
+    pub literal_bytes: u64,
+    /// Encoded size of the delta in bytes.
+    pub encoded_bytes: u64,
+    /// Whether this delta was served straight from the object's stored
+    /// chain (adjacent versions) rather than computed on demand.
+    pub stored: bool,
 }
 
 /// Storage-engine contention and commit counters, nested inside
@@ -676,6 +747,11 @@ pub struct StatsReport {
     /// Connections evicted because their response backlog exceeded the
     /// server's write-buffer cap (a slow or stalled reader).
     pub slow_client_evictions: u64,
+    /// Historical reads answered from the materialization cache
+    /// (delta-chain states rebuilt earlier this commit epoch).
+    pub materialize_hits: u64,
+    /// Historical reads that had to replay the delta chain.
+    pub materialize_misses: u64,
     /// Per-opcode request counts; only non-zero entries are listed.
     pub requests: Vec<(Opcode, u64)>,
     /// Storage-engine contention and commit counters.
@@ -706,6 +782,8 @@ impl StatsReport {
         w.put_varint(self.snapshot_hits);
         w.put_varint(self.snapshot_misses);
         w.put_varint(self.slow_client_evictions);
+        w.put_varint(self.materialize_hits);
+        w.put_varint(self.materialize_misses);
         w.put_varint(self.requests.len() as u64);
         for (op, n) in &self.requests {
             w.put_u8(*op as u8);
@@ -724,6 +802,8 @@ impl StatsReport {
         let snapshot_hits = r.get_varint()?;
         let snapshot_misses = r.get_varint()?;
         let slow_client_evictions = r.get_varint()?;
+        let materialize_hits = r.get_varint()?;
+        let materialize_misses = r.get_varint()?;
         let n = r.get_count()?;
         let mut requests = Vec::with_capacity(n.min(OPCODE_COUNT));
         for _ in 0..n {
@@ -743,6 +823,8 @@ impl StatsReport {
             snapshot_hits,
             snapshot_misses,
             slow_client_evictions,
+            materialize_hits,
+            materialize_misses,
             requests,
             storage,
         })
@@ -790,6 +872,8 @@ pub enum Response {
     Count(u64),
     /// A boolean (`Exists`, `VersionExists`).
     Flag(bool),
+    /// A version-difference summary (`DiffVersions`).
+    Diff(DiffSummary),
     /// The operation failed on the server.
     Err(RemoteError),
 }
@@ -810,6 +894,7 @@ impl Response {
             Response::Object(_) => "object",
             Response::Count(_) => "count",
             Response::Flag(_) => "flag",
+            Response::Diff(_) => "diff",
             Response::Err(_) => "err",
         }
     }
@@ -883,6 +968,16 @@ impl Response {
             Response::Flag(b) => {
                 w.put_u8(kind::FLAG);
                 w.put_u8(*b as u8);
+            }
+            Response::Diff(d) => {
+                w.put_u8(kind::DIFF);
+                w.put_varint(d.from.0);
+                w.put_varint(d.to.0);
+                w.put_varint(d.to_len);
+                w.put_varint(d.ops);
+                w.put_varint(d.literal_bytes);
+                w.put_varint(d.encoded_bytes);
+                w.put_u8(d.stored as u8);
             }
             Response::Err(e) => {
                 w.put_u8(kind::ERR);
@@ -964,6 +1059,15 @@ impl Response {
             kind::OBJECT => Response::Object(Oid(r.get_varint()?)),
             kind::COUNT => Response::Count(r.get_varint()?),
             kind::FLAG => Response::Flag(r.get_u8()? != 0),
+            kind::DIFF => Response::Diff(DiffSummary {
+                from: Vid(r.get_varint()?),
+                to: Vid(r.get_varint()?),
+                to_len: r.get_varint()?,
+                ops: r.get_varint()?,
+                literal_bytes: r.get_varint()?,
+                encoded_bytes: r.get_varint()?,
+                stored: r.get_u8()? != 0,
+            }),
             kind::ERR => {
                 let code = r.get_u8()?;
                 let a = r.get_varint()?;
@@ -1217,6 +1321,30 @@ mod tests {
         round_trip_request(Request::ReadFloor { epoch: 19 });
         round_trip_request(Request::ReadFloor { epoch: 0 });
         round_trip_request(Request::Promote);
+        round_trip_request(Request::HistoryBetween {
+            oid: Oid(20),
+            from: 3,
+            to: u64::MAX,
+        });
+        round_trip_request(Request::DiffVersions {
+            from: Vid(21),
+            to: Vid(22),
+        });
+    }
+
+    #[test]
+    fn history_and_diff_are_reads() {
+        assert!(Request::HistoryBetween {
+            oid: Oid(1),
+            from: 0,
+            to: 10
+        }
+        .is_read());
+        assert!(Request::DiffVersions {
+            from: Vid(1),
+            to: Vid(2)
+        }
+        .is_read());
     }
 
     #[test]
@@ -1232,6 +1360,8 @@ mod tests {
             snapshot_hits: 41,
             snapshot_misses: 12,
             slow_client_evictions: 3,
+            materialize_hits: 17,
+            materialize_misses: 5,
             requests: vec![(Opcode::Ping, 3), (Opcode::Pnew, 4)],
             storage: StorageCounters {
                 read_txs: 100,
@@ -1269,6 +1399,24 @@ mod tests {
         round_trip_response(Response::Count(7));
         round_trip_response(Response::Flag(true));
         round_trip_response(Response::Flag(false));
+        round_trip_response(Response::Diff(DiffSummary {
+            from: Vid(8),
+            to: Vid(9),
+            to_len: 600,
+            ops: 5,
+            literal_bytes: 48,
+            encoded_bytes: 70,
+            stored: true,
+        }));
+        round_trip_response(Response::Diff(DiffSummary {
+            from: Vid(0),
+            to: Vid(0),
+            to_len: 0,
+            ops: 0,
+            literal_bytes: 0,
+            encoded_bytes: 0,
+            stored: false,
+        }));
         for err in [
             RemoteError::UnknownObject(Oid(1)),
             RemoteError::UnknownVersion(Vid(2)),

@@ -762,6 +762,43 @@ fn route(req: Request, map: ShardMap, next_pnew: &AtomicU64) -> Route {
                 vid: map.backend_vid(vid),
             },
         ),
+        R::HistoryBetween { oid, from, to } => {
+            let shard = map.shard_of(oid);
+            // Stamps are vid values, so the client-space range maps to
+            // backend space by the same residue decomposition as ids:
+            // the backend range is every backend stamp whose minted
+            // client stamp falls inside [from, to].
+            let s = shard as u64;
+            if to < s || from > to {
+                // No stamp on this shard can fall in the range.
+                return Route::Local(Response::Versions(Vec::new()));
+            }
+            let bfrom = map.backend_cursor(Oid(from), shard).0;
+            let bto = map.backend_vid(Vid(to)).0;
+            single(
+                shard,
+                R::HistoryBetween {
+                    oid: map.backend_oid(oid),
+                    from: bfrom,
+                    to: bto,
+                },
+            )
+        }
+        R::DiffVersions { from, to } => {
+            let shard = map.shard_of_vid(from);
+            if map.shard_of_vid(to) != shard {
+                return Route::Local(Response::Err(RemoteError::BadRequest(
+                    "diff endpoints live on different shards (different objects)".into(),
+                )));
+            }
+            single(
+                shard,
+                R::DiffVersions {
+                    from: map.backend_vid(from),
+                    to: map.backend_vid(to),
+                },
+            )
+        }
     }
 }
 
@@ -799,6 +836,11 @@ fn translate_response(resp: Response, map: ShardMap, shard: usize) -> Response {
             Response::Objects(os.into_iter().map(|o| map.client_oid(o, shard)).collect())
         }
         Response::Object(oid) => Response::Object(map.client_oid(oid, shard)),
+        Response::Diff(d) => Response::Diff(crate::protocol::DiffSummary {
+            from: map.client_vid(d.from, shard),
+            to: map.client_vid(d.to, shard),
+            ..d
+        }),
         Response::Err(e) => Response::Err(match e {
             RemoteError::UnknownObject(oid) => {
                 RemoteError::UnknownObject(map.client_oid(oid, shard))
@@ -827,6 +869,8 @@ fn merge_stats(parts: Vec<StatsReport>) -> StatsReport {
         merged.snapshot_hits += part.snapshot_hits;
         merged.snapshot_misses += part.snapshot_misses;
         merged.slow_client_evictions += part.slow_client_evictions;
+        merged.materialize_hits += part.materialize_hits;
+        merged.materialize_misses += part.materialize_misses;
         merged.storage.read_txs += part.storage.read_txs;
         merged.storage.write_txs += part.storage.write_txs;
         merged.storage.reader_waits += part.storage.reader_waits;
@@ -1947,6 +1991,8 @@ mod tests {
             snapshot_hits: 5,
             snapshot_misses: 2,
             slow_client_evictions: 1,
+            materialize_hits: 4,
+            materialize_misses: 2,
             requests: vec![(Opcode::Pnew, 3), (Opcode::Deref, 4)],
             storage: crate::protocol::StorageCounters {
                 read_txs: 10,
@@ -1967,6 +2013,8 @@ mod tests {
             snapshot_hits: 7,
             snapshot_misses: 1,
             slow_client_evictions: 2,
+            materialize_hits: 1,
+            materialize_misses: 3,
             requests: vec![(Opcode::Deref, 6), (Opcode::Ping, 1)],
             storage: crate::protocol::StorageCounters {
                 read_txs: 20,
@@ -1987,6 +2035,8 @@ mod tests {
         assert_eq!(merged.snapshot_hits, 12);
         assert_eq!(merged.snapshot_misses, 3);
         assert_eq!(merged.slow_client_evictions, 3);
+        assert_eq!(merged.materialize_hits, 5);
+        assert_eq!(merged.materialize_misses, 5);
         assert_eq!(merged.storage.read_txs, 30);
         assert_eq!(merged.storage.write_txs, 8);
         assert_eq!(merged.storage.write_conflicts, 5);
@@ -2076,6 +2126,101 @@ mod tests {
             translate_response(Response::Count(7), map, s),
             Response::Count(7)
         );
+        // A diff's endpoint vids are remapped; the delta metrics are
+        // shard-agnostic and pass through.
+        let d = crate::protocol::DiffSummary {
+            from: Vid(1),
+            to: Vid(2),
+            to_len: 600,
+            ops: 3,
+            literal_bytes: 12,
+            encoded_bytes: 30,
+            stored: true,
+        };
+        assert_eq!(
+            translate_response(Response::Diff(d), map, s),
+            Response::Diff(crate::protocol::DiffSummary {
+                from: Vid(6),
+                to: Vid(10),
+                ..d
+            })
+        );
+    }
+
+    #[test]
+    fn history_and_diff_route_to_the_owning_shard() {
+        let map = ShardMap::new(3);
+        let rr = AtomicU64::new(0);
+        // Oid 7 lives on shard 1; client stamps [4, 22] on shard 1 are
+        // {4, 7, 10, 13, 16, 19, 22} = backend stamps 1..=7.
+        match route(
+            Request::HistoryBetween {
+                oid: Oid(7),
+                from: 4,
+                to: 22,
+            },
+            map,
+            &rr,
+        ) {
+            Route::Single { shard, backend } => {
+                assert_eq!(shard, 1);
+                assert_eq!(
+                    backend,
+                    Request::HistoryBetween {
+                        oid: Oid(2),
+                        from: 1,
+                        to: 7,
+                    }
+                );
+            }
+            _ => panic!("history must route to the object's shard"),
+        }
+        // A range no stamp of shard 2 can fall in answers locally.
+        match route(
+            Request::HistoryBetween {
+                oid: Oid(2),
+                from: 0,
+                to: 1,
+            },
+            map,
+            &rr,
+        ) {
+            Route::Local(Response::Versions(v)) => assert!(v.is_empty()),
+            _ => panic!("empty range must answer locally"),
+        }
+        // Same shard: forwarded with both vids translated.
+        match route(
+            Request::DiffVersions {
+                from: Vid(4),
+                to: Vid(7),
+            },
+            map,
+            &rr,
+        ) {
+            Route::Single { shard, backend } => {
+                assert_eq!(shard, 1);
+                assert_eq!(
+                    backend,
+                    Request::DiffVersions {
+                        from: Vid(1),
+                        to: Vid(2),
+                    }
+                );
+            }
+            _ => panic!("same-shard diff must forward"),
+        }
+        // Cross-shard endpoints are refused by the router itself.
+        match route(
+            Request::DiffVersions {
+                from: Vid(4),
+                to: Vid(8),
+            },
+            map,
+            &rr,
+        ) {
+            Route::Local(Response::Err(RemoteError::BadRequest(_))) => {}
+            _ => panic!("cross-shard diff must be refused locally"),
+        }
     }
 
     #[test]

@@ -66,8 +66,8 @@ use polling::{Event, Poller};
 use crate::cache::SnapshotCache;
 use crate::error::RemoteError;
 use crate::protocol::{
-    write_frame, FrameBuffer, Opcode, Request, Response, StatsReport, StorageCounters, MAGIC,
-    OPCODE_COUNT,
+    write_frame, DiffSummary, FrameBuffer, Opcode, Request, Response, StatsReport, StorageCounters,
+    MAGIC, OPCODE_COUNT,
 };
 
 /// Server tuning knobs.
@@ -157,6 +157,7 @@ pub(crate) struct ServerStats {
 impl ServerStats {
     pub(crate) fn report(&self, cache: &SnapshotCache, db: &Database) -> StatsReport {
         let storage = db.storage_stats();
+        let (materialize_hits, materialize_misses) = db.materialize_cache_counters();
         let requests = Opcode::ALL
             .iter()
             .filter_map(|&op| {
@@ -174,6 +175,8 @@ impl ServerStats {
             snapshot_hits: cache.hits(),
             snapshot_misses: cache.misses(),
             slow_client_evictions: self.slow_client_evictions.load(Ordering::Relaxed),
+            materialize_hits,
+            materialize_misses,
             requests,
             storage: StorageCounters {
                 read_txs: storage.read_txs,
@@ -384,6 +387,21 @@ pub(crate) fn apply(db: &Database, request: Request) -> ode::Result<Response> {
             Request::VersionCount { oid } => Ok(Response::Count(snap.version_count_raw(oid)?)),
             Request::Exists { oid } => Ok(Response::Flag(snap.exists_raw(oid)?)),
             Request::VersionExists { vid } => Ok(Response::Flag(snap.version_exists_raw(vid)?)),
+            Request::HistoryBetween { oid, from, to } => {
+                Ok(Response::Versions(snap.history_between_raw(oid, from, to)?))
+            }
+            Request::DiffVersions { from, to } => {
+                let d = snap.diff_versions_raw(from, to)?;
+                Ok(Response::Diff(DiffSummary {
+                    from: d.from,
+                    to: d.to,
+                    to_len: d.to_len,
+                    ops: d.ops,
+                    literal_bytes: d.literal_bytes,
+                    encoded_bytes: d.encoded_bytes,
+                    stored: d.stored,
+                }))
+            }
             // Ping/Stats are answered at decode; writes are handled
             // below.
             _ => unreachable!("non-read request routed to snapshot"),

@@ -70,8 +70,31 @@ fn arb_request() -> BoxedStrategy<Request> {
         arb_oid().prop_map(|oid| Request::VersionCount { oid }),
         arb_oid().prop_map(|oid| Request::Exists { oid }),
         arb_vid().prop_map(|vid| Request::VersionExists { vid }),
+        (arb_oid(), any::<u64>(), any::<u64>())
+            .prop_map(|(oid, from, to)| Request::HistoryBetween { oid, from, to }),
+        (arb_vid(), arb_vid()).prop_map(|(from, to)| Request::DiffVersions { from, to }),
     ]
     .boxed()
+}
+
+fn arb_diff() -> impl Strategy<Value = ode_net::DiffSummary> {
+    (
+        (arb_vid(), arb_vid(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<bool>()),
+    )
+        .prop_map(|(a, b)| {
+            let (from, to, to_len, ops) = a;
+            let (literal_bytes, encoded_bytes, stored) = b;
+            ode_net::DiffSummary {
+                from,
+                to,
+                to_len,
+                ops,
+                literal_bytes,
+                encoded_bytes,
+                stored,
+            }
+        })
 }
 
 fn arb_storage_counters() -> impl Strategy<Value = StorageCounters> {
@@ -151,6 +174,8 @@ fn arb_stats() -> impl Strategy<Value = StatsReport> {
                 snapshot_hits,
                 snapshot_misses,
                 slow_client_evictions: snapshot_hits ^ snapshot_misses,
+                materialize_hits: snapshot_hits.wrapping_add(3),
+                materialize_misses: snapshot_misses.wrapping_mul(7),
                 requests,
                 storage,
             }
@@ -186,6 +211,7 @@ fn arb_response() -> BoxedStrategy<Response> {
         arb_oid().prop_map(Response::Object),
         any::<u64>().prop_map(Response::Count),
         any::<bool>().prop_map(Response::Flag),
+        arb_diff().prop_map(Response::Diff),
         arb_remote_error().prop_map(Response::Err),
     ]
     .boxed()

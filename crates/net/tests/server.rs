@@ -882,3 +882,90 @@ fn versions_travel_between_embedded_and_network_apis() {
 
     server.shutdown();
 }
+
+#[test]
+fn history_and_diff_are_served_over_the_wire_from_the_chain() {
+    // A chain-enabled database: version bodies are stored as deltas,
+    // and the two new read ops answer from the chain.
+    let path = TempPath::new();
+    let db = Arc::new(
+        Database::create(
+            &path.0,
+            DatabaseOptions::no_sync().with_chain(ode::ChainConfig::default()),
+        )
+        .expect("create db"),
+    );
+    let server =
+        OdeServer::bind(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut c = client(server.local_addr());
+
+    let p = c
+        .pnew(&Doc {
+            title: "chained".repeat(40),
+            revision: 0,
+        })
+        .expect("pnew");
+    let mut vids = vec![c.current_version(&p).expect("current_version")];
+    for rev in 1..=8u64 {
+        let v = c.newversion(&p).expect("newversion");
+        c.put_version(
+            &v,
+            &Doc {
+                title: "chained".repeat(40),
+                revision: rev,
+            },
+        )
+        .expect("put_version");
+        vids.push(v);
+    }
+
+    // The full stamp range returns the whole temporal history.
+    let all = c.history_between(&p, 0, u64::MAX).expect("history_between");
+    assert_eq!(all, vids);
+    // A sub-range clips both ends.
+    let mid = c
+        .history_between(&p, vids[2].vid().0, vids[5].vid().0)
+        .expect("history_between");
+    assert_eq!(mid, vids[2..=5].to_vec());
+
+    // Adjacent versions diff straight off the stored chain; the edit
+    // is tiny next to the body, so the delta is too.
+    let d = c.diff_versions(&vids[3], &vids[4]).expect("diff_versions");
+    assert_eq!((d.from, d.to), (vids[3].vid(), vids[4].vid()));
+    assert!(
+        d.stored,
+        "adjacent chained versions must use the stored delta"
+    );
+    assert!(
+        d.encoded_bytes < d.to_len / 3,
+        "delta ({} bytes) should be far smaller than the body ({} bytes)",
+        d.encoded_bytes,
+        d.to_len
+    );
+    // Non-adjacent versions still diff (computed on demand).
+    let d = c.diff_versions(&vids[1], &vids[7]).expect("diff_versions");
+    assert!(!d.stored);
+    assert_eq!(
+        d.to_len,
+        ode_codec::to_bytes(&Doc {
+            title: "chained".repeat(40),
+            revision: 7
+        })
+        .len() as u64
+    );
+
+    // Historical reads replay the chain and populate the
+    // materialization cache; the counters travel in Stats.
+    for _ in 0..3 {
+        let doc = c.deref_v(&vids[2]).expect("deref_v historical");
+        assert_eq!(doc.revision, 2);
+        c.disconnect(); // defeat the server's snapshot cache, not the db's
+    }
+    let stats = c.stats().expect("stats");
+    assert!(
+        stats.materialize_misses >= 1,
+        "the first historical read must replay the chain"
+    );
+
+    server.shutdown();
+}

@@ -10,7 +10,10 @@
 //! ode-cli <addr> set <oid> <text>           overwrite the latest version
 //! ode-cli <addr> newversion <oid>           derive from the latest
 //! ode-cli <addr> newversion-from <vid>      derive from a pinned version
-//! ode-cli <addr> history <oid>              all versions, temporal order
+//! ode-cli <addr> history <oid> [from to]    all versions, temporal order
+//!                                           (optionally only stamps in
+//!                                           from..=to, chain-served)
+//! ode-cli <addr> diff <vid> <vid>           delta summary between versions
 //! ode-cli <addr> objects                    every Note on the server
 //! ode-cli <addr> delete <oid>               pdelete the object
 //! ode-cli <addr> delete-version <vid>       pdelete one version
@@ -62,7 +65,9 @@ fn usage() -> ExitCode {
          \x20 set <oid> <text>         overwrite the latest version\n\
          \x20 newversion <oid>         derive a version from the latest\n\
          \x20 newversion-from <vid>    derive from a pinned version\n\
-         \x20 history <oid>            list all versions\n\
+         \x20 history <oid> [from to]  list all versions, or only those\n\
+         \x20                          whose stamp falls in from..=to\n\
+         \x20 diff <vid> <vid>         delta summary between two versions\n\
          \x20 objects                  list every Note\n\
          \x20 delete <oid>             delete object + versions\n\
          \x20 delete-version <vid>     delete one version"
@@ -145,6 +150,11 @@ fn main() -> ExitCode {
                 "snapshots  : {} cache hits, {} misses",
                 stats.snapshot_hits,
                 stats.snapshot_misses
+            );
+            out!(
+                "materialize: {} cache hits, {} misses (historical chain reads)",
+                stats.materialize_hits,
+                stats.materialize_misses
             );
             out!(
                 "storage    : {} read txs, {} write txs",
@@ -236,8 +246,19 @@ fn main() -> ExitCode {
         },
         "history" => match id_arg() {
             Some(oid) => (|| {
-                let history = client.version_history(&obj(oid))?;
-                let latest = client.current_version(&obj(oid))?;
+                let p = obj(oid);
+                let history = match (rest.get(1), rest.get(2)) {
+                    (Some(from), Some(to)) => match (from.parse::<u64>(), to.parse::<u64>()) {
+                        (Ok(from), Ok(to)) => client.history_between(&p, from, to)?,
+                        _ => {
+                            return Err(NetError::Protocol(
+                                "history range bounds must be integers".into(),
+                            ))
+                        }
+                    },
+                    _ => client.version_history(&p)?,
+                };
+                let latest = client.current_version(&p)?;
                 for v in history {
                     let note = client.deref_v(&v)?;
                     let dprev = client.dprevious(&v)?;
@@ -251,6 +272,27 @@ fn main() -> ExitCode {
                 Ok(())
             })(),
             None => return usage(),
+        },
+        "diff" => match (id_arg(), rest.get(1).and_then(|s| s.parse::<u64>().ok())) {
+            (Some(a), Some(b)) => client.diff_versions(&ver(a), &ver(b)).map(|d| {
+                out!("diff {}..{}", d.from, d.to);
+                out!("  target state : {} B", d.to_len);
+                out!(
+                    "  instructions : {} ops, {} literal bytes",
+                    d.ops,
+                    d.literal_bytes
+                );
+                out!("  encoded delta: {} B", d.encoded_bytes);
+                out!(
+                    "  stored form  : {}",
+                    if d.stored {
+                        "chain delta (adjacent versions, served as stored)"
+                    } else {
+                        "computed on demand"
+                    }
+                );
+            }),
+            _ => return usage(),
         },
         "objects" => client.objects::<Note>().and_then(|objects| {
             for p in objects {

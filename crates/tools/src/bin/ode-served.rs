@@ -1,7 +1,8 @@
 //! `ode-served` — serve an Ode database over TCP.
 //!
 //! ```text
-//! ode-served <db-path> <addr> [--workers N] [--no-sync] [--stats-every SECS]
+//! ode-served <db-path> <addr> [--workers N] [--no-sync] [--chain N]
+//!            [--stats-every SECS]
 //! ```
 //!
 //! Opens (or creates) the database at `<db-path>` and serves the
@@ -14,7 +15,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use ode::{Database, DatabaseOptions};
+use ode::{ChainConfig, Database, DatabaseOptions};
 use ode_net::{OdeServer, ServerConfig};
 
 /// `println!` that ignores a closed stdout: losing the log pipe must
@@ -32,6 +33,9 @@ fn usage() -> ExitCode {
          options:\n\
          \x20 --workers N        worker threads (default: CPU count, 4..=16)\n\
          \x20 --no-sync          skip fsync on commit (benchmarking only)\n\
+         \x20 --chain N          store version bodies as delta chains with\n\
+         \x20                    anchors every N versions (historical reads\n\
+         \x20                    cost at most N-1 delta applications)\n\
          \x20 --stats-every SECS print server stats periodically"
     );
     ExitCode::from(2)
@@ -47,7 +51,8 @@ fn main() -> ExitCode {
     };
 
     let mut config = ServerConfig::default();
-    let mut options = DatabaseOptions::default();
+    let mut no_sync = false;
+    let mut chain: Option<u64> = None;
     let mut stats_every: Option<Duration> = None;
     let mut rest = args[2..].iter();
     while let Some(flag) = rest.next() {
@@ -56,13 +61,25 @@ fn main() -> ExitCode {
                 Some(n) => config.workers = n,
                 None => return usage(),
             },
-            "--no-sync" => options = DatabaseOptions::no_sync(),
+            "--no-sync" => no_sync = true,
+            "--chain" => match rest.next().and_then(|s| s.parse().ok()) {
+                Some(n) => chain = Some(n),
+                None => return usage(),
+            },
             "--stats-every" => match rest.next().and_then(|s| s.parse().ok()) {
                 Some(secs) => stats_every = Some(Duration::from_secs(secs)),
                 None => return usage(),
             },
             _ => return usage(),
         }
+    }
+    let mut options = if no_sync {
+        DatabaseOptions::no_sync()
+    } else {
+        DatabaseOptions::default()
+    };
+    if let Some(interval) = chain {
+        options = options.with_chain(ChainConfig::with_interval(interval));
     }
 
     let db = match Database::open_or_create(&path, options) {

@@ -4,6 +4,7 @@
 //! odedump info    <db>          physical + logical summary
 //! odedump objects <db>          list live objects
 //! odedump object  <db> <oid>    one object's metadata and history
+//! odedump chains  <db>          per-object delta-chain statistics
 //! odedump dot     <db> <oid>    Graphviz export of a version graph
 //! odedump wal     <db>          decode WAL records (offsets, epochs)
 //! odedump fsck    <db>          consistency check
@@ -19,6 +20,7 @@ fn usage() -> ExitCode {
          \x20 info    <db>          physical + logical summary\n\
          \x20 objects <db>          list live objects\n\
          \x20 object  <db> <oid>    one object's metadata and history\n\
+         \x20 chains  <db>          per-object delta-chain statistics\n\
          \x20 dot     <db> <oid>    Graphviz export of a version graph\n\
          \x20 wal     <db>          decode WAL records (offsets, epochs) + summary\n\
          \x20 fsck    <db>          consistency check"
@@ -95,6 +97,47 @@ fn main() -> ExitCode {
             Some(oid) => ode_tools::describe_object(&db, oid).map(|text| print!("{text}")),
             None => return usage(),
         },
+        "chains" => ode_tools::chain_report(&db).map(|chains| {
+            if chains.is_empty() {
+                println!("no delta chains (store holds whole-body versions only)");
+                return;
+            }
+            println!(
+                "{:<8} {:>8} {:>7} {:>6} {:>8} {:>11} {:>12} {:>6}",
+                "oid",
+                "segments",
+                "anchors",
+                "delta",
+                "interval",
+                "encoded(B)",
+                "full-copy(B)",
+                "ratio"
+            );
+            let (mut encoded, mut materialized) = (0u64, 0u64);
+            for c in &chains {
+                encoded += c.encoded_bytes;
+                materialized += c.materialized_bytes;
+                println!(
+                    "{:<8} {:>8} {:>7} {:>6} {:>8} {:>11} {:>12} {:>6.3}",
+                    c.oid,
+                    c.segments,
+                    c.anchors,
+                    c.deltas,
+                    c.interval,
+                    c.encoded_bytes,
+                    c.materialized_bytes,
+                    c.ratio
+                );
+            }
+            let ratio = if materialized == 0 {
+                1.0
+            } else {
+                encoded as f64 / materialized as f64
+            };
+            println!(
+                "total: {encoded} B encoded vs {materialized} B as full copies (ratio {ratio:.3})"
+            );
+        }),
         "dot" => match oid_arg() {
             Some(oid) => ode_tools::export_object_dot(&db, oid).map(|dot| print!("{dot}")),
             None => return usage(),

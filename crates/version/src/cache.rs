@@ -1,0 +1,136 @@
+//! Bounded cache of materialized historical version bodies.
+//!
+//! Chain storage makes historical reads cost up to `anchor_interval - 1`
+//! delta applications.  Hot historical versions (a replica diff loop, a
+//! UI pinned at an old epoch) shouldn't pay that on every read, so the
+//! engine keeps a small epoch-tagged map of `vid → materialized body`,
+//! invalidated wholesale whenever the store's commit epoch moves — the
+//! same invalidation discipline as the network tier's snapshot read
+//! cache.
+//!
+//! Only *snapshot* reads consult the cache: a write transaction's own
+//! uncommitted edits don't bump the epoch, so serving it cached bodies
+//! could hide its own writes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+struct CacheState {
+    /// Commit epoch the entries were materialized at.
+    epoch: u64,
+    entries: HashMap<u64, Vec<u8>>,
+}
+
+/// Epoch-invalidated, size-bounded map of materialized version bodies.
+pub struct MaterializeCache {
+    state: Mutex<CacheState>,
+    cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MaterializeCache {
+    /// A cache holding at most `cap` bodies.
+    pub fn new(cap: usize) -> MaterializeCache {
+        MaterializeCache {
+            state: Mutex::new(CacheState {
+                epoch: 0,
+                entries: HashMap::new(),
+            }),
+            cap: cap.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `vid`'s body as materialized at `epoch`.  A cache
+    /// populated at a different epoch is cleared first — entries never
+    /// outlive the committed state they were derived from.
+    pub fn get(&self, epoch: u64, vid: u64) -> Option<Vec<u8>> {
+        let mut state = self.state.lock();
+        if state.epoch != epoch {
+            state.entries.clear();
+            state.epoch = epoch;
+        }
+        match state.entries.get(&vid) {
+            Some(body) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(body.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Record `vid`'s body as materialized at `epoch`.  Ignored when
+    /// the cache is full (single-generation: it refills after the next
+    /// epoch bump) or tagged with a different epoch.
+    pub fn put(&self, epoch: u64, vid: u64, body: Vec<u8>) {
+        let mut state = self.state.lock();
+        if state.epoch != epoch {
+            state.entries.clear();
+            state.epoch = epoch;
+        }
+        if state.entries.len() < self.cap || state.entries.contains_key(&vid) {
+            state.entries.insert(vid, body);
+        }
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of cached bodies right now.
+    pub fn len(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+
+    /// Whether the cache is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_put_same_epoch() {
+        let c = MaterializeCache::new(8);
+        assert_eq!(c.get(1, 7), None);
+        c.put(1, 7, b"body".to_vec());
+        assert_eq!(c.get(1, 7).as_deref(), Some(&b"body"[..]));
+        assert_eq!(c.counters(), (1, 1));
+    }
+
+    #[test]
+    fn epoch_bump_invalidates() {
+        let c = MaterializeCache::new(8);
+        c.put(1, 7, b"old".to_vec());
+        assert_eq!(c.get(2, 7), None);
+        c.put(2, 7, b"new".to_vec());
+        assert_eq!(c.get(2, 7).as_deref(), Some(&b"new"[..]));
+    }
+
+    #[test]
+    fn bounded_by_cap() {
+        let c = MaterializeCache::new(2);
+        c.put(1, 1, vec![1]);
+        c.put(1, 2, vec![2]);
+        c.put(1, 3, vec![3]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1, 3), None);
+        // Existing keys still update at capacity.
+        c.put(1, 1, vec![9]);
+        assert_eq!(c.get(1, 1).as_deref(), Some(&[9u8][..]));
+    }
+}

@@ -32,6 +32,10 @@ pub enum VersionError {
     /// `pdelete` on a version removes *a* version from a history — an
     /// object always has at least one version).
     LastVersion(Vid),
+    /// A stored delta chain is inconsistent with the version graph or
+    /// fails to replay — on-disk corruption or an engine bug, never a
+    /// caller mistake.
+    ChainCorrupt(&'static str),
 }
 
 impl VersionError {
@@ -62,6 +66,7 @@ impl fmt::Display for VersionError {
                 f,
                 "{vid} is the last version of its object; pdelete the object instead"
             ),
+            VersionError::ChainCorrupt(msg) => write!(f, "delta chain corrupt: {msg}"),
         }
     }
 }

@@ -5,11 +5,13 @@ use ode_object::{Extents, IdAllocator, KvTable, ObjectHeap, Oid, Vid};
 use ode_storage::heap::RecordId;
 use ode_storage::{PageRead, PageWrite};
 
+use crate::cache::MaterializeCache;
+use crate::chain::{ChainConfig, ChainLink, ChainStats, ObjectChain, VersionDiff};
 use crate::records::{ObjectMeta, VersionMeta};
 use crate::{Result, VersionError};
 
-/// Root-slot assignment for a [`VersionStore`]'s six persistent
-/// components. The default occupies slots 0–5, leaving 6–15 free for the
+/// Root-slot assignment for a [`VersionStore`]'s seven persistent
+/// components. The default occupies slots 0–6, leaving 7–15 free for the
 /// embedding application.
 #[derive(Debug, Clone, Copy)]
 pub struct VersionStoreLayout {
@@ -25,6 +27,9 @@ pub struct VersionStoreLayout {
     pub vid_slot: usize,
     /// Slot of the per-type extent directory.
     pub extent_slot: usize,
+    /// Slot of the oid → delta-chain-record table (empty unless chain
+    /// storage has ever been enabled on this store).
+    pub chain_table_slot: usize,
 }
 
 impl Default for VersionStoreLayout {
@@ -36,6 +41,7 @@ impl Default for VersionStoreLayout {
             oid_slot: 3,
             vid_slot: 4,
             extent_slot: 5,
+            chain_table_slot: 6,
         }
     }
 }
@@ -77,10 +83,16 @@ pub struct VersionStore {
     oids: IdAllocator,
     vids: IdAllocator,
     extents: Extents,
+    chain_table: KvTable,
+    /// When set, *new* versions are stored delta-chained. Existing chain
+    /// records are honored and maintained regardless — correctness is
+    /// driven by the stored state, the config only gates new chains.
+    chain: Option<ChainConfig>,
 }
 
 impl VersionStore {
-    /// Bind a version store to a slot layout.
+    /// Bind a version store to a slot layout (whole-body storage for
+    /// new versions; existing chain records still honored).
     pub fn new(layout: VersionStoreLayout) -> VersionStore {
         VersionStore {
             obj_table: KvTable::new(layout.obj_table_slot),
@@ -89,7 +101,26 @@ impl VersionStore {
             oids: IdAllocator::new(layout.oid_slot),
             vids: IdAllocator::new(layout.vid_slot),
             extents: Extents::new(layout.extent_slot),
+            chain_table: KvTable::new(layout.chain_table_slot),
+            chain: None,
         }
+    }
+
+    /// Bind a version store with delta-chain storage enabled: an
+    /// object's second and later versions are stored as one anchored
+    /// chain record instead of whole copies. Opening an existing
+    /// whole-body database this way is the migration path — old
+    /// versions keep their whole records, new versions chain.
+    pub fn with_chain(layout: VersionStoreLayout, config: ChainConfig) -> VersionStore {
+        VersionStore {
+            chain: Some(config),
+            ..VersionStore::new(layout)
+        }
+    }
+
+    /// The chain config new versions are stored under, if any.
+    pub fn chain_config(&self) -> Option<ChainConfig> {
+        self.chain
     }
 
     // ------------------------------------------------------------------
@@ -153,6 +184,52 @@ impl VersionStore {
         Ok(())
     }
 
+    /// Load an object's delta-chain record, if it has one.
+    pub fn load_chain(&self, tx: &mut impl PageRead, oid: Oid) -> Result<Option<ObjectChain>> {
+        match self.chain_table.get(tx, oid.0)? {
+            Some(rid) => Ok(Some(self.heap.load(tx, RecordId::from_u64(rid))?)),
+            None => Ok(None),
+        }
+    }
+
+    fn save_chain(&self, tx: &mut impl PageWrite, oid: Oid, chain: &ObjectChain) -> Result<()> {
+        match self.chain_table.get(tx, oid.0)? {
+            Some(rid) => {
+                let new_rid = self.heap.replace(tx, RecordId::from_u64(rid), chain)?;
+                if new_rid.to_u64() != rid {
+                    self.chain_table.put(tx, oid.0, new_rid.to_u64())?;
+                }
+            }
+            None => {
+                let rid = self.heap.store(tx, chain)?;
+                self.chain_table.put(tx, oid.0, rid.to_u64())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn drop_chain(&self, tx: &mut impl PageWrite, oid: Oid) -> Result<()> {
+        if let Some(rid) = self.chain_table.remove(tx, oid.0)? {
+            self.heap.delete(tx, RecordId::from_u64(rid))?;
+        }
+        Ok(())
+    }
+
+    /// A version's state, given its meta and (optionally) its object's
+    /// chain: whole meta bodies win, empty bodies fall back to chain
+    /// materialization, and a vid absent from both is genuinely empty.
+    fn body_of(&self, meta: &VersionMeta, chain: Option<&ObjectChain>) -> Result<Vec<u8>> {
+        if !meta.body.is_empty() {
+            return Ok(meta.body.clone());
+        }
+        if let Some(c) = chain {
+            if let Some(state) = c.state_of(meta.vid)? {
+                return Ok(state);
+            }
+        }
+        Ok(Vec::new())
+    }
+
     // ------------------------------------------------------------------
     // pnew / newversion / pdelete
     // ------------------------------------------------------------------
@@ -206,7 +283,13 @@ impl VersionStore {
     pub fn new_version_from(&self, tx: &mut impl PageWrite, base: Vid) -> Result<Vid> {
         let mut base_meta = self.version_meta(tx, base)?;
         let mut object = self.object_meta(tx, base_meta.oid)?;
+        let mut chain = self.load_chain(tx, object.oid)?;
         let vid = Vid(self.vids.next(tx)?);
+
+        // The base's state: its whole meta body, or — when the base is
+        // a historical chain member whose body was cleared — its
+        // materialization off the chain.
+        let base_state = self.body_of(&base_meta, chain.as_ref())?;
 
         let version = VersionMeta {
             vid,
@@ -217,7 +300,7 @@ impl VersionStore {
             tprev: object.latest,
             tnext: Vid::NULL,
             created: vid.0,
-            body: base_meta.body.clone(),
+            body: base_state.clone(),
         };
 
         base_meta.dnext.push(vid);
@@ -228,9 +311,36 @@ impl VersionStore {
         // version.
         let mut tail = self.version_meta(tx, object.latest)?;
         tail.tnext = vid;
+        if chain.is_some() || self.chain.is_some() {
+            // Chain storage: the outgoing latest surrenders its whole
+            // body to the chain (as the delta base / lazy first anchor)
+            // and the new version becomes the chain's last entry. The
+            // new latest keeps its whole body in its meta, so latest
+            // reads never touch the chain.
+            let prev_state = std::mem::take(&mut tail.body);
+            let c = match chain.as_mut() {
+                Some(c) => c,
+                None => {
+                    // First chained version of this object: the chain
+                    // starts at the outgoing latest, snapshotted whole.
+                    // Any older versions keep their whole-body records
+                    // (the migration path for pre-chain databases).
+                    chain = Some(ObjectChain::new(
+                        self.chain.expect("checked above"),
+                        object.latest,
+                        prev_state.clone(),
+                    ));
+                    chain.as_mut().expect("just set")
+                }
+            };
+            c.append(vid, &prev_state, &base_state);
+        }
         self.save_version(tx, &tail)?;
 
         self.save_version(tx, &version)?;
+        if let Some(c) = &chain {
+            self.save_chain(tx, object.oid, c)?;
+        }
         object.latest = vid;
         object.version_count += 1;
         self.save_object(tx, &object)?;
@@ -250,6 +360,7 @@ impl VersionStore {
         if let Some(rid) = self.obj_table.remove(tx, oid.0)? {
             self.heap.delete(tx, RecordId::from_u64(rid))?;
         }
+        self.drop_chain(tx, oid)?;
         self.extents.remove(tx, object.tag, oid.0)?;
         Ok(())
     }
@@ -267,10 +378,43 @@ impl VersionStore {
             return Err(VersionError::LastVersion(vid));
         }
 
+        // Chain repair, computed before the graph splices so replayed
+        // states come from the untouched record. Deleting the latest
+        // promotes its temporal predecessor back to a whole meta body
+        // (so the new latest stays O(1) to read); deleting a historical
+        // member re-bases or re-anchors its successor inside the chain.
+        let mut chain = self.load_chain(tx, object.oid)?;
+        let mut promoted_body: Option<Vec<u8>> = None;
+        let mut drop_chain = false;
+        let mut chain_dirty = false;
+        if let Some(c) = chain.as_mut() {
+            if let Some(idx) = c.index_of(vid) {
+                if vid == object.latest {
+                    if c.entries.len() == 1 {
+                        // The chain held only the latest; the object
+                        // falls back to pre-chain whole-body versions.
+                        drop_chain = true;
+                    } else {
+                        promoted_body = Some(c.state_at(idx - 1)?);
+                        c.remove_at(idx)?;
+                        chain_dirty = true;
+                    }
+                } else {
+                    c.remove_at(idx)?;
+                    chain_dirty = true;
+                }
+            }
+        }
+
         // Temporal splice.
         if !meta.tprev.is_null() {
             let mut prev = self.version_meta(tx, meta.tprev)?;
             prev.tnext = meta.tnext;
+            if object.latest == vid {
+                if let Some(body) = promoted_body.take() {
+                    prev.body = body;
+                }
+            }
             self.save_version(tx, &prev)?;
         }
         if !meta.tnext.is_null() {
@@ -322,6 +466,12 @@ impl VersionStore {
 
         object.version_count -= 1;
         self.save_object(tx, &object)?;
+        if drop_chain {
+            self.drop_chain(tx, object.oid)?;
+        } else if chain_dirty {
+            let c = chain.as_ref().expect("dirty implies loaded");
+            self.save_chain(tx, object.oid, c)?;
+        }
         self.drop_version_record(tx, vid)?;
         Ok(())
     }
@@ -348,6 +498,22 @@ impl VersionStore {
         vid: Vid,
         expected: TypeTag,
     ) -> Result<Vec<u8>> {
+        self.read_body_cached(tx, vid, expected, None)
+    }
+
+    /// [`read_body`](VersionStore::read_body) with an optional
+    /// materialization cache keyed by commit epoch. Only chain
+    /// materializations are cached (whole meta bodies are already one
+    /// record load); pass `None` from write transactions — their own
+    /// uncommitted edits don't move the epoch, so cached bodies could
+    /// mask them.
+    pub fn read_body_cached(
+        &self,
+        tx: &mut impl PageRead,
+        vid: Vid,
+        expected: TypeTag,
+        cache: Option<(&MaterializeCache, u64)>,
+    ) -> Result<Vec<u8>> {
         let meta = self.version_meta(tx, vid)?;
         if meta.tag != expected {
             return Err(VersionError::TypeMismatch {
@@ -355,11 +521,35 @@ impl VersionStore {
                 found: meta.tag,
             });
         }
-        Ok(meta.body)
+        // The latest version (and every pre-chain version) stores its
+        // body whole: zero chain overhead on the hot path.
+        if !meta.body.is_empty() {
+            return Ok(meta.body);
+        }
+        if let Some((cache, epoch)) = cache {
+            if let Some(body) = cache.get(epoch, vid.0) {
+                return Ok(body);
+            }
+        }
+        // Empty meta body: either a cleared chain member or a genuinely
+        // empty version — chain membership disambiguates.
+        if let Some(chain) = self.load_chain(tx, meta.oid)? {
+            if let Some(state) = chain.state_of(vid)? {
+                if let Some((cache, epoch)) = cache {
+                    cache.put(epoch, vid.0, state.clone());
+                }
+                return Ok(state);
+            }
+        }
+        Ok(Vec::new())
     }
 
     /// Overwrite a version's body in place (no new version is created —
     /// this is ordinary mutation through a pointer in O++).
+    ///
+    /// For a chained version the chain entry is re-diffed (and the
+    /// successor's delta re-based); the latest version's whole meta
+    /// body is kept in step.
     pub fn write_body(
         &self,
         tx: &mut impl PageWrite,
@@ -374,8 +564,23 @@ impl VersionStore {
                 found: meta.tag,
             });
         }
-        meta.body = body;
-        self.save_version(tx, &meta)
+        let mut chain = self.load_chain(tx, meta.oid)?;
+        let idx = chain.as_ref().and_then(|c| c.index_of(vid));
+        match (chain.as_mut(), idx) {
+            (Some(c), Some(idx)) => {
+                c.set_state_at(idx, &body)?;
+                if idx + 1 == c.entries.len() {
+                    // vid is the latest: keep its whole meta body.
+                    meta.body = body;
+                    self.save_version(tx, &meta)?;
+                }
+                self.save_chain(tx, meta.oid, c)
+            }
+            _ => {
+                meta.body = body;
+                self.save_version(tx, &meta)
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -484,6 +689,133 @@ impl VersionStore {
         Ok(self.vids.last(tx)?)
     }
 
+    /// All versions of `oid` created in the stamp range `[from, to]`
+    /// (inclusive), oldest first — "all versions of X between epochs".
+    ///
+    /// Chained history is answered straight off the chain record's vid
+    /// index with **no per-version record loads**; only versions older
+    /// than the chain (or of a chain-less object) fall back to the
+    /// temporal walk, which early-terminates below `from`.
+    pub fn history_between(
+        &self,
+        tx: &mut impl PageRead,
+        oid: Oid,
+        from: u64,
+        to: u64,
+    ) -> Result<Vec<Vid>> {
+        let object = self.object_meta(tx, oid)?;
+        if from > to {
+            return Ok(Vec::new());
+        }
+        // Backward temporal walk from `start`, collecting stamps in
+        // range (stamps strictly ascend temporally, so the walk stops
+        // at the first stamp below `from`).
+        let walk = |vs: &Self, tx: &mut _, start: Vid| -> Result<Vec<Vid>> {
+            let mut out = Vec::new();
+            let mut cur = start;
+            while !cur.is_null() {
+                let meta = vs.version_meta(tx, cur)?;
+                if meta.created < from {
+                    break;
+                }
+                if meta.created <= to {
+                    out.push(cur);
+                }
+                cur = meta.tprev;
+            }
+            out.reverse();
+            Ok(out)
+        };
+        match self.load_chain(tx, oid)? {
+            Some(chain) => {
+                let first = chain.entries[0].vid;
+                let mut out = if from < first.0 {
+                    let pre_tail = self.version_meta(tx, first)?.tprev;
+                    walk(self, tx, pre_tail)?
+                } else {
+                    Vec::new()
+                };
+                out.extend(
+                    chain
+                        .entries
+                        .iter()
+                        .map(|e| e.vid)
+                        .filter(|v| v.0 >= from && v.0 <= to),
+                );
+                Ok(out)
+            }
+            None => walk(self, tx, object.latest),
+        }
+    }
+
+    /// Summarize the difference between two versions' states —
+    /// "diff v_a..v_b".
+    ///
+    /// When the two are adjacent members of the same object's chain,
+    /// the stored delta is summarized directly (`stored = true`) with
+    /// **no state materialized at all**; otherwise only the two
+    /// endpoint states are materialized and diffed — never the
+    /// intermediate versions between them.
+    pub fn diff_versions(&self, tx: &mut impl PageRead, from: Vid, to: Vid) -> Result<VersionDiff> {
+        let meta_a = self.version_meta(tx, from)?;
+        let meta_b = self.version_meta(tx, to)?;
+        let chain_a = self.load_chain(tx, meta_a.oid)?;
+        if meta_a.oid == meta_b.oid {
+            if let Some(c) = &chain_a {
+                if let (Some(ia), Some(ib)) = (c.index_of(from), c.index_of(to)) {
+                    if ib == ia + 1 {
+                        if let ChainLink::Delta(d) = &c.entries[ib].link {
+                            return Ok(VersionDiff::from_delta(from, to, d, true));
+                        }
+                    }
+                }
+            }
+        }
+        let chain_b_owned;
+        let chain_b = if meta_b.oid == meta_a.oid {
+            chain_a.as_ref()
+        } else {
+            chain_b_owned = self.load_chain(tx, meta_b.oid)?;
+            chain_b_owned.as_ref()
+        };
+        let base = self.body_of(&meta_a, chain_a.as_ref())?;
+        let target = self.body_of(&meta_b, chain_b)?;
+        let block = chain_a
+            .as_ref()
+            .map(|c| c.block as usize)
+            .unwrap_or(ode_delta::DEFAULT_BLOCK);
+        let delta = ode_delta::diff_with_block(&base, &target, block);
+        Ok(VersionDiff::from_delta(from, to, &delta, false))
+    }
+
+    /// Space/shape statistics of an object's chain record (`None` for
+    /// objects without one). One full replay pass — fsck/odedump cost,
+    /// not a hot path.
+    pub fn chain_stats(&self, tx: &mut impl PageRead, oid: Oid) -> Result<Option<ChainStats>> {
+        let chain = match self.load_chain(tx, oid)? {
+            Some(c) => c,
+            None => return Ok(None),
+        };
+        let mut materialized = 0u64;
+        let mut state: Vec<u8> = Vec::new();
+        for e in &chain.entries {
+            state = match &e.link {
+                ChainLink::Anchor(s) => s.clone(),
+                ChainLink::Delta(d) => ode_delta::apply(&state, d)
+                    .map_err(|_| VersionError::ChainCorrupt("chain entry failed to apply"))?,
+            };
+            materialized += state.len() as u64;
+        }
+        Ok(Some(ChainStats {
+            versions: chain.entries.len() as u64,
+            anchors: chain.anchors() as u64,
+            deltas: chain.deltas() as u64,
+            interval: chain.interval,
+            encoded_bytes: chain.encoded_size() as u64,
+            materialized_bytes: materialized,
+        }))
+    }
+
     /// All live objects of a type, in oid order (the O++ extent query).
     pub fn objects_of_type(&self, tx: &mut impl PageRead, tag: TypeTag) -> Result<Vec<Oid>> {
         Ok(self
@@ -580,6 +912,68 @@ impl VersionStore {
         }
         if !live.contains(&object.root) {
             return Err(corrupt("root is not a live version"));
+        }
+        if let Some(chain) = self.load_chain(tx, oid)? {
+            self.check_chain(tx, &object, &history, &chain)?;
+        }
+        Ok(())
+    }
+
+    /// Chain-specific invariants: the chain is a contiguous temporal
+    /// suffix ending at `latest`, starts at an anchor, never runs
+    /// `interval` deltas without one, replays to exactly the latest
+    /// meta body, and every non-last member's meta body is cleared.
+    fn check_chain(
+        &self,
+        tx: &mut impl PageRead,
+        object: &ObjectMeta,
+        history: &[Vid],
+        chain: &ObjectChain,
+    ) -> Result<()> {
+        let corrupt = VersionError::ChainCorrupt;
+        if chain.entries.is_empty() {
+            return Err(corrupt("chain record has no entries"));
+        }
+        if chain.entries.len() > history.len() {
+            return Err(corrupt("chain longer than the temporal history"));
+        }
+        let suffix = &history[history.len() - chain.entries.len()..];
+        for (e, &vid) in chain.entries.iter().zip(suffix) {
+            if e.vid != vid {
+                return Err(corrupt("chain is not the temporal suffix"));
+            }
+        }
+        if chain.entries.last().expect("non-empty").vid != object.latest {
+            return Err(corrupt("chain does not end at the latest version"));
+        }
+        if !matches!(chain.entries[0].link, ChainLink::Anchor(_)) {
+            return Err(corrupt("chain does not start at an anchor"));
+        }
+        let mut run = 0u64;
+        let mut state: Vec<u8> = Vec::new();
+        for (i, e) in chain.entries.iter().enumerate() {
+            match &e.link {
+                ChainLink::Anchor(s) => {
+                    run = 0;
+                    state = s.clone();
+                }
+                ChainLink::Delta(d) => {
+                    run += 1;
+                    if run >= chain.interval.max(1) {
+                        return Err(corrupt("anchor interval exceeded"));
+                    }
+                    state = ode_delta::apply(&state, d)
+                        .map_err(|_| corrupt("chain entry failed to apply"))?;
+                }
+            }
+            let meta = self.version_meta(tx, e.vid)?;
+            if i + 1 == chain.entries.len() {
+                if meta.body != state {
+                    return Err(corrupt("latest meta body disagrees with chain replay"));
+                }
+            } else if !meta.body.is_empty() {
+                return Err(corrupt("historical chain member still stores a whole body"));
+            }
         }
         Ok(())
     }

@@ -29,11 +29,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
+mod chain;
 mod error;
 pub mod export;
 mod graph;
 mod records;
 
+pub use cache::MaterializeCache;
+pub use chain::{ChainConfig, ChainEntry, ChainLink, ChainStats, ObjectChain, VersionDiff};
 pub use error::{Result, VersionError};
 pub use export::version_graph_dot;
 pub use graph::{VersionStore, VersionStoreLayout};

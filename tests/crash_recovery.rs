@@ -364,6 +364,183 @@ fn sigkill_mid_group_commit_recovers_every_acknowledged_txn() {
 }
 
 // ---------------------------------------------------------------------------
+// SIGKILL mid-checkin on a chain-storage database
+// ---------------------------------------------------------------------------
+
+/// The body each checked-in revision carries: a long shared prefix with
+/// a marker suffix, so consecutive revisions are near-identical and the
+/// chain really stores deltas. Used by the child to write and by the
+/// parent to verify recovered bodies byte-for-byte.
+fn chain_text(marker: u64) -> String {
+    format!("{}::checkin-{marker}", "the quick brown fox ".repeat(40))
+}
+
+/// Re-exec helper for the delta-chain variant: four writers each own
+/// one object in a chain-storage database and loop pure check-ins
+/// (`newversion` + `put_version`), appending a delta to the object's
+/// chain per commit, until the parent SIGKILLs the process.
+/// Acknowledged markers are durably logged after each commit. No-op
+/// without the env var.
+#[test]
+fn child_chained_checkin_writer() {
+    let Ok(db_path) = std::env::var("ODE_CRASH_CHAIN_CHILD") else {
+        return;
+    };
+    let ack_dir = std::env::var("ODE_CRASH_CHAIN_ACK_DIR").expect("ack dir env var");
+
+    let mut options = DatabaseOptions::default().with_chain(ode::ChainConfig::with_interval(4));
+    options.storage.group_commit = true;
+    options.storage.group_commit_window = std::time::Duration::from_millis(2);
+    let db = Database::create(&db_path, options).expect("create db");
+
+    // One object per writer, committed up front, so every commit in the
+    // race below is a pure check-in appending to that object's chain.
+    let ptrs: Vec<_> = {
+        let mut txn = db.begin();
+        let ptrs = (0..4u64)
+            .map(|w| {
+                let marker = w * 1_000_000;
+                txn.pnew(&Doc {
+                    rev: marker as u32,
+                    text: chain_text(marker),
+                })
+                .expect("pnew")
+            })
+            .collect();
+        txn.commit().expect("commit seed");
+        ptrs
+    };
+
+    std::thread::scope(|scope| {
+        for w in 0..4u64 {
+            let db = &db;
+            let ptr = &ptrs[w as usize];
+            let ack_path = format!("{ack_dir}/acks-{w}");
+            scope.spawn(move || {
+                use std::io::Write;
+                let mut acks = std::fs::File::create(&ack_path).expect("create ack log");
+                for i in 1.. {
+                    let marker = w * 1_000_000 + i;
+                    let mut txn = db.begin();
+                    let v = txn.newversion(ptr).expect("newversion");
+                    txn.put_version(
+                        &v,
+                        &Doc {
+                            rev: marker as u32,
+                            text: chain_text(marker),
+                        },
+                    )
+                    .expect("put_version");
+                    txn.commit().expect("commit");
+                    acks.write_all(format!("{marker}\n").as_bytes())
+                        .expect("log ack");
+                    acks.sync_data().expect("sync ack log");
+                }
+            });
+        }
+    });
+}
+
+/// SIGKILL lands while four writers are mid-checkin on a chain-storage
+/// database. Recovery (opened *without* the chain config, proving old
+/// and new readers decode the same records) must surface every
+/// acknowledged revision with a byte-identical body, and the recovered
+/// chains must still validate and still hold deltas — a half-written
+/// chain record never survives.
+#[test]
+fn sigkill_mid_checkin_chained_store_recovers_acknowledged_versions() {
+    use std::time::{Duration, Instant};
+
+    let path = temp_path("chainkill");
+    let ack_dir = {
+        let mut d = std::env::temp_dir();
+        d.push(format!("ode-crash-chainkill-acks-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).expect("create ack dir");
+        d
+    };
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut child = std::process::Command::new(exe)
+        .args(["child_chained_checkin_writer", "--exact", "--nocapture"])
+        .env("ODE_CRASH_CHAIN_CHILD", &path)
+        .env("ODE_CRASH_CHAIN_ACK_DIR", &ack_dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child writer");
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let collect_acked = |dir: &std::path::Path| -> Vec<u64> {
+        let mut acked = Vec::new();
+        for w in 0..4 {
+            if let Ok(text) = std::fs::read_to_string(dir.join(format!("acks-{w}"))) {
+                acked.extend(text.lines().filter_map(|l| l.parse::<u64>().ok()));
+            }
+        }
+        acked
+    };
+    loop {
+        if collect_acked(&ack_dir).len() >= 40 {
+            break;
+        }
+        if let Some(status) = child.try_wait().expect("poll child") {
+            panic!("child writer exited early: {status}");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "child never reached 40 acknowledged check-ins"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().expect("SIGKILL child");
+    child.wait().expect("reap child");
+
+    let acked = collect_acked(&ack_dir);
+    assert!(acked.len() >= 40, "lost the ack log itself?");
+
+    // Recover with plain options: chain records must decode without the
+    // writer's config.
+    let db = Database::open(&path, DatabaseOptions::default()).expect("recover after SIGKILL");
+    let mut snap = db.snapshot();
+    let mut recovered = std::collections::HashMap::new();
+    let mut chains_seen = 0usize;
+    for p in snap.objects::<Doc>().expect("list objects") {
+        snap.check_object(&p).expect("recovered object validates");
+        for v in snap.version_history(&p).expect("history") {
+            let doc = snap.deref_v(&v).expect("deref recovered version");
+            recovered.insert(doc.rev, doc.text.clone());
+        }
+        // An object with committed check-ins must have kept its chain
+        // through recovery — with real deltas, not just anchors.
+        if let Some(stats) = snap.chain_stats_raw(p.oid()).expect("chain stats") {
+            assert!(stats.versions >= 2);
+            assert!(stats.deltas > 0, "recovered chain holds no deltas");
+            chains_seen += 1;
+        }
+    }
+    assert!(chains_seen > 0, "no delta chain survived recovery");
+    drop(snap);
+
+    // Acked ⊆ recovered, byte-identical: every acknowledged check-in
+    // materializes exactly the body that was written.
+    for marker in &acked {
+        match recovered.get(&(*marker as u32)) {
+            Some(text) => assert_eq!(
+                *text,
+                chain_text(*marker),
+                "marker {marker} recovered with a different body"
+            ),
+            None => panic!("acknowledged check-in {marker} lost after SIGKILL"),
+        }
+    }
+
+    drop(db);
+    let _ = std::fs::remove_dir_all(&ack_dir);
+    cleanup(&path);
+}
+
+// ---------------------------------------------------------------------------
 // SIGKILL with optimistic multi-writers racing through group commit
 // ---------------------------------------------------------------------------
 
