@@ -50,6 +50,9 @@ impl From<ode_version::VersionError> for ModelError {
             ode_version::VersionError::ChainCorrupt(_) => {
                 ModelError::Unsupported("corrupt delta chain")
             }
+            ode_version::VersionError::MergeMismatch { .. } => {
+                ModelError::Unsupported("merging unrelated versions")
+            }
         }
     }
 }

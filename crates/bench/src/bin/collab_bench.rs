@@ -1,0 +1,315 @@
+//! `collab_bench` — k-client collaborative editing through the router.
+//!
+//! ```text
+//! collab_bench [clients] [rounds] [slice_bytes] [contended_rounds]
+//! ```
+//!
+//! One object, `clients` router clients, a 4-shard in-process tier.
+//! The body is `clients` fixed-width slices with 4-byte separators, so
+//! every edit is a byte-range splice at a known offset. Two phases:
+//!
+//! - **disjoint** — every round, each client forks the current tip and
+//!   rewrites its own slice; the forks are merged pairwise back to a
+//!   single tip. All merges must resolve cleanly under the strict
+//!   policy, and after every round each client's read must byte-match
+//!   the oracle (the tip with every slice rewritten). Reported:
+//!   per-merge wire latency (mean/p50/p95/max) and clean-merge count.
+//!
+//! - **contended** — two clients fork the tip; one always rewrites
+//!   slice 0, the other rewrites slice 0 too (collision) or slice 1,
+//!   on a seeded coin flip. The strict merge must conflict exactly
+//!   when the edits collide — the measured conflict rate equals the
+//!   coin's — and each collision is then resolved with the
+//!   theirs-policy. Resolution is hunk-level (non-conflicting hunks
+//!   from both sides still apply), so the resolved body is read back
+//!   from the server rather than predicted, and convergence means
+//!   every client reads those same bytes.
+//!
+//! The report (JSON on stdout, shape recorded in BENCH_core.json under
+//! `collab_bench`) is a correctness gate as much as a benchmark: any
+//! divergence, silent conflict, or spurious conflict panics.
+
+use std::time::Instant;
+
+use ode::{MergePolicy, Oid, TypeTag, Vid};
+use ode_net::{ClientConfig, Cluster, ClusterConfig, OdeClient, Request, Response};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TAG: TypeTag = TypeTag(0x636f6c6c61625f62); // "collab_b"
+
+/// Separator between client slices: wider than the merge layer's
+/// minimum split, so adjacent slice edits always present clean gaps.
+const SEP: &[u8] = b"::::";
+
+fn call(c: &mut OdeClient, req: &Request) -> Response {
+    let seq = c.send(req).expect("send");
+    c.recv_for(seq).expect("recv")
+}
+
+fn fork_from(c: &mut OdeClient, base: Vid) -> Vid {
+    match call(c, &Request::NewVersionFrom { vid: base }) {
+        Response::Version(vid) => vid,
+        other => panic!("fork: unexpected {other:?}"),
+    }
+}
+
+fn write_version(c: &mut OdeClient, vid: Vid, body: Vec<u8>) {
+    match call(
+        c,
+        &Request::UpdateVersion {
+            vid,
+            tag: TAG,
+            body,
+        },
+    ) {
+        Response::Unit => {}
+        other => panic!("write: unexpected {other:?}"),
+    }
+}
+
+fn slice_range(i: usize, slice_bytes: usize) -> std::ops::Range<usize> {
+    let start = i * (slice_bytes + SEP.len());
+    start..start + slice_bytes
+}
+
+/// Slice content for client `i` at edit stamp `stamp`.
+fn fill(i: usize, stamp: u64, slice_bytes: usize) -> Vec<u8> {
+    format!("c{i}r{stamp}-")
+        .bytes()
+        .cycle()
+        .take(slice_bytes)
+        .collect()
+}
+
+/// `body` with client `i`'s slice replaced by `content`.
+fn spliced(body: &[u8], i: usize, content: &[u8], slice_bytes: usize) -> Vec<u8> {
+    let mut out = body.to_vec();
+    out[slice_range(i, slice_bytes)].copy_from_slice(content);
+    out
+}
+
+/// Every client reads the object; all reads must agree on version and
+/// bytes. Returns the agreed body.
+fn converged_body(conns: &mut [OdeClient], oid: Oid, tip: Vid, what: &str) -> Vec<u8> {
+    let mut agreed: Option<Vec<u8>> = None;
+    for c in conns.iter_mut() {
+        let (at, bytes) = c.deref_raw(oid, TAG).expect("deref");
+        assert_eq!(at, tip, "client tip diverged: {what}");
+        match &agreed {
+            Some(prev) => assert_eq!(*prev, bytes, "client bytes diverged: {what}"),
+            None => agreed = Some(bytes),
+        }
+    }
+    agreed.expect("at least one client")
+}
+
+struct LatencyStats {
+    mean_us: f64,
+    p50_us: f64,
+    p95_us: f64,
+    max_us: f64,
+}
+
+fn stats(mut samples: Vec<f64>) -> LatencyStats {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let pick = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
+    LatencyStats {
+        mean_us: samples.iter().sum::<f64>() / samples.len() as f64,
+        p50_us: pick(0.50),
+        p95_us: pick(0.95),
+        max_us: *samples.last().expect("non-empty"),
+    }
+}
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("numeric argument"))
+        .collect();
+    let clients = args.first().copied().unwrap_or(4).max(2);
+    let rounds = args.get(1).copied().unwrap_or(32);
+    let slice_bytes = args.get(2).copied().unwrap_or(256).max(16);
+    let contended_rounds = args.get(3).copied().unwrap_or(64);
+
+    let cluster = Cluster::start(ClusterConfig {
+        shards: 4,
+        ..ClusterConfig::default()
+    });
+    let mut conns: Vec<OdeClient> = (0..clients)
+        .map(|_| {
+            OdeClient::connect(cluster.router_addr(), ClientConfig::default()).expect("connect")
+        })
+        .collect();
+
+    // -- seed ----------------------------------------------------------------
+    let mut tip_body: Vec<u8> = Vec::new();
+    for i in 0..clients {
+        if i > 0 {
+            tip_body.extend_from_slice(SEP);
+        }
+        tip_body.extend(fill(i, 0, slice_bytes));
+    }
+    let (oid, mut tip) = conns[0].pnew_raw(TAG, tip_body.clone()).expect("pnew");
+
+    // -- phase 1: disjoint ---------------------------------------------------
+    let mut merge_latency_us: Vec<f64> = Vec::new();
+    let mut clean_merges = 0u64;
+    for round in 1..=rounds as u64 {
+        // Every client forks the tip and rewrites its own slice.
+        let mut forks: Vec<Vid> = Vec::new();
+        for (i, c) in conns.iter_mut().enumerate() {
+            let fork = fork_from(c, tip);
+            let body = spliced(&tip_body, i, &fill(i, round, slice_bytes), slice_bytes);
+            write_version(c, fork, body);
+            forks.push(fork);
+        }
+        // Pairwise reduction back to one tip; every merge is timed and
+        // must be clean.
+        let mut frontier = forks;
+        while frontier.len() > 1 {
+            let mut next = Vec::new();
+            for (j, pair) in frontier.chunks(2).enumerate() {
+                if pair.len() == 1 {
+                    next.push(pair[0]);
+                    continue;
+                }
+                let c = &mut conns[j % clients];
+                let start = Instant::now();
+                let (vid, conflicts) = c
+                    .merge_raw(pair[0], pair[1], MergePolicy::Fail)
+                    .expect("merge");
+                merge_latency_us.push(start.elapsed().as_secs_f64() * 1e6);
+                assert!(
+                    conflicts.is_empty(),
+                    "disjoint round {round} conflicted: {conflicts:?}"
+                );
+                next.push(vid.expect("clean merge must check in"));
+                clean_merges += 1;
+            }
+            frontier = next;
+        }
+        tip = frontier[0];
+
+        // Convergence gate: every client reads exactly the oracle — the
+        // previous tip with every slice rewritten.
+        for i in 0..clients {
+            let range = slice_range(i, slice_bytes);
+            tip_body[range].copy_from_slice(&fill(i, round, slice_bytes));
+        }
+        let body = converged_body(&mut conns, oid, tip, &format!("disjoint round {round}"));
+        assert_eq!(body, tip_body, "round {round} missed an edit");
+    }
+    let disjoint = stats(merge_latency_us);
+
+    // -- phase 2: contended --------------------------------------------------
+    let mut rng = StdRng::seed_from_u64(0xC011AB);
+    let mut conflicted = 0u64;
+    let mut collisions = 0u64;
+    let mut resolve_latency_us: Vec<f64> = Vec::new();
+    for round in 1..=contended_rounds as u64 {
+        let stamp = rounds as u64 + round;
+        let collide = rng.random_bool(0.5);
+
+        let a = fork_from(&mut conns[0], tip);
+        write_version(
+            &mut conns[0],
+            a,
+            spliced(&tip_body, 0, &fill(0, stamp, slice_bytes), slice_bytes),
+        );
+
+        let b = fork_from(&mut conns[1], tip);
+        let theirs_body = if collide {
+            // Same slice, different bytes: the strict merge must
+            // conflict, and every conflict must name bytes inside the
+            // contested slice.
+            collisions += 1;
+            spliced(
+                &tip_body,
+                0,
+                &fill(0, stamp + 1_000_000, slice_bytes),
+                slice_bytes,
+            )
+        } else {
+            spliced(&tip_body, 1, &fill(1, stamp, slice_bytes), slice_bytes)
+        };
+        write_version(&mut conns[1], b, theirs_body);
+
+        let (vid, conflicts) = conns[0]
+            .merge_raw(a, b, MergePolicy::Fail)
+            .expect("strict merge");
+        if collide {
+            assert!(vid.is_none(), "colliding edits merged silently");
+            assert!(!conflicts.is_empty(), "collision reported no conflict");
+            let limit = (slice_bytes + SEP.len()) as u64;
+            for c in &conflicts {
+                assert!(
+                    c.base_end <= limit,
+                    "conflict [{}, {}) escaped the contested slice",
+                    c.base_start,
+                    c.base_end
+                );
+            }
+            conflicted += 1;
+            // Resolve in their favor. Resolution is hunk-level, so the
+            // authoritative body is whatever the server checked in.
+            let start = Instant::now();
+            let (vid, conflicts) = conns[1]
+                .merge_raw(a, b, MergePolicy::Theirs)
+                .expect("resolving merge");
+            resolve_latency_us.push(start.elapsed().as_secs_f64() * 1e6);
+            assert!(!conflicts.is_empty());
+            tip = vid.expect("theirs-policy must resolve");
+            tip_body = converged_body(
+                &mut conns,
+                oid,
+                tip,
+                &format!("contended round {round} (resolved)"),
+            );
+        } else {
+            assert!(conflicts.is_empty(), "disjoint edits conflicted");
+            tip = vid.expect("clean merge must check in");
+            // Clean merges are deterministic: both splices applied.
+            tip_body = spliced(&tip_body, 0, &fill(0, stamp, slice_bytes), slice_bytes);
+            tip_body = spliced(&tip_body, 1, &fill(1, stamp, slice_bytes), slice_bytes);
+            let body = converged_body(&mut conns, oid, tip, &format!("contended round {round}"));
+            assert_eq!(body, tip_body, "round {round} missed an edit");
+        }
+    }
+    assert_eq!(
+        conflicted, collisions,
+        "conflict count must equal collision count"
+    );
+    let conflict_rate = conflicted as f64 / contended_rounds as f64;
+    let resolve = stats(resolve_latency_us);
+
+    println!("{{");
+    println!("  \"benchmark\": \"collab_merge\",");
+    println!("  \"clients\": {clients},");
+    println!("  \"slice_bytes\": {slice_bytes},");
+    println!("  \"disjoint\": {{");
+    println!("    \"rounds\": {rounds},");
+    println!("    \"clean_merges\": {clean_merges},");
+    println!("    \"merge_latency_us\": {{");
+    println!("      \"mean\": {:.1},", disjoint.mean_us);
+    println!("      \"p50\": {:.1},", disjoint.p50_us);
+    println!("      \"p95\": {:.1},", disjoint.p95_us);
+    println!("      \"max\": {:.1}", disjoint.max_us);
+    println!("    }},");
+    println!("    \"converged\": true");
+    println!("  }},");
+    println!("  \"contended\": {{");
+    println!("    \"rounds\": {contended_rounds},");
+    println!("    \"collisions\": {collisions},");
+    println!("    \"conflicted_merges\": {conflicted},");
+    println!("    \"conflict_rate\": {conflict_rate:.3},");
+    println!("    \"resolve_latency_us\": {{");
+    println!("      \"mean\": {:.1},", resolve.mean_us);
+    println!("      \"p50\": {:.1},", resolve.p50_us);
+    println!("      \"p95\": {:.1},", resolve.p95_us);
+    println!("      \"max\": {:.1}", resolve.max_us);
+    println!("    }},");
+    println!("    \"converged\": true");
+    println!("  }}");
+    println!("}}");
+}

@@ -46,6 +46,19 @@ pub enum Event {
         /// Object type.
         tag: TypeTag,
     },
+    /// A two-parent merge version was checked in.
+    Merged {
+        /// Owning object.
+        oid: Oid,
+        /// The merge version.
+        vid: Vid,
+        /// First parent (ours).
+        a: Vid,
+        /// Second parent (theirs).
+        b: Vid,
+        /// Object type.
+        tag: TypeTag,
+    },
     /// One version was deleted.
     VersionDeleted {
         /// Owning object.
@@ -71,6 +84,7 @@ impl Event {
             Event::Created { oid, .. }
             | Event::Updated { oid, .. }
             | Event::NewVersion { oid, .. }
+            | Event::Merged { oid, .. }
             | Event::VersionDeleted { oid, .. }
             | Event::ObjectDeleted { oid, .. } => oid,
         }
@@ -82,6 +96,7 @@ impl Event {
             Event::Created { tag, .. }
             | Event::Updated { tag, .. }
             | Event::NewVersion { tag, .. }
+            | Event::Merged { tag, .. }
             | Event::VersionDeleted { tag, .. }
             | Event::ObjectDeleted { tag, .. } => tag,
         }

@@ -64,10 +64,11 @@ pub use db::{Database, DatabaseOptions, RetryPolicy};
 pub use event::{Event, TriggerId};
 pub use guard::{ORef, VRef};
 pub use ptr::{ObjPtr, VersionPtr};
-pub use txn::{Snapshot, Txn};
+pub use txn::{MergeReport, Snapshot, Txn};
 
 pub use ode_codec::type_tag::TypeName;
 pub use ode_codec::{Persist, TypeTag};
+pub use ode_merge::{MergeConflict, MergePolicy};
 pub use ode_object::{Oid, Vid};
 pub use ode_version::{ChainConfig, ChainStats, Result, VersionDiff, VersionError as Error};
 

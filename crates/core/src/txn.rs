@@ -1,6 +1,7 @@
 //! Transactions and snapshots: where the O++ operations live.
 
 use ode_codec::{from_bytes, to_bytes};
+use ode_merge::{MergeConflict, MergePolicy};
 use ode_storage::store::{PageRead, ReadTx, Tx};
 use ode_version::{MaterializeCache, Result, VersionDiff, VersionError, VersionStore};
 
@@ -23,6 +24,17 @@ pub struct Txn<'db> {
 pub struct Snapshot<'db> {
     db: &'db Database,
     tx: ReadTx<'db>,
+}
+
+/// What a [`Txn::merge`] produced: the checked-in merge version (absent
+/// when the policy was [`MergePolicy::Fail`] and conflicts were found)
+/// plus every conflicting byte range, in base-offset order.
+#[derive(Debug, Clone)]
+pub struct MergeReport<T> {
+    /// The new two-parent version, when one was checked in.
+    pub version: Option<VersionPtr<T>>,
+    /// Overlapping edits between the two sides.
+    pub conflicts: Vec<MergeConflict>,
 }
 
 // ---------------------------------------------------------------------------
@@ -141,6 +153,64 @@ macro_rules! read_api {
                 .version_history(&mut self.tx, ptr.oid)?
                 .into_iter()
                 .map(VersionPtr::from_vid)
+                .collect())
+        }
+
+        /// Every ancestor of `vp` in the derived-from graph — `vp`
+        /// itself first, then all transitive parents (through *both*
+        /// slots of merge versions) in strictly descending creation
+        /// order. Served from version metadata alone: no state is ever
+        /// materialized, so walking a long chained history stays cheap.
+        pub fn ancestors<T: OdeType>(
+            &mut self,
+            vp: &VersionPtr<T>,
+        ) -> Result<impl Iterator<Item = VersionPtr<T>>> {
+            Ok(self
+                .db
+                .versions()
+                .ancestors(&mut self.tx, vp.vid)?
+                .into_iter()
+                .map(VersionPtr::from_vid))
+        }
+
+        /// Type-erased [`ancestors`](Self::ancestors).
+        pub fn ancestors_raw(&mut self, vid: ode_object::Vid) -> Result<Vec<ode_object::Vid>> {
+            self.db.versions().ancestors(&mut self.tx, vid)
+        }
+
+        /// The nearest (greatest-stamp) common ancestor of two versions
+        /// of one object — the merge base. `None` when deletion
+        /// splices have split the graph (or the versions belong to
+        /// different objects).
+        pub fn common_ancestor<T: OdeType>(
+            &mut self,
+            a: &VersionPtr<T>,
+            b: &VersionPtr<T>,
+        ) -> Result<Option<VersionPtr<T>>> {
+            Ok(self
+                .db
+                .versions()
+                .common_ancestor(&mut self.tx, a.vid, b.vid)?
+                .map(VersionPtr::from_vid))
+        }
+
+        /// Type-erased [`common_ancestor`](Self::common_ancestor).
+        pub fn common_ancestor_raw(
+            &mut self,
+            a: ode_object::Vid,
+            b: ode_object::Vid,
+        ) -> Result<Option<ode_object::Vid>> {
+            self.db.versions().common_ancestor(&mut self.tx, a, b)
+        }
+
+        /// Both derived-from parents of a version: one entry for an
+        /// ordinary version, two for a merge, none for a root.
+        pub fn parents_raw(&mut self, vid: ode_object::Vid) -> Result<Vec<ode_object::Vid>> {
+            Ok(self
+                .db
+                .versions()
+                .version_meta(&mut self.tx, vid)?
+                .parents()
                 .collect())
         }
 
@@ -647,6 +717,78 @@ impl<'db> Txn<'db> {
             tag,
         });
         Ok(())
+    }
+
+    /// Three-way merge of two versions of one object, checked in as a
+    /// new version recording **both** parents in the derived-from
+    /// graph.
+    ///
+    /// The merge base is their nearest common ancestor
+    /// ([`common_ancestor`](Self::common_ancestor)); with no surviving
+    /// common ancestor the bodies are merged against an empty base, so
+    /// only identical content merges cleanly. Non-overlapping edits
+    /// from the two sides combine byte-exactly; overlapping edits are
+    /// reported as [`MergeConflict`]s and resolved per `policy`
+    /// ([`MergePolicy::Fail`] checks nothing in).
+    ///
+    /// The merge operates on the *encoded* bodies byte-wise — it is
+    /// meaningful for flat byte-content types (documents, text); a
+    /// structured encoding stitched from conflicting halves may no
+    /// longer decode as `T`.
+    pub fn merge<T: OdeType>(
+        &mut self,
+        a: &VersionPtr<T>,
+        b: &VersionPtr<T>,
+        policy: MergePolicy,
+    ) -> Result<MergeReport<T>> {
+        let (vid, conflicts) = self.merge_raw(a.vid, b.vid, policy)?;
+        Ok(MergeReport {
+            version: vid.map(VersionPtr::from_vid),
+            conflicts,
+        })
+    }
+
+    /// Type-erased [`merge`](Self::merge): the network server applies
+    /// `Merge` requests through this. Returns the new version (when
+    /// one was checked in) and the conflicting byte ranges.
+    pub fn merge_raw(
+        &mut self,
+        a: ode_object::Vid,
+        b: ode_object::Vid,
+        policy: MergePolicy,
+    ) -> Result<(Option<ode_object::Vid>, Vec<MergeConflict>)> {
+        let oid_a = self.db.versions().object_of(&mut self.tx, a)?;
+        let oid_b = self.db.versions().object_of(&mut self.tx, b)?;
+        if a == b || oid_a != oid_b {
+            return Err(VersionError::MergeMismatch { a, b });
+        }
+        let tag = self.db.versions().object_meta(&mut self.tx, oid_a)?.tag;
+        let base = self.db.versions().common_ancestor(&mut self.tx, a, b)?;
+        let base_body = match base {
+            Some(v) => self.db.versions().read_body(&mut self.tx, v, tag)?,
+            None => Vec::new(),
+        };
+        let ours = self.db.versions().read_body(&mut self.tx, a, tag)?;
+        let theirs = self.db.versions().read_body(&mut self.tx, b, tag)?;
+        let outcome = ode_merge::merge(&base_body, &ours, &theirs, policy);
+        let vid = match outcome.merged {
+            Some(body) => {
+                let vid = self
+                    .db
+                    .versions()
+                    .new_merge_version(&mut self.tx, a, b, body)?;
+                self.events.push(Event::Merged {
+                    oid: oid_a,
+                    vid,
+                    a,
+                    b,
+                    tag,
+                });
+                Some(vid)
+            }
+            None => None,
+        };
+        Ok((vid, outcome.conflicts))
     }
 
     /// Type-erased `newversion` by raw object id.

@@ -410,6 +410,7 @@ fn pending_events_accumulate_in_order() {
             Event::Updated { .. } => "updated",
             Event::VersionDeleted { .. } => "vdel",
             Event::ObjectDeleted { .. } => "odel",
+            Event::Merged { .. } => "merged",
         })
         .collect();
     assert_eq!(kinds, vec!["created", "newversion", "updated"]);

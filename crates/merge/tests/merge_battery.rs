@@ -1,0 +1,223 @@
+//! Differential merge battery: random fork/edit histories against an
+//! oracle. Non-overlapping edit scripts must always merge cleanly and
+//! byte-match the oracle (both scripts applied to the base);
+//! overlapping scripts must always surface a `MergeConflict` naming
+//! the hunk ranges — never silent corruption.
+
+use ode_merge::{merge, MergePolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One scripted edit in base coordinates: replace `[s, e)` with `repl`.
+#[derive(Clone)]
+struct Edit {
+    s: usize,
+    e: usize,
+    repl: Vec<u8>,
+}
+
+/// Apply base-ordered, disjoint edits to the base — the oracle.
+fn apply_edits(base: &[u8], edits: &[Edit]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut cur = 0usize;
+    for ed in edits {
+        out.extend_from_slice(&base[cur..ed.s]);
+        out.extend_from_slice(&ed.repl);
+        cur = ed.e;
+    }
+    out.extend_from_slice(&base[cur..]);
+    out
+}
+
+fn random_body(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    let mut b = vec![0u8; len];
+    rng.fill_bytes(&mut b);
+    b
+}
+
+/// Disjoint windows over `[0, len)`, each separated by at least one
+/// untouched byte.
+fn windows(rng: &mut StdRng, len: usize, n: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let stride = (len / (n + 1)).max(8);
+    let mut cursor = 0usize;
+    for _ in 0..n {
+        let gap = rng.random_range(1..stride / 2);
+        let width = rng.random_range(1..stride / 2);
+        if cursor + gap + width >= len {
+            break;
+        }
+        out.push((cursor + gap, cursor + gap + width));
+        cursor += gap + width;
+    }
+    out
+}
+
+/// A random edit inside a window: replacement, deletion, or insertion.
+fn edit_in(rng: &mut StdRng, (s, e): (usize, usize)) -> Edit {
+    match rng.random_range(0..3u32) {
+        0 => {
+            // Replace the window with random bytes of random length.
+            let mut repl = vec![0u8; rng.random_range(0..(e - s) * 2 + 1)];
+            rng.fill_bytes(&mut repl);
+            Edit { s, e, repl }
+        }
+        1 => Edit {
+            s,
+            e,
+            repl: Vec::new(), // deletion
+        },
+        _ => {
+            // Pure insertion strictly inside the window.
+            let p = rng.random_range(s..e + 1);
+            let mut repl = vec![0u8; rng.random_range(1..24)];
+            rng.fill_bytes(&mut repl);
+            Edit { s: p, e: p, repl }
+        }
+    }
+}
+
+#[test]
+fn disjoint_random_edits_always_merge_to_the_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for case in 0..200 {
+        let len = rng.random_range(256..4096usize);
+        let base = random_body(&mut rng, len);
+        let n = rng.random_range(2..10);
+        let wins = windows(&mut rng, len, n);
+        if wins.len() < 2 {
+            continue;
+        }
+        // Alternate windows between the two sides, so neither side's
+        // edits touch the other's bytes.
+        let mut ours_edits = Vec::new();
+        let mut theirs_edits = Vec::new();
+        for (i, &w) in wins.iter().enumerate() {
+            let ed = edit_in(&mut rng, w);
+            if i % 2 == 0 {
+                ours_edits.push(ed);
+            } else {
+                theirs_edits.push(ed);
+            }
+        }
+        let ours = apply_edits(&base, &ours_edits);
+        let theirs = apply_edits(&base, &theirs_edits);
+        // Oracle: both scripts interleaved in base order.
+        let mut all = [ours_edits.as_slice(), theirs_edits.as_slice()].concat();
+        all.sort_by_key(|e| (e.s, e.e));
+        let oracle = apply_edits(&base, &all);
+
+        let out = merge(&base, &ours, &theirs, MergePolicy::Fail);
+        assert!(
+            out.conflicts.is_empty(),
+            "case {case}: disjoint edits reported conflicts: {:?}",
+            out.conflicts
+                .iter()
+                .map(|c| (c.base_start, c.base_end))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(out.merged.unwrap(), oracle, "case {case}: merge != oracle");
+    }
+}
+
+#[test]
+fn overlapping_random_edits_always_conflict_and_never_corrupt() {
+    let mut rng = StdRng::seed_from_u64(0xBADC0DE);
+    for case in 0..200 {
+        let len = rng.random_range(256..4096usize);
+        let base = random_body(&mut rng, len);
+        // One guaranteed overlap: both sides rewrite ranges sharing at
+        // least one byte, with bytes that differ from the base and
+        // from each other at every position.
+        let s1 = rng.random_range(0..len - 32);
+        let e1 = s1 + rng.random_range(8..32);
+        let s2 = rng.random_range(s1..e1); // starts inside [s1, e1)
+        let e2 = s2 + rng.random_range(8..32.min(len - s2));
+        let mut ours = base.clone();
+        for b in &mut ours[s1..e1] {
+            *b ^= 0x55;
+        }
+        let mut theirs = base.clone();
+        for b in &mut theirs[s2..e2.min(len)] {
+            *b ^= 0xAA;
+        }
+
+        let out = merge(&base, &ours, &theirs, MergePolicy::Fail);
+        assert!(
+            !out.conflicts.is_empty(),
+            "case {case}: overlap [{s1},{e1})x[{s2},{e2}) went undetected"
+        );
+        // Fail policy: no merged state, ever — no silent corruption.
+        assert!(out.merged.is_none(), "case {case}: Fail produced a body");
+        // The reported ranges name the overlap.
+        let overlap_s = s2 as u64;
+        let overlap_e = (e1.min(e2).min(len)) as u64;
+        assert!(
+            out.conflicts
+                .iter()
+                .any(|c| c.base_start <= overlap_s && c.base_end >= overlap_e),
+            "case {case}: no conflict covers the overlap [{overlap_s}, {overlap_e})"
+        );
+        // Resolution policies still produce a state and keep reporting.
+        for (policy, winner) in [(MergePolicy::Ours, &ours), (MergePolicy::Theirs, &theirs)] {
+            let resolved = merge(&base, &ours, &theirs, policy);
+            assert_eq!(resolved.conflicts.len(), out.conflicts.len());
+            let merged = resolved.merged.expect("policy resolves");
+            // Within the conflicted range the winner's bytes prevail.
+            let c = &resolved.conflicts[0];
+            let take = if policy == MergePolicy::Ours {
+                &c.ours
+            } else {
+                &c.theirs
+            };
+            let at = merged
+                .windows(take.len().max(1))
+                .position(|w| w == &take[..]);
+            assert!(
+                take.is_empty() || at.is_some(),
+                "case {case}: winner bytes missing from resolution"
+            );
+            let _ = winner;
+        }
+    }
+}
+
+#[test]
+fn mixed_histories_either_merge_exactly_or_conflict() {
+    // Random windows for both sides *without* the disjointness
+    // guarantee: whatever happens must be one of the two contracted
+    // outcomes — a clean merge equal to some interleaving, or a
+    // reported conflict with no body under Fail.
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let mut conflicted = 0usize;
+    let mut clean = 0usize;
+    for _ in 0..200 {
+        let len = rng.random_range(256..2048usize);
+        let base = random_body(&mut rng, len);
+        let mut sides = Vec::new();
+        for _ in 0..2 {
+            let n = rng.random_range(1..6);
+            let wins = windows(&mut rng, len, n);
+            let edits: Vec<Edit> = wins.iter().map(|&w| edit_in(&mut rng, w)).collect();
+            sides.push(apply_edits(&base, &edits));
+        }
+        let out = merge(&base, &sides[0], &sides[1], MergePolicy::Fail);
+        match out.merged {
+            Some(_) => {
+                clean += 1;
+                assert!(out.conflicts.is_empty());
+            }
+            None => {
+                conflicted += 1;
+                assert!(!out.conflicts.is_empty());
+                for c in &out.conflicts {
+                    assert!(c.base_start <= c.base_end);
+                    assert!(c.base_end <= len as u64);
+                }
+            }
+        }
+    }
+    // Both outcomes must actually occur over 200 random histories.
+    assert!(clean > 0, "no clean merges in the mixed battery");
+    assert!(conflicted > 0, "no conflicts in the mixed battery");
+}

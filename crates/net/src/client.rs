@@ -29,7 +29,7 @@ use std::marker::PhantomData;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use ode::{ObjPtr, OdeType, Oid, TypeTag, VersionPtr, Vid};
+use ode::{MergeConflict, MergePolicy, ObjPtr, OdeType, Oid, TypeTag, VersionPtr, Vid};
 use ode_codec::{from_bytes, to_bytes};
 
 use crate::error::{NetError, Result};
@@ -705,7 +705,34 @@ impl OdeClient {
         }
     }
 
+    /// Three-way merge two versions of one object on the server; the
+    /// result (when the policy resolves) is checked in as a new version
+    /// with both parents recorded. Returns the new version, if any,
+    /// plus every conflicting byte range.
+    pub fn merge<T: OdeType>(
+        &mut self,
+        a: &ClientVersionPtr<T>,
+        b: &ClientVersionPtr<T>,
+        policy: MergePolicy,
+    ) -> Result<(Option<ClientVersionPtr<T>>, Vec<MergeConflict>)> {
+        let (vid, conflicts) = self.merge_raw(a.vid, b.vid, policy)?;
+        Ok((vid.map(ClientVersionPtr::from_vid), conflicts))
+    }
+
     // -- raw (type-erased) operations ---------------------------------------
+
+    /// Type-erased [`merge`](Self::merge).
+    pub fn merge_raw(
+        &mut self,
+        a: Vid,
+        b: Vid,
+        policy: MergePolicy,
+    ) -> Result<(Option<Vid>, Vec<MergeConflict>)> {
+        match self.call(&Request::Merge { a, b, policy })? {
+            Response::Merged { vid, conflicts } => Ok((vid, conflicts)),
+            other => Err(unexpected("merged", &other)),
+        }
+    }
 
     /// Type-erased `pnew` from an already-encoded body.
     pub fn pnew_raw(&mut self, tag: TypeTag, body: Vec<u8>) -> Result<(Oid, Vid)> {

@@ -30,7 +30,7 @@
 
 use std::io::{self, Read, Write};
 
-use ode::{Oid, TypeTag, Vid};
+use ode::{MergeConflict, MergePolicy, Oid, TypeTag, Vid};
 use ode_codec::{varint, Reader, Writer};
 
 use crate::error::{NetError, RemoteError, Result};
@@ -113,10 +113,12 @@ pub enum Opcode {
     HistoryBetween = 26,
     /// Summary of the difference between two versions' states.
     DiffVersions = 27,
+    /// Three-way merge of two versions into a new two-parent version.
+    Merge = 28,
 }
 
 /// Number of opcodes (size of the server's per-opcode counter array).
-pub const OPCODE_COUNT: usize = 28;
+pub const OPCODE_COUNT: usize = 29;
 
 impl Opcode {
     /// Every opcode, in wire order.
@@ -149,6 +151,7 @@ impl Opcode {
         Opcode::Promote,
         Opcode::HistoryBetween,
         Opcode::DiffVersions,
+        Opcode::Merge,
     ];
 
     /// Decode a wire byte.
@@ -187,6 +190,7 @@ impl Opcode {
             Opcode::Promote => "promote",
             Opcode::HistoryBetween => "history_between",
             Opcode::DiffVersions => "diff_versions",
+            Opcode::Merge => "merge",
         }
     }
 }
@@ -356,6 +360,17 @@ pub enum Request {
         /// Target version.
         to: Vid,
     },
+    /// Three-way merge `a` and `b` (two versions of one object) against
+    /// their common ancestor, checking the result in as a new version
+    /// with both parents recorded.
+    Merge {
+        /// First parent ("ours").
+        a: Vid,
+        /// Second parent ("theirs").
+        b: Vid,
+        /// Conflict policy.
+        policy: MergePolicy,
+    },
 }
 
 impl Request {
@@ -390,6 +405,7 @@ impl Request {
             Request::Promote => Opcode::Promote,
             Request::HistoryBetween { .. } => Opcode::HistoryBetween,
             Request::DiffVersions { .. } => Opcode::DiffVersions,
+            Request::Merge { .. } => Opcode::Merge,
         }
     }
 
@@ -406,6 +422,7 @@ impl Request {
                 | Request::Pdelete { .. }
                 | Request::PdeleteVersion { .. }
                 | Request::Promote
+                | Request::Merge { .. }
         )
     }
 
@@ -476,6 +493,11 @@ impl Request {
             Request::DiffVersions { from, to } => {
                 w.put_varint(from.0);
                 w.put_varint(to.0);
+            }
+            Request::Merge { a, b, policy } => {
+                w.put_varint(a.0);
+                w.put_varint(b.0);
+                w.put_u8(policy.as_u8());
             }
         }
         w.into_bytes()
@@ -585,6 +607,16 @@ impl Request {
                 from: Vid(r.get_varint()?),
                 to: Vid(r.get_varint()?),
             },
+            Opcode::Merge => Request::Merge {
+                a: Vid(r.get_varint()?),
+                b: Vid(r.get_varint()?),
+                policy: {
+                    let p = r.get_u8()?;
+                    MergePolicy::from_u8(p).ok_or_else(|| {
+                        NetError::Protocol(format!("unknown merge policy byte {p}"))
+                    })?
+                },
+            },
         };
         if r.remaining() != 0 {
             return Err(NetError::Protocol(format!(
@@ -618,6 +650,7 @@ pub(crate) mod kind {
     pub const COUNT: u8 = 10;
     pub const FLAG: u8 = 11;
     pub const DIFF: u8 = 12;
+    pub const MERGED: u8 = 13;
     pub const ERR: u8 = 255;
 }
 
@@ -874,6 +907,17 @@ pub enum Response {
     Flag(bool),
     /// A version-difference summary (`DiffVersions`).
     Diff(DiffSummary),
+    /// The outcome of a `Merge`: the checked-in two-parent version
+    /// (`None` when the `Fail` policy met conflicts) and every
+    /// conflicting byte range. Conflict offsets are positions in the
+    /// merge base's body — shard-agnostic, so a router passes them
+    /// through untouched.
+    Merged {
+        /// The new merge version, when one was checked in.
+        vid: Option<Vid>,
+        /// Overlapping edits between the two sides.
+        conflicts: Vec<MergeConflict>,
+    },
     /// The operation failed on the server.
     Err(RemoteError),
 }
@@ -895,6 +939,7 @@ impl Response {
             Response::Count(_) => "count",
             Response::Flag(_) => "flag",
             Response::Diff(_) => "diff",
+            Response::Merged { .. } => "merged",
             Response::Err(_) => "err",
         }
     }
@@ -978,6 +1023,23 @@ impl Response {
                 w.put_varint(d.literal_bytes);
                 w.put_varint(d.encoded_bytes);
                 w.put_u8(d.stored as u8);
+            }
+            Response::Merged { vid, conflicts } => {
+                w.put_u8(kind::MERGED);
+                match vid {
+                    None => w.put_u8(0),
+                    Some(vid) => {
+                        w.put_u8(1);
+                        w.put_varint(vid.0);
+                    }
+                }
+                w.put_varint(conflicts.len() as u64);
+                for c in conflicts {
+                    w.put_varint(c.base_start);
+                    w.put_varint(c.base_end);
+                    w.put_bytes(&c.ours);
+                    w.put_bytes(&c.theirs);
+                }
             }
             Response::Err(e) => {
                 w.put_u8(kind::ERR);
@@ -1068,6 +1130,28 @@ impl Response {
                 encoded_bytes: r.get_varint()?,
                 stored: r.get_u8()? != 0,
             }),
+            kind::MERGED => {
+                let vid = match r.get_u8()? {
+                    0 => None,
+                    1 => Some(Vid(r.get_varint()?)),
+                    b => {
+                        return Err(NetError::Protocol(format!(
+                            "bad option discriminant {b} in merged response"
+                        )))
+                    }
+                };
+                let n = r.get_count()?;
+                let mut conflicts = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    conflicts.push(MergeConflict {
+                        base_start: r.get_varint()?,
+                        base_end: r.get_varint()?,
+                        ours: r.get_bytes()?.to_vec(),
+                        theirs: r.get_bytes()?.to_vec(),
+                    });
+                }
+                Response::Merged { vid, conflicts }
+            }
             kind::ERR => {
                 let code = r.get_u8()?;
                 let a = r.get_varint()?;
@@ -1330,6 +1414,38 @@ mod tests {
             from: Vid(21),
             to: Vid(22),
         });
+        for policy in [MergePolicy::Fail, MergePolicy::Ours, MergePolicy::Theirs] {
+            round_trip_request(Request::Merge {
+                a: Vid(23),
+                b: Vid(24),
+                policy,
+            });
+        }
+    }
+
+    #[test]
+    fn merge_is_a_write() {
+        assert!(!Request::Merge {
+            a: Vid(1),
+            b: Vid(2),
+            policy: MergePolicy::Fail
+        }
+        .is_read());
+    }
+
+    #[test]
+    fn unknown_merge_policy_is_a_protocol_error() {
+        let mut bytes = Request::Merge {
+            a: Vid(1),
+            b: Vid(2),
+            policy: MergePolicy::Fail,
+        }
+        .encode(0);
+        *bytes.last_mut().unwrap() = 9;
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(NetError::Protocol(_))
+        ));
     }
 
     #[test]
@@ -1417,6 +1533,27 @@ mod tests {
             encoded_bytes: 0,
             stored: false,
         }));
+        round_trip_response(Response::Merged {
+            vid: Some(Vid(10)),
+            conflicts: vec![],
+        });
+        round_trip_response(Response::Merged {
+            vid: None,
+            conflicts: vec![
+                MergeConflict {
+                    base_start: 5,
+                    base_end: 9,
+                    ours: vec![1, 2, 3],
+                    theirs: vec![],
+                },
+                MergeConflict {
+                    base_start: 40,
+                    base_end: 40,
+                    ours: vec![7],
+                    theirs: vec![8; 300],
+                },
+            ],
+        });
         for err in [
             RemoteError::UnknownObject(Oid(1)),
             RemoteError::UnknownVersion(Vid(2)),

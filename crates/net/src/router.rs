@@ -799,6 +799,22 @@ fn route(req: Request, map: ShardMap, next_pnew: &AtomicU64) -> Route {
                 },
             )
         }
+        R::Merge { a, b, policy } => {
+            let shard = map.shard_of_vid(a);
+            if map.shard_of_vid(b) != shard {
+                return Route::Local(Response::Err(RemoteError::BadRequest(
+                    "merge parents live on different shards (different objects)".into(),
+                )));
+            }
+            single(
+                shard,
+                R::Merge {
+                    a: map.backend_vid(a),
+                    b: map.backend_vid(b),
+                    policy,
+                },
+            )
+        }
     }
 }
 
@@ -841,6 +857,12 @@ fn translate_response(resp: Response, map: ShardMap, shard: usize) -> Response {
             to: map.client_vid(d.to, shard),
             ..d
         }),
+        // Conflict ranges are byte offsets in the merge base — shard
+        // agnostic; only the new version id needs remapping.
+        Response::Merged { vid, conflicts } => Response::Merged {
+            vid: vid.map(|v| map.client_vid(v, shard)),
+            conflicts,
+        },
         Response::Err(e) => Response::Err(match e {
             RemoteError::UnknownObject(oid) => {
                 RemoteError::UnknownObject(map.client_oid(oid, shard))
@@ -2221,6 +2243,71 @@ mod tests {
             Route::Local(Response::Err(RemoteError::BadRequest(_))) => {}
             _ => panic!("cross-shard diff must be refused locally"),
         }
+    }
+
+    #[test]
+    fn merge_routes_like_diff_and_remaps_only_the_version() {
+        let map = ShardMap::new(3);
+        let rr = AtomicU64::new(0);
+        // Same shard: forwarded with both parent vids translated and
+        // the policy untouched.
+        match route(
+            Request::Merge {
+                a: Vid(4),
+                b: Vid(7),
+                policy: ode::MergePolicy::Ours,
+            },
+            map,
+            &rr,
+        ) {
+            Route::Single { shard, backend } => {
+                assert_eq!(shard, 1);
+                assert_eq!(
+                    backend,
+                    Request::Merge {
+                        a: Vid(1),
+                        b: Vid(2),
+                        policy: ode::MergePolicy::Ours,
+                    }
+                );
+            }
+            _ => panic!("same-shard merge must forward"),
+        }
+        // Cross-shard parents are refused by the router itself.
+        match route(
+            Request::Merge {
+                a: Vid(4),
+                b: Vid(8),
+                policy: ode::MergePolicy::Fail,
+            },
+            map,
+            &rr,
+        ) {
+            Route::Local(Response::Err(RemoteError::BadRequest(_))) => {}
+            _ => panic!("cross-shard merge must be refused locally"),
+        }
+        // Translation maps the minted vid back to client space and
+        // leaves the conflict byte ranges alone.
+        let conflicts = vec![ode::MergeConflict {
+            base_start: 3,
+            base_end: 9,
+            ours: vec![1],
+            theirs: vec![2],
+        }];
+        assert_eq!(
+            translate_response(
+                Response::Merged {
+                    vid: Some(Vid(2)),
+                    conflicts: conflicts.clone(),
+                },
+                map,
+                1,
+            ),
+            Response::Merged {
+                vid: Some(Vid(7)),
+                conflicts,
+            }
+        );
     }
 
     #[test]

@@ -429,6 +429,10 @@ pub(crate) fn apply(db: &Database, request: Request) -> ode::Result<Response> {
             txn.pdelete_version_raw(vid)?;
             Response::Unit
         }
+        Request::Merge { a, b, policy } => {
+            let (vid, conflicts) = txn.merge_raw(a, b, policy)?;
+            Response::Merged { vid, conflicts }
+        }
         _ => unreachable!("read request routed to transaction"),
     };
     txn.commit()?;

@@ -30,6 +30,7 @@ fn encode_kind(ev: &Event) -> (u64, u64, u8) {
         Event::NewVersion { oid, vid, .. } => (oid.0, vid.0, 2),
         Event::VersionDeleted { oid, vid, .. } => (oid.0, vid.0, 3),
         Event::ObjectDeleted { oid, .. } => (oid.0, 0, 4),
+        Event::Merged { oid, vid, .. } => (oid.0, vid.0, 5),
     }
 }
 

@@ -13,7 +13,12 @@
 //! ode-cli <addr> history <oid> [from to]    all versions, temporal order
 //!                                           (optionally only stamps in
 //!                                           from..=to, chain-served)
+//! ode-cli <addr> history <oid> --json       same, as a JSON array with
+//!                                           stable field ordering
 //! ode-cli <addr> diff <vid> <vid>           delta summary between versions
+//! ode-cli <addr> merge <vid> <vid> [--ours|--theirs]
+//!                                           three-way merge two versions
+//!                                           of one object
 //! ode-cli <addr> objects                    every Note on the server
 //! ode-cli <addr> delete <oid>               pdelete the object
 //! ode-cli <addr> delete-version <vid>       pdelete one version
@@ -24,7 +29,7 @@
 
 use std::process::ExitCode;
 
-use ode::{Oid, Vid};
+use ode::{MergePolicy, Oid, Vid};
 use ode_codec::{from_bytes, impl_persist_struct, impl_type_name};
 use ode_net::{
     ClientConfig, ClientObjPtr, ClientVersionPtr, NetError, OdeClient, Request, Response,
@@ -50,6 +55,23 @@ struct Note {
 impl_persist_struct!(Note { text });
 impl_type_name!(Note = "ode-cli/Note");
 
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn json_escape(s: &str) -> String {
+    let mut escaped = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            '\n' => escaped.push_str("\\n"),
+            '\r' => escaped.push_str("\\r"),
+            '\t' => escaped.push_str("\\t"),
+            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+            c => escaped.push(c),
+        }
+    }
+    escaped
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ode-cli <addr> <command> [args]\n\
@@ -66,8 +88,14 @@ fn usage() -> ExitCode {
          \x20 newversion <oid>         derive a version from the latest\n\
          \x20 newversion-from <vid>    derive from a pinned version\n\
          \x20 history <oid> [from to]  list all versions, or only those\n\
-         \x20                          whose stamp falls in from..=to\n\
+         \x20                          whose stamp falls in from..=to;\n\
+         \x20                          --json emits a JSON array with\n\
+         \x20                          stable field ordering\n\
          \x20 diff <vid> <vid>         delta summary between two versions\n\
+         \x20 merge <vid> <vid>        three-way merge two versions of one\n\
+         \x20                          object against their common ancestor;\n\
+         \x20                          --ours/--theirs resolves conflicting\n\
+         \x20                          ranges instead of failing\n\
          \x20 objects                  list every Note\n\
          \x20 delete <oid>             delete object + versions\n\
          \x20 delete-version <vid>     delete one version"
@@ -244,35 +272,65 @@ fn main() -> ExitCode {
                 .map(|v| out!("derived {} from {}", v.vid(), Vid(vid))),
             None => return usage(),
         },
-        "history" => match id_arg() {
-            Some(oid) => (|| {
-                let p = obj(oid);
-                let history = match (rest.get(1), rest.get(2)) {
-                    (Some(from), Some(to)) => match (from.parse::<u64>(), to.parse::<u64>()) {
-                        (Ok(from), Ok(to)) => client.history_between(&p, from, to)?,
-                        _ => {
-                            return Err(NetError::Protocol(
-                                "history range bounds must be integers".into(),
-                            ))
-                        }
-                    },
-                    _ => client.version_history(&p)?,
-                };
-                let latest = client.current_version(&p)?;
-                for v in history {
-                    let note = client.deref_v(&v)?;
-                    let dprev = client.dprevious(&v)?;
-                    let marker = if v == latest { "  <- latest" } else { "" };
-                    let from = match dprev {
-                        Some(b) => format!(" (from {})", b.vid()),
-                        None => String::new(),
+        "history" => {
+            let json = rest.iter().any(|a| a == "--json");
+            let args: Vec<&String> = rest.iter().filter(|a| *a != "--json").collect();
+            match args
+                .split_first()
+                .and_then(|(o, b)| o.parse::<u64>().ok().map(|oid| (oid, b.to_vec())))
+            {
+                Some((oid, bounds)) => (|| {
+                    let p = obj(oid);
+                    let history = match bounds.as_slice() {
+                        [from, to] => match (from.parse::<u64>(), to.parse::<u64>()) {
+                            (Ok(from), Ok(to)) => client.history_between(&p, from, to)?,
+                            _ => {
+                                return Err(NetError::Protocol(
+                                    "history range bounds must be integers".into(),
+                                ))
+                            }
+                        },
+                        _ => client.version_history(&p)?,
                     };
-                    out!("{}{from}: {}{marker}", v.vid(), note.text);
-                }
-                Ok(())
-            })(),
-            None => return usage(),
-        },
+                    let latest = client.current_version(&p)?;
+                    if json {
+                        // Machine-readable history. Field order is part
+                        // of the contract — always vid, from, latest,
+                        // text — so line-oriented consumers can diff two
+                        // runs without re-serialising.
+                        out!("[");
+                        for (i, v) in history.iter().enumerate() {
+                            let note = client.deref_v(v)?;
+                            let from = match client.dprevious(v)? {
+                                Some(b) => b.vid().0.to_string(),
+                                None => "null".to_string(),
+                            };
+                            let comma = if i + 1 < history.len() { "," } else { "" };
+                            out!(
+                                "  {{\"vid\":{},\"from\":{from},\"latest\":{},\"text\":\"{}\"}}{comma}",
+                                v.vid().0,
+                                *v == latest,
+                                json_escape(&note.text)
+                            );
+                        }
+                        out!("]");
+                        return Ok(());
+                    }
+                    for v in history {
+                        let note = client.deref_v(&v)?;
+                        let dprev = client.dprevious(&v)?;
+                        let marker = if v == latest { "  <- latest" } else { "" };
+                        let from = match dprev {
+                            Some(b) => format!(" (from {})", b.vid()),
+                            None => String::new(),
+                        };
+                        out!("{}{from}: {}{marker}", v.vid(), note.text);
+                    }
+                    Ok(())
+                })(),
+                None => return usage(),
+            }
+        }
         "diff" => match (id_arg(), rest.get(1).and_then(|s| s.parse::<u64>().ok())) {
             (Some(a), Some(b)) => client.diff_versions(&ver(a), &ver(b)).map(|d| {
                 out!("diff {}..{}", d.from, d.to);
@@ -294,6 +352,41 @@ fn main() -> ExitCode {
             }),
             _ => return usage(),
         },
+        "merge" => {
+            let policy = if rest.iter().any(|a| a == "--ours") {
+                MergePolicy::Ours
+            } else if rest.iter().any(|a| a == "--theirs") {
+                MergePolicy::Theirs
+            } else {
+                MergePolicy::Fail
+            };
+            let ids: Vec<u64> = rest
+                .iter()
+                .filter(|a| !a.starts_with("--"))
+                .filter_map(|s| s.parse().ok())
+                .collect();
+            match ids.as_slice() {
+                [a, b] => client.merge(&ver(*a), &ver(*b), policy).map(|(vid, conflicts)| {
+                    for c in &conflicts {
+                        out!(
+                            "conflict [{}, {}): ours {:?}, theirs {:?}",
+                            c.base_start,
+                            c.base_end,
+                            String::from_utf8_lossy(&c.ours),
+                            String::from_utf8_lossy(&c.theirs)
+                        );
+                    }
+                    match vid {
+                        Some(v) => out!("merged as {} (policy: {})", v.vid(), policy.name()),
+                        None => out!(
+                            "not merged: {} conflicting range(s); re-run with --ours or --theirs to resolve",
+                            conflicts.len()
+                        ),
+                    }
+                }),
+                _ => return usage(),
+            }
+        }
         "objects" => client.objects::<Note>().and_then(|objects| {
             for p in objects {
                 let (note, v) = client.deref(&p)?;

@@ -103,26 +103,29 @@ fn main() -> ExitCode {
                 return;
             }
             println!(
-                "{:<8} {:>8} {:>7} {:>6} {:>8} {:>11} {:>12} {:>6}",
+                "{:<8} {:>8} {:>7} {:>6} {:>6} {:>8} {:>11} {:>12} {:>6}",
                 "oid",
                 "segments",
                 "anchors",
                 "delta",
+                "merges",
                 "interval",
                 "encoded(B)",
                 "full-copy(B)",
                 "ratio"
             );
-            let (mut encoded, mut materialized) = (0u64, 0u64);
+            let (mut encoded, mut materialized, mut merges) = (0u64, 0u64, 0u64);
             for c in &chains {
                 encoded += c.encoded_bytes;
                 materialized += c.materialized_bytes;
+                merges += c.merges;
                 println!(
-                    "{:<8} {:>8} {:>7} {:>6} {:>8} {:>11} {:>12} {:>6.3}",
+                    "{:<8} {:>8} {:>7} {:>6} {:>6} {:>8} {:>11} {:>12} {:>6.3}",
                     c.oid,
                     c.segments,
                     c.anchors,
                     c.deltas,
+                    c.merges,
                     c.interval,
                     c.encoded_bytes,
                     c.materialized_bytes,
@@ -137,6 +140,9 @@ fn main() -> ExitCode {
             println!(
                 "total: {encoded} B encoded vs {materialized} B as full copies (ratio {ratio:.3})"
             );
+            if merges > 0 {
+                println!("merge joins: {merges} two-parent version(s) across the store");
+            }
         }),
         "dot" => match oid_arg() {
             Some(oid) => ode_tools::export_object_dot(&db, oid).map(|dot| print!("{dot}")),

@@ -78,6 +78,10 @@ pub struct ChainSummary {
     pub deltas: u64,
     /// Anchor spacing the chain was built with.
     pub interval: u64,
+    /// Two-parent (merge) versions in the object's history. These are
+    /// the DAG joins: each one was checked in by `Txn::merge` and
+    /// records a second derivation parent alongside `dprev`.
+    pub merges: u64,
     /// Bytes the heap actually stores for the chain record.
     pub encoded_bytes: u64,
     /// Bytes whole-body storage would hold for the same versions.
@@ -96,12 +100,19 @@ pub fn chain_report(path: &Path) -> Result<Vec<ChainSummary>> {
     for tag in all_tags(&vs, &mut tx)? {
         for oid in vs.objects_of_type(&mut tx, tag)? {
             if let Some(s) = vs.chain_stats(&mut tx, oid)? {
+                let mut merges = 0u64;
+                for vid in vs.version_history(&mut tx, oid)? {
+                    if vs.version_meta(&mut tx, vid)?.is_merge() {
+                        merges += 1;
+                    }
+                }
                 out.push(ChainSummary {
                     oid: oid.0,
                     segments: s.versions,
                     anchors: s.anchors,
                     deltas: s.deltas,
                     interval: s.interval,
+                    merges,
                     encoded_bytes: s.encoded_bytes,
                     materialized_bytes: s.materialized_bytes,
                     ratio: s.compression_ratio(),
@@ -222,7 +233,11 @@ pub fn describe_object(path: &Path, oid: u64) -> Result<String> {
     writeln!(out, "  history (temporal order):").expect("write");
     for vid in vs.version_history(&mut tx, oid)? {
         let v = vs.version_meta(&mut tx, vid)?;
-        let dprev = if v.dprev.is_null() {
+        // A merge version shows both derivation parents and is marked;
+        // ordinary versions keep the single-parent format.
+        let dprev = if v.is_merge() {
+            format!("{}+{} (merge)", v.dprev, v.dprev2)
+        } else if v.dprev.is_null() {
             "-".to_string()
         } else {
             v.dprev.to_string()
@@ -597,6 +612,62 @@ mod tests {
         let plain = build_db("nochains");
         assert!(chain_report(&plain).unwrap().is_empty());
         cleanup(&plain);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn merge_versions_are_reported_distinctly() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("ode-tools-merges-{}", std::process::id()));
+        cleanup(&path);
+        #[derive(Debug, Clone, PartialEq)]
+        struct Doc {
+            text: String,
+        }
+        impl_persist_struct!(Doc { text });
+        impl_type_name!(Doc = "tools-test/MergeDoc");
+
+        let options = DatabaseOptions::default().with_chain(ode::ChainConfig::with_interval(4));
+        let db = Database::create(&path, options).unwrap();
+        let mut txn = db.begin();
+        let p = txn
+            .pnew(&Doc {
+                text: "the quick brown fox jumps over the lazy dog".into(),
+            })
+            .unwrap();
+        let base = txn.current_version(&p).unwrap();
+        let a = txn
+            .derive_from_with(&base, |d| d.text = d.text.replace("quick", "QUICK"))
+            .unwrap();
+        let b = txn
+            .derive_from_with(&base, |d| d.text = d.text.replace("lazy", "LAZY"))
+            .unwrap();
+        let report = txn.merge(&a, &b, ode::MergePolicy::Fail).unwrap();
+        let m = report.version.expect("disjoint edits merge cleanly");
+        txn.commit().unwrap();
+        drop(db);
+
+        let chains = chain_report(&path).unwrap();
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].merges, 1, "the merge join must be counted");
+        assert_eq!(chains[0].segments, 4);
+
+        let text = describe_object(&path, chains[0].oid).unwrap();
+        let line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with(&m.vid().to_string()))
+            .expect("merge version listed in history");
+        assert!(
+            line.contains(&format!("dprev={}+{} (merge)", a.vid(), b.vid())),
+            "merge version must show both parents: {line}"
+        );
+        // Ordinary versions keep the single-parent format.
+        assert!(!text
+            .lines()
+            .filter(|l| !l.contains("(merge)"))
+            .any(|l| l.contains('+')));
+
+        assert!(fsck(&path).unwrap().is_healthy());
         cleanup(&path);
     }
 

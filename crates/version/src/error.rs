@@ -36,6 +36,15 @@ pub enum VersionError {
     /// fails to replay — on-disk corruption or an engine bug, never a
     /// caller mistake.
     ChainCorrupt(&'static str),
+    /// `merge(a, b)` was asked to reconcile versions that cannot form a
+    /// merge: they belong to different objects, or are the same
+    /// version.
+    MergeMismatch {
+        /// First merge input.
+        a: Vid,
+        /// Second merge input.
+        b: Vid,
+    },
 }
 
 impl VersionError {
@@ -67,6 +76,12 @@ impl fmt::Display for VersionError {
                 "{vid} is the last version of its object; pdelete the object instead"
             ),
             VersionError::ChainCorrupt(msg) => write!(f, "delta chain corrupt: {msg}"),
+            VersionError::MergeMismatch { a, b } => {
+                write!(
+                    f,
+                    "cannot merge {a} with {b}: not two distinct versions of one object"
+                )
+            }
         }
     }
 }

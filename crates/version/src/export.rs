@@ -35,6 +35,15 @@ pub fn version_graph_dot(vs: &VersionStore, tx: &mut impl PageRead, oid: Oid) ->
             writeln!(out, "  v{} -> v{} [style=solid];", vid.0, meta.dprev.0)
                 .expect("write to string");
         }
+        if !meta.dprev2.is_null() {
+            // Second derived-from parent of a merge version (DAG edge).
+            writeln!(
+                out,
+                "  v{} -> v{} [style=solid, color=gray];",
+                vid.0, meta.dprev2.0
+            )
+            .expect("write to string");
+        }
         if !meta.tprev.is_null() {
             // Dotted: temporal order.
             writeln!(

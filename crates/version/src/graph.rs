@@ -248,6 +248,7 @@ impl VersionStore {
             oid,
             tag,
             dprev: Vid::NULL,
+            dprev2: Vid::NULL,
             dnext: Vec::new(),
             tprev: Vid::NULL,
             tnext: Vid::NULL,
@@ -296,21 +297,78 @@ impl VersionStore {
             oid: object.oid,
             tag: object.tag,
             dprev: base,
+            dprev2: Vid::NULL,
             dnext: Vec::new(),
             tprev: object.latest,
             tnext: Vid::NULL,
             created: vid.0,
-            body: base_state.clone(),
+            body: base_state,
         };
 
         base_meta.dnext.push(vid);
         self.save_version(tx, &base_meta)?;
+        self.check_in(tx, &mut object, &mut chain, &version)?;
+        Ok(vid)
+    }
 
-        // Re-load the temporal tail (it may *be* the base, whose saved
-        // record now carries the new dnext entry) and hook in the new
-        // version.
+    /// `merge(a, b)` check-in: record `body` (the reconciled state) as
+    /// a new version with **both** parents — the derived-from
+    /// structure's first DAG edges. The merged version becomes the
+    /// object's latest, exactly like any other check-in; the policy
+    /// and conflict questions live above this layer (`ode-merge`).
+    ///
+    /// `a` and `b` must be distinct versions of the same object.
+    pub fn new_merge_version(
+        &self,
+        tx: &mut impl PageWrite,
+        a: Vid,
+        b: Vid,
+        body: Vec<u8>,
+    ) -> Result<Vid> {
+        let mut a_meta = self.version_meta(tx, a)?;
+        let mut b_meta = self.version_meta(tx, b)?;
+        if a == b || a_meta.oid != b_meta.oid {
+            return Err(VersionError::MergeMismatch { a, b });
+        }
+        let mut object = self.object_meta(tx, a_meta.oid)?;
+        let mut chain = self.load_chain(tx, object.oid)?;
+        let vid = Vid(self.vids.next(tx)?);
+
+        let version = VersionMeta {
+            vid,
+            oid: object.oid,
+            tag: object.tag,
+            dprev: a,
+            dprev2: b,
+            dnext: Vec::new(),
+            tprev: object.latest,
+            tnext: Vid::NULL,
+            created: vid.0,
+            body,
+        };
+
+        a_meta.dnext.push(vid);
+        b_meta.dnext.push(vid);
+        self.save_version(tx, &a_meta)?;
+        self.save_version(tx, &b_meta)?;
+        self.check_in(tx, &mut object, &mut chain, &version)?;
+        Ok(vid)
+    }
+
+    /// Append a fully-formed new version at the object's temporal tail
+    /// and make it the latest. Expects the parents' `dnext` lists to be
+    /// updated and saved already; reloads the temporal tail afterwards
+    /// (it may *be* a parent whose saved record now carries the new
+    /// `dnext` entry).
+    fn check_in(
+        &self,
+        tx: &mut impl PageWrite,
+        object: &mut ObjectMeta,
+        chain: &mut Option<ObjectChain>,
+        version: &VersionMeta,
+    ) -> Result<()> {
         let mut tail = self.version_meta(tx, object.latest)?;
-        tail.tnext = vid;
+        tail.tnext = version.vid;
         if chain.is_some() || self.chain.is_some() {
             // Chain storage: the outgoing latest surrenders its whole
             // body to the chain (as the delta base / lazy first anchor)
@@ -325,7 +383,7 @@ impl VersionStore {
                     // starts at the outgoing latest, snapshotted whole.
                     // Any older versions keep their whole-body records
                     // (the migration path for pre-chain databases).
-                    chain = Some(ObjectChain::new(
+                    *chain = Some(ObjectChain::new(
                         self.chain.expect("checked above"),
                         object.latest,
                         prev_state.clone(),
@@ -333,18 +391,18 @@ impl VersionStore {
                     chain.as_mut().expect("just set")
                 }
             };
-            c.append(vid, &prev_state, &base_state);
+            c.append(version.vid, &prev_state, &version.body);
         }
         self.save_version(tx, &tail)?;
 
-        self.save_version(tx, &version)?;
-        if let Some(c) = &chain {
+        self.save_version(tx, version)?;
+        if let Some(c) = chain.as_ref() {
             self.save_chain(tx, object.oid, c)?;
         }
-        object.latest = vid;
+        object.latest = version.vid;
         object.version_count += 1;
-        self.save_object(tx, &object)?;
-        Ok(vid)
+        self.save_object(tx, object)?;
+        Ok(())
     }
 
     /// `pdelete` on an object id: the object and *all* its versions go.
@@ -427,10 +485,38 @@ impl VersionStore {
             object.latest = meta.tprev;
         }
 
-        // Derivation splice: children adopt the deleted version's parent.
+        // Derivation splice: children adopt the deleted version's
+        // primary parent in place of the lost edge. A merge child may
+        // lose only one of its two parent edges; if the adoption would
+        // duplicate its surviving edge, the duplicate collapses and no
+        // new edge is created.
+        let fallback = meta.dprev;
+        let mut adopted: Vec<Vid> = Vec::new();
         for &child in &meta.dnext {
             let mut c = self.version_meta(tx, child)?;
-            c.dprev = meta.dprev;
+            // The child's parent slot not being re-pointed.
+            let other = if c.dprev == vid { c.dprev2 } else { c.dprev };
+            if !fallback.is_null() && other != fallback {
+                // The child gains a genuinely new edge to the fallback
+                // parent and takes over the deleted version's dnext
+                // position there.
+                adopted.push(child);
+            }
+            if c.dprev == vid {
+                c.dprev = fallback;
+            } else {
+                c.dprev2 = fallback;
+            }
+            // Normalize: collapse a duplicated edge, keep the primary
+            // slot occupied first.
+            if !c.dprev2.is_null() {
+                if c.dprev2 == c.dprev {
+                    c.dprev2 = Vid::NULL;
+                } else if c.dprev.is_null() {
+                    c.dprev = c.dprev2;
+                    c.dprev2 = Vid::NULL;
+                }
+            }
             self.save_version(tx, &c)?;
         }
         if !meta.dprev.is_null() {
@@ -440,9 +526,17 @@ impl VersionStore {
                 .iter()
                 .position(|&v| v == vid)
                 .expect("parent lists child");
-            // Children take the deleted version's position, preserving
-            // derivation order.
-            parent.dnext.splice(pos..=pos, meta.dnext.iter().copied());
+            // Adopted children take the deleted version's position,
+            // preserving derivation order.
+            parent.dnext.splice(pos..=pos, adopted.iter().copied());
+            self.save_version(tx, &parent)?;
+        }
+        if !meta.dprev2.is_null() {
+            // The deleted version was itself a merge: its second parent
+            // simply loses the edge (children were spliced under the
+            // primary parent above).
+            let mut parent = self.version_meta(tx, meta.dprev2)?;
+            parent.dnext.retain(|&v| v != vid);
             self.save_version(tx, &parent)?;
         }
         if object.root == vid {
@@ -635,6 +729,68 @@ impl VersionStore {
             out.push(prev);
             cur = prev;
         }
+    }
+
+    /// All ancestors of `vid` in the derived-from graph — `vid` itself
+    /// first, then strictly descending creation order — following
+    /// *both* parents of merge versions.
+    ///
+    /// Reads only version records (graph links); no body is ever
+    /// materialized, so the walk is cheap even on chain-backed stores.
+    pub fn ancestors(&self, tx: &mut impl PageRead, vid: Vid) -> Result<Vec<Vid>> {
+        use std::collections::{BinaryHeap, HashSet};
+        // Validate the starting vid eagerly so callers get
+        // UnknownVersion rather than an empty walk.
+        self.version_meta(tx, vid)?;
+        let mut seen: HashSet<Vid> = HashSet::new();
+        let mut heap: BinaryHeap<Vid> = BinaryHeap::new();
+        seen.insert(vid);
+        heap.push(vid);
+        let mut out = Vec::new();
+        // Max-heap by vid == by creation stamp (`created` is `vid.0`),
+        // and parents are always older than children, so popping the
+        // max yields strictly descending creation order.
+        while let Some(v) = heap.pop() {
+            out.push(v);
+            let meta = self.version_meta(tx, v)?;
+            for p in meta.parents() {
+                if seen.insert(p) {
+                    heap.push(p);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The lowest common ancestor of two versions: of all versions
+    /// reachable from both `a` and `b` along derived-from edges
+    /// (inclusive), the one with the greatest creation stamp. `None`
+    /// when the two share no ancestry (possible after version
+    /// deletions split the derivation forest, or across objects).
+    ///
+    /// This is the merge base: the newest state both sides have seen.
+    pub fn common_ancestor(&self, tx: &mut impl PageRead, a: Vid, b: Vid) -> Result<Option<Vid>> {
+        use std::collections::{BinaryHeap, HashSet};
+        let a_set: HashSet<Vid> = self.ancestors(tx, a)?.into_iter().collect();
+        // Walk b's ancestry newest-first; the first member of a's set
+        // encountered is the greatest common stamp.
+        self.version_meta(tx, b)?;
+        let mut seen: HashSet<Vid> = HashSet::new();
+        let mut heap: BinaryHeap<Vid> = BinaryHeap::new();
+        seen.insert(b);
+        heap.push(b);
+        while let Some(v) = heap.pop() {
+            if a_set.contains(&v) {
+                return Ok(Some(v));
+            }
+            let meta = self.version_meta(tx, v)?;
+            for p in meta.parents() {
+                if seen.insert(p) {
+                    heap.push(p);
+                }
+            }
+        }
+        Ok(None)
     }
 
     /// Leaves of the derived-from tree: "each leaf represents the most
@@ -891,20 +1047,32 @@ impl VersionStore {
                 return Err(corrupt("creation stamps not ascending"));
             }
             last_created = meta.created;
-            if !meta.dprev.is_null() {
-                if !live.contains(&meta.dprev) {
+            if !meta.dprev2.is_null() {
+                if meta.dprev.is_null() {
+                    return Err(corrupt("dprev2 set while dprev is null"));
+                }
+                if meta.dprev2 == meta.dprev {
+                    return Err(corrupt("merge parents are not distinct"));
+                }
+            }
+            for parent_vid in meta.parents() {
+                if !live.contains(&parent_vid) {
                     return Err(corrupt("dprev points at a dead version"));
                 }
-                let parent = self.version_meta(tx, meta.dprev)?;
+                let parent = self.version_meta(tx, parent_vid)?;
                 if !parent.dnext.contains(&vid) {
                     return Err(corrupt("parent does not list child"));
+                }
+                if parent.created >= meta.created {
+                    return Err(corrupt("parent not older than child"));
                 }
             }
             for &child in &meta.dnext {
                 if !live.contains(&child) {
                     return Err(corrupt("dnext lists a dead version"));
                 }
-                if self.version_meta(tx, child)?.dprev != vid {
+                let c = self.version_meta(tx, child)?;
+                if c.dprev != vid && c.dprev2 != vid {
                     return Err(corrupt("child does not point at parent"));
                 }
             }

@@ -44,6 +44,11 @@ pub struct VersionMeta {
     pub tag: TypeTag,
     /// Version this one was derived from (`NULL` for the first version).
     pub dprev: Vid,
+    /// Second derived-from parent. `NULL` for ordinary versions; merge
+    /// versions record both merged parents here, giving the
+    /// derived-from structure its DAG edges. Never set while `dprev`
+    /// is `NULL`.
+    pub dprev2: Vid,
     /// Versions derived from this one, in creation order.
     pub dnext: Vec<Vid>,
     /// Temporal predecessor within the object (`NULL` for the oldest).
@@ -62,6 +67,7 @@ impl_persist_struct!(VersionMeta {
     oid,
     tag,
     dprev,
+    dprev2,
     dnext,
     tprev,
     tnext,
@@ -74,6 +80,19 @@ impl VersionMeta {
     /// "alternative's most up-to-date version" in the paper's terms).
     pub fn is_derivation_leaf(&self) -> bool {
         self.dnext.is_empty()
+    }
+
+    /// Whether this version is a merge (records two derived-from
+    /// parents).
+    pub fn is_merge(&self) -> bool {
+        !self.dprev2.is_null()
+    }
+
+    /// The derived-from parents, primary first, `NULL` slots skipped.
+    pub fn parents(&self) -> impl Iterator<Item = Vid> {
+        [self.dprev, self.dprev2]
+            .into_iter()
+            .filter(|v| !v.is_null())
     }
 }
 
@@ -101,6 +120,7 @@ mod tests {
             oid: Oid(7),
             tag: TypeTag::from_name("x/Y"),
             dprev: Vid(3),
+            dprev2: Vid::NULL,
             dnext: vec![Vid(11), Vid(12)],
             tprev: Vid(8),
             tnext: Vid::NULL,
@@ -109,7 +129,28 @@ mod tests {
         };
         assert_eq!(from_bytes::<VersionMeta>(&to_bytes(&m)).unwrap(), m);
         assert!(!m.is_derivation_leaf());
+        assert!(!m.is_merge());
+        assert_eq!(m.parents().collect::<Vec<_>>(), vec![Vid(3)]);
         let leaf = VersionMeta { dnext: vec![], ..m };
         assert!(leaf.is_derivation_leaf());
+    }
+
+    #[test]
+    fn merge_version_meta_round_trips() {
+        let m = VersionMeta {
+            vid: Vid(20),
+            oid: Oid(7),
+            tag: TypeTag::from_name("x/Y"),
+            dprev: Vid(5),
+            dprev2: Vid(9),
+            dnext: vec![],
+            tprev: Vid(19),
+            tnext: Vid::NULL,
+            created: 20,
+            body: vec![4, 5, 6],
+        };
+        assert_eq!(from_bytes::<VersionMeta>(&to_bytes(&m)).unwrap(), m);
+        assert!(m.is_merge());
+        assert_eq!(m.parents().collect::<Vec<_>>(), vec![Vid(5), Vid(9)]);
     }
 }

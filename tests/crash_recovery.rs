@@ -541,6 +541,185 @@ fn sigkill_mid_checkin_chained_store_recovers_acknowledged_versions() {
 }
 
 // ---------------------------------------------------------------------------
+// SIGKILL mid-merge-checkin: two-parent versions survive recovery
+// ---------------------------------------------------------------------------
+
+/// Body carried by the merge-crash writers: a long shared filler plus
+/// two fixed-width marker fields. Each iteration forks the latest
+/// version twice — one fork rewrites the `L` field, the other the `R`
+/// field — and merges the forks, so the committed merge version has
+/// `left == right` and exactly two parents.
+fn merge_text(left: u64, right: u64) -> String {
+    format!(
+        "{}::L-{left:010}::R-{right:010}",
+        "the quick brown fox ".repeat(40)
+    )
+}
+
+/// Re-exec helper for the merge variant: four writers each own one
+/// object in a chain-storage database and loop fork/fork/merge
+/// check-ins until the parent SIGKILLs the process. A marker is durably
+/// logged only after the commit that made its merge version durable.
+/// No-op without the env var.
+#[test]
+fn child_merge_checkin_writer() {
+    let Ok(db_path) = std::env::var("ODE_CRASH_MERGE_CHILD") else {
+        return;
+    };
+    let ack_dir = std::env::var("ODE_CRASH_MERGE_ACK_DIR").expect("ack dir env var");
+
+    let mut options = DatabaseOptions::default().with_chain(ode::ChainConfig::with_interval(4));
+    options.storage.group_commit = true;
+    options.storage.group_commit_window = std::time::Duration::from_millis(2);
+    let db = Database::create(&db_path, options).expect("create db");
+
+    let ptrs: Vec<_> = {
+        let mut txn = db.begin();
+        let ptrs = (0..4u64)
+            .map(|w| {
+                let marker = w * 1_000_000;
+                txn.pnew(&Doc {
+                    rev: w as u32,
+                    text: merge_text(marker, marker),
+                })
+                .expect("pnew")
+            })
+            .collect();
+        txn.commit().expect("commit seed");
+        ptrs
+    };
+
+    std::thread::scope(|scope| {
+        for w in 0..4u64 {
+            let db = &db;
+            let ptr = &ptrs[w as usize];
+            let ack_path = format!("{ack_dir}/acks-{w}");
+            scope.spawn(move || {
+                use std::io::Write;
+                let mut acks = std::fs::File::create(&ack_path).expect("create ack log");
+                for i in 1.. {
+                    let marker = w * 1_000_000 + i;
+                    let prev = marker - 1;
+                    let mut txn = db.begin();
+                    let base = txn.current_version(ptr).expect("current_version");
+                    let a = txn
+                        .derive_from_with(&base, |d| d.text = merge_text(marker, prev))
+                        .expect("fork a");
+                    let b = txn
+                        .derive_from_with(&base, |d| d.text = merge_text(prev, marker))
+                        .expect("fork b");
+                    let report = txn.merge(&a, &b, ode::MergePolicy::Fail).expect("merge");
+                    assert!(
+                        report.conflicts.is_empty(),
+                        "disjoint field edits conflicted: {:?}",
+                        report.conflicts
+                    );
+                    report.version.expect("clean merge checks in");
+                    txn.commit().expect("commit");
+                    acks.write_all(format!("{marker}\n").as_bytes())
+                        .expect("log ack");
+                    acks.sync_data().expect("sync ack log");
+                }
+            });
+        }
+    });
+}
+
+/// SIGKILL lands while four writers are mid-merge on a chain-storage
+/// database. Recovery — opened **without** the chain config — must
+/// surface every acknowledged merge version with a byte-identical
+/// merged body, both parents on record, and walkable ancestry.
+#[test]
+fn sigkill_mid_merge_checkin_recovers_two_parent_versions() {
+    use std::time::{Duration, Instant};
+
+    let path = temp_path("mergekill");
+    let ack_dir = {
+        let mut d = std::env::temp_dir();
+        d.push(format!("ode-crash-mergekill-acks-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).expect("create ack dir");
+        d
+    };
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut child = std::process::Command::new(exe)
+        .args(["child_merge_checkin_writer", "--exact", "--nocapture"])
+        .env("ODE_CRASH_MERGE_CHILD", &path)
+        .env("ODE_CRASH_MERGE_ACK_DIR", &ack_dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child writer");
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let collect_acked = |dir: &std::path::Path| -> Vec<u64> {
+        let mut acked = Vec::new();
+        for w in 0..4 {
+            if let Ok(text) = std::fs::read_to_string(dir.join(format!("acks-{w}"))) {
+                acked.extend(text.lines().filter_map(|l| l.parse::<u64>().ok()));
+            }
+        }
+        acked
+    };
+    loop {
+        if collect_acked(&ack_dir).len() >= 40 {
+            break;
+        }
+        if let Some(status) = child.try_wait().expect("poll child") {
+            panic!("child writer exited early: {status}");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "child never reached 40 acknowledged merges"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().expect("SIGKILL child");
+    child.wait().expect("reap child");
+
+    let acked = collect_acked(&ack_dir);
+    assert!(acked.len() >= 40, "lost the ack log itself?");
+
+    // Recover with plain options: merge metadata and chain records must
+    // decode without the writer's config.
+    let db = Database::open(&path, DatabaseOptions::default()).expect("recover after SIGKILL");
+    let mut snap = db.snapshot();
+    // text → (vid, parent count) for every recovered version.
+    let mut recovered = std::collections::HashMap::new();
+    for p in snap.objects::<Doc>().expect("list objects") {
+        snap.check_object(&p).expect("recovered object validates");
+        for v in snap.version_history(&p).expect("history") {
+            let doc = snap.deref_v(&v).expect("deref recovered version");
+            let parents = snap.parents_raw(v.vid()).expect("parents");
+            recovered.insert(doc.text.clone(), (v, parents.len()));
+        }
+    }
+
+    // Every acknowledged merge recovered byte-identically, as a
+    // two-parent version whose ancestry walks back to the seed root.
+    for marker in &acked {
+        let (v, parent_count) = recovered
+            .get(&merge_text(*marker, *marker))
+            .unwrap_or_else(|| panic!("acknowledged merge {marker} lost after SIGKILL"));
+        assert_eq!(
+            *parent_count, 2,
+            "recovered merge {marker} lost a parent edge"
+        );
+        let ancestors: Vec<_> = snap.ancestors(v).expect("ancestors").collect();
+        assert!(
+            !ancestors.is_empty(),
+            "merge {marker} has no walkable ancestry"
+        );
+    }
+    drop(snap);
+
+    drop(db);
+    let _ = std::fs::remove_dir_all(&ack_dir);
+    cleanup(&path);
+}
+
+// ---------------------------------------------------------------------------
 // SIGKILL with optimistic multi-writers racing through group commit
 // ---------------------------------------------------------------------------
 
